@@ -1,0 +1,23 @@
+//! E09/E21 — cloud control-plane operation cost (provisioning throughput).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sagegpu_core::cloud::bootstrap::BootstrapPlan;
+use sagegpu_core::cloud::provider::{CloudProvider, Region};
+
+fn bench_provisioning(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cloud");
+    group.bench_function("bootstrap-single-gpu-lab", |b| {
+        b.iter(|| {
+            let cloud = CloudProvider::new(Region::UsEast1);
+            let role = cloud.create_student_role("s", 100.0).unwrap();
+            let out = BootstrapPlan::single_gpu_lab("lab-1").execute(&cloud, &role).unwrap();
+            cloud.clock().advance_secs(3600);
+            BootstrapPlan::teardown(&cloud, &role, &out);
+            cloud.billing().cost_for(&role)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_provisioning);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Supplementary — Lab 6 / Assignment 2: dataframe pipeline cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sagegpu_core::df::distributed::PartitionedFrame;
+use sagegpu_core::df::frame::{Agg, DataFrame};
+use sagegpu_core::gpu::cluster::LinkKind;
+use sagegpu_core::gpu::{DeviceSpec, GpuCluster};
+use sagegpu_core::taskflow::cluster::LocalCluster;
+use std::sync::Arc;
+
+fn bench_df(c: &mut Criterion) {
+    let trips = DataFrame::taxi_trips(20_000, 3);
+    let mut group = c.benchmark_group("df");
+    group.sample_size(10);
+    group.bench_function("single-node-groupby", |b| {
+        b.iter(|| trips.groupby_i64("zone", &[("fare", Agg::Mean)]).unwrap());
+    });
+    for &workers in &[2usize, 4] {
+        group.bench_with_input(
+            BenchmarkId::new("distributed-groupby", workers),
+            &workers,
+            |b, &workers| {
+                b.iter(|| {
+                    let gpus = Arc::new(GpuCluster::homogeneous(workers, DeviceSpec::t4(), LinkKind::Pcie));
+                    let cluster = Arc::new(LocalCluster::with_gpus(gpus));
+                    let pf = PartitionedFrame::from_frame(trips.clone(), cluster);
+                    pf.groupby_mean("zone", "fare").unwrap()
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_df);
+criterion_main!(benches);

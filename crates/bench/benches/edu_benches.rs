@@ -1,0 +1,22 @@
+//! E02/E09 — cohort simulation cost: grades and a full semester of usage.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sagegpu_core::edu::cohort::{Cohort, Semester};
+use sagegpu_core::edu::grades::simulate_grades;
+use sagegpu_core::edu::usage::simulate_semester_usage;
+
+fn bench_cohort(c: &mut Criterion) {
+    let cohort = Cohort::generate(Semester::Spring2025, 1);
+    let mut group = c.benchmark_group("edu");
+    group.sample_size(10);
+    group.bench_function("simulate-grades-30-students", |b| {
+        b.iter(|| simulate_grades(&cohort, 1));
+    });
+    group.bench_function("semester-usage-30-students", |b| {
+        b.iter(|| simulate_semester_usage(&cohort, 1));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_cohort);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! E17 — Algorithm 1: per-epoch cost, sequential vs. distributed.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sagegpu_core::gcn::distributed::{train_distributed, PartitionStrategy};
+use sagegpu_core::gcn::sequential::train_sequential;
+use sagegpu_core::gcn::TrainConfig;
+use sagegpu_core::graph::generators::{sbm, SbmParams};
+
+fn dataset() -> sagegpu_core::graph::generators::GraphDataset {
+    sbm(
+        &SbmParams {
+            block_sizes: vec![60; 3],
+            p_in: 0.12,
+            p_out: 0.01,
+            feature_dim: 16,
+            feature_separation: 1.2,
+            train_fraction: 0.5,
+        },
+        5,
+    )
+    .unwrap()
+}
+
+fn bench_training(c: &mut Criterion) {
+    let ds = dataset();
+    let cfg = TrainConfig {
+        epochs: 5,
+        ..Default::default()
+    };
+    let mut group = c.benchmark_group("gcn-train-5-epochs");
+    group.sample_size(10);
+    group.bench_function("sequential", |b| {
+        b.iter(|| train_sequential(&ds, &cfg));
+    });
+    for &k in &[2usize, 4] {
+        group.bench_with_input(BenchmarkId::new("distributed-metis", k), &k, |b, &k| {
+            b.iter(|| train_distributed(&ds, k, &cfg, PartitionStrategy::Metis).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_training);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! E20 — RAG retrieval (flat vs IVF) and batched serving.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sagegpu_core::gpu::{DeviceSpec, Gpu};
+use sagegpu_core::rag::corpus::Corpus;
+use sagegpu_core::rag::embed::Embedder;
+use sagegpu_core::rag::index::{FlatIndex, IvfIndex, VectorIndex};
+use sagegpu_core::rag::pipeline::build_flat_pipeline;
+use sagegpu_core::tensor::gpu_exec::GpuExecutor;
+use std::sync::Arc;
+
+fn bench_retrieval(c: &mut Criterion) {
+    let corpus = Corpus::synthetic(500, 80, 3);
+    let embedder = Embedder::new(96, 3);
+    let data: Vec<(usize, Vec<f32>)> = corpus
+        .docs()
+        .iter()
+        .map(|d| (d.id, embedder.embed(&d.text)))
+        .collect();
+    let mut flat = FlatIndex::new(96);
+    for (id, v) in &data {
+        flat.add(*id, v.clone());
+    }
+    let mut ivf = IvfIndex::train(96, 25, 25, &data, 3);
+    ivf.set_nprobe(3);
+    let q = embedder.embed(&Corpus::topic_query(0, 6, 9));
+
+    let mut group = c.benchmark_group("retrieval-500-docs");
+    group.bench_function("flat", |b| b.iter(|| flat.search(&q, 5)));
+    group.bench_function("ivf-nprobe3", |b| b.iter(|| ivf.search(&q, 5)));
+    group.finish();
+}
+
+fn bench_serving(c: &mut Criterion) {
+    let queries: Vec<String> = (0..16).map(|i| Corpus::topic_query(i % 5, 5, i as u64)).collect();
+    let mut group = c.benchmark_group("rag-serving-16-queries");
+    group.sample_size(10);
+    for &batch in &[1usize, 8] {
+        group.bench_with_input(BenchmarkId::new("batch", batch), &batch, |b, &batch| {
+            b.iter(|| {
+                let exec = GpuExecutor::new(Arc::new(Gpu::new(0, DeviceSpec::t4())));
+                let p = build_flat_pipeline(60, 96, exec, 3);
+                p.run_workload(&queries, batch, 0)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_retrieval, bench_serving);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Supplementary — Lab 8/10: RL training cost (tabular vs DQN).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use sagegpu_core::gpu::{DeviceSpec, Gpu};
+use sagegpu_core::rl::dqn::{DqnAgent, DqnConfig};
+use sagegpu_core::rl::env::{Environment, GridWorld};
+use sagegpu_core::rl::tabular::QLearner;
+
+fn bench_rl(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rl");
+    group.sample_size(10);
+    group.bench_function("tabular-100-episodes", |b| {
+        b.iter(|| {
+            let mut env = GridWorld::lab4x4();
+            let mut q = QLearner::new(env.num_states(), env.num_actions());
+            let mut rng = SmallRng::seed_from_u64(1);
+            q.train(&mut env, 100, &mut rng)
+        });
+    });
+    group.bench_function("dqn-20-episodes", |b| {
+        b.iter(|| {
+            let mut env = GridWorld::lab4x4();
+            let mut agent = DqnAgent::new(env.num_states(), env.num_actions(), DqnConfig::default(), 1);
+            let gpu = Gpu::new(0, DeviceSpec::t4());
+            let mut rng = SmallRng::seed_from_u64(1);
+            agent.train(&mut env, 20, &gpu, &mut rng)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_rl);
+criterion_main!(benches);

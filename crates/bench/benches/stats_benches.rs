@@ -1,0 +1,23 @@
+//! E10/E14 — the statistical procedures on Appendix-C-sized samples.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sagegpu_core::edu::scores::appendix_c_scores;
+use sagegpu_core::stats::levene::{levene_test, Center};
+use sagegpu_core::stats::mannwhitney::mann_whitney_u;
+use sagegpu_core::stats::shapiro::shapiro_wilk;
+
+fn bench_tests(c: &mut Criterion) {
+    let s = appendix_c_scores(2025);
+    let mut group = c.benchmark_group("stats-n20");
+    group.bench_function("shapiro_wilk", |b| b.iter(|| shapiro_wilk(&s.graduate).unwrap()));
+    group.bench_function("levene", |b| {
+        b.iter(|| levene_test(&[&s.graduate, &s.undergraduate], Center::Mean).unwrap())
+    });
+    group.bench_function("mann_whitney", |b| {
+        b.iter(|| mann_whitney_u(&s.graduate, &s.undergraduate).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_tests);
+criterion_main!(benches);

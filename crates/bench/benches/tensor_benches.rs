@@ -1,0 +1,40 @@
+//! E19 — matmul and elementwise kernels: host wall-time of the real
+//! computation at each size (the simulated-time sweep lives in `repro
+//! --exp matmul`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use sagegpu_core::gpu::{DeviceSpec, Gpu};
+use sagegpu_core::tensor::dense::Tensor;
+use sagegpu_core::tensor::gpu_exec::GpuExecutor;
+use std::sync::Arc;
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matmul");
+    for &n in &[64usize, 128, 256] {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let a = Tensor::randn(n, n, &mut rng);
+        let b = Tensor::randn(n, n, &mut rng);
+        group.bench_with_input(BenchmarkId::new("cpu", n), &n, |bench, _| {
+            bench.iter(|| a.matmul(&b).unwrap());
+        });
+        let exec = GpuExecutor::new(Arc::new(Gpu::new(0, DeviceSpec::t4())));
+        group.bench_with_input(BenchmarkId::new("gpu-sim", n), &n, |bench, _| {
+            bench.iter(|| exec.matmul(&a, &b).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_elementwise(c: &mut Criterion) {
+    let mut group = c.benchmark_group("elementwise");
+    let mut rng = SmallRng::seed_from_u64(2);
+    let a = Tensor::randn(512, 512, &mut rng);
+    group.bench_function("relu", |bench| bench.iter(|| a.relu()));
+    group.bench_function("softmax_rows", |bench| bench.iter(|| a.softmax_rows()));
+    group.finish();
+}
+
+criterion_group!(benches, bench_matmul, bench_elementwise);
+criterion_main!(benches);

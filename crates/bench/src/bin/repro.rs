@@ -1,0 +1,71 @@
+//! `repro` — regenerates every table and figure of the reproduced paper.
+//!
+//! Usage:
+//! ```text
+//! repro                 # run every experiment
+//! repro --exp table3    # one experiment
+//! repro --list          # list experiment ids
+//! ```
+
+use sagegpu_bench::render;
+
+fn experiments() -> Vec<(&'static str, &'static str, fn() -> String)> {
+    vec![
+        ("fig1", "Enrollment per term", render::render_fig1 as fn() -> String),
+        ("fig2", "Grade distributions", render::render_fig2),
+        ("table1", "Course modules", render::render_table1),
+        ("fig3", "End-of-semester evaluations", render::render_fig3),
+        ("fig4", "Confidence surveys (4a-4d)", render::render_fig4),
+        ("fig5", "AWS usage and cost", render::render_fig5),
+        ("table3", "Shapiro-Wilk + Levene", render::render_table3),
+        ("table4", "Descriptive statistics", render::render_table4),
+        ("fig6", "Score histograms", render::render_fig6),
+        ("fig7_8", "Q-Q straightness", render::render_fig7_8),
+        ("mwu", "Mann-Whitney U", render::render_mwu),
+        ("fig9", "Boxplots", render::render_fig9),
+        ("fig10_11", "Satisfaction", render::render_fig10_11),
+        ("gcn", "Distributed GCN scaling", render::render_gcn),
+        ("partition", "METIS vs random partitioning", render::render_partition),
+        ("matmul", "Matmul memory bottleneck", render::render_matmul),
+        ("rag", "RAG retrieval + serving", render::render_rag),
+        ("pricing", "Appendix A pricing", render::render_pricing),
+        ("rl", "RL agents (Labs 8/10, Asgn 3)", render::render_rl),
+        ("df", "Distributed dataframes (Lab 6)", render::render_df),
+        ("interconnect", "Ablation: Algorithm 1 interconnects", render::render_interconnect),
+        ("scheduler", "Ablation: scheduling policy", render::render_scheduler),
+        ("access", "Ablation: access patterns & tiling", render::render_access),
+    ]
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let exps = experiments();
+
+    if args.iter().any(|a| a == "--list") {
+        for (id, desc, _) in &exps {
+            println!("{id:<10} {desc}");
+        }
+        return;
+    }
+
+    let selected: Option<&str> = args
+        .iter()
+        .position(|a| a == "--exp")
+        .and_then(|i| args.get(i + 1))
+        .map(|s| s.as_str());
+
+    let mut matched = false;
+    for (id, _, f) in &exps {
+        if selected.is_none_or(|s| s == *id) {
+            print!("{}", f());
+            matched = true;
+        }
+    }
+    if !matched {
+        eprintln!(
+            "unknown experiment '{}'; try --list",
+            selected.unwrap_or_default()
+        );
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,245 @@
+//! Assessment bootstrap plans.
+//!
+//! "Students were provided with a bootstrap script that simplified resource
+//! configuration using their AWS credentials for each assessment" (§III-A).
+//! A [`BootstrapPlan`] is that script in declarative form: an ordered list
+//! of steps executed against the provider under the student's role. Plans
+//! also support the misconfiguration modes the paper attributes student
+//! struggles to (wrong subnet CIDRs, forgotten heartbeats), so the course
+//! simulator can replay them.
+
+use crate::ec2::InstanceId;
+use crate::provider::{CloudError, CloudProvider, SubnetRef};
+use crate::vpc::VpcId;
+
+/// One step of a bootstrap plan.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BootstrapStep {
+    /// Ensure a VPC with this name/CIDR exists (creates it if missing).
+    EnsureVpc { name: String, cidr: String },
+    /// Carve a subnet out of the most recent `EnsureVpc`.
+    EnsureSubnet { name: String, cidr: String },
+    /// Launch `count` instances of `type_name` into the most recent subnet,
+    /// tagged with the assessment name.
+    LaunchInstances { type_name: String, count: u32 },
+    /// Create a SageMaker notebook for the student.
+    CreateNotebook { type_name: String },
+    /// Record a heartbeat on every launched instance (protects them from
+    /// the idle reaper during setup).
+    Heartbeat,
+}
+
+/// Result of executing a plan.
+#[derive(Debug, Clone, Default)]
+pub struct BootstrapOutcome {
+    /// Instances launched, in launch order.
+    pub instances: Vec<InstanceId>,
+    /// Notebook ids created.
+    pub notebooks: Vec<u64>,
+    /// VPC the plan worked in, if any.
+    pub vpc: Option<VpcId>,
+    /// Subnet instances were placed in, if any.
+    pub subnet: Option<SubnetRef>,
+}
+
+/// A declarative per-assessment setup script.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BootstrapPlan {
+    /// Assessment name used as the activity tag, e.g. `"assignment-3"`.
+    pub activity: String,
+    pub steps: Vec<BootstrapStep>,
+}
+
+impl BootstrapPlan {
+    /// The standard single-GPU lab plan the course handed out.
+    pub fn single_gpu_lab(activity: &str) -> Self {
+        Self {
+            activity: activity.to_owned(),
+            steps: vec![
+                BootstrapStep::EnsureVpc {
+                    name: "course".into(),
+                    cidr: "10.0.0.0/16".into(),
+                },
+                BootstrapStep::EnsureSubnet {
+                    name: "lab".into(),
+                    cidr: "10.0.1.0/24".into(),
+                },
+                BootstrapStep::CreateNotebook {
+                    type_name: "ml.t3.medium".into(),
+                },
+                BootstrapStep::LaunchInstances {
+                    type_name: "g4dn.xlarge".into(),
+                    count: 1,
+                },
+                BootstrapStep::Heartbeat,
+            ],
+        }
+    }
+
+    /// The multi-GPU (distributed training) plan: three single-GPU
+    /// instances in one subnet, per the course's 3-GPU cap.
+    pub fn multi_gpu_lab(activity: &str) -> Self {
+        Self {
+            activity: activity.to_owned(),
+            steps: vec![
+                BootstrapStep::EnsureVpc {
+                    name: "course".into(),
+                    cidr: "10.0.0.0/16".into(),
+                },
+                BootstrapStep::EnsureSubnet {
+                    name: "ddp".into(),
+                    cidr: "10.0.2.0/24".into(),
+                },
+                BootstrapStep::LaunchInstances {
+                    type_name: "g4dn.xlarge".into(),
+                    count: 3,
+                },
+                BootstrapStep::Heartbeat,
+            ],
+        }
+    }
+
+    /// The classic student mistake behind Fig. 4b: the subnet CIDR is not
+    /// inside the VPC block, so the plan fails at the subnet step.
+    pub fn with_wrong_subnet(mut self) -> Self {
+        for step in &mut self.steps {
+            if let BootstrapStep::EnsureSubnet { cidr, .. } = step {
+                *cidr = "192.168.1.0/24".into();
+            }
+        }
+        self
+    }
+
+    /// Executes the plan under `role`, stopping at the first error.
+    /// On error the partially provisioned outcome is returned alongside.
+    pub fn execute(
+        &self,
+        cloud: &CloudProvider,
+        role: &str,
+    ) -> Result<BootstrapOutcome, (CloudError, BootstrapOutcome)> {
+        let mut out = BootstrapOutcome::default();
+        for step in &self.steps {
+            match step {
+                BootstrapStep::EnsureVpc { name, cidr } => {
+                    match cloud.create_vpc(name, cidr) {
+                        Ok(id) => out.vpc = Some(id),
+                        Err(e) => return Err((e, out)),
+                    }
+                }
+                BootstrapStep::EnsureSubnet { name, cidr } => {
+                    let Some(vpc) = out.vpc else {
+                        return Err((CloudError::NotFound("no VPC from prior step".into()), out));
+                    };
+                    match cloud.create_subnet(&vpc, name, cidr) {
+                        Ok(s) => out.subnet = Some(s),
+                        Err(e) => return Err((e, out)),
+                    }
+                }
+                BootstrapStep::LaunchInstances { type_name, count } => {
+                    let Some(subnet) = out.subnet else {
+                        return Err((CloudError::NotFound("no subnet from prior step".into()), out));
+                    };
+                    for _ in 0..*count {
+                        match cloud.run_instance_tagged(role, type_name, &subnet, &self.activity) {
+                            Ok(id) => out.instances.push(id),
+                            Err(e) => return Err((e, out)),
+                        }
+                    }
+                }
+                BootstrapStep::CreateNotebook { type_name } => {
+                    match cloud.create_notebook(role, &format!("{}-{role}", self.activity), type_name) {
+                        Ok(id) => out.notebooks.push(id),
+                        Err(e) => return Err((e, out)),
+                    }
+                }
+                BootstrapStep::Heartbeat => {
+                    for id in &out.instances {
+                        if let Err(e) = cloud.touch_instance(id) {
+                            return Err((e, out));
+                        }
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Tears down everything a plan provisioned (end-of-assessment cleanup).
+    pub fn teardown(cloud: &CloudProvider, role: &str, outcome: &BootstrapOutcome) {
+        for id in &outcome.instances {
+            let _ = cloud.terminate_instance(role, id);
+        }
+        for nb in &outcome.notebooks {
+            let _ = cloud.delete_notebook(role, *nb);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::provider::Region;
+
+    fn cloud_with_student() -> (CloudProvider, String) {
+        let cloud = CloudProvider::new(Region::UsEast1);
+        let s = cloud.create_student_role("s1", 100.0).unwrap();
+        (cloud, s)
+    }
+
+    #[test]
+    fn single_gpu_plan_provisions_everything() {
+        let (cloud, s) = cloud_with_student();
+        let out = BootstrapPlan::single_gpu_lab("lab-2").execute(&cloud, &s).unwrap();
+        assert_eq!(out.instances.len(), 1);
+        assert_eq!(out.notebooks.len(), 1);
+        assert!(out.vpc.is_some() && out.subnet.is_some());
+        assert_eq!(cloud.list_running().len(), 1);
+    }
+
+    #[test]
+    fn multi_gpu_plan_launches_three_connected_instances() {
+        let (cloud, s) = cloud_with_student();
+        let out = BootstrapPlan::multi_gpu_lab("assignment-3").execute(&cloud, &s).unwrap();
+        assert_eq!(out.instances.len(), 3);
+        for pair in out.instances.windows(2) {
+            assert!(cloud.can_reach(&pair[0], &pair[1]).unwrap());
+        }
+    }
+
+    #[test]
+    fn wrong_subnet_plan_fails_at_subnet_step() {
+        let (cloud, s) = cloud_with_student();
+        let plan = BootstrapPlan::single_gpu_lab("lab-2").with_wrong_subnet();
+        let (err, partial) = plan.execute(&cloud, &s).unwrap_err();
+        assert!(matches!(err, CloudError::Vpc(_)));
+        assert!(partial.vpc.is_some(), "VPC step succeeded before the failure");
+        assert!(partial.instances.is_empty(), "no instances were launched");
+    }
+
+    #[test]
+    fn teardown_terminates_and_bills() {
+        let (cloud, s) = cloud_with_student();
+        let plan = BootstrapPlan::multi_gpu_lab("assignment-3");
+        let out = plan.execute(&cloud, &s).unwrap();
+        cloud.clock().advance_hours(2);
+        BootstrapPlan::teardown(&cloud, &s, &out);
+        assert!(cloud.list_running().is_empty());
+        // 3 instances × 2 h × $0.526.
+        let cost = cloud.billing().cost_for(&s);
+        assert!((cost - 3.0 * 2.0 * 0.526).abs() < 1e-9, "cost {cost}");
+    }
+
+    #[test]
+    fn quota_violation_returns_partial_outcome() {
+        let (cloud, s) = cloud_with_student();
+        let mut plan = BootstrapPlan::multi_gpu_lab("big");
+        if let Some(BootstrapStep::LaunchInstances { count, .. }) =
+            plan.steps.iter_mut().find(|st| matches!(st, BootstrapStep::LaunchInstances { .. }))
+        {
+            *count = 5; // over the 3-GPU quota
+        }
+        let (err, partial) = plan.execute(&cloud, &s).unwrap_err();
+        assert!(matches!(err, CloudError::GpuQuotaExceeded { .. }));
+        assert_eq!(partial.instances.len(), 3);
+    }
+}

@@ -1,0 +1,290 @@
+//! EC2-style compute instances: lifecycle, metering, idle tracking.
+
+use crate::clock::SimClock;
+use crate::pricing::{billable_cost, InstanceType};
+use crate::vpc::{SubnetId, VpcId};
+use serde::{Deserialize, Serialize};
+
+/// Opaque instance identifier (`i-<n>` in display form).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct InstanceId(pub u64);
+
+impl std::fmt::Display for InstanceId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "i-{:08x}", self.0)
+    }
+}
+
+/// Instance lifecycle states, matching the EC2 state machine the course's
+/// week-1 lab walks through.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum InstanceState {
+    Pending,
+    Running,
+    Stopping,
+    Stopped,
+    Terminated,
+}
+
+/// Errors from instance state transitions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Ec2Error {
+    /// The requested transition is not legal from the current state.
+    InvalidTransition {
+        from: InstanceState,
+        requested: &'static str,
+    },
+}
+
+impl std::fmt::Display for Ec2Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Ec2Error::InvalidTransition { from, requested } => {
+                write!(f, "cannot {requested} an instance in state {from:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for Ec2Error {}
+
+/// One compute instance.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Instance {
+    pub id: InstanceId,
+    /// Owning principal (IAM role name).
+    pub owner: String,
+    pub instance_type: InstanceType,
+    pub vpc: VpcId,
+    pub subnet: SubnetId,
+    /// Private IP within the subnet.
+    pub private_ip: u32,
+    pub state: InstanceState,
+    /// Simulated second the instance entered `Running`.
+    pub launched_at_secs: u64,
+    /// Billable running seconds accumulated across run intervals.
+    billed_run_secs: u64,
+    /// Start of the current running interval, if running.
+    run_started_at: Option<u64>,
+    /// Last activity heartbeat (lab work touching the instance).
+    pub last_activity_secs: u64,
+}
+
+impl Instance {
+    /// Creates an instance directly in `Running` (the simulator treats the
+    /// Pending phase as instantaneous but still records it for state-machine
+    /// completeness via [`InstanceState::Pending`] in provider bootstraps).
+    pub fn launch(
+        id: InstanceId,
+        owner: &str,
+        instance_type: InstanceType,
+        vpc: VpcId,
+        subnet: SubnetId,
+        private_ip: u32,
+        clock: &SimClock,
+    ) -> Self {
+        let now = clock.now_secs();
+        Self {
+            id,
+            owner: owner.to_owned(),
+            instance_type,
+            vpc,
+            subnet,
+            private_ip,
+            state: InstanceState::Running,
+            launched_at_secs: now,
+            billed_run_secs: 0,
+            run_started_at: Some(now),
+            last_activity_secs: now,
+        }
+    }
+
+    /// Whether the instance is in a billable state.
+    pub fn is_running(&self) -> bool {
+        self.state == InstanceState::Running
+    }
+
+    /// Records an activity heartbeat (used by the idle reaper).
+    pub fn touch(&mut self, clock: &SimClock) {
+        self.last_activity_secs = clock.now_secs();
+    }
+
+    /// Seconds since the last activity heartbeat.
+    pub fn idle_secs(&self, clock: &SimClock) -> u64 {
+        clock.now_secs().saturating_sub(self.last_activity_secs)
+    }
+
+    fn close_run_interval(&mut self, clock: &SimClock) {
+        if let Some(start) = self.run_started_at.take() {
+            self.billed_run_secs += clock.now_secs().saturating_sub(start);
+        }
+    }
+
+    /// Stops the instance (billing pauses; state retained).
+    pub fn stop(&mut self, clock: &SimClock) -> Result<(), Ec2Error> {
+        match self.state {
+            InstanceState::Running => {
+                self.close_run_interval(clock);
+                self.state = InstanceState::Stopped;
+                Ok(())
+            }
+            from => Err(Ec2Error::InvalidTransition {
+                from,
+                requested: "stop",
+            }),
+        }
+    }
+
+    /// Restarts a stopped instance.
+    pub fn start(&mut self, clock: &SimClock) -> Result<(), Ec2Error> {
+        match self.state {
+            InstanceState::Stopped => {
+                self.state = InstanceState::Running;
+                self.run_started_at = Some(clock.now_secs());
+                self.last_activity_secs = clock.now_secs();
+                Ok(())
+            }
+            from => Err(Ec2Error::InvalidTransition {
+                from,
+                requested: "start",
+            }),
+        }
+    }
+
+    /// Terminates the instance (irreversible).
+    pub fn terminate(&mut self, clock: &SimClock) -> Result<(), Ec2Error> {
+        match self.state {
+            InstanceState::Running | InstanceState::Stopped | InstanceState::Pending => {
+                self.close_run_interval(clock);
+                self.state = InstanceState::Terminated;
+                Ok(())
+            }
+            from => Err(Ec2Error::InvalidTransition {
+                from,
+                requested: "terminate",
+            }),
+        }
+    }
+
+    /// Total billable running seconds so far (including the open interval).
+    pub fn billable_secs(&self, clock: &SimClock) -> u64 {
+        let open = self
+            .run_started_at
+            .map(|s| clock.now_secs().saturating_sub(s))
+            .unwrap_or(0);
+        self.billed_run_secs + open
+    }
+
+    /// Accrued cost in USD under per-second billing with a 60 s minimum.
+    pub fn accrued_cost(&self, clock: &SimClock) -> f64 {
+        let secs = self.billable_secs(clock);
+        if secs == 0 && self.state == InstanceState::Terminated {
+            return 0.0;
+        }
+        billable_cost(self.instance_type.hourly_usd, secs)
+    }
+
+    /// AWS-style resource string for IAM checks: `owner/i-xxxxxxxx`.
+    pub fn resource_name(&self) -> String {
+        format!("{}/{}", self.owner, self.id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pricing::InstanceCatalog;
+
+    fn inst(clock: &SimClock) -> Instance {
+        let ty = InstanceCatalog::us_east_1().get("g4dn.xlarge").unwrap().clone();
+        Instance::launch(InstanceId(1), "student-01", ty, VpcId(1), SubnetId(1), 0x0a000104, clock)
+    }
+
+    #[test]
+    fn billing_accrues_while_running() {
+        let clock = SimClock::new();
+        let i = inst(&clock);
+        clock.advance_hours(2);
+        assert_eq!(i.billable_secs(&clock), 7200);
+        let cost = i.accrued_cost(&clock);
+        assert!((cost - 2.0 * 0.526).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stop_pauses_billing_start_resumes() {
+        let clock = SimClock::new();
+        let mut i = inst(&clock);
+        clock.advance_hours(1);
+        i.stop(&clock).unwrap();
+        clock.advance_hours(5); // stopped time is free
+        assert_eq!(i.billable_secs(&clock), 3600);
+        i.start(&clock).unwrap();
+        clock.advance_hours(1);
+        assert_eq!(i.billable_secs(&clock), 7200);
+    }
+
+    #[test]
+    fn terminate_freezes_billing() {
+        let clock = SimClock::new();
+        let mut i = inst(&clock);
+        clock.advance_secs(1800);
+        i.terminate(&clock).unwrap();
+        clock.advance_hours(100);
+        assert_eq!(i.billable_secs(&clock), 1800);
+        assert_eq!(i.state, InstanceState::Terminated);
+    }
+
+    #[test]
+    fn illegal_transitions_rejected() {
+        let clock = SimClock::new();
+        let mut i = inst(&clock);
+        assert!(i.start(&clock).is_err(), "cannot start a running instance");
+        i.terminate(&clock).unwrap();
+        assert!(i.stop(&clock).is_err());
+        assert!(i.start(&clock).is_err());
+        assert!(i.terminate(&clock).is_err());
+    }
+
+    #[test]
+    fn stop_start_stop_accumulates_intervals() {
+        let clock = SimClock::new();
+        let mut i = inst(&clock);
+        clock.advance_secs(600);
+        i.stop(&clock).unwrap();
+        clock.advance_secs(1000);
+        i.start(&clock).unwrap();
+        clock.advance_secs(400);
+        i.stop(&clock).unwrap();
+        assert_eq!(i.billable_secs(&clock), 1000);
+    }
+
+    #[test]
+    fn idle_tracking_resets_on_touch() {
+        let clock = SimClock::new();
+        let mut i = inst(&clock);
+        clock.advance_secs(500);
+        assert_eq!(i.idle_secs(&clock), 500);
+        i.touch(&clock);
+        assert_eq!(i.idle_secs(&clock), 0);
+        clock.advance_secs(10);
+        assert_eq!(i.idle_secs(&clock), 10);
+    }
+
+    #[test]
+    fn minimum_minute_billing() {
+        let clock = SimClock::new();
+        let mut i = inst(&clock);
+        clock.advance_secs(5);
+        i.terminate(&clock).unwrap();
+        // Billed as 60 seconds.
+        assert!((i.accrued_cost(&clock) - 0.526 / 60.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn display_and_resource_name() {
+        let clock = SimClock::new();
+        let i = inst(&clock);
+        assert_eq!(i.id.to_string(), "i-00000001");
+        assert_eq!(i.resource_name(), "student-01/i-00000001");
+    }
+}

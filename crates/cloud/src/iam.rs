@@ -1,0 +1,243 @@
+//! Identity and Access Management: roles, policies, evaluation.
+//!
+//! Each student in the paper's course received "a dedicated IAM role,
+//! empowering them to independently launch instances" (§III-A). This module
+//! implements the subset of IAM semantics the course relies on: policy
+//! documents made of allow/deny statements over (action, resource) pairs
+//! with `*`-wildcard matching, attached to roles, evaluated with AWS's rule
+//! — *explicit deny beats allow, default is deny*.
+
+use serde::{Deserialize, Serialize};
+
+/// A control-plane action, e.g. `ec2:RunInstances`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Action {
+    RunInstances,
+    TerminateInstances,
+    StopInstances,
+    DescribeInstances,
+    CreateVpc,
+    CreateSubnet,
+    CreateNotebook,
+    StopNotebook,
+    ViewBilling,
+    ModifyBudget,
+}
+
+impl Action {
+    /// AWS-style action string.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Action::RunInstances => "ec2:RunInstances",
+            Action::TerminateInstances => "ec2:TerminateInstances",
+            Action::StopInstances => "ec2:StopInstances",
+            Action::DescribeInstances => "ec2:DescribeInstances",
+            Action::CreateVpc => "ec2:CreateVpc",
+            Action::CreateSubnet => "ec2:CreateSubnet",
+            Action::CreateNotebook => "sagemaker:CreateNotebookInstance",
+            Action::StopNotebook => "sagemaker:StopNotebookInstance",
+            Action::ViewBilling => "billing:View",
+            Action::ModifyBudget => "billing:ModifyBudget",
+        }
+    }
+}
+
+/// Allow or deny.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Effect {
+    Allow,
+    Deny,
+}
+
+/// One statement in a policy document.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Statement {
+    pub effect: Effect,
+    /// Action pattern: exact string or `"*"`, or a `service:*` prefix form.
+    pub action_pattern: String,
+    /// Resource pattern with trailing-`*` wildcard support.
+    pub resource_pattern: String,
+}
+
+impl Statement {
+    pub fn new(effect: Effect, action_pattern: &str, resource_pattern: &str) -> Self {
+        Self {
+            effect,
+            action_pattern: action_pattern.to_owned(),
+            resource_pattern: resource_pattern.to_owned(),
+        }
+    }
+
+    fn pattern_matches(pattern: &str, value: &str) -> bool {
+        if pattern == "*" {
+            return true;
+        }
+        if let Some(prefix) = pattern.strip_suffix('*') {
+            value.starts_with(prefix)
+        } else {
+            pattern == value
+        }
+    }
+
+    /// Whether this statement applies to the (action, resource) pair.
+    pub fn matches(&self, action: Action, resource: &str) -> bool {
+        Self::pattern_matches(&self.action_pattern, action.as_str())
+            && Self::pattern_matches(&self.resource_pattern, resource)
+    }
+}
+
+/// A named policy document.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Policy {
+    pub name: String,
+    pub statements: Vec<Statement>,
+}
+
+impl Policy {
+    pub fn new(name: &str, statements: Vec<Statement>) -> Self {
+        Self {
+            name: name.to_owned(),
+            statements,
+        }
+    }
+
+    /// The policy handed to each student: full EC2/SageMaker lab powers and
+    /// billing visibility, but no budget modification.
+    pub fn student_lab_policy() -> Self {
+        Self::new(
+            "student-lab",
+            vec![
+                Statement::new(Effect::Allow, "ec2:*", "*"),
+                Statement::new(Effect::Allow, "sagemaker:*", "*"),
+                Statement::new(Effect::Allow, "billing:View", "*"),
+                Statement::new(Effect::Deny, "billing:ModifyBudget", "*"),
+                // Students may not touch course-owned shared infrastructure.
+                Statement::new(Effect::Deny, "ec2:TerminateInstances", "shared/*"),
+            ],
+        )
+    }
+
+    /// The instructor/administrator policy: everything.
+    pub fn admin_policy() -> Self {
+        Self::new("admin", vec![Statement::new(Effect::Allow, "*", "*")])
+    }
+}
+
+/// A principal: a named role with attached policies.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Role {
+    pub name: String,
+    pub policies: Vec<Policy>,
+}
+
+impl Role {
+    pub fn new(name: &str, policies: Vec<Policy>) -> Self {
+        Self {
+            name: name.to_owned(),
+            policies,
+        }
+    }
+
+    /// AWS evaluation order: any matching explicit Deny → denied;
+    /// otherwise any matching Allow → allowed; otherwise denied.
+    pub fn is_allowed(&self, action: Action, resource: &str) -> bool {
+        let mut allowed = false;
+        for stmt in self.policies.iter().flat_map(|p| &p.statements) {
+            if stmt.matches(action, resource) {
+                match stmt.effect {
+                    Effect::Deny => return false,
+                    Effect::Allow => allowed = true,
+                }
+            }
+        }
+        allowed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_deny() {
+        let role = Role::new("empty", vec![]);
+        assert!(!role.is_allowed(Action::RunInstances, "i-123"));
+    }
+
+    #[test]
+    fn explicit_deny_beats_allow() {
+        let role = Role::new(
+            "r",
+            vec![Policy::new(
+                "p",
+                vec![
+                    Statement::new(Effect::Allow, "*", "*"),
+                    Statement::new(Effect::Deny, "billing:ModifyBudget", "*"),
+                ],
+            )],
+        );
+        assert!(role.is_allowed(Action::RunInstances, "x"));
+        assert!(!role.is_allowed(Action::ModifyBudget, "x"));
+    }
+
+    #[test]
+    fn deny_wins_regardless_of_statement_order() {
+        let role = Role::new(
+            "r",
+            vec![Policy::new(
+                "p",
+                vec![
+                    Statement::new(Effect::Deny, "ec2:RunInstances", "*"),
+                    Statement::new(Effect::Allow, "*", "*"),
+                ],
+            )],
+        );
+        assert!(!role.is_allowed(Action::RunInstances, "anything"));
+    }
+
+    #[test]
+    fn service_prefix_wildcards_match() {
+        let s = Statement::new(Effect::Allow, "ec2:*", "*");
+        assert!(s.matches(Action::RunInstances, "i-1"));
+        assert!(s.matches(Action::CreateVpc, "vpc-1"));
+        assert!(!s.matches(Action::CreateNotebook, "nb-1"));
+    }
+
+    #[test]
+    fn resource_prefix_wildcards_match() {
+        let s = Statement::new(Effect::Deny, "ec2:TerminateInstances", "shared/*");
+        assert!(s.matches(Action::TerminateInstances, "shared/head-node"));
+        assert!(!s.matches(Action::TerminateInstances, "student/i-9"));
+    }
+
+    #[test]
+    fn student_policy_permits_labs_but_protects_shared() {
+        let role = Role::new("student-01", vec![Policy::student_lab_policy()]);
+        assert!(role.is_allowed(Action::RunInstances, "student-01/i-1"));
+        assert!(role.is_allowed(Action::CreateNotebook, "student-01/nb-1"));
+        assert!(role.is_allowed(Action::ViewBilling, "student-01"));
+        assert!(!role.is_allowed(Action::ModifyBudget, "student-01"));
+        assert!(!role.is_allowed(Action::TerminateInstances, "shared/cluster-head"));
+        assert!(role.is_allowed(Action::TerminateInstances, "student-01/i-1"));
+    }
+
+    #[test]
+    fn admin_can_do_everything() {
+        let role = Role::new("instructor", vec![Policy::admin_policy()]);
+        assert!(role.is_allowed(Action::ModifyBudget, "any"));
+        assert!(role.is_allowed(Action::TerminateInstances, "shared/x"));
+    }
+
+    #[test]
+    fn multiple_policies_merge() {
+        let view_only = Policy::new(
+            "view",
+            vec![Statement::new(Effect::Allow, "ec2:DescribeInstances", "*")],
+        );
+        let billing = Policy::new("bill", vec![Statement::new(Effect::Allow, "billing:View", "*")]);
+        let role = Role::new("ta", vec![view_only, billing]);
+        assert!(role.is_allowed(Action::DescribeInstances, "i-1"));
+        assert!(role.is_allowed(Action::ViewBilling, "course"));
+        assert!(!role.is_allowed(Action::RunInstances, "i-1"));
+    }
+}

@@ -1,0 +1,133 @@
+//! The idle-instance reaper.
+//!
+//! §III-A: budget discipline was "complemented by automated scripts designed
+//! to terminate idle resources". The reaper sweeps running instances and
+//! terminates any whose idle time (seconds since the last activity
+//! heartbeat) exceeds a threshold, writing the usual usage records so the
+//! terminated time is still billed to the student.
+
+use crate::ec2::InstanceId;
+use crate::provider::CloudProvider;
+
+/// Sweeping policy for idle instances.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IdleReaper {
+    /// Instances idle longer than this many seconds are terminated.
+    pub idle_threshold_secs: u64,
+}
+
+impl Default for IdleReaper {
+    /// The course used a conservative 30-minute idle threshold.
+    fn default() -> Self {
+        Self {
+            idle_threshold_secs: 30 * 60,
+        }
+    }
+}
+
+impl IdleReaper {
+    /// A reaper with a custom threshold.
+    pub fn new(idle_threshold_secs: u64) -> Self {
+        Self {
+            idle_threshold_secs,
+        }
+    }
+
+    /// One sweep: terminates all over-threshold idle instances.
+    /// Returns the ids it reaped (sorted).
+    pub fn sweep(&self, cloud: &CloudProvider) -> Vec<InstanceId> {
+        let victims: Vec<InstanceId> = cloud
+            .list_running()
+            .into_iter()
+            .filter(|(_, idle)| *idle > self.idle_threshold_secs)
+            .map(|(id, _)| id)
+            .collect();
+        let mut reaped = Vec::new();
+        for id in victims {
+            if cloud.admin_terminate(&id).is_ok() {
+                reaped.push(id);
+            }
+        }
+        reaped
+    }
+
+    /// Runs `sweeps` sweeps separated by `interval_secs` of simulated time,
+    /// returning the total number of reaped instances. Mimics the cron-style
+    /// script the course deployed.
+    pub fn run_schedule(&self, cloud: &CloudProvider, sweeps: u32, interval_secs: u64) -> usize {
+        let mut total = 0;
+        for _ in 0..sweeps {
+            cloud.clock().advance_secs(interval_secs);
+            total += self.sweep(cloud).len();
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::provider::{CloudProvider, Region};
+
+    fn setup() -> (CloudProvider, String, crate::provider::SubnetRef) {
+        let cloud = CloudProvider::new(Region::UsEast1);
+        let student = cloud.create_student_role("s1", 100.0).unwrap();
+        let vpc = cloud.create_vpc("v", "10.0.0.0/16").unwrap();
+        let subnet = cloud.create_subnet(&vpc, "s", "10.0.1.0/24").unwrap();
+        (cloud, student, subnet)
+    }
+
+    #[test]
+    fn reaps_only_over_threshold_instances() {
+        let (cloud, student, subnet) = setup();
+        let idle = cloud.run_instance(&student, "g4dn.xlarge", &subnet).unwrap();
+        let busy = cloud.run_instance(&student, "g4dn.xlarge", &subnet).unwrap();
+        cloud.clock().advance_secs(45 * 60);
+        cloud.touch_instance(&busy).unwrap(); // student is working on this one
+        let reaped = IdleReaper::default().sweep(&cloud);
+        assert_eq!(reaped, vec![idle]);
+        assert_eq!(cloud.list_running().len(), 1);
+    }
+
+    #[test]
+    fn reaped_time_is_still_billed() {
+        let (cloud, student, subnet) = setup();
+        let _ = cloud.run_instance(&student, "g4dn.xlarge", &subnet).unwrap();
+        cloud.clock().advance_hours(2);
+        IdleReaper::new(60).sweep(&cloud);
+        let cost = cloud.billing().cost_for(&student);
+        assert!((cost - 2.0 * 0.526).abs() < 1e-9, "forgotten GPU still costs: {cost}");
+    }
+
+    #[test]
+    fn sweep_under_threshold_reaps_nothing() {
+        let (cloud, student, subnet) = setup();
+        let _ = cloud.run_instance(&student, "g4dn.xlarge", &subnet).unwrap();
+        cloud.clock().advance_secs(10 * 60);
+        assert!(IdleReaper::default().sweep(&cloud).is_empty());
+    }
+
+    #[test]
+    fn schedule_advances_time_and_accumulates() {
+        let (cloud, student, subnet) = setup();
+        let _ = cloud.run_instance(&student, "g4dn.xlarge", &subnet).unwrap();
+        let _ = cloud.run_instance(&student, "g4dn.xlarge", &subnet).unwrap();
+        // 4 sweeps × 15 min: both instances pass the 30-min idle mark by
+        // the third sweep.
+        let total = IdleReaper::default().run_schedule(&cloud, 4, 15 * 60);
+        assert_eq!(total, 2);
+        assert!(cloud.list_running().is_empty());
+    }
+
+    #[test]
+    fn reaper_caps_the_cost_of_a_forgotten_weekend_gpu() {
+        // The scenario the script exists for: a student leaves a GPU running
+        // Friday evening. Without the reaper it burns 64 h × $0.526 ≈ $34;
+        // with a 30-min reaper sweeping hourly it costs at most ~2 h.
+        let (cloud, student, subnet) = setup();
+        let _ = cloud.run_instance(&student, "g4dn.xlarge", &subnet).unwrap();
+        IdleReaper::default().run_schedule(&cloud, 64, 3600);
+        let cost = cloud.billing().cost_for(&student);
+        assert!(cost < 2.0 * 0.526 + 1e-9, "reaper failed to cap cost: {cost}");
+    }
+}

@@ -1,0 +1,184 @@
+//! SageMaker-style notebook instances.
+//!
+//! The course ran all lab work through "AWS SageMaker, which offers Jupyter
+//! Notebook, allowing them to write and run code in one place" (§I). A
+//! notebook instance is a managed compute resource with its own lifecycle
+//! and hourly rate; here it reuses the catalog's `ml.*` types and the same
+//! per-second metering as EC2.
+
+use crate::clock::SimClock;
+use crate::pricing::{billable_cost, InstanceType};
+use serde::{Deserialize, Serialize};
+
+/// Notebook lifecycle states (the SageMaker console's vocabulary).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum NotebookStatus {
+    Pending,
+    InService,
+    Stopping,
+    Stopped,
+    Deleted,
+}
+
+/// Errors from notebook state transitions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NotebookError {
+    InvalidTransition {
+        from: NotebookStatus,
+        requested: &'static str,
+    },
+}
+
+impl std::fmt::Display for NotebookError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NotebookError::InvalidTransition { from, requested } => {
+                write!(f, "cannot {requested} a notebook in status {from:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for NotebookError {}
+
+/// A managed Jupyter notebook instance.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct NotebookInstance {
+    pub id: u64,
+    pub name: String,
+    pub owner: String,
+    pub instance_type: InstanceType,
+    pub status: NotebookStatus,
+    billed_secs: u64,
+    in_service_since: Option<u64>,
+}
+
+impl NotebookInstance {
+    /// Creates a notebook that is immediately in service.
+    pub fn create(id: u64, name: &str, owner: &str, instance_type: InstanceType, clock: &SimClock) -> Self {
+        Self {
+            id,
+            name: name.to_owned(),
+            owner: owner.to_owned(),
+            instance_type,
+            status: NotebookStatus::InService,
+            billed_secs: 0,
+            in_service_since: Some(clock.now_secs()),
+        }
+    }
+
+    fn close_interval(&mut self, clock: &SimClock) {
+        if let Some(start) = self.in_service_since.take() {
+            self.billed_secs += clock.now_secs().saturating_sub(start);
+        }
+    }
+
+    /// Stops the notebook (billing pauses).
+    pub fn stop(&mut self, clock: &SimClock) -> Result<(), NotebookError> {
+        match self.status {
+            NotebookStatus::InService => {
+                self.close_interval(clock);
+                self.status = NotebookStatus::Stopped;
+                Ok(())
+            }
+            from => Err(NotebookError::InvalidTransition {
+                from,
+                requested: "stop",
+            }),
+        }
+    }
+
+    /// Restarts a stopped notebook.
+    pub fn start(&mut self, clock: &SimClock) -> Result<(), NotebookError> {
+        match self.status {
+            NotebookStatus::Stopped => {
+                self.status = NotebookStatus::InService;
+                self.in_service_since = Some(clock.now_secs());
+                Ok(())
+            }
+            from => Err(NotebookError::InvalidTransition {
+                from,
+                requested: "start",
+            }),
+        }
+    }
+
+    /// Deletes the notebook permanently.
+    pub fn delete(&mut self, clock: &SimClock) -> Result<(), NotebookError> {
+        match self.status {
+            NotebookStatus::Deleted => Err(NotebookError::InvalidTransition {
+                from: self.status,
+                requested: "delete",
+            }),
+            _ => {
+                self.close_interval(clock);
+                self.status = NotebookStatus::Deleted;
+                Ok(())
+            }
+        }
+    }
+
+    /// Billable in-service seconds so far.
+    pub fn billable_secs(&self, clock: &SimClock) -> u64 {
+        let open = self
+            .in_service_since
+            .map(|s| clock.now_secs().saturating_sub(s))
+            .unwrap_or(0);
+        self.billed_secs + open
+    }
+
+    /// Accrued cost in USD.
+    pub fn accrued_cost(&self, clock: &SimClock) -> f64 {
+        billable_cost(self.instance_type.hourly_usd, self.billable_secs(clock))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pricing::InstanceCatalog;
+
+    fn nb(clock: &SimClock) -> NotebookInstance {
+        let ty = InstanceCatalog::us_east_1().get("ml.t3.medium").unwrap().clone();
+        NotebookInstance::create(1, "lab-notebook", "student-01", ty, clock)
+    }
+
+    #[test]
+    fn notebook_bills_while_in_service() {
+        let clock = SimClock::new();
+        let n = nb(&clock);
+        clock.advance_hours(4);
+        assert!((n.accrued_cost(&clock) - 0.2).abs() < 1e-9); // 4 h × $0.05
+    }
+
+    #[test]
+    fn stopped_notebook_stops_billing() {
+        let clock = SimClock::new();
+        let mut n = nb(&clock);
+        clock.advance_hours(1);
+        n.stop(&clock).unwrap();
+        clock.advance_hours(9);
+        assert_eq!(n.billable_secs(&clock), 3600);
+        n.start(&clock).unwrap();
+        clock.advance_hours(1);
+        assert_eq!(n.billable_secs(&clock), 7200);
+    }
+
+    #[test]
+    fn delete_is_terminal() {
+        let clock = SimClock::new();
+        let mut n = nb(&clock);
+        n.delete(&clock).unwrap();
+        assert_eq!(n.status, NotebookStatus::Deleted);
+        assert!(n.delete(&clock).is_err());
+        assert!(n.start(&clock).is_err());
+        assert!(n.stop(&clock).is_err());
+    }
+
+    #[test]
+    fn cannot_start_inservice_notebook() {
+        let clock = SimClock::new();
+        let mut n = nb(&clock);
+        assert!(n.start(&clock).is_err());
+    }
+}

@@ -1,0 +1,311 @@
+//! Virtual Private Clouds: CIDR blocks, subnets, reachability.
+//!
+//! Fig. 4b of the paper traces low mid-semester confidence to "challenges in
+//! configuring GPUs and ensuring instances were correctly connected within
+//! the same Virtual Private Cloud (VPC) with appropriate subnet addresses".
+//! This module implements exactly the machinery those mistakes live in:
+//! IPv4 CIDR parsing and containment, subnet carving with overlap checks,
+//! private-IP allocation, and a same-VPC reachability predicate.
+
+use serde::{Deserialize, Serialize};
+
+/// Errors raised by VPC/subnet configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub enum VpcError {
+    /// The CIDR string could not be parsed.
+    BadCidr(String),
+    /// Subnet CIDR does not lie inside the VPC CIDR.
+    SubnetOutsideVpc { subnet: String, vpc: String },
+    /// Subnet CIDR overlaps an existing subnet.
+    SubnetOverlap { subnet: String, existing: String },
+    /// No free addresses remain in the subnet.
+    SubnetExhausted { subnet: String },
+}
+
+impl std::fmt::Display for VpcError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            VpcError::BadCidr(s) => write!(f, "invalid CIDR: {s}"),
+            VpcError::SubnetOutsideVpc { subnet, vpc } => {
+                write!(f, "subnet {subnet} is not contained in VPC block {vpc}")
+            }
+            VpcError::SubnetOverlap { subnet, existing } => {
+                write!(f, "subnet {subnet} overlaps existing subnet {existing}")
+            }
+            VpcError::SubnetExhausted { subnet } => write!(f, "subnet {subnet} has no free IPs"),
+        }
+    }
+}
+
+impl std::error::Error for VpcError {}
+
+/// An IPv4 CIDR block, e.g. `10.0.1.0/24`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Cidr {
+    /// Network base address as a u32 (host bits already masked off).
+    pub base: u32,
+    /// Prefix length, 0–32.
+    pub prefix: u8,
+}
+
+impl Cidr {
+    /// Parses dotted-quad/prefix notation.
+    pub fn parse(s: &str) -> Result<Self, VpcError> {
+        let err = || VpcError::BadCidr(s.to_owned());
+        let (addr, prefix) = s.split_once('/').ok_or_else(err)?;
+        let prefix: u8 = prefix.parse().map_err(|_| err())?;
+        if prefix > 32 {
+            return Err(err());
+        }
+        let octets: Vec<u32> = addr
+            .split('.')
+            .map(|o| o.parse::<u32>().map_err(|_| err()))
+            .collect::<Result<_, _>>()?;
+        if octets.len() != 4 || octets.iter().any(|&o| o > 255) {
+            return Err(err());
+        }
+        let raw = (octets[0] << 24) | (octets[1] << 16) | (octets[2] << 8) | octets[3];
+        Ok(Self {
+            base: raw & Self::mask(prefix),
+            prefix,
+        })
+    }
+
+    fn mask(prefix: u8) -> u32 {
+        if prefix == 0 {
+            0
+        } else {
+            u32::MAX << (32 - prefix)
+        }
+    }
+
+    /// Number of addresses in the block.
+    pub fn size(&self) -> u64 {
+        1u64 << (32 - self.prefix)
+    }
+
+    /// Whether `ip` lies inside this block.
+    pub fn contains_ip(&self, ip: u32) -> bool {
+        ip & Self::mask(self.prefix) == self.base
+    }
+
+    /// Whether `other` is entirely contained in `self`.
+    pub fn contains(&self, other: &Cidr) -> bool {
+        other.prefix >= self.prefix && self.contains_ip(other.base)
+    }
+
+    /// Whether the two blocks share any address.
+    pub fn overlaps(&self, other: &Cidr) -> bool {
+        self.contains(other) || other.contains(self)
+    }
+
+    /// Formats an address in this block as dotted quad.
+    pub fn format_ip(ip: u32) -> String {
+        format!(
+            "{}.{}.{}.{}",
+            (ip >> 24) & 255,
+            (ip >> 16) & 255,
+            (ip >> 8) & 255,
+            ip & 255
+        )
+    }
+}
+
+impl std::fmt::Display for Cidr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}/{}", Cidr::format_ip(self.base), self.prefix)
+    }
+}
+
+/// Opaque VPC identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct VpcId(pub u64);
+
+/// Opaque subnet identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct SubnetId(pub u64);
+
+/// A subnet: a carve-out of the VPC block that hands out host addresses.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Subnet {
+    pub id: SubnetId,
+    pub vpc: VpcId,
+    pub name: String,
+    pub cidr: Cidr,
+    next_host: u32,
+}
+
+impl Subnet {
+    fn new(id: SubnetId, vpc: VpcId, name: &str, cidr: Cidr) -> Self {
+        Self {
+            id,
+            vpc,
+            name: name.to_owned(),
+            cidr,
+            // .0 is the network address; AWS also reserves a few low
+            // addresses per subnet — we start hosts at .4 like AWS does.
+            next_host: 4,
+        }
+    }
+
+    /// Allocates the next free private IP in the subnet.
+    pub fn allocate_ip(&mut self) -> Result<u32, VpcError> {
+        // Leave the broadcast (last) address unallocated.
+        if self.next_host as u64 >= self.cidr.size() - 1 {
+            return Err(VpcError::SubnetExhausted {
+                subnet: self.cidr.to_string(),
+            });
+        }
+        let ip = self.cidr.base + self.next_host;
+        self.next_host += 1;
+        Ok(ip)
+    }
+
+    /// Number of addresses handed out so far.
+    pub fn allocated(&self) -> u32 {
+        self.next_host - 4
+    }
+}
+
+/// A VPC: a named CIDR block plus its subnets.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Vpc {
+    pub id: VpcId,
+    pub name: String,
+    pub cidr: Cidr,
+    subnets: Vec<Subnet>,
+}
+
+impl Vpc {
+    /// Creates a VPC over the given block.
+    pub fn new(id: VpcId, name: &str, cidr_str: &str) -> Result<Self, VpcError> {
+        Ok(Self {
+            id,
+            name: name.to_owned(),
+            cidr: Cidr::parse(cidr_str)?,
+            subnets: Vec::new(),
+        })
+    }
+
+    /// Carves a new subnet out of the VPC block, rejecting blocks outside
+    /// the VPC or overlapping existing subnets — the exact failure modes
+    /// behind the paper's Fig. 4b confidence dip.
+    pub fn create_subnet(&mut self, id: SubnetId, name: &str, cidr_str: &str) -> Result<SubnetId, VpcError> {
+        let cidr = Cidr::parse(cidr_str)?;
+        if !self.cidr.contains(&cidr) {
+            return Err(VpcError::SubnetOutsideVpc {
+                subnet: cidr.to_string(),
+                vpc: self.cidr.to_string(),
+            });
+        }
+        if let Some(existing) = self.subnets.iter().find(|s| s.cidr.overlaps(&cidr)) {
+            return Err(VpcError::SubnetOverlap {
+                subnet: cidr.to_string(),
+                existing: existing.cidr.to_string(),
+            });
+        }
+        self.subnets.push(Subnet::new(id, self.id, name, cidr));
+        Ok(id)
+    }
+
+    /// Borrow a subnet by id.
+    pub fn subnet(&self, id: SubnetId) -> Option<&Subnet> {
+        self.subnets.iter().find(|s| s.id == id)
+    }
+
+    /// Mutable borrow of a subnet by id.
+    pub fn subnet_mut(&mut self, id: SubnetId) -> Option<&mut Subnet> {
+        self.subnets.iter_mut().find(|s| s.id == id)
+    }
+
+    /// All subnets.
+    pub fn subnets(&self) -> &[Subnet] {
+        &self.subnets
+    }
+
+    /// Two private IPs can reach each other iff both belong to some subnet
+    /// of *this* VPC (no peering in the course setup).
+    pub fn can_reach(&self, ip_a: u32, ip_b: u32) -> bool {
+        let in_vpc = |ip| self.subnets.iter().any(|s| s.cidr.contains_ip(ip));
+        in_vpc(ip_a) && in_vpc(ip_b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cidr_parse_and_display_roundtrip() {
+        let c = Cidr::parse("10.0.1.0/24").unwrap();
+        assert_eq!(c.to_string(), "10.0.1.0/24");
+        assert_eq!(c.size(), 256);
+    }
+
+    #[test]
+    fn cidr_parse_masks_host_bits() {
+        let c = Cidr::parse("10.0.1.77/24").unwrap();
+        assert_eq!(c.to_string(), "10.0.1.0/24");
+    }
+
+    #[test]
+    fn cidr_parse_rejects_garbage() {
+        for bad in ["", "10.0.0.0", "10.0.0/24", "10.0.0.0/33", "256.0.0.0/8", "a.b.c.d/8"] {
+            assert!(Cidr::parse(bad).is_err(), "{bad} should fail");
+        }
+    }
+
+    #[test]
+    fn containment_and_overlap() {
+        let vpc = Cidr::parse("10.0.0.0/16").unwrap();
+        let sub = Cidr::parse("10.0.5.0/24").unwrap();
+        let outside = Cidr::parse("10.1.0.0/24").unwrap();
+        assert!(vpc.contains(&sub));
+        assert!(!vpc.contains(&outside));
+        assert!(vpc.overlaps(&sub));
+        assert!(!sub.overlaps(&outside));
+    }
+
+    #[test]
+    fn subnet_creation_validates_block() {
+        let mut vpc = Vpc::new(VpcId(1), "course", "10.0.0.0/16").unwrap();
+        vpc.create_subnet(SubnetId(1), "a", "10.0.1.0/24").unwrap();
+        // Outside the VPC — the classic student mistake.
+        let err = vpc.create_subnet(SubnetId(2), "b", "192.168.1.0/24").unwrap_err();
+        assert!(matches!(err, VpcError::SubnetOutsideVpc { .. }));
+        // Overlapping an existing subnet.
+        let err = vpc.create_subnet(SubnetId(3), "c", "10.0.1.128/25").unwrap_err();
+        assert!(matches!(err, VpcError::SubnetOverlap { .. }));
+        // Disjoint sibling works.
+        vpc.create_subnet(SubnetId(4), "d", "10.0.2.0/24").unwrap();
+        assert_eq!(vpc.subnets().len(), 2);
+    }
+
+    #[test]
+    fn ip_allocation_is_sequential_and_bounded() {
+        let mut vpc = Vpc::new(VpcId(1), "v", "10.0.0.0/16").unwrap();
+        vpc.create_subnet(SubnetId(1), "tiny", "10.0.0.0/29").unwrap(); // 8 addrs
+        let s = vpc.subnet_mut(SubnetId(1)).unwrap();
+        // hosts .4, .5, .6 available (network + 3 reserved low, broadcast kept free)
+        let a = s.allocate_ip().unwrap();
+        let b = s.allocate_ip().unwrap();
+        let c = s.allocate_ip().unwrap();
+        assert_eq!(Cidr::format_ip(a), "10.0.0.4");
+        assert_eq!(Cidr::format_ip(b), "10.0.0.5");
+        assert_eq!(Cidr::format_ip(c), "10.0.0.6");
+        assert!(matches!(s.allocate_ip(), Err(VpcError::SubnetExhausted { .. })));
+        assert_eq!(s.allocated(), 3);
+    }
+
+    #[test]
+    fn same_vpc_reachability() {
+        let mut vpc = Vpc::new(VpcId(1), "v", "10.0.0.0/16").unwrap();
+        vpc.create_subnet(SubnetId(1), "a", "10.0.1.0/24").unwrap();
+        vpc.create_subnet(SubnetId(2), "b", "10.0.2.0/24").unwrap();
+        let ip_a = vpc.subnet_mut(SubnetId(1)).unwrap().allocate_ip().unwrap();
+        let ip_b = vpc.subnet_mut(SubnetId(2)).unwrap().allocate_ip().unwrap();
+        assert!(vpc.can_reach(ip_a, ip_b), "cross-subnet same-VPC reachable");
+        let foreign = Cidr::parse("192.168.0.5/32").unwrap().base;
+        assert!(!vpc.can_reach(ip_a, foreign));
+    }
+}

@@ -1,0 +1,83 @@
+//! Property-based invariants of the cloud control plane.
+
+use cloud_sim::pricing::billable_cost;
+use cloud_sim::prelude::*;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Billing is monotone in runtime and never below the 60 s minimum.
+    #[test]
+    fn billing_monotone(rate in 0.01f64..50.0, s1 in 0u64..1_000_000, s2 in 0u64..1_000_000) {
+        let (lo, hi) = if s1 <= s2 { (s1, s2) } else { (s2, s1) };
+        let c_lo = billable_cost(rate, lo);
+        let c_hi = billable_cost(rate, hi);
+        prop_assert!(c_lo <= c_hi + 1e-12);
+        prop_assert!(c_lo >= rate * 60.0 / 3600.0 - 1e-12);
+    }
+
+    /// CIDR parse→display→parse is a fixed point.
+    #[test]
+    fn cidr_roundtrip(a in 0u32..=255, b in 0u32..=255, c in 0u32..=255, d in 0u32..=255, p in 0u8..=32) {
+        let s = format!("{a}.{b}.{c}.{d}/{p}");
+        let cidr = Cidr::parse(&s).unwrap();
+        let reparsed = Cidr::parse(&cidr.to_string()).unwrap();
+        prop_assert_eq!(cidr, reparsed);
+        // The base address is always inside its own block.
+        prop_assert!(cidr.contains_ip(cidr.base));
+    }
+
+    /// A block always contains any longer-prefix sub-block of itself.
+    #[test]
+    fn cidr_nesting(a in 0u32..=255, b in 0u32..=255, p1 in 8u8..=24, extra in 0u8..=8) {
+        let outer = Cidr::parse(&format!("{a}.{b}.0.0/{p1}")).unwrap();
+        let inner = Cidr { base: outer.base, prefix: p1 + extra };
+        prop_assert!(outer.contains(&inner));
+        prop_assert!(outer.overlaps(&inner));
+        if extra > 0 {
+            prop_assert!(!inner.contains(&outer));
+        }
+    }
+
+    /// Instance lifecycle: cost accrues only while Running, and is
+    /// unchanged by stopped time, for any interleaving of durations.
+    #[test]
+    fn stop_time_is_free(run1 in 61u64..100_000, stopped in 0u64..1_000_000, run2 in 61u64..100_000) {
+        let cloud = CloudProvider::new(Region::UsEast1);
+        let role = cloud.create_student_role("s", 1e9).unwrap();
+        let vpc = cloud.create_vpc("v", "10.0.0.0/16").unwrap();
+        let subnet = cloud.create_subnet(&vpc, "n", "10.0.1.0/24").unwrap();
+        let id = cloud.run_instance(&role, "g4dn.xlarge", &subnet).unwrap();
+        cloud.clock().advance_secs(run1);
+        cloud.stop_instance(&role, &id).unwrap();
+        cloud.clock().advance_secs(stopped);
+        let inst = cloud.describe_instance(&id).unwrap();
+        prop_assert_eq!(inst.billable_secs(cloud.clock()), run1);
+        let _ = run2;
+    }
+
+    /// IAM: the student policy never grants budget modification, no matter
+    /// the resource string.
+    #[test]
+    fn student_cannot_modify_budget(resource in "[a-z0-9/_-]{1,40}") {
+        let role = Role::new("s", vec![Policy::student_lab_policy()]);
+        prop_assert!(!role.is_allowed(Action::ModifyBudget, &resource));
+        prop_assert!(role.is_allowed(Action::DescribeInstances, &resource));
+    }
+
+    /// Subnet IP allocation never repeats and never leaves the block.
+    #[test]
+    fn ip_allocation_unique(prefix in 24u8..=28) {
+        let mut vpc = Vpc::new(VpcId(1), "v", "10.1.0.0/16").unwrap();
+        vpc.create_subnet(SubnetId(1), "s", &format!("10.1.2.0/{prefix}")).unwrap();
+        let s = vpc.subnet_mut(SubnetId(1)).unwrap();
+        let mut seen = std::collections::HashSet::new();
+        while let Ok(ip) = s.allocate_ip() {
+            prop_assert!(seen.insert(ip), "duplicate ip");
+            prop_assert!(s.cidr.contains_ip(ip));
+            if seen.len() > 300 { break; }
+        }
+        prop_assert!(!seen.is_empty());
+    }
+}

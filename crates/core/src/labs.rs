@@ -1,0 +1,255 @@
+//! Canned course labs runnable against a [`crate::workflow::LabEnvironment`].
+//!
+//! Three representative labs spanning the syllabus: the week-3 matmul &
+//! memory-profiling lab, the weeks-8–10 distributed GCN training labs
+//! (Algorithm 1), and the weeks-12–14 RAG serving labs. Each returns a
+//! [`LabReport`] with real results plus the simulated GPU time — the pair
+//! the course graded on.
+
+use crate::workflow::LabEnvironment;
+use gpu_sim::GpuError;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use sagegpu_gcn::distributed::{train_distributed, PartitionStrategy};
+use sagegpu_gcn::sequential::train_sequential;
+use sagegpu_gcn::TrainConfig;
+use sagegpu_graph::generators::{sbm, SbmParams};
+use sagegpu_graph::GraphError;
+use sagegpu_rag::pipeline::build_flat_pipeline;
+use sagegpu_tensor::dense::Tensor;
+use sagegpu_tensor::gpu_exec::GpuExecutor;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Result of one lab run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LabReport {
+    pub lab: &'static str,
+    /// Total simulated GPU time consumed by the lab (ns).
+    pub gpu_time_ns: u64,
+    /// Lab-specific scalar results (named metrics).
+    pub metrics: BTreeMap<&'static str, f64>,
+}
+
+/// Week 3 — matrix multiplication with memory profiling: uploads two
+/// `n × n` operands, multiplies on the device, reads the product back, and
+/// reports the transfer-vs-compute split (Assignment 1's deliverable).
+pub fn matmul_lab(env: &LabEnvironment, n: usize) -> Result<LabReport, GpuError> {
+    let gpu = Arc::clone(env.gpu());
+    let exec = GpuExecutor::new(Arc::clone(&gpu));
+    let t0 = gpu.now_ns();
+    let mut rng = SmallRng::seed_from_u64(3);
+    let a = Tensor::randn(n, n, &mut rng);
+    let b = Tensor::randn(n, n, &mut rng);
+    exec.upload(&a).map_err(|e| GpuError::InvalidLaunch { reason: e.to_string() })?;
+    exec.upload(&b).map_err(|e| GpuError::InvalidLaunch { reason: e.to_string() })?;
+    let c = exec
+        .matmul(&a, &b)
+        .map_err(|e| GpuError::InvalidLaunch { reason: e.to_string() })?;
+    exec.download(&c)
+        .map_err(|e| GpuError::InvalidLaunch { reason: e.to_string() })?;
+    let gpu_time_ns = gpu.now_ns() - t0;
+
+    // The lab's analysis: what fraction went to transfers?
+    let stats = env.op_stats();
+    let transfer_ns: u64 = stats
+        .rows
+        .iter()
+        .filter(|r| r.kind.is_transfer())
+        .map(|r| r.total_ns)
+        .sum();
+    let kernel = stats.get("sgemm").expect("matmul kernel ran");
+    let mut metrics = BTreeMap::new();
+    metrics.insert("n", n as f64);
+    metrics.insert("transfer_fraction", transfer_ns as f64 / gpu_time_ns.max(1) as f64);
+    metrics.insert("achieved_gflops", kernel.achieved_gflops());
+    metrics.insert("checksum", c.sum() as f64);
+    Ok(LabReport {
+        lab: "matmul-memory-profiling",
+        gpu_time_ns,
+        metrics,
+    })
+}
+
+/// Weeks 8–10 — distributed GCN training (Algorithm 1): trains on an SBM
+/// dataset across the environment's GPUs with METIS partitioning and
+/// reports accuracy plus the speedup over sequential training.
+pub fn gcn_lab(env: &LabEnvironment, nodes_per_class: usize) -> Result<LabReport, GraphError> {
+    let ds = sbm(
+        &SbmParams {
+            block_sizes: vec![nodes_per_class; 3],
+            p_in: 0.15,
+            p_out: 0.01,
+            feature_dim: 32,
+            feature_separation: 1.2,
+            train_fraction: 0.5,
+        },
+        17,
+    )?;
+    let cfg = TrainConfig {
+        epochs: 20,
+        ..Default::default()
+    };
+    let seq = train_sequential(&ds, &cfg);
+    let k = env.gpu_count().max(1);
+    let dist = train_distributed(&ds, k, &cfg, PartitionStrategy::Metis)?;
+    let mut metrics = BTreeMap::new();
+    metrics.insert("k", k as f64);
+    metrics.insert("sequential_accuracy", seq.test_accuracy);
+    metrics.insert("distributed_accuracy", dist.test_accuracy);
+    metrics.insert("speedup", seq.sim_time_ns as f64 / dist.sim_time_ns.max(1) as f64);
+    metrics.insert("edge_cut", dist.edge_cut);
+    Ok(LabReport {
+        lab: "distributed-gcn",
+        gpu_time_ns: dist.sim_time_ns,
+        metrics,
+    })
+}
+
+/// Week 8 — CNN training: trains the small conv → ReLU → GAP → linear
+/// classifier on the shifted-strokes dataset, charging each optimization
+/// step to the environment's GPU as a fused im2col-GEMM kernel.
+pub fn cnn_lab(env: &LabEnvironment, steps: usize) -> Result<LabReport, GpuError> {
+    use sagegpu_nn::conv::{patches_per_image, stroke_digits, SmallCnn};
+    use sagegpu_nn::metrics::accuracy;
+    use sagegpu_nn::optim::{Adam, Optimizer};
+    use sagegpu_nn::tape::Tape;
+
+    let gpu = Arc::clone(env.gpu());
+    let (train, train_labels) = stroke_digits(64, 0.15, 2);
+    let (test, test_labels) = stroke_digits(32, 0.15, 99);
+    let mut rng = SmallRng::seed_from_u64(3);
+    let mut cnn = SmallCnn::new(3, 8, 4, &mut rng);
+    let mut opt = Adam::new(0.03);
+    let mask = vec![true; train.batch];
+
+    let p = patches_per_image(train.height, train.width, 3) as u64;
+    let gemm_rows = train.batch as u64 * p;
+    let profile = gpu_sim::KernelProfile {
+        // conv GEMM fwd+bwd (3x) + head GEMM, im2col bytes streamed.
+        flops: 3 * 2 * gemm_rows * 9 * 8 + 3 * 2 * train.batch as u64 * 8 * 4,
+        bytes: 4 * 3 * (gemm_rows * 9 + gemm_rows * 8 + train.batch as u64 * 8),
+        access: gpu_sim::AccessPattern::Coalesced,
+        registers_per_thread: 48,
+    };
+    let launch = gpu_sim::LaunchConfig::for_elements(gemm_rows, 128);
+
+    let mut first_loss = 0.0f32;
+    let mut last_loss = 0.0f32;
+    for step in 0..steps {
+        let loss_val = gpu.launch("cnn_train_step", launch, profile, || {
+            let tape = Tape::new();
+            let fwd = cnn.forward(&tape, &train);
+            let loss = tape.cross_entropy(fwd.logits, &train_labels, &mask);
+            let loss_val = tape.value(loss).get(0, 0);
+            let grads = tape.backward(loss);
+            let grad_tensors: Vec<Tensor> = fwd
+                .params
+                .iter()
+                .map(|v| grads[v.index()].clone().expect("param grad"))
+                .collect();
+            opt.step_all(cnn.parameters_mut(), &grad_tensors);
+            loss_val
+        })?;
+        if step == 0 {
+            first_loss = loss_val;
+        }
+        last_loss = loss_val;
+    }
+    let tape = Tape::new();
+    let fwd = cnn.forward(&tape, &test);
+    let test_acc = accuracy(&tape.value(fwd.logits), &test_labels, &vec![true; test.batch]);
+
+    let mut metrics = BTreeMap::new();
+    metrics.insert("steps", steps as f64);
+    metrics.insert("first_loss", first_loss as f64);
+    metrics.insert("last_loss", last_loss as f64);
+    metrics.insert("test_accuracy", test_acc);
+    Ok(LabReport {
+        lab: "cnn-training",
+        gpu_time_ns: gpu.now_ns(),
+        metrics,
+    })
+}
+
+/// Weeks 12–14 — RAG serving: builds the flat-index pipeline on the
+/// environment's GPU, runs a batched workload, and reports p50/p99/QPS.
+pub fn rag_lab(env: &LabEnvironment, corpus_size: usize, queries: usize) -> Result<LabReport, GpuError> {
+    let exec = GpuExecutor::new(Arc::clone(env.gpu()));
+    let pipeline = build_flat_pipeline(corpus_size, 96, exec, 7);
+    let workload: Vec<String> = (0..queries)
+        .map(|i| sagegpu_rag::corpus::Corpus::topic_query(i % 5, 5, i as u64))
+        .collect();
+    let report = pipeline.run_workload(&workload, 8, 0);
+    let mut metrics = BTreeMap::new();
+    metrics.insert("queries", report.queries as f64);
+    metrics.insert("p50_us", report.p50_us);
+    metrics.insert("p99_us", report.p99_us);
+    metrics.insert("throughput_qps", report.throughput_qps);
+    metrics.insert("retrieve_fraction", report.retrieve_fraction);
+    Ok(LabReport {
+        lab: "rag-serving",
+        gpu_time_ns: pipeline.gpu().gpu().now_ns(),
+        metrics,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matmul_lab_reports_transfer_fraction() {
+        let env = LabEnvironment::provision("s1", 1).unwrap();
+        let small = matmul_lab(&env, 64).unwrap();
+        assert!(small.gpu_time_ns > 0);
+        let tf = small.metrics["transfer_fraction"];
+        assert!((0.0..=1.0).contains(&tf));
+        // Small matmuls are transfer-dominated — the lab's teaching point.
+        assert!(tf > 0.5, "transfer fraction {tf} should dominate at n=64");
+    }
+
+    #[test]
+    fn matmul_lab_achieved_gflops_grows_with_n() {
+        // Assignment 1's profiling insight: larger matmuls amortize launch
+        // overhead and climb the roofline toward peak FLOP throughput.
+        let env1 = LabEnvironment::provision("s2", 1).unwrap();
+        let small = matmul_lab(&env1, 64).unwrap();
+        let env2 = LabEnvironment::provision("s3", 1).unwrap();
+        let big = matmul_lab(&env2, 256).unwrap();
+        assert!(
+            big.metrics["achieved_gflops"] > 5.0 * small.metrics["achieved_gflops"],
+            "achieved GFLOP/s should grow sharply: {} vs {}",
+            small.metrics["achieved_gflops"],
+            big.metrics["achieved_gflops"]
+        );
+    }
+
+    #[test]
+    fn gcn_lab_trains_and_reports() {
+        let env = LabEnvironment::provision("s4", 2).unwrap();
+        let r = gcn_lab(&env, 40).unwrap();
+        assert_eq!(r.metrics["k"], 2.0);
+        assert!(r.metrics["distributed_accuracy"] > 0.5);
+        assert!(r.metrics["speedup"] > 0.0);
+        assert!(r.metrics["edge_cut"] >= 0.0);
+    }
+
+    #[test]
+    fn cnn_lab_trains_to_usable_accuracy() {
+        let env = LabEnvironment::provision("s6", 1).unwrap();
+        let r = cnn_lab(&env, 60).unwrap();
+        assert!(r.metrics["last_loss"] < 0.5 * r.metrics["first_loss"]);
+        assert!(r.metrics["test_accuracy"] > 0.7, "acc {}", r.metrics["test_accuracy"]);
+        assert!(r.gpu_time_ns > 0);
+    }
+
+    #[test]
+    fn rag_lab_reports_latency_distribution() {
+        let env = LabEnvironment::provision("s5", 1).unwrap();
+        let r = rag_lab(&env, 30, 12).unwrap();
+        assert_eq!(r.metrics["queries"], 12.0);
+        assert!(r.metrics["p99_us"] >= r.metrics["p50_us"]);
+        assert!(r.metrics["throughput_qps"] > 0.0);
+    }
+}

@@ -1,0 +1,65 @@
+//! # sagegpu — GPU programming for AI workflows, reproduced in Rust
+//!
+//! This is the facade crate of the reproduction of *"GPU Programming for
+//! AI Workflow Development on AWS SageMaker: An Instructional Approach"*
+//! (SC 2025). The paper describes a course whose technical stack runs from
+//! cloud provisioning through CUDA-style GPU programming up to distributed
+//! GCN training and RAG serving; this workspace rebuilds every layer of
+//! that stack as simulation-backed Rust libraries:
+//!
+//! | Layer | Crate (re-exported here as) |
+//! |---|---|
+//! | AWS control plane (EC2/VPC/IAM/SageMaker/billing) | [`cloud`] |
+//! | CUDA-like GPU execution + cost model | [`gpu`] |
+//! | Dense/sparse tensors with GPU-charged ops | [`tensor`] |
+//! | Autograd, GCN layers, optimizers | [`nn`] |
+//! | Graphs, SBM datasets, METIS-like partitioning | [`graph`] |
+//! | Dask-like scheduler with GPU-pinned workers | [`taskflow`] |
+//! | Nsight-like profiler | [`profiler`] |
+//! | Algorithm 1 (distributed GCN training) | [`gcn`] |
+//! | RAG pipelines (FAISS-style indexes, generator) | [`rag`] |
+//! | RL agents: gridworlds, tabular Q, DQN, multi-GPU | [`rl`] |
+//! | RAPIDS/Dask-style dataframes | [`df`] |
+//! | Statistics (Shapiro–Wilk, Levene, Mann–Whitney…) | [`stats`] |
+//! | Cohort simulator behind the paper's evaluation | [`edu`] |
+//!
+//! On top of the re-exports, [`workflow`] offers the course's own loop —
+//! provision a student environment, run a lab workload, profile it, tear
+//! down and read the bill — and [`labs`] packages three canonical labs
+//! (matmul/memory, distributed GCN, RAG serving) used by the examples and
+//! benchmarks.
+//!
+//! ```
+//! use sagegpu_core::workflow::LabEnvironment;
+//!
+//! let mut env = LabEnvironment::provision("student-01", 1).unwrap();
+//! let report = sagegpu_core::labs::matmul_lab(&env, 128).unwrap();
+//! assert!(report.gpu_time_ns > 0);
+//! let bill = env.teardown().unwrap();
+//! assert!(bill.total_usd >= 0.0);
+//! ```
+
+pub use cloud_sim as cloud;
+pub use gpu_sim as gpu;
+pub use sagegpu_df as df;
+pub use sagegpu_edu as edu;
+pub use sagegpu_gcn as gcn;
+pub use sagegpu_graph as graph;
+pub use sagegpu_nn as nn;
+pub use sagegpu_profiler as profiler;
+pub use sagegpu_rag as rag;
+pub use sagegpu_rl as rl;
+pub use sagegpu_stats as stats;
+pub use sagegpu_tensor as tensor;
+pub use taskflow;
+
+pub mod labs;
+pub mod workflow;
+
+/// Convenient glob-import of the most-used types across the stack.
+pub mod prelude {
+    pub use crate::labs::{cnn_lab, gcn_lab, matmul_lab, rag_lab, LabReport};
+    pub use crate::workflow::{CostBill, LabEnvironment};
+    pub use cloud_sim::prelude::*;
+    pub use gpu_sim::prelude::*;
+}

@@ -1,0 +1,207 @@
+//! The course workflow: provision → work → profile → teardown → bill.
+//!
+//! §III-A's student loop, as an API: each assessment began with the
+//! bootstrap script (VPC, subnet, notebook, GPU instances under the
+//! student's IAM role), work ran on the provisioned GPUs, profilers were
+//! consulted, and everything was terminated with usage billed against the
+//! student's cap. [`LabEnvironment`] packages that loop over the simulated
+//! cloud and simulated GPUs.
+
+use cloud_sim::bootstrap::{BootstrapOutcome, BootstrapPlan};
+use cloud_sim::provider::{CloudError, CloudProvider, Region};
+use gpu_sim::cluster::LinkKind;
+use gpu_sim::{DeviceSpec, Gpu, GpuCluster};
+use sagegpu_profiler::bottleneck::{analyze, BottleneckReport};
+use sagegpu_profiler::opstats::OpStatsTable;
+use sagegpu_profiler::timeline::Timeline;
+use std::sync::Arc;
+
+/// The final bill of one provisioned session.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CostBill {
+    pub student: String,
+    pub total_usd: f64,
+    pub gpu_hours: f64,
+    pub remaining_budget_usd: f64,
+}
+
+/// A provisioned student lab environment: cloud resources plus the
+/// simulated GPUs that correspond to the launched instances.
+pub struct LabEnvironment {
+    cloud: CloudProvider,
+    role: String,
+    outcome: BootstrapOutcome,
+    gpus: Arc<GpuCluster>,
+    torn_down: bool,
+}
+
+impl LabEnvironment {
+    /// Provisions a fresh environment for `student` with `gpu_count`
+    /// simulated T4s (1 = the single-GPU lab plan, >1 = the multi-GPU
+    /// plan; the course capped students at 3 concurrent GPUs).
+    pub fn provision(student: &str, gpu_count: usize) -> Result<Self, CloudError> {
+        let cloud = CloudProvider::new(Region::UsEast1);
+        let role = cloud.create_student_role(student, 100.0)?;
+        let plan = if gpu_count <= 1 {
+            BootstrapPlan::single_gpu_lab("lab")
+        } else {
+            let mut p = BootstrapPlan::multi_gpu_lab("lab");
+            for step in &mut p.steps {
+                if let cloud_sim::bootstrap::BootstrapStep::LaunchInstances { count, .. } = step {
+                    *count = gpu_count as u32;
+                }
+            }
+            p
+        };
+        let outcome = plan.execute(&cloud, &role).map_err(|(e, _)| e)?;
+        let gpus = Arc::new(GpuCluster::homogeneous(
+            gpu_count.max(1),
+            DeviceSpec::t4(),
+            LinkKind::Pcie,
+        ));
+        Ok(Self {
+            cloud,
+            role,
+            outcome,
+            gpus,
+            torn_down: false,
+        })
+    }
+
+    /// The student's IAM role name.
+    pub fn student(&self) -> &str {
+        &self.role
+    }
+
+    /// The simulated cloud control plane.
+    pub fn cloud(&self) -> &CloudProvider {
+        &self.cloud
+    }
+
+    /// The simulated GPU cluster backing the launched instances.
+    pub fn gpus(&self) -> &Arc<GpuCluster> {
+        &self.gpus
+    }
+
+    /// The first (or only) GPU.
+    pub fn gpu(&self) -> &Arc<Gpu> {
+        self.gpus.device(0).expect("cluster is non-empty")
+    }
+
+    /// Number of provisioned GPU instances.
+    pub fn gpu_count(&self) -> usize {
+        self.gpus.len()
+    }
+
+    /// Marks lab activity on the cloud instances (defeats the idle reaper)
+    /// and advances the cloud clock by `secs` of working time.
+    pub fn work_for(&self, secs: u64) -> Result<(), CloudError> {
+        self.cloud.clock().advance_secs(secs);
+        for id in &self.outcome.instances {
+            self.cloud.touch_instance(id)?;
+        }
+        Ok(())
+    }
+
+    /// Profiler view: the Nsight-style timeline of everything run so far.
+    pub fn timeline(&self) -> Timeline {
+        Timeline::from_recorder(self.gpus.recorder())
+    }
+
+    /// Profiler view: per-op aggregate statistics.
+    pub fn op_stats(&self) -> OpStatsTable {
+        OpStatsTable::from_events(&self.gpus.recorder().snapshot())
+    }
+
+    /// Profiler view: bottleneck report for device `d`.
+    pub fn bottleneck_report(&self, d: usize) -> BottleneckReport {
+        let spec = self
+            .gpus
+            .device(d)
+            .map(|g| g.spec().clone())
+            .unwrap_or_else(|_| DeviceSpec::t4());
+        analyze(&self.timeline(), d as u32, &spec)
+    }
+
+    /// Terminates all cloud resources and returns the bill.
+    pub fn teardown(&mut self) -> Result<CostBill, CloudError> {
+        if !self.torn_down {
+            BootstrapPlan::teardown(&self.cloud, &self.role, &self.outcome);
+            self.torn_down = true;
+        }
+        Ok(CostBill {
+            student: self.role.clone(),
+            total_usd: self.cloud.billing().cost_for(&self.role),
+            gpu_hours: self.cloud.billing().gpu_hours_for(&self.role),
+            remaining_budget_usd: self.cloud.billing().remaining_budget(&self.role),
+        })
+    }
+}
+
+impl Drop for LabEnvironment {
+    fn drop(&mut self) {
+        if !self.torn_down {
+            BootstrapPlan::teardown(&self.cloud, &self.role, &self.outcome);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn provision_single_gpu_environment() {
+        let env = LabEnvironment::provision("alice", 1).unwrap();
+        assert_eq!(env.gpu_count(), 1);
+        assert_eq!(env.student(), "alice");
+        assert_eq!(env.cloud().list_running().len(), 1);
+    }
+
+    #[test]
+    fn provision_multi_gpu_environment() {
+        let env = LabEnvironment::provision("bob", 3).unwrap();
+        assert_eq!(env.gpu_count(), 3);
+        assert_eq!(env.cloud().list_running().len(), 3);
+    }
+
+    #[test]
+    fn quota_blocks_oversized_requests() {
+        assert!(LabEnvironment::provision("carol", 4).is_err());
+    }
+
+    #[test]
+    fn work_and_teardown_produce_a_bill() {
+        let mut env = LabEnvironment::provision("dave", 1).unwrap();
+        env.work_for(2 * 3600).unwrap();
+        let bill = env.teardown().unwrap();
+        // 2 h on a g4dn.xlarge ≈ $1.05, plus the notebook.
+        assert!(bill.total_usd > 1.0 && bill.total_usd < 2.0, "bill {}", bill.total_usd);
+        assert!((bill.gpu_hours - 2.0).abs() < 0.01);
+        assert!(bill.remaining_budget_usd < 100.0);
+        // Idempotent.
+        let again = env.teardown().unwrap();
+        assert_eq!(bill, again);
+    }
+
+    #[test]
+    fn drop_cleans_up_instances() {
+        let env = LabEnvironment::provision("erin", 2).unwrap();
+        let running = env.cloud().list_running().len();
+        assert_eq!(running, 2);
+        drop(env);
+        // Cloud is dropped with the env; nothing to assert post-drop other
+        // than the Drop path not panicking.
+    }
+
+    #[test]
+    fn profiler_views_reflect_gpu_work() {
+        let env = LabEnvironment::provision("fred", 1).unwrap();
+        let gpu = env.gpu();
+        let _ = gpu.htod(&vec![0f32; 1 << 16]).unwrap();
+        assert!(!env.timeline().is_empty());
+        assert_eq!(env.op_stats().rows.len(), 1);
+        let report = env.bottleneck_report(0);
+        assert!(report.transfer_fraction > 0.0);
+    }
+}

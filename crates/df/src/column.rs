@@ -1,0 +1,134 @@
+//! Typed columnar storage.
+
+/// One column of a dataframe.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Column {
+    F64(Vec<f64>),
+    I64(Vec<i64>),
+    Str(Vec<String>),
+}
+
+impl Column {
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        match self {
+            Column::F64(v) => v.len(),
+            Column::I64(v) => v.len(),
+            Column::Str(v) => v.len(),
+        }
+    }
+
+    /// Whether the column has zero rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Type label for error messages.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Column::F64(_) => "f64",
+            Column::I64(_) => "i64",
+            Column::Str(_) => "str",
+        }
+    }
+
+    /// Borrow as f64 data, if that is the type.
+    pub fn as_f64(&self) -> Option<&[f64]> {
+        match self {
+            Column::F64(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Borrow as i64 data.
+    pub fn as_i64(&self) -> Option<&[i64]> {
+        match self {
+            Column::I64(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Borrow as string data.
+    pub fn as_str(&self) -> Option<&[String]> {
+        match self {
+            Column::Str(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// New column keeping only rows where `mask` is true.
+    pub fn filter(&self, mask: &[bool]) -> Column {
+        match self {
+            Column::F64(v) => Column::F64(
+                v.iter().zip(mask).filter(|(_, &m)| m).map(|(x, _)| *x).collect(),
+            ),
+            Column::I64(v) => Column::I64(
+                v.iter().zip(mask).filter(|(_, &m)| m).map(|(x, _)| *x).collect(),
+            ),
+            Column::Str(v) => Column::Str(
+                v.iter()
+                    .zip(mask)
+                    .filter(|(_, &m)| m)
+                    .map(|(x, _)| x.clone())
+                    .collect(),
+            ),
+        }
+    }
+
+    /// New column gathering rows by index (indices must be in range).
+    pub fn gather(&self, indices: &[usize]) -> Column {
+        match self {
+            Column::F64(v) => Column::F64(indices.iter().map(|&i| v[i]).collect()),
+            Column::I64(v) => Column::I64(indices.iter().map(|&i| v[i]).collect()),
+            Column::Str(v) => Column::Str(indices.iter().map(|&i| v[i].clone()).collect()),
+        }
+    }
+
+    /// Approximate bytes of this column (for GPU cost models).
+    pub fn size_bytes(&self) -> u64 {
+        match self {
+            Column::F64(v) => 8 * v.len() as u64,
+            Column::I64(v) => 8 * v.len() as u64,
+            Column::Str(v) => v.iter().map(|s| s.len() as u64 + 8).sum(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lengths_and_types() {
+        let c = Column::F64(vec![1.0, 2.0]);
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.type_name(), "f64");
+        assert!(c.as_f64().is_some());
+        assert!(c.as_i64().is_none());
+        assert!(!c.is_empty());
+        assert!(Column::Str(vec![]).is_empty());
+    }
+
+    #[test]
+    fn filter_by_mask() {
+        let c = Column::I64(vec![10, 20, 30, 40]);
+        let f = c.filter(&[true, false, false, true]);
+        assert_eq!(f, Column::I64(vec![10, 40]));
+        let s = Column::Str(vec!["a".into(), "b".into()]);
+        assert_eq!(s.filter(&[false, true]), Column::Str(vec!["b".into()]));
+    }
+
+    #[test]
+    fn gather_reorders_and_duplicates() {
+        let c = Column::F64(vec![1.0, 2.0, 3.0]);
+        assert_eq!(c.gather(&[2, 0, 2]), Column::F64(vec![3.0, 1.0, 3.0]));
+    }
+
+    #[test]
+    fn size_bytes_counts_payload() {
+        assert_eq!(Column::F64(vec![0.0; 4]).size_bytes(), 32);
+        assert_eq!(Column::I64(vec![0; 2]).size_bytes(), 16);
+        let s = Column::Str(vec!["ab".into()]);
+        assert_eq!(s.size_bytes(), 10);
+    }
+}

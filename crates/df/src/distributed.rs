@@ -1,0 +1,223 @@
+//! Dask's partitioned-dataframe model (Lab 6, Assignment 2).
+//!
+//! A [`PartitionedFrame`] is a dataframe split row-wise across the workers
+//! of a [`LocalCluster`], each worker pinned to a simulated GPU. The two
+//! operations the lab builds are here: embarrassingly parallel
+//! `map_partitions`, and the two-phase distributed group-by — local
+//! partial aggregates (sum/count per key on each partition) combined on
+//! the client, which is exactly how Dask computes algebraic aggregates
+//! without a shuffle.
+
+use crate::column::Column;
+use crate::frame::{Agg, DataFrame};
+use crate::gpu::GpuFrame;
+use crate::DfError;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use taskflow::cluster::LocalCluster;
+
+/// A row-partitioned dataframe whose partitions live on cluster workers.
+pub struct PartitionedFrame {
+    partitions: Vec<Arc<DataFrame>>,
+    cluster: Arc<LocalCluster>,
+}
+
+impl PartitionedFrame {
+    /// Splits `df` into one contiguous partition per cluster worker.
+    pub fn from_frame(df: DataFrame, cluster: Arc<LocalCluster>) -> Self {
+        let workers = cluster.len();
+        let n = df.num_rows();
+        let chunk = n.div_ceil(workers.max(1)).max(1);
+        let mut partitions = Vec::with_capacity(workers);
+        for w in 0..workers {
+            let lo = (w * chunk).min(n);
+            let hi = ((w + 1) * chunk).min(n);
+            let idx: Vec<usize> = (lo..hi).collect();
+            let mut part = DataFrame::new();
+            for name in df.names() {
+                let col = df.column(name).expect("name from df").gather(&idx);
+                part.add_column(name, col).expect("consistent schema");
+            }
+            partitions.push(Arc::new(part));
+        }
+        Self {
+            partitions,
+            cluster,
+        }
+    }
+
+    /// Number of partitions (= workers).
+    pub fn num_partitions(&self) -> usize {
+        self.partitions.len()
+    }
+
+    /// Total rows across partitions.
+    pub fn num_rows(&self) -> usize {
+        self.partitions.iter().map(|p| p.num_rows()).sum()
+    }
+
+    /// Applies `f` to every partition on its worker (with the worker's GPU
+    /// charged via a [`GpuFrame`]), returning the new partitioned frame.
+    pub fn map_partitions<F>(&self, f: F) -> Result<PartitionedFrame, DfError>
+    where
+        F: Fn(&GpuFrame) -> Result<DataFrame, DfError> + Send + Sync + Clone + 'static,
+    {
+        let futures: Vec<_> = self
+            .partitions
+            .iter()
+            .enumerate()
+            .map(|(w, part)| {
+                let part = Arc::clone(part);
+                let f = f.clone();
+                self.cluster
+                    .submit_to(w, move |ctx| {
+                        let gf = GpuFrame::upload((*part).clone(), Arc::clone(ctx.gpu()));
+                        f(&gf)
+                    })
+                    .expect("worker exists")
+            })
+            .collect();
+        let mut partitions = Vec::with_capacity(self.partitions.len());
+        for fut in futures {
+            partitions.push(Arc::new(fut.wait().expect("partition task")?));
+        }
+        Ok(PartitionedFrame {
+            partitions,
+            cluster: Arc::clone(&self.cluster),
+        })
+    }
+
+    /// Distributed filter on an f64 column.
+    pub fn filter_f64(
+        &self,
+        column: &str,
+        pred: impl Fn(f64) -> bool + Send + Sync + Clone + 'static,
+    ) -> Result<PartitionedFrame, DfError> {
+        let column = column.to_owned();
+        self.map_partitions(move |gf| Ok(gf.filter_f64(&column, pred.clone())?.df))
+    }
+
+    /// Two-phase distributed group-by: mean of `value` per `key`.
+    ///
+    /// Phase 1 (on workers): per-partition (sum, count) per key.
+    /// Phase 2 (client): combine partials; mean = Σsum / Σcount.
+    pub fn groupby_mean(&self, key: &str, value: &str) -> Result<DataFrame, DfError> {
+        let key_owned = key.to_owned();
+        let value_owned = value.to_owned();
+        let futures: Vec<_> = self
+            .partitions
+            .iter()
+            .enumerate()
+            .map(|(w, part)| {
+                let part = Arc::clone(part);
+                let key = key_owned.clone();
+                let value = value_owned.clone();
+                self.cluster
+                    .submit_to(w, move |ctx| {
+                        let gf = GpuFrame::upload((*part).clone(), Arc::clone(ctx.gpu()));
+                        gf.groupby_i64(&key, &[(&value, Agg::Sum), (&value, Agg::Count)])
+                            .map(|g| g.df)
+                    })
+                    .expect("worker exists")
+            })
+            .collect();
+
+        let mut sums: BTreeMap<i64, (f64, f64)> = BTreeMap::new();
+        for fut in futures {
+            let partial = fut.wait().expect("partial agg")?;
+            let keys = partial.i64_column(key)?;
+            let s = partial.f64_column(&format!("{value}_sum"))?;
+            let c = partial.f64_column(&format!("{value}_count"))?;
+            for i in 0..partial.num_rows() {
+                let e = sums.entry(keys[i]).or_insert((0.0, 0.0));
+                e.0 += s[i];
+                e.1 += c[i];
+            }
+        }
+        let keys: Vec<i64> = sums.keys().copied().collect();
+        let means: Vec<f64> = sums.values().map(|(s, c)| s / c.max(1.0)).collect();
+        DataFrame::from_columns(vec![
+            (key, Column::I64(keys)),
+            (&format!("{value}_mean"), Column::F64(means)),
+        ])
+    }
+
+    /// Gathers all partitions back into one frame (client-side collect).
+    pub fn collect(&self) -> Result<DataFrame, DfError> {
+        let frames: Vec<DataFrame> = self.partitions.iter().map(|p| (**p).clone()).collect();
+        DataFrame::concat(&frames)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::cluster::LinkKind;
+    use gpu_sim::{DeviceSpec, GpuCluster};
+
+    fn setup(n: usize, workers: usize) -> (PartitionedFrame, Arc<GpuCluster>) {
+        let gpus = Arc::new(GpuCluster::homogeneous(workers, DeviceSpec::t4(), LinkKind::Pcie));
+        let cluster = Arc::new(LocalCluster::with_gpus(Arc::clone(&gpus)));
+        let df = DataFrame::taxi_trips(n, 9);
+        (PartitionedFrame::from_frame(df, cluster), gpus)
+    }
+
+    #[test]
+    fn partitioning_preserves_rows() {
+        let (pf, _) = setup(103, 4);
+        assert_eq!(pf.num_partitions(), 4);
+        assert_eq!(pf.num_rows(), 103);
+        let collected = pf.collect().unwrap();
+        assert_eq!(collected, DataFrame::taxi_trips(103, 9));
+    }
+
+    #[test]
+    fn distributed_filter_matches_single_node() {
+        let (pf, _) = setup(200, 3);
+        let filtered = pf.filter_f64("fare", |f| f > 12.0).unwrap();
+        let expected = DataFrame::taxi_trips(200, 9).filter_f64("fare", |f| f > 12.0).unwrap();
+        assert_eq!(filtered.collect().unwrap(), expected);
+    }
+
+    #[test]
+    fn two_phase_groupby_matches_single_node_exactly_on_counts() {
+        let (pf, _) = setup(400, 4);
+        let dist = pf.groupby_mean("zone", "fare").unwrap();
+        let single = DataFrame::taxi_trips(400, 9)
+            .groupby_i64("zone", &[("fare", Agg::Mean)])
+            .unwrap();
+        assert_eq!(dist.i64_column("zone").unwrap(), single.i64_column("zone").unwrap());
+        let d = dist.f64_column("fare_mean").unwrap();
+        let s = single.f64_column("fare_mean").unwrap();
+        for (a, b) in d.iter().zip(s) {
+            assert!((a - b).abs() < 1e-9, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn work_is_charged_across_all_gpus() {
+        let (pf, gpus) = setup(300, 3);
+        let _ = pf.groupby_mean("zone", "fare").unwrap();
+        for d in gpus.devices() {
+            assert!(d.kernels_launched() > 0, "device {} idle", d.ordinal());
+            assert!(d.now_ns() > 0);
+        }
+    }
+
+    #[test]
+    fn map_partitions_propagates_errors() {
+        let (pf, _) = setup(50, 2);
+        let result = pf.map_partitions(|gf| gf.filter_f64("nonexistent", |_| true).map(|g| g.df));
+        assert!(matches!(result, Err(DfError::NoSuchColumn(_))));
+    }
+
+    #[test]
+    fn uneven_partition_sizes_handled() {
+        let (pf, _) = setup(10, 4);
+        // 10 rows over 4 workers: 3/3/3/1.
+        assert_eq!(pf.num_rows(), 10);
+        let sizes: Vec<usize> = pf.partitions.iter().map(|p| p.num_rows()).collect();
+        assert_eq!(sizes.iter().sum::<usize>(), 10);
+        assert!(sizes.iter().all(|&s| s >= 1));
+    }
+}

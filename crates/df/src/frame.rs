@@ -1,0 +1,439 @@
+//! The single-node dataframe (cuDF's role).
+
+use crate::column::Column;
+use crate::DfError;
+use rand::prelude::*;
+use rand::rngs::SmallRng;
+use std::collections::HashMap;
+
+/// Aggregations supported by group-by.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Agg {
+    Sum,
+    Mean,
+    Count,
+    Min,
+    Max,
+}
+
+impl Agg {
+    /// Suffix used for output column names, e.g. `fare_sum`.
+    pub fn suffix(&self) -> &'static str {
+        match self {
+            Agg::Sum => "sum",
+            Agg::Mean => "mean",
+            Agg::Count => "count",
+            Agg::Min => "min",
+            Agg::Max => "max",
+        }
+    }
+}
+
+/// A columnar dataframe.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct DataFrame {
+    columns: Vec<(String, Column)>,
+}
+
+impl DataFrame {
+    /// An empty frame.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds from (name, column) pairs, validating lengths and names.
+    pub fn from_columns(columns: Vec<(&str, Column)>) -> Result<Self, DfError> {
+        let mut df = Self::new();
+        for (name, col) in columns {
+            df.add_column(name, col)?;
+        }
+        Ok(df)
+    }
+
+    /// Appends a column.
+    pub fn add_column(&mut self, name: &str, col: Column) -> Result<(), DfError> {
+        if self.columns.iter().any(|(n, _)| n == name) {
+            return Err(DfError::DuplicateColumn(name.to_owned()));
+        }
+        if !self.columns.is_empty() && col.len() != self.num_rows() {
+            return Err(DfError::LengthMismatch {
+                expected: self.num_rows(),
+                got: col.len(),
+            });
+        }
+        self.columns.push((name.to_owned(), col));
+        Ok(())
+    }
+
+    /// Number of rows.
+    pub fn num_rows(&self) -> usize {
+        self.columns.first().map(|(_, c)| c.len()).unwrap_or(0)
+    }
+
+    /// Number of columns.
+    pub fn num_columns(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Column names in order.
+    pub fn names(&self) -> Vec<&str> {
+        self.columns.iter().map(|(n, _)| n.as_str()).collect()
+    }
+
+    /// Borrow a column by name.
+    pub fn column(&self, name: &str) -> Result<&Column, DfError> {
+        self.columns
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, c)| c)
+            .ok_or_else(|| DfError::NoSuchColumn(name.to_owned()))
+    }
+
+    /// Typed f64 column accessor.
+    pub fn f64_column(&self, name: &str) -> Result<&[f64], DfError> {
+        self.column(name)?.as_f64().ok_or(DfError::TypeMismatch {
+            column: name.to_owned(),
+            expected: "f64",
+        })
+    }
+
+    /// Typed i64 column accessor.
+    pub fn i64_column(&self, name: &str) -> Result<&[i64], DfError> {
+        self.column(name)?.as_i64().ok_or(DfError::TypeMismatch {
+            column: name.to_owned(),
+            expected: "i64",
+        })
+    }
+
+    /// Typed string column accessor.
+    pub fn str_column(&self, name: &str) -> Result<&[String], DfError> {
+        self.column(name)?.as_str().ok_or(DfError::TypeMismatch {
+            column: name.to_owned(),
+            expected: "str",
+        })
+    }
+
+    /// Projection onto a subset of columns.
+    pub fn select(&self, names: &[&str]) -> Result<DataFrame, DfError> {
+        let mut out = DataFrame::new();
+        for &n in names {
+            out.add_column(n, self.column(n)?.clone())?;
+        }
+        Ok(out)
+    }
+
+    /// Rows where `mask` is true (mask length must equal rows).
+    pub fn filter_mask(&self, mask: &[bool]) -> Result<DataFrame, DfError> {
+        if mask.len() != self.num_rows() {
+            return Err(DfError::LengthMismatch {
+                expected: self.num_rows(),
+                got: mask.len(),
+            });
+        }
+        Ok(DataFrame {
+            columns: self
+                .columns
+                .iter()
+                .map(|(n, c)| (n.clone(), c.filter(mask)))
+                .collect(),
+        })
+    }
+
+    /// Rows where the f64 predicate holds on `column`.
+    pub fn filter_f64(&self, column: &str, pred: impl Fn(f64) -> bool) -> Result<DataFrame, DfError> {
+        let mask: Vec<bool> = self.f64_column(column)?.iter().map(|&v| pred(v)).collect();
+        self.filter_mask(&mask)
+    }
+
+    /// First `n` rows.
+    pub fn head(&self, n: usize) -> DataFrame {
+        let idx: Vec<usize> = (0..self.num_rows().min(n)).collect();
+        DataFrame {
+            columns: self
+                .columns
+                .iter()
+                .map(|(name, c)| (name.clone(), c.gather(&idx)))
+                .collect(),
+        }
+    }
+
+    /// Concatenates frames with identical schemas (row-wise).
+    pub fn concat(frames: &[DataFrame]) -> Result<DataFrame, DfError> {
+        let Some(first) = frames.first() else {
+            return Ok(DataFrame::new());
+        };
+        let mut out = first.clone();
+        for f in &frames[1..] {
+            for (i, (name, col)) in out.columns.iter_mut().enumerate() {
+                let (other_name, other_col) = &f.columns[i];
+                if other_name != name {
+                    return Err(DfError::NoSuchColumn(other_name.clone()));
+                }
+                match (col, other_col) {
+                    (Column::F64(a), Column::F64(b)) => a.extend_from_slice(b),
+                    (Column::I64(a), Column::I64(b)) => a.extend_from_slice(b),
+                    (Column::Str(a), Column::Str(b)) => a.extend_from_slice(b),
+                    _ => {
+                        return Err(DfError::TypeMismatch {
+                            column: name.clone(),
+                            expected: "matching types",
+                        })
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Group-by over an i64 key column with f64 aggregations.
+    ///
+    /// Output: one row per distinct key (ascending), columns
+    /// `key`, then `<col>_<agg>` per requested aggregation.
+    pub fn groupby_i64(&self, key: &str, aggs: &[(&str, Agg)]) -> Result<DataFrame, DfError> {
+        let keys = self.i64_column(key)?;
+        // Validate value columns first.
+        for (col, _) in aggs {
+            self.f64_column(col)?;
+        }
+        let mut groups: HashMap<i64, Vec<usize>> = HashMap::new();
+        for (i, &k) in keys.iter().enumerate() {
+            groups.entry(k).or_default().push(i);
+        }
+        let mut distinct: Vec<i64> = groups.keys().copied().collect();
+        distinct.sort_unstable();
+
+        let mut out = DataFrame::new();
+        out.add_column(key, Column::I64(distinct.clone()))?;
+        for (col, agg) in aggs {
+            let values = self.f64_column(col)?;
+            let agged: Vec<f64> = distinct
+                .iter()
+                .map(|k| {
+                    let rows = &groups[k];
+                    match agg {
+                        Agg::Count => rows.len() as f64,
+                        Agg::Sum => rows.iter().map(|&i| values[i]).sum(),
+                        Agg::Mean => rows.iter().map(|&i| values[i]).sum::<f64>() / rows.len() as f64,
+                        Agg::Min => rows.iter().map(|&i| values[i]).fold(f64::INFINITY, f64::min),
+                        Agg::Max => rows
+                            .iter()
+                            .map(|&i| values[i])
+                            .fold(f64::NEG_INFINITY, f64::max),
+                    }
+                })
+                .collect();
+            out.add_column(&format!("{col}_{}", agg.suffix()), Column::F64(agged))?;
+        }
+        Ok(out)
+    }
+
+    /// Ascending sort by an f64 column (stable).
+    pub fn sort_by_f64(&self, column: &str) -> Result<DataFrame, DfError> {
+        let values = self.f64_column(column)?;
+        let mut idx: Vec<usize> = (0..values.len()).collect();
+        idx.sort_by(|&a, &b| values[a].partial_cmp(&values[b]).expect("finite"));
+        Ok(DataFrame {
+            columns: self
+                .columns
+                .iter()
+                .map(|(n, c)| (n.clone(), c.gather(&idx)))
+                .collect(),
+        })
+    }
+
+    /// Inner join on i64 key columns (hash join; left row order).
+    pub fn join_i64(&self, other: &DataFrame, key: &str) -> Result<DataFrame, DfError> {
+        let left_keys = self.i64_column(key)?;
+        let right_keys = other.i64_column(key)?;
+        let mut right_index: HashMap<i64, Vec<usize>> = HashMap::new();
+        for (i, &k) in right_keys.iter().enumerate() {
+            right_index.entry(k).or_default().push(i);
+        }
+        let mut left_rows = Vec::new();
+        let mut right_rows = Vec::new();
+        for (i, &k) in left_keys.iter().enumerate() {
+            if let Some(matches) = right_index.get(&k) {
+                for &j in matches {
+                    left_rows.push(i);
+                    right_rows.push(j);
+                }
+            }
+        }
+        let mut out = DataFrame::new();
+        for (n, c) in &self.columns {
+            out.add_column(n, c.gather(&left_rows))?;
+        }
+        for (n, c) in &other.columns {
+            if n == key {
+                continue;
+            }
+            let name = if self.columns.iter().any(|(ln, _)| ln == n) {
+                format!("{n}_right")
+            } else {
+                n.clone()
+            };
+            out.add_column(&name, c.gather(&right_rows))?;
+        }
+        Ok(out)
+    }
+
+    /// The classic RAPIDS demo dataset: synthetic taxi trips with zone,
+    /// distance, fare, and passenger count.
+    pub fn taxi_trips(n: usize, seed: u64) -> DataFrame {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut zone = Vec::with_capacity(n);
+        let mut distance = Vec::with_capacity(n);
+        let mut fare = Vec::with_capacity(n);
+        let mut passengers = Vec::with_capacity(n);
+        for _ in 0..n {
+            let z = rng.gen_range(0..8i64);
+            let d: f64 = rng.gen_range(0.3..15.0);
+            // Fare model: flagfall + per-mile rate + noise, pricier zones.
+            let f = 2.5 + 1.8 * d + 0.4 * z as f64 + rng.gen_range(-0.5..0.5);
+            zone.push(z);
+            distance.push(d);
+            fare.push(f.max(2.5));
+            passengers.push(rng.gen_range(1..5i64));
+        }
+        DataFrame::from_columns(vec![
+            ("zone", Column::I64(zone)),
+            ("distance", Column::F64(distance)),
+            ("fare", Column::F64(fare)),
+            ("passengers", Column::I64(passengers)),
+        ])
+        .expect("static schema is valid")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> DataFrame {
+        DataFrame::from_columns(vec![
+            ("k", Column::I64(vec![1, 2, 1, 2, 3])),
+            ("v", Column::F64(vec![10.0, 20.0, 30.0, 40.0, 50.0])),
+            ("tag", Column::Str(vec!["a".into(), "b".into(), "c".into(), "d".into(), "e".into()])),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn construction_validates() {
+        let df = sample();
+        assert_eq!(df.num_rows(), 5);
+        assert_eq!(df.num_columns(), 3);
+        assert_eq!(df.names(), vec!["k", "v", "tag"]);
+        let mut bad = sample();
+        assert!(matches!(
+            bad.add_column("v", Column::F64(vec![1.0; 5])),
+            Err(DfError::DuplicateColumn(_))
+        ));
+        assert!(matches!(
+            bad.add_column("short", Column::F64(vec![1.0])),
+            Err(DfError::LengthMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn typed_accessors_enforce_types() {
+        let df = sample();
+        assert!(df.f64_column("v").is_ok());
+        assert!(matches!(df.f64_column("k"), Err(DfError::TypeMismatch { .. })));
+        assert!(matches!(df.column("ghost"), Err(DfError::NoSuchColumn(_))));
+        assert_eq!(df.str_column("tag").unwrap()[4], "e");
+    }
+
+    #[test]
+    fn select_and_head() {
+        let df = sample();
+        let s = df.select(&["v", "k"]).unwrap();
+        assert_eq!(s.names(), vec!["v", "k"]);
+        let h = df.head(2);
+        assert_eq!(h.num_rows(), 2);
+        assert_eq!(h.f64_column("v").unwrap(), &[10.0, 20.0]);
+        assert_eq!(df.head(100).num_rows(), 5);
+    }
+
+    #[test]
+    fn filter_by_predicate() {
+        let df = sample();
+        let f = df.filter_f64("v", |v| v > 25.0).unwrap();
+        assert_eq!(f.num_rows(), 3);
+        assert_eq!(f.i64_column("k").unwrap(), &[1, 2, 3]);
+        assert_eq!(f.str_column("tag").unwrap()[0], "c");
+    }
+
+    #[test]
+    fn groupby_all_aggregations() {
+        let df = sample();
+        let g = df
+            .groupby_i64("k", &[("v", Agg::Sum), ("v", Agg::Mean), ("v", Agg::Count), ("v", Agg::Min), ("v", Agg::Max)])
+            .unwrap();
+        assert_eq!(g.num_rows(), 3);
+        assert_eq!(g.i64_column("k").unwrap(), &[1, 2, 3]);
+        assert_eq!(g.f64_column("v_sum").unwrap(), &[40.0, 60.0, 50.0]);
+        assert_eq!(g.f64_column("v_mean").unwrap(), &[20.0, 30.0, 50.0]);
+        assert_eq!(g.f64_column("v_count").unwrap(), &[2.0, 2.0, 1.0]);
+        assert_eq!(g.f64_column("v_min").unwrap(), &[10.0, 20.0, 50.0]);
+        assert_eq!(g.f64_column("v_max").unwrap(), &[30.0, 40.0, 50.0]);
+    }
+
+    #[test]
+    fn sort_is_stable_ascending() {
+        let df = sample();
+        let s = df.sort_by_f64("v").unwrap();
+        assert_eq!(s.f64_column("v").unwrap(), &[10.0, 20.0, 30.0, 40.0, 50.0]);
+        // Already sorted: tag order preserved.
+        assert_eq!(s.str_column("tag").unwrap()[0], "a");
+    }
+
+    #[test]
+    fn inner_join_matches_keys() {
+        let left = sample();
+        let right = DataFrame::from_columns(vec![
+            ("k", Column::I64(vec![1, 3])),
+            ("name", Column::Str(vec!["one".into(), "three".into()])),
+        ])
+        .unwrap();
+        let j = left.join_i64(&right, "k").unwrap();
+        // Keys 1 (twice) and 3 (once) match; key 2 drops.
+        assert_eq!(j.num_rows(), 3);
+        assert_eq!(j.i64_column("k").unwrap(), &[1, 1, 3]);
+        assert_eq!(j.str_column("name").unwrap()[2], "three");
+    }
+
+    #[test]
+    fn join_renames_colliding_columns() {
+        let left = sample();
+        let right = DataFrame::from_columns(vec![
+            ("k", Column::I64(vec![1])),
+            ("v", Column::F64(vec![-1.0])),
+        ])
+        .unwrap();
+        let j = left.join_i64(&right, "k").unwrap();
+        assert!(j.names().contains(&"v_right"));
+    }
+
+    #[test]
+    fn concat_appends_rows() {
+        let a = sample();
+        let b = sample();
+        let c = DataFrame::concat(&[a, b]).unwrap();
+        assert_eq!(c.num_rows(), 10);
+        assert_eq!(DataFrame::concat(&[]).unwrap().num_rows(), 0);
+    }
+
+    #[test]
+    fn taxi_dataset_shape_and_fares() {
+        let t = DataFrame::taxi_trips(500, 1);
+        assert_eq!(t.num_rows(), 500);
+        let fares = t.f64_column("fare").unwrap();
+        assert!(fares.iter().all(|&f| f >= 2.5));
+        // Fares correlate with distance (the groupby lab's expected signal).
+        let g = t.groupby_i64("zone", &[("fare", Agg::Mean)]).unwrap();
+        assert_eq!(g.num_rows(), 8);
+        // Deterministic per seed.
+        assert_eq!(DataFrame::taxi_trips(500, 1), t);
+    }
+}

@@ -1,0 +1,65 @@
+//! # sagegpu-df — RAPIDS/Dask-style dataframes on simulated GPUs
+//!
+//! Week 6 of the reproduced course ("RAPIDS + Dask for Scalable Data
+//! Pipelines", Lab 6: "Parallel data processing using Dask with RAPIDS
+//! cuDF") and Assignment 2 ("Distributed GPU Data Processing") run
+//! columnar analytics on GPU dataframes partitioned across Dask workers.
+//! Neither cuDF nor Dask exists in Rust, so this crate provides the
+//! equivalents:
+//!
+//! - [`column::Column`] — typed columnar storage (f64 / i64 / string).
+//! - [`frame::DataFrame`] — a cuDF-like single-node frame: select,
+//!   filter, derived columns, group-by aggregation, sort, inner join;
+//!   plus the classic taxi-trips demo dataset generator.
+//! - [`gpu`] — the same operations charged to a [`gpu_sim::Gpu`]
+//!   (elementwise scans for filters, gather-heavy hash aggregation), so
+//!   profiling labs can inspect dataframe pipelines.
+//! - [`distributed`] — Dask's partitioned-dataframe model over
+//!   [`taskflow::cluster::LocalCluster`]: `map_partitions`, filtering,
+//!   and the two-phase (partial → combine) group-by aggregation that the
+//!   lab teaches as "why distributed group-by needs no shuffle for
+//!   algebraic aggregates".
+
+pub mod column;
+pub mod distributed;
+pub mod frame;
+pub mod gpu;
+
+/// Convenient glob-import of the crate's primary types.
+pub mod prelude {
+    pub use crate::column::Column;
+    pub use crate::distributed::PartitionedFrame;
+    pub use crate::frame::{Agg, DataFrame};
+    pub use crate::gpu::GpuFrame;
+    pub use crate::DfError;
+}
+
+/// Errors raised by dataframe operations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DfError {
+    /// Referenced column does not exist.
+    NoSuchColumn(String),
+    /// Column has the wrong type for the operation.
+    TypeMismatch { column: String, expected: &'static str },
+    /// Columns of differing lengths in one frame.
+    LengthMismatch { expected: usize, got: usize },
+    /// A column name used twice.
+    DuplicateColumn(String),
+}
+
+impl std::fmt::Display for DfError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DfError::NoSuchColumn(name) => write!(f, "no such column: {name}"),
+            DfError::TypeMismatch { column, expected } => {
+                write!(f, "column {column} is not of type {expected}")
+            }
+            DfError::LengthMismatch { expected, got } => {
+                write!(f, "column length {got} does not match frame length {expected}")
+            }
+            DfError::DuplicateColumn(name) => write!(f, "duplicate column: {name}"),
+        }
+    }
+}
+
+impl std::error::Error for DfError {}

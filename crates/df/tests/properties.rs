@@ -1,0 +1,88 @@
+//! Property-based invariants of the dataframe crate.
+
+use proptest::prelude::*;
+use sagegpu_df::column::Column;
+use sagegpu_df::frame::{Agg, DataFrame};
+
+fn frame(keys: Vec<i64>, vals: Vec<f64>) -> DataFrame {
+    DataFrame::from_columns(vec![("k", Column::I64(keys)), ("v", Column::F64(vals))]).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Filter keeps exactly the rows matching the predicate.
+    #[test]
+    fn filter_is_exact(vals in prop::collection::vec(-100.0f64..100.0, 0..80), threshold in -100.0f64..100.0) {
+        let keys = vec![0i64; vals.len()];
+        let df = frame(keys, vals.clone());
+        let f = df.filter_f64("v", move |v| v > threshold).unwrap();
+        let expected: Vec<f64> = vals.into_iter().filter(|&v| v > threshold).collect();
+        prop_assert_eq!(f.f64_column("v").unwrap(), expected.as_slice());
+    }
+
+    /// Group-by sums conserve the grand total; counts conserve row count.
+    #[test]
+    fn groupby_conserves_totals(
+        keys in prop::collection::vec(0i64..6, 1..100),
+        seed in 0u64..1000,
+    ) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+        let vals: Vec<f64> = keys.iter().map(|_| rng.gen_range(-50.0..50.0)).collect();
+        let df = frame(keys.clone(), vals.clone());
+        let g = df.groupby_i64("k", &[("v", Agg::Sum), ("v", Agg::Count)]).unwrap();
+        let total: f64 = g.f64_column("v_sum").unwrap().iter().sum();
+        prop_assert!((total - vals.iter().sum::<f64>()).abs() < 1e-6);
+        let count: f64 = g.f64_column("v_count").unwrap().iter().sum();
+        prop_assert_eq!(count as usize, keys.len());
+        // Keys come out sorted and distinct.
+        let out_keys = g.i64_column("k").unwrap();
+        prop_assert!(out_keys.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    /// Sorting yields a non-decreasing column and preserves multiset.
+    #[test]
+    fn sort_is_a_permutation(vals in prop::collection::vec(-1e3f64..1e3, 0..60)) {
+        let df = frame(vec![0; vals.len()], vals.clone());
+        let s = df.sort_by_f64("v").unwrap();
+        let sorted = s.f64_column("v").unwrap();
+        prop_assert!(sorted.windows(2).all(|w| w[0] <= w[1]));
+        let mut expected = vals.clone();
+        expected.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        prop_assert_eq!(sorted, expected.as_slice());
+    }
+
+    /// Join row count equals the sum over keys of |left(k)| × |right(k)|.
+    #[test]
+    fn join_cardinality(
+        left_keys in prop::collection::vec(0i64..4, 0..30),
+        right_keys in prop::collection::vec(0i64..4, 0..30),
+    ) {
+        let left = frame(left_keys.clone(), vec![1.0; left_keys.len()]);
+        let right = DataFrame::from_columns(vec![
+            ("k", Column::I64(right_keys.clone())),
+            ("w", Column::F64(vec![2.0; right_keys.len()])),
+        ]).unwrap();
+        let j = left.join_i64(&right, "k").unwrap();
+        let mut expected = 0usize;
+        for k in 0..4i64 {
+            let l = left_keys.iter().filter(|&&x| x == k).count();
+            let r = right_keys.iter().filter(|&&x| x == k).count();
+            expected += l * r;
+        }
+        prop_assert_eq!(j.num_rows(), expected);
+    }
+
+    /// Concat length is the sum of part lengths, any split point.
+    #[test]
+    fn concat_roundtrip(vals in prop::collection::vec(-10.0f64..10.0, 1..50), cut_frac in 0.0f64..1.0) {
+        let df = frame((0..vals.len() as i64).collect(), vals.clone());
+        let cut = ((vals.len() as f64) * cut_frac) as usize;
+        let head = df.head(cut);
+        let idx_tail: Vec<bool> = (0..vals.len()).map(|i| i >= cut).collect();
+        let tail = df.filter_mask(&idx_tail).unwrap();
+        let whole = DataFrame::concat(&[head, tail]).unwrap();
+        prop_assert_eq!(whole, df);
+    }
+}

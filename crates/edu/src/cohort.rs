@@ -1,0 +1,207 @@
+//! Semesters, rosters, and latent student abilities.
+//!
+//! Cohort sizes reconcile the paper's reported aggregates: "about
+//! thirty-nine students" across Fall 2024 and Spring 2025 (§I), "fifteen
+//! graduate students" in Spring 2025 (§III), n = 20 graduates and n = 20
+//! undergraduates in the Appendix C analysis, eight Fall-2024 evaluation
+//! respondents (87.5% = 7/8 in Appendix D), and a small Fall-2024 survey
+//! group (9 responses in Fig. 4a). The consistent solution used here:
+//! Fall 2024 = 10 students (5 grad / 5 UG), Spring 2025 = 30 (15 / 15),
+//! Summer 2025 (ongoing, shown only in Fig. 1) = 12 (6 / 6).
+
+use rand::prelude::*;
+use rand::rngs::SmallRng;
+use serde::Serialize;
+
+/// Academic level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
+pub enum Level {
+    Undergraduate,
+    Graduate,
+}
+
+/// Course offering term.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
+pub enum Semester {
+    Fall2024,
+    Spring2025,
+    Summer2025,
+}
+
+impl Semester {
+    /// Display label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Semester::Fall2024 => "Fall 2024",
+            Semester::Spring2025 => "Spring 2025",
+            Semester::Summer2025 => "Summer 2025",
+        }
+    }
+
+    /// The two completed semesters the paper analyzes.
+    pub fn analyzed() -> [Semester; 2] {
+        [Semester::Fall2024, Semester::Spring2025]
+    }
+
+    /// Labs offered (S25 added two — Appendix A ties the Fig. 5 hour
+    /// increase to them).
+    pub fn num_labs(&self) -> usize {
+        match self {
+            Semester::Fall2024 => 12,
+            Semester::Spring2025 | Semester::Summer2025 => 14,
+        }
+    }
+}
+
+/// One simulated student.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct Student {
+    pub id: usize,
+    pub level: Level,
+    pub semester: Semester,
+    /// Latent ability in [0, 1]; drives scores and survey confidence.
+    pub ability: f64,
+    /// Latent diligence in [0, 1]; drives submission timeliness.
+    pub diligence: f64,
+}
+
+/// A semester's roster.
+#[derive(Debug, Clone, Serialize)]
+pub struct Cohort {
+    pub semester: Semester,
+    pub students: Vec<Student>,
+}
+
+/// Enrollment per semester as (undergraduate, graduate) counts — Fig. 1.
+pub fn enrollment(semester: Semester) -> (usize, usize) {
+    match semester {
+        Semester::Fall2024 => (5, 5),
+        Semester::Spring2025 => (15, 15),
+        Semester::Summer2025 => (6, 6),
+    }
+}
+
+impl Cohort {
+    /// Generates a semester's roster. Graduate abilities are drawn higher
+    /// and tighter than undergraduate ones — the latent difference behind
+    /// Appendix C's significant Mann–Whitney result.
+    pub fn generate(semester: Semester, seed: u64) -> Self {
+        let (ug, grad) = enrollment(semester);
+        let mut rng = SmallRng::seed_from_u64(seed ^ semester as u64);
+        let mut students = Vec::with_capacity(ug + grad);
+        let mut id = 0usize;
+        for _ in 0..ug {
+            students.push(Student {
+                id: {
+                    id += 1;
+                    id - 1
+                },
+                level: Level::Undergraduate,
+                semester,
+                ability: rng.gen_range(0.25..0.95),
+                diligence: rng.gen_range(0.3..1.0),
+            });
+        }
+        for _ in 0..grad {
+            students.push(Student {
+                id: {
+                    id += 1;
+                    id - 1
+                },
+                level: Level::Graduate,
+                semester,
+                ability: rng.gen_range(0.55..1.0),
+                diligence: rng.gen_range(0.5..1.0),
+            });
+        }
+        Self { semester, students }
+    }
+
+    /// Roster size.
+    pub fn len(&self) -> usize {
+        self.students.len()
+    }
+
+    /// Whether the roster is empty.
+    pub fn is_empty(&self) -> bool {
+        self.students.is_empty()
+    }
+
+    /// Students of one level.
+    pub fn of_level(&self, level: Level) -> Vec<&Student> {
+        self.students.iter().filter(|s| s.level == level).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn enrollment_matches_paper_reconciliation() {
+        // Spring 2025 "notably saw fifteen graduate students enroll".
+        assert_eq!(enrollment(Semester::Spring2025), (15, 15));
+        // F24 + S25 ≈ "about thirty-nine students" (we use 40).
+        let total: usize = Semester::analyzed()
+            .iter()
+            .map(|&s| {
+                let (u, g) = enrollment(s);
+                u + g
+            })
+            .sum();
+        assert!((39..=40).contains(&total), "total {total}");
+        // Appendix C pools 20 grads and 20 undergraduates.
+        let grads: usize = Semester::analyzed().iter().map(|&s| enrollment(s).1).sum();
+        let ugs: usize = Semester::analyzed().iter().map(|&s| enrollment(s).0).sum();
+        assert_eq!(grads, 20);
+        assert_eq!(ugs, 20);
+    }
+
+    #[test]
+    fn cohorts_have_expected_composition() {
+        let c = Cohort::generate(Semester::Spring2025, 1);
+        assert_eq!(c.len(), 30);
+        assert_eq!(c.of_level(Level::Graduate).len(), 15);
+        assert_eq!(c.of_level(Level::Undergraduate).len(), 15);
+        assert!(!c.is_empty());
+    }
+
+    #[test]
+    fn graduate_abilities_higher_on_average() {
+        let c = Cohort::generate(Semester::Spring2025, 2);
+        let mean = |students: &[&Student]| {
+            students.iter().map(|s| s.ability).sum::<f64>() / students.len() as f64
+        };
+        let grad = mean(&c.of_level(Level::Graduate));
+        let ug = mean(&c.of_level(Level::Undergraduate));
+        assert!(grad > ug, "grad {grad} vs ug {ug}");
+    }
+
+    #[test]
+    fn deterministic_per_seed_and_distinct_per_semester() {
+        let a = Cohort::generate(Semester::Fall2024, 7);
+        let b = Cohort::generate(Semester::Fall2024, 7);
+        assert_eq!(a.students, b.students);
+        let c = Cohort::generate(Semester::Spring2025, 7);
+        assert_ne!(a.students.len(), c.students.len());
+    }
+
+    #[test]
+    fn spring_has_two_extra_labs() {
+        assert_eq!(Semester::Fall2024.num_labs(), 12);
+        assert_eq!(Semester::Spring2025.num_labs(), 14);
+    }
+
+    #[test]
+    fn ability_ranges_respected() {
+        let c = Cohort::generate(Semester::Spring2025, 3);
+        for s in &c.students {
+            assert!((0.0..=1.0).contains(&s.ability));
+            assert!((0.0..=1.0).contains(&s.diligence));
+            match s.level {
+                Level::Graduate => assert!(s.ability >= 0.55),
+                Level::Undergraduate => assert!(s.ability >= 0.25),
+            }
+        }
+    }
+}

@@ -1,0 +1,160 @@
+//! Appendix B: the two extra-credit opportunities.
+//!
+//! 1. **Build Your Own Lab** — design a new lab from the course modules.
+//!    No attempts in Fall 2024; three submissions in Spring 2025, none
+//!    fully meeting the SLOs (the paper blames finals-week timing).
+//! 2. **Academic Paper Review** (Spring 2025 only) — one-page summary +
+//!    critique + proposed extension of a 2020–2025 peer-reviewed paper.
+//!    ~60% completed it; summaries strong, proposed extensions vague.
+
+use crate::cohort::{Cohort, Semester};
+use rand::prelude::*;
+use rand::rngs::SmallRng;
+use serde::Serialize;
+
+/// The two Appendix B activities.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum ExtraCredit {
+    BuildYourOwnLab,
+    PaperReview,
+}
+
+/// Whether the activity was offered in a semester.
+pub fn offered(activity: ExtraCredit, semester: Semester) -> bool {
+    match activity {
+        ExtraCredit::BuildYourOwnLab => matches!(semester, Semester::Fall2024 | Semester::Spring2025),
+        // The review was introduced in Spring 2025.
+        ExtraCredit::PaperReview => matches!(semester, Semester::Spring2025),
+    }
+}
+
+/// Outcome of one student's attempt.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct Attempt {
+    pub student_id: usize,
+    pub activity: ExtraCredit,
+    /// Whether the submission fully met the learning outcomes.
+    pub met_slos: bool,
+    /// Rubric quality in [0, 1] (summary strength for reviews).
+    pub quality: f64,
+}
+
+/// Simulates a semester's extra-credit attempts, calibrated to Appendix B:
+/// Fall 2024 → zero build-your-own-lab attempts; Spring 2025 → exactly
+/// three (none meeting SLOs) and ~60% paper-review completion with strong
+/// summaries but weak extensions.
+pub fn simulate_extra_credit(cohort: &Cohort, seed: u64) -> Vec<Attempt> {
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0xec);
+    let mut attempts = Vec::new();
+
+    if offered(ExtraCredit::BuildYourOwnLab, cohort.semester)
+        && cohort.semester == Semester::Spring2025
+    {
+        // The three most diligent students attempted the lab design —
+        // during finals week, so none fully met the SLOs.
+        let mut by_diligence: Vec<_> = cohort.students.iter().collect();
+        by_diligence.sort_by(|a, b| b.diligence.partial_cmp(&a.diligence).expect("finite"));
+        for s in by_diligence.into_iter().take(3) {
+            attempts.push(Attempt {
+                student_id: s.id,
+                activity: ExtraCredit::BuildYourOwnLab,
+                met_slos: false,
+                quality: (0.35 + 0.3 * s.ability).clamp(0.0, 0.75),
+            });
+        }
+    }
+
+    if offered(ExtraCredit::PaperReview, cohort.semester) {
+        for s in &cohort.students {
+            // ~60% completion, diligence-weighted.
+            if rng.gen::<f64>() < 0.25 + 0.55 * s.diligence {
+                // "most provided excellent summaries" but "explanations for
+                // expanding on the proposed research were often vague":
+                // summary quality high, overall capped by the weak half.
+                let summary = 0.75 + 0.2 * s.ability;
+                let extension = 0.3 + 0.25 * s.ability;
+                attempts.push(Attempt {
+                    student_id: s.id,
+                    activity: ExtraCredit::PaperReview,
+                    met_slos: summary > 0.8 && extension > 0.5,
+                    quality: (0.6 * summary + 0.4 * extension).clamp(0.0, 1.0),
+                });
+            }
+        }
+    }
+    attempts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cohort::Cohort;
+
+    const SEED: u64 = 12;
+
+    #[test]
+    fn fall_has_no_build_your_own_lab_attempts() {
+        let c = Cohort::generate(Semester::Fall2024, SEED);
+        let attempts = simulate_extra_credit(&c, SEED);
+        assert!(attempts
+            .iter()
+            .all(|a| a.activity != ExtraCredit::BuildYourOwnLab));
+        // The paper review wasn't offered in Fall either.
+        assert!(attempts.is_empty());
+    }
+
+    #[test]
+    fn spring_has_exactly_three_lab_designs_none_meeting_slos() {
+        let c = Cohort::generate(Semester::Spring2025, SEED);
+        let attempts = simulate_extra_credit(&c, SEED);
+        let labs: Vec<_> = attempts
+            .iter()
+            .filter(|a| a.activity == ExtraCredit::BuildYourOwnLab)
+            .collect();
+        assert_eq!(labs.len(), 3, "Appendix B: three submissions");
+        assert!(labs.iter().all(|a| !a.met_slos), "none fully met the SLOs");
+    }
+
+    #[test]
+    fn paper_review_completion_near_sixty_percent() {
+        let c = Cohort::generate(Semester::Spring2025, SEED);
+        let attempts = simulate_extra_credit(&c, SEED);
+        let reviews = attempts
+            .iter()
+            .filter(|a| a.activity == ExtraCredit::PaperReview)
+            .count();
+        let rate = reviews as f64 / c.len() as f64;
+        assert!((0.4..=0.8).contains(&rate), "completion rate {rate}");
+    }
+
+    #[test]
+    fn reviews_have_strong_summaries_weak_extensions_overall() {
+        let c = Cohort::generate(Semester::Spring2025, SEED);
+        let attempts = simulate_extra_credit(&c, SEED);
+        let reviews: Vec<_> = attempts
+            .iter()
+            .filter(|a| a.activity == ExtraCredit::PaperReview)
+            .collect();
+        assert!(!reviews.is_empty());
+        let mean_quality: f64 =
+            reviews.iter().map(|a| a.quality).sum::<f64>() / reviews.len() as f64;
+        // Good but not excellent: the vague extensions cap the rubric.
+        assert!((0.55..=0.85).contains(&mean_quality), "quality {mean_quality}");
+        // A minority fully meet the SLOs.
+        let met = reviews.iter().filter(|a| a.met_slos).count();
+        assert!(met < reviews.len(), "extensions were 'often vague'");
+    }
+
+    #[test]
+    fn offering_schedule_matches_paper() {
+        assert!(offered(ExtraCredit::BuildYourOwnLab, Semester::Fall2024));
+        assert!(!offered(ExtraCredit::PaperReview, Semester::Fall2024));
+        assert!(offered(ExtraCredit::PaperReview, Semester::Spring2025));
+    }
+
+    #[test]
+    fn deterministic() {
+        let c = Cohort::generate(Semester::Spring2025, SEED);
+        assert_eq!(simulate_extra_credit(&c, 1), simulate_extra_credit(&c, 1));
+    }
+}

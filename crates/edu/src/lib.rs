@@ -1,0 +1,55 @@
+//! # sagegpu-edu — the course/cohort simulator behind the paper's evaluation
+//!
+//! The evaluation section of *"GPU Programming for AI Workflow Development
+//! on AWS SageMaker"* is entirely statistics over its human cohort:
+//! enrollment (Fig. 1), grade distributions (Fig. 2), end-of-semester
+//! Likert evaluations (Table II / Fig. 3), anonymous confidence surveys
+//! (Fig. 4a–d), AWS usage and cost (Fig. 5 / Appendix A), the graduate-vs-
+//! undergraduate score analysis (Tables III–IV, Figs. 6–9, Mann–Whitney
+//! U = 332, p = .0004), and satisfaction (Figs. 10–11 / Appendix D).
+//!
+//! The original students obviously cannot be re-enrolled. Following the
+//! substitution rule in DESIGN.md, this crate simulates the cohort: a
+//! per-student latent-ability model whose *generator parameters* are
+//! calibrated so the published aggregates come out, after which every
+//! downstream number is **computed** — scores run through the real
+//! `sagegpu-stats` tests, usage runs through the real `cloud-sim` control
+//! plane — never hard-coded. Calibration targets and residuals are
+//! recorded in EXPERIMENTS.md.
+//!
+//! ## Modules
+//!
+//! - [`cohort`] — semesters, student rosters, latent abilities (Fig. 1).
+//! - [`modules`] — Table I (the 16-week module plan) as data.
+//! - [`scores`] — calibrated score generator for Appendix C (Tables III–IV).
+//! - [`grades`] — letter-grade mapping and Fig. 2 distributions.
+//! - [`surveys`] — the mid/post confidence surveys of Fig. 4.
+//! - [`evaluation`] — Table II questions + Fig. 3 response profiles.
+//! - [`satisfaction`] — Figs. 10–11 satisfaction splits.
+//! - [`usage`] — the semester's AWS usage replayed against `cloud-sim`
+//!   (Fig. 5: ≈40–45 h and \$50–60 per student).
+//! - [`extra_credit`] — Appendix B's two opportunities and their observed
+//!   participation/outcome rates.
+
+pub mod cohort;
+pub mod evaluation;
+pub mod extra_credit;
+pub mod grades;
+pub mod modules;
+pub mod satisfaction;
+pub mod scores;
+pub mod surveys;
+pub mod usage;
+
+/// Convenient glob-import of the crate's primary types.
+pub mod prelude {
+    pub use crate::cohort::{Cohort, Level, Semester, Student};
+    pub use crate::evaluation::{evaluation_profile, EVALUATION_QUESTIONS};
+    pub use crate::extra_credit::{simulate_extra_credit, ExtraCredit};
+    pub use crate::grades::{grade_distribution, letter_of, LetterGrade};
+    pub use crate::modules::{course_modules, CourseModule};
+    pub use crate::satisfaction::{satisfaction_counts, SatisfactionLevel};
+    pub use crate::scores::{appendix_c_scores, ScoreSet};
+    pub use crate::surveys::{survey_responses, SurveyQuestion, SurveyWave};
+    pub use crate::usage::{simulate_semester_usage, UsageSummary};
+}

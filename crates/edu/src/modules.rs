@@ -1,0 +1,187 @@
+//! Table I: the 16-week module plan as data.
+
+use serde::Serialize;
+
+/// The deliverable attached to a week.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub enum Deliverable {
+    Lab { number: usize, title: &'static str },
+    Assignment { number: usize, title: &'static str, due_week: usize },
+    Exam(&'static str),
+    Project(&'static str),
+}
+
+/// One row of Table I.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct CourseModule {
+    pub week: usize,
+    pub topic: &'static str,
+    /// Bloom-verb student learning outcome.
+    pub slo: &'static str,
+    pub deliverables: Vec<Deliverable>,
+    /// Weekly quiz? (every module except week 7 and week 16).
+    pub has_quiz: bool,
+}
+
+/// The full 16-week plan of Table I.
+pub fn course_modules() -> Vec<CourseModule> {
+    use Deliverable::*;
+    let m = |week, topic, slo, deliverables, has_quiz| CourseModule {
+        week,
+        topic,
+        slo,
+        deliverables,
+        has_quiz,
+    };
+    vec![
+        m(1, "AWS GPU Setup + Course Introduction",
+          "Apply: Set up AWS EC2 GPU instances and configure Python environments",
+          vec![Lab { number: 1, title: "AWS GPU instance setup with Jupyter and SSH access" }], true),
+        m(2, "CUDA Fundamentals & GPU Parallelism",
+          "Understand/Apply: Explain GPU architecture, grasp CUDA programming basics, and implement parallel execution",
+          vec![Lab { number: 2, title: "CuPy vector/matrix operations & parallel processing" }], true),
+        m(3, "Memory Management & GPU Optimization",
+          "Analyze/Optimize: Manage and optimize memory transfers between host and GPU",
+          vec![
+              Lab { number: 3, title: "Matrix multiplication with memory profiling using Numba" },
+              Assignment { number: 1, title: "GPU Matrix Multiplication and Profiling", due_week: 5 },
+          ], true),
+        m(4, "GPU Profiling Tools & Bottleneck Analysis",
+          "Analyze/Evaluate: Apply Nsight Systems, PyTorch profiler, and cProfile for comprehensive GPU workload analysis",
+          vec![
+              Lab { number: 4, title: "Profiling GPU RL loop with Nsight and PyTorch profiler" },
+              Assignment { number: 2, title: "Distributed GPU Data Processing", due_week: 7 },
+          ], true),
+        m(5, "Custom CUDA Kernels with Python",
+          "Create/Integrate: Write, compile, and seamlessly integrate custom CUDA kernels in Python workflows",
+          vec![Lab { number: 5, title: "Custom CUDA kernel with Numba + profiling" }], true),
+        m(6, "RAPIDS + Dask for Scalable Data Pipelines",
+          "Apply/Create: Process large datasets efficiently using RAPIDS cuDF and Dask for distributed GPU workflows",
+          vec![Lab { number: 6, title: "Parallel data processing using Dask with RAPIDS cuDF" }], true),
+        m(7, "Midterm Exam / Assessment",
+          "No SLO (Assessment Week)",
+          vec![Exam("Midterm Exam")], false),
+        m(8, "Deep Learning on GPUs (PyTorch Focus)",
+          "Apply/Optimize: Train and optimize neural networks using GPU acceleration, specifically focusing on GCNs",
+          vec![Lab { number: 7, title: "CNN model training on GPU using PyTorch" }], true),
+        m(9, "Reinforcement Learning on GPUs",
+          "Develop/Implement: Develop reinforcement learning agents accelerated by GPUs",
+          vec![Lab { number: 8, title: "DQN agent training using CUDA-enabled PyTorch" }], true),
+        m(10, "Multi-GPU Training & Parallel Strategies",
+          "Apply/Scale: Scale models efficiently using multi-GPU setups with Distributed Data Parallel (DDP)",
+          vec![Lab { number: 9, title: "PyTorch DDP implementation across 2 GPUs" }], true),
+        m(11, "AI Agent Foundations & GPU Benefits",
+          "Understand/Describe: Describe AI agents and explain the GPU's critical role in training acceleration",
+          vec![
+              Lab { number: 10, title: "Simple reinforcement agent using CuPy/Numba" },
+              Assignment { number: 3, title: "Multi-GPU AI Agent", due_week: 13 },
+          ], true),
+        m(12, "Retrieval-Augmented Generation (RAG) Basics",
+          "Understand/Describe: Describe RAG architectures, combining retrieval and generation modules effectively",
+          vec![Lab { number: 11, title: "Basic RAG pipeline using FAISS for retrieval" }], true),
+        m(13, "GPU-Optimized RAG Development",
+          "Construct/Optimize: Construct and optimize RAG models using GPU-accelerated retrievers and generators",
+          vec![Lab { number: 12, title: "Build GPU-enabled RAG with retriever + small LLM" }], true),
+        m(14, "RAG Pipeline Optimization & Inference",
+          "Optimize/Deploy: Optimize end-to-end RAG pipelines for efficient real-time GPU inference",
+          vec![
+              Lab { number: 13, title: "Deploy real-time RAG inference pipeline" },
+              Assignment { number: 4, title: "End-to-End RAG System", due_week: 16 },
+          ], true),
+        m(15, "Project Development & Support",
+          "Apply/Create: Apply GPU acceleration, AI agent techniques, and RAG models in capstone projects",
+          vec![Lab { number: 14, title: "Build your own Lab (Extra Credit); Academic paper review (Extra Credit)" }], true),
+        m(16, "Final Project Presentations & Exam",
+          "Showcase/Demonstrate: Showcase final projects demonstrating GPU-accelerated AI/RAG pipelines",
+          vec![Exam("Final Exam"), Project("Final Project Presentation")], false),
+    ]
+}
+
+/// Renders Table I as aligned text.
+pub fn render_modules_table() -> String {
+    let mut out = String::from("Week | Topic | Deliverables\n");
+    for m in course_modules() {
+        let deliverables: Vec<String> = m
+            .deliverables
+            .iter()
+            .map(|d| match d {
+                Deliverable::Lab { number, title } => format!("Lab {number}: {title}"),
+                Deliverable::Assignment { number, title, due_week } => {
+                    format!("Assignment {number}: {title} (Due Week {due_week})")
+                }
+                Deliverable::Exam(name) => (*name).to_owned(),
+                Deliverable::Project(name) => (*name).to_owned(),
+            })
+            .collect();
+        out.push_str(&format!("{:>4} | {} | {}\n", m.week, m.topic, deliverables.join("; ")));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sixteen_weeks_in_order() {
+        let mods = course_modules();
+        assert_eq!(mods.len(), 16);
+        for (i, m) in mods.iter().enumerate() {
+            assert_eq!(m.week, i + 1);
+        }
+    }
+
+    #[test]
+    fn quiz_every_week_except_7_and_16() {
+        for m in course_modules() {
+            let expected = m.week != 7 && m.week != 16;
+            assert_eq!(m.has_quiz, expected, "week {}", m.week);
+        }
+    }
+
+    #[test]
+    fn four_assignments_with_paper_due_dates() {
+        let mods = course_modules();
+        let assignments: Vec<(usize, usize)> = mods
+            .iter()
+            .flat_map(|m| &m.deliverables)
+            .filter_map(|d| match d {
+                Deliverable::Assignment { number, due_week, .. } => Some((*number, *due_week)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(assignments, vec![(1, 5), (2, 7), (3, 13), (4, 16)]);
+    }
+
+    #[test]
+    fn fourteen_labs_and_two_exams() {
+        let mods = course_modules();
+        let labs = mods
+            .iter()
+            .flat_map(|m| &m.deliverables)
+            .filter(|d| matches!(d, Deliverable::Lab { .. }))
+            .count();
+        let exams = mods
+            .iter()
+            .flat_map(|m| &m.deliverables)
+            .filter(|d| matches!(d, Deliverable::Exam(_)))
+            .count();
+        assert_eq!(labs, 14);
+        assert_eq!(exams, 2);
+    }
+
+    #[test]
+    fn rag_weeks_cover_retrieval_and_deployment() {
+        let mods = course_modules();
+        assert!(mods[11].topic.contains("RAG"));
+        assert!(mods[13].slo.contains("Optimize/Deploy"));
+    }
+
+    #[test]
+    fn render_contains_key_rows() {
+        let t = render_modules_table();
+        assert!(t.contains("Midterm Exam"));
+        assert!(t.contains("FAISS"));
+        assert!(t.contains("Due Week 16"));
+    }
+}

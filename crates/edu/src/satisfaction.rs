@@ -1,0 +1,108 @@
+//! Overall satisfaction (Appendix D, Figs. 10–11).
+//!
+//! Appendix D's exact splits: n = 18 total evaluations; Fall 2024 — 87.5%
+//! "Very High" plus one "Very Low" (7 + 1 of 8); Spring 2025 — 60% "Very
+//! High" and 40% "High" (6 + 4 of 10), no "Very Low".
+
+use crate::cohort::Semester;
+use serde::Serialize;
+
+/// Satisfaction categories used by the university's form.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize)]
+pub enum SatisfactionLevel {
+    VeryLow,
+    Low,
+    Moderate,
+    High,
+    VeryHigh,
+}
+
+impl SatisfactionLevel {
+    /// All levels, ascending.
+    pub const ALL: [SatisfactionLevel; 5] = [
+        SatisfactionLevel::VeryLow,
+        SatisfactionLevel::Low,
+        SatisfactionLevel::Moderate,
+        SatisfactionLevel::High,
+        SatisfactionLevel::VeryHigh,
+    ];
+
+    /// Display label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            SatisfactionLevel::VeryLow => "Very Low",
+            SatisfactionLevel::Low => "Low",
+            SatisfactionLevel::Moderate => "Moderate",
+            SatisfactionLevel::High => "High",
+            SatisfactionLevel::VeryHigh => "Very High",
+        }
+    }
+}
+
+/// Satisfaction counts `[VeryLow, Low, Moderate, High, VeryHigh]` per
+/// semester (Fig. 10's bars).
+pub fn satisfaction_counts(semester: Semester) -> [usize; 5] {
+    match semester {
+        Semester::Fall2024 => [1, 0, 0, 0, 7],
+        Semester::Spring2025 => [0, 0, 0, 4, 6],
+        Semester::Summer2025 => [0, 0, 0, 0, 0],
+    }
+}
+
+/// Percentage split (Fig. 11's stacked bars).
+pub fn satisfaction_percentages(semester: Semester) -> [f64; 5] {
+    let counts = satisfaction_counts(semester);
+    let total: usize = counts.iter().sum();
+    let mut out = [0.0; 5];
+    if total == 0 {
+        return out;
+    }
+    for (i, &c) in counts.iter().enumerate() {
+        out[i] = 100.0 * c as f64 / total as f64;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_match_appendix_d() {
+        let f: usize = satisfaction_counts(Semester::Fall2024).iter().sum();
+        let s: usize = satisfaction_counts(Semester::Spring2025).iter().sum();
+        assert_eq!(f + s, 18, "n = 18 evaluations");
+        assert_eq!(f, 8);
+        assert_eq!(s, 10);
+    }
+
+    #[test]
+    fn fall_split_is_87_5_very_high_with_one_very_low() {
+        let p = satisfaction_percentages(Semester::Fall2024);
+        assert!((p[4] - 87.5).abs() < 1e-9);
+        assert!((p[0] - 12.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn spring_split_is_60_40_with_no_very_low() {
+        let p = satisfaction_percentages(Semester::Spring2025);
+        assert!((p[4] - 60.0).abs() < 1e-9);
+        assert!((p[3] - 40.0).abs() < 1e-9);
+        assert_eq!(satisfaction_counts(Semester::Spring2025)[0], 0);
+    }
+
+    #[test]
+    fn percentages_sum_to_100_for_analyzed_semesters() {
+        for sem in Semester::analyzed() {
+            let p = satisfaction_percentages(sem);
+            assert!((p.iter().sum::<f64>() - 100.0).abs() < 1e-9);
+        }
+        assert_eq!(satisfaction_percentages(Semester::Summer2025), [0.0; 5]);
+    }
+
+    #[test]
+    fn labels_ascend() {
+        assert_eq!(SatisfactionLevel::ALL[0].label(), "Very Low");
+        assert_eq!(SatisfactionLevel::ALL[4].label(), "Very High");
+    }
+}

@@ -1,0 +1,237 @@
+//! Calibrated weighted-total score generation (Appendix C's inputs).
+//!
+//! Table IV fixes the targets: graduates mean 94.36, σ 6.91, min 74.38,
+//! median 97.92, max 99.17; undergraduates mean 83.51, σ 11.33, min 53.75,
+//! median 85.94, max 98.54 — with graduate scores "tightly clustered near
+//! the upper end … noticeable skewness" (Shapiro W = .722), variances
+//! *homogeneous* (Levene F = 2.437, p = .127), and a decisive Mann–Whitney
+//! separation (U = 332, p = .0004).
+//!
+//! Two different generator shapes are needed to satisfy all three tests at
+//! once:
+//!
+//! - **Graduates** follow a bounded power-function distribution
+//!   `score(p) = max − range·(1 − p)^k`, whose closed-form mean
+//!   `max − range/(k+1)` solves to k ≈ 4.15 from Table IV — giving the
+//!   ceiling-clustered, left-skewed shape behind W = .722.
+//! - **Undergraduates** are a *heavy-tailed mixture*: a tight normal bulk
+//!   (quantile-stratified) plus a few far-out fixed students (53.75 at the
+//!   bottom, 98.54 at the top). A plain wide distribution with σ = 11.33
+//!   would make Levene reject homogeneity; concentrating the spread in a
+//!   small tail reproduces the paper's fail-to-reject while keeping σ and
+//!   the extremes on target.
+//!
+//! All downstream statistics are *computed* by `sagegpu-stats` in this
+//! module's tests — never asserted from constants.
+
+use rand::prelude::*;
+use rand::rngs::SmallRng;
+use sagegpu_stats::special::normal_quantile;
+use serde::Serialize;
+
+/// The pooled Appendix C score vectors (n = 20 per group).
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct ScoreSet {
+    pub graduate: Vec<f64>,
+    pub undergraduate: Vec<f64>,
+}
+
+/// Graduate-group bounded power-function model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct GradModel {
+    pub max: f64,
+    pub min: f64,
+    /// Shape: larger = more ceiling-clustered.
+    pub k: f64,
+}
+
+impl GradModel {
+    /// Solved from Table IV (mean 94.36 → k ≈ 4.154).
+    pub fn table_iv() -> Self {
+        Self {
+            max: 99.17,
+            min: 74.38,
+            k: 4.154,
+        }
+    }
+
+    /// Inverse-CDF draw at quantile `p ∈ [0, 1]`.
+    pub fn quantile(&self, p: f64) -> f64 {
+        self.max - (self.max - self.min) * (1.0 - p).powf(self.k)
+    }
+
+    /// Closed-form mean of the distribution.
+    pub fn mean(&self) -> f64 {
+        self.max - (self.max - self.min) / (self.k + 1.0)
+    }
+
+    /// Samples `n` scores at jittered stratified quantiles.
+    pub fn sample(&self, n: usize, rng: &mut SmallRng) -> Vec<f64> {
+        (0..n)
+            .map(|i| {
+                let base = (i as f64 + 0.5) / n as f64;
+                let jitter = rng.gen_range(-0.35..0.35) / n as f64;
+                self.quantile((base + jitter).clamp(0.001, 0.999))
+            })
+            .collect()
+    }
+}
+
+/// Undergraduate heavy-tailed mixture: 16 bulk students from a tight
+/// normal, plus four fixed tail students carrying Table IV's extremes.
+pub fn undergraduate_sample(rng: &mut SmallRng) -> Vec<f64> {
+    const BULK_MEAN: f64 = 85.3;
+    const BULK_SD: f64 = 5.8;
+    let mut scores = vec![
+        53.75, // Table IV minimum
+        62.0 + rng.gen_range(-1.0..1.0),
+        97.6 + rng.gen_range(-0.5..0.5),
+        98.54, // Table IV maximum
+    ];
+    for i in 0..16 {
+        let base = (i as f64 + 0.5) / 16.0;
+        let jitter = rng.gen_range(-0.3..0.3) / 16.0;
+        let p = (base + jitter).clamp(0.01, 0.99);
+        let z = normal_quantile(p).expect("p in (0,1)");
+        scores.push((BULK_MEAN + BULK_SD * z).clamp(66.0, 96.5));
+    }
+    scores
+}
+
+/// Generates the Appendix C score vectors.
+pub fn appendix_c_scores(seed: u64) -> ScoreSet {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    ScoreSet {
+        graduate: GradModel::table_iv().sample(20, &mut rng),
+        undergraduate: undergraduate_sample(&mut rng),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sagegpu_stats::describe::describe;
+    use sagegpu_stats::levene::{levene_test, Center};
+    use sagegpu_stats::mannwhitney::mann_whitney_u;
+    use sagegpu_stats::shapiro::shapiro_wilk;
+
+    const SEED: u64 = 2025;
+
+    #[test]
+    fn closed_form_grad_mean_matches_table_iv() {
+        assert!((GradModel::table_iv().mean() - 94.36).abs() < 0.05);
+    }
+
+    #[test]
+    fn graduate_descriptives_near_table_iv() {
+        let s = appendix_c_scores(SEED);
+        let d = describe(&s.graduate).unwrap();
+        assert_eq!(d.count, 20);
+        assert!((d.mean - 94.36).abs() < 1.5, "mean {}", d.mean);
+        assert!((d.std_dev - 6.91).abs() < 2.5, "sd {}", d.std_dev);
+        assert!((d.median - 97.92).abs() < 2.0, "median {}", d.median);
+        assert!(d.max <= 99.17 + 1e-9);
+        assert!(d.min >= 74.38 - 1e-9);
+        assert!(d.skewness < -1.0, "ceiling skew expected, got {}", d.skewness);
+    }
+
+    #[test]
+    fn undergraduate_descriptives_near_table_iv() {
+        let s = appendix_c_scores(SEED);
+        let d = describe(&s.undergraduate).unwrap();
+        assert_eq!(d.count, 20);
+        assert!((d.mean - 83.51).abs() < 2.0, "mean {}", d.mean);
+        assert!((d.std_dev - 11.33).abs() < 2.0, "sd {}", d.std_dev);
+        assert!((d.median - 85.94).abs() < 3.0, "median {}", d.median);
+        assert!((d.min - 53.75).abs() < 1e-9, "min {}", d.min);
+        assert!((d.max - 98.54).abs() < 1e-9, "max {}", d.max);
+    }
+
+    #[test]
+    fn shapiro_reproduces_table_iii_conclusions() {
+        // Table III: graduates strongly non-normal (W = .722, p < .001),
+        // undergraduates mildly non-normal (W = .898, p = .037).
+        let s = appendix_c_scores(SEED);
+        let grad = shapiro_wilk(&s.graduate).unwrap();
+        assert!(grad.w < 0.88, "graduate W {} should be low", grad.w);
+        assert!(grad.p_value < 0.01, "graduate p {}", grad.p_value);
+        let ug = shapiro_wilk(&s.undergraduate).unwrap();
+        assert!(ug.w > grad.w, "UG less skewed than grads: {} vs {}", ug.w, grad.w);
+        assert!((0.80..=0.97).contains(&ug.w), "UG W {}", ug.w);
+        assert!(ug.p_value < 0.10, "UG mildly non-normal, p {}", ug.p_value);
+    }
+
+    #[test]
+    fn levene_reproduces_homogeneity_conclusion() {
+        // Table III: F = 2.437, p = .127 → fail to reject equal variances.
+        let s = appendix_c_scores(SEED);
+        let r = levene_test(&[&s.graduate, &s.undergraduate], Center::Mean).unwrap();
+        assert_eq!(r.df_between, 1.0);
+        assert_eq!(r.df_within, 38.0);
+        assert!(
+            r.p_value > 0.05,
+            "p {} (F {}) must not reject homogeneity",
+            r.p_value,
+            r.f_statistic
+        );
+    }
+
+    #[test]
+    fn mann_whitney_reproduces_appendix_c_conclusion() {
+        // Appendix C: U = 332.00, p = .0004, graduates higher.
+        let s = appendix_c_scores(SEED);
+        let r = mann_whitney_u(&s.graduate, &s.undergraduate).unwrap();
+        let u_grad = r.u1; // first sample = graduates
+        assert!(u_grad > 290.0, "graduate U {} (paper: 332)", u_grad);
+        assert!(u_grad <= 400.0);
+        assert!(r.p_value < 0.01, "p {} (paper: .0004)", r.p_value);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        assert_eq!(appendix_c_scores(5), appendix_c_scores(5));
+        assert_ne!(appendix_c_scores(5), appendix_c_scores(6));
+    }
+
+    #[test]
+    fn scores_stay_in_bounds() {
+        for seed in 0..20 {
+            let s = appendix_c_scores(seed);
+            for &x in s.graduate.iter().chain(&s.undergraduate) {
+                assert!((0.0..=100.0).contains(&x), "score {x}");
+            }
+        }
+    }
+
+    #[test]
+    fn conclusions_hold_across_seeds() {
+        // The calibration is a property of the generator, not of one lucky
+        // seed: check the three headline conclusions over several seeds.
+        let mut levene_ok = 0;
+        for seed in 0..10u64 {
+            let s = appendix_c_scores(seed);
+            let grad = shapiro_wilk(&s.graduate).unwrap();
+            assert!(grad.p_value < 0.05, "seed {seed}: grad normality must reject");
+            let mw = mann_whitney_u(&s.graduate, &s.undergraduate).unwrap();
+            assert!(mw.p_value < 0.05, "seed {seed}: group difference must hold");
+            let lv = levene_test(&[&s.graduate, &s.undergraduate], Center::Mean).unwrap();
+            if lv.p_value > 0.05 {
+                levene_ok += 1;
+            }
+        }
+        assert!(levene_ok >= 7, "homogeneity conclusion held only {levene_ok}/10 seeds");
+    }
+
+    #[test]
+    fn quantile_function_is_monotone() {
+        let m = GradModel::table_iv();
+        let mut last = f64::NEG_INFINITY;
+        for i in 0..=100 {
+            let q = m.quantile(i as f64 / 100.0);
+            assert!(q >= last);
+            last = q;
+        }
+        assert!((m.quantile(0.0) - m.min).abs() < 1e-9);
+        assert!((m.quantile(1.0) - m.max).abs() < 1e-9);
+    }
+}

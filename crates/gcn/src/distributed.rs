@@ -1,0 +1,389 @@
+//! Algorithm 1: distributed GCN training over partitioned subgraphs.
+
+use crate::sequential::{dataset_adjacency, dataset_features, epoch_profile, infer};
+use crate::{EpochStats, TrainConfig};
+use gpu_sim::{DeviceSpec, GpuCluster, LaunchConfig, LinkKind};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use sagegpu_graph::generators::GraphDataset;
+use sagegpu_graph::normalize::normalized_adjacency;
+use sagegpu_graph::partition::{edge_cut, metis_partition, partition_balance, random_partition};
+use sagegpu_graph::GraphError;
+use sagegpu_nn::layers::Gcn;
+use sagegpu_nn::metrics::accuracy;
+use sagegpu_nn::optim::{Adam, Optimizer};
+use sagegpu_nn::parallel::weighted_average_gradients;
+use sagegpu_nn::tape::Tape;
+use sagegpu_profiler::timeline::Timeline;
+use sagegpu_tensor::dense::Tensor;
+use sagegpu_tensor::sparse::CsrMatrix;
+use std::sync::Arc;
+use taskflow::cluster::LocalCluster;
+
+/// How the graph is split across workers (line 3 of Algorithm 1 uses
+/// METIS; the course had students also try random splits).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PartitionStrategy {
+    Metis,
+    Random { seed: u64 },
+}
+
+impl PartitionStrategy {
+    /// Human-readable name for tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            PartitionStrategy::Metis => "metis",
+            PartitionStrategy::Random { .. } => "random",
+        }
+    }
+}
+
+/// Everything one worker holds about its partition.
+struct PartitionData {
+    /// Original node ids, local index order.
+    nodes: Vec<usize>,
+    adj: Arc<CsrMatrix>,
+    x: Tensor,
+    labels: Vec<usize>,
+    train_mask: Vec<bool>,
+    nnz: u64,
+}
+
+/// Result of a distributed run.
+#[derive(Debug, Clone)]
+pub struct DistResult {
+    pub k: usize,
+    pub strategy: &'static str,
+    pub epoch_stats: Vec<EpochStats>,
+    /// Accuracy with partitioned inference (each node aggregates within its
+    /// partition — how the course's students evaluated).
+    pub test_accuracy: f64,
+    /// Accuracy running the trained model over the full, uncut graph.
+    pub test_accuracy_full_graph: f64,
+    /// Simulated makespan of the whole run.
+    pub sim_time_ns: u64,
+    /// Partition quality: total cut edge weight.
+    pub edge_cut: f64,
+    /// Partition balance (1.0 = perfect).
+    pub balance: f64,
+    /// Per-device busy fraction of the makespan.
+    pub device_utilization: Vec<f64>,
+    pub model: Gcn,
+}
+
+fn build_partition(ds: &GraphDataset, nodes: Vec<usize>) -> Result<PartitionData, GraphError> {
+    let (subgraph, mapping) = ds.graph.subgraph(&nodes)?;
+    let (indptr, indices, values) = normalized_adjacency(&subgraph);
+    let adj = Arc::new(
+        CsrMatrix::new(nodes.len(), nodes.len(), indptr, indices, values)
+            .expect("normalized subgraph CSR is valid"),
+    );
+    let mut feats = Vec::with_capacity(nodes.len() * ds.feature_dim);
+    for &u in &mapping {
+        feats.extend_from_slice(ds.feature_row(u));
+    }
+    let x = Tensor::from_vec(nodes.len(), ds.feature_dim, feats).expect("feature dims");
+    let labels = mapping.iter().map(|&u| ds.labels[u]).collect();
+    let train_mask = mapping.iter().map(|&u| ds.train_mask[u]).collect();
+    let nnz = (2 * subgraph.num_edges() + subgraph.num_nodes()) as u64;
+    Ok(PartitionData {
+        nodes: mapping,
+        adj,
+        x,
+        labels,
+        train_mask,
+        nnz,
+    })
+}
+
+/// Trains a GCN distributed over `k` simulated GPUs per Algorithm 1,
+/// with the course's default interconnect (VPC Ethernet between separate
+/// instances — see [`train_distributed_with_link`] to ablate it).
+pub fn train_distributed(
+    ds: &GraphDataset,
+    k: usize,
+    cfg: &TrainConfig,
+    strategy: PartitionStrategy,
+) -> Result<DistResult, GraphError> {
+    train_distributed_with_link(ds, k, cfg, strategy, LinkKind::Ethernet)
+}
+
+/// [`train_distributed`] with an explicit device interconnect — the
+/// ablation of DESIGN.md (what if the course had NVLink instead of VPC
+/// networking?).
+pub fn train_distributed_with_link(
+    ds: &GraphDataset,
+    k: usize,
+    cfg: &TrainConfig,
+    strategy: PartitionStrategy,
+    link: LinkKind,
+) -> Result<DistResult, GraphError> {
+    // Line 3: partition.
+    let parts = match strategy {
+        PartitionStrategy::Metis => metis_partition(&ds.graph, k)?,
+        PartitionStrategy::Random { seed } => random_partition(ds.num_nodes(), k, seed)?,
+    };
+    let cut = edge_cut(&ds.graph, &parts);
+    let balance = partition_balance(&ds.graph, &parts, k);
+
+    // Line 4: cluster with one worker per GPU. The course's multi-GPU
+    // setups were 2–3 *separate* single-GPU instances in one VPC, so the
+    // default gradient exchange crosses Ethernet — the main reason the
+    // paper saw "minimal performance improvement" from splitting.
+    let gpus = Arc::new(GpuCluster::homogeneous(k, DeviceSpec::t4(), link));
+    let cluster = LocalCluster::with_gpus(Arc::clone(&gpus));
+
+    // Lines 5–6: build and distribute partitions (features charged as H2D).
+    let mut partition_keys = Vec::with_capacity(k);
+    for part in 0..k {
+        let nodes: Vec<usize> = (0..ds.num_nodes()).filter(|&u| parts[u] == part).collect();
+        let data = Arc::new(build_partition(ds, nodes)?);
+        let key = taskflow::store::DataKey::fresh();
+        let data_clone = Arc::clone(&data);
+        cluster
+            .submit_to(part, move |ctx| {
+                // Charge the feature upload to this worker's GPU.
+                let _ = ctx.gpu().htod(data_clone.x.data()).expect("features fit");
+                ctx.store.put(key, data_clone);
+            })
+            .expect("worker exists")
+            .wait()
+            .expect("scatter succeeds");
+        partition_keys.push(key);
+    }
+
+    // Line 7: global model.
+    let mut rng = SmallRng::seed_from_u64(cfg.seed);
+    let mut model = Gcn::new(ds.feature_dim, cfg.hidden, ds.num_classes, &mut rng);
+    let mut opt = Adam::new(cfg.lr);
+    let param_bytes = model.parameter_bytes();
+    let (in_dim, hidden, classes) = (ds.feature_dim, cfg.hidden, ds.num_classes);
+
+    // Lines 9–14: epochs.
+    let mut epoch_stats = Vec::with_capacity(cfg.epochs);
+    for epoch in 0..cfg.epochs {
+        // Line 8 (per epoch): broadcast current θ.
+        let params = model.get_parameters();
+        let mut futures = Vec::with_capacity(k);
+        for (worker, &key) in partition_keys.iter().enumerate() {
+            let params = params.clone();
+            let fut = cluster
+                .submit_to(worker, move |ctx| {
+                    let data = ctx
+                        .store
+                        .get::<Arc<PartitionData>>(key)
+                        .expect("partition scattered");
+                    let gpu = ctx.gpu();
+                    let profile = epoch_profile(
+                        data.nodes.len() as u64,
+                        data.nnz,
+                        in_dim as u64,
+                        hidden as u64,
+                        classes as u64,
+                    );
+                    let launch = LaunchConfig::for_elements(data.nodes.len().max(1) as u64, 128);
+                    gpu.launch("gcn_epoch_local", launch, profile, || {
+                        // Lines 10–11: local loss and gradients.
+                        let mut local = Gcn::new(in_dim, hidden, classes, &mut SmallRng::seed_from_u64(0));
+                        local.set_parameters(&params);
+                        let tape = Tape::new();
+                        let fwd = local.forward(&tape, Arc::clone(&data.adj), &data.x);
+                        let loss = tape.cross_entropy(fwd.logits, &data.labels, &data.train_mask);
+                        let loss_val = tape.value(loss).get(0, 0);
+                        let grads = tape.backward(loss);
+                        let grad_tensors: Vec<Tensor> = fwd
+                            .params
+                            .iter()
+                            .map(|v| grads[v.index()].clone().expect("param grad"))
+                            .collect();
+                        let train_count = data.train_mask.iter().filter(|&&m| m).count();
+                        (grad_tensors, loss_val, train_count)
+                    })
+                    .expect("valid launch")
+                })
+                .expect("worker exists");
+            futures.push(fut);
+        }
+        let results = cluster.gather(futures).expect("epoch tasks succeed");
+
+        // Line 12: aggregate gradients (ring all-reduce on the links).
+        gpus.all_reduce_cost(param_bytes);
+        let weights: Vec<f64> = results.iter().map(|(_, _, c)| *c as f64).collect();
+        let per_worker: Vec<Vec<Tensor>> = results.iter().map(|(g, _, _)| g.clone()).collect();
+        let total_train: f64 = weights.iter().sum();
+        if total_train > 0.0 {
+            let avg = weighted_average_gradients(&per_worker, &weights);
+            // Line 13: global update.
+            opt.step_all(model.parameters_mut(), &avg);
+        }
+        // Line 14: report epoch loss (train-count-weighted).
+        let loss = if total_train > 0.0 {
+            results
+                .iter()
+                .map(|(_, l, c)| *l * *c as f32)
+                .sum::<f32>()
+                / total_train as f32
+        } else {
+            0.0
+        };
+        epoch_stats.push(EpochStats { epoch, loss });
+    }
+
+    // Evaluation 1: partitioned inference (students' setup).
+    let mut preds = vec![0usize; ds.num_nodes()];
+    let final_params = model.get_parameters();
+    let mut eval_futures = Vec::with_capacity(k);
+    for (worker, &key) in partition_keys.iter().enumerate() {
+        let params = final_params.clone();
+        let fut = cluster
+            .submit_to(worker, move |ctx| {
+                let data = ctx
+                    .store
+                    .get::<Arc<PartitionData>>(key)
+                    .expect("partition scattered");
+                let mut local = Gcn::new(in_dim, hidden, classes, &mut SmallRng::seed_from_u64(0));
+                local.set_parameters(&params);
+                let logits = infer(&local, &data.adj, &data.x);
+                (data.nodes.clone(), logits.argmax_rows())
+            })
+            .expect("worker exists");
+        eval_futures.push(fut);
+    }
+    for (nodes, local_preds) in cluster.gather(eval_futures).expect("eval succeeds") {
+        for (local, &orig) in nodes.iter().enumerate() {
+            preds[orig] = local_preds[local];
+        }
+    }
+    let test_mask: Vec<bool> = ds.train_mask.iter().map(|&m| !m).collect();
+    let mut correct = 0usize;
+    let mut total = 0usize;
+    for u in 0..ds.num_nodes() {
+        if test_mask[u] {
+            total += 1;
+            if preds[u] == ds.labels[u] {
+                correct += 1;
+            }
+        }
+    }
+    let test_accuracy = if total == 0 { 0.0 } else { correct as f64 / total as f64 };
+
+    // Evaluation 2: full-graph inference with the same trained weights.
+    let full_adj = dataset_adjacency(ds);
+    let full_x = dataset_features(ds);
+    let full_logits = infer(&model, &full_adj, &full_x);
+    let test_accuracy_full_graph = accuracy(&full_logits, &ds.labels, &test_mask);
+
+    let timeline = Timeline::from_recorder(gpus.recorder());
+    let device_utilization = (0..k as u32).map(|d| timeline.utilization(d)).collect();
+
+    Ok(DistResult {
+        k,
+        strategy: strategy.name(),
+        epoch_stats,
+        test_accuracy,
+        test_accuracy_full_graph,
+        sim_time_ns: gpus.makespan_ns(),
+        edge_cut: cut,
+        balance,
+        device_utilization,
+        model,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sequential::train_sequential;
+    use sagegpu_graph::generators::{sbm, SbmParams};
+
+    fn ds() -> GraphDataset {
+        sbm(
+            &SbmParams {
+                block_sizes: vec![50, 50, 50, 50],
+                p_in: 0.18,
+                p_out: 0.015,
+                feature_dim: 16,
+                feature_separation: 1.2,
+                train_fraction: 0.5,
+            },
+            21,
+        )
+        .unwrap()
+    }
+
+    fn cfg() -> TrainConfig {
+        TrainConfig {
+            epochs: 25,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn distributed_training_converges() {
+        let r = train_distributed(&ds(), 2, &cfg(), PartitionStrategy::Metis).unwrap();
+        let first = r.epoch_stats.first().unwrap().loss;
+        let last = r.epoch_stats.last().unwrap().loss;
+        assert!(last < 0.8 * first, "loss {first} → {last}");
+        assert!(r.test_accuracy > 0.6, "accuracy {}", r.test_accuracy);
+    }
+
+    #[test]
+    fn metis_cut_below_random_cut() {
+        let d = ds();
+        let m = train_distributed(&d, 4, &cfg(), PartitionStrategy::Metis).unwrap();
+        let r = train_distributed(&d, 4, &cfg(), PartitionStrategy::Random { seed: 3 }).unwrap();
+        assert!(m.edge_cut < r.edge_cut, "metis {} vs random {}", m.edge_cut, r.edge_cut);
+        assert!(m.balance < 1.2);
+    }
+
+    #[test]
+    fn metis_partitioned_accuracy_at_least_random() {
+        // §III-B: community-aligned partitions drop noise edges; random
+        // partitions drop signal edges. METIS should not be worse.
+        let d = ds();
+        let m = train_distributed(&d, 4, &cfg(), PartitionStrategy::Metis).unwrap();
+        let r = train_distributed(&d, 4, &cfg(), PartitionStrategy::Random { seed: 3 }).unwrap();
+        assert!(
+            m.test_accuracy >= r.test_accuracy - 0.05,
+            "metis {} vs random {}",
+            m.test_accuracy,
+            r.test_accuracy
+        );
+    }
+
+    #[test]
+    fn speedup_is_minimal_on_small_graphs() {
+        // The paper's observation: splitting a modest graph buys little.
+        let d = ds();
+        let seq = train_sequential(&d, &cfg());
+        let dist = train_distributed(&d, 2, &cfg(), PartitionStrategy::Metis).unwrap();
+        let speedup = seq.sim_time_ns as f64 / dist.sim_time_ns as f64;
+        assert!(
+            speedup < 2.0,
+            "2 GPUs must not give ≥2× on a small graph (got {speedup:.2}×)"
+        );
+    }
+
+    #[test]
+    fn utilization_reported_per_device() {
+        let r = train_distributed(&ds(), 3, &cfg(), PartitionStrategy::Metis).unwrap();
+        assert_eq!(r.device_utilization.len(), 3);
+        for &u in &r.device_utilization {
+            assert!((0.0..=1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn k1_distributed_close_to_sequential_accuracy() {
+        let d = ds();
+        let seq = train_sequential(&d, &cfg());
+        let dist = train_distributed(&d, 1, &cfg(), PartitionStrategy::Metis).unwrap();
+        assert!(
+            (dist.test_accuracy - seq.test_accuracy).abs() < 0.1,
+            "k=1 {} vs sequential {}",
+            dist.test_accuracy,
+            seq.test_accuracy
+        );
+        assert_eq!(dist.edge_cut, 0.0);
+    }
+}

@@ -1,0 +1,125 @@
+//! The §III-B experiment harness: sequential vs. distributed sweeps.
+
+use crate::distributed::{train_distributed, PartitionStrategy};
+use crate::sequential::train_sequential;
+use crate::TrainConfig;
+use sagegpu_graph::generators::GraphDataset;
+use sagegpu_graph::GraphError;
+
+/// One row of the scaling table (experiment E17/E18).
+#[derive(Debug, Clone)]
+pub struct ScalingRow {
+    /// Partition / GPU count (1 = sequential baseline).
+    pub k: usize,
+    /// `"sequential"`, `"metis"`, or `"random"`.
+    pub strategy: String,
+    pub test_accuracy: f64,
+    pub sim_time_ms: f64,
+    /// Speedup over the sequential baseline.
+    pub speedup: f64,
+    pub edge_cut: f64,
+    pub balance: f64,
+    /// Mean device utilization.
+    pub mean_utilization: f64,
+    pub final_loss: f32,
+}
+
+/// Runs the full §III-B sweep: sequential, then METIS and random
+/// partitioning for each k. Returns rows in presentation order.
+pub fn scaling_experiment(
+    ds: &GraphDataset,
+    ks: &[usize],
+    cfg: &TrainConfig,
+) -> Result<Vec<ScalingRow>, GraphError> {
+    let seq = train_sequential(ds, cfg);
+    let seq_time = seq.sim_time_ns as f64;
+    let mut rows = vec![ScalingRow {
+        k: 1,
+        strategy: "sequential".to_owned(),
+        test_accuracy: seq.test_accuracy,
+        sim_time_ms: seq_time / 1e6,
+        speedup: 1.0,
+        edge_cut: 0.0,
+        balance: 1.0,
+        mean_utilization: 1.0,
+        final_loss: seq.epoch_stats.last().map(|e| e.loss).unwrap_or(0.0),
+    }];
+    for &k in ks {
+        for strategy in [PartitionStrategy::Metis, PartitionStrategy::Random { seed: 1 }] {
+            let r = train_distributed(ds, k, cfg, strategy)?;
+            let mean_util = if r.device_utilization.is_empty() {
+                0.0
+            } else {
+                r.device_utilization.iter().sum::<f64>() / r.device_utilization.len() as f64
+            };
+            rows.push(ScalingRow {
+                k,
+                strategy: r.strategy.to_owned(),
+                test_accuracy: r.test_accuracy,
+                sim_time_ms: r.sim_time_ns as f64 / 1e6,
+                speedup: seq_time / r.sim_time_ns as f64,
+                edge_cut: r.edge_cut,
+                balance: r.balance,
+                mean_utilization: mean_util,
+                final_loss: r.epoch_stats.last().map(|e| e.loss).unwrap_or(0.0),
+            });
+        }
+    }
+    Ok(rows)
+}
+
+/// Renders the scaling table as aligned text (the `repro` binary's output).
+pub fn render_scaling_table(rows: &[ScalingRow]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:>2} {:<12} {:>9} {:>12} {:>8} {:>10} {:>8} {:>6} {:>8}\n",
+        "k", "strategy", "test-acc", "sim-time(ms)", "speedup", "edge-cut", "balance", "util", "loss"
+    ));
+    for r in rows {
+        out.push_str(&format!(
+            "{:>2} {:<12} {:>9.4} {:>12.2} {:>8.2} {:>10.1} {:>8.3} {:>6.2} {:>8.4}\n",
+            r.k,
+            r.strategy,
+            r.test_accuracy,
+            r.sim_time_ms,
+            r.speedup,
+            r.edge_cut,
+            r.balance,
+            r.mean_utilization,
+            r.final_loss
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sagegpu_graph::generators::{sbm, SbmParams};
+
+    #[test]
+    fn sweep_produces_expected_rows() {
+        let ds = sbm(
+            &SbmParams {
+                block_sizes: vec![40, 40],
+                p_in: 0.2,
+                p_out: 0.02,
+                feature_dim: 8,
+                feature_separation: 1.5,
+                train_fraction: 0.5,
+            },
+            5,
+        )
+        .unwrap();
+        let rows = scaling_experiment(&ds, &[2], &TrainConfig { epochs: 10, ..Default::default() }).unwrap();
+        // 1 sequential + metis + random.
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[0].strategy, "sequential");
+        assert_eq!(rows[0].speedup, 1.0);
+        assert!(rows.iter().any(|r| r.strategy == "metis"));
+        assert!(rows.iter().any(|r| r.strategy == "random"));
+        let table = render_scaling_table(&rows);
+        assert!(table.contains("metis"));
+        assert!(table.contains("speedup"));
+    }
+}

@@ -1,0 +1,205 @@
+//! Sequential (single-GPU) GCN training — the paper's baseline.
+
+use crate::{EpochStats, TrainConfig};
+use gpu_sim::{DeviceSpec, Gpu, KernelProfile, LaunchConfig};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use sagegpu_graph::generators::GraphDataset;
+use sagegpu_graph::normalize::normalized_adjacency;
+use sagegpu_nn::layers::Gcn;
+use sagegpu_nn::metrics::accuracy;
+use sagegpu_nn::optim::{Adam, Optimizer};
+use sagegpu_nn::tape::Tape;
+use sagegpu_tensor::dense::Tensor;
+use sagegpu_tensor::sparse::CsrMatrix;
+use std::sync::Arc;
+
+/// Result of a sequential training run.
+#[derive(Debug, Clone)]
+pub struct SeqResult {
+    pub epoch_stats: Vec<EpochStats>,
+    /// Accuracy on held-out nodes, full-graph inference.
+    pub test_accuracy: f64,
+    /// Accuracy on training nodes (sanity signal).
+    pub train_accuracy: f64,
+    /// Simulated wall-clock of the whole run (ns).
+    pub sim_time_ns: u64,
+    /// The trained model.
+    pub model: Gcn,
+}
+
+/// Builds the normalized-adjacency sparse matrix of a dataset.
+pub fn dataset_adjacency(ds: &GraphDataset) -> Arc<CsrMatrix> {
+    let (indptr, indices, values) = normalized_adjacency(&ds.graph);
+    Arc::new(
+        CsrMatrix::new(ds.num_nodes(), ds.num_nodes(), indptr, indices, values)
+            .expect("normalization yields valid CSR"),
+    )
+}
+
+/// Dataset features as a dense tensor.
+pub fn dataset_features(ds: &GraphDataset) -> Tensor {
+    Tensor::from_vec(ds.num_nodes(), ds.feature_dim, ds.features.clone())
+        .expect("feature matrix dims")
+}
+
+/// The per-epoch kernel cost of one forward+backward pass over a (sub)graph
+/// with `n` nodes, `nnz` adjacency non-zeros, feature width `d`, hidden
+/// width `h`, and `c` classes. Backward ≈ 2× forward (the usual rule).
+pub fn epoch_profile(n: u64, nnz: u64, d: u64, h: u64, c: u64) -> KernelProfile {
+    let fwd_flops = 2 * nnz * d + 2 * n * d * h + 2 * nnz * h + 2 * n * h * c;
+    let fwd_bytes = 4 * (2 * nnz * d + n * (d + h) + 2 * nnz * h + n * (h + c) + d * h + h * c);
+    KernelProfile {
+        flops: 3 * fwd_flops,
+        bytes: 3 * fwd_bytes,
+        // Neighbor aggregation dominates and is gather-heavy.
+        access: gpu_sim::AccessPattern::Random,
+        registers_per_thread: 48,
+    }
+}
+
+/// One real forward/backward + optimizer step; returns the loss.
+pub fn train_step(
+    model: &mut Gcn,
+    opt: &mut Adam,
+    adj: &Arc<CsrMatrix>,
+    x: &Tensor,
+    labels: &[usize],
+    mask: &[bool],
+) -> f32 {
+    let tape = Tape::new();
+    let fwd = model.forward(&tape, Arc::clone(adj), x);
+    let loss = tape.cross_entropy(fwd.logits, labels, mask);
+    let loss_val = tape.value(loss).get(0, 0);
+    let grads = tape.backward(loss);
+    let grad_tensors: Vec<Tensor> = fwd
+        .params
+        .iter()
+        .map(|v| grads[v.index()].clone().expect("param gradient"))
+        .collect();
+    opt.step_all(model.parameters_mut(), &grad_tensors);
+    loss_val
+}
+
+/// Inference logits for a dataset under `model`.
+pub fn infer(model: &Gcn, adj: &Arc<CsrMatrix>, x: &Tensor) -> Tensor {
+    let tape = Tape::new();
+    let fwd = model.forward(&tape, Arc::clone(adj), x);
+    tape.value(fwd.logits)
+}
+
+/// Trains on the full graph on one simulated GPU (Algorithm 1 with k = 1,
+/// i.e. the "sequential approach" of §III-B).
+pub fn train_sequential(ds: &GraphDataset, cfg: &TrainConfig) -> SeqResult {
+    let gpu = Gpu::new(0, DeviceSpec::t4());
+    let adj = dataset_adjacency(ds);
+    let x = dataset_features(ds);
+    let mut rng = SmallRng::seed_from_u64(cfg.seed);
+    let mut model = Gcn::new(ds.feature_dim, cfg.hidden, ds.num_classes, &mut rng);
+    let mut opt = Adam::new(cfg.lr);
+
+    // Features and adjacency move to the device once.
+    let _feat_buf = gpu.htod(x.data()).expect("features fit");
+    let n = ds.num_nodes() as u64;
+    let nnz = (2 * ds.graph.num_edges() + ds.num_nodes()) as u64;
+    let profile = epoch_profile(n, nnz, ds.feature_dim as u64, cfg.hidden as u64, ds.num_classes as u64);
+    let cfg_launch = LaunchConfig::for_elements(n, 128);
+
+    let mut epoch_stats = Vec::with_capacity(cfg.epochs);
+    for epoch in 0..cfg.epochs {
+        let loss = gpu
+            .launch("gcn_epoch", cfg_launch, profile, || {
+                train_step(&mut model, &mut opt, &adj, &x, &ds.labels, &ds.train_mask)
+            })
+            .expect("launch config is valid");
+        epoch_stats.push(EpochStats { epoch, loss });
+    }
+
+    let logits = infer(&model, &adj, &x);
+    let test_accuracy = accuracy(&logits, &ds.labels, &ds.test_nodes_mask());
+    let train_accuracy = accuracy(&logits, &ds.labels, &ds.train_mask);
+    SeqResult {
+        epoch_stats,
+        test_accuracy,
+        train_accuracy,
+        sim_time_ns: gpu.now_ns(),
+        model,
+    }
+}
+
+/// Helper trait-ish extension: mask of test nodes.
+trait MaskExt {
+    fn test_nodes_mask(&self) -> Vec<bool>;
+}
+
+impl MaskExt for GraphDataset {
+    fn test_nodes_mask(&self) -> Vec<bool> {
+        self.train_mask.iter().map(|&m| !m).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sagegpu_graph::generators::{sbm, SbmParams};
+
+    fn small_ds() -> GraphDataset {
+        sbm(
+            &SbmParams {
+                block_sizes: vec![40, 40, 40],
+                p_in: 0.2,
+                p_out: 0.01,
+                feature_dim: 16,
+                feature_separation: 1.5,
+                train_fraction: 0.5,
+            },
+            7,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn loss_decreases_over_training() {
+        let ds = small_ds();
+        let r = train_sequential(&ds, &TrainConfig { epochs: 25, ..Default::default() });
+        let first = r.epoch_stats.first().unwrap().loss;
+        let last = r.epoch_stats.last().unwrap().loss;
+        assert!(last < 0.7 * first, "loss {first} → {last}");
+    }
+
+    #[test]
+    fn accuracy_beats_chance_on_separable_data() {
+        let ds = small_ds();
+        let r = train_sequential(&ds, &TrainConfig { epochs: 40, ..Default::default() });
+        // 3 balanced classes → chance = 1/3; the SBM is very separable.
+        assert!(r.test_accuracy > 0.7, "test accuracy {}", r.test_accuracy);
+        assert!(r.train_accuracy >= r.test_accuracy - 0.1);
+    }
+
+    #[test]
+    fn simulated_time_advances_with_epochs() {
+        let ds = small_ds();
+        let short = train_sequential(&ds, &TrainConfig { epochs: 5, ..Default::default() });
+        let long = train_sequential(&ds, &TrainConfig { epochs: 20, ..Default::default() });
+        assert!(long.sim_time_ns > 3 * short.sim_time_ns);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let ds = small_ds();
+        let cfg = TrainConfig { epochs: 10, ..Default::default() };
+        let a = train_sequential(&ds, &cfg);
+        let b = train_sequential(&ds, &cfg);
+        assert_eq!(a.test_accuracy, b.test_accuracy);
+        assert_eq!(a.sim_time_ns, b.sim_time_ns);
+        assert_eq!(a.epoch_stats, b.epoch_stats);
+    }
+
+    #[test]
+    fn epoch_profile_scales_with_graph_size() {
+        let small = epoch_profile(100, 500, 16, 16, 3);
+        let big = epoch_profile(1000, 5000, 16, 16, 3);
+        assert!(big.flops > 8 * small.flops);
+        assert!(big.bytes > 8 * small.bytes);
+    }
+}

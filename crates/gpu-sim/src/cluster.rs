@@ -1,0 +1,293 @@
+//! Multi-GPU nodes: peer links, P2P copies, collectives, barriers.
+//!
+//! Models the multi-GPU AWS instances the course used for its DDP and
+//! distributed-GCN labs (up to 3 GPUs per instance, per Appendix A). Devices
+//! in a cluster share one [`EventRecorder`] so profilers see a unified
+//! timeline, and are connected pairwise by PCIe or NVLink-class links.
+
+use crate::arch::DeviceSpec;
+use crate::device::Gpu;
+use crate::error::GpuError;
+use crate::event::{EventKind, EventRecorder, TraceEvent};
+use crate::memory::DeviceBuffer;
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+/// Interconnect class between a pair of devices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LinkKind {
+    /// Through host PCIe root complex (same machine, slow path).
+    Pcie,
+    /// Direct NVLink-class peer connection (same machine, fast path).
+    NvLink,
+    /// 10 GbE VPC networking between *separate instances* — how the
+    /// course's students actually connected their 2–3 single-GPU
+    /// instances (§III-A places them "within the same VPC").
+    Ethernet,
+}
+
+impl LinkKind {
+    /// Modeled unidirectional bandwidth in bytes/sec.
+    pub fn bandwidth_bytes_per_sec(&self) -> f64 {
+        match self {
+            LinkKind::Pcie => 12e9,
+            LinkKind::NvLink => 50e9,
+            LinkKind::Ethernet => 1.25e9, // 10 Gb/s
+        }
+    }
+
+    /// Fixed per-message latency in nanoseconds.
+    pub fn latency_ns(&self) -> f64 {
+        match self {
+            LinkKind::Pcie => 10_000.0,
+            LinkKind::NvLink => 2_000.0,
+            LinkKind::Ethernet => 60_000.0, // TCP round-trip in a VPC
+        }
+    }
+}
+
+/// A single node holding several simulated GPUs.
+#[derive(Debug)]
+pub struct GpuCluster {
+    devices: Vec<Arc<Gpu>>,
+    link: LinkKind,
+    recorder: EventRecorder,
+}
+
+impl GpuCluster {
+    /// Builds a homogeneous cluster of `n` devices of the given spec,
+    /// connected with `link`, recording into one shared timeline.
+    pub fn homogeneous(n: usize, spec: DeviceSpec, link: LinkKind) -> Self {
+        let recorder = EventRecorder::new();
+        let devices = (0..n)
+            .map(|i| Arc::new(Gpu::with_recorder(i as u32, spec.clone(), recorder.clone())))
+            .collect();
+        Self {
+            devices,
+            link,
+            recorder,
+        }
+    }
+
+    /// Number of devices.
+    pub fn len(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// Whether the cluster has no devices.
+    pub fn is_empty(&self) -> bool {
+        self.devices.is_empty()
+    }
+
+    /// The shared event recorder.
+    pub fn recorder(&self) -> &EventRecorder {
+        &self.recorder
+    }
+
+    /// The interconnect class.
+    pub fn link(&self) -> LinkKind {
+        self.link
+    }
+
+    /// Borrow device `i`.
+    pub fn device(&self, i: usize) -> Result<&Arc<Gpu>, GpuError> {
+        self.devices.get(i).ok_or(GpuError::NoSuchDevice { device: i as u32 })
+    }
+
+    /// Iterate over all devices.
+    pub fn devices(&self) -> impl Iterator<Item = &Arc<Gpu>> {
+        self.devices.iter()
+    }
+
+    fn p2p_ns(&self, bytes: u64) -> u64 {
+        (self.link.latency_ns() + bytes as f64 / self.link.bandwidth_bytes_per_sec() * 1e9).ceil()
+            as u64
+    }
+
+    /// Copies a buffer from its owning device to device `dst`, consuming the
+    /// source buffer and charging peer-link time on both devices (both must
+    /// wait for the copy to complete, like `cudaMemcpyPeer`).
+    pub fn p2p<T: Copy + Send + Sync + 'static>(
+        &self,
+        buf: DeviceBuffer<T>,
+        dst: usize,
+    ) -> Result<DeviceBuffer<T>, GpuError> {
+        let src = buf.device() as usize;
+        let dst_dev = self.device(dst)?;
+        let src_dev = self.device(src)?;
+        let bytes = buf.size_bytes();
+        let dur = self.p2p_ns(bytes);
+        let start = src_dev.now_ns().max(dst_dev.now_ns());
+        let end = start + dur;
+        src_dev.advance_to(end);
+        dst_dev.advance_to(end);
+        self.recorder.record(TraceEvent {
+            kind: EventKind::MemcpyP2P,
+            name: format!("p2p {}->{}", src, dst),
+            device: src as u32,
+            stream: 0,
+            start_ns: start,
+            dur_ns: dur,
+            bytes,
+            flops: 0,
+            occupancy: 0.0,
+        });
+        let data = buf.into_vec();
+        // Re-allocate on destination (charges its capacity, not time —
+        // the time was charged as the P2P event).
+        DeviceBuffer::from_vec(data, dst as u32, dst_dev.memory_accounting())
+    }
+
+    /// Synchronizes all devices to the latest clock among them (a barrier,
+    /// like the implicit sync in synchronous data-parallel training).
+    /// Returns the barrier timestamp.
+    pub fn barrier(&self) -> u64 {
+        let t = self.devices.iter().map(|d| d.now_ns()).max().unwrap_or(0);
+        for d in &self.devices {
+            d.advance_to(t);
+        }
+        t
+    }
+
+    /// Models a ring all-reduce of `bytes` per device: each device sends and
+    /// receives `2 (n-1)/n × bytes` over the peer links. Advances all device
+    /// clocks past the collective and records one event per device.
+    ///
+    /// Returns the modeled duration in nanoseconds.
+    pub fn all_reduce_cost(&self, bytes: u64) -> u64 {
+        let n = self.devices.len().max(1) as u64;
+        if n == 1 {
+            return 0;
+        }
+        let per_dev_bytes = (2 * (n - 1) * bytes) / n;
+        let steps = 2 * (n - 1);
+        let dur = (steps as f64 * self.link.latency_ns()
+            + per_dev_bytes as f64 / self.link.bandwidth_bytes_per_sec() * 1e9)
+            .ceil() as u64;
+        let start = self.barrier();
+        for d in &self.devices {
+            d.advance_to(start + dur);
+            self.recorder.record(TraceEvent {
+                kind: EventKind::MemcpyP2P,
+                name: "all-reduce".to_owned(),
+                device: d.ordinal(),
+                stream: 0,
+                start_ns: start,
+                dur_ns: dur,
+                bytes: per_dev_bytes,
+                flops: 0,
+                occupancy: 0.0,
+            });
+        }
+        dur
+    }
+
+    /// Wall-clock of the slowest device (makespan of the simulated program).
+    pub fn makespan_ns(&self) -> u64 {
+        self.devices.iter().map(|d| d.now_ns()).max().unwrap_or(0)
+    }
+}
+
+impl Gpu {
+    /// Shared memory-accounting handle (used by cluster P2P re-allocation).
+    pub(crate) fn memory_accounting(&self) -> Arc<crate::memory::MemoryAccounting> {
+        self.accounting_handle()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cluster(n: usize, link: LinkKind) -> GpuCluster {
+        GpuCluster::homogeneous(n, DeviceSpec::t4(), link)
+    }
+
+    #[test]
+    fn homogeneous_cluster_has_ordinal_devices() {
+        let c = cluster(3, LinkKind::Pcie);
+        assert_eq!(c.len(), 3);
+        for (i, d) in c.devices().enumerate() {
+            assert_eq!(d.ordinal() as usize, i);
+        }
+        assert!(c.device(3).is_err());
+    }
+
+    #[test]
+    fn p2p_moves_data_and_memory_accounting() {
+        let c = cluster(2, LinkKind::NvLink);
+        let d0 = c.device(0).unwrap();
+        let d1 = c.device(1).unwrap();
+        let buf = d0.htod(&vec![7f32; 1024]).unwrap();
+        assert_eq!(d0.mem_used(), 4096);
+        let moved = c.p2p(buf, 1).unwrap();
+        assert_eq!(moved.device(), 1);
+        assert_eq!(d0.mem_used(), 0, "source allocation freed");
+        assert_eq!(d1.mem_used(), 4096, "destination allocation charged");
+        assert_eq!(d1.dtoh(&moved).unwrap(), vec![7f32; 1024]);
+    }
+
+    #[test]
+    fn p2p_advances_both_clocks_to_same_point() {
+        let c = cluster(2, LinkKind::Pcie);
+        let d0 = c.device(0).unwrap();
+        let d1 = c.device(1).unwrap();
+        let buf = d0.htod(&vec![0u8; 1 << 20]).unwrap();
+        let _ = c.p2p(buf, 1).unwrap();
+        assert_eq!(d0.now_ns(), d1.now_ns());
+        assert!(d1.now_ns() > 0);
+    }
+
+    #[test]
+    fn nvlink_faster_than_pcie() {
+        let time_with = |link| {
+            let c = cluster(2, link);
+            let d0 = c.device(0).unwrap();
+            let buf = d0.htod(&vec![0u8; 64 << 20]).unwrap();
+            let before = c.makespan_ns();
+            let _ = c.p2p(buf, 1).unwrap();
+            c.makespan_ns() - before
+        };
+        assert!(time_with(LinkKind::Pcie) > 3 * time_with(LinkKind::NvLink));
+    }
+
+    #[test]
+    fn barrier_aligns_clocks() {
+        let c = cluster(3, LinkKind::Pcie);
+        c.device(0).unwrap().advance_to(5_000);
+        c.device(2).unwrap().advance_to(9_000);
+        let t = c.barrier();
+        assert_eq!(t, 9_000);
+        for d in c.devices() {
+            assert_eq!(d.now_ns(), 9_000);
+        }
+    }
+
+    #[test]
+    fn all_reduce_scales_with_device_count_and_bytes() {
+        let small = cluster(2, LinkKind::Pcie).all_reduce_cost(1 << 20);
+        let more_devices = cluster(4, LinkKind::Pcie).all_reduce_cost(1 << 20);
+        let more_bytes = cluster(2, LinkKind::Pcie).all_reduce_cost(16 << 20);
+        assert!(more_devices > small, "more ring steps cost more latency");
+        assert!(more_bytes > 4 * small);
+        assert_eq!(cluster(1, LinkKind::Pcie).all_reduce_cost(1 << 20), 0);
+    }
+
+    #[test]
+    fn all_reduce_records_event_per_device() {
+        let c = cluster(3, LinkKind::NvLink);
+        c.all_reduce_cost(1 << 10);
+        let evs = c.recorder().snapshot();
+        assert_eq!(evs.iter().filter(|e| e.name == "all-reduce").count(), 3);
+    }
+
+    #[test]
+    fn shared_recorder_sees_all_devices() {
+        let c = cluster(2, LinkKind::Pcie);
+        let _ = c.device(0).unwrap().htod(&vec![0f32; 16]).unwrap();
+        let _ = c.device(1).unwrap().htod(&vec![0f32; 16]).unwrap();
+        let devices: std::collections::HashSet<u32> =
+            c.recorder().snapshot().iter().map(|e| e.device).collect();
+        assert_eq!(devices.len(), 2);
+    }
+}

@@ -1,0 +1,145 @@
+//! Three-dimensional index spaces, mirroring CUDA's `dim3`.
+
+use serde::{Deserialize, Serialize};
+
+/// A CUDA-style three-dimensional extent or index.
+///
+/// Used both for grid/block shapes in a [`crate::kernel::LaunchConfig`] and
+/// for block/thread indices handed to per-thread kernel bodies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Dim3 {
+    pub x: u32,
+    pub y: u32,
+    pub z: u32,
+}
+
+impl Dim3 {
+    /// A 1-D extent `(x, 1, 1)`.
+    pub const fn x(x: u32) -> Self {
+        Self { x, y: 1, z: 1 }
+    }
+
+    /// A 2-D extent `(x, y, 1)`.
+    pub const fn xy(x: u32, y: u32) -> Self {
+        Self { x, y, z: 1 }
+    }
+
+    /// A full 3-D extent.
+    pub const fn xyz(x: u32, y: u32, z: u32) -> Self {
+        Self { x, y, z }
+    }
+
+    /// The single-cell extent `(1, 1, 1)`.
+    pub const fn one() -> Self {
+        Self { x: 1, y: 1, z: 1 }
+    }
+
+    /// Total number of cells in this extent.
+    pub fn count(&self) -> u64 {
+        self.x as u64 * self.y as u64 * self.z as u64
+    }
+
+    /// Whether every component is at least 1 (a launchable extent).
+    pub fn is_valid_extent(&self) -> bool {
+        self.x >= 1 && self.y >= 1 && self.z >= 1
+    }
+
+    /// Linearizes an index within this extent (x fastest, CUDA order).
+    ///
+    /// Returns `None` if `idx` lies outside the extent.
+    pub fn linearize(&self, idx: Dim3) -> Option<u64> {
+        if idx.x >= self.x || idx.y >= self.y || idx.z >= self.z {
+            return None;
+        }
+        Some(idx.x as u64 + self.x as u64 * (idx.y as u64 + self.y as u64 * idx.z as u64))
+    }
+
+    /// Inverse of [`Self::linearize`]: recovers the 3-D index of a linear id.
+    ///
+    /// Returns `None` when `lin >= self.count()`.
+    pub fn delinearize(&self, lin: u64) -> Option<Dim3> {
+        if lin >= self.count() {
+            return None;
+        }
+        let x = (lin % self.x as u64) as u32;
+        let rest = lin / self.x as u64;
+        let y = (rest % self.y as u64) as u32;
+        let z = (rest / self.y as u64) as u32;
+        Some(Dim3 { x, y, z })
+    }
+}
+
+impl From<u32> for Dim3 {
+    fn from(x: u32) -> Self {
+        Dim3::x(x)
+    }
+}
+
+impl From<(u32, u32)> for Dim3 {
+    fn from((x, y): (u32, u32)) -> Self {
+        Dim3::xy(x, y)
+    }
+}
+
+impl From<(u32, u32, u32)> for Dim3 {
+    fn from((x, y, z): (u32, u32, u32)) -> Self {
+        Dim3::xyz(x, y, z)
+    }
+}
+
+impl std::fmt::Display for Dim3 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "({}, {}, {})", self.x, self.y, self.z)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn count_multiplies_components() {
+        assert_eq!(Dim3::xyz(2, 3, 4).count(), 24);
+        assert_eq!(Dim3::x(7).count(), 7);
+        assert_eq!(Dim3::one().count(), 1);
+    }
+
+    #[test]
+    fn linearize_roundtrips() {
+        let ext = Dim3::xyz(4, 3, 2);
+        for lin in 0..ext.count() {
+            let idx = ext.delinearize(lin).unwrap();
+            assert_eq!(ext.linearize(idx), Some(lin));
+        }
+    }
+
+    #[test]
+    fn linearize_rejects_out_of_bounds() {
+        let ext = Dim3::xy(4, 4);
+        assert_eq!(ext.linearize(Dim3::xyz(4, 0, 0)), None);
+        assert_eq!(ext.linearize(Dim3::xyz(0, 4, 0)), None);
+        assert_eq!(ext.linearize(Dim3::xyz(0, 0, 1)), None);
+        assert_eq!(ext.delinearize(16), None);
+    }
+
+    #[test]
+    fn x_fastest_ordering_matches_cuda() {
+        let ext = Dim3::xyz(4, 3, 2);
+        assert_eq!(ext.linearize(Dim3::xyz(1, 0, 0)), Some(1));
+        assert_eq!(ext.linearize(Dim3::xyz(0, 1, 0)), Some(4));
+        assert_eq!(ext.linearize(Dim3::xyz(0, 0, 1)), Some(12));
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Dim3::from(5u32), Dim3::x(5));
+        assert_eq!(Dim3::from((2u32, 3u32)), Dim3::xy(2, 3));
+        assert_eq!(Dim3::from((2u32, 3u32, 4u32)), Dim3::xyz(2, 3, 4));
+    }
+
+    #[test]
+    fn zero_extent_is_invalid() {
+        assert!(!Dim3::xyz(0, 1, 1).is_valid_extent());
+        assert!(Dim3::one().is_valid_extent());
+    }
+}

@@ -1,0 +1,85 @@
+//! Error types for the GPU simulator.
+
+use crate::dim::Dim3;
+
+/// Errors raised by allocation, transfer, and launch operations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GpuError {
+    /// Device global memory exhausted.
+    OutOfMemory {
+        device: u32,
+        requested_bytes: u64,
+        free_bytes: u64,
+    },
+    /// The launch configuration violates a device limit.
+    InvalidLaunch { reason: String },
+    /// A buffer was used on a device other than the one that owns it.
+    WrongDevice { expected: u32, actual: u32 },
+    /// Grid×block index space does not cover / match the output length.
+    ShapeMismatch { expected: u64, actual: u64 },
+    /// Peer-to-peer copy requested between devices with no link.
+    NoPeerLink { from: u32, to: u32 },
+    /// Referenced device id does not exist in the cluster.
+    NoSuchDevice { device: u32 },
+}
+
+impl std::fmt::Display for GpuError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GpuError::OutOfMemory {
+                device,
+                requested_bytes,
+                free_bytes,
+            } => write!(
+                f,
+                "device {device}: out of memory (requested {requested_bytes} B, free {free_bytes} B)"
+            ),
+            GpuError::InvalidLaunch { reason } => write!(f, "invalid launch: {reason}"),
+            GpuError::WrongDevice { expected, actual } => {
+                write!(f, "buffer belongs to device {expected}, used on {actual}")
+            }
+            GpuError::ShapeMismatch { expected, actual } => {
+                write!(f, "shape mismatch: expected {expected} elements, got {actual}")
+            }
+            GpuError::NoPeerLink { from, to } => {
+                write!(f, "no peer link between device {from} and device {to}")
+            }
+            GpuError::NoSuchDevice { device } => write!(f, "no such device: {device}"),
+        }
+    }
+}
+
+impl std::error::Error for GpuError {}
+
+/// Helper constructing an [`GpuError::InvalidLaunch`] for a grid/block issue.
+pub(crate) fn invalid_launch(grid: Dim3, block: Dim3, why: &str) -> GpuError {
+    GpuError::InvalidLaunch {
+        reason: format!("grid {grid} block {block}: {why}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = GpuError::OutOfMemory {
+            device: 1,
+            requested_bytes: 2048,
+            free_bytes: 100,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("2048"));
+        assert!(msg.contains("device 1"));
+
+        let e = invalid_launch(Dim3::x(0), Dim3::x(32), "grid.x must be >= 1");
+        assert!(e.to_string().contains("grid.x"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&GpuError::NoSuchDevice { device: 3 });
+    }
+}

@@ -1,0 +1,85 @@
+//! # gpu-sim — a deterministic CUDA-like GPU execution and cost simulator
+//!
+//! This crate stands in for real NVIDIA hardware in the reproduction of
+//! *"GPU Programming for AI Workflow Development on AWS SageMaker"* (SC'25).
+//! The course it reproduces teaches the CUDA execution model — kernels,
+//! grids, blocks, threads, host/device memory traffic, occupancy, and
+//! profiling — through Python front-ends (Numba/CuPy). None of that requires
+//! physical silicon to *behave* correctly: what matters pedagogically and
+//! experimentally is that
+//!
+//! 1. kernels execute real computations over an explicit `grid × block`
+//!    index space (here: real Rust closures, parallelized with rayon);
+//! 2. device memory is a finite, explicitly managed resource reached only
+//!    through host↔device transfers that cost time;
+//! 3. kernel *simulated* duration follows a roofline cost model (compute
+//!    vs. memory bound, occupancy- and coalescing-adjusted) so profilers
+//!    see the same bottleneck shapes a real GPU exposes;
+//! 4. everything is deterministic: the same program yields the same
+//!    simulated timeline on every run.
+//!
+//! ## Architecture
+//!
+//! - [`arch::DeviceSpec`] — static description of a GPU (SMs, clocks,
+//!   bandwidths). Presets model the AWS instance GPUs the paper used
+//!   (T4 on `g4dn`, A10G on `g5`, V100 on `p3`).
+//! - [`device::Gpu`] — a live device: allocator, streams, simulated clock,
+//!   kernel launch.
+//! - [`memory::DeviceBuffer`] — typed device allocation holding real data.
+//! - [`kernel`] — launch configuration, cost profiles, access patterns.
+//! - [`occupancy`] — CUDA-style occupancy calculator.
+//! - [`cluster::GpuCluster`] — multi-GPU node with PCIe/NVLink peer links.
+//! - [`event`] — the trace-event stream consumed by `sagegpu-profiler`.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use gpu_sim::prelude::*;
+//!
+//! let gpu = Gpu::new(0, DeviceSpec::t4());
+//! let a = gpu.htod(&vec![1.0f32; 1024]).unwrap();
+//! let b = gpu.htod(&vec![2.0f32; 1024]).unwrap();
+//! let mut out = gpu.alloc_zeroed::<f32>(1024).unwrap();
+//!
+//! let cfg = LaunchConfig::for_elements(1024, 256);
+//! let profile = KernelProfile::elementwise(1024, 2, 3 * 4);
+//! gpu.launch_map("vecadd", cfg, profile, &mut out, |i, _| {
+//!     a.host_view()[i] + b.host_view()[i]
+//! }).unwrap();
+//!
+//! let host = gpu.dtoh(&out).unwrap();
+//! assert!(host.iter().all(|&x| x == 3.0));
+//! assert!(gpu.now_ns() > 0); // simulated time advanced
+//! ```
+
+pub mod arch;
+pub mod cluster;
+pub mod device;
+pub mod dim;
+pub mod error;
+pub mod event;
+pub mod kernel;
+pub mod memory;
+pub mod occupancy;
+
+/// Convenient glob-import of the crate's primary types.
+pub mod prelude {
+    pub use crate::arch::{DeviceSpec, MemorySpec};
+    pub use crate::cluster::{GpuCluster, LinkKind};
+    pub use crate::device::{Gpu, StreamId};
+    pub use crate::dim::Dim3;
+    pub use crate::error::GpuError;
+    pub use crate::event::{EventKind, EventRecorder, TraceEvent};
+    pub use crate::kernel::{AccessPattern, KernelProfile, LaunchConfig};
+    pub use crate::memory::DeviceBuffer;
+    pub use crate::occupancy::OccupancyResult;
+}
+
+pub use arch::DeviceSpec;
+pub use cluster::{GpuCluster, LinkKind};
+pub use device::{Gpu, StreamId};
+pub use dim::Dim3;
+pub use error::GpuError;
+pub use event::{EventKind, EventRecorder, TraceEvent};
+pub use kernel::{AccessPattern, KernelProfile, LaunchConfig};
+pub use memory::DeviceBuffer;

@@ -1,0 +1,258 @@
+//! Device memory: typed buffers and capacity accounting.
+//!
+//! A [`DeviceBuffer`] models a `cudaMalloc` allocation. The backing data
+//! lives in host RAM (the simulator runs real computations) but the buffer
+//! is *logically* device-resident: it counts against the device's finite
+//! global-memory capacity, it can only be filled/read through transfer APIs
+//! that charge simulated PCIe time, and it remembers which device owns it so
+//! cross-device misuse is caught — the same discipline CUDA enforces.
+
+use crate::error::GpuError;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Shared capacity ledger for one device's global memory.
+#[derive(Debug)]
+pub struct MemoryAccounting {
+    capacity_bytes: u64,
+    used_bytes: AtomicU64,
+}
+
+impl MemoryAccounting {
+    pub fn new(capacity_bytes: u64) -> Self {
+        Self {
+            capacity_bytes,
+            used_bytes: AtomicU64::new(0),
+        }
+    }
+
+    /// Bytes currently allocated.
+    pub fn used(&self) -> u64 {
+        self.used_bytes.load(Ordering::Relaxed)
+    }
+
+    /// Bytes still available.
+    pub fn free(&self) -> u64 {
+        self.capacity_bytes.saturating_sub(self.used())
+    }
+
+    /// Total capacity.
+    pub fn capacity(&self) -> u64 {
+        self.capacity_bytes
+    }
+
+    /// Attempts to reserve `bytes`, failing atomically when capacity would
+    /// be exceeded (concurrent allocators cannot jointly overshoot).
+    pub fn reserve(&self, bytes: u64, device: u32) -> Result<(), GpuError> {
+        let mut cur = self.used_bytes.load(Ordering::Relaxed);
+        loop {
+            let next = cur.saturating_add(bytes);
+            if next > self.capacity_bytes {
+                return Err(GpuError::OutOfMemory {
+                    device,
+                    requested_bytes: bytes,
+                    free_bytes: self.capacity_bytes - cur,
+                });
+            }
+            match self.used_bytes.compare_exchange_weak(
+                cur,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return Ok(()),
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
+    /// Releases a prior reservation.
+    pub fn release(&self, bytes: u64) {
+        self.used_bytes.fetch_sub(bytes, Ordering::Relaxed);
+    }
+}
+
+/// A typed allocation in simulated device memory.
+///
+/// Dropping the buffer frees its reservation (RAII, like `cudaFree`).
+#[derive(Debug)]
+pub struct DeviceBuffer<T> {
+    data: Vec<T>,
+    device: u32,
+    bytes: u64,
+    accounting: Arc<MemoryAccounting>,
+}
+
+impl<T: Copy + Send + Sync + 'static> DeviceBuffer<T> {
+    pub(crate) fn from_vec(
+        data: Vec<T>,
+        device: u32,
+        accounting: Arc<MemoryAccounting>,
+    ) -> Result<Self, GpuError> {
+        let bytes = (data.len() * std::mem::size_of::<T>()) as u64;
+        accounting.reserve(bytes, device)?;
+        Ok(Self {
+            data,
+            device,
+            bytes,
+            accounting,
+        })
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the buffer has zero elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Size of the allocation in bytes.
+    pub fn size_bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Ordinal of the owning device.
+    pub fn device(&self) -> u32 {
+        self.device
+    }
+
+    /// Read access to the backing data for kernel bodies.
+    ///
+    /// Semantically this is "device-side" access: kernels running on the
+    /// owning device may read it. Host code should use
+    /// [`crate::device::Gpu::dtoh`], which charges transfer time.
+    pub fn host_view(&self) -> &[T] {
+        &self.data
+    }
+
+    /// Mutable access for kernel bodies writing the buffer.
+    pub fn host_view_mut(&mut self) -> &mut [T] {
+        &mut self.data
+    }
+
+    /// Consumes the buffer, returning the raw data without charging a
+    /// transfer (used internally by device-to-device moves).
+    pub(crate) fn into_vec(mut self) -> Vec<T> {
+        std::mem::take(&mut self.data)
+        // Drop still runs and releases the reservation.
+    }
+
+    pub(crate) fn expect_device(&self, device: u32) -> Result<(), GpuError> {
+        if self.device != device {
+            Err(GpuError::WrongDevice {
+                expected: self.device,
+                actual: device,
+            })
+        } else {
+            Ok(())
+        }
+    }
+}
+
+impl<T> Drop for DeviceBuffer<T> {
+    fn drop(&mut self) {
+        self.accounting.release(self.bytes);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn acct(cap: u64) -> Arc<MemoryAccounting> {
+        Arc::new(MemoryAccounting::new(cap))
+    }
+
+    #[test]
+    fn reserve_and_release_balance() {
+        let a = acct(1000);
+        a.reserve(400, 0).unwrap();
+        assert_eq!(a.used(), 400);
+        assert_eq!(a.free(), 600);
+        a.release(400);
+        assert_eq!(a.used(), 0);
+    }
+
+    #[test]
+    fn over_capacity_reservation_fails_with_free_bytes() {
+        let a = acct(1000);
+        a.reserve(900, 3).unwrap();
+        let err = a.reserve(200, 3).unwrap_err();
+        match err {
+            GpuError::OutOfMemory {
+                device,
+                requested_bytes,
+                free_bytes,
+            } => {
+                assert_eq!(device, 3);
+                assert_eq!(requested_bytes, 200);
+                assert_eq!(free_bytes, 100);
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn buffer_drop_frees_reservation() {
+        let a = acct(4096);
+        {
+            let buf = DeviceBuffer::from_vec(vec![0f32; 256], 0, Arc::clone(&a)).unwrap();
+            assert_eq!(buf.size_bytes(), 1024);
+            assert_eq!(a.used(), 1024);
+        }
+        assert_eq!(a.used(), 0);
+    }
+
+    #[test]
+    fn buffer_oom_when_data_too_large() {
+        let a = acct(100);
+        let err = DeviceBuffer::from_vec(vec![0u8; 200], 0, a).unwrap_err();
+        assert!(matches!(err, GpuError::OutOfMemory { .. }));
+    }
+
+    #[test]
+    fn expect_device_catches_cross_device_use() {
+        let a = acct(4096);
+        let buf = DeviceBuffer::from_vec(vec![1i32; 4], 2, a).unwrap();
+        assert!(buf.expect_device(2).is_ok());
+        assert_eq!(
+            buf.expect_device(0).unwrap_err(),
+            GpuError::WrongDevice {
+                expected: 2,
+                actual: 0
+            }
+        );
+    }
+
+    #[test]
+    fn concurrent_reservations_never_overshoot() {
+        let a = acct(10_000);
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let a = Arc::clone(&a);
+                s.spawn(move || {
+                    for _ in 0..1000 {
+                        if a.reserve(7, 0).is_ok() {
+                            a.release(7);
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(a.used(), 0);
+    }
+
+    #[test]
+    fn views_expose_data() {
+        let a = acct(4096);
+        let mut buf = DeviceBuffer::from_vec(vec![1.0f32, 2.0, 3.0], 0, a).unwrap();
+        assert_eq!(buf.host_view(), &[1.0, 2.0, 3.0]);
+        buf.host_view_mut()[1] = 9.0;
+        assert_eq!(buf.host_view()[1], 9.0);
+        assert_eq!(buf.len(), 3);
+        assert!(!buf.is_empty());
+    }
+}

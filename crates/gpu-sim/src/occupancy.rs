@@ -1,0 +1,185 @@
+//! CUDA-style occupancy calculation.
+//!
+//! Occupancy — the ratio of resident warps to the SM's maximum — is the
+//! central quantity in the course's week-3/4 optimization labs. This module
+//! reimplements the classic occupancy calculator: resident blocks per SM are
+//! limited by the block slots, the thread slots, the register file, and
+//! shared memory; occupancy follows from the binding constraint.
+
+use crate::arch::DeviceSpec;
+use crate::kernel::LaunchConfig;
+use serde::{Deserialize, Serialize};
+
+/// Result of an occupancy query for one launch on one device.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OccupancyResult {
+    /// Blocks that can be resident on one SM simultaneously.
+    pub blocks_per_sm: u32,
+    /// Warps resident per SM.
+    pub warps_per_sm: u32,
+    /// `warps_per_sm / max_warps_per_sm`, in `[0, 1]`.
+    pub occupancy: f64,
+    /// Which resource bound residency.
+    pub limiter: OccupancyLimiter,
+    /// Number of launch "waves": ceil(grid_blocks / (blocks_per_sm × SMs)).
+    pub waves: u32,
+}
+
+/// The resource that limits how many blocks fit on an SM.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum OccupancyLimiter {
+    BlockSlots,
+    ThreadSlots,
+    Registers,
+    SharedMemory,
+}
+
+/// Computes occupancy of `cfg` (with `registers_per_thread`) on `spec`.
+///
+/// Returns `None` when the block alone violates a hard device limit
+/// (too many threads per block, or shared memory larger than an SM's).
+pub fn occupancy(
+    spec: &DeviceSpec,
+    cfg: &LaunchConfig,
+    registers_per_thread: u32,
+) -> Option<OccupancyResult> {
+    let threads_per_block = cfg.threads_per_block();
+    if threads_per_block == 0 || threads_per_block > spec.max_threads_per_block as u64 {
+        return None;
+    }
+    if cfg.shared_mem_bytes > spec.shared_mem_per_sm {
+        return None;
+    }
+    let threads_per_block = threads_per_block as u32;
+    // Warp allocation granularity: blocks occupy whole warps.
+    let warps_per_block = threads_per_block.div_ceil(spec.warp_size);
+
+    let by_block_slots = spec.max_blocks_per_sm;
+    let by_thread_slots = spec.max_threads_per_sm / (warps_per_block * spec.warp_size);
+    let regs_per_block = registers_per_thread.max(1) * threads_per_block;
+    let by_registers = spec.registers_per_sm / regs_per_block.max(1);
+    let by_shared = if cfg.shared_mem_bytes == 0 {
+        u32::MAX
+    } else {
+        spec.shared_mem_per_sm / cfg.shared_mem_bytes
+    };
+
+    let (blocks_per_sm, limiter) = [
+        (by_block_slots, OccupancyLimiter::BlockSlots),
+        (by_thread_slots, OccupancyLimiter::ThreadSlots),
+        (by_registers, OccupancyLimiter::Registers),
+        (by_shared, OccupancyLimiter::SharedMemory),
+    ]
+    .into_iter()
+    .min_by_key(|(b, _)| *b)
+    .expect("non-empty");
+
+    if blocks_per_sm == 0 {
+        // Registers alone cannot fit even one block.
+        return None;
+    }
+
+    let warps_per_sm = (blocks_per_sm * warps_per_block).min(spec.max_warps_per_sm());
+    let occupancy = warps_per_sm as f64 / spec.max_warps_per_sm() as f64;
+    let grid_blocks = cfg.grid.count();
+    let concurrent = blocks_per_sm as u64 * spec.sm_count as u64;
+    let waves = grid_blocks.div_ceil(concurrent).max(1) as u32;
+
+    Some(OccupancyResult {
+        blocks_per_sm,
+        warps_per_sm,
+        occupancy,
+        limiter,
+        waves,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dim::Dim3;
+
+    fn t4() -> DeviceSpec {
+        DeviceSpec::t4()
+    }
+
+    #[test]
+    fn full_occupancy_with_moderate_blocks() {
+        // T4: 1024 threads/SM max. 256-thread blocks, 32 regs/thread:
+        // thread slots allow 4 blocks; registers allow 65536/(32*256)=8;
+        // block slots allow 16 → thread-slot limited, 4 blocks = 32 warps = 100%.
+        let cfg = LaunchConfig::new(Dim3::x(1000), Dim3::x(256));
+        let r = occupancy(&t4(), &cfg, 32).unwrap();
+        assert_eq!(r.blocks_per_sm, 4);
+        assert_eq!(r.limiter, OccupancyLimiter::ThreadSlots);
+        assert!((r.occupancy - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn register_pressure_reduces_occupancy() {
+        // 255 regs/thread × 256 threads = 65280 regs/block → 1 block/SM.
+        let cfg = LaunchConfig::new(Dim3::x(100), Dim3::x(256));
+        let r = occupancy(&t4(), &cfg, 255).unwrap();
+        assert_eq!(r.blocks_per_sm, 1);
+        assert_eq!(r.limiter, OccupancyLimiter::Registers);
+        assert!(r.occupancy < 0.5);
+    }
+
+    #[test]
+    fn shared_memory_limits_residency() {
+        // 33 KiB of shared memory per block on a 64 KiB SM → 1 block.
+        let cfg = LaunchConfig::new(Dim3::x(100), Dim3::x(128)).with_shared_mem(33 * 1024);
+        let r = occupancy(&t4(), &cfg, 32).unwrap();
+        assert_eq!(r.blocks_per_sm, 1);
+        assert_eq!(r.limiter, OccupancyLimiter::SharedMemory);
+    }
+
+    #[test]
+    fn tiny_blocks_hit_block_slot_limit() {
+        // 32-thread blocks: thread slots would allow 32, block slots cap at 16.
+        let cfg = LaunchConfig::new(Dim3::x(10_000), Dim3::x(32));
+        let r = occupancy(&t4(), &cfg, 16).unwrap();
+        assert_eq!(r.blocks_per_sm, 16);
+        assert_eq!(r.limiter, OccupancyLimiter::BlockSlots);
+        assert!((r.occupancy - 0.5).abs() < 1e-12); // 16 warps of 32 max
+    }
+
+    #[test]
+    fn oversize_block_rejected() {
+        let cfg = LaunchConfig::new(Dim3::x(1), Dim3::x(2048));
+        assert!(occupancy(&t4(), &cfg, 32).is_none());
+    }
+
+    #[test]
+    fn oversize_shared_mem_rejected() {
+        let cfg = LaunchConfig::new(Dim3::x(1), Dim3::x(128)).with_shared_mem(65 * 1024);
+        assert!(occupancy(&t4(), &cfg, 32).is_none());
+    }
+
+    #[test]
+    fn impossible_register_demand_rejected() {
+        // 1024 threads × 255 regs > 65536 register file → cannot place a block.
+        let cfg = LaunchConfig::new(Dim3::x(1), Dim3::x(1024));
+        assert!(occupancy(&t4(), &cfg, 255).is_none());
+    }
+
+    #[test]
+    fn waves_reflect_grid_size() {
+        // 4 blocks/SM × 40 SMs = 160 concurrent blocks on T4.
+        let cfg = LaunchConfig::new(Dim3::x(320), Dim3::x(256));
+        let r = occupancy(&t4(), &cfg, 32).unwrap();
+        assert_eq!(r.waves, 2);
+        let cfg_small = LaunchConfig::new(Dim3::x(10), Dim3::x(256));
+        assert_eq!(occupancy(&t4(), &cfg_small, 32).unwrap().waves, 1);
+    }
+
+    #[test]
+    fn partial_warp_blocks_round_up() {
+        // 33-thread block occupies 2 warps.
+        let cfg = LaunchConfig::new(Dim3::x(1), Dim3::x(33));
+        let r = occupancy(&t4(), &cfg, 16).unwrap();
+        // thread slots: 1024/(2*32)=16 blocks; block slots 16 → 16 blocks, 32 warps.
+        assert_eq!(r.blocks_per_sm, 16);
+        assert_eq!(r.warps_per_sm, 32);
+    }
+}

@@ -1,0 +1,82 @@
+//! Property-based invariants of the GPU simulator.
+
+use gpu_sim::prelude::*;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Transfer time is strictly monotone in bytes and never below latency.
+    #[test]
+    fn transfer_time_monotone(a in 1usize..1_000_000, b in 1usize..1_000_000) {
+        let gpu = Gpu::new(0, DeviceSpec::t4());
+        let buf_a = gpu.htod(&vec![0u8; a]).unwrap();
+        let t_a = gpu.now_ns();
+        drop(buf_a);
+        let gpu2 = Gpu::new(0, DeviceSpec::t4());
+        let buf_b = gpu2.htod(&vec![0u8; b]).unwrap();
+        let t_b = gpu2.now_ns();
+        drop(buf_b);
+        if a < b {
+            prop_assert!(t_a <= t_b);
+        }
+        prop_assert!(t_a as f64 >= DeviceSpec::t4().pcie_latency_ns);
+    }
+
+    /// launch_map computes f(i) at every index, for any covering config.
+    #[test]
+    fn launch_map_total_coverage(n in 1usize..4096, block in 1u32..512) {
+        let gpu = Gpu::new(0, DeviceSpec::t4());
+        let mut out = gpu.alloc_zeroed::<f32>(n).unwrap();
+        let cfg = LaunchConfig::for_elements(n as u64, block);
+        gpu.launch_map("idx", cfg, KernelProfile::elementwise(n as u64, 1, 8), &mut out, |i, _| i as f32)
+            .unwrap();
+        let host = gpu.dtoh(&out).unwrap();
+        for (i, &v) in host.iter().enumerate() {
+            prop_assert_eq!(v, i as f32);
+        }
+    }
+
+    /// Occupancy never increases when registers per thread grow.
+    #[test]
+    fn occupancy_antitone_in_registers(block in 32u32..1024, r1 in 1u32..128, r2 in 1u32..128) {
+        let spec = DeviceSpec::t4();
+        let cfg = LaunchConfig::new(gpu_sim::Dim3::x(64), gpu_sim::Dim3::x(block));
+        let (lo, hi) = if r1 <= r2 { (r1, r2) } else { (r2, r1) };
+        let occ_lo = gpu_sim::occupancy::occupancy(&spec, &cfg, lo);
+        let occ_hi = gpu_sim::occupancy::occupancy(&spec, &cfg, hi);
+        if let (Some(a), Some(b)) = (occ_lo, occ_hi) {
+            prop_assert!(a.occupancy >= b.occupancy - 1e-12);
+        }
+    }
+
+    /// P2P moves conserve data and memory accounting across devices.
+    #[test]
+    fn p2p_conserves_data(n in 1usize..10_000, val in -1e6f32..1e6) {
+        let c = GpuCluster::homogeneous(2, DeviceSpec::t4(), LinkKind::NvLink);
+        let d0 = c.device(0).unwrap();
+        let d1 = c.device(1).unwrap();
+        let buf = d0.htod(&vec![val; n]).unwrap();
+        let moved = c.p2p(buf, 1).unwrap();
+        prop_assert_eq!(d0.mem_used(), 0);
+        prop_assert_eq!(d1.mem_used(), 4 * n as u64);
+        let back = d1.dtoh(&moved).unwrap();
+        prop_assert!(back.iter().all(|&x| x == val));
+    }
+
+    /// The roofline duration equals max(compute, memory) + overhead.
+    #[test]
+    fn roofline_is_max_of_roofs(flops in 1u64..1_000_000_000_000, bytes in 1u64..1_000_000_000) {
+        let gpu = Gpu::new(0, DeviceSpec::t4());
+        let cfg = LaunchConfig::for_elements(1 << 16, 256);
+        let p = KernelProfile { flops, bytes, access: AccessPattern::Coalesced, registers_per_thread: 32 };
+        let (dur, occ) = gpu.kernel_duration_ns(&cfg, &p).unwrap();
+        let spec = gpu.spec();
+        let occ_factor = (occ.occupancy * 2.0).min(1.0).max(0.05);
+        let compute = flops as f64 / (spec.peak_flops() * occ_factor) * 1e9;
+        let mem = bytes as f64 / (spec.memory.bandwidth_bytes_per_sec * 0.85) * 1e9 + spec.memory.latency_ns;
+        let expected = spec.launch_overhead_ns + compute.max(mem);
+        prop_assert!((dur as f64 - expected).abs() <= expected * 1e-6 + 2.0);
+    }
+}
+

@@ -1,0 +1,508 @@
+//! Graph and dataset generators.
+//!
+//! The paper's GCN labs ran on PubMed (~19.7k nodes, 3 classes, 500-d
+//! TF-IDF features) and Reddit (232k nodes, 41 classes). Those datasets
+//! are not available offline, so experiments use stochastic-block-model
+//! (planted-partition) graphs with class-conditional Gaussian features —
+//! the standard synthetic stand-in for citation/community networks. SBM
+//! graphs preserve the property the experiments measure: labels are
+//! *homophilous* (neighbors tend to share classes), so GCN aggregation
+//! carries real signal, and community structure gives METIS something to
+//! find that random partitioning misses.
+
+use crate::csr::Graph;
+use crate::GraphError;
+use rand::prelude::*;
+use rand::rngs::SmallRng;
+
+/// Parameters of a stochastic block model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SbmParams {
+    /// Nodes per block (block count = `block_sizes.len()`).
+    pub block_sizes: Vec<usize>,
+    /// Within-block edge probability.
+    pub p_in: f64,
+    /// Cross-block edge probability.
+    pub p_out: f64,
+    /// Feature dimensionality.
+    pub feature_dim: usize,
+    /// Distance between class feature means (signal strength).
+    pub feature_separation: f32,
+    /// Fraction of nodes marked as training examples.
+    pub train_fraction: f64,
+}
+
+impl SbmParams {
+    /// Validates parameter ranges.
+    pub fn validate(&self) -> Result<(), GraphError> {
+        if self.block_sizes.is_empty() || self.block_sizes.iter().any(|&s| s == 0) {
+            return Err(GraphError::BadParameter("block sizes must be non-empty and positive".into()));
+        }
+        for (name, p) in [("p_in", self.p_in), ("p_out", self.p_out), ("train_fraction", self.train_fraction)] {
+            if !(0.0..=1.0).contains(&p) {
+                return Err(GraphError::BadParameter(format!("{name} must be in [0,1], got {p}")));
+            }
+        }
+        if self.feature_dim == 0 {
+            return Err(GraphError::BadParameter("feature_dim must be >= 1".into()));
+        }
+        Ok(())
+    }
+}
+
+/// A node-classification dataset: graph + features + labels + split.
+#[derive(Debug, Clone)]
+pub struct GraphDataset {
+    pub graph: Graph,
+    /// Row-major `n × d` feature matrix.
+    pub features: Vec<f32>,
+    pub feature_dim: usize,
+    /// Class label per node.
+    pub labels: Vec<usize>,
+    pub num_classes: usize,
+    /// Training-set membership per node.
+    pub train_mask: Vec<bool>,
+    /// Human-readable dataset name.
+    pub name: String,
+}
+
+impl GraphDataset {
+    /// Feature row of node `u`.
+    pub fn feature_row(&self, u: usize) -> &[f32] {
+        &self.features[u * self.feature_dim..(u + 1) * self.feature_dim]
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.graph.num_nodes()
+    }
+
+    /// Indices of training nodes.
+    pub fn train_nodes(&self) -> Vec<usize> {
+        (0..self.num_nodes()).filter(|&u| self.train_mask[u]).collect()
+    }
+
+    /// Indices of held-out nodes.
+    pub fn test_nodes(&self) -> Vec<usize> {
+        (0..self.num_nodes()).filter(|&u| !self.train_mask[u]).collect()
+    }
+
+    /// Fraction of edges whose endpoints share a label (homophily).
+    pub fn edge_homophily(&self) -> f64 {
+        let edges = self.graph.edges();
+        if edges.is_empty() {
+            return 0.0;
+        }
+        let same = edges
+            .iter()
+            .filter(|&&(u, v, _)| self.labels[u] == self.labels[v])
+            .count();
+        same as f64 / edges.len() as f64
+    }
+}
+
+/// Samples an SBM dataset.
+pub fn sbm(params: &SbmParams, seed: u64) -> Result<GraphDataset, GraphError> {
+    params.validate()?;
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let k = params.block_sizes.len();
+    let n: usize = params.block_sizes.iter().sum();
+
+    // Node labels by block.
+    let mut labels = Vec::with_capacity(n);
+    for (b, &size) in params.block_sizes.iter().enumerate() {
+        labels.extend(std::iter::repeat(b).take(size));
+    }
+
+    // Edges: Bernoulli per pair is O(n²); geometric skipping over the
+    // strictly-upper-triangular pair index keeps sparse graphs fast at
+    // PubMed scale.
+    let mut edges = Vec::new();
+    let total_pairs = n * (n - 1) / 2;
+    // Walk pairs with geometric jumps at rate p_max, then accept each
+    // visited pair at p_actual / p_max — one pass, exact distribution.
+    // The pair index maps to (u, v) incrementally since idx only grows.
+    let p_max = params.p_in.max(params.p_out);
+    if p_max > 0.0 {
+        let mut idx = 0usize;
+        let mut u = 0usize;
+        let mut row_start = 0usize; // pair index of the first pair in row u
+        while idx < total_pairs {
+            // Jump ~ Geometric(p_max).
+            let r: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+            let skip = if p_max >= 1.0 {
+                0
+            } else {
+                (r.ln() / (1.0 - p_max).ln()).floor() as usize
+            };
+            idx = idx.saturating_add(skip);
+            if idx >= total_pairs {
+                break;
+            }
+            while idx >= row_start + (n - 1 - u) {
+                row_start += n - 1 - u;
+                u += 1;
+            }
+            let v = u + 1 + (idx - row_start);
+            let p = if labels[u] == labels[v] { params.p_in } else { params.p_out };
+            if rng.gen::<f64>() < p / p_max {
+                edges.push((u, v));
+            }
+            idx += 1;
+        }
+    }
+
+    // Class-conditional features: mean direction per class + unit noise.
+    let d = params.feature_dim;
+    let mut class_means = vec![0.0f32; k * d];
+    for c in 0..k {
+        for j in 0..d {
+            // Deterministic orthogonal-ish means: class c loads dims c, c+k, ...
+            if j % k == c {
+                class_means[c * d + j] = params.feature_separation;
+            }
+        }
+    }
+    let mut features = vec![0.0f32; n * d];
+    for u in 0..n {
+        let c = labels[u];
+        for j in 0..d {
+            let noise: f32 = {
+                let u1: f64 = rng.gen_range(1e-12..1.0);
+                let u2: f64 = rng.gen();
+                ((-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()) as f32
+            };
+            features[u * d + j] = class_means[c * d + j] + noise;
+        }
+    }
+
+    let train_mask: Vec<bool> = (0..n).map(|_| rng.gen::<f64>() < params.train_fraction).collect();
+
+    Ok(GraphDataset {
+        graph: Graph::from_edges(n, &edges)?,
+        features,
+        feature_dim: d,
+        labels,
+        num_classes: k,
+        train_mask,
+        name: format!("sbm-n{n}-k{k}"),
+    })
+}
+
+/// A PubMed-shaped SBM: 3 classes, 500-d features, mean degree ≈ 4.5.
+/// `scale` shrinks the node count for fast experiments (1.0 ≈ 19.7k nodes).
+pub fn pubmed_like(scale: f64, seed: u64) -> Result<GraphDataset, GraphError> {
+    let base = [7875, 7739, 4103]; // PubMed's class proportions
+    let block_sizes: Vec<usize> = base
+        .iter()
+        .map(|&b| ((b as f64 * scale) as usize).max(8))
+        .collect();
+    let n: usize = block_sizes.iter().sum();
+    // Calibrate p_in/p_out to a mean degree ≈ 4.5 with strong homophily.
+    let target_degree = 4.5;
+    let p_in = target_degree * 0.8 / (n as f64 / 3.0);
+    let p_out = target_degree * 0.2 / (2.0 * n as f64 / 3.0);
+    let mut ds = sbm(
+        &SbmParams {
+            block_sizes,
+            p_in: p_in.min(1.0),
+            p_out: p_out.min(1.0),
+            feature_dim: 500,
+            feature_separation: 1.2,
+            train_fraction: 0.3,
+        },
+        seed,
+    )?;
+    ds.name = format!("pubmed-like-{}", ds.num_nodes());
+    Ok(ds)
+}
+
+/// A Reddit-shaped SBM: 41 classes, 602-d features, much denser
+/// (Reddit's mean degree ≈ 490; we scale it down with the node count).
+pub fn reddit_like(scale: f64, seed: u64) -> Result<GraphDataset, GraphError> {
+    let k = 41;
+    let per_block = ((232_965.0 * scale / k as f64) as usize).max(6);
+    let n = per_block * k;
+    let target_degree = (490.0 * scale).clamp(8.0, 64.0);
+    let p_in = target_degree * 0.9 / (per_block as f64);
+    let p_out = target_degree * 0.1 / (n as f64 - per_block as f64);
+    let mut ds = sbm(
+        &SbmParams {
+            block_sizes: vec![per_block; k],
+            p_in: p_in.min(1.0),
+            p_out: p_out.min(1.0),
+            feature_dim: 602,
+            feature_separation: 1.0,
+            train_fraction: 0.65,
+        },
+        seed,
+    )?;
+    ds.name = format!("reddit-like-{}", ds.num_nodes());
+    Ok(ds)
+}
+
+/// Zachary's karate club (34 nodes, 78 edges) with its canonical two-faction
+/// split as labels — the classic graph fixture.
+pub fn karate_club() -> GraphDataset {
+    let edges: [(usize, usize); 78] = [
+        (0, 1), (0, 2), (0, 3), (0, 4), (0, 5), (0, 6), (0, 7), (0, 8), (0, 10), (0, 11),
+        (0, 12), (0, 13), (0, 17), (0, 19), (0, 21), (0, 31), (1, 2), (1, 3), (1, 7), (1, 13),
+        (1, 17), (1, 19), (1, 21), (1, 30), (2, 3), (2, 7), (2, 8), (2, 9), (2, 13), (2, 27),
+        (2, 28), (2, 32), (3, 7), (3, 12), (3, 13), (4, 6), (4, 10), (5, 6), (5, 10), (5, 16),
+        (6, 16), (8, 30), (8, 32), (8, 33), (9, 33), (13, 33), (14, 32), (14, 33), (15, 32),
+        (15, 33), (18, 32), (18, 33), (19, 33), (20, 32), (20, 33), (22, 32), (22, 33),
+        (23, 25), (23, 27), (23, 29), (23, 32), (23, 33), (24, 25), (24, 27), (24, 31),
+        (25, 31), (26, 29), (26, 33), (27, 33), (28, 31), (28, 33), (29, 32), (29, 33),
+        (30, 32), (30, 33), (31, 32), (31, 33), (32, 33),
+    ];
+    let mr_hi_faction = [
+        0, 1, 2, 3, 4, 5, 6, 7, 10, 11, 12, 13, 16, 17, 19, 21,
+    ];
+    let labels: Vec<usize> = (0..34)
+        .map(|u| usize::from(!mr_hi_faction.contains(&u)))
+        .collect();
+    // Simple 8-d degree-bucket features.
+    let graph = Graph::from_edges(34, &edges).expect("static edge list is valid");
+    let d = 8;
+    let mut features = vec![0.0f32; 34 * d];
+    for u in 0..34 {
+        let deg = graph.degree(u).min(d - 1);
+        features[u * d + deg] = 1.0;
+    }
+    let train_mask = (0..34).map(|u| u % 3 == 0).collect();
+    GraphDataset {
+        graph,
+        features,
+        feature_dim: d,
+        labels,
+        num_classes: 2,
+        train_mask,
+        name: "karate".to_owned(),
+    }
+}
+
+/// A cycle graph on `n` nodes.
+pub fn ring(n: usize) -> Result<Graph, GraphError> {
+    if n < 3 {
+        return Err(GraphError::BadParameter("ring needs n >= 3".into()));
+    }
+    let edges: Vec<(usize, usize)> = (0..n).map(|i| (i, (i + 1) % n)).collect();
+    Graph::from_edges(n, &edges)
+}
+
+/// A `rows × cols` 4-neighbor grid.
+pub fn grid(rows: usize, cols: usize) -> Result<Graph, GraphError> {
+    if rows == 0 || cols == 0 {
+        return Err(GraphError::BadParameter("grid needs positive dims".into()));
+    }
+    let mut edges = Vec::new();
+    for r in 0..rows {
+        for c in 0..cols {
+            let u = r * cols + c;
+            if c + 1 < cols {
+                edges.push((u, u + 1));
+            }
+            if r + 1 < rows {
+                edges.push((u, u + cols));
+            }
+        }
+    }
+    Graph::from_edges(rows * cols, &edges)
+}
+
+/// Erdős–Rényi G(n, p).
+pub fn erdos_renyi(n: usize, p: f64, seed: u64) -> Result<Graph, GraphError> {
+    if !(0.0..=1.0).contains(&p) {
+        return Err(GraphError::BadParameter(format!("p must be in [0,1], got {p}")));
+    }
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut edges = Vec::new();
+    for u in 0..n {
+        for v in u + 1..n {
+            if rng.gen::<f64>() < p {
+                edges.push((u, v));
+            }
+        }
+    }
+    Graph::from_edges(n, &edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sbm_basic_shape() {
+        let ds = sbm(
+            &SbmParams {
+                block_sizes: vec![50, 50, 50],
+                p_in: 0.2,
+                p_out: 0.01,
+                feature_dim: 16,
+                feature_separation: 1.0,
+                train_fraction: 0.5,
+            },
+            1,
+        )
+        .unwrap();
+        assert_eq!(ds.num_nodes(), 150);
+        assert_eq!(ds.num_classes, 3);
+        assert_eq!(ds.labels.iter().filter(|&&l| l == 0).count(), 50);
+        assert_eq!(ds.features.len(), 150 * 16);
+        assert!(!ds.train_nodes().is_empty());
+        assert!(!ds.test_nodes().is_empty());
+    }
+
+    #[test]
+    fn sbm_is_homophilous_when_p_in_dominates() {
+        let ds = sbm(
+            &SbmParams {
+                block_sizes: vec![80, 80],
+                p_in: 0.25,
+                p_out: 0.01,
+                feature_dim: 8,
+                feature_separation: 1.0,
+                train_fraction: 0.5,
+            },
+            7,
+        )
+        .unwrap();
+        assert!(ds.edge_homophily() > 0.8, "homophily {}", ds.edge_homophily());
+    }
+
+    #[test]
+    fn sbm_edge_count_near_expectation() {
+        let n_per = 100usize;
+        let ds = sbm(
+            &SbmParams {
+                block_sizes: vec![n_per, n_per],
+                p_in: 0.1,
+                p_out: 0.02,
+                feature_dim: 4,
+                feature_separation: 1.0,
+                train_fraction: 0.5,
+            },
+            3,
+        )
+        .unwrap();
+        let within = 2.0 * (n_per * (n_per - 1) / 2) as f64 * 0.1;
+        let across = (n_per * n_per) as f64 * 0.02;
+        let expected = within + across;
+        let got = ds.graph.num_edges() as f64;
+        assert!(
+            (got - expected).abs() < 0.2 * expected,
+            "edges {got} vs expected {expected}"
+        );
+    }
+
+    #[test]
+    fn sbm_deterministic_per_seed() {
+        let p = SbmParams {
+            block_sizes: vec![30, 30],
+            p_in: 0.3,
+            p_out: 0.05,
+            feature_dim: 4,
+            feature_separation: 1.0,
+            train_fraction: 0.5,
+        };
+        let a = sbm(&p, 99).unwrap();
+        let b = sbm(&p, 99).unwrap();
+        assert_eq!(a.graph, b.graph);
+        assert_eq!(a.features, b.features);
+        let c = sbm(&p, 100).unwrap();
+        assert_ne!(a.graph, c.graph);
+    }
+
+    #[test]
+    fn features_carry_class_signal() {
+        let ds = sbm(
+            &SbmParams {
+                block_sizes: vec![60, 60],
+                p_in: 0.1,
+                p_out: 0.01,
+                feature_dim: 10,
+                feature_separation: 3.0,
+                train_fraction: 0.5,
+            },
+            5,
+        )
+        .unwrap();
+        // Class-0 nodes should average high on dim 0, class-1 on dim 1.
+        let avg = |class: usize, dim: usize| -> f32 {
+            let nodes: Vec<usize> = (0..ds.num_nodes()).filter(|&u| ds.labels[u] == class).collect();
+            nodes.iter().map(|&u| ds.feature_row(u)[dim]).sum::<f32>() / nodes.len() as f32
+        };
+        assert!(avg(0, 0) > 2.0);
+        assert!(avg(1, 0) < 1.0);
+        assert!(avg(1, 1) > 2.0);
+    }
+
+    #[test]
+    fn pubmed_like_shape() {
+        let ds = pubmed_like(0.02, 11).unwrap();
+        assert_eq!(ds.num_classes, 3);
+        assert_eq!(ds.feature_dim, 500);
+        assert!(ds.num_nodes() > 300);
+        let mean_degree = 2.0 * ds.graph.num_edges() as f64 / ds.num_nodes() as f64;
+        assert!(mean_degree > 2.0 && mean_degree < 8.0, "mean degree {mean_degree}");
+    }
+
+    #[test]
+    fn reddit_like_shape() {
+        let ds = reddit_like(0.002, 13).unwrap();
+        assert_eq!(ds.num_classes, 41);
+        assert_eq!(ds.feature_dim, 602);
+        assert!(ds.num_nodes() >= 41 * 6);
+    }
+
+    #[test]
+    fn karate_club_is_canonical() {
+        let ds = karate_club();
+        assert_eq!(ds.num_nodes(), 34);
+        assert_eq!(ds.graph.num_edges(), 78);
+        assert_eq!(ds.num_classes, 2);
+        // Node 0 (Mr. Hi) and node 33 (Officer) are in different factions.
+        assert_ne!(ds.labels[0], ds.labels[33]);
+        assert!(ds.edge_homophily() > 0.7);
+    }
+
+    #[test]
+    fn ring_and_grid_shapes() {
+        let r = ring(10).unwrap();
+        assert_eq!(r.num_edges(), 10);
+        assert!(r.has_edge(9, 0));
+        assert!(ring(2).is_err());
+        let g = grid(3, 4).unwrap();
+        assert_eq!(g.num_nodes(), 12);
+        assert_eq!(g.num_edges(), 3 * 3 + 2 * 4); // horizontal + vertical
+        assert!(grid(0, 5).is_err());
+    }
+
+    #[test]
+    fn erdos_renyi_edge_density() {
+        let g = erdos_renyi(100, 0.1, 42).unwrap();
+        let expected = (100.0 * 99.0 / 2.0) * 0.1;
+        let got = g.num_edges() as f64;
+        assert!((got - expected).abs() < 0.3 * expected);
+        assert!(erdos_renyi(10, 1.5, 0).is_err());
+    }
+
+    #[test]
+    fn invalid_sbm_params_rejected() {
+        let mut p = SbmParams {
+            block_sizes: vec![],
+            p_in: 0.1,
+            p_out: 0.1,
+            feature_dim: 4,
+            feature_separation: 1.0,
+            train_fraction: 0.5,
+        };
+        assert!(sbm(&p, 0).is_err());
+        p.block_sizes = vec![10];
+        p.p_in = 1.5;
+        assert!(sbm(&p, 0).is_err());
+        p.p_in = 0.1;
+        p.feature_dim = 0;
+        assert!(sbm(&p, 0).is_err());
+    }
+}

@@ -1,0 +1,127 @@
+//! GCN normalization: Â = D̃^{-1/2} (A + I) D̃^{-1/2}.
+//!
+//! Algorithm 1 line 2: "compute normalized adjacency matrix Ã". Kipf &
+//! Welling's renormalization trick adds self-loops before symmetric degree
+//! normalization; the result is the sparse operator every GCN layer
+//! multiplies by.
+
+use crate::csr::Graph;
+
+/// Returns the normalized adjacency in raw CSR form
+/// `(indptr, indices, values)`, including self-loops.
+///
+/// Entry `(u, v)` has value `1 / sqrt(d̃_u · d̃_v)` where `d̃` counts the
+/// self-loop. Suitable for direct construction of a sparse matrix in any
+/// downstream crate.
+pub fn normalized_adjacency(g: &Graph) -> (Vec<usize>, Vec<usize>, Vec<f32>) {
+    let n = g.num_nodes();
+    let deg_tilde: Vec<f64> = (0..n).map(|u| g.degree(u) as f64 + 1.0).collect();
+    let inv_sqrt: Vec<f64> = deg_tilde.iter().map(|d| 1.0 / d.sqrt()).collect();
+
+    let mut indptr = Vec::with_capacity(n + 1);
+    let mut indices = Vec::new();
+    let mut values = Vec::new();
+    indptr.push(0);
+    for u in 0..n {
+        // Row entries in sorted column order: merge self-loop into the
+        // neighbor walk (neighbors are already sorted by construction).
+        let mut placed_self = false;
+        for (v, _) in g.neighbors(u) {
+            if !placed_self && v > u {
+                indices.push(u);
+                values.push((inv_sqrt[u] * inv_sqrt[u]) as f32);
+                placed_self = true;
+            }
+            indices.push(v);
+            values.push((inv_sqrt[u] * inv_sqrt[v]) as f32);
+        }
+        if !placed_self {
+            indices.push(u);
+            values.push((inv_sqrt[u] * inv_sqrt[u]) as f32);
+        }
+        indptr.push(indices.len());
+    }
+    (indptr, indices, values)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::ring;
+
+    fn dense_of(indptr: &[usize], indices: &[usize], values: &[f32], n: usize) -> Vec<Vec<f32>> {
+        let mut m = vec![vec![0.0; n]; n];
+        for u in 0..n {
+            for i in indptr[u]..indptr[u + 1] {
+                m[u][indices[i]] += values[i];
+            }
+        }
+        m
+    }
+
+    #[test]
+    fn rows_include_self_loops() {
+        let g = Graph::from_edges(3, &[(0, 1)]).unwrap();
+        let (indptr, indices, values) = normalized_adjacency(&g);
+        let m = dense_of(&indptr, &indices, &values, 3);
+        // Node 2 is isolated: its row is exactly the self-loop 1/1.
+        assert!((m[2][2] - 1.0).abs() < 1e-6);
+        // Nodes 0 and 1 have d̃ = 2 → self-loop 1/2, cross term 1/2.
+        assert!((m[0][0] - 0.5).abs() < 1e-6);
+        assert!((m[0][1] - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn matrix_is_symmetric() {
+        let g = Graph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (0, 4), (1, 3)]).unwrap();
+        let (indptr, indices, values) = normalized_adjacency(&g);
+        let m = dense_of(&indptr, &indices, &values, 5);
+        for i in 0..5 {
+            for j in 0..5 {
+                assert!((m[i][j] - m[j][i]).abs() < 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn ring_rows_sum_to_one() {
+        // In a k-regular graph, each row of Â sums to exactly 1:
+        // (k+1) entries each worth 1/(k+1).
+        let g = ring(8).unwrap();
+        let (indptr, indices, values) = normalized_adjacency(&g);
+        let m = dense_of(&indptr, &indices, &values, 8);
+        for row in &m {
+            let s: f32 = row.iter().sum();
+            assert!((s - 1.0).abs() < 1e-5, "row sum {s}");
+        }
+    }
+
+    #[test]
+    fn entry_values_match_formula() {
+        // Star: center 0 with 3 leaves. d̃_0 = 4, d̃_leaf = 2.
+        let g = Graph::from_edges(4, &[(0, 1), (0, 2), (0, 3)]).unwrap();
+        let (indptr, indices, values) = normalized_adjacency(&g);
+        let m = dense_of(&indptr, &indices, &values, 4);
+        assert!((m[0][1] - 1.0 / (4.0f32 * 2.0).sqrt()).abs() < 1e-6);
+        assert!((m[0][0] - 0.25).abs() < 1e-6);
+        assert!((m[1][1] - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn csr_structure_is_well_formed() {
+        let g = Graph::from_edges(6, &[(0, 1), (2, 3), (4, 5), (1, 4)]).unwrap();
+        let (indptr, indices, values) = normalized_adjacency(&g);
+        assert_eq!(indptr.len(), 7);
+        assert_eq!(indices.len(), values.len());
+        assert_eq!(*indptr.last().unwrap(), indices.len());
+        // Each row contains exactly degree + 1 entries.
+        for u in 0..6 {
+            assert_eq!(indptr[u + 1] - indptr[u], g.degree(u) + 1);
+        }
+        // Columns sorted within each row.
+        for u in 0..6 {
+            let row = &indices[indptr[u]..indptr[u + 1]];
+            assert!(row.windows(2).all(|w| w[0] < w[1]), "row {u}: {row:?}");
+        }
+    }
+}

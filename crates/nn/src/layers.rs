@@ -1,0 +1,286 @@
+//! Layers and models: Linear, MLP, and the two-layer GCN.
+
+use crate::tape::{Tape, Var};
+use rand::Rng;
+use sagegpu_tensor::dense::Tensor;
+use sagegpu_tensor::sparse::CsrMatrix;
+use std::sync::Arc;
+
+/// A dense affine layer `y = x · W + b`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Linear {
+    pub weight: Tensor,
+    pub bias: Tensor,
+}
+
+impl Linear {
+    /// Xavier-initialized layer.
+    pub fn new(in_dim: usize, out_dim: usize, rng: &mut impl Rng) -> Self {
+        Self {
+            weight: Tensor::xavier(in_dim, out_dim, rng),
+            bias: Tensor::zeros(1, out_dim),
+        }
+    }
+
+    /// Records the forward pass, returning `(output, weight_var, bias_var)`
+    /// — the param vars are needed to read gradients after `backward`.
+    pub fn forward(&self, tape: &Tape, x: Var) -> (Var, Var, Var) {
+        let w = tape.leaf(self.weight.clone());
+        let b = tape.leaf(self.bias.clone());
+        let out = tape.add_bias(tape.matmul(x, w), b);
+        (out, w, b)
+    }
+
+    /// Flat list of parameter tensors (for optimizers / all-reduce sizing).
+    pub fn parameters(&self) -> Vec<&Tensor> {
+        vec![&self.weight, &self.bias]
+    }
+
+    /// Mutable parameter access in the same order as [`Self::parameters`].
+    pub fn parameters_mut(&mut self) -> Vec<&mut Tensor> {
+        vec![&mut self.weight, &mut self.bias]
+    }
+
+    /// Total scalar parameter count.
+    pub fn num_parameters(&self) -> usize {
+        self.weight.len() + self.bias.len()
+    }
+}
+
+/// One graph convolution: `H' = σ(Â · H · W + b)` (σ applied by caller).
+#[derive(Debug, Clone, PartialEq)]
+pub struct GcnLayer {
+    pub linear: Linear,
+}
+
+impl GcnLayer {
+    /// Xavier-initialized GCN layer.
+    pub fn new(in_dim: usize, out_dim: usize, rng: &mut impl Rng) -> Self {
+        Self {
+            linear: Linear::new(in_dim, out_dim, rng),
+        }
+    }
+
+    /// Records aggregation + transform; returns `(output, w_var, b_var)`.
+    pub fn forward(&self, tape: &Tape, adj: Arc<CsrMatrix>, h: Var) -> (Var, Var, Var) {
+        let agg = tape.spmm(adj, h);
+        self.linear.forward(tape, agg)
+    }
+}
+
+/// The two-layer GCN of Kipf & Welling:
+/// `Z = Â · relu(Â X W₁ + b₁) · W₂ + b₂`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Gcn {
+    pub layer1: GcnLayer,
+    pub layer2: GcnLayer,
+}
+
+/// Recorded parameter vars of one GCN forward pass, in optimizer order.
+#[derive(Debug, Clone, Copy)]
+pub struct GcnForward {
+    pub logits: Var,
+    pub params: [Var; 4],
+}
+
+impl Gcn {
+    /// A GCN with the given layer dimensions.
+    pub fn new(in_dim: usize, hidden: usize, classes: usize, rng: &mut impl Rng) -> Self {
+        Self {
+            layer1: GcnLayer::new(in_dim, hidden, rng),
+            layer2: GcnLayer::new(hidden, classes, rng),
+        }
+    }
+
+    /// Records the forward pass over features `x` with adjacency `adj`.
+    pub fn forward(&self, tape: &Tape, adj: Arc<CsrMatrix>, x: &Tensor) -> GcnForward {
+        let vx = tape.leaf(x.clone());
+        let (h1, w1, b1) = self.layer1.forward(tape, Arc::clone(&adj), vx);
+        let h1 = tape.relu(h1);
+        let (logits, w2, b2) = self.layer2.forward(tape, adj, h1);
+        GcnForward {
+            logits,
+            params: [w1, b1, w2, b2],
+        }
+    }
+
+    /// Parameter tensors in the order of [`GcnForward::params`].
+    pub fn parameters(&self) -> Vec<&Tensor> {
+        vec![
+            &self.layer1.linear.weight,
+            &self.layer1.linear.bias,
+            &self.layer2.linear.weight,
+            &self.layer2.linear.bias,
+        ]
+    }
+
+    /// Mutable parameters in the same order.
+    pub fn parameters_mut(&mut self) -> Vec<&mut Tensor> {
+        vec![
+            &mut self.layer1.linear.weight,
+            &mut self.layer1.linear.bias,
+            &mut self.layer2.linear.weight,
+            &mut self.layer2.linear.bias,
+        ]
+    }
+
+    /// Total scalar parameter count.
+    pub fn num_parameters(&self) -> usize {
+        self.parameters().iter().map(|t| t.len()).sum()
+    }
+
+    /// Total parameter bytes (the all-reduce payload in Algorithm 1).
+    pub fn parameter_bytes(&self) -> u64 {
+        self.parameters().iter().map(|t| t.size_bytes()).sum()
+    }
+
+    /// Replaces this model's parameters with `new` (broadcast receive).
+    pub fn set_parameters(&mut self, new: &[Tensor]) {
+        for (dst, src) in self.parameters_mut().into_iter().zip(new) {
+            *dst = src.clone();
+        }
+    }
+
+    /// Clones the parameters out (broadcast send).
+    pub fn get_parameters(&self) -> Vec<Tensor> {
+        self.parameters().into_iter().cloned().collect()
+    }
+}
+
+/// A plain two-layer MLP (used by the DQN/agent examples).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Mlp {
+    pub layer1: Linear,
+    pub layer2: Linear,
+}
+
+/// Recorded parameter vars of one MLP forward pass.
+#[derive(Debug, Clone, Copy)]
+pub struct MlpForward {
+    pub logits: Var,
+    pub params: [Var; 4],
+}
+
+impl Mlp {
+    /// A two-layer MLP with ReLU hidden activation.
+    pub fn new(in_dim: usize, hidden: usize, out_dim: usize, rng: &mut impl Rng) -> Self {
+        Self {
+            layer1: Linear::new(in_dim, hidden, rng),
+            layer2: Linear::new(hidden, out_dim, rng),
+        }
+    }
+
+    /// Records the forward pass over input rows `x`.
+    pub fn forward(&self, tape: &Tape, x: &Tensor) -> MlpForward {
+        let vx = tape.leaf(x.clone());
+        let (h, w1, b1) = self.layer1.forward(tape, vx);
+        let h = tape.relu(h);
+        let (logits, w2, b2) = self.layer2.forward(tape, h);
+        MlpForward {
+            logits,
+            params: [w1, b1, w2, b2],
+        }
+    }
+
+    /// Mutable parameters in forward-pass order.
+    pub fn parameters_mut(&mut self) -> Vec<&mut Tensor> {
+        vec![
+            &mut self.layer1.weight,
+            &mut self.layer1.bias,
+            &mut self.layer2.weight,
+            &mut self.layer2.bias,
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn linear_forward_shape_and_value() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut lin = Linear::new(3, 2, &mut rng);
+        lin.weight = Tensor::from_rows(&[&[1.0, 0.0], &[0.0, 1.0], &[1.0, 1.0]]);
+        lin.bias = Tensor::from_rows(&[&[10.0, 20.0]]);
+        let tape = Tape::new();
+        let x = tape.leaf(Tensor::from_rows(&[&[1.0, 2.0, 3.0]]));
+        let (out, _, _) = lin.forward(&tape, x);
+        let v = tape.value(out);
+        assert_eq!(v.shape(), (1, 2));
+        assert_eq!(v.get(0, 0), 1.0 + 3.0 + 10.0);
+        assert_eq!(v.get(0, 1), 2.0 + 3.0 + 20.0);
+        assert_eq!(lin.num_parameters(), 8);
+    }
+
+    #[test]
+    fn gcn_forward_produces_class_logits() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let gcn = Gcn::new(4, 8, 3, &mut rng);
+        let adj = Arc::new(
+            CsrMatrix::from_triplets(5, 5, &[(0, 0, 1.0), (1, 1, 1.0), (2, 2, 1.0), (3, 3, 1.0), (4, 4, 1.0)])
+                .unwrap(),
+        );
+        let x = Tensor::randn(5, 4, &mut rng);
+        let tape = Tape::new();
+        let fwd = gcn.forward(&tape, adj, &x);
+        assert_eq!(tape.shape(fwd.logits), (5, 3));
+        assert_eq!(gcn.num_parameters(), 4 * 8 + 8 + 8 * 3 + 3);
+        assert_eq!(gcn.parameter_bytes(), 4 * (32 + 8 + 24 + 3) as u64);
+    }
+
+    #[test]
+    fn gcn_set_get_parameters_roundtrip() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let a = Gcn::new(4, 6, 2, &mut rng);
+        let mut b = Gcn::new(4, 6, 2, &mut rng);
+        assert_ne!(a, b);
+        b.set_parameters(&a.get_parameters());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn gcn_training_step_reduces_loss() {
+        // One gradient-descent step on a toy problem must reduce the loss.
+        let mut rng = SmallRng::seed_from_u64(4);
+        let mut gcn = Gcn::new(4, 8, 2, &mut rng);
+        let adj = Arc::new(
+            CsrMatrix::from_triplets(4, 4, &[(0, 0, 1.0), (1, 1, 1.0), (2, 2, 1.0), (3, 3, 1.0)]).unwrap(),
+        );
+        let x = Tensor::randn(4, 4, &mut rng);
+        let labels = vec![0, 0, 1, 1];
+        let mask = vec![true; 4];
+
+        let loss_of = |g: &Gcn| -> f32 {
+            let tape = Tape::new();
+            let fwd = g.forward(&tape, Arc::clone(&adj), &x);
+            let loss = tape.cross_entropy(fwd.logits, &labels, &mask);
+            tape.value(loss).get(0, 0)
+        };
+
+        let before = loss_of(&gcn);
+        let tape = Tape::new();
+        let fwd = gcn.forward(&tape, Arc::clone(&adj), &x);
+        let loss = tape.cross_entropy(fwd.logits, &labels, &mask);
+        let grads = tape.backward(loss);
+        let lr = 0.5f32;
+        for (param, var) in gcn.parameters_mut().into_iter().zip(fwd.params) {
+            let g = grads[var.index()].as_ref().expect("param grad");
+            *param = param.sub(&g.scale(lr)).unwrap();
+        }
+        let after = loss_of(&gcn);
+        assert!(after < before, "loss {before} → {after}");
+    }
+
+    #[test]
+    fn mlp_forward_shape() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let mlp = Mlp::new(6, 16, 4, &mut rng);
+        let tape = Tape::new();
+        let x = Tensor::randn(10, 6, &mut rng);
+        let fwd = mlp.forward(&tape, &x);
+        assert_eq!(tape.shape(fwd.logits), (10, 4));
+    }
+}

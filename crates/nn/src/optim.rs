@@ -1,0 +1,237 @@
+//! Optimizers: SGD (with momentum) and Adam.
+
+use sagegpu_tensor::dense::Tensor;
+
+/// The optimizer contract: update parameter `i` in place given its gradient.
+///
+/// Slot `i` must refer to the same parameter across steps (state such as
+/// momentum is keyed on it).
+pub trait Optimizer {
+    /// Applies one update to parameter slot `i`.
+    fn step(&mut self, i: usize, param: &mut Tensor, grad: &Tensor);
+
+    /// Convenience: update a full parameter list against matching grads.
+    fn step_all(&mut self, params: Vec<&mut Tensor>, grads: &[Tensor]) {
+        assert_eq!(params.len(), grads.len(), "param/grad count mismatch");
+        for (i, (p, g)) in params.into_iter().zip(grads).enumerate() {
+            self.step(i, p, g);
+        }
+    }
+}
+
+/// Stochastic gradient descent with classical momentum.
+#[derive(Debug, Clone)]
+pub struct Sgd {
+    pub lr: f32,
+    pub momentum: f32,
+    velocity: Vec<Option<Tensor>>,
+}
+
+impl Sgd {
+    /// Plain SGD.
+    pub fn new(lr: f32) -> Self {
+        Self::with_momentum(lr, 0.0)
+    }
+
+    /// SGD with momentum `β`: `v ← βv + g; p ← p − lr·v`.
+    pub fn with_momentum(lr: f32, momentum: f32) -> Self {
+        Self {
+            lr,
+            momentum,
+            velocity: Vec::new(),
+        }
+    }
+
+    fn slot(&mut self, i: usize) -> &mut Option<Tensor> {
+        if self.velocity.len() <= i {
+            self.velocity.resize(i + 1, None);
+        }
+        &mut self.velocity[i]
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self, i: usize, param: &mut Tensor, grad: &Tensor) {
+        let lr = self.lr;
+        let momentum = self.momentum;
+        if momentum == 0.0 {
+            *param = param.sub(&grad.scale(lr)).expect("shapes");
+            return;
+        }
+        let slot = self.slot(i);
+        let v = match slot.take() {
+            Some(prev) => prev.scale(momentum).add(grad).expect("shapes"),
+            None => grad.clone(),
+        };
+        *param = param.sub(&v.scale(lr)).expect("shapes");
+        *slot = Some(v);
+    }
+}
+
+/// Adam (Kingma & Ba 2015) with bias correction.
+#[derive(Debug, Clone)]
+pub struct Adam {
+    pub lr: f32,
+    pub beta1: f32,
+    pub beta2: f32,
+    pub eps: f32,
+    t: i32,
+    m: Vec<Option<Tensor>>,
+    v: Vec<Option<Tensor>>,
+}
+
+impl Adam {
+    /// Adam with the canonical defaults (β₁ = .9, β₂ = .999, ε = 1e-8).
+    pub fn new(lr: f32) -> Self {
+        Self {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            t: 0,
+            m: Vec::new(),
+            v: Vec::new(),
+        }
+    }
+
+    /// Advances the shared timestep; call once per optimizer step *before*
+    /// the per-parameter updates (done automatically by `step_all`).
+    pub fn tick(&mut self) {
+        self.t += 1;
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self, i: usize, param: &mut Tensor, grad: &Tensor) {
+        if self.m.len() <= i {
+            self.m.resize(i + 1, None);
+            self.v.resize(i + 1, None);
+        }
+        let t = self.t.max(1) as f32;
+        let m_prev = self.m[i].take().unwrap_or_else(|| Tensor::zeros(grad.rows(), grad.cols()));
+        let v_prev = self.v[i].take().unwrap_or_else(|| Tensor::zeros(grad.rows(), grad.cols()));
+        let m = m_prev
+            .scale(self.beta1)
+            .add(&grad.scale(1.0 - self.beta1))
+            .expect("shapes");
+        let v = v_prev
+            .scale(self.beta2)
+            .add(&grad.hadamard(grad).expect("shapes").scale(1.0 - self.beta2))
+            .expect("shapes");
+        let m_hat = m.scale(1.0 / (1.0 - self.beta1.powf(t)));
+        let v_hat = v.scale(1.0 / (1.0 - self.beta2.powf(t)));
+        let mut update = m_hat;
+        for (u, vh) in update.data_mut().iter_mut().zip(v_hat.data()) {
+            *u = self.lr * *u / (vh.sqrt() + self.eps);
+        }
+        *param = param.sub(&update).expect("shapes");
+        self.m[i] = Some(m);
+        self.v[i] = Some(v);
+    }
+
+    fn step_all(&mut self, params: Vec<&mut Tensor>, grads: &[Tensor]) {
+        assert_eq!(params.len(), grads.len(), "param/grad count mismatch");
+        self.tick();
+        for (i, (p, g)) in params.into_iter().zip(grads).enumerate() {
+            self.step(i, p, g);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Quadratic bowl f(p) = ‖p − target‖²; gradient 2(p − target).
+    fn quadratic_grad(p: &Tensor, target: &Tensor) -> Tensor {
+        p.sub(target).unwrap().scale(2.0)
+    }
+
+    fn loss(p: &Tensor, target: &Tensor) -> f32 {
+        let d = p.sub(target).unwrap();
+        d.data().iter().map(|x| x * x).sum()
+    }
+
+    #[test]
+    fn sgd_converges_on_quadratic() {
+        let target = Tensor::from_rows(&[&[3.0, -2.0]]);
+        let mut p = Tensor::zeros(1, 2);
+        let mut opt = Sgd::new(0.1);
+        for _ in 0..100 {
+            let g = quadratic_grad(&p, &target);
+            opt.step(0, &mut p, &g);
+        }
+        assert!(loss(&p, &target) < 1e-6);
+    }
+
+    #[test]
+    fn momentum_accelerates_convergence() {
+        let target = Tensor::from_rows(&[&[5.0]]);
+        let steps_to_converge = |mut opt: Sgd| -> usize {
+            let mut p = Tensor::zeros(1, 1);
+            for step in 0..1000 {
+                let g = quadratic_grad(&p, &target);
+                opt.step(0, &mut p, &g);
+                if loss(&p, &target) < 1e-6 {
+                    return step;
+                }
+            }
+            1000
+        };
+        let plain = steps_to_converge(Sgd::new(0.02));
+        let with_momentum = steps_to_converge(Sgd::with_momentum(0.02, 0.9));
+        assert!(
+            with_momentum < plain,
+            "momentum {with_momentum} steps vs plain {plain}"
+        );
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        let target = Tensor::from_rows(&[&[1.0, -4.0, 2.5]]);
+        let mut p = Tensor::zeros(1, 3);
+        let mut opt = Adam::new(0.1);
+        for _ in 0..500 {
+            let g = quadratic_grad(&p, &target);
+            opt.step_all(vec![&mut p], &[g]);
+        }
+        assert!(loss(&p, &target) < 1e-4, "loss {}", loss(&p, &target));
+    }
+
+    #[test]
+    fn adam_handles_sparse_scale_differences() {
+        // One coordinate has a 100× larger gradient scale; Adam normalizes.
+        let mut p = Tensor::zeros(1, 2);
+        let target = Tensor::from_rows(&[&[1.0, 1.0]]);
+        let mut opt = Adam::new(0.05);
+        for _ in 0..800 {
+            let mut g = quadratic_grad(&p, &target);
+            g.set(0, 0, g.get(0, 0) * 100.0);
+            opt.step_all(vec![&mut p], &[g]);
+        }
+        assert!((p.get(0, 0) - 1.0).abs() < 0.05);
+        assert!((p.get(0, 1) - 1.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn separate_slots_keep_separate_state() {
+        let mut a = Tensor::zeros(1, 1);
+        let mut b = Tensor::zeros(1, 1);
+        let mut opt = Sgd::with_momentum(0.1, 0.9);
+        let ga = Tensor::from_rows(&[&[1.0]]);
+        let gb = Tensor::from_rows(&[&[-1.0]]);
+        for _ in 0..5 {
+            opt.step(0, &mut a, &ga);
+            opt.step(1, &mut b, &gb);
+        }
+        // Symmetric gradients must yield symmetric trajectories.
+        assert!((a.get(0, 0) + b.get(0, 0)).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatch")]
+    fn step_all_validates_lengths() {
+        let mut p = Tensor::zeros(1, 1);
+        Sgd::new(0.1).step_all(vec![&mut p], &[]);
+    }
+}

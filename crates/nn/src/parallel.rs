@@ -1,0 +1,102 @@
+//! Synchronous data-parallel utilities.
+//!
+//! Algorithm 1 lines 11–13: workers compute local gradients, gradients are
+//! aggregated, and a global optimizer updates θ. The aggregation here is a
+//! weighted average — workers holding larger partitions (more training
+//! nodes) contribute proportionally, which makes the distributed gradient
+//! an unbiased estimate of the full-graph gradient.
+
+use sagegpu_tensor::dense::Tensor;
+
+/// Averages per-worker gradient lists uniformly.
+///
+/// `per_worker[w]` is worker w's gradient for each parameter, all workers
+/// listing parameters in the same order.
+pub fn average_gradients(per_worker: &[Vec<Tensor>]) -> Vec<Tensor> {
+    weighted_average_gradients(per_worker, &vec![1.0; per_worker.len()])
+}
+
+/// Averages per-worker gradients with the given non-negative weights
+/// (normalized internally). Panics on empty input or mismatched layouts.
+pub fn weighted_average_gradients(per_worker: &[Vec<Tensor>], weights: &[f64]) -> Vec<Tensor> {
+    assert!(!per_worker.is_empty(), "no worker gradients");
+    assert_eq!(per_worker.len(), weights.len(), "one weight per worker");
+    let total: f64 = weights.iter().sum();
+    assert!(total > 0.0, "weights must not all be zero");
+    let n_params = per_worker[0].len();
+    let mut out: Vec<Tensor> = per_worker[0]
+        .iter()
+        .map(|g| g.scale((weights[0] / total) as f32))
+        .collect();
+    for (worker, w) in per_worker.iter().zip(weights).skip(1) {
+        assert_eq!(worker.len(), n_params, "parameter count mismatch across workers");
+        let k = (*w / total) as f32;
+        for (acc, g) in out.iter_mut().zip(worker) {
+            *acc = acc.add(&g.scale(k)).expect("gradient shapes match");
+        }
+    }
+    out
+}
+
+/// Total bytes a gradient set occupies — the all-reduce payload size used
+/// by the communication-cost model.
+pub fn gradient_bytes(grads: &[Tensor]) -> u64 {
+    grads.iter().map(|g| g.size_bytes()).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_average_of_two_workers() {
+        let w0 = vec![Tensor::full(2, 2, 1.0), Tensor::full(1, 2, 4.0)];
+        let w1 = vec![Tensor::full(2, 2, 3.0), Tensor::full(1, 2, 0.0)];
+        let avg = average_gradients(&[w0, w1]);
+        assert_eq!(avg[0], Tensor::full(2, 2, 2.0));
+        assert_eq!(avg[1], Tensor::full(1, 2, 2.0));
+    }
+
+    #[test]
+    fn weighted_average_respects_partition_sizes() {
+        // Worker 0 holds 3× the training nodes of worker 1.
+        let w0 = vec![Tensor::full(1, 1, 4.0)];
+        let w1 = vec![Tensor::full(1, 1, 0.0)];
+        let avg = weighted_average_gradients(&[w0, w1], &[3.0, 1.0]);
+        assert!((avg[0].get(0, 0) - 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn single_worker_is_identity() {
+        let w0 = vec![Tensor::full(2, 3, 7.0)];
+        let avg = average_gradients(std::slice::from_ref(&w0));
+        assert_eq!(avg, w0);
+    }
+
+    #[test]
+    fn average_of_k_equal_gradients_is_unchanged() {
+        let g = vec![Tensor::full(4, 4, 1.5)];
+        let workers: Vec<Vec<Tensor>> = (0..5).map(|_| g.clone()).collect();
+        assert_eq!(average_gradients(&workers), g);
+    }
+
+    #[test]
+    fn gradient_bytes_sums_parameter_sizes() {
+        let grads = vec![Tensor::zeros(10, 10), Tensor::zeros(1, 10)];
+        assert_eq!(gradient_bytes(&grads), 4 * 110);
+    }
+
+    #[test]
+    #[should_panic(expected = "parameter count mismatch")]
+    fn mismatched_layouts_panic() {
+        let w0 = vec![Tensor::zeros(1, 1)];
+        let w1 = vec![Tensor::zeros(1, 1), Tensor::zeros(1, 1)];
+        average_gradients(&[w0, w1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "no worker gradients")]
+    fn empty_input_panics() {
+        average_gradients(&[]);
+    }
+}

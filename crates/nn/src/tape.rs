@@ -1,0 +1,611 @@
+//! Tape-based reverse-mode automatic differentiation.
+//!
+//! A [`Tape`] records every operation as a node; [`Tape::backward`] walks
+//! the tape in reverse, accumulating gradients. Variables are lightweight
+//! indices into the tape, so graphs are cheap to build per training step
+//! (the PyTorch "define-by-run" style the course taught, minus the Python).
+
+use sagegpu_tensor::dense::Tensor;
+use sagegpu_tensor::sparse::CsrMatrix;
+use std::cell::RefCell;
+use std::sync::Arc;
+
+/// A variable: an index into its tape plus the forward value's shape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Var(usize);
+
+enum Op {
+    /// A leaf (parameter or input).
+    Leaf,
+    /// `C = A · B`.
+    MatMul(Var, Var),
+    /// `C = S · X` with a constant sparse operand.
+    Spmm(Arc<CsrMatrix>, Var),
+    /// `C = A + B` (same shape).
+    Add(Var, Var),
+    /// `C = A + bias` (bias broadcast across rows).
+    AddBias(Var, Var),
+    /// `C = relu(A)`.
+    Relu(Var),
+    /// `C = k · A`.
+    Scale(Var, f32),
+    /// Masked mean cross-entropy from logits (scalar output).
+    CrossEntropy {
+        logits: Var,
+        labels: Arc<Vec<usize>>,
+        mask: Arc<Vec<bool>>,
+    },
+    /// Mean squared error over one selected column per row (scalar
+    /// output) — the Q-learning regression loss.
+    MseIndexed {
+        pred: Var,
+        indices: Arc<Vec<usize>>,
+        targets: Arc<Vec<f32>>,
+    },
+    /// Mean over consecutive groups of `group` rows (global average
+    /// pooling when rows are an image's spatial patches).
+    MeanPoolRows { input: Var, group: usize },
+}
+
+struct Node {
+    op: Op,
+    value: Tensor,
+}
+
+/// The autograd tape.
+#[derive(Default)]
+pub struct Tape {
+    nodes: RefCell<Vec<Node>>,
+}
+
+impl Tape {
+    /// An empty tape.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of recorded nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.borrow().len()
+    }
+
+    /// Whether the tape is empty.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.borrow().is_empty()
+    }
+
+    fn push(&self, op: Op, value: Tensor) -> Var {
+        let mut nodes = self.nodes.borrow_mut();
+        nodes.push(Node { op, value });
+        Var(nodes.len() - 1)
+    }
+
+    /// Records a leaf holding `value` (an input or parameter).
+    pub fn leaf(&self, value: Tensor) -> Var {
+        self.push(Op::Leaf, value)
+    }
+
+    /// The forward value of `v` (cloned).
+    pub fn value(&self, v: Var) -> Tensor {
+        self.nodes.borrow()[v.0].value.clone()
+    }
+
+    /// Shape of `v`'s value.
+    pub fn shape(&self, v: Var) -> (usize, usize) {
+        self.nodes.borrow()[v.0].value.shape()
+    }
+
+    /// `a · b`.
+    pub fn matmul(&self, a: Var, b: Var) -> Var {
+        let value = {
+            let nodes = self.nodes.borrow();
+            nodes[a.0]
+                .value
+                .matmul(&nodes[b.0].value)
+                .expect("matmul shapes")
+        };
+        self.push(Op::MatMul(a, b), value)
+    }
+
+    /// `s · x` with constant sparse `s` (GCN aggregation).
+    pub fn spmm(&self, s: Arc<CsrMatrix>, x: Var) -> Var {
+        let value = {
+            let nodes = self.nodes.borrow();
+            s.spmm(&nodes[x.0].value).expect("spmm shapes")
+        };
+        self.push(Op::Spmm(s, x), value)
+    }
+
+    /// `a + b` (same shape).
+    pub fn add(&self, a: Var, b: Var) -> Var {
+        let value = {
+            let nodes = self.nodes.borrow();
+            nodes[a.0].value.add(&nodes[b.0].value).expect("add shapes")
+        };
+        self.push(Op::Add(a, b), value)
+    }
+
+    /// `a + bias`, bias a `1 × cols` row broadcast over `a`'s rows.
+    pub fn add_bias(&self, a: Var, bias: Var) -> Var {
+        let value = {
+            let nodes = self.nodes.borrow();
+            nodes[a.0]
+                .value
+                .add_row_broadcast(&nodes[bias.0].value)
+                .expect("bias shape")
+        };
+        self.push(Op::AddBias(a, bias), value)
+    }
+
+    /// `relu(a)`.
+    pub fn relu(&self, a: Var) -> Var {
+        let value = self.nodes.borrow()[a.0].value.relu();
+        self.push(Op::Relu(a), value)
+    }
+
+    /// `k · a`.
+    pub fn scale(&self, a: Var, k: f32) -> Var {
+        let value = self.nodes.borrow()[a.0].value.scale(k);
+        self.push(Op::Scale(a, k), value)
+    }
+
+    /// Masked mean cross-entropy over rows of `logits`: softmax + NLL on
+    /// rows where `mask` is true, averaged. Returns a scalar (1×1) var.
+    pub fn cross_entropy(&self, logits: Var, labels: &[usize], mask: &[bool]) -> Var {
+        let labels = Arc::new(labels.to_vec());
+        let mask = Arc::new(mask.to_vec());
+        let value = {
+            let nodes = self.nodes.borrow();
+            let logp = nodes[logits.0].value.log_softmax_rows();
+            let mut total = 0.0f32;
+            let mut count = 0usize;
+            for r in 0..logp.rows() {
+                if mask[r] {
+                    total -= logp.get(r, labels[r]);
+                    count += 1;
+                }
+            }
+            Tensor::from_vec(1, 1, vec![if count > 0 { total / count as f32 } else { 0.0 }])
+                .expect("scalar")
+        };
+        self.push(
+            Op::CrossEntropy {
+                logits,
+                labels,
+                mask,
+            },
+            value,
+        )
+    }
+
+    /// Mean squared error between `pred[r, indices[r]]` and `targets[r]`,
+    /// averaged over rows — the DQN temporal-difference loss
+    /// `mean((Q(s, a) − y)²)`. Returns a scalar (1×1) var.
+    pub fn mse_indexed(&self, pred: Var, indices: &[usize], targets: &[f32]) -> Var {
+        let indices = Arc::new(indices.to_vec());
+        let targets = Arc::new(targets.to_vec());
+        let value = {
+            let nodes = self.nodes.borrow();
+            let p = &nodes[pred.0].value;
+            assert_eq!(p.rows(), indices.len(), "one action index per row");
+            assert_eq!(p.rows(), targets.len(), "one target per row");
+            let n = p.rows().max(1) as f32;
+            let total: f32 = (0..p.rows())
+                .map(|r| {
+                    let d = p.get(r, indices[r]) - targets[r];
+                    d * d
+                })
+                .sum();
+            Tensor::from_vec(1, 1, vec![total / n]).expect("scalar")
+        };
+        self.push(
+            Op::MseIndexed {
+                pred,
+                indices,
+                targets,
+            },
+            value,
+        )
+    }
+
+    /// Averages each consecutive group of `group` rows into one output row
+    /// (`input.rows()` must be a multiple of `group`). With rows laid out
+    /// as per-image spatial patches, this is global average pooling.
+    pub fn mean_pool_rows(&self, input: Var, group: usize) -> Var {
+        assert!(group > 0, "group must be positive");
+        let value = {
+            let nodes = self.nodes.borrow();
+            let x = &nodes[input.0].value;
+            assert_eq!(x.rows() % group, 0, "rows must divide into groups of {group}");
+            let out_rows = x.rows() / group;
+            let mut out = Tensor::zeros(out_rows, x.cols());
+            for r in 0..x.rows() {
+                let o = r / group;
+                for c in 0..x.cols() {
+                    out.set(o, c, out.get(o, c) + x.get(r, c) / group as f32);
+                }
+            }
+            out
+        };
+        self.push(Op::MeanPoolRows { input, group }, value)
+    }
+
+    /// Reverse pass from scalar `loss`; returns gradient tensors indexed by
+    /// var id (`None` where no gradient flows).
+    pub fn backward(&self, loss: Var) -> Vec<Option<Tensor>> {
+        let nodes = self.nodes.borrow();
+        let n = nodes.len();
+        let mut grads: Vec<Option<Tensor>> = (0..n).map(|_| None).collect();
+        let (lr, lc) = nodes[loss.0].value.shape();
+        assert_eq!((lr, lc), (1, 1), "backward() requires a scalar loss");
+        grads[loss.0] = Some(Tensor::ones(1, 1));
+
+        let accumulate = |slot: &mut Option<Tensor>, add: Tensor| {
+            *slot = Some(match slot.take() {
+                Some(existing) => existing.add(&add).expect("grad shapes"),
+                None => add,
+            });
+        };
+
+        for i in (0..n).rev() {
+            let Some(grad) = grads[i].clone() else { continue };
+            match &nodes[i].op {
+                Op::Leaf => {}
+                Op::MatMul(a, b) => {
+                    let a_val = &nodes[a.0].value;
+                    let b_val = &nodes[b.0].value;
+                    let da = grad.matmul(&b_val.transpose()).expect("dA");
+                    let db = a_val.transpose().matmul(&grad).expect("dB");
+                    accumulate(&mut grads[a.0], da);
+                    accumulate(&mut grads[b.0], db);
+                }
+                Op::Spmm(s, x) => {
+                    let dx = s.transpose().spmm(&grad).expect("dX");
+                    accumulate(&mut grads[x.0], dx);
+                }
+                Op::Add(a, b) => {
+                    accumulate(&mut grads[a.0], grad.clone());
+                    accumulate(&mut grads[b.0], grad);
+                }
+                Op::AddBias(a, bias) => {
+                    // dBias = column sums of grad.
+                    let cols = grad.cols();
+                    let mut db = Tensor::zeros(1, cols);
+                    for r in 0..grad.rows() {
+                        for c in 0..cols {
+                            db.set(0, c, db.get(0, c) + grad.get(r, c));
+                        }
+                    }
+                    accumulate(&mut grads[a.0], grad);
+                    accumulate(&mut grads[bias.0], db);
+                }
+                Op::Relu(a) => {
+                    let a_val = &nodes[a.0].value;
+                    let mut da = grad.clone();
+                    for (g, &x) in da.data_mut().iter_mut().zip(a_val.data()) {
+                        if x <= 0.0 {
+                            *g = 0.0;
+                        }
+                    }
+                    accumulate(&mut grads[a.0], da);
+                }
+                Op::Scale(a, k) => {
+                    accumulate(&mut grads[a.0], grad.scale(*k));
+                }
+                Op::MeanPoolRows { input, group } => {
+                    let x = &nodes[input.0].value;
+                    let mut dx = Tensor::zeros(x.rows(), x.cols());
+                    for r in 0..x.rows() {
+                        let o = r / group;
+                        for c in 0..x.cols() {
+                            dx.set(r, c, grad.get(o, c) / *group as f32);
+                        }
+                    }
+                    accumulate(&mut grads[input.0], dx);
+                }
+                Op::MseIndexed {
+                    pred,
+                    indices,
+                    targets,
+                } => {
+                    let upstream = grad.get(0, 0);
+                    let p = &nodes[pred.0].value;
+                    let n = p.rows().max(1) as f32;
+                    let mut dp = Tensor::zeros(p.rows(), p.cols());
+                    for r in 0..p.rows() {
+                        let d = p.get(r, indices[r]) - targets[r];
+                        dp.set(r, indices[r], upstream * 2.0 * d / n);
+                    }
+                    accumulate(&mut grads[pred.0], dp);
+                }
+                Op::CrossEntropy {
+                    logits,
+                    labels,
+                    mask,
+                } => {
+                    let upstream = grad.get(0, 0);
+                    let logit_val = &nodes[logits.0].value;
+                    let soft = logit_val.softmax_rows();
+                    let count = mask.iter().filter(|&&m| m).count().max(1) as f32;
+                    let mut dl = Tensor::zeros(logit_val.rows(), logit_val.cols());
+                    for r in 0..logit_val.rows() {
+                        if !mask[r] {
+                            continue;
+                        }
+                        for c in 0..logit_val.cols() {
+                            let onehot = if c == labels[r] { 1.0 } else { 0.0 };
+                            dl.set(r, c, upstream * (soft.get(r, c) - onehot) / count);
+                        }
+                    }
+                    accumulate(&mut grads[logits.0], dl);
+                }
+            }
+        }
+        grads
+    }
+}
+
+impl Var {
+    /// The raw tape index (for gradient lookup after `backward`).
+    pub fn index(&self) -> usize {
+        self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    /// Central-difference numerical gradient of `f` w.r.t. `param`.
+    fn numerical_grad(
+        param: &Tensor,
+        f: &dyn Fn(&Tensor) -> f32,
+    ) -> Tensor {
+        let eps = 1e-3f32;
+        let mut grad = Tensor::zeros(param.rows(), param.cols());
+        for r in 0..param.rows() {
+            for c in 0..param.cols() {
+                let mut plus = param.clone();
+                plus.set(r, c, plus.get(r, c) + eps);
+                let mut minus = param.clone();
+                minus.set(r, c, minus.get(r, c) - eps);
+                grad.set(r, c, (f(&plus) - f(&minus)) / (2.0 * eps));
+            }
+        }
+        grad
+    }
+
+    fn assert_close(a: &Tensor, b: &Tensor, tol: f32) {
+        assert_eq!(a.shape(), b.shape());
+        for (x, y) in a.data().iter().zip(b.data()) {
+            assert!((x - y).abs() < tol, "{x} vs {y} (tol {tol})");
+        }
+    }
+
+    #[test]
+    fn matmul_gradient_matches_numerical() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let a0 = Tensor::randn(3, 4, &mut rng).scale(0.5);
+        let b0 = Tensor::randn(4, 2, &mut rng).scale(0.5);
+        let labels = vec![0, 1, 0];
+        let mask = vec![true, true, true];
+
+        let run = |a: &Tensor, b: &Tensor| -> f32 {
+            let tape = Tape::new();
+            let va = tape.leaf(a.clone());
+            let vb = tape.leaf(b.clone());
+            let c = tape.matmul(va, vb);
+            let loss = tape.cross_entropy(c, &labels, &mask);
+            tape.value(loss).get(0, 0)
+        };
+
+        let tape = Tape::new();
+        let va = tape.leaf(a0.clone());
+        let vb = tape.leaf(b0.clone());
+        let c = tape.matmul(va, vb);
+        let loss = tape.cross_entropy(c, &labels, &mask);
+        let grads = tape.backward(loss);
+
+        let num_a = numerical_grad(&a0, &|a| run(a, &b0));
+        let num_b = numerical_grad(&b0, &|b| run(&a0, b));
+        assert_close(grads[va.index()].as_ref().unwrap(), &num_a, 2e-3);
+        assert_close(grads[vb.index()].as_ref().unwrap(), &num_b, 2e-3);
+    }
+
+    #[test]
+    fn relu_and_bias_gradients_match_numerical() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let x0 = Tensor::randn(4, 3, &mut rng);
+        let b0 = Tensor::randn(1, 3, &mut rng).scale(0.3);
+        let labels = vec![2, 0, 1, 1];
+        let mask = vec![true, false, true, true];
+
+        let run = |x: &Tensor, b: &Tensor| -> f32 {
+            let tape = Tape::new();
+            let vx = tape.leaf(x.clone());
+            let vb = tape.leaf(b.clone());
+            let h = tape.relu(tape.add_bias(vx, vb));
+            let loss = tape.cross_entropy(h, &labels, &mask);
+            tape.value(loss).get(0, 0)
+        };
+
+        let tape = Tape::new();
+        let vx = tape.leaf(x0.clone());
+        let vb = tape.leaf(b0.clone());
+        let h = tape.relu(tape.add_bias(vx, vb));
+        let loss = tape.cross_entropy(h, &labels, &mask);
+        let grads = tape.backward(loss);
+
+        assert_close(
+            grads[vx.index()].as_ref().unwrap(),
+            &numerical_grad(&x0, &|x| run(x, &b0)),
+            3e-3,
+        );
+        assert_close(
+            grads[vb.index()].as_ref().unwrap(),
+            &numerical_grad(&b0, &|b| run(&x0, b)),
+            3e-3,
+        );
+    }
+
+    #[test]
+    fn spmm_gradient_matches_numerical() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let s = Arc::new(
+            CsrMatrix::from_triplets(
+                3,
+                3,
+                &[(0, 0, 0.5), (0, 1, 0.5), (1, 1, 1.0), (2, 0, 0.3), (2, 2, 0.7)],
+            )
+            .unwrap(),
+        );
+        let x0 = Tensor::randn(3, 2, &mut rng);
+        let labels = vec![0, 1, 0];
+        let mask = vec![true, true, true];
+
+        let run = |x: &Tensor| -> f32 {
+            let tape = Tape::new();
+            let vx = tape.leaf(x.clone());
+            let agg = tape.spmm(Arc::clone(&s), vx);
+            let loss = tape.cross_entropy(agg, &labels, &mask);
+            tape.value(loss).get(0, 0)
+        };
+
+        let tape = Tape::new();
+        let vx = tape.leaf(x0.clone());
+        let agg = tape.spmm(Arc::clone(&s), vx);
+        let loss = tape.cross_entropy(agg, &labels, &mask);
+        let grads = tape.backward(loss);
+        assert_close(
+            grads[vx.index()].as_ref().unwrap(),
+            &numerical_grad(&x0, &run),
+            2e-3,
+        );
+    }
+
+    #[test]
+    fn gradient_accumulates_when_var_reused() {
+        // loss = CE(a + a) — gradient through both branches sums.
+        let a0 = Tensor::from_rows(&[&[0.2, -0.4]]);
+        let labels = vec![0];
+        let mask = vec![true];
+        let run = |a: &Tensor| -> f32 {
+            let tape = Tape::new();
+            let va = tape.leaf(a.clone());
+            let s = tape.add(va, va);
+            let loss = tape.cross_entropy(s, &labels, &mask);
+            tape.value(loss).get(0, 0)
+        };
+        let tape = Tape::new();
+        let va = tape.leaf(a0.clone());
+        let s = tape.add(va, va);
+        let loss = tape.cross_entropy(s, &labels, &mask);
+        let grads = tape.backward(loss);
+        assert_close(
+            grads[va.index()].as_ref().unwrap(),
+            &numerical_grad(&a0, &run),
+            2e-3,
+        );
+    }
+
+    #[test]
+    fn scale_gradient() {
+        let a0 = Tensor::from_rows(&[&[1.0, 2.0]]);
+        let tape = Tape::new();
+        let va = tape.leaf(a0.clone());
+        let scaled = tape.scale(va, 3.0);
+        let loss = tape.cross_entropy(scaled, &[1], &[true]);
+        let grads = tape.backward(loss);
+        let run = |a: &Tensor| -> f32 {
+            let tape = Tape::new();
+            let va = tape.leaf(a.clone());
+            let scaled = tape.scale(va, 3.0);
+            let loss = tape.cross_entropy(scaled, &[1], &[true]);
+            tape.value(loss).get(0, 0)
+        };
+        assert_close(
+            grads[va.index()].as_ref().unwrap(),
+            &numerical_grad(&a0, &run),
+            2e-3,
+        );
+    }
+
+    #[test]
+    fn cross_entropy_value_is_correct() {
+        // Uniform logits over 4 classes → loss = ln 4.
+        let logits = Tensor::zeros(2, 4);
+        let tape = Tape::new();
+        let v = tape.leaf(logits);
+        let loss = tape.cross_entropy(v, &[0, 3], &[true, true]);
+        let got = tape.value(loss).get(0, 0);
+        assert!((got - 4.0f32.ln()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn masked_rows_do_not_contribute() {
+        let mut logits = Tensor::zeros(2, 3);
+        logits.set(1, 0, 100.0); // would dominate if unmasked
+        let tape = Tape::new();
+        let v = tape.leaf(logits);
+        let loss = tape.cross_entropy(v, &[0, 2], &[true, false]);
+        let got = tape.value(loss).get(0, 0);
+        assert!((got - 3.0f32.ln()).abs() < 1e-5);
+        let grads = tape.backward(loss);
+        let g = grads[v.index()].as_ref().unwrap();
+        for c in 0..3 {
+            assert_eq!(g.get(1, c), 0.0, "masked row must have zero grad");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "scalar loss")]
+    fn backward_requires_scalar() {
+        let tape = Tape::new();
+        let v = tape.leaf(Tensor::zeros(2, 2));
+        let _ = tape.backward(v);
+    }
+
+    #[test]
+    fn mse_indexed_value_and_gradient() {
+        // pred rows: [1, 2], [3, 4]; select cols [1, 0]; targets [0, 1].
+        // loss = ((2-0)^2 + (3-1)^2)/2 = 4.
+        let pred0 = Tensor::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let tape = Tape::new();
+        let v = tape.leaf(pred0.clone());
+        let loss = tape.mse_indexed(v, &[1, 0], &[0.0, 1.0]);
+        assert!((tape.value(loss).get(0, 0) - 4.0).abs() < 1e-6);
+        let grads = tape.backward(loss);
+        let g = grads[v.index()].as_ref().unwrap();
+        // Analytic: d/dpred[0,1] = 2*(2-0)/2 = 2; d/dpred[1,0] = 2*(3-1)/2 = 2.
+        assert!((g.get(0, 1) - 2.0).abs() < 1e-6);
+        assert!((g.get(1, 0) - 2.0).abs() < 1e-6);
+        assert_eq!(g.get(0, 0), 0.0);
+        assert_eq!(g.get(1, 1), 0.0);
+        // Numerical check through a matmul upstream.
+        let run = |p: &Tensor| -> f32 {
+            let tape = Tape::new();
+            let v = tape.leaf(p.clone());
+            let w = tape.leaf(Tensor::eye(2));
+            let q = tape.matmul(v, w);
+            tape.value(tape.mse_indexed(q, &[1, 0], &[0.0, 1.0])).get(0, 0)
+        };
+        let tape = Tape::new();
+        let v = tape.leaf(pred0.clone());
+        let w = tape.leaf(Tensor::eye(2));
+        let q = tape.matmul(v, w);
+        let loss = tape.mse_indexed(q, &[1, 0], &[0.0, 1.0]);
+        let grads = tape.backward(loss);
+        let num = numerical_grad(&pred0, &run);
+        assert_close(grads[v.index()].as_ref().unwrap(), &num, 3e-2);
+    }
+
+    #[test]
+    fn no_mask_rows_gives_zero_loss() {
+        let tape = Tape::new();
+        let v = tape.leaf(Tensor::zeros(2, 3));
+        let loss = tape.cross_entropy(v, &[0, 1], &[false, false]);
+        assert_eq!(tape.value(loss).get(0, 0), 0.0);
+    }
+}

@@ -1,0 +1,131 @@
+//! Property-based gradient checking: for random shapes, parameters, and
+//! compositions, the autograd must agree with central differences.
+
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use sagegpu_nn::tape::Tape;
+use sagegpu_tensor::dense::Tensor;
+use sagegpu_tensor::sparse::CsrMatrix;
+use std::sync::Arc;
+
+/// Central-difference gradient of `f` w.r.t. `param`.
+fn numerical_grad(param: &Tensor, f: &dyn Fn(&Tensor) -> f32) -> Tensor {
+    let eps = 1e-2f32;
+    let mut grad = Tensor::zeros(param.rows(), param.cols());
+    for r in 0..param.rows() {
+        for c in 0..param.cols() {
+            let mut plus = param.clone();
+            plus.set(r, c, plus.get(r, c) + eps);
+            let mut minus = param.clone();
+            minus.set(r, c, minus.get(r, c) - eps);
+            grad.set(r, c, (f(&plus) - f(&minus)) / (2.0 * eps));
+        }
+    }
+    grad
+}
+
+fn close(a: &Tensor, b: &Tensor, tol: f32) -> Result<(), TestCaseError> {
+    prop_assert_eq!(a.shape(), b.shape());
+    for (x, y) in a.data().iter().zip(b.data()) {
+        prop_assert!((x - y).abs() < tol, "{} vs {} (tol {})", x, y, tol);
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// matmul → bias → relu → cross-entropy, random shapes and data.
+    #[test]
+    fn dense_chain_gradcheck(m in 2usize..5, k in 2usize..5, n in 2usize..4, seed in 0u64..500) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let x0 = Tensor::randn(m, k, &mut rng).scale(0.6);
+        let w0 = Tensor::randn(k, n, &mut rng).scale(0.6);
+        let b0 = Tensor::randn(1, n, &mut rng).scale(0.3);
+        let labels: Vec<usize> = (0..m).map(|i| i % n).collect();
+        let mask = vec![true; m];
+
+        // Central differences are invalid at ReLU kinks: discard samples
+        // whose pre-activations sit close enough to zero that the eps
+        // perturbation could cross the kink.
+        let pre = x0.matmul(&w0).unwrap().add_row_broadcast(&b0).unwrap();
+        prop_assume!(pre.data().iter().all(|v| v.abs() > 0.12));
+
+        let run = |w: &Tensor| -> f32 {
+            let tape = Tape::new();
+            let x = tape.leaf(x0.clone());
+            let wv = tape.leaf(w.clone());
+            let bv = tape.leaf(b0.clone());
+            let h = tape.relu(tape.add_bias(tape.matmul(x, wv), bv));
+            tape.value(tape.cross_entropy(h, &labels, &mask)).get(0, 0)
+        };
+
+        let tape = Tape::new();
+        let x = tape.leaf(x0.clone());
+        let wv = tape.leaf(w0.clone());
+        let bv = tape.leaf(b0.clone());
+        let h = tape.relu(tape.add_bias(tape.matmul(x, wv), bv));
+        let loss = tape.cross_entropy(h, &labels, &mask);
+        let grads = tape.backward(loss);
+        let analytic = grads[wv.index()].as_ref().unwrap();
+        let numeric = numerical_grad(&w0, &run);
+        close(analytic, &numeric, 2e-2)?;
+    }
+
+    /// Sparse aggregation chain with a random sparse operand.
+    #[test]
+    fn spmm_chain_gradcheck(n in 2usize..6, d in 2usize..4, seed in 0u64..200) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        // Random sparse matrix with guaranteed diagonal (no empty rows).
+        let mut triplets: Vec<(usize, usize, f32)> = (0..n).map(|i| (i, i, 1.0)).collect();
+        use rand::Rng;
+        for _ in 0..n {
+            triplets.push((rng.gen_range(0..n), rng.gen_range(0..n), rng.gen_range(0.1..1.0f32)));
+        }
+        let s = Arc::new(CsrMatrix::from_triplets(n, n, &triplets).unwrap());
+        let x0 = Tensor::randn(n, d, &mut rng).scale(0.5);
+        let labels: Vec<usize> = (0..n).map(|i| i % d).collect();
+        let mask: Vec<bool> = (0..n).map(|i| i % 2 == 0).collect();
+
+        let run = |x: &Tensor| -> f32 {
+            let tape = Tape::new();
+            let xv = tape.leaf(x.clone());
+            let agg = tape.spmm(Arc::clone(&s), xv);
+            let agg2 = tape.spmm(Arc::clone(&s), agg); // two hops
+            tape.value(tape.cross_entropy(agg2, &labels, &mask)).get(0, 0)
+        };
+
+        let tape = Tape::new();
+        let xv = tape.leaf(x0.clone());
+        let agg = tape.spmm(Arc::clone(&s), xv);
+        let agg2 = tape.spmm(Arc::clone(&s), agg);
+        let loss = tape.cross_entropy(agg2, &labels, &mask);
+        let grads = tape.backward(loss);
+        close(grads[xv.index()].as_ref().unwrap(), &numerical_grad(&x0, &run), 2e-2)?;
+    }
+
+    /// mean-pool → linear → mse_indexed (the CNN/DQN tail), random groups.
+    #[test]
+    fn pool_mse_gradcheck(groups in 2usize..4, group_size in 2usize..4, c in 2usize..4, seed in 0u64..200) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let rows = groups * group_size;
+        let x0 = Tensor::randn(rows, c, &mut rng).scale(0.5);
+        let indices: Vec<usize> = (0..groups).map(|i| i % c).collect();
+        let targets: Vec<f32> = (0..groups).map(|i| i as f32 * 0.3).collect();
+
+        let run = |x: &Tensor| -> f32 {
+            let tape = Tape::new();
+            let xv = tape.leaf(x.clone());
+            let pooled = tape.mean_pool_rows(xv, group_size);
+            tape.value(tape.mse_indexed(pooled, &indices, &targets)).get(0, 0)
+        };
+
+        let tape = Tape::new();
+        let xv = tape.leaf(x0.clone());
+        let pooled = tape.mean_pool_rows(xv, group_size);
+        let loss = tape.mse_indexed(pooled, &indices, &targets);
+        let grads = tape.backward(loss);
+        close(grads[xv.index()].as_ref().unwrap(), &numerical_grad(&x0, &run), 2e-2)?;
+    }
+}

@@ -1,0 +1,277 @@
+//! Bottleneck classification and roofline verdicts.
+//!
+//! The week-3/4 labs ask students to look at a profile and answer: is this
+//! workload limited by compute, by data movement, or by the GPU sitting
+//! idle? This module automates exactly that judgment from the simulated
+//! trace, and emits the remediation advice the course rubric expects
+//! (batch transfers, improve coalescing, raise occupancy, overlap work).
+
+use crate::timeline::Timeline;
+use gpu_sim::{DeviceSpec, EventKind};
+use serde::Serialize;
+
+/// What dominates a run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum BottleneckClass {
+    /// Kernel execution dominates and kernels are FLOP-limited.
+    ComputeBound,
+    /// Host↔device / peer transfers dominate.
+    TransferBound,
+    /// Kernels dominate but are bandwidth-limited (low arithmetic
+    /// intensity or poor access patterns).
+    MemoryBound,
+    /// The device spends most of the makespan idle.
+    IdleBound,
+}
+
+/// A per-kernel roofline verdict.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct KernelVerdict {
+    pub name: String,
+    /// FLOPs per byte observed.
+    pub arithmetic_intensity: f64,
+    /// The device's machine balance (peak FLOPs / peak bandwidth).
+    pub machine_balance: f64,
+    /// True when intensity ≥ machine balance (compute side of the roof).
+    pub compute_side: bool,
+    pub mean_occupancy: f64,
+}
+
+/// The full bottleneck report for one device.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct BottleneckReport {
+    pub device: u32,
+    pub class: BottleneckClass,
+    /// Fraction of makespan in kernels.
+    pub kernel_fraction: f64,
+    /// Fraction of makespan in transfers.
+    pub transfer_fraction: f64,
+    /// Fraction of makespan idle.
+    pub idle_fraction: f64,
+    pub kernels: Vec<KernelVerdict>,
+    /// Human-readable remediation advice.
+    pub recommendations: Vec<String>,
+}
+
+/// Analyzes one device's lane against its hardware spec.
+pub fn analyze(timeline: &Timeline, device: u32, spec: &DeviceSpec) -> BottleneckReport {
+    let span = timeline.makespan_ns().max(1);
+    let lane = timeline.lane(device);
+
+    let kernel_ns: u64 = lane
+        .iter()
+        .filter(|e| e.kind == EventKind::Kernel)
+        .map(|e| e.dur_ns)
+        .sum();
+    let transfer_ns: u64 = lane
+        .iter()
+        .filter(|e| e.kind.is_transfer())
+        .map(|e| e.dur_ns)
+        .sum();
+    let busy = timeline.busy_ns(device);
+    let idle_ns = span.saturating_sub(busy);
+
+    let kernel_fraction = kernel_ns as f64 / span as f64;
+    let transfer_fraction = transfer_ns as f64 / span as f64;
+    let idle_fraction = idle_ns as f64 / span as f64;
+
+    // Per-kernel roofline verdicts.
+    let machine_balance = spec.peak_flops() / spec.memory.bandwidth_bytes_per_sec;
+    let mut kernels: Vec<KernelVerdict> = Vec::new();
+    for ev in lane.iter().filter(|e| e.kind == EventKind::Kernel) {
+        if let Some(existing) = kernels.iter_mut().find(|k| k.name == ev.name) {
+            existing.mean_occupancy = (existing.mean_occupancy + ev.occupancy) / 2.0;
+            continue;
+        }
+        let intensity = if ev.bytes == 0 {
+            f64::INFINITY
+        } else {
+            ev.flops as f64 / ev.bytes as f64
+        };
+        kernels.push(KernelVerdict {
+            name: ev.name.clone(),
+            arithmetic_intensity: intensity,
+            machine_balance,
+            compute_side: intensity >= machine_balance,
+            mean_occupancy: ev.occupancy,
+        });
+    }
+
+    let class = if idle_fraction > 0.5 {
+        BottleneckClass::IdleBound
+    } else if transfer_fraction > kernel_fraction {
+        BottleneckClass::TransferBound
+    } else {
+        // Kernel-dominated: compute vs memory side by time-weighted verdict.
+        let compute_heavy = kernels.iter().any(|k| k.compute_side);
+        if compute_heavy {
+            BottleneckClass::ComputeBound
+        } else {
+            BottleneckClass::MemoryBound
+        }
+    };
+
+    let mut recommendations = Vec::new();
+    match class {
+        BottleneckClass::TransferBound => {
+            recommendations.push(
+                "Host-device transfers dominate: batch transfers, keep data resident on the GPU, \
+                 and overlap copies with compute streams."
+                    .to_owned(),
+            );
+        }
+        BottleneckClass::MemoryBound => {
+            recommendations.push(
+                "Kernels are bandwidth-limited: improve coalescing, use shared-memory tiling, \
+                 and fuse elementwise kernels to cut traffic."
+                    .to_owned(),
+            );
+        }
+        BottleneckClass::IdleBound => {
+            recommendations.push(
+                "The GPU is mostly idle: the host is the bottleneck — pipeline input preparation \
+                 or increase per-launch work."
+                    .to_owned(),
+            );
+        }
+        BottleneckClass::ComputeBound => {
+            recommendations
+                .push("Compute-bound at the FLOP roof: consider lower precision or algorithmic savings.".to_owned());
+        }
+    }
+    if kernels.iter().any(|k| k.mean_occupancy < 0.25) {
+        recommendations.push(
+            "Some kernels run below 25% occupancy: reduce per-thread registers or shrink shared \
+             memory per block."
+                .to_owned(),
+        );
+    }
+
+    BottleneckReport {
+        device,
+        class,
+        kernel_fraction,
+        transfer_fraction,
+        idle_fraction,
+        kernels,
+        recommendations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::TraceEvent;
+
+    fn ev(kind: EventKind, name: &str, start: u64, dur: u64, bytes: u64, flops: u64, occ: f64) -> TraceEvent {
+        TraceEvent {
+            kind,
+            name: name.into(),
+            device: 0,
+            stream: 0,
+            start_ns: start,
+            dur_ns: dur,
+            bytes,
+            flops,
+            occupancy: occ,
+        }
+    }
+
+    fn spec() -> DeviceSpec {
+        DeviceSpec::t4()
+    }
+
+    #[test]
+    fn transfer_heavy_run_is_transfer_bound() {
+        let t = Timeline::from_events(vec![
+            ev(EventKind::MemcpyH2D, "htod", 0, 900, 1 << 20, 0, 0.0),
+            ev(EventKind::Kernel, "k", 900, 100, 1 << 10, 1 << 10, 0.9),
+        ]);
+        let report = analyze(&t, 0, &spec());
+        assert_eq!(report.class, BottleneckClass::TransferBound);
+        assert!(report.transfer_fraction > 0.8);
+        assert!(report.recommendations.iter().any(|r| r.contains("batch transfers")));
+    }
+
+    #[test]
+    fn low_intensity_kernels_are_memory_bound() {
+        // vecadd-like: 1 FLOP per 12 bytes — far below T4's balance (~25).
+        let t = Timeline::from_events(vec![ev(
+            EventKind::Kernel,
+            "vecadd",
+            0,
+            1000,
+            12 << 20,
+            1 << 20,
+            0.9,
+        )]);
+        let report = analyze(&t, 0, &spec());
+        assert_eq!(report.class, BottleneckClass::MemoryBound);
+        assert!(!report.kernels[0].compute_side);
+        assert!(report.recommendations.iter().any(|r| r.contains("coalescing")));
+    }
+
+    #[test]
+    fn high_intensity_kernels_are_compute_bound() {
+        // Large matmul: intensity far above machine balance.
+        let t = Timeline::from_events(vec![ev(
+            EventKind::Kernel,
+            "sgemm",
+            0,
+            1000,
+            1 << 20,
+            1 << 40,
+            0.9,
+        )]);
+        let report = analyze(&t, 0, &spec());
+        assert_eq!(report.class, BottleneckClass::ComputeBound);
+        assert!(report.kernels[0].compute_side);
+    }
+
+    #[test]
+    fn mostly_idle_run_is_idle_bound() {
+        let t = Timeline::from_events(vec![
+            ev(EventKind::Kernel, "k", 0, 10, 0, 0, 0.9),
+            ev(EventKind::Kernel, "k", 990, 10, 0, 0, 0.9),
+        ]);
+        let report = analyze(&t, 0, &spec());
+        assert_eq!(report.class, BottleneckClass::IdleBound);
+        assert!(report.idle_fraction > 0.9);
+        assert!(report.recommendations.iter().any(|r| r.contains("idle")));
+    }
+
+    #[test]
+    fn low_occupancy_triggers_extra_recommendation() {
+        let t = Timeline::from_events(vec![ev(
+            EventKind::Kernel,
+            "tiny-blocks",
+            0,
+            1000,
+            1 << 20,
+            1 << 10,
+            0.1,
+        )]);
+        let report = analyze(&t, 0, &spec());
+        assert!(report.recommendations.iter().any(|r| r.contains("occupancy")));
+    }
+
+    #[test]
+    fn fractions_are_consistent() {
+        let t = Timeline::from_events(vec![
+            ev(EventKind::Kernel, "k", 0, 400, 1, 1, 0.5),
+            ev(EventKind::MemcpyH2D, "htod", 400, 400, 1, 0, 0.0),
+        ]);
+        let report = analyze(&t, 0, &spec());
+        assert!((report.kernel_fraction - 0.5).abs() < 1e-9);
+        assert!((report.transfer_fraction - 0.5).abs() < 1e-9);
+        assert!(report.idle_fraction < 1e-9);
+    }
+
+    #[test]
+    fn machine_balance_matches_spec() {
+        let t = Timeline::from_events(vec![ev(EventKind::Kernel, "k", 0, 10, 100, 100, 0.5)]);
+        let report = analyze(&t, 0, &spec());
+        let expected = spec().peak_flops() / spec().memory.bandwidth_bytes_per_sec;
+        assert!((report.kernels[0].machine_balance - expected).abs() < 1e-9);
+    }
+}

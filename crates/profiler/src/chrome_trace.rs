@@ -1,0 +1,118 @@
+//! Chrome `about:tracing` JSON export.
+//!
+//! Both Nsight Systems and the PyTorch profiler export Chrome-trace JSON;
+//! it is the lingua franca of timeline viewers (chrome://tracing, Perfetto,
+//! TensorBoard's trace viewer). Events become `"ph": "X"` (complete) slices
+//! with microsecond timestamps, one track per (device, stream).
+
+use gpu_sim::TraceEvent;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct ChromeEvent<'a> {
+    name: &'a str,
+    cat: &'static str,
+    ph: &'static str,
+    /// Timestamp in microseconds.
+    ts: f64,
+    /// Duration in microseconds.
+    dur: f64,
+    /// Process id — we map devices to pids.
+    pid: u32,
+    /// Thread id — we map streams to tids.
+    tid: u32,
+    args: ChromeArgs,
+}
+
+#[derive(Serialize)]
+struct ChromeArgs {
+    bytes: u64,
+    flops: u64,
+    occupancy: f64,
+}
+
+#[derive(Serialize)]
+struct ChromeTrace<'a> {
+    #[serde(rename = "traceEvents")]
+    trace_events: Vec<ChromeEvent<'a>>,
+    #[serde(rename = "displayTimeUnit")]
+    display_time_unit: &'static str,
+}
+
+/// Serializes events to a Chrome-trace JSON string.
+pub fn to_chrome_trace(events: &[TraceEvent]) -> String {
+    let trace = ChromeTrace {
+        trace_events: events
+            .iter()
+            .map(|ev| ChromeEvent {
+                name: &ev.name,
+                cat: ev.kind.label(),
+                ph: "X",
+                ts: ev.start_ns as f64 / 1e3,
+                dur: ev.dur_ns as f64 / 1e3,
+                pid: ev.device,
+                tid: ev.stream,
+                args: ChromeArgs {
+                    bytes: ev.bytes,
+                    flops: ev.flops,
+                    occupancy: ev.occupancy,
+                },
+            })
+            .collect(),
+        display_time_unit: "ns",
+    };
+    serde_json::to_string_pretty(&trace).expect("trace serialization cannot fail")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::EventKind;
+
+    fn ev(name: &str, device: u32, start: u64, dur: u64) -> TraceEvent {
+        TraceEvent {
+            kind: EventKind::Kernel,
+            name: name.into(),
+            device,
+            stream: 0,
+            start_ns: start,
+            dur_ns: dur,
+            bytes: 64,
+            flops: 128,
+            occupancy: 0.75,
+        }
+    }
+
+    #[test]
+    fn produces_valid_json_with_expected_fields() {
+        let json = to_chrome_trace(&[ev("sgemm", 0, 1000, 500)]);
+        let parsed: serde_json::Value = serde_json::from_str(&json).unwrap();
+        let events = parsed["traceEvents"].as_array().unwrap();
+        assert_eq!(events.len(), 1);
+        let e = &events[0];
+        assert_eq!(e["name"], "sgemm");
+        assert_eq!(e["ph"], "X");
+        assert_eq!(e["cat"], "kernel");
+        assert_eq!(e["ts"], 1.0); // 1000 ns = 1 µs
+        assert_eq!(e["dur"], 0.5);
+        assert_eq!(e["pid"], 0);
+        assert_eq!(e["args"]["flops"], 128);
+        assert_eq!(e["args"]["occupancy"], 0.75);
+    }
+
+    #[test]
+    fn devices_map_to_pids() {
+        let json = to_chrome_trace(&[ev("a", 0, 0, 1), ev("b", 2, 0, 1)]);
+        let parsed: serde_json::Value = serde_json::from_str(&json).unwrap();
+        let events = parsed["traceEvents"].as_array().unwrap();
+        assert_eq!(events[0]["pid"], 0);
+        assert_eq!(events[1]["pid"], 2);
+    }
+
+    #[test]
+    fn empty_trace_is_valid() {
+        let json = to_chrome_trace(&[]);
+        let parsed: serde_json::Value = serde_json::from_str(&json).unwrap();
+        assert_eq!(parsed["traceEvents"].as_array().unwrap().len(), 0);
+    }
+}

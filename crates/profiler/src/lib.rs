@@ -1,0 +1,37 @@
+//! # sagegpu-profiler — Nsight-style profiling over simulated GPU traces
+//!
+//! Week 4 of the reproduced course ("GPU Profiling Tools & Bottleneck
+//! Analysis") teaches Nsight Systems and the PyTorch profiler; the paper
+//! credits profiling with developing students' "critical thinking and
+//! problem-solving skills … exposing performance bottlenecks and scaling
+//! issues". This crate is the reproduction's profiler: it consumes the
+//! [`gpu_sim::EventRecorder`] streams every simulated device emits and
+//! produces the same artifacts the real tools do:
+//!
+//! - [`timeline::Timeline`] — per-device event lanes with gap/idle
+//!   analysis and makespan (Nsight's timeline view).
+//! - [`opstats::OpStatsTable`] — per-operation aggregate statistics
+//!   (`nsys stats` / PyTorch profiler's `key_averages()`).
+//! - [`bottleneck`] — classification of a run as compute-bound,
+//!   transfer-bound, or idle-bound, with per-kernel roofline verdicts and
+//!   the textual recommendations the labs ask students to derive.
+//! - [`chrome_trace`] — Chrome `about:tracing` JSON export, the
+//!   interchange format both real profilers speak.
+//! - [`roofline`] — roofline-model plot data: per-kernel (intensity,
+//!   achieved FLOP/s) points against the device's compute and bandwidth
+//!   roofs.
+
+pub mod bottleneck;
+pub mod chrome_trace;
+pub mod opstats;
+pub mod roofline;
+pub mod timeline;
+
+/// Convenient glob-import of the crate's primary types.
+pub mod prelude {
+    pub use crate::bottleneck::{analyze, BottleneckClass, BottleneckReport};
+    pub use crate::chrome_trace::to_chrome_trace;
+    pub use crate::opstats::{OpStats, OpStatsTable};
+    pub use crate::roofline::{roofline, Roofline, RooflinePoint};
+    pub use crate::timeline::Timeline;
+}

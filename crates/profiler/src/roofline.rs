@@ -1,0 +1,185 @@
+//! Roofline model data (the week-3/4 optimization labs' canonical plot).
+//!
+//! For a device, the roofline is `min(peak_flops, intensity × peak_bw)`;
+//! each profiled kernel becomes a point (arithmetic intensity, achieved
+//! FLOP/s). Points hugging the slanted roof are bandwidth-bound; points
+//! near the flat roof are compute-bound; points far below either roof are
+//! overhead- or latency-limited — the three diagnoses the labs ask
+//! students to make.
+
+use gpu_sim::{DeviceSpec, EventKind, TraceEvent};
+use serde::Serialize;
+
+/// One kernel's position on the roofline plot.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct RooflinePoint {
+    pub name: String,
+    /// FLOPs per byte.
+    pub intensity: f64,
+    /// Achieved FLOP/s.
+    pub achieved_flops: f64,
+    /// The roof at this intensity (FLOP/s).
+    pub roof_flops: f64,
+    /// `achieved / roof`, in (0, 1]: how close to the roof the kernel runs.
+    pub roof_fraction: f64,
+}
+
+/// The device's roofline plus every kernel's point.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct Roofline {
+    /// Flat roof: peak FLOP/s.
+    pub peak_flops: f64,
+    /// Slanted roof coefficient: peak bytes/s.
+    pub peak_bandwidth: f64,
+    /// Intensity where the two roofs meet (machine balance).
+    pub ridge_intensity: f64,
+    pub points: Vec<RooflinePoint>,
+}
+
+/// The roof value at a given intensity.
+pub fn roof_at(spec: &DeviceSpec, intensity: f64) -> f64 {
+    (intensity * spec.memory.bandwidth_bytes_per_sec).min(spec.peak_flops())
+}
+
+/// Builds roofline data from a trace (kernels with non-zero FLOPs only).
+pub fn roofline(spec: &DeviceSpec, events: &[TraceEvent]) -> Roofline {
+    let peak_flops = spec.peak_flops();
+    let peak_bandwidth = spec.memory.bandwidth_bytes_per_sec;
+    let points = events
+        .iter()
+        .filter(|e| e.kind == EventKind::Kernel && e.flops > 0 && e.dur_ns > 0)
+        .map(|e| {
+            let intensity = if e.bytes == 0 {
+                f64::INFINITY
+            } else {
+                e.flops as f64 / e.bytes as f64
+            };
+            let achieved = e.flops as f64 / (e.dur_ns as f64 * 1e-9);
+            let roof = roof_at(spec, intensity);
+            RooflinePoint {
+                name: e.name.clone(),
+                intensity,
+                achieved_flops: achieved,
+                roof_flops: roof,
+                roof_fraction: (achieved / roof).min(1.0),
+            }
+        })
+        .collect();
+    Roofline {
+        peak_flops,
+        peak_bandwidth,
+        ridge_intensity: peak_flops / peak_bandwidth,
+        points,
+    }
+}
+
+impl Roofline {
+    /// Renders the roofline as an aligned text table.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "roofline: peak {:.1} TFLOP/s, {:.0} GB/s, ridge at {:.1} FLOP/byte\n",
+            self.peak_flops / 1e12,
+            self.peak_bandwidth / 1e9,
+            self.ridge_intensity
+        );
+        out.push_str(&format!(
+            "{:<24} {:>11} {:>13} {:>13} {:>8}\n",
+            "kernel", "FLOP/byte", "achieved", "roof", "of-roof"
+        ));
+        for p in &self.points {
+            out.push_str(&format!(
+                "{:<24} {:>11.2} {:>10.1} GF {:>10.1} GF {:>7.0}%\n",
+                p.name,
+                p.intensity,
+                p.achieved_flops / 1e9,
+                p.roof_flops / 1e9,
+                100.0 * p.roof_fraction
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::{AccessPattern, Gpu, KernelProfile, LaunchConfig};
+
+    #[test]
+    fn ridge_is_machine_balance() {
+        let spec = DeviceSpec::t4();
+        let r = roofline(&spec, &[]);
+        assert!((r.ridge_intensity - spec.peak_flops() / spec.memory.bandwidth_bytes_per_sec).abs() < 1e-9);
+        assert!(r.points.is_empty());
+        // T4: ~8.1e12 / 320e9 ≈ 25 FLOP/byte.
+        assert!((20.0..32.0).contains(&r.ridge_intensity));
+    }
+
+    #[test]
+    fn roof_function_is_min_of_roofs() {
+        let spec = DeviceSpec::t4();
+        // Far left of the ridge: bandwidth roof.
+        assert!((roof_at(&spec, 1.0) - spec.memory.bandwidth_bytes_per_sec).abs() < 1e-3);
+        // Far right: flat compute roof.
+        assert_eq!(roof_at(&spec, 1e6), spec.peak_flops());
+    }
+
+    #[test]
+    fn simulated_kernels_never_exceed_the_roof() {
+        let gpu = Gpu::new(0, DeviceSpec::t4());
+        let cfg = LaunchConfig::for_elements(1 << 20, 256);
+        // A spread of intensities.
+        for (flops_per, bytes_per) in [(1u64, 64u64), (16, 16), (256, 4)] {
+            let p = KernelProfile {
+                flops: (1u64 << 20) * flops_per,
+                bytes: (1u64 << 20) * bytes_per,
+                access: AccessPattern::Coalesced,
+                registers_per_thread: 32,
+            };
+            gpu.launch(&format!("k_{flops_per}_{bytes_per}"), cfg, p, || ()).unwrap();
+        }
+        let r = roofline(gpu.spec(), &gpu.recorder().snapshot());
+        assert_eq!(r.points.len(), 3);
+        for p in &r.points {
+            assert!(
+                p.achieved_flops <= p.roof_flops * 1.001,
+                "{} exceeds the roof: {} > {}",
+                p.name,
+                p.achieved_flops,
+                p.roof_flops
+            );
+            assert!(p.roof_fraction > 0.0);
+        }
+    }
+
+    #[test]
+    fn bigger_work_gets_closer_to_the_roof() {
+        // Launch overhead dominates tiny kernels; large kernels approach
+        // the roof — the lab's amortization lesson, visible on the plot.
+        let gpu = Gpu::new(0, DeviceSpec::t4());
+        let small = KernelProfile::matmul(32, 32, 32);
+        let large = KernelProfile::matmul(2048, 2048, 2048);
+        gpu.launch("small", LaunchConfig::for_matrix(32, 32, 16), small, || ()).unwrap();
+        gpu.launch("large", LaunchConfig::for_matrix(2048, 2048, 16), large, || ()).unwrap();
+        let r = roofline(gpu.spec(), &gpu.recorder().snapshot());
+        let small_pt = r.points.iter().find(|p| p.name == "small").unwrap();
+        let large_pt = r.points.iter().find(|p| p.name == "large").unwrap();
+        assert!(large_pt.roof_fraction > 5.0 * small_pt.roof_fraction);
+        assert!(large_pt.roof_fraction > 0.8, "large matmul near the roof");
+    }
+
+    #[test]
+    fn render_mentions_every_kernel() {
+        let gpu = Gpu::new(0, DeviceSpec::t4());
+        gpu.launch(
+            "vecadd",
+            LaunchConfig::for_elements(1024, 256),
+            KernelProfile::elementwise(1024, 1, 12),
+            || (),
+        )
+        .unwrap();
+        let text = roofline(gpu.spec(), &gpu.recorder().snapshot()).render();
+        assert!(text.contains("vecadd"));
+        assert!(text.contains("ridge"));
+    }
+}

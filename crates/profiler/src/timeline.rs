@@ -1,0 +1,227 @@
+//! Per-device timeline construction and idle-gap analysis.
+
+use gpu_sim::{EventKind, EventRecorder, TraceEvent};
+use std::collections::BTreeMap;
+
+/// A profiled timeline: events grouped into per-device lanes.
+#[derive(Debug, Clone)]
+pub struct Timeline {
+    lanes: BTreeMap<u32, Vec<TraceEvent>>,
+}
+
+/// An idle gap on one device's lane.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IdleGap {
+    pub device: u32,
+    pub start_ns: u64,
+    pub dur_ns: u64,
+}
+
+impl Timeline {
+    /// Builds a timeline from a recorder snapshot. User ranges are kept in
+    /// the lanes but never counted as busy time.
+    pub fn from_recorder(recorder: &EventRecorder) -> Self {
+        Self::from_events(recorder.snapshot())
+    }
+
+    /// Builds from an explicit event list.
+    pub fn from_events(events: Vec<TraceEvent>) -> Self {
+        let mut lanes: BTreeMap<u32, Vec<TraceEvent>> = BTreeMap::new();
+        for ev in events {
+            lanes.entry(ev.device).or_default().push(ev);
+        }
+        for lane in lanes.values_mut() {
+            lane.sort_by_key(|e| (e.start_ns, e.dur_ns));
+        }
+        Self { lanes }
+    }
+
+    /// Devices present on the timeline.
+    pub fn devices(&self) -> Vec<u32> {
+        self.lanes.keys().copied().collect()
+    }
+
+    /// Events of one device's lane (empty slice if unknown).
+    pub fn lane(&self, device: u32) -> &[TraceEvent] {
+        self.lanes.get(&device).map(|v| v.as_slice()).unwrap_or(&[])
+    }
+
+    /// Total event count across lanes.
+    pub fn len(&self) -> usize {
+        self.lanes.values().map(|l| l.len()).sum()
+    }
+
+    /// Whether the timeline is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// End of the last event across all devices.
+    pub fn makespan_ns(&self) -> u64 {
+        self.lanes
+            .values()
+            .flatten()
+            .map(|e| e.end_ns())
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Busy nanoseconds of one device (union of non-range event intervals,
+    /// so overlapping events are not double-counted).
+    pub fn busy_ns(&self, device: u32) -> u64 {
+        let mut intervals: Vec<(u64, u64)> = self
+            .lane(device)
+            .iter()
+            .filter(|e| e.kind != EventKind::Range)
+            .map(|e| (e.start_ns, e.end_ns()))
+            .collect();
+        intervals.sort_unstable();
+        let mut busy = 0u64;
+        let mut cur: Option<(u64, u64)> = None;
+        for (s, e) in intervals {
+            match cur {
+                Some((cs, ce)) if s <= ce => cur = Some((cs, ce.max(e))),
+                Some((cs, ce)) => {
+                    busy += ce - cs;
+                    cur = Some((s, e));
+                }
+                None => cur = Some((s, e)),
+            }
+        }
+        if let Some((cs, ce)) = cur {
+            busy += ce - cs;
+        }
+        busy
+    }
+
+    /// Device utilization relative to the *global* makespan, in `[0, 1]`.
+    pub fn utilization(&self, device: u32) -> f64 {
+        let span = self.makespan_ns();
+        if span == 0 {
+            return 0.0;
+        }
+        self.busy_ns(device) as f64 / span as f64
+    }
+
+    /// Idle gaps longer than `min_ns` on a device's lane (including the
+    /// leading gap before its first event).
+    pub fn idle_gaps(&self, device: u32, min_ns: u64) -> Vec<IdleGap> {
+        let mut gaps = Vec::new();
+        let mut cursor = 0u64;
+        for ev in self.lane(device).iter().filter(|e| e.kind != EventKind::Range) {
+            if ev.start_ns > cursor {
+                let dur = ev.start_ns - cursor;
+                if dur >= min_ns {
+                    gaps.push(IdleGap {
+                        device,
+                        start_ns: cursor,
+                        dur_ns: dur,
+                    });
+                }
+            }
+            cursor = cursor.max(ev.end_ns());
+        }
+        gaps
+    }
+
+    /// Load imbalance across devices: max busy / mean busy (1.0 = perfect).
+    pub fn load_imbalance(&self) -> f64 {
+        let busys: Vec<u64> = self.devices().iter().map(|&d| self.busy_ns(d)).collect();
+        if busys.is_empty() {
+            return 1.0;
+        }
+        let mean = busys.iter().sum::<u64>() as f64 / busys.len() as f64;
+        if mean == 0.0 {
+            return 1.0;
+        }
+        busys.iter().copied().max().unwrap_or(0) as f64 / mean
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(device: u32, kind: EventKind, start: u64, dur: u64) -> TraceEvent {
+        TraceEvent {
+            kind,
+            name: "x".into(),
+            device,
+            stream: 0,
+            start_ns: start,
+            dur_ns: dur,
+            bytes: 0,
+            flops: 0,
+            occupancy: 0.0,
+        }
+    }
+
+    #[test]
+    fn lanes_group_by_device() {
+        let t = Timeline::from_events(vec![
+            ev(0, EventKind::Kernel, 0, 10),
+            ev(1, EventKind::Kernel, 5, 10),
+            ev(0, EventKind::MemcpyH2D, 20, 5),
+        ]);
+        assert_eq!(t.devices(), vec![0, 1]);
+        assert_eq!(t.lane(0).len(), 2);
+        assert_eq!(t.lane(1).len(), 1);
+        assert_eq!(t.lane(9).len(), 0);
+        assert_eq!(t.len(), 3);
+    }
+
+    #[test]
+    fn makespan_is_last_event_end() {
+        let t = Timeline::from_events(vec![
+            ev(0, EventKind::Kernel, 0, 10),
+            ev(1, EventKind::Kernel, 90, 15),
+        ]);
+        assert_eq!(t.makespan_ns(), 105);
+        assert!(Timeline::from_events(vec![]).is_empty());
+        assert_eq!(Timeline::from_events(vec![]).makespan_ns(), 0);
+    }
+
+    #[test]
+    fn busy_merges_overlaps_and_skips_ranges() {
+        let t = Timeline::from_events(vec![
+            ev(0, EventKind::Kernel, 0, 10),
+            ev(0, EventKind::Kernel, 5, 10), // overlaps → union [0, 15]
+            ev(0, EventKind::MemcpyH2D, 20, 5),
+            ev(0, EventKind::Range, 0, 1000), // ignored
+        ]);
+        assert_eq!(t.busy_ns(0), 20);
+    }
+
+    #[test]
+    fn idle_gaps_detected() {
+        let t = Timeline::from_events(vec![
+            ev(0, EventKind::Kernel, 100, 10),
+            ev(0, EventKind::Kernel, 200, 10),
+        ]);
+        let gaps = t.idle_gaps(0, 1);
+        assert_eq!(gaps.len(), 2);
+        assert_eq!(gaps[0], IdleGap { device: 0, start_ns: 0, dur_ns: 100 });
+        assert_eq!(gaps[1], IdleGap { device: 0, start_ns: 110, dur_ns: 90 });
+        // Threshold filters small gaps.
+        assert_eq!(t.idle_gaps(0, 95).len(), 1);
+    }
+
+    #[test]
+    fn utilization_and_imbalance() {
+        let t = Timeline::from_events(vec![
+            ev(0, EventKind::Kernel, 0, 100),
+            ev(1, EventKind::Kernel, 0, 50),
+        ]);
+        assert!((t.utilization(0) - 1.0).abs() < 1e-12);
+        assert!((t.utilization(1) - 0.5).abs() < 1e-12);
+        // busy: 100 and 50 → mean 75, max 100 → imbalance 4/3.
+        assert!((t.load_imbalance() - 100.0 / 75.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_device_perfectly_balanced() {
+        let t = Timeline::from_events(vec![ev(0, EventKind::Kernel, 0, 10)]);
+        assert_eq!(t.load_imbalance(), 1.0);
+        assert_eq!(Timeline::from_events(vec![]).load_imbalance(), 1.0);
+    }
+}

@@ -1,0 +1,226 @@
+//! BM25 lexical retrieval and hybrid fusion.
+//!
+//! The course's RAG module teaches dense (FAISS-style) retrieval; real
+//! deployments pair it with a lexical index and fuse the rankings. This
+//! module implements Okapi BM25 (k₁ = 1.2, b = 0.75) over the tokenizer's
+//! terms, plus reciprocal-rank fusion — the standard hybrid baseline the
+//! "optimize your retriever" assignment invites students to explore.
+
+use crate::index::SearchHit;
+use crate::tokenize::tokenize;
+use std::collections::HashMap;
+
+/// An Okapi BM25 inverted index.
+#[derive(Debug, Clone, Default)]
+pub struct Bm25Index {
+    /// term → (doc_id, term frequency) postings.
+    postings: HashMap<String, Vec<(usize, f64)>>,
+    /// doc_id → token count.
+    doc_len: HashMap<usize, f64>,
+    total_len: f64,
+    pub k1: f64,
+    pub b: f64,
+}
+
+impl Bm25Index {
+    /// An empty index with canonical parameters.
+    pub fn new() -> Self {
+        Self {
+            k1: 1.2,
+            b: 0.75,
+            ..Self::default()
+        }
+    }
+
+    /// Indexes one document.
+    pub fn add(&mut self, doc_id: usize, text: &str) {
+        let tokens = tokenize(text);
+        let mut tf: HashMap<String, f64> = HashMap::new();
+        for t in &tokens {
+            *tf.entry(t.clone()).or_default() += 1.0;
+        }
+        for (term, count) in tf {
+            self.postings.entry(term).or_default().push((doc_id, count));
+        }
+        self.doc_len.insert(doc_id, tokens.len() as f64);
+        self.total_len += tokens.len() as f64;
+    }
+
+    /// Number of indexed documents.
+    pub fn len(&self) -> usize {
+        self.doc_len.len()
+    }
+
+    /// Whether the index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.doc_len.is_empty()
+    }
+
+    fn idf(&self, term: &str) -> f64 {
+        let n = self.len() as f64;
+        let df = self.postings.get(term).map(|p| p.len() as f64).unwrap_or(0.0);
+        // BM25+ style floor keeps common terms non-negative.
+        (((n - df + 0.5) / (df + 0.5)) + 1.0).ln()
+    }
+
+    /// Top-`k` BM25 scores for a query.
+    pub fn search(&self, query: &str, k: usize) -> Vec<SearchHit> {
+        if self.is_empty() {
+            return Vec::new();
+        }
+        let avg_len = self.total_len / self.len() as f64;
+        let mut scores: HashMap<usize, f64> = HashMap::new();
+        for term in tokenize(query) {
+            let Some(postings) = self.postings.get(&term) else { continue };
+            let idf = self.idf(&term);
+            for &(doc, tf) in postings {
+                let len = self.doc_len[&doc];
+                let denom = tf + self.k1 * (1.0 - self.b + self.b * len / avg_len);
+                *scores.entry(doc).or_default() += idf * tf * (self.k1 + 1.0) / denom;
+            }
+        }
+        let mut hits: Vec<SearchHit> = scores
+            .into_iter()
+            .map(|(doc_id, score)| SearchHit {
+                doc_id,
+                score: score as f32,
+            })
+            .collect();
+        hits.sort_by(|a, b| b.score.partial_cmp(&a.score).expect("finite").then(a.doc_id.cmp(&b.doc_id)));
+        hits.truncate(k);
+        hits
+    }
+}
+
+/// Reciprocal-rank fusion of several ranked lists:
+/// `score(d) = Σ 1 / (k + rank_i(d))`, the standard hybrid combiner.
+pub fn reciprocal_rank_fusion(lists: &[Vec<SearchHit>], k: f64, top: usize) -> Vec<SearchHit> {
+    let mut fused: HashMap<usize, f64> = HashMap::new();
+    for list in lists {
+        for (rank, hit) in list.iter().enumerate() {
+            *fused.entry(hit.doc_id).or_default() += 1.0 / (k + rank as f64 + 1.0);
+        }
+    }
+    let mut hits: Vec<SearchHit> = fused
+        .into_iter()
+        .map(|(doc_id, score)| SearchHit {
+            doc_id,
+            score: score as f32,
+        })
+        .collect();
+    hits.sort_by(|a, b| b.score.partial_cmp(&a.score).expect("finite").then(a.doc_id.cmp(&b.doc_id)));
+    hits.truncate(top);
+    hits
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::Corpus;
+    use crate::embed::Embedder;
+    use crate::index::{FlatIndex, VectorIndex};
+
+    fn tiny_index() -> Bm25Index {
+        let mut idx = Bm25Index::new();
+        idx.add(0, "the gpu kernel runs on the gpu");
+        idx.add(1, "billing budget and subnet configuration");
+        idx.add(2, "kernel occupancy and shared memory");
+        idx
+    }
+
+    #[test]
+    fn exact_term_match_ranks_first() {
+        let idx = tiny_index();
+        let hits = idx.search("kernel occupancy", 3);
+        assert_eq!(hits[0].doc_id, 2, "both query terms hit doc 2");
+        assert!(hits.iter().any(|h| h.doc_id == 0), "doc 0 matches 'kernel'");
+        assert!(!hits.iter().any(|h| h.doc_id == 1), "doc 1 matches nothing");
+    }
+
+    #[test]
+    fn term_frequency_saturates() {
+        // "gpu" appears twice in doc 0 — scores higher than single mention,
+        // but not linearly (BM25 saturation).
+        let mut idx = Bm25Index::new();
+        idx.add(0, "gpu gpu gpu gpu");
+        idx.add(1, "gpu word word word");
+        let hits = idx.search("gpu", 2);
+        assert_eq!(hits[0].doc_id, 0);
+        assert!(hits[0].score < 4.0 * hits[1].score, "tf must saturate");
+    }
+
+    #[test]
+    fn rare_terms_weigh_more_than_common() {
+        let mut idx = Bm25Index::new();
+        idx.add(0, "common rare");
+        idx.add(1, "common");
+        idx.add(2, "common");
+        idx.add(3, "common");
+        let rare = idx.search("rare", 4);
+        let common = idx.search("common", 4);
+        assert!(rare[0].score > common[0].score, "idf ordering");
+    }
+
+    #[test]
+    fn empty_and_unknown_queries() {
+        let idx = tiny_index();
+        assert!(idx.search("zzz qqq", 5).is_empty());
+        assert!(idx.search("", 5).is_empty());
+        assert!(Bm25Index::new().search("kernel", 5).is_empty());
+    }
+
+    #[test]
+    fn rrf_prefers_documents_ranked_by_both_systems() {
+        let dense = vec![
+            SearchHit { doc_id: 1, score: 0.9 },
+            SearchHit { doc_id: 2, score: 0.8 },
+            SearchHit { doc_id: 3, score: 0.7 },
+        ];
+        let lexical = vec![
+            SearchHit { doc_id: 2, score: 5.0 },
+            SearchHit { doc_id: 4, score: 4.0 },
+            SearchHit { doc_id: 1, score: 3.0 },
+        ];
+        let fused = reciprocal_rank_fusion(&[dense, lexical], 60.0, 4);
+        // Doc 2 (ranks 2 and 1) and doc 1 (ranks 1 and 3) lead; the
+        // singly-ranked docs 3 and 4 trail.
+        let order: Vec<usize> = fused.iter().map(|h| h.doc_id).collect();
+        assert!(order[0] == 1 || order[0] == 2);
+        assert!(order[1] == 1 || order[1] == 2);
+        assert!(order.contains(&3) && order.contains(&4));
+    }
+
+    #[test]
+    fn hybrid_beats_or_matches_each_system_on_topic_queries() {
+        // On the synthetic corpus, fuse dense + BM25 and verify the fused
+        // top-5 is at least as on-topic as the weaker single system.
+        let corpus = Corpus::synthetic(60, 80, 5);
+        let embedder = Embedder::new(96, 5);
+        let mut dense = FlatIndex::new(96);
+        let mut lexical = Bm25Index::new();
+        for d in corpus.docs() {
+            dense.add(d.id, embedder.embed(&d.text));
+            lexical.add(d.id, &d.text);
+        }
+        let on_topic = |hits: &[SearchHit], topic: usize| -> usize {
+            hits.iter()
+                .filter(|h| corpus.get(h.doc_id).unwrap().topic == topic)
+                .count()
+        };
+        let mut fused_total = 0usize;
+        let mut weakest_total = 0usize;
+        for topic in 0..Corpus::num_topics() {
+            let q = Corpus::topic_query(topic, 6, topic as u64 + 30);
+            let d_hits = dense.search(&embedder.embed(&q), 5);
+            let l_hits = lexical.search(&q, 5);
+            let fused = reciprocal_rank_fusion(&[d_hits.clone(), l_hits.clone()], 60.0, 5);
+            fused_total += on_topic(&fused, topic);
+            weakest_total += on_topic(&d_hits, topic).min(on_topic(&l_hits, topic));
+        }
+        assert!(
+            fused_total >= weakest_total,
+            "fusion {fused_total} must not trail the weaker system {weakest_total}"
+        );
+        assert!(fused_total >= 15, "hybrid should be mostly on-topic: {fused_total}/25");
+    }
+}

@@ -1,0 +1,215 @@
+//! Synthetic technical corpus generation.
+//!
+//! The course's RAG labs indexed course materials and technical
+//! documentation. This module generates a deterministic stand-in: documents
+//! composed from topic-specific vocabularies (CUDA, cloud infrastructure,
+//! distributed training, profiling, RAG itself), so that retrieval has real
+//! signal — a query about "kernel occupancy" should rank CUDA documents
+//! above billing documents — and tests can assert on it.
+
+use rand::prelude::*;
+use rand::rngs::SmallRng;
+
+/// One document in the knowledge base.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Document {
+    pub id: usize,
+    pub topic: usize,
+    pub title: String,
+    pub text: String,
+}
+
+/// A document collection.
+#[derive(Debug, Clone, Default)]
+pub struct Corpus {
+    docs: Vec<Document>,
+}
+
+/// Topic vocabularies: (topic name, characteristic terms).
+const TOPICS: &[(&str, &[&str])] = &[
+    (
+        "cuda",
+        &[
+            "kernel", "thread", "block", "grid", "warp", "occupancy", "shared", "memory",
+            "coalesced", "register", "launch", "stream", "sm", "divergence", "cuda",
+        ],
+    ),
+    (
+        "cloud",
+        &[
+            "instance", "vpc", "subnet", "iam", "role", "budget", "billing", "sagemaker",
+            "notebook", "region", "terminate", "idle", "provision", "quota", "aws",
+        ],
+    ),
+    (
+        "training",
+        &[
+            "gradient", "epoch", "loss", "optimizer", "adam", "partition", "metis", "dask",
+            "worker", "broadcast", "aggregate", "gcn", "accuracy", "distributed", "allreduce",
+        ],
+    ),
+    (
+        "profiling",
+        &[
+            "nsight", "profiler", "timeline", "bottleneck", "bandwidth", "transfer", "idle",
+            "utilization", "trace", "roofline", "hotspot", "latency", "overhead", "tensorboard",
+            "systems",
+        ],
+    ),
+    (
+        "rag",
+        &[
+            "retrieval", "embedding", "index", "faiss", "query", "generator", "context",
+            "document", "vector", "similarity", "rerank", "throughput", "batch", "token",
+            "augmented",
+        ],
+    ),
+];
+
+/// Connective filler shared by all topics (keeps documents sentence-like).
+const FILLER: &[&str] = &[
+    "the", "a", "of", "for", "with", "and", "then", "we", "measure", "configure", "use",
+    "observe", "improve", "each", "per", "when", "this", "model", "system", "performance",
+];
+
+impl Corpus {
+    /// Generates `n` documents (round-robin over topics), ~`words_per_doc`
+    /// words each, deterministically from `seed`.
+    pub fn synthetic(n: usize, words_per_doc: usize, seed: u64) -> Self {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut docs = Vec::with_capacity(n);
+        for id in 0..n {
+            let topic = id % TOPICS.len();
+            let (topic_name, vocab) = TOPICS[topic];
+            let mut words = Vec::with_capacity(words_per_doc);
+            for _ in 0..words_per_doc {
+                // 60% topic terms, 40% filler: enough signal to retrieve by.
+                if rng.gen::<f64>() < 0.6 {
+                    words.push(*vocab.choose(&mut rng).expect("non-empty vocab"));
+                } else {
+                    words.push(*FILLER.choose(&mut rng).expect("non-empty filler"));
+                }
+            }
+            docs.push(Document {
+                id,
+                topic,
+                title: format!("{topic_name}-doc-{id}"),
+                text: words.join(" "),
+            });
+        }
+        Self { docs }
+    }
+
+    /// Number of topics the synthetic generator uses.
+    pub fn num_topics() -> usize {
+        TOPICS.len()
+    }
+
+    /// Topic name by index.
+    pub fn topic_name(topic: usize) -> &'static str {
+        TOPICS[topic].0
+    }
+
+    /// A characteristic query for a topic (drawn from its vocabulary).
+    pub fn topic_query(topic: usize, len: usize, seed: u64) -> String {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let vocab = TOPICS[topic].1;
+        (0..len)
+            .map(|_| *vocab.choose(&mut rng).expect("non-empty"))
+            .collect::<Vec<_>>()
+            .join(" ")
+    }
+
+    /// All documents.
+    pub fn docs(&self) -> &[Document] {
+        &self.docs
+    }
+
+    /// Document by id.
+    pub fn get(&self, id: usize) -> Option<&Document> {
+        self.docs.get(id)
+    }
+
+    /// Number of documents.
+    pub fn len(&self) -> usize {
+        self.docs.len()
+    }
+
+    /// Whether the corpus is empty.
+    pub fn is_empty(&self) -> bool {
+        self.docs.is_empty()
+    }
+
+    /// Concatenated text of all documents (generator training data).
+    pub fn full_text(&self) -> String {
+        self.docs
+            .iter()
+            .map(|d| d.text.as_str())
+            .collect::<Vec<_>>()
+            .join(" ")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn synthetic_corpus_has_requested_shape() {
+        let c = Corpus::synthetic(25, 60, 1);
+        assert_eq!(c.len(), 25);
+        assert!(!c.is_empty());
+        for d in c.docs() {
+            let words = d.text.split(' ').count();
+            assert_eq!(words, 60);
+        }
+        assert_eq!(c.get(24).unwrap().id, 24);
+        assert!(c.get(25).is_none());
+    }
+
+    #[test]
+    fn topics_round_robin() {
+        let c = Corpus::synthetic(10, 20, 2);
+        assert_eq!(c.get(0).unwrap().topic, 0);
+        assert_eq!(c.get(5).unwrap().topic, 0);
+        assert_eq!(c.get(6).unwrap().topic, 1);
+        assert_eq!(Corpus::num_topics(), 5);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = Corpus::synthetic(10, 30, 7);
+        let b = Corpus::synthetic(10, 30, 7);
+        assert_eq!(a.docs(), b.docs());
+        let c = Corpus::synthetic(10, 30, 8);
+        assert_ne!(a.docs(), c.docs());
+    }
+
+    #[test]
+    fn documents_carry_topic_vocabulary() {
+        let c = Corpus::synthetic(5, 200, 3);
+        // Doc 0 is CUDA-topic: must contain characteristic CUDA terms.
+        let cuda_doc = &c.get(0).unwrap().text;
+        assert!(cuda_doc.contains("kernel") || cuda_doc.contains("warp") || cuda_doc.contains("cuda"));
+        // Doc 1 is cloud-topic.
+        let cloud_doc = &c.get(1).unwrap().text;
+        assert!(cloud_doc.contains("instance") || cloud_doc.contains("vpc") || cloud_doc.contains("aws"));
+    }
+
+    #[test]
+    fn topic_queries_use_topic_terms() {
+        let q = Corpus::topic_query(0, 4, 9);
+        assert_eq!(q.split(' ').count(), 4);
+        let vocab = TOPICS[0].1;
+        for w in q.split(' ') {
+            assert!(vocab.contains(&w), "{w} not in topic vocab");
+        }
+    }
+
+    #[test]
+    fn full_text_concatenates() {
+        let c = Corpus::synthetic(3, 10, 4);
+        let t = c.full_text();
+        assert_eq!(t.split(' ').count(), 30);
+    }
+}

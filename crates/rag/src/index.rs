@@ -1,0 +1,474 @@
+//! Vector indexes: exact flat search and IVF approximate search.
+//!
+//! [`FlatIndex`] is FAISS's `IndexFlatIP`: exact dot-product scan, optionally
+//! executed on a simulated GPU (Lab 12's "GPU-enabled retriever").
+//! [`IvfIndex`] is `IndexIVFFlat`: a k-means coarse quantizer buckets
+//! vectors into `nlist` inverted lists; queries probe only the `nprobe`
+//! nearest lists, trading recall for latency — the knob the course's
+//! latency-optimization lab turns.
+
+use rand::prelude::*;
+use rand::rngs::SmallRng;
+use rayon::prelude::*;
+use sagegpu_tensor::dense::Tensor;
+use sagegpu_tensor::gpu_exec::GpuExecutor;
+
+/// One search result.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SearchHit {
+    pub doc_id: usize,
+    pub score: f32,
+}
+
+/// The index contract.
+pub trait VectorIndex {
+    /// Adds a vector under a document id.
+    fn add(&mut self, doc_id: usize, vector: Vec<f32>);
+    /// Returns the top-`k` hits for `query`, best first.
+    fn search(&self, query: &[f32], k: usize) -> Vec<SearchHit>;
+    /// Number of indexed vectors.
+    fn len(&self) -> usize;
+    /// Whether the index is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+fn top_k(mut scores: Vec<SearchHit>, k: usize) -> Vec<SearchHit> {
+    scores.sort_by(|a, b| b.score.partial_cmp(&a.score).expect("finite").then(a.doc_id.cmp(&b.doc_id)));
+    scores.truncate(k);
+    scores
+}
+
+/// Exact dot-product index.
+pub struct FlatIndex {
+    dim: usize,
+    ids: Vec<usize>,
+    /// Row-major `len × dim`.
+    vectors: Vec<f32>,
+    gpu: Option<GpuExecutor>,
+}
+
+impl FlatIndex {
+    /// A CPU-scanned flat index.
+    pub fn new(dim: usize) -> Self {
+        Self {
+            dim,
+            ids: Vec::new(),
+            vectors: Vec::new(),
+            gpu: None,
+        }
+    }
+
+    /// A flat index whose scans run on (and are charged to) a simulated GPU.
+    pub fn with_gpu(dim: usize, gpu: GpuExecutor) -> Self {
+        Self {
+            gpu: Some(gpu),
+            ..Self::new(dim)
+        }
+    }
+
+    fn cpu_scores(&self, query: &[f32]) -> Vec<f32> {
+        self.vectors
+            .par_chunks(self.dim)
+            .map(|row| row.iter().zip(query).map(|(a, b)| a * b).sum())
+            .collect()
+    }
+}
+
+impl VectorIndex for FlatIndex {
+    fn add(&mut self, doc_id: usize, vector: Vec<f32>) {
+        assert_eq!(vector.len(), self.dim, "vector dim mismatch");
+        self.ids.push(doc_id);
+        self.vectors.extend(vector);
+    }
+
+    fn search(&self, query: &[f32], k: usize) -> Vec<SearchHit> {
+        assert_eq!(query.len(), self.dim, "query dim mismatch");
+        if self.ids.is_empty() {
+            return Vec::new();
+        }
+        let scores = match &self.gpu {
+            Some(gpu) => {
+                let mat = Tensor::from_vec(self.ids.len(), self.dim, self.vectors.clone())
+                    .expect("index shape");
+                gpu.score_rows(&mat, query).expect("gpu scoring")
+            }
+            None => self.cpu_scores(query),
+        };
+        top_k(
+            self.ids
+                .iter()
+                .zip(scores)
+                .map(|(&doc_id, score)| SearchHit { doc_id, score })
+                .collect(),
+            k,
+        )
+    }
+
+    fn len(&self) -> usize {
+        self.ids.len()
+    }
+}
+
+/// IVF approximate index: k-means centroids + inverted lists.
+pub struct IvfIndex {
+    dim: usize,
+    nprobe: usize,
+    /// Row-major `nlist × dim`.
+    centroids: Vec<f32>,
+    /// Inverted lists: per centroid, (doc_id, vector offset) pairs.
+    lists: Vec<Vec<usize>>,
+    ids: Vec<usize>,
+    vectors: Vec<f32>,
+}
+
+impl IvfIndex {
+    /// Trains the coarse quantizer on `data` and assigns every vector.
+    ///
+    /// `nlist` is clamped to the data size; `nprobe` to `nlist`.
+    pub fn train(
+        dim: usize,
+        nlist: usize,
+        nprobe: usize,
+        data: &[(usize, Vec<f32>)],
+        seed: u64,
+    ) -> Self {
+        assert!(!data.is_empty(), "cannot train IVF on an empty dataset");
+        let nlist = nlist.clamp(1, data.len());
+        let nprobe = nprobe.clamp(1, nlist);
+
+        // k-means (Lloyd), seeded init from distinct data points.
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut pick: Vec<usize> = (0..data.len()).collect();
+        pick.shuffle(&mut rng);
+        let mut centroids: Vec<f32> = pick[..nlist]
+            .iter()
+            .flat_map(|&i| data[i].1.iter().copied())
+            .collect();
+
+        let assign = |centroids: &[f32], v: &[f32]| -> usize {
+            let mut best = 0usize;
+            let mut best_score = f32::NEG_INFINITY;
+            for c in 0..centroids.len() / dim {
+                let score: f32 = centroids[c * dim..(c + 1) * dim]
+                    .iter()
+                    .zip(v)
+                    .map(|(a, b)| a * b)
+                    .sum();
+                if score > best_score {
+                    best_score = score;
+                    best = c;
+                }
+            }
+            best
+        };
+
+        let mut assignments = vec![0usize; data.len()];
+        for _ in 0..10 {
+            // Assignment step.
+            let new_assignments: Vec<usize> = data
+                .par_iter()
+                .map(|(_, v)| assign(&centroids, v))
+                .collect();
+            let changed = new_assignments != assignments;
+            assignments = new_assignments;
+            // Update step (mean, renormalized — vectors are unit length).
+            let mut sums = vec![0.0f32; nlist * dim];
+            let mut counts = vec![0usize; nlist];
+            for ((_, v), &a) in data.iter().zip(&assignments) {
+                counts[a] += 1;
+                for (s, x) in sums[a * dim..(a + 1) * dim].iter_mut().zip(v) {
+                    *s += x;
+                }
+            }
+            for c in 0..nlist {
+                if counts[c] == 0 {
+                    continue; // keep the old centroid for empty clusters
+                }
+                let slice = &mut sums[c * dim..(c + 1) * dim];
+                let norm = slice.iter().map(|x| x * x).sum::<f32>().sqrt();
+                if norm > 0.0 {
+                    slice.iter_mut().for_each(|x| *x /= norm);
+                }
+                centroids[c * dim..(c + 1) * dim].copy_from_slice(slice);
+            }
+            if !changed {
+                break;
+            }
+        }
+
+        // Build inverted lists.
+        let mut lists = vec![Vec::new(); nlist];
+        let mut ids = Vec::with_capacity(data.len());
+        let mut vectors = Vec::with_capacity(data.len() * dim);
+        for (row, ((doc_id, v), &a)) in data.iter().zip(&assignments).enumerate() {
+            ids.push(*doc_id);
+            vectors.extend(v.iter().copied());
+            lists[a].push(row);
+        }
+
+        Self {
+            dim,
+            nprobe,
+            centroids,
+            lists,
+            ids,
+            vectors,
+        }
+    }
+
+    /// Number of inverted lists.
+    pub fn nlist(&self) -> usize {
+        self.lists.len()
+    }
+
+    /// Lists probed per query.
+    pub fn nprobe(&self) -> usize {
+        self.nprobe
+    }
+
+    /// Changes the probe count (clamped to `nlist`).
+    pub fn set_nprobe(&mut self, nprobe: usize) {
+        self.nprobe = nprobe.clamp(1, self.nlist());
+    }
+
+    /// Fraction of the database scanned per query, on average.
+    pub fn scan_fraction(&self) -> f64 {
+        let probed: usize = {
+            // Average list size × nprobe / total.
+            let total: usize = self.lists.iter().map(|l| l.len()).sum();
+            if total == 0 {
+                return 0.0;
+            }
+            total * self.nprobe / self.lists.len()
+        };
+        probed as f64 / self.ids.len().max(1) as f64
+    }
+}
+
+impl VectorIndex for IvfIndex {
+    fn add(&mut self, doc_id: usize, vector: Vec<f32>) {
+        assert_eq!(vector.len(), self.dim, "vector dim mismatch");
+        // Assign to the nearest centroid.
+        let mut best = 0usize;
+        let mut best_score = f32::NEG_INFINITY;
+        for c in 0..self.nlist() {
+            let score: f32 = self.centroids[c * self.dim..(c + 1) * self.dim]
+                .iter()
+                .zip(&vector)
+                .map(|(a, b)| a * b)
+                .sum();
+            if score > best_score {
+                best_score = score;
+                best = c;
+            }
+        }
+        let row = self.ids.len();
+        self.ids.push(doc_id);
+        self.vectors.extend(vector);
+        self.lists[best].push(row);
+    }
+
+    fn search(&self, query: &[f32], k: usize) -> Vec<SearchHit> {
+        assert_eq!(query.len(), self.dim, "query dim mismatch");
+        if self.ids.is_empty() {
+            return Vec::new();
+        }
+        // Rank centroids by similarity, probe the top nprobe lists.
+        let mut centroid_scores: Vec<(usize, f32)> = (0..self.nlist())
+            .map(|c| {
+                let score: f32 = self.centroids[c * self.dim..(c + 1) * self.dim]
+                    .iter()
+                    .zip(query)
+                    .map(|(a, b)| a * b)
+                    .sum();
+                (c, score)
+            })
+            .collect();
+        centroid_scores
+            .sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite").then(a.0.cmp(&b.0)));
+
+        let mut hits = Vec::new();
+        for &(c, _) in centroid_scores.iter().take(self.nprobe) {
+            for &row in &self.lists[c] {
+                let v = &self.vectors[row * self.dim..(row + 1) * self.dim];
+                let score: f32 = v.iter().zip(query).map(|(a, b)| a * b).sum();
+                hits.push(SearchHit {
+                    doc_id: self.ids[row],
+                    score,
+                });
+            }
+        }
+        top_k(hits, k)
+    }
+
+    fn len(&self) -> usize {
+        self.ids.len()
+    }
+}
+
+/// Recall@k of `approx` against the exact `baseline` for the same query.
+pub fn recall_at_k(baseline: &[SearchHit], approx: &[SearchHit]) -> f64 {
+    if baseline.is_empty() {
+        return 1.0;
+    }
+    let truth: std::collections::HashSet<usize> = baseline.iter().map(|h| h.doc_id).collect();
+    let found = approx.iter().filter(|h| truth.contains(&h.doc_id)).count();
+    found as f64 / baseline.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::Corpus;
+    use crate::embed::Embedder;
+
+    fn indexed_corpus(n: usize) -> (Corpus, Embedder, Vec<(usize, Vec<f32>)>) {
+        let corpus = Corpus::synthetic(n, 80, 3);
+        let embedder = Embedder::new(96, 11);
+        let data: Vec<(usize, Vec<f32>)> = corpus
+            .docs()
+            .iter()
+            .map(|d| (d.id, embedder.embed(&d.text)))
+            .collect();
+        (corpus, embedder, data)
+    }
+
+    #[test]
+    fn flat_search_finds_exact_match() {
+        let (_, _, data) = indexed_corpus(20);
+        let mut idx = FlatIndex::new(96);
+        for (id, v) in &data {
+            idx.add(*id, v.clone());
+        }
+        // A document's own vector must be its top hit.
+        let hits = idx.search(&data[7].1, 3);
+        assert_eq!(hits[0].doc_id, 7);
+        assert!(hits[0].score > hits[1].score);
+        assert_eq!(idx.len(), 20);
+    }
+
+    #[test]
+    fn flat_search_ranks_topic_documents_first() {
+        let (corpus, embedder, data) = indexed_corpus(50);
+        let mut idx = FlatIndex::new(96);
+        for (id, v) in &data {
+            idx.add(*id, v.clone());
+        }
+        // Query with topic-0 (CUDA) vocabulary: the top hits should be
+        // predominantly topic-0 documents.
+        let q = embedder.embed(&Corpus::topic_query(0, 6, 42));
+        let hits = idx.search(&q, 5);
+        let topic0 = hits
+            .iter()
+            .filter(|h| corpus.get(h.doc_id).unwrap().topic == 0)
+            .count();
+        assert!(topic0 >= 4, "only {topic0}/5 hits were on-topic");
+    }
+
+    #[test]
+    fn gpu_flat_search_matches_cpu_and_charges_time() {
+        use gpu_sim::{DeviceSpec, Gpu};
+        use std::sync::Arc;
+        let (_, _, data) = indexed_corpus(30);
+        let mut cpu = FlatIndex::new(96);
+        let gpu_exec = GpuExecutor::new(Arc::new(Gpu::new(0, DeviceSpec::t4())));
+        let mut gpu = FlatIndex::with_gpu(96, gpu_exec.clone());
+        for (id, v) in &data {
+            cpu.add(*id, v.clone());
+            gpu.add(*id, v.clone());
+        }
+        let q = &data[3].1;
+        let cpu_hits = cpu.search(q, 5);
+        let gpu_hits = gpu.search(q, 5);
+        assert_eq!(
+            cpu_hits.iter().map(|h| h.doc_id).collect::<Vec<_>>(),
+            gpu_hits.iter().map(|h| h.doc_id).collect::<Vec<_>>()
+        );
+        assert!(gpu_exec.gpu().now_ns() > 0, "GPU search must charge time");
+    }
+
+    #[test]
+    fn ivf_full_probe_matches_flat_exactly() {
+        let (_, _, data) = indexed_corpus(40);
+        let mut flat = FlatIndex::new(96);
+        for (id, v) in &data {
+            flat.add(*id, v.clone());
+        }
+        let ivf = IvfIndex::train(96, 8, 8, &data, 1); // probe every list
+        let q = &data[11].1;
+        let exact = flat.search(q, 10);
+        let approx = ivf.search(q, 10);
+        assert_eq!(recall_at_k(&exact, &approx), 1.0);
+    }
+
+    #[test]
+    fn ivf_low_probe_trades_recall_for_scan_fraction() {
+        let (_, _, data) = indexed_corpus(200);
+        let mut flat = FlatIndex::new(96);
+        for (id, v) in &data {
+            flat.add(*id, v.clone());
+        }
+        let mut ivf = IvfIndex::train(96, 16, 16, &data, 2);
+        ivf.set_nprobe(2);
+        assert!(ivf.scan_fraction() < 0.3, "scan fraction {}", ivf.scan_fraction());
+        // Recall over several queries: below 1.0 is expected but should
+        // stay usable (> 0.4) because lists align with topics.
+        let mut total_recall = 0.0;
+        for probe in 0..10 {
+            let q = &data[probe * 17].1;
+            let exact = flat.search(q, 5);
+            let approx = ivf.search(q, 5);
+            total_recall += recall_at_k(&exact, &approx);
+        }
+        let mean_recall = total_recall / 10.0;
+        assert!(mean_recall > 0.4, "mean recall {mean_recall}");
+        assert!(mean_recall <= 1.0);
+    }
+
+    #[test]
+    fn ivf_add_after_train_is_searchable() {
+        let (_, embedder, data) = indexed_corpus(20);
+        let mut ivf = IvfIndex::train(96, 4, 4, &data, 3);
+        let new_vec = embedder.embed("kernel kernel kernel occupancy warp");
+        ivf.add(999, new_vec.clone());
+        assert_eq!(ivf.len(), 21);
+        let hits = ivf.search(&new_vec, 1);
+        assert_eq!(hits[0].doc_id, 999);
+    }
+
+    #[test]
+    fn top_k_truncates_and_orders() {
+        let hits = top_k(
+            vec![
+                SearchHit { doc_id: 1, score: 0.5 },
+                SearchHit { doc_id: 2, score: 0.9 },
+                SearchHit { doc_id: 3, score: 0.7 },
+            ],
+            2,
+        );
+        assert_eq!(hits.len(), 2);
+        assert_eq!(hits[0].doc_id, 2);
+        assert_eq!(hits[1].doc_id, 3);
+    }
+
+    #[test]
+    fn empty_index_returns_nothing() {
+        let idx = FlatIndex::new(8);
+        assert!(idx.search(&vec![0.0; 8], 5).is_empty());
+        assert!(idx.is_empty());
+    }
+
+    #[test]
+    fn recall_of_empty_baseline_is_one() {
+        assert_eq!(recall_at_k(&[], &[]), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "dim mismatch")]
+    fn dimension_mismatch_panics() {
+        let mut idx = FlatIndex::new(8);
+        idx.add(0, vec![0.0; 4]);
+    }
+}

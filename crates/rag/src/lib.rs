@@ -1,0 +1,49 @@
+//! # sagegpu-rag — retrieval-augmented generation on simulated GPUs
+//!
+//! Weeks 12–14 of the reproduced course build RAG systems: "experiment
+//! with GPU-tuned retrievers and generators to optimize latency and
+//! throughput" (§I), with FAISS retrieval in Lab 11, a GPU-enabled
+//! retriever + small LLM in Lab 12, and a deployed real-time inference
+//! pipeline in Lab 13 / Assignment 4.
+//!
+//! FAISS and an actual LLM are out of reach offline, so this crate builds
+//! the equivalents from scratch:
+//!
+//! - [`corpus`] — a deterministic synthetic technical corpus (documents
+//!   about GPUs, CUDA, cloud infrastructure — the course's own subject
+//!   matter) so retrieval quality is meaningfully testable.
+//! - [`tokenize`] — lowercase word tokenizer + vocabulary.
+//! - [`embed`] — hashed bag-of-words with seeded random projection to a
+//!   dense unit vector (a deterministic stand-in for a sentence encoder).
+//! - [`index`] — [`index::FlatIndex`] (exact dot-product search, optionally
+//!   scored on a simulated GPU) and [`index::IvfIndex`] (k-means coarse
+//!   quantizer, `nlist`/`nprobe` — the FAISS IVF design), with recall@k
+//!   measurement against the exact baseline.
+//! - [`generate`] — a bigram Markov "small LLM" whose decode cost is
+//!   charged to the GPU per token (the latency shape of autoregressive
+//!   generation).
+//! - [`bm25`] — Okapi BM25 lexical retrieval and reciprocal-rank fusion,
+//!   the hybrid-retrieval extension the optimization assignment invites.
+//! - [`pipeline`] — the end-to-end RAG service: retrieve → assemble
+//!   context → generate, single-query and batched, with per-stage
+//!   simulated-latency breakdowns and a workload harness reporting
+//!   p50/p99/throughput (experiment E20).
+
+pub mod bm25;
+pub mod corpus;
+pub mod embed;
+pub mod generate;
+pub mod index;
+pub mod pipeline;
+pub mod tokenize;
+
+/// Convenient glob-import of the crate's primary types.
+pub mod prelude {
+    pub use crate::bm25::{reciprocal_rank_fusion, Bm25Index};
+    pub use crate::corpus::{Corpus, Document};
+    pub use crate::embed::Embedder;
+    pub use crate::generate::MarkovGenerator;
+    pub use crate::index::{FlatIndex, IvfIndex, SearchHit, VectorIndex};
+    pub use crate::pipeline::{LatencyReport, RagPipeline, RagResponse};
+    pub use crate::tokenize::tokenize;
+}

@@ -1,0 +1,48 @@
+//! Word tokenization.
+
+/// Lowercases and splits on non-alphanumeric boundaries, dropping empties.
+pub fn tokenize(text: &str) -> Vec<String> {
+    text.to_lowercase()
+        .split(|c: char| !c.is_alphanumeric())
+        .filter(|t| !t.is_empty())
+        .map(|t| t.to_owned())
+        .collect()
+}
+
+/// Token count without allocating the tokens.
+pub fn token_count(text: &str) -> usize {
+    text.to_lowercase()
+        .split(|c: char| !c.is_alphanumeric())
+        .filter(|t| !t.is_empty())
+        .count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splits_and_lowercases() {
+        assert_eq!(
+            tokenize("CUDA kernels launch on SMs!"),
+            vec!["cuda", "kernels", "launch", "on", "sms"]
+        );
+    }
+
+    #[test]
+    fn handles_punctuation_and_numbers() {
+        assert_eq!(tokenize("g4dn.xlarge costs $0.526/hr"), vec!["g4dn", "xlarge", "costs", "0", "526", "hr"]);
+    }
+
+    #[test]
+    fn empty_and_symbol_only_inputs() {
+        assert!(tokenize("").is_empty());
+        assert!(tokenize("!!! --- ***").is_empty());
+    }
+
+    #[test]
+    fn count_matches_tokenize() {
+        let text = "The GPU, the whole GPU, and nothing but the GPU.";
+        assert_eq!(token_count(text), tokenize(text).len());
+    }
+}

@@ -1,0 +1,84 @@
+//! Property-based invariants of the RAG stack.
+
+use proptest::prelude::*;
+use sagegpu_rag::embed::{cosine, Embedder};
+use sagegpu_rag::index::{recall_at_k, FlatIndex, IvfIndex, SearchHit, VectorIndex};
+use sagegpu_rag::tokenize::tokenize;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Embeddings of non-empty token sets are unit vectors; empty are zero.
+    #[test]
+    fn embeddings_normalized(text in "[a-z ]{0,80}", dim in 4usize..128, seed in 0u64..100) {
+        let e = Embedder::new(dim, seed);
+        let v = e.embed(&text);
+        prop_assert_eq!(v.len(), dim);
+        let norm: f32 = v.iter().map(|x| x * x).sum::<f32>().sqrt();
+        if tokenize(&text).is_empty() {
+            prop_assert_eq!(norm, 0.0);
+        } else {
+            prop_assert!((norm - 1.0).abs() < 1e-4, "norm {}", norm);
+        }
+    }
+
+    /// Cosine self-similarity of a non-empty embedding is 1.
+    #[test]
+    fn self_similarity(words in prop::collection::vec("[a-z]{1,8}", 1..12), seed in 0u64..50) {
+        let text = words.join(" ");
+        let e = Embedder::new(64, seed);
+        let v = e.embed(&text);
+        prop_assert!((cosine(&v, &v) - 1.0).abs() < 1e-4);
+    }
+
+    /// Flat search returns at most k hits, sorted descending, all ids real.
+    #[test]
+    fn flat_search_wellformed(n in 1usize..80, k in 1usize..20, seed in 0u64..50) {
+        let e = Embedder::new(32, seed);
+        let mut idx = FlatIndex::new(32);
+        for i in 0..n {
+            idx.add(i, e.embed(&format!("doc number {i} about topic {}", i % 5)));
+        }
+        let q = e.embed("topic 3 doc");
+        let hits = idx.search(&q, k);
+        prop_assert!(hits.len() <= k);
+        prop_assert!(hits.len() <= n);
+        for w in hits.windows(2) {
+            prop_assert!(w[0].score >= w[1].score);
+        }
+        for h in &hits {
+            prop_assert!(h.doc_id < n);
+        }
+    }
+
+    /// Recall@k is always within [0, 1] and equals 1 against itself.
+    #[test]
+    fn recall_bounds(ids_a in prop::collection::vec(0usize..100, 0..10), ids_b in prop::collection::vec(0usize..100, 0..10)) {
+        let to_hits = |ids: &[usize]| -> Vec<SearchHit> {
+            ids.iter().map(|&doc_id| SearchHit { doc_id, score: 0.0 }).collect()
+        };
+        let a = to_hits(&ids_a);
+        let b = to_hits(&ids_b);
+        let r = recall_at_k(&a, &b);
+        prop_assert!((0.0..=1.0).contains(&r));
+        prop_assert_eq!(recall_at_k(&a, &a), 1.0);
+    }
+
+    /// IVF with full probing has perfect recall against flat.
+    #[test]
+    fn ivf_full_probe_exact(n in 8usize..60, nlist in 1usize..8, seed in 0u64..20) {
+        let e = Embedder::new(48, seed);
+        let data: Vec<(usize, Vec<f32>)> = (0..n)
+            .map(|i| (i, e.embed(&format!("document {i} topic {}", i % 3))))
+            .collect();
+        let mut flat = FlatIndex::new(48);
+        for (id, v) in &data {
+            flat.add(*id, v.clone());
+        }
+        let ivf = IvfIndex::train(48, nlist, nlist, &data, seed);
+        let q = e.embed("topic 1 document");
+        let exact = flat.search(&q, 5);
+        let approx = ivf.search(&q, 5);
+        prop_assert_eq!(recall_at_k(&exact, &approx), 1.0);
+    }
+}

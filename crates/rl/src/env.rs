@@ -1,0 +1,268 @@
+//! Episodic environments.
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// A discrete action in the four cardinal directions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Action {
+    Up,
+    Down,
+    Left,
+    Right,
+}
+
+impl Action {
+    /// All actions, index order matching [`Action::index`].
+    pub const ALL: [Action; 4] = [Action::Up, Action::Down, Action::Left, Action::Right];
+
+    /// Dense index 0–3.
+    pub fn index(&self) -> usize {
+        match self {
+            Action::Up => 0,
+            Action::Down => 1,
+            Action::Left => 2,
+            Action::Right => 3,
+        }
+    }
+
+    /// Inverse of [`Action::index`] (panics on ≥ 4).
+    pub fn from_index(i: usize) -> Self {
+        Self::ALL[i]
+    }
+}
+
+/// One transition result.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Step {
+    /// New state id.
+    pub state: usize,
+    pub reward: f64,
+    pub done: bool,
+}
+
+/// The environment contract.
+pub trait Environment {
+    /// Number of discrete states.
+    fn num_states(&self) -> usize;
+    /// Number of actions.
+    fn num_actions(&self) -> usize;
+    /// Resets to the start state, returning it.
+    fn reset(&mut self) -> usize;
+    /// Takes an action (may consult `rng` for stochastic dynamics).
+    fn step(&mut self, action: Action, rng: &mut SmallRng) -> Step;
+    /// One-hot encoding of a state (DQN input features).
+    fn encode(&self, state: usize) -> Vec<f32> {
+        let mut v = vec![0.0; self.num_states()];
+        v[state] = 1.0;
+        v
+    }
+}
+
+/// A rows × cols gridworld: start at top-left, goal at bottom-right,
+/// pits that end the episode with a penalty, and optional wind that
+/// randomly pushes the agent down.
+#[derive(Debug, Clone)]
+pub struct GridWorld {
+    rows: usize,
+    cols: usize,
+    pits: Vec<usize>,
+    /// Probability a move is displaced one cell down (stochastic wind).
+    pub wind: f64,
+    state: usize,
+    /// Per-step reward (negative = living cost encourages short paths).
+    pub step_reward: f64,
+    pub goal_reward: f64,
+    pub pit_reward: f64,
+    /// Episode step limit.
+    pub max_steps: usize,
+    steps_taken: usize,
+}
+
+impl GridWorld {
+    /// A deterministic gridworld with the given pit cells.
+    pub fn new(rows: usize, cols: usize, pits: Vec<usize>) -> Self {
+        assert!(rows >= 2 && cols >= 2, "grid must be at least 2x2");
+        let goal = rows * cols - 1;
+        assert!(!pits.contains(&0) && !pits.contains(&goal), "start/goal cannot be pits");
+        Self {
+            rows,
+            cols,
+            pits,
+            wind: 0.0,
+            state: 0,
+            step_reward: -0.04,
+            goal_reward: 1.0,
+            pit_reward: -1.0,
+            max_steps: 200,
+            steps_taken: 0,
+        }
+    }
+
+    /// The canonical 4×4 lab grid with two pits.
+    pub fn lab4x4() -> Self {
+        Self::new(4, 4, vec![5, 7])
+    }
+
+    /// Adds stochastic wind.
+    pub fn with_wind(mut self, wind: f64) -> Self {
+        self.wind = wind.clamp(0.0, 1.0);
+        self
+    }
+
+    /// The goal cell id.
+    pub fn goal(&self) -> usize {
+        self.rows * self.cols - 1
+    }
+
+    fn move_from(&self, state: usize, action: Action) -> usize {
+        let (r, c) = (state / self.cols, state % self.cols);
+        let (nr, nc) = match action {
+            Action::Up => (r.saturating_sub(1), c),
+            Action::Down => ((r + 1).min(self.rows - 1), c),
+            Action::Left => (r, c.saturating_sub(1)),
+            Action::Right => (r, (c + 1).min(self.cols - 1)),
+        };
+        nr * self.cols + nc
+    }
+
+    /// Length of the shortest possible path (Manhattan) start→goal.
+    pub fn optimal_steps(&self) -> usize {
+        (self.rows - 1) + (self.cols - 1)
+    }
+}
+
+impl Environment for GridWorld {
+    fn num_states(&self) -> usize {
+        self.rows * self.cols
+    }
+
+    fn num_actions(&self) -> usize {
+        4
+    }
+
+    fn reset(&mut self) -> usize {
+        self.state = 0;
+        self.steps_taken = 0;
+        self.state
+    }
+
+    fn step(&mut self, action: Action, rng: &mut SmallRng) -> Step {
+        self.steps_taken += 1;
+        let mut next = self.move_from(self.state, action);
+        if self.wind > 0.0 && rng.gen::<f64>() < self.wind {
+            next = self.move_from(next, Action::Down);
+        }
+        self.state = next;
+        if next == self.goal() {
+            return Step {
+                state: next,
+                reward: self.goal_reward,
+                done: true,
+            };
+        }
+        if self.pits.contains(&next) {
+            return Step {
+                state: next,
+                reward: self.pit_reward,
+                done: true,
+            };
+        }
+        Step {
+            state: next,
+            reward: self.step_reward,
+            done: self.steps_taken >= self.max_steps,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> SmallRng {
+        SmallRng::seed_from_u64(1)
+    }
+
+    #[test]
+    fn action_index_roundtrip() {
+        for a in Action::ALL {
+            assert_eq!(Action::from_index(a.index()), a);
+        }
+    }
+
+    #[test]
+    fn walls_stop_movement() {
+        let mut env = GridWorld::new(3, 3, vec![]);
+        env.reset();
+        let s = env.step(Action::Up, &mut rng());
+        assert_eq!(s.state, 0, "cannot leave the grid upward");
+        let s = env.step(Action::Left, &mut rng());
+        assert_eq!(s.state, 0);
+    }
+
+    #[test]
+    fn shortest_path_reaches_goal_with_expected_return() {
+        let mut env = GridWorld::new(3, 3, vec![]);
+        let mut r = rng();
+        env.reset();
+        let mut total = 0.0;
+        let mut done = false;
+        for a in [Action::Right, Action::Right, Action::Down, Action::Down] {
+            let s = env.step(a, &mut r);
+            total += s.reward;
+            done = s.done;
+        }
+        assert!(done);
+        // 3 living costs + goal.
+        assert!((total - (1.0 - 0.04 * 3.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pit_ends_episode_with_penalty() {
+        let mut env = GridWorld::lab4x4(); // pits at 5 and 7
+        env.reset();
+        let mut r = rng();
+        env.step(Action::Down, &mut r); // 0 -> 4
+        let s = env.step(Action::Right, &mut r); // 4 -> 5 (pit)
+        assert!(s.done);
+        assert_eq!(s.reward, -1.0);
+    }
+
+    #[test]
+    fn episode_times_out() {
+        let mut env = GridWorld::new(2, 2, vec![]);
+        env.max_steps = 3;
+        env.reset();
+        let mut r = rng();
+        let mut last = env.step(Action::Up, &mut r);
+        last = if last.done { last } else { env.step(Action::Up, &mut r) };
+        last = if last.done { last } else { env.step(Action::Up, &mut r) };
+        assert!(last.done, "bouncing off the wall must hit the step limit");
+    }
+
+    #[test]
+    fn wind_displaces_downward_sometimes() {
+        let mut env = GridWorld::new(5, 5, vec![]).with_wind(1.0);
+        env.reset();
+        let s = env.step(Action::Right, &mut rng());
+        // Right then forced down: 0 -> 1 -> 6.
+        assert_eq!(s.state, 6);
+    }
+
+    #[test]
+    fn encode_is_one_hot() {
+        let env = GridWorld::new(3, 3, vec![]);
+        let v = env.encode(4);
+        assert_eq!(v.len(), 9);
+        assert_eq!(v[4], 1.0);
+        assert_eq!(v.iter().sum::<f32>(), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot be pits")]
+    fn goal_pit_rejected() {
+        let _ = GridWorld::new(2, 2, vec![3]);
+    }
+}

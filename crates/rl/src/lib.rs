@@ -1,0 +1,35 @@
+//! # sagegpu-rl — reinforcement learning on simulated GPUs
+//!
+//! The reproduced course devotes week 9 to "Reinforcement Learning on
+//! GPUs" (Lab 8: "DQN agent training using CUDA-enabled PyTorch"), week 11
+//! to AI-agent foundations (Lab 10: "Simple reinforcement agent using
+//! CuPy/Numba"), and Assignment 3 to a "Multi-GPU AI Agent". This crate is
+//! that substrate:
+//!
+//! - [`mod@env`] — episodic environments: a deterministic [`env::GridWorld`]
+//!   with goals, pits, and an optional wind, behind a small `Environment`
+//!   trait.
+//! - [`tabular`] — Lab 10's "simple reinforcement agent": tabular
+//!   Q-learning with ε-greedy exploration.
+//! - [`replay`] — the DQN experience replay buffer.
+//! - [`dqn`] — Lab 8's agent: an MLP Q-network with a target network,
+//!   trained with the [`sagegpu_nn::tape`] autograd's `mse_indexed`
+//!   TD loss; every training step is charged to a simulated GPU so the
+//!   profiling labs can inspect the training loop.
+//! - [`parallel`] — Assignment 3: data-parallel DQN across several
+//!   GPU-pinned workers with synchronized gradient averaging.
+
+pub mod dqn;
+pub mod env;
+pub mod parallel;
+pub mod replay;
+pub mod tabular;
+
+/// Convenient glob-import of the crate's primary types.
+pub mod prelude {
+    pub use crate::dqn::{DqnAgent, DqnConfig};
+    pub use crate::env::{Action, Environment, GridWorld, Step};
+    pub use crate::parallel::train_parallel_dqn;
+    pub use crate::replay::{ReplayBuffer, Transition};
+    pub use crate::tabular::QLearner;
+}

@@ -1,0 +1,128 @@
+//! Experience replay for DQN.
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// One stored transition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Transition {
+    pub state: Vec<f32>,
+    pub action: usize,
+    pub reward: f32,
+    pub next_state: Vec<f32>,
+    pub done: bool,
+}
+
+/// A fixed-capacity ring buffer of transitions.
+#[derive(Debug, Clone)]
+pub struct ReplayBuffer {
+    capacity: usize,
+    items: Vec<Transition>,
+    next: usize,
+}
+
+impl ReplayBuffer {
+    /// A buffer holding up to `capacity` transitions.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "capacity must be positive");
+        Self {
+            capacity,
+            items: Vec::with_capacity(capacity),
+            next: 0,
+        }
+    }
+
+    /// Stores a transition, evicting the oldest when full.
+    pub fn push(&mut self, t: Transition) {
+        if self.items.len() < self.capacity {
+            self.items.push(t);
+        } else {
+            self.items[self.next] = t;
+        }
+        self.next = (self.next + 1) % self.capacity;
+    }
+
+    /// Number of stored transitions.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Uniform sample of `n` transitions (with replacement). Returns
+    /// `None` until the buffer holds at least `n` items.
+    pub fn sample(&self, n: usize, rng: &mut SmallRng) -> Option<Vec<&Transition>> {
+        if self.items.len() < n {
+            return None;
+        }
+        Some(
+            (0..n)
+                .map(|_| &self.items[rng.gen_range(0..self.items.len())])
+                .collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn t(tag: f32) -> Transition {
+        Transition {
+            state: vec![tag],
+            action: 0,
+            reward: tag,
+            next_state: vec![tag],
+            done: false,
+        }
+    }
+
+    #[test]
+    fn fills_then_evicts_oldest() {
+        let mut buf = ReplayBuffer::new(3);
+        for i in 0..5 {
+            buf.push(t(i as f32));
+        }
+        assert_eq!(buf.len(), 3);
+        let rewards: Vec<f32> = buf.items.iter().map(|x| x.reward).collect();
+        // Ring after 5 pushes into capacity 3: [3, 4, 2].
+        assert!(rewards.contains(&2.0));
+        assert!(rewards.contains(&3.0));
+        assert!(rewards.contains(&4.0));
+        assert!(!rewards.contains(&0.0));
+    }
+
+    #[test]
+    fn sample_requires_enough_items() {
+        let mut buf = ReplayBuffer::new(10);
+        let mut rng = SmallRng::seed_from_u64(1);
+        assert!(buf.sample(1, &mut rng).is_none());
+        buf.push(t(1.0));
+        buf.push(t(2.0));
+        assert!(buf.sample(3, &mut rng).is_none());
+        let batch = buf.sample(2, &mut rng).unwrap();
+        assert_eq!(batch.len(), 2);
+    }
+
+    #[test]
+    fn sample_draws_from_stored_items() {
+        let mut buf = ReplayBuffer::new(4);
+        for i in 0..4 {
+            buf.push(t(i as f32));
+        }
+        let mut rng = SmallRng::seed_from_u64(2);
+        for tr in buf.sample(4, &mut rng).unwrap() {
+            assert!((0.0..4.0).contains(&tr.reward));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_capacity_rejected() {
+        let _ = ReplayBuffer::new(0);
+    }
+}

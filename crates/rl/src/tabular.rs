@@ -1,0 +1,163 @@
+//! Lab 10: the "simple reinforcement agent" — tabular Q-learning.
+
+use crate::env::{Action, Environment};
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// A tabular ε-greedy Q-learning agent.
+#[derive(Debug, Clone)]
+pub struct QLearner {
+    /// Q-values, `num_states × num_actions`, row-major.
+    q: Vec<f64>,
+    num_actions: usize,
+    pub alpha: f64,
+    pub gamma: f64,
+    pub epsilon: f64,
+}
+
+impl QLearner {
+    /// A zero-initialized learner for an environment's state/action space.
+    pub fn new(num_states: usize, num_actions: usize) -> Self {
+        Self {
+            q: vec![0.0; num_states * num_actions],
+            num_actions,
+            alpha: 0.2,
+            gamma: 0.95,
+            epsilon: 0.15,
+        }
+    }
+
+    /// Q(s, a).
+    pub fn q_value(&self, state: usize, action: usize) -> f64 {
+        self.q[state * self.num_actions + action]
+    }
+
+    /// Greedy action for a state.
+    pub fn greedy(&self, state: usize) -> Action {
+        let row = &self.q[state * self.num_actions..(state + 1) * self.num_actions];
+        let best = row
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+            .map(|(i, _)| i)
+            .unwrap_or(0);
+        Action::from_index(best)
+    }
+
+    /// ε-greedy action.
+    pub fn act(&self, state: usize, rng: &mut SmallRng) -> Action {
+        if rng.gen::<f64>() < self.epsilon {
+            Action::from_index(rng.gen_range(0..self.num_actions))
+        } else {
+            self.greedy(state)
+        }
+    }
+
+    /// One Q-learning update.
+    pub fn update(&mut self, s: usize, a: Action, reward: f64, s2: usize, done: bool) {
+        let max_next = if done {
+            0.0
+        } else {
+            (0..self.num_actions)
+                .map(|i| self.q_value(s2, i))
+                .fold(f64::NEG_INFINITY, f64::max)
+        };
+        let idx = s * self.num_actions + a.index();
+        let target = reward + self.gamma * max_next;
+        self.q[idx] += self.alpha * (target - self.q[idx]);
+    }
+
+    /// Trains for `episodes`, returning the per-episode returns.
+    pub fn train(&mut self, env: &mut impl Environment, episodes: usize, rng: &mut SmallRng) -> Vec<f64> {
+        let mut returns = Vec::with_capacity(episodes);
+        for _ in 0..episodes {
+            let mut s = env.reset();
+            let mut total = 0.0;
+            loop {
+                let a = self.act(s, rng);
+                let step = env.step(a, rng);
+                self.update(s, a, step.reward, step.state, step.done);
+                total += step.reward;
+                s = step.state;
+                if step.done {
+                    break;
+                }
+            }
+            returns.push(total);
+        }
+        returns
+    }
+
+    /// Greedy rollout (no exploration, no learning); returns (return, steps).
+    pub fn evaluate(&self, env: &mut impl Environment, rng: &mut SmallRng) -> (f64, usize) {
+        let mut s = env.reset();
+        let mut total = 0.0;
+        let mut steps = 0;
+        loop {
+            let step = env.step(self.greedy(s), rng);
+            total += step.reward;
+            steps += 1;
+            s = step.state;
+            if step.done || steps > 10_000 {
+                return (total, steps);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::env::GridWorld;
+    use rand::SeedableRng;
+
+    #[test]
+    fn learns_the_lab_gridworld() {
+        let mut env = GridWorld::lab4x4();
+        let mut agent = QLearner::new(env.num_states(), env.num_actions());
+        let mut rng = SmallRng::seed_from_u64(3);
+        let returns = agent.train(&mut env, 400, &mut rng);
+        // Learning curve: late returns beat early returns.
+        let early: f64 = returns[..50].iter().sum::<f64>() / 50.0;
+        let late: f64 = returns[returns.len() - 50..].iter().sum::<f64>() / 50.0;
+        assert!(late > early, "no learning: early {early} late {late}");
+        // Greedy policy reaches the goal near-optimally.
+        let (ret, steps) = agent.evaluate(&mut env, &mut rng);
+        assert!(ret > 0.5, "greedy return {ret}");
+        assert!(steps <= env.optimal_steps() + 4, "greedy path {steps} steps");
+    }
+
+    #[test]
+    fn update_moves_q_toward_target() {
+        let mut agent = QLearner::new(4, 4);
+        agent.alpha = 0.5;
+        agent.update(0, Action::Right, 1.0, 3, true);
+        assert!((agent.q_value(0, Action::Right.index()) - 0.5).abs() < 1e-12);
+        // Terminal transitions ignore bootstrap.
+        agent.update(0, Action::Right, 1.0, 3, true);
+        assert!((agent.q_value(0, Action::Right.index()) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bootstrap_uses_max_next_q() {
+        let mut agent = QLearner::new(2, 4);
+        agent.alpha = 1.0;
+        agent.gamma = 0.9;
+        agent.update(1, Action::Up, 0.0, 1, true); // dummy
+        // Seed Q(1, Down) = 2.0 by direct updates.
+        agent.update(1, Action::Down, 2.0, 0, true);
+        agent.update(0, Action::Right, 0.0, 1, false);
+        assert!((agent.q_value(0, Action::Right.index()) - 1.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn epsilon_zero_is_deterministic() {
+        let mut agent = QLearner::new(4, 4);
+        agent.epsilon = 0.0;
+        agent.update(0, Action::Down, 1.0, 1, true);
+        let mut rng = SmallRng::seed_from_u64(0);
+        for _ in 0..10 {
+            assert_eq!(agent.act(0, &mut rng), Action::Down);
+        }
+    }
+}

@@ -1,0 +1,118 @@
+//! Boxplot construction (the paper's Fig. 9).
+
+use crate::describe::quantile;
+use crate::{check_finite, StatsError};
+use serde::Serialize;
+
+/// Five-number summary plus Tukey whiskers and outliers.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct BoxplotData {
+    pub q1: f64,
+    pub median: f64,
+    pub q3: f64,
+    /// Lowest observation within `q1 − 1.5·IQR`.
+    pub whisker_low: f64,
+    /// Highest observation within `q3 + 1.5·IQR`.
+    pub whisker_high: f64,
+    /// Observations beyond the whiskers.
+    pub outliers: Vec<f64>,
+}
+
+impl BoxplotData {
+    /// Interquartile range.
+    pub fn iqr(&self) -> f64 {
+        self.q3 - self.q1
+    }
+}
+
+/// Builds boxplot data with the standard 1.5·IQR whisker rule.
+pub fn boxplot(xs: &[f64]) -> Result<BoxplotData, StatsError> {
+    if xs.len() < 4 {
+        return Err(StatsError::TooFewSamples { needed: 4, got: xs.len() });
+    }
+    check_finite(xs)?;
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let q1 = quantile(&sorted, 0.25)?;
+    let median = quantile(&sorted, 0.5)?;
+    let q3 = quantile(&sorted, 0.75)?;
+    let iqr = q3 - q1;
+    let lo_fence = q1 - 1.5 * iqr;
+    let hi_fence = q3 + 1.5 * iqr;
+    let whisker_low = sorted
+        .iter()
+        .copied()
+        .find(|&x| x >= lo_fence)
+        .unwrap_or(sorted[0]);
+    let whisker_high = sorted
+        .iter()
+        .rev()
+        .copied()
+        .find(|&x| x <= hi_fence)
+        .unwrap_or(*sorted.last().expect("non-empty"));
+    let outliers = sorted
+        .iter()
+        .copied()
+        .filter(|&x| x < lo_fence || x > hi_fence)
+        .collect();
+    Ok(BoxplotData {
+        q1,
+        median,
+        q3,
+        whisker_low,
+        whisker_high,
+        outliers,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_data_has_no_outliers() {
+        let xs: Vec<f64> = (1..=11).map(|i| i as f64).collect();
+        let b = boxplot(&xs).unwrap();
+        assert_eq!(b.median, 6.0);
+        assert!(b.outliers.is_empty());
+        assert_eq!(b.whisker_low, 1.0);
+        assert_eq!(b.whisker_high, 11.0);
+        assert!((b.iqr() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn extreme_point_flagged_as_outlier() {
+        let xs = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 100.0];
+        let b = boxplot(&xs).unwrap();
+        assert_eq!(b.outliers, vec![100.0]);
+        assert!(b.whisker_high <= 9.0);
+    }
+
+    #[test]
+    fn low_tail_outlier_like_the_papers_grad_group() {
+        // Table IV: grads cluster 90–99 with min 74.38 — that minimum is a
+        // low outlier in the boxplot of Fig. 9.
+        let xs = [
+            99.17, 98.9, 98.8, 98.8, 98.6, 98.4, 98.2, 97.92, 97.9, 97.5, 97.2, 96.8, 95.0, 93.5,
+            92.0, 90.06, 89.0, 88.5, 88.0, 74.38,
+        ];
+        let b = boxplot(&xs).unwrap();
+        assert!(b.outliers.contains(&74.38), "outliers: {:?}", b.outliers);
+        assert!(b.median > 95.0);
+    }
+
+    #[test]
+    fn whiskers_never_exceed_data_range() {
+        let xs = [5.0, 1.0, 9.0, 3.0, 7.0, 2.0, 8.0];
+        let b = boxplot(&xs).unwrap();
+        assert!(b.whisker_low >= 1.0);
+        assert!(b.whisker_high <= 9.0);
+        assert!(b.q1 <= b.median && b.median <= b.q3);
+    }
+
+    #[test]
+    fn too_few_samples_rejected() {
+        assert!(boxplot(&[1.0, 2.0, 3.0]).is_err());
+        assert!(boxplot(&[1.0, 2.0, 3.0, f64::NAN]).is_err());
+    }
+}

@@ -1,0 +1,102 @@
+//! Correlation coefficients (Pearson and Spearman).
+//!
+//! The course's instructors relate survey confidence to course outcomes;
+//! with non-normal Likert data that calls for Spearman's rank correlation,
+//! built here on the same midrank machinery as Mann–Whitney.
+
+use crate::describe::{mean, std_dev};
+use crate::rank::midranks;
+use crate::{check_finite, StatsError};
+
+/// Pearson product-moment correlation of two equal-length samples.
+pub fn pearson(x: &[f64], y: &[f64]) -> Result<f64, StatsError> {
+    if x.len() != y.len() {
+        return Err(StatsError::BadParameter(format!(
+            "samples must match in length ({} vs {})",
+            x.len(),
+            y.len()
+        )));
+    }
+    if x.len() < 2 {
+        return Err(StatsError::TooFewSamples { needed: 2, got: x.len() });
+    }
+    check_finite(x)?;
+    check_finite(y)?;
+    let (mx, my) = (mean(x)?, mean(y)?);
+    let (sx, sy) = (std_dev(x)?, std_dev(y)?);
+    if sx == 0.0 || sy == 0.0 {
+        return Err(StatsError::ZeroVariance);
+    }
+    let cov: f64 = x
+        .iter()
+        .zip(y)
+        .map(|(a, b)| (a - mx) * (b - my))
+        .sum::<f64>()
+        / (x.len() as f64 - 1.0);
+    Ok((cov / (sx * sy)).clamp(-1.0, 1.0))
+}
+
+/// Spearman rank correlation: Pearson over midranks (tie-safe).
+pub fn spearman(x: &[f64], y: &[f64]) -> Result<f64, StatsError> {
+    let (rx, _) = midranks(x)?;
+    let (ry, _) = midranks(y)?;
+    pearson(&rx, &ry)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_linear_correlation() {
+        let x = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let y = [2.0, 4.0, 6.0, 8.0, 10.0];
+        assert!((pearson(&x, &y).unwrap() - 1.0).abs() < 1e-12);
+        let neg: Vec<f64> = y.iter().map(|v| -v).collect();
+        assert!((pearson(&x, &neg).unwrap() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn known_pearson_value() {
+        // Hand-computed: x=[1,2,3,4], y=[1,3,2,5]: cov = 11/6,
+        // sx² = 5/3, sy² = 35/12 → r = 11/√175 ≈ 0.8315.
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let y = [1.0, 3.0, 2.0, 5.0];
+        let r = pearson(&x, &y).unwrap();
+        assert!((r - 11.0 / 175.0f64.sqrt()).abs() < 1e-9, "r = {r}");
+    }
+
+    #[test]
+    fn spearman_captures_monotone_nonlinear_relations() {
+        // y = x³ is monotone: Spearman 1, Pearson < 1.
+        let x: Vec<f64> = (1..=10).map(|i| i as f64).collect();
+        let y: Vec<f64> = x.iter().map(|v| v.powi(3)).collect();
+        assert!((spearman(&x, &y).unwrap() - 1.0).abs() < 1e-12);
+        assert!(pearson(&x, &y).unwrap() < 1.0);
+    }
+
+    #[test]
+    fn spearman_handles_ties() {
+        let x = [1.0, 2.0, 2.0, 3.0];
+        let y = [10.0, 20.0, 20.0, 30.0];
+        assert!((spearman(&x, &y).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn uncorrelated_data_near_zero() {
+        let x = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0];
+        let y = [5.0, -5.0, 5.0, -5.0, 5.0, -5.0, 5.0, -5.0];
+        assert!(pearson(&x, &y).unwrap().abs() < 0.3);
+    }
+
+    #[test]
+    fn errors_on_degenerate_input() {
+        assert!(pearson(&[1.0], &[1.0]).is_err());
+        assert!(pearson(&[1.0, 2.0], &[1.0]).is_err());
+        assert!(matches!(
+            pearson(&[1.0, 1.0], &[1.0, 2.0]),
+            Err(StatsError::ZeroVariance)
+        ));
+        assert!(pearson(&[1.0, f64::NAN], &[1.0, 2.0]).is_err());
+    }
+}

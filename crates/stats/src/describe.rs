@@ -1,0 +1,200 @@
+//! Descriptive statistics — the columns of the paper's Table IV.
+
+use crate::{check_finite, StatsError};
+use serde::Serialize;
+
+/// Summary statistics of one sample.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct DescriptiveStats {
+    pub count: usize,
+    pub mean: f64,
+    /// Sample standard deviation (n − 1 denominator).
+    pub std_dev: f64,
+    pub min: f64,
+    /// First quartile (type-7 linear interpolation, the pandas default).
+    pub q1: f64,
+    pub median: f64,
+    /// Third quartile.
+    pub q3: f64,
+    pub max: f64,
+    /// Adjusted Fisher–Pearson skewness (g1 with bias correction).
+    pub skewness: f64,
+    /// Excess kurtosis (bias-corrected, normal = 0).
+    pub kurtosis: f64,
+}
+
+/// Type-7 quantile (linear interpolation between order statistics), the
+/// default in NumPy/pandas — the tooling the paper's appendix used.
+pub fn quantile(sorted: &[f64], q: f64) -> Result<f64, StatsError> {
+    if sorted.is_empty() {
+        return Err(StatsError::TooFewSamples { needed: 1, got: 0 });
+    }
+    if !(0.0..=1.0).contains(&q) {
+        return Err(StatsError::BadParameter(format!("quantile q must be in [0,1], got {q}")));
+    }
+    let n = sorted.len();
+    let h = (n as f64 - 1.0) * q;
+    let lo = h.floor() as usize;
+    let hi = h.ceil() as usize;
+    if lo == hi {
+        Ok(sorted[lo])
+    } else {
+        let frac = h - lo as f64;
+        Ok(sorted[lo] * (1.0 - frac) + sorted[hi] * frac)
+    }
+}
+
+/// Sample mean.
+pub fn mean(xs: &[f64]) -> Result<f64, StatsError> {
+    if xs.is_empty() {
+        return Err(StatsError::TooFewSamples { needed: 1, got: 0 });
+    }
+    check_finite(xs)?;
+    Ok(xs.iter().sum::<f64>() / xs.len() as f64)
+}
+
+/// Sample variance (n − 1 denominator).
+pub fn variance(xs: &[f64]) -> Result<f64, StatsError> {
+    if xs.len() < 2 {
+        return Err(StatsError::TooFewSamples { needed: 2, got: xs.len() });
+    }
+    let m = mean(xs)?;
+    Ok(xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (xs.len() as f64 - 1.0))
+}
+
+/// Sample standard deviation.
+pub fn std_dev(xs: &[f64]) -> Result<f64, StatsError> {
+    Ok(variance(xs)?.sqrt())
+}
+
+/// Full descriptive summary.
+pub fn describe(xs: &[f64]) -> Result<DescriptiveStats, StatsError> {
+    if xs.len() < 2 {
+        return Err(StatsError::TooFewSamples { needed: 2, got: xs.len() });
+    }
+    check_finite(xs)?;
+    let n = xs.len() as f64;
+    let m = mean(xs)?;
+    let var = variance(xs)?;
+    let sd = var.sqrt();
+
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+
+    let (skewness, kurtosis) = if sd == 0.0 {
+        (0.0, 0.0)
+    } else {
+        let m3 = xs.iter().map(|x| ((x - m) / sd).powi(3)).sum::<f64>();
+        let m4 = xs.iter().map(|x| ((x - m) / sd).powi(4)).sum::<f64>();
+        // Bias-corrected g1 and excess kurtosis.
+        let g1 = if xs.len() > 2 {
+            n / ((n - 1.0) * (n - 2.0)) * m3
+        } else {
+            0.0
+        };
+        let g2 = if xs.len() > 3 {
+            n * (n + 1.0) / ((n - 1.0) * (n - 2.0) * (n - 3.0)) * m4
+                - 3.0 * (n - 1.0) * (n - 1.0) / ((n - 2.0) * (n - 3.0))
+        } else {
+            0.0
+        };
+        (g1, g2)
+    };
+
+    Ok(DescriptiveStats {
+        count: xs.len(),
+        mean: m,
+        std_dev: sd,
+        min: sorted[0],
+        q1: quantile(&sorted, 0.25)?,
+        median: quantile(&sorted, 0.5)?,
+        q3: quantile(&sorted, 0.75)?,
+        max: *sorted.last().expect("non-empty"),
+        skewness,
+        kurtosis,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() < tol, "{a} vs {b}");
+    }
+
+    #[test]
+    fn mean_variance_std() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        close(mean(&xs).unwrap(), 5.0, 1e-12);
+        // Sample variance: Σ(x−5)² = 32, / 7.
+        close(variance(&xs).unwrap(), 32.0 / 7.0, 1e-12);
+        close(std_dev(&xs).unwrap(), (32.0f64 / 7.0).sqrt(), 1e-12);
+    }
+
+    #[test]
+    fn quantiles_match_numpy_type7() {
+        let sorted = [1.0, 2.0, 3.0, 4.0];
+        close(quantile(&sorted, 0.25).unwrap(), 1.75, 1e-12);
+        close(quantile(&sorted, 0.5).unwrap(), 2.5, 1e-12);
+        close(quantile(&sorted, 0.75).unwrap(), 3.25, 1e-12);
+        close(quantile(&sorted, 0.0).unwrap(), 1.0, 1e-12);
+        close(quantile(&sorted, 1.0).unwrap(), 4.0, 1e-12);
+    }
+
+    #[test]
+    fn describe_basic_fields() {
+        let xs = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let d = describe(&xs).unwrap();
+        assert_eq!(d.count, 5);
+        close(d.mean, 3.0, 1e-12);
+        close(d.median, 3.0, 1e-12);
+        close(d.min, 1.0, 1e-12);
+        close(d.max, 5.0, 1e-12);
+        close(d.q1, 2.0, 1e-12);
+        close(d.q3, 4.0, 1e-12);
+        close(d.skewness, 0.0, 1e-12);
+    }
+
+    #[test]
+    fn skewness_sign_detects_asymmetry() {
+        // Left-skewed (ceiling effect, like the paper's graduate scores).
+        let left = [99.0, 99.0, 98.0, 97.0, 96.0, 90.0, 80.0, 60.0];
+        assert!(describe(&left).unwrap().skewness < -0.5);
+        // Right-skewed.
+        let right = [1.0, 1.5, 2.0, 2.5, 3.0, 10.0, 20.0, 40.0];
+        assert!(describe(&right).unwrap().skewness > 0.5);
+    }
+
+    #[test]
+    fn kurtosis_of_heavy_tails_positive() {
+        let heavy = [0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, -10.0, 10.0];
+        assert!(describe(&heavy).unwrap().kurtosis > 1.0);
+    }
+
+    #[test]
+    fn unsorted_input_is_fine() {
+        let xs = [5.0, 1.0, 3.0, 2.0, 4.0];
+        let d = describe(&xs).unwrap();
+        close(d.median, 3.0, 1e-12);
+        close(d.min, 1.0, 1e-12);
+    }
+
+    #[test]
+    fn errors_on_degenerate_input() {
+        assert!(describe(&[]).is_err());
+        assert!(describe(&[1.0]).is_err());
+        assert!(describe(&[1.0, f64::NAN]).is_err());
+        assert!(mean(&[]).is_err());
+        assert!(quantile(&[1.0], 1.5).is_err());
+    }
+
+    #[test]
+    fn constant_sample_has_zero_spread() {
+        let xs = [4.0; 10];
+        let d = describe(&xs).unwrap();
+        close(d.std_dev, 0.0, 1e-12);
+        close(d.skewness, 0.0, 1e-12);
+        close(d.q1, 4.0, 1e-12);
+    }
+}

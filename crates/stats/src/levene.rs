@@ -1,0 +1,164 @@
+//! Levene's test for homogeneity of variances.
+//!
+//! The paper's Table III reports Levene's F = 2.437, p = .127 for the
+//! graduate/undergraduate score comparison (n = 20 + 20 → df = (1, 38)),
+//! concluding equal variances. This module implements the general k-group
+//! Levene statistic with a choice of center: the classic mean-centered
+//! variant and the median-centered Brown–Forsythe variant that is robust to
+//! the exact non-normality the paper's data shows.
+
+use crate::describe::{mean, quantile};
+use crate::special::f_cdf;
+use crate::{check_finite, StatsError};
+use serde::Serialize;
+
+/// Which location estimate to center absolute deviations on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum Center {
+    /// Classic Levene (1960).
+    Mean,
+    /// Brown–Forsythe (1974): robust to skewness.
+    Median,
+}
+
+/// Result of a Levene test.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct LeveneResult {
+    /// The F statistic on (k − 1, N − k) degrees of freedom.
+    pub f_statistic: f64,
+    pub df_between: f64,
+    pub df_within: f64,
+    /// Upper-tail p-value.
+    pub p_value: f64,
+}
+
+/// Runs Levene's test across `groups`.
+pub fn levene_test(groups: &[&[f64]], center: Center) -> Result<LeveneResult, StatsError> {
+    let k = groups.len();
+    if k < 2 {
+        return Err(StatsError::BadParameter(format!("need at least 2 groups, got {k}")));
+    }
+    for g in groups {
+        if g.len() < 2 {
+            return Err(StatsError::TooFewSamples { needed: 2, got: g.len() });
+        }
+        check_finite(g)?;
+    }
+    let n_total: usize = groups.iter().map(|g| g.len()).sum();
+
+    // z_ij = |x_ij − center_i|
+    let mut zs: Vec<Vec<f64>> = Vec::with_capacity(k);
+    for g in groups {
+        let c = match center {
+            Center::Mean => mean(g)?,
+            Center::Median => {
+                let mut sorted = g.to_vec();
+                sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+                quantile(&sorted, 0.5)?
+            }
+        };
+        zs.push(g.iter().map(|x| (x - c).abs()).collect());
+    }
+
+    let z_bar_i: Vec<f64> = zs.iter().map(|z| mean(z).expect("non-empty")).collect();
+    let z_bar: f64 = zs.iter().flatten().sum::<f64>() / n_total as f64;
+
+    let between: f64 = zs
+        .iter()
+        .zip(&z_bar_i)
+        .map(|(z, zi)| z.len() as f64 * (zi - z_bar) * (zi - z_bar))
+        .sum();
+    let within: f64 = zs
+        .iter()
+        .zip(&z_bar_i)
+        .map(|(z, zi)| z.iter().map(|v| (v - zi) * (v - zi)).sum::<f64>())
+        .sum();
+
+    let df_between = (k - 1) as f64;
+    let df_within = (n_total - k) as f64;
+    if within == 0.0 {
+        return Err(StatsError::ZeroVariance);
+    }
+    let f_statistic = (between / df_between) / (within / df_within);
+    let p_value = 1.0 - f_cdf(f_statistic, df_between, df_within)?;
+
+    Ok(LeveneResult {
+        f_statistic,
+        df_between,
+        df_within,
+        p_value: p_value.clamp(0.0, 1.0),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_variance_groups_not_rejected() {
+        let a = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0];
+        let b = [11.0, 12.0, 13.0, 14.0, 15.0, 16.0, 17.0, 18.0]; // shifted only
+        let r = levene_test(&[&a, &b], Center::Mean).unwrap();
+        assert!(r.f_statistic < 1e-9, "identical spreads → F ≈ 0, got {}", r.f_statistic);
+        assert!(r.p_value > 0.95);
+    }
+
+    #[test]
+    fn very_different_variances_rejected() {
+        let tight = [10.0, 10.1, 9.9, 10.05, 9.95, 10.02, 9.98, 10.01, 9.9, 10.1];
+        let wide = [0.0, 5.0, 10.0, 15.0, 20.0, -5.0, 25.0, -10.0, 30.0, 12.0];
+        let r = levene_test(&[&tight, &wide], Center::Mean).unwrap();
+        assert!(r.f_statistic > 10.0);
+        assert!(r.p_value < 0.01);
+    }
+
+    #[test]
+    fn degrees_of_freedom_match_group_structure() {
+        let a = vec![1.0; 20]
+            .iter()
+            .enumerate()
+            .map(|(i, _)| i as f64)
+            .collect::<Vec<_>>();
+        let b: Vec<f64> = (0..20).map(|i| (i * 2) as f64).collect();
+        let r = levene_test(&[&a, &b], Center::Median).unwrap();
+        assert_eq!(r.df_between, 1.0);
+        assert_eq!(r.df_within, 38.0); // the paper's df
+    }
+
+    #[test]
+    fn three_group_test_works() {
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let b = [1.0, 3.0, 5.0, 7.0];
+        let c = [0.0, 4.0, 8.0, 12.0];
+        let r = levene_test(&[&a, &b, &c], Center::Mean).unwrap();
+        assert_eq!(r.df_between, 2.0);
+        assert_eq!(r.df_within, 9.0);
+        assert!(r.f_statistic > 0.0);
+    }
+
+    #[test]
+    fn median_center_is_robust_to_one_outlier() {
+        // An extreme outlier inflates the mean-centered statistic far more
+        // than the median-centered one.
+        let a = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 100.0];
+        let b = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0];
+        let mean_r = levene_test(&[&a, &b], Center::Mean).unwrap();
+        let median_r = levene_test(&[&a, &b], Center::Median).unwrap();
+        // Both should flag, but the exact statistics must differ.
+        assert!((mean_r.f_statistic - median_r.f_statistic).abs() > 1e-6);
+    }
+
+    #[test]
+    fn rejects_degenerate_inputs() {
+        let a = [1.0, 2.0];
+        assert!(levene_test(&[&a], Center::Mean).is_err());
+        let empty: [f64; 0] = [];
+        assert!(levene_test(&[&a, &empty], Center::Mean).is_err());
+        let constant = [3.0, 3.0, 3.0];
+        let same = [3.0, 3.0, 3.0];
+        assert!(matches!(
+            levene_test(&[&constant, &same], Center::Mean),
+            Err(StatsError::ZeroVariance)
+        ));
+    }
+}

@@ -1,0 +1,96 @@
+//! # sagegpu-stats — from-scratch statistics for the paper's evaluation
+//!
+//! Appendices C and D of *"GPU Programming for AI Workflow Development on
+//! AWS SageMaker"* (SC'25) analyze per-student scores with Shapiro–Wilk
+//! normality tests, Levene's variance-homogeneity test, descriptive
+//! statistics, histograms, Q–Q plots, boxplots, and a Mann–Whitney U test
+//! (the paper's Table III, Table IV, Figs. 6–9), plus Likert-scale survey
+//! summaries (Figs. 3, 4, 10, 11). The authors used standard Python
+//! tooling; this crate reimplements every one of those procedures in pure
+//! Rust so the reproduction's statistical pipeline is self-contained and
+//! unit-tested against published reference values.
+//!
+//! ## Modules
+//!
+//! - [`special`] — ln-gamma, erf, regularized incomplete beta/gamma, and
+//!   the normal / Student-t / F / chi-square distribution functions built
+//!   from them.
+//! - [`describe`] — descriptive statistics (Table IV's columns).
+//! - [`rank`] — midrank assignment with ties.
+//! - [`shapiro`] — Shapiro–Wilk W (Royston's AS R94 approximation).
+//! - [`levene`] — Levene / Brown–Forsythe variance homogeneity.
+//! - [`mannwhitney`] — Mann–Whitney U, exact for small samples and
+//!   normal-approximated (tie-corrected) otherwise.
+//! - [`histogram`] — fixed-width binning (Fig. 6).
+//! - [`qq`] — normal Q–Q plot data (Figs. 7–8).
+//! - [`boxplot`] — five-number summaries with Tukey outliers (Fig. 9).
+//! - [`likert`] — five-point Likert tabulation (Figs. 3/4/10/11).
+//! - [`correlation`] — Pearson and Spearman coefficients (survey-vs-grade
+//!   analyses).
+
+pub mod boxplot;
+pub mod correlation;
+pub mod describe;
+pub mod histogram;
+pub mod levene;
+pub mod likert;
+pub mod mannwhitney;
+pub mod qq;
+pub mod rank;
+pub mod shapiro;
+pub mod special;
+
+/// Convenient glob-import of the crate's primary types.
+pub mod prelude {
+    pub use crate::boxplot::{boxplot, BoxplotData};
+    pub use crate::correlation::{pearson, spearman};
+    pub use crate::describe::{describe, DescriptiveStats};
+    pub use crate::histogram::{histogram, Histogram};
+    pub use crate::levene::{levene_test, Center, LeveneResult};
+    pub use crate::likert::{LikertResponse, LikertSummary};
+    pub use crate::mannwhitney::{mann_whitney_u, MannWhitneyResult};
+    pub use crate::qq::{qq_points, QqPoint};
+    pub use crate::shapiro::{shapiro_wilk, ShapiroResult};
+    pub use crate::special::{erf, ln_gamma, normal_cdf, normal_quantile};
+}
+
+/// Errors raised by the statistical routines.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StatsError {
+    /// Not enough observations for the requested procedure.
+    TooFewSamples { needed: usize, got: usize },
+    /// Sample larger than the procedure's validated range.
+    TooManySamples { max: usize, got: usize },
+    /// Input contained NaN or infinity.
+    NonFinite,
+    /// All observations identical where variation is required.
+    ZeroVariance,
+    /// A parameter was outside its domain.
+    BadParameter(String),
+}
+
+impl std::fmt::Display for StatsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StatsError::TooFewSamples { needed, got } => {
+                write!(f, "need at least {needed} samples, got {got}")
+            }
+            StatsError::TooManySamples { max, got } => {
+                write!(f, "at most {max} samples supported, got {got}")
+            }
+            StatsError::NonFinite => write!(f, "input contains NaN or infinite values"),
+            StatsError::ZeroVariance => write!(f, "all observations are identical"),
+            StatsError::BadParameter(msg) => write!(f, "bad parameter: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for StatsError {}
+
+pub(crate) fn check_finite(xs: &[f64]) -> Result<(), StatsError> {
+    if xs.iter().all(|x| x.is_finite()) {
+        Ok(())
+    } else {
+        Err(StatsError::NonFinite)
+    }
+}

@@ -1,0 +1,113 @@
+//! Normal Q–Q plot data (the paper's Figs. 7–8).
+
+use crate::describe::{mean, std_dev};
+use crate::special::normal_quantile;
+use crate::{check_finite, StatsError};
+use serde::Serialize;
+
+/// One point of a Q–Q plot: theoretical normal quantile vs. observed value.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct QqPoint {
+    /// Standard-normal quantile at the Blom plotting position.
+    pub theoretical: f64,
+    /// The corresponding order statistic of the sample.
+    pub observed: f64,
+}
+
+/// Builds normal Q–Q points with Blom plotting positions
+/// `(i − 0.375)/(n + 0.25)` — the statsmodels default the paper's plots use.
+pub fn qq_points(xs: &[f64]) -> Result<Vec<QqPoint>, StatsError> {
+    if xs.len() < 2 {
+        return Err(StatsError::TooFewSamples { needed: 2, got: xs.len() });
+    }
+    check_finite(xs)?;
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let n = sorted.len() as f64;
+    sorted
+        .iter()
+        .enumerate()
+        .map(|(i, &obs)| {
+            let p = ((i + 1) as f64 - 0.375) / (n + 0.25);
+            Ok(QqPoint {
+                theoretical: normal_quantile(p)?,
+                observed: obs,
+            })
+        })
+        .collect()
+}
+
+/// Pearson correlation between theoretical and observed coordinates — a
+/// quick "straightness" score (1.0 = perfectly normal-looking).
+pub fn qq_correlation(points: &[QqPoint]) -> Result<f64, StatsError> {
+    if points.len() < 2 {
+        return Err(StatsError::TooFewSamples { needed: 2, got: points.len() });
+    }
+    let t: Vec<f64> = points.iter().map(|p| p.theoretical).collect();
+    let o: Vec<f64> = points.iter().map(|p| p.observed).collect();
+    let (mt, mo) = (mean(&t)?, mean(&o)?);
+    let (st, so) = (std_dev(&t)?, std_dev(&o)?);
+    if st == 0.0 || so == 0.0 {
+        return Err(StatsError::ZeroVariance);
+    }
+    let cov: f64 = t
+        .iter()
+        .zip(&o)
+        .map(|(a, b)| (a - mt) * (b - mo))
+        .sum::<f64>()
+        / (points.len() as f64 - 1.0);
+    Ok(cov / (st * so))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn points_are_sorted_and_symmetric() {
+        let xs = [3.0, 1.0, 2.0, 5.0, 4.0];
+        let pts = qq_points(&xs).unwrap();
+        assert_eq!(pts.len(), 5);
+        // Observed values come out sorted.
+        for w in pts.windows(2) {
+            assert!(w[0].observed <= w[1].observed);
+            assert!(w[0].theoretical < w[1].theoretical);
+        }
+        // Blom positions are symmetric around zero.
+        assert!((pts[0].theoretical + pts[4].theoretical).abs() < 1e-6);
+        assert!(pts[2].theoretical.abs() < 1e-6);
+    }
+
+    #[test]
+    fn linear_data_has_near_perfect_correlation() {
+        // An affine transform of the theoretical quantiles is exactly normal.
+        let base = qq_points(&[-2.0, -1.0, 0.0, 1.0, 2.0]).unwrap();
+        let xs: Vec<f64> = base.iter().map(|p| 10.0 + 3.0 * p.theoretical).collect();
+        let pts = qq_points(&xs).unwrap();
+        let r = qq_correlation(&pts).unwrap();
+        assert!(r > 0.999_999, "r = {r}");
+    }
+
+    #[test]
+    fn skewed_data_bends_away_from_line() {
+        let skewed: Vec<f64> = (0..30).map(|i| (1.3f64).powi(i)).collect();
+        let normalish: Vec<f64> = (0..30)
+            .map(|i| {
+                let p = (i as f64 + 0.625) / 30.25;
+                crate::special::normal_quantile(p).unwrap()
+            })
+            .collect();
+        let r_skew = qq_correlation(&qq_points(&skewed).unwrap()).unwrap();
+        let r_norm = qq_correlation(&qq_points(&normalish).unwrap()).unwrap();
+        assert!(r_norm > r_skew, "{r_norm} vs {r_skew}");
+        assert!(r_skew < 0.92);
+    }
+
+    #[test]
+    fn errors_on_degenerate_input() {
+        assert!(qq_points(&[1.0]).is_err());
+        assert!(qq_points(&[1.0, f64::NAN]).is_err());
+        let pts = qq_points(&[2.0, 2.0, 2.0]).unwrap();
+        assert!(matches!(qq_correlation(&pts), Err(StatsError::ZeroVariance)));
+    }
+}

@@ -1,0 +1,94 @@
+//! Midrank assignment with ties (the basis of rank tests).
+
+use crate::{check_finite, StatsError};
+
+/// Assigns 1-based ranks to `xs`, averaging ranks within tied groups
+/// (the "midrank" convention used by Mann–Whitney and Spearman).
+///
+/// Also returns the tie-group sizes, needed for variance corrections.
+pub fn midranks(xs: &[f64]) -> Result<(Vec<f64>, Vec<usize>), StatsError> {
+    check_finite(xs)?;
+    let n = xs.len();
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| xs[a].partial_cmp(&xs[b]).expect("finite"));
+
+    let mut ranks = vec![0.0; n];
+    let mut tie_sizes = Vec::new();
+    let mut i = 0;
+    while i < n {
+        let mut j = i;
+        while j + 1 < n && xs[order[j + 1]] == xs[order[i]] {
+            j += 1;
+        }
+        // Positions i..=j share the average rank.
+        let avg = (i + j) as f64 / 2.0 + 1.0;
+        for &idx in &order[i..=j] {
+            ranks[idx] = avg;
+        }
+        tie_sizes.push(j - i + 1);
+        i = j + 1;
+    }
+    Ok((ranks, tie_sizes))
+}
+
+/// The tie-correction factor Σ(t³ − t) over tie groups.
+pub fn tie_correction(tie_sizes: &[usize]) -> f64 {
+    tie_sizes
+        .iter()
+        .map(|&t| {
+            let t = t as f64;
+            t * t * t - t
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distinct_values_get_integer_ranks() {
+        let (ranks, ties) = midranks(&[30.0, 10.0, 20.0]).unwrap();
+        assert_eq!(ranks, vec![3.0, 1.0, 2.0]);
+        assert_eq!(ties, vec![1, 1, 1]);
+        assert_eq!(tie_correction(&ties), 0.0);
+    }
+
+    #[test]
+    fn tied_values_share_midrank() {
+        // Values: 1, 2, 2, 3 → ranks 1, 2.5, 2.5, 4.
+        let (ranks, ties) = midranks(&[1.0, 2.0, 2.0, 3.0]).unwrap();
+        assert_eq!(ranks, vec![1.0, 2.5, 2.5, 4.0]);
+        assert_eq!(ties, vec![1, 2, 1]);
+        assert_eq!(tie_correction(&ties), 6.0); // 2³−2
+    }
+
+    #[test]
+    fn all_tied() {
+        let (ranks, ties) = midranks(&[7.0; 5]).unwrap();
+        assert!(ranks.iter().all(|&r| r == 3.0));
+        assert_eq!(ties, vec![5]);
+        assert_eq!(tie_correction(&ties), 120.0); // 5³−5
+    }
+
+    #[test]
+    fn rank_sum_invariant() {
+        // Ranks always sum to n(n+1)/2 regardless of ties.
+        let xs = [4.0, 4.0, 1.0, 9.0, 9.0, 9.0, 2.0];
+        let (ranks, _) = midranks(&xs).unwrap();
+        let sum: f64 = ranks.iter().sum();
+        assert!((sum - 28.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_input_ok() {
+        let (ranks, ties) = midranks(&[]).unwrap();
+        assert!(ranks.is_empty());
+        assert!(ties.is_empty());
+    }
+
+    #[test]
+    fn nan_rejected() {
+        assert!(midranks(&[1.0, f64::NAN]).is_err());
+    }
+}

@@ -1,0 +1,91 @@
+//! Property-based invariants of the statistics crate.
+
+use proptest::prelude::*;
+use sagegpu_stats::describe::{describe, quantile};
+use sagegpu_stats::histogram::histogram;
+use sagegpu_stats::likert::{LikertResponse, LikertSummary};
+use sagegpu_stats::special::{beta_inc, f_cdf, normal_cdf, normal_quantile, t_cdf};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Normal CDF is monotone and bounded.
+    #[test]
+    fn normal_cdf_monotone(a in -8.0f64..8.0, b in -8.0f64..8.0) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(normal_cdf(lo) <= normal_cdf(hi) + 1e-12);
+        prop_assert!((0.0..=1.0).contains(&normal_cdf(a)));
+    }
+
+    /// Quantile is the inverse of the CDF to high accuracy.
+    #[test]
+    fn quantile_inverts_cdf(p in 0.0005f64..0.9995) {
+        let z = normal_quantile(p).unwrap();
+        prop_assert!((normal_cdf(z) - p).abs() < 1e-6);
+    }
+
+    /// Incomplete beta is a CDF in x: bounded, monotone, correct endpoints.
+    #[test]
+    fn beta_inc_is_a_cdf(a in 0.2f64..20.0, b in 0.2f64..20.0, x1 in 0.0f64..1.0, x2 in 0.0f64..1.0) {
+        let (lo, hi) = if x1 <= x2 { (x1, x2) } else { (x2, x1) };
+        let v_lo = beta_inc(a, b, lo).unwrap();
+        let v_hi = beta_inc(a, b, hi).unwrap();
+        prop_assert!(v_lo <= v_hi + 1e-9);
+        prop_assert!((0.0..=1.0).contains(&v_lo));
+        prop_assert_eq!(beta_inc(a, b, 0.0).unwrap(), 0.0);
+        prop_assert_eq!(beta_inc(a, b, 1.0).unwrap(), 1.0);
+    }
+
+    /// t and F distributions agree through the t² = F(1, ν) identity.
+    #[test]
+    fn t_squared_is_f(t in 0.01f64..10.0, df in 1.0f64..200.0) {
+        let two_sided = t_cdf(t, df).unwrap() - t_cdf(-t, df).unwrap();
+        let f = f_cdf(t * t, 1.0, df).unwrap();
+        prop_assert!((two_sided - f).abs() < 1e-7, "{} vs {}", two_sided, f);
+    }
+
+    /// Quantiles are monotone in q and bracketed by min/max.
+    #[test]
+    fn quantiles_monotone(mut xs in prop::collection::vec(-1e6f64..1e6, 2..60), q1 in 0.0f64..1.0, q2 in 0.0f64..1.0) {
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let (lo, hi) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
+        let v_lo = quantile(&xs, lo).unwrap();
+        let v_hi = quantile(&xs, hi).unwrap();
+        prop_assert!(v_lo <= v_hi + 1e-9);
+        prop_assert!(v_lo >= xs[0] - 1e-9);
+        prop_assert!(v_hi <= xs[xs.len() - 1] + 1e-9);
+    }
+
+    /// Histograms conserve in-range observations.
+    #[test]
+    fn histogram_conserves_mass(xs in prop::collection::vec(-100.0f64..100.0, 1..200), bins in 1usize..30) {
+        let h = histogram(&xs, bins).unwrap();
+        prop_assert_eq!(h.total(), xs.len());
+        let f: f64 = h.frequencies().iter().sum();
+        prop_assert!((f - 1.0).abs() < 1e-9);
+    }
+
+    /// Likert summaries: percentages sum to 100, mean in [1, 5].
+    #[test]
+    fn likert_invariants(scores in prop::collection::vec(1i32..=5, 1..100)) {
+        let responses: Vec<LikertResponse> = scores.iter().map(|&s| LikertResponse::from_score(s)).collect();
+        let summary = LikertSummary::tabulate(&responses);
+        prop_assert_eq!(summary.total(), scores.len());
+        prop_assert!((summary.percentages().iter().sum::<f64>() - 100.0).abs() < 1e-9);
+        let m = summary.mean_score();
+        prop_assert!((1.0..=5.0).contains(&m));
+        prop_assert!(summary.top_two_box() + summary.bottom_two_box() <= 1.0 + 1e-12);
+    }
+
+    /// Describe is translation-equivariant: describe(x + c) shifts location
+    /// stats by c and leaves spread stats unchanged.
+    #[test]
+    fn describe_translation(xs in prop::collection::vec(-1e3f64..1e3, 3..50), c in -1e3f64..1e3) {
+        let base = describe(&xs).unwrap();
+        let shifted: Vec<f64> = xs.iter().map(|x| x + c).collect();
+        let moved = describe(&shifted).unwrap();
+        prop_assert!((moved.mean - base.mean - c).abs() < 1e-6);
+        prop_assert!((moved.median - base.median - c).abs() < 1e-6);
+        prop_assert!((moved.std_dev - base.std_dev).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,283 @@
+//! The local cluster: worker pool + Dask-style client verbs.
+
+use crate::future::{oneshot, TaskFuture};
+use crate::store::{DataKey, ObjectStore};
+use crate::worker::{worker_loop, Job};
+use crate::TaskError;
+use crossbeam::channel::{unbounded, Sender};
+use gpu_sim::GpuCluster;
+use std::any::Any;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// A pool of worker threads with Dask-like submission semantics.
+///
+/// Dropping the cluster closes the job channels and joins all workers.
+pub struct LocalCluster {
+    senders: Vec<Sender<Job>>,
+    stores: Vec<Arc<ObjectStore>>,
+    handles: Vec<JoinHandle<()>>,
+    next_rr: AtomicUsize,
+    gpus: Option<Arc<GpuCluster>>,
+}
+
+impl LocalCluster {
+    /// `n` CPU-only workers.
+    pub fn new(n: usize) -> Self {
+        Self::build(n, None)
+    }
+
+    /// One worker per GPU in `gpus`, each pinned to its device —
+    /// Algorithm 1 line 4: "assign each worker to a GPU".
+    pub fn with_gpus(gpus: Arc<GpuCluster>) -> Self {
+        Self::build(gpus.len(), Some(gpus))
+    }
+
+    fn build(n: usize, gpus: Option<Arc<GpuCluster>>) -> Self {
+        assert!(n > 0, "cluster needs at least one worker");
+        let mut senders = Vec::with_capacity(n);
+        let mut stores = Vec::with_capacity(n);
+        let mut handles = Vec::with_capacity(n);
+        for id in 0..n {
+            let (tx, rx) = unbounded::<Job>();
+            let store = Arc::new(ObjectStore::new());
+            let gpu = gpus
+                .as_ref()
+                .map(|c| Arc::clone(c.device(id).expect("worker per device")));
+            let store_clone = Arc::clone(&store);
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("taskflow-worker-{id}"))
+                    .spawn(move || worker_loop(id, gpu, store_clone, rx))
+                    .expect("spawn worker"),
+            );
+            senders.push(tx);
+            stores.push(store);
+        }
+        Self {
+            senders,
+            stores,
+            handles,
+            next_rr: AtomicUsize::new(0),
+            gpus,
+        }
+    }
+
+    /// Number of workers.
+    pub fn len(&self) -> usize {
+        self.senders.len()
+    }
+
+    /// Whether the pool is empty (never true for a live cluster).
+    pub fn is_empty(&self) -> bool {
+        self.senders.is_empty()
+    }
+
+    /// The GPU cluster backing this worker pool, if any.
+    pub fn gpus(&self) -> Option<&Arc<GpuCluster>> {
+        self.gpus.as_ref()
+    }
+
+    /// Submits `f` to a round-robin-chosen worker.
+    pub fn submit<T, F>(&self, f: F) -> TaskFuture<T>
+    where
+        T: Send + 'static,
+        F: FnOnce(&crate::worker::WorkerCtx) -> T + Send + 'static,
+    {
+        let w = self.next_rr.fetch_add(1, Ordering::Relaxed) % self.len();
+        self.submit_to(w, f).expect("round-robin index is in range")
+    }
+
+    /// Submits `f` to a specific worker (data affinity).
+    pub fn submit_to<T, F>(&self, worker: usize, f: F) -> Result<TaskFuture<T>, TaskError>
+    where
+        T: Send + 'static,
+        F: FnOnce(&crate::worker::WorkerCtx) -> T + Send + 'static,
+    {
+        let sender = self.senders.get(worker).ok_or(TaskError::UnknownWorker {
+            worker,
+            pool: self.len(),
+        })?;
+        let (fut, promise) = oneshot::<T>();
+        let job: Job = Box::new(move |ctx| {
+            let result = catch_unwind(AssertUnwindSafe(|| f(ctx))).map_err(|payload| {
+                let msg = payload
+                    .downcast_ref::<&str>()
+                    .map(|s| (*s).to_owned())
+                    .or_else(|| payload.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "<non-string panic payload>".to_owned());
+                TaskError::Panicked(msg)
+            });
+            promise.fulfill(result);
+        });
+        sender.send(job).map_err(|_| TaskError::ClusterShutDown)?;
+        Ok(fut)
+    }
+
+    /// Scatters `items` across workers round-robin (item `i` → worker
+    /// `i % n`), returning `(key, worker)` placements.
+    pub fn scatter<T: Any + Send + Sync>(&self, items: Vec<T>) -> Vec<(DataKey, usize)> {
+        items
+            .into_iter()
+            .enumerate()
+            .map(|(i, item)| {
+                let w = i % self.len();
+                let key = DataKey::fresh();
+                self.stores[w].put(key, item);
+                (key, w)
+            })
+            .collect()
+    }
+
+    /// Stores one shared value on *every* worker under a single key
+    /// (Algorithm 1 line 8: "Broadcast θ to all workers").
+    pub fn broadcast<T: Any + Send + Sync>(&self, item: T) -> DataKey {
+        let key = DataKey::fresh();
+        let shared: Arc<dyn Any + Send + Sync> = Arc::new(item);
+        for store in &self.stores {
+            store.put_shared(key, Arc::clone(&shared));
+        }
+        key
+    }
+
+    /// Waits for every future, returning results in submission order.
+    pub fn gather<T>(&self, futures: Vec<TaskFuture<T>>) -> Result<Vec<T>, TaskError> {
+        futures.into_iter().map(|f| f.wait()).collect()
+    }
+
+    /// Direct read of a worker's store (client-side "persist" inspection).
+    pub fn store_of(&self, worker: usize) -> Result<&Arc<ObjectStore>, TaskError> {
+        self.stores.get(worker).ok_or(TaskError::UnknownWorker {
+            worker,
+            pool: self.len(),
+        })
+    }
+}
+
+impl Drop for LocalCluster {
+    fn drop(&mut self) {
+        self.senders.clear(); // closes channels; workers drain and exit
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::cluster::LinkKind;
+    use gpu_sim::DeviceSpec;
+
+    #[test]
+    fn submit_and_gather_preserve_order() {
+        let c = LocalCluster::new(3);
+        let futs: Vec<_> = (0..10).map(|i| c.submit(move |_| i * 2)).collect();
+        assert_eq!(c.gather(futs).unwrap(), (0..10).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn submit_to_targets_specific_worker() {
+        let c = LocalCluster::new(4);
+        for w in 0..4 {
+            let got = c.submit_to(w, move |ctx| ctx.worker_id).unwrap().wait().unwrap();
+            assert_eq!(got, w);
+        }
+        assert!(matches!(
+            c.submit_to(9, |_| ()),
+            Err(TaskError::UnknownWorker { worker: 9, pool: 4 })
+        ));
+    }
+
+    #[test]
+    fn panics_become_errors_and_pool_survives() {
+        let c = LocalCluster::new(2);
+        let bad = c.submit(|_| -> u32 { panic!("kaboom {}", 7) });
+        assert!(matches!(bad.wait(), Err(TaskError::Panicked(msg)) if msg.contains("kaboom")));
+        // The pool still works afterwards.
+        let ok = c.submit(|_| 5u32);
+        assert_eq!(ok.wait().unwrap(), 5);
+    }
+
+    #[test]
+    fn scatter_places_round_robin_and_tasks_read_locally() {
+        let c = LocalCluster::new(2);
+        let placements = c.scatter(vec![10u32, 20, 30, 40]);
+        assert_eq!(placements.len(), 4);
+        assert_eq!(placements[0].1, 0);
+        assert_eq!(placements[1].1, 1);
+        assert_eq!(placements[2].1, 0);
+        // A task with affinity to the data reads it from its local store.
+        let (key, worker) = placements[3];
+        let v = c
+            .submit_to(worker, move |ctx| *ctx.store.get::<u32>(key).unwrap())
+            .unwrap()
+            .wait()
+            .unwrap();
+        assert_eq!(v, 40);
+    }
+
+    #[test]
+    fn broadcast_visible_on_all_workers() {
+        let c = LocalCluster::new(3);
+        let key = c.broadcast(vec![1.0f32, 2.0, 3.0]);
+        for w in 0..3 {
+            let sum = c
+                .submit_to(w, move |ctx| {
+                    ctx.store.get::<Vec<f32>>(key).unwrap().iter().sum::<f32>()
+                })
+                .unwrap()
+                .wait()
+                .unwrap();
+            assert_eq!(sum, 6.0);
+        }
+    }
+
+    #[test]
+    fn gpu_pinned_workers_see_their_device() {
+        let gpus = Arc::new(GpuCluster::homogeneous(3, DeviceSpec::t4(), LinkKind::Pcie));
+        let c = LocalCluster::with_gpus(Arc::clone(&gpus));
+        assert_eq!(c.len(), 3);
+        for w in 0..3 {
+            let ordinal = c
+                .submit_to(w, |ctx| ctx.gpu().ordinal())
+                .unwrap()
+                .wait()
+                .unwrap();
+            assert_eq!(ordinal as usize, w);
+        }
+        assert!(c.gpus().is_some());
+    }
+
+    #[test]
+    fn tasks_on_one_worker_run_sequentially() {
+        // A worker is a single thread: tasks submitted to it cannot overlap.
+        let c = LocalCluster::new(1);
+        let counter = Arc::new(AtomicUsize::new(0));
+        let futs: Vec<_> = (0..100)
+            .map(|_| {
+                let counter = Arc::clone(&counter);
+                c.submit(move |_| {
+                    let v = counter.load(Ordering::SeqCst);
+                    counter.store(v + 1, Ordering::SeqCst); // safe only if serial
+                })
+            })
+            .collect();
+        c.gather(futs).unwrap();
+        assert_eq!(counter.load(Ordering::SeqCst), 100);
+    }
+
+    #[test]
+    fn parallel_speed_is_not_the_contract_but_results_are() {
+        // 8 tasks across 4 workers all complete with correct results.
+        let c = LocalCluster::new(4);
+        let futs: Vec<_> = (0..8)
+            .map(|i| c.submit(move |ctx| (ctx.worker_id, i)))
+            .collect();
+        let got = c.gather(futs).unwrap();
+        let workers_used: std::collections::HashSet<usize> = got.iter().map(|&(w, _)| w).collect();
+        assert!(workers_used.len() > 1, "work spread across workers");
+    }
+}

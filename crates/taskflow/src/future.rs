@@ -1,0 +1,91 @@
+//! Waitable task results.
+
+use crate::TaskError;
+use crossbeam::channel::{bounded, Receiver, Sender};
+
+/// A handle to a task's eventual result.
+///
+/// Backed by a one-shot channel; `wait` blocks until the worker finishes.
+#[derive(Debug)]
+pub struct TaskFuture<T> {
+    rx: Receiver<Result<T, TaskError>>,
+}
+
+/// Producer side handed to the executing worker.
+#[derive(Debug)]
+pub(crate) struct TaskPromise<T> {
+    tx: Sender<Result<T, TaskError>>,
+}
+
+/// Creates a linked (future, promise) pair.
+pub(crate) fn oneshot<T>() -> (TaskFuture<T>, TaskPromise<T>) {
+    let (tx, rx) = bounded(1);
+    (TaskFuture { rx }, TaskPromise { tx })
+}
+
+impl<T> TaskPromise<T> {
+    pub(crate) fn fulfill(self, value: Result<T, TaskError>) {
+        // The receiver may have been dropped; that's fine.
+        let _ = self.tx.send(value);
+    }
+}
+
+impl<T> TaskFuture<T> {
+    /// Blocks until the task completes.
+    pub fn wait(self) -> Result<T, TaskError> {
+        self.rx.recv().unwrap_or(Err(TaskError::ClusterShutDown))
+    }
+
+    /// Non-blocking poll; returns `None` while the task is still running.
+    pub fn try_wait(&self) -> Option<Result<T, TaskError>> {
+        match self.rx.try_recv() {
+            Ok(v) => Some(v),
+            Err(crossbeam::channel::TryRecvError::Empty) => None,
+            Err(crossbeam::channel::TryRecvError::Disconnected) => {
+                Some(Err(TaskError::ClusterShutDown))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fulfilled_future_returns_value() {
+        let (fut, prom) = oneshot::<u32>();
+        prom.fulfill(Ok(42));
+        assert_eq!(fut.wait(), Ok(42));
+    }
+
+    #[test]
+    fn dropped_promise_signals_shutdown() {
+        let (fut, prom) = oneshot::<u32>();
+        drop(prom);
+        assert_eq!(fut.wait(), Err(TaskError::ClusterShutDown));
+    }
+
+    #[test]
+    fn try_wait_polls() {
+        let (fut, prom) = oneshot::<&str>();
+        assert!(fut.try_wait().is_none());
+        prom.fulfill(Ok("done"));
+        assert_eq!(fut.try_wait(), Some(Ok("done")));
+    }
+
+    #[test]
+    fn error_propagates() {
+        let (fut, prom) = oneshot::<u32>();
+        prom.fulfill(Err(TaskError::Panicked("boom".into())));
+        assert!(matches!(fut.wait(), Err(TaskError::Panicked(_))));
+    }
+
+    #[test]
+    fn works_across_threads() {
+        let (fut, prom) = oneshot::<u64>();
+        let h = std::thread::spawn(move || prom.fulfill(Ok(7)));
+        assert_eq!(fut.wait(), Ok(7));
+        h.join().unwrap();
+    }
+}

@@ -1,0 +1,85 @@
+//! # taskflow — a Dask-like distributed task scheduler
+//!
+//! Algorithm 1 of the reproduced paper orchestrates distributed GCN
+//! training with Dask: "Initialize Dask cluster; assign each worker to a
+//! GPU", scatter graph partitions to workers, broadcast model parameters,
+//! run per-worker gradient computations, and aggregate. There is no Dask in
+//! Rust, so this crate implements the subset of its execution model that
+//! the algorithm (and the course's week-6 RAPIDS/Dask labs) relies on:
+//!
+//! - [`cluster::LocalCluster`] — a pool of worker threads, each optionally
+//!   pinned to a simulated GPU ([`gpu_sim::Gpu`]), with Dask's client
+//!   verbs: `submit`, `submit_to`, `scatter`, `broadcast`, `gather`.
+//! - [`future::TaskFuture`] — a waitable handle to a task's result; worker
+//!   panics surface as [`TaskError::Panicked`] instead of poisoning the
+//!   pool.
+//! - [`store`] — per-worker keyed object stores (Dask's distributed
+//!   memory), type-safe via downcasting.
+//! - [`graph::TaskGraph`] — a deterministic dependency-graph executor with
+//!   cycle detection and pluggable scheduling policy (FIFO vs. critical
+//!   path), used by the scheduler-ablation benchmark.
+//!
+//! ```
+//! use taskflow::cluster::LocalCluster;
+//!
+//! let cluster = LocalCluster::new(4);
+//! let futs: Vec<_> = (0..8)
+//!     .map(|i| cluster.submit(move |_ctx| i * i))
+//!     .collect();
+//! let squares: Vec<i32> = cluster.gather(futs).unwrap();
+//! assert_eq!(squares[7], 49);
+//! ```
+
+pub mod cluster;
+pub mod future;
+pub mod graph;
+pub mod store;
+pub mod worker;
+
+/// Convenient glob-import of the crate's primary types.
+pub mod prelude {
+    pub use crate::cluster::LocalCluster;
+    pub use crate::future::TaskFuture;
+    pub use crate::graph::{SchedulePolicy, TaskGraph};
+    pub use crate::store::DataKey;
+    pub use crate::worker::WorkerCtx;
+    pub use crate::TaskError;
+}
+
+/// Errors surfaced by task execution.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TaskError {
+    /// The task panicked on its worker.
+    Panicked(String),
+    /// The cluster shut down before the task produced a result.
+    ClusterShutDown,
+    /// A worker index outside the pool was addressed.
+    UnknownWorker { worker: usize, pool: usize },
+    /// The task graph contains a dependency cycle.
+    CycleDetected { involving: String },
+    /// A task referenced an unknown dependency name.
+    UnknownDependency { task: String, dep: String },
+    /// A duplicate task name was added to a graph.
+    DuplicateTask(String),
+}
+
+impl std::fmt::Display for TaskError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TaskError::Panicked(msg) => write!(f, "task panicked: {msg}"),
+            TaskError::ClusterShutDown => write!(f, "cluster shut down before completion"),
+            TaskError::UnknownWorker { worker, pool } => {
+                write!(f, "worker {worker} does not exist (pool size {pool})")
+            }
+            TaskError::CycleDetected { involving } => {
+                write!(f, "task graph has a cycle involving '{involving}'")
+            }
+            TaskError::UnknownDependency { task, dep } => {
+                write!(f, "task '{task}' depends on unknown task '{dep}'")
+            }
+            TaskError::DuplicateTask(name) => write!(f, "duplicate task name '{name}'"),
+        }
+    }
+}
+
+impl std::error::Error for TaskError {}

@@ -1,0 +1,138 @@
+//! Per-worker distributed object stores.
+//!
+//! Dask keeps scattered data in worker memory and addresses it by key;
+//! tasks run "where the data is". [`ObjectStore`] is that worker-local
+//! memory: a keyed map of type-erased, shareable values with typed
+//! retrieval via downcasting.
+
+use parking_lot::RwLock;
+use std::any::Any;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A key naming a stored object (unique per cluster).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct DataKey(pub u64);
+
+static NEXT_KEY: AtomicU64 = AtomicU64::new(1);
+
+impl DataKey {
+    /// Allocates a fresh, process-unique key.
+    pub fn fresh() -> Self {
+        Self(NEXT_KEY.fetch_add(1, Ordering::Relaxed))
+    }
+}
+
+/// A worker's keyed object memory.
+#[derive(Default)]
+pub struct ObjectStore {
+    items: RwLock<HashMap<DataKey, Arc<dyn Any + Send + Sync>>>,
+}
+
+impl ObjectStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Inserts a value under `key` (replacing any previous value).
+    pub fn put<T: Any + Send + Sync>(&self, key: DataKey, value: T) {
+        self.items.write().insert(key, Arc::new(value));
+    }
+
+    /// Inserts an already-shared value (used by broadcast, which stores the
+    /// same `Arc` on every worker without cloning the payload).
+    pub fn put_shared(&self, key: DataKey, value: Arc<dyn Any + Send + Sync>) {
+        self.items.write().insert(key, value);
+    }
+
+    /// Typed retrieval; `None` if absent or of a different type.
+    pub fn get<T: Any + Send + Sync>(&self, key: DataKey) -> Option<Arc<T>> {
+        let guard = self.items.read();
+        let any = guard.get(&key)?.clone();
+        any.downcast::<T>().ok()
+    }
+
+    /// Whether the key is present.
+    pub fn contains(&self, key: DataKey) -> bool {
+        self.items.read().contains_key(&key)
+    }
+
+    /// Removes a key, returning whether it was present.
+    pub fn remove(&self, key: DataKey) -> bool {
+        self.items.write().remove(&key).is_some()
+    }
+
+    /// Number of stored objects.
+    pub fn len(&self) -> usize {
+        self.items.read().len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.items.read().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_get_roundtrip() {
+        let store = ObjectStore::new();
+        let k = DataKey::fresh();
+        store.put(k, vec![1u32, 2, 3]);
+        let v = store.get::<Vec<u32>>(k).unwrap();
+        assert_eq!(*v, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn wrong_type_returns_none() {
+        let store = ObjectStore::new();
+        let k = DataKey::fresh();
+        store.put(k, 42u32);
+        assert!(store.get::<String>(k).is_none());
+        assert!(store.get::<u32>(k).is_some());
+    }
+
+    #[test]
+    fn missing_key_returns_none() {
+        let store = ObjectStore::new();
+        assert!(store.get::<u32>(DataKey::fresh()).is_none());
+    }
+
+    #[test]
+    fn keys_are_unique() {
+        let a = DataKey::fresh();
+        let b = DataKey::fresh();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn shared_puts_alias_one_allocation() {
+        let store_a = ObjectStore::new();
+        let store_b = ObjectStore::new();
+        let k = DataKey::fresh();
+        let payload: Arc<dyn std::any::Any + Send + Sync> = Arc::new(vec![0u8; 1024]);
+        store_a.put_shared(k, Arc::clone(&payload));
+        store_b.put_shared(k, payload);
+        let a = store_a.get::<Vec<u8>>(k).unwrap();
+        let b = store_b.get::<Vec<u8>>(k).unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "broadcast must not duplicate payloads");
+    }
+
+    #[test]
+    fn remove_and_len() {
+        let store = ObjectStore::new();
+        let k = DataKey::fresh();
+        assert!(store.is_empty());
+        store.put(k, 1u8);
+        assert_eq!(store.len(), 1);
+        assert!(store.contains(k));
+        assert!(store.remove(k));
+        assert!(!store.remove(k));
+        assert!(store.is_empty());
+    }
+}

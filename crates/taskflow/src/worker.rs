@@ -1,0 +1,84 @@
+//! Worker threads and the context tasks execute in.
+
+use crate::store::ObjectStore;
+use crossbeam::channel::Receiver;
+use gpu_sim::Gpu;
+use std::sync::Arc;
+
+/// The environment a task sees while running on a worker.
+pub struct WorkerCtx {
+    /// This worker's index in the cluster.
+    pub worker_id: usize,
+    /// The GPU pinned to this worker, if the cluster was built over one
+    /// ("assign each worker to a GPU", Algorithm 1 line 4).
+    pub gpu: Option<Arc<Gpu>>,
+    /// This worker's slice of distributed memory.
+    pub store: Arc<ObjectStore>,
+}
+
+impl WorkerCtx {
+    /// The pinned GPU, panicking with a clear message when the cluster was
+    /// built without GPUs (a programming error in the caller).
+    pub fn gpu(&self) -> &Arc<Gpu> {
+        self.gpu
+            .as_ref()
+            .expect("worker has no pinned GPU; build the cluster with LocalCluster::with_gpus")
+    }
+}
+
+/// A boxed unit of work.
+pub(crate) type Job = Box<dyn FnOnce(&WorkerCtx) + Send>;
+
+/// The worker thread body: drain jobs until the channel closes.
+pub(crate) fn worker_loop(
+    worker_id: usize,
+    gpu: Option<Arc<Gpu>>,
+    store: Arc<ObjectStore>,
+    jobs: Receiver<Job>,
+) {
+    let ctx = WorkerCtx {
+        worker_id,
+        gpu,
+        store,
+    };
+    while let Ok(job) = jobs.recv() {
+        job(&ctx);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crossbeam::channel::unbounded;
+
+    #[test]
+    fn worker_processes_jobs_in_order() {
+        let (tx, rx) = unbounded::<Job>();
+        let store = Arc::new(ObjectStore::new());
+        let results = Arc::new(parking_lot::Mutex::new(Vec::new()));
+        for i in 0..5 {
+            let results = Arc::clone(&results);
+            tx.send(Box::new(move |ctx: &WorkerCtx| {
+                results.lock().push((ctx.worker_id, i));
+            }))
+            .unwrap();
+        }
+        drop(tx);
+        worker_loop(3, None, store, rx);
+        let r = results.lock();
+        assert_eq!(r.len(), 5);
+        assert!(r.iter().all(|&(w, _)| w == 3));
+        assert_eq!(r.iter().map(|&(_, i)| i).collect::<Vec<_>>(), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "no pinned GPU")]
+    fn gpu_accessor_panics_without_gpu() {
+        let ctx = WorkerCtx {
+            worker_id: 0,
+            gpu: None,
+            store: Arc::new(ObjectStore::new()),
+        };
+        let _ = ctx.gpu();
+    }
+}

@@ -1,0 +1,518 @@
+//! Row-major dense f32 matrices/vectors.
+
+use crate::TensorError;
+use rand::Rng;
+use rayon::prelude::*;
+
+/// A dense, row-major f32 tensor of rank ≤ 2.
+///
+/// Vectors are represented as `1 × n` or `n × 1` matrices; the curriculum's
+/// workloads never need higher rank.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tensor {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl Tensor {
+    /// An `rows × cols` tensor of zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// An `rows × cols` tensor of ones.
+    pub fn ones(rows: usize, cols: usize) -> Self {
+        Self::full(rows, cols, 1.0)
+    }
+
+    /// An `rows × cols` tensor filled with `value`.
+    pub fn full(rows: usize, cols: usize, value: f32) -> Self {
+        Self {
+            rows,
+            cols,
+            data: vec![value; rows * cols],
+        }
+    }
+
+    /// The `n × n` identity.
+    pub fn eye(n: usize) -> Self {
+        let mut t = Self::zeros(n, n);
+        for i in 0..n {
+            t.data[i * n + i] = 1.0;
+        }
+        t
+    }
+
+    /// Builds from a flat row-major vector.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Result<Self, TensorError> {
+        if data.len() != rows * cols {
+            return Err(TensorError::ShapeMismatch {
+                expected: format!("{rows}x{cols} = {} elements", rows * cols),
+                got: format!("{} elements", data.len()),
+            });
+        }
+        Ok(Self { rows, cols, data })
+    }
+
+    /// Builds from row slices (all rows must share a length).
+    pub fn from_rows(rows: &[&[f32]]) -> Self {
+        let r = rows.len();
+        let c = rows.first().map(|x| x.len()).unwrap_or(0);
+        assert!(rows.iter().all(|x| x.len() == c), "ragged rows");
+        let mut data = Vec::with_capacity(r * c);
+        for row in rows {
+            data.extend_from_slice(row);
+        }
+        Self { rows: r, cols: c, data }
+    }
+
+    /// Standard-normal random tensor (Box–Muller over the given RNG).
+    pub fn randn(rows: usize, cols: usize, rng: &mut impl Rng) -> Self {
+        let data = (0..rows * cols)
+            .map(|_| {
+                let u1: f64 = rng.gen_range(1e-12..1.0);
+                let u2: f64 = rng.gen();
+                ((-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()) as f32
+            })
+            .collect();
+        Self { rows, cols, data }
+    }
+
+    /// Glorot/Xavier-uniform initialization for a layer `in_dim × out_dim`.
+    pub fn xavier(in_dim: usize, out_dim: usize, rng: &mut impl Rng) -> Self {
+        let limit = (6.0 / (in_dim + out_dim) as f64).sqrt() as f32;
+        let data = (0..in_dim * out_dim)
+            .map(|_| rng.gen_range(-limit..limit))
+            .collect();
+        Self {
+            rows: in_dim,
+            cols: out_dim,
+            data,
+        }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)`.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Total elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the tensor has zero elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Flat row-major view.
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable flat view.
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Element accessor.
+    pub fn get(&self, r: usize, c: usize) -> f32 {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c]
+    }
+
+    /// Element setter.
+    pub fn set(&mut self, r: usize, c: usize, v: f32) {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Borrow one row.
+    pub fn row(&self, r: usize) -> &[f32] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// A new tensor keeping only the given rows (gather).
+    pub fn select_rows(&self, indices: &[usize]) -> Result<Self, TensorError> {
+        let mut data = Vec::with_capacity(indices.len() * self.cols);
+        for &i in indices {
+            if i >= self.rows {
+                return Err(TensorError::OutOfBounds {
+                    index: i,
+                    len: self.rows,
+                });
+            }
+            data.extend_from_slice(self.row(i));
+        }
+        Ok(Self {
+            rows: indices.len(),
+            cols: self.cols,
+            data,
+        })
+    }
+
+    fn zip_check(&self, other: &Self) -> Result<(), TensorError> {
+        if self.shape() != other.shape() {
+            return Err(TensorError::ShapeMismatch {
+                expected: format!("{}x{}", self.rows, self.cols),
+                got: format!("{}x{}", other.rows, other.cols),
+            });
+        }
+        Ok(())
+    }
+
+    /// Elementwise sum.
+    pub fn add(&self, other: &Self) -> Result<Self, TensorError> {
+        self.zip_check(other)?;
+        let data = self
+            .data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| a + b)
+            .collect();
+        Ok(Self {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        })
+    }
+
+    /// Elementwise difference.
+    pub fn sub(&self, other: &Self) -> Result<Self, TensorError> {
+        self.zip_check(other)?;
+        let data = self
+            .data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| a - b)
+            .collect();
+        Ok(Self {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        })
+    }
+
+    /// Elementwise (Hadamard) product.
+    pub fn hadamard(&self, other: &Self) -> Result<Self, TensorError> {
+        self.zip_check(other)?;
+        let data = self
+            .data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| a * b)
+            .collect();
+        Ok(Self {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        })
+    }
+
+    /// Scalar multiple.
+    pub fn scale(&self, k: f32) -> Self {
+        Self {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|a| a * k).collect(),
+        }
+    }
+
+    /// Adds a `1 × cols` bias row to every row.
+    pub fn add_row_broadcast(&self, bias: &Self) -> Result<Self, TensorError> {
+        if bias.rows != 1 || bias.cols != self.cols {
+            return Err(TensorError::ShapeMismatch {
+                expected: format!("1x{}", self.cols),
+                got: format!("{}x{}", bias.rows, bias.cols),
+            });
+        }
+        let mut out = self.clone();
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out.data[r * self.cols + c] += bias.data[c];
+            }
+        }
+        Ok(out)
+    }
+
+    /// Applies `f` elementwise.
+    pub fn map(&self, f: impl Fn(f32) -> f32 + Sync) -> Self {
+        Self {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|&x| f(x)).collect(),
+        }
+    }
+
+    /// ReLU.
+    pub fn relu(&self) -> Self {
+        self.map(|x| x.max(0.0))
+    }
+
+    /// Transpose.
+    pub fn transpose(&self) -> Self {
+        let mut out = Self::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out.data[c * self.rows + r] = self.data[r * self.cols + c];
+            }
+        }
+        out
+    }
+
+    /// Dense matmul `self (m×k) · other (k×n)`, parallelized over rows.
+    pub fn matmul(&self, other: &Self) -> Result<Self, TensorError> {
+        if self.cols != other.rows {
+            return Err(TensorError::ShapeMismatch {
+                expected: format!("inner dims to agree ({}x{} · {}x{})", self.rows, self.cols, other.rows, other.cols),
+                got: format!("{} vs {}", self.cols, other.rows),
+            });
+        }
+        let (m, k, n) = (self.rows, self.cols, other.cols);
+        let mut out = vec![0.0f32; m * n];
+        out.par_chunks_mut(n).enumerate().for_each(|(i, out_row)| {
+            let a_row = &self.data[i * k..(i + 1) * k];
+            for (kk, &a) in a_row.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let b_row = &other.data[kk * n..(kk + 1) * n];
+                for (o, &b) in out_row.iter_mut().zip(b_row) {
+                    *o += a * b;
+                }
+            }
+        });
+        Ok(Self {
+            rows: m,
+            cols: n,
+            data: out,
+        })
+    }
+
+    /// Row-wise softmax.
+    pub fn softmax_rows(&self) -> Self {
+        let mut out = self.clone();
+        out.data.par_chunks_mut(self.cols).for_each(|row| {
+            let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+            let mut sum = 0.0;
+            for v in row.iter_mut() {
+                *v = (*v - max).exp();
+                sum += *v;
+            }
+            for v in row.iter_mut() {
+                *v /= sum;
+            }
+        });
+        out
+    }
+
+    /// Row-wise log-softmax (numerically stable).
+    pub fn log_softmax_rows(&self) -> Self {
+        let mut out = self.clone();
+        out.data.par_chunks_mut(self.cols).for_each(|row| {
+            let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+            let log_sum = row.iter().map(|v| (v - max).exp()).sum::<f32>().ln() + max;
+            for v in row.iter_mut() {
+                *v -= log_sum;
+            }
+        });
+        out
+    }
+
+    /// Index of the max element in each row.
+    pub fn argmax_rows(&self) -> Vec<usize> {
+        self.data
+            .chunks(self.cols)
+            .map(|row| {
+                row.iter()
+                    .enumerate()
+                    .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+                    .map(|(i, _)| i)
+                    .unwrap_or(0)
+            })
+            .collect()
+    }
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f32 {
+        self.data.iter().sum()
+    }
+
+    /// Mean of all elements (0 for empty tensors).
+    pub fn mean(&self) -> f32 {
+        if self.data.is_empty() {
+            0.0
+        } else {
+            self.sum() / self.data.len() as f32
+        }
+    }
+
+    /// Frobenius norm.
+    pub fn norm(&self) -> f32 {
+        self.data.iter().map(|x| x * x).sum::<f32>().sqrt()
+    }
+
+    /// Memory footprint in bytes.
+    pub fn size_bytes(&self) -> u64 {
+        (self.data.len() * std::mem::size_of::<f32>()) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn constructors_and_shape() {
+        let z = Tensor::zeros(2, 3);
+        assert_eq!(z.shape(), (2, 3));
+        assert_eq!(z.len(), 6);
+        assert!(Tensor::zeros(0, 0).is_empty());
+        let e = Tensor::eye(3);
+        assert_eq!(e.get(1, 1), 1.0);
+        assert_eq!(e.get(0, 1), 0.0);
+        assert_eq!(e.sum(), 3.0);
+        assert!(Tensor::from_vec(2, 2, vec![1.0; 3]).is_err());
+    }
+
+    #[test]
+    fn matmul_identity_and_known_product() {
+        let a = Tensor::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        assert_eq!(a.matmul(&Tensor::eye(2)).unwrap(), a);
+        let b = Tensor::from_rows(&[&[5.0, 6.0], &[7.0, 8.0]]);
+        let c = a.matmul(&b).unwrap();
+        assert_eq!(c, Tensor::from_rows(&[&[19.0, 22.0], &[43.0, 50.0]]));
+    }
+
+    #[test]
+    fn matmul_rectangular_shapes() {
+        let a = Tensor::ones(3, 4);
+        let b = Tensor::ones(4, 5);
+        let c = a.matmul(&b).unwrap();
+        assert_eq!(c.shape(), (3, 5));
+        assert!(c.data().iter().all(|&x| x == 4.0));
+        assert!(a.matmul(&Tensor::ones(3, 4)).is_err());
+    }
+
+    #[test]
+    fn matmul_matches_naive_on_random_input() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let a = Tensor::randn(7, 5, &mut rng);
+        let b = Tensor::randn(5, 9, &mut rng);
+        let c = a.matmul(&b).unwrap();
+        for i in 0..7 {
+            for j in 0..9 {
+                let mut acc = 0.0;
+                for k in 0..5 {
+                    acc += a.get(i, k) * b.get(k, j);
+                }
+                assert!((c.get(i, j) - acc).abs() < 1e-4);
+            }
+        }
+    }
+
+    #[test]
+    fn elementwise_ops() {
+        let a = Tensor::from_rows(&[&[1.0, -2.0], &[3.0, -4.0]]);
+        let b = Tensor::ones(2, 2);
+        assert_eq!(a.add(&b).unwrap().get(0, 1), -1.0);
+        assert_eq!(a.sub(&b).unwrap().get(0, 0), 0.0);
+        assert_eq!(a.hadamard(&a).unwrap().get(1, 1), 16.0);
+        assert_eq!(a.scale(2.0).get(1, 0), 6.0);
+        assert_eq!(a.relu().get(0, 1), 0.0);
+        assert_eq!(a.relu().get(1, 0), 3.0);
+        assert!(a.add(&Tensor::ones(1, 2)).is_err());
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let a = Tensor::randn(4, 6, &mut rng);
+        assert_eq!(a.transpose().transpose(), a);
+        assert_eq!(a.transpose().get(5, 3), a.get(3, 5));
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one_and_preserve_argmax() {
+        let a = Tensor::from_rows(&[&[1.0, 2.0, 3.0], &[10.0, -10.0, 0.0]]);
+        let s = a.softmax_rows();
+        for r in 0..2 {
+            let sum: f32 = s.row(r).iter().sum();
+            assert!((sum - 1.0).abs() < 1e-5);
+        }
+        assert_eq!(s.argmax_rows(), vec![2, 0]);
+        // Row 0 ordering preserved.
+        assert!(s.get(0, 2) > s.get(0, 1));
+    }
+
+    #[test]
+    fn log_softmax_is_log_of_softmax() {
+        let a = Tensor::from_rows(&[&[0.5, 1.5, -0.3]]);
+        let ls = a.log_softmax_rows();
+        let s = a.softmax_rows();
+        for c in 0..3 {
+            assert!((ls.get(0, c) - s.get(0, c).ln()).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn softmax_handles_large_values_without_overflow() {
+        let a = Tensor::from_rows(&[&[1000.0, 1001.0, 999.0]]);
+        let s = a.softmax_rows();
+        assert!(s.data().iter().all(|x| x.is_finite()));
+        assert!((s.row(0).iter().sum::<f32>() - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn row_select_and_broadcast() {
+        let a = Tensor::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]);
+        let sel = a.select_rows(&[2, 0]).unwrap();
+        assert_eq!(sel, Tensor::from_rows(&[&[5.0, 6.0], &[1.0, 2.0]]));
+        assert!(a.select_rows(&[3]).is_err());
+        let bias = Tensor::from_rows(&[&[10.0, 20.0]]);
+        let ab = a.add_row_broadcast(&bias).unwrap();
+        assert_eq!(ab.get(2, 1), 26.0);
+        assert!(a.add_row_broadcast(&Tensor::ones(2, 2)).is_err());
+    }
+
+    #[test]
+    fn reductions() {
+        let a = Tensor::from_rows(&[&[3.0, 4.0]]);
+        assert_eq!(a.sum(), 7.0);
+        assert_eq!(a.mean(), 3.5);
+        assert_eq!(a.norm(), 5.0);
+        assert_eq!(Tensor::zeros(0, 0).mean(), 0.0);
+        assert_eq!(a.size_bytes(), 8);
+    }
+
+    #[test]
+    fn randn_and_xavier_have_sane_statistics() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let r = Tensor::randn(100, 100, &mut rng);
+        let mean = r.mean();
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        let var: f32 = r.data().iter().map(|x| (x - mean) * (x - mean)).sum::<f32>() / 10_000.0;
+        assert!((var - 1.0).abs() < 0.1, "var {var}");
+        let x = Tensor::xavier(64, 32, &mut rng);
+        let limit = (6.0f32 / 96.0).sqrt();
+        assert!(x.data().iter().all(|v| v.abs() <= limit));
+    }
+}

@@ -1,0 +1,259 @@
+//! Compressed sparse row matrices and SpMM.
+//!
+//! GCN layers compute `Â · X · W` where `Â` is the normalized adjacency —
+//! a sparse matrix. Neighbor aggregation (`Â · X`) is the data-dependent
+//! gather the course's multi-GPU labs profile, so it gets a first-class
+//! CSR implementation here.
+
+use crate::dense::Tensor;
+use crate::TensorError;
+use rayon::prelude::*;
+
+/// A CSR (compressed sparse row) f32 matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsrMatrix {
+    rows: usize,
+    cols: usize,
+    /// Row pointers, length `rows + 1`.
+    indptr: Vec<usize>,
+    /// Column indices, length `nnz`.
+    indices: Vec<usize>,
+    /// Values, length `nnz`.
+    values: Vec<f32>,
+}
+
+impl CsrMatrix {
+    /// Builds a CSR matrix from raw parts, validating the invariants.
+    pub fn new(
+        rows: usize,
+        cols: usize,
+        indptr: Vec<usize>,
+        indices: Vec<usize>,
+        values: Vec<f32>,
+    ) -> Result<Self, TensorError> {
+        if indptr.len() != rows + 1
+            || indices.len() != values.len()
+            || indptr.first() != Some(&0)
+            || *indptr.last().unwrap_or(&0) != indices.len()
+            || indptr.windows(2).any(|w| w[0] > w[1])
+        {
+            return Err(TensorError::ShapeMismatch {
+                expected: "consistent CSR arrays".to_owned(),
+                got: format!(
+                    "indptr len {} (rows {rows}), nnz {} vs values {}",
+                    indptr.len(),
+                    indices.len(),
+                    values.len()
+                ),
+            });
+        }
+        if indices.iter().any(|&c| c >= cols) {
+            return Err(TensorError::OutOfBounds {
+                index: *indices.iter().find(|&&c| c >= cols).expect("exists"),
+                len: cols,
+            });
+        }
+        Ok(Self {
+            rows,
+            cols,
+            indptr,
+            indices,
+            values,
+        })
+    }
+
+    /// Builds from COO triplets (row, col, value); duplicates are summed.
+    pub fn from_triplets(
+        rows: usize,
+        cols: usize,
+        triplets: &[(usize, usize, f32)],
+    ) -> Result<Self, TensorError> {
+        for &(r, c, _) in triplets {
+            if r >= rows {
+                return Err(TensorError::OutOfBounds { index: r, len: rows });
+            }
+            if c >= cols {
+                return Err(TensorError::OutOfBounds { index: c, len: cols });
+            }
+        }
+        let mut sorted: Vec<(usize, usize, f32)> = triplets.to_vec();
+        sorted.sort_by_key(|&(r, c, _)| (r, c));
+        // Merge duplicate (row, col) entries by summation.
+        let mut merged: Vec<(usize, usize, f32)> = Vec::with_capacity(sorted.len());
+        for (r, c, v) in sorted {
+            match merged.last_mut() {
+                Some((lr, lc, lv)) if *lr == r && *lc == c => *lv += v,
+                _ => merged.push((r, c, v)),
+            }
+        }
+        let mut indptr = vec![0usize; rows + 1];
+        let mut indices = Vec::with_capacity(merged.len());
+        let mut values = Vec::with_capacity(merged.len());
+        let mut current_row = 0usize;
+        for (r, c, v) in merged {
+            while current_row < r {
+                current_row += 1;
+                indptr[current_row] = indices.len();
+            }
+            indices.push(c);
+            values.push(v);
+        }
+        while current_row < rows {
+            current_row += 1;
+            indptr[current_row] = indices.len();
+        }
+        Self::new(rows, cols, indptr, indices, values)
+    }
+
+    /// Matrix dimensions.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Number of stored non-zeros.
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Iterates the (col, value) entries of a row.
+    pub fn row_entries(&self, r: usize) -> impl Iterator<Item = (usize, f32)> + '_ {
+        let lo = self.indptr[r];
+        let hi = self.indptr[r + 1];
+        self.indices[lo..hi]
+            .iter()
+            .zip(&self.values[lo..hi])
+            .map(|(&c, &v)| (c, v))
+    }
+
+    /// Sparse-dense product `self (m×k) · dense (k×n)`, rayon over rows.
+    pub fn spmm(&self, dense: &Tensor) -> Result<Tensor, TensorError> {
+        if self.cols != dense.rows() {
+            return Err(TensorError::ShapeMismatch {
+                expected: format!("{} rows in dense operand", self.cols),
+                got: format!("{}", dense.rows()),
+            });
+        }
+        let n = dense.cols();
+        let mut out = vec![0.0f32; self.rows * n];
+        out.par_chunks_mut(n).enumerate().for_each(|(r, out_row)| {
+            for (c, v) in self.row_entries(r) {
+                let d_row = dense.row(c);
+                for (o, &d) in out_row.iter_mut().zip(d_row) {
+                    *o += v * d;
+                }
+            }
+        });
+        Tensor::from_vec(self.rows, n, out)
+    }
+
+    /// Sparse-vector product.
+    pub fn spmv(&self, x: &[f32]) -> Result<Vec<f32>, TensorError> {
+        if self.cols != x.len() {
+            return Err(TensorError::ShapeMismatch {
+                expected: format!("vector of length {}", self.cols),
+                got: format!("{}", x.len()),
+            });
+        }
+        Ok((0..self.rows)
+            .into_par_iter()
+            .map(|r| self.row_entries(r).map(|(c, v)| v * x[c]).sum())
+            .collect())
+    }
+
+    /// Densifies (for tests and small matrices only).
+    pub fn to_dense(&self) -> Tensor {
+        let mut out = Tensor::zeros(self.rows, self.cols);
+        for r in 0..self.rows {
+            for (c, v) in self.row_entries(r) {
+                out.set(r, c, out.get(r, c) + v);
+            }
+        }
+        out
+    }
+
+    /// Transposed copy (CSR of the transpose).
+    pub fn transpose(&self) -> Self {
+        let mut triplets = Vec::with_capacity(self.nnz());
+        for r in 0..self.rows {
+            for (c, v) in self.row_entries(r) {
+                triplets.push((c, r, v));
+            }
+        }
+        Self::from_triplets(self.cols, self.rows, &triplets).expect("valid by construction")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CsrMatrix {
+        // [[1, 0, 2],
+        //  [0, 0, 0],
+        //  [3, 4, 0]]
+        CsrMatrix::from_triplets(3, 3, &[(0, 0, 1.0), (0, 2, 2.0), (2, 0, 3.0), (2, 1, 4.0)]).unwrap()
+    }
+
+    #[test]
+    fn from_triplets_builds_valid_csr() {
+        let m = sample();
+        assert_eq!(m.shape(), (3, 3));
+        assert_eq!(m.nnz(), 4);
+        let dense = m.to_dense();
+        assert_eq!(dense.get(0, 2), 2.0);
+        assert_eq!(dense.get(1, 1), 0.0);
+        assert_eq!(dense.get(2, 1), 4.0);
+    }
+
+    #[test]
+    fn duplicate_triplets_are_summed() {
+        let m = CsrMatrix::from_triplets(2, 2, &[(0, 0, 1.0), (0, 0, 2.5)]).unwrap();
+        assert_eq!(m.to_dense().get(0, 0), 3.5);
+        assert_eq!(m.nnz(), 1);
+    }
+
+    #[test]
+    fn spmm_matches_dense_product() {
+        let m = sample();
+        let x = Tensor::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]);
+        let got = m.spmm(&x).unwrap();
+        let want = m.to_dense().matmul(&x).unwrap();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn spmv_matches_dense() {
+        let m = sample();
+        let y = m.spmv(&[1.0, 1.0, 1.0]).unwrap();
+        assert_eq!(y, vec![3.0, 0.0, 7.0]);
+        assert!(m.spmv(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn empty_rows_are_fine() {
+        let m = CsrMatrix::from_triplets(4, 4, &[(3, 3, 9.0)]).unwrap();
+        assert_eq!(m.row_entries(0).count(), 0);
+        assert_eq!(m.row_entries(3).count(), 1);
+        assert_eq!(m.to_dense().get(3, 3), 9.0);
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let m = sample();
+        let t = m.transpose();
+        assert_eq!(t.shape(), (3, 3));
+        assert_eq!(t.to_dense(), m.to_dense().transpose());
+        assert_eq!(t.transpose().to_dense(), m.to_dense());
+    }
+
+    #[test]
+    fn invalid_inputs_rejected() {
+        assert!(CsrMatrix::from_triplets(2, 2, &[(2, 0, 1.0)]).is_err());
+        assert!(CsrMatrix::from_triplets(2, 2, &[(0, 5, 1.0)]).is_err());
+        assert!(CsrMatrix::new(2, 2, vec![0, 1], vec![0], vec![1.0]).is_err()); // bad indptr len
+        assert!(CsrMatrix::new(1, 2, vec![0, 2], vec![0], vec![1.0]).is_err()); // nnz mismatch
+        assert!(CsrMatrix::new(1, 2, vec![0, 1], vec![7], vec![1.0]).is_err()); // col oob
+        let m = sample();
+        assert!(m.spmm(&Tensor::ones(2, 2)).is_err());
+    }
+}

@@ -1,0 +1,63 @@
+//! §III-A in action: the cloud classroom.
+//!
+//! Creates the course's infrastructure — per-student IAM roles with budget
+//! caps, a shared VPC, bootstrap scripts, the idle reaper — runs one lab
+//! for a small class, and prints everyone's bill. Also demonstrates the
+//! failure modes the paper discusses: subnet misconfiguration (Fig. 4b)
+//! and the forgotten-GPU scenario the reaper exists for.
+//!
+//! ```text
+//! cargo run --example cloud_classroom
+//! ```
+
+use sagemaker_gpu_workflows::sagegpu::cloud::bootstrap::BootstrapPlan;
+use sagemaker_gpu_workflows::sagegpu::cloud::provider::{CloudProvider, Region};
+use sagemaker_gpu_workflows::sagegpu::cloud::reaper::IdleReaper;
+
+fn main() {
+    let cloud = CloudProvider::new(Region::UsEast1);
+    println!("region: {}", cloud.region().as_str());
+
+    // Enroll a small class: dedicated roles, $100 caps (§III-A).
+    let students: Vec<String> = (1..=4)
+        .map(|i| cloud.create_student_role(&format!("student-{i:02}"), 100.0).expect("fresh role"))
+        .collect();
+    println!("enrolled {} students with $100 budget caps", students.len());
+
+    // Everyone runs the single-GPU lab bootstrap.
+    let mut outcomes = Vec::new();
+    for s in &students {
+        let out = BootstrapPlan::single_gpu_lab("lab-3").execute(&cloud, s).expect("bootstrap works");
+        println!("{s}: launched {} instance(s) + notebook", out.instances.len());
+        outcomes.push(out);
+    }
+
+    // The classic mistake: a subnet outside the VPC block.
+    let broken = BootstrapPlan::single_gpu_lab("lab-3").with_wrong_subnet();
+    let err = broken.execute(&cloud, &students[0]).unwrap_err().0;
+    println!("\nmisconfigured bootstrap fails as it should: {err}");
+
+    // Two hours of lab work; students 1-3 terminate properly, student 4
+    // forgets (the scenario the reaper was deployed for).
+    cloud.clock().advance_hours(2);
+    for (s, out) in students.iter().zip(&outcomes).take(3) {
+        BootstrapPlan::teardown(&cloud, s, out);
+    }
+    println!("\nstudent-04 walked away without terminating…");
+    let reaper = IdleReaper::default();
+    let reaped = reaper.run_schedule(&cloud, 3, 1800); // 3 half-hourly sweeps
+    println!("idle reaper terminated {reaped} forgotten instance(s)");
+
+    // The bill.
+    println!("\nbills:");
+    for s in &students {
+        println!(
+            "  {s}: ${:6.2}  ({:.1} GPU-hours, ${:.2} budget left)",
+            cloud.billing().cost_for(s),
+            cloud.billing().gpu_hours_for(s),
+            cloud.billing().remaining_budget(s)
+        );
+    }
+    println!("  class total: ${:.2}", cloud.billing().total_cost());
+    println!("\ncost by activity: {:?}", cloud.billing().cost_by_activity());
+}

@@ -1,0 +1,78 @@
+//! Weeks 9 & 11: reinforcement learning on GPUs.
+//!
+//! Runs Lab 10's tabular Q-learning agent, Lab 8's DQN on a simulated T4,
+//! and Assignment 3's multi-GPU data-parallel agent, printing learning
+//! curves and where the GPU time went.
+//!
+//! ```text
+//! cargo run --release --example dqn_agent
+//! ```
+
+use sagemaker_gpu_workflows::sagegpu::gpu::{DeviceSpec, Gpu};
+use sagemaker_gpu_workflows::sagegpu::profiler::opstats::OpStatsTable;
+use sagemaker_gpu_workflows::sagegpu::rl::dqn::{DqnAgent, DqnConfig};
+use sagemaker_gpu_workflows::sagegpu::rl::env::{Environment, GridWorld};
+use sagemaker_gpu_workflows::sagegpu::rl::parallel::train_parallel_dqn;
+use sagemaker_gpu_workflows::sagegpu::rl::tabular::QLearner;
+
+fn mean(xs: &[f64]) -> f64 {
+    xs.iter().sum::<f64>() / xs.len().max(1) as f64
+}
+
+fn main() {
+    use rand::SeedableRng;
+    let mut rng = rand::rngs::SmallRng::seed_from_u64(7);
+
+    // Lab 10: the "simple reinforcement agent" (tabular Q-learning).
+    let mut env = GridWorld::lab4x4();
+    let mut q = QLearner::new(env.num_states(), env.num_actions());
+    let returns = q.train(&mut env, 400, &mut rng);
+    let (ret, steps) = q.evaluate(&mut env, &mut rng);
+    println!("Lab 10 — tabular Q-learning on the 4x4 gridworld (2 pits):");
+    println!(
+        "  returns: first-50 mean {:.2} -> last-50 mean {:.2}",
+        mean(&returns[..50]),
+        mean(&returns[returns.len() - 50..])
+    );
+    println!("  greedy policy: return {ret:.2} in {steps} steps (optimal path = {})", env.optimal_steps());
+
+    // Lab 8: DQN on a simulated T4.
+    let gpu = Gpu::new(0, DeviceSpec::t4());
+    let mut env = GridWorld::lab4x4();
+    let mut agent = DqnAgent::new(
+        env.num_states(),
+        env.num_actions(),
+        DqnConfig {
+            epsilon_decay_episodes: 80,
+            ..Default::default()
+        },
+        7,
+    );
+    let returns = agent.train(&mut env, 120, &gpu, &mut rng);
+    let (ret, steps) = agent.evaluate(&mut env, &mut rng);
+    println!("\nLab 8 — DQN (MLP Q-network, replay, target net):");
+    println!(
+        "  returns: first-20 mean {:.2} -> last-20 mean {:.2}; greedy {ret:.2} in {steps} steps",
+        mean(&returns[..20]),
+        mean(&returns[returns.len() - 20..])
+    );
+    println!(
+        "  simulated GPU: {} kernels, {:.2} ms",
+        gpu.kernels_launched(),
+        gpu.now_ns() as f64 / 1e6
+    );
+    println!("{}", OpStatsTable::from_events(&gpu.recorder().snapshot()).render());
+
+    // Assignment 3: the multi-GPU agent.
+    let r = train_parallel_dqn(3, 12, 6, DqnConfig::default(), 11);
+    println!("Assignment 3 — data-parallel DQN on 3 GPUs over the VPC:");
+    println!(
+        "  round returns: {:.2} -> {:.2}; final greedy return {:.2} in {} steps",
+        r.round_returns[0],
+        r.round_returns[r.round_returns.len() - 1],
+        r.final_return,
+        r.final_steps
+    );
+    println!("  kernels per device: {:?}", r.kernels_per_device);
+    println!("  simulated makespan {:.2} ms", r.sim_time_ns as f64 / 1e6);
+}

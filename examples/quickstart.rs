@@ -1,0 +1,59 @@
+//! Quickstart: the course's "week 2" experience in sixty lines.
+//!
+//! Provisions a student lab environment, runs vector and matrix kernels on
+//! the simulated GPU, and reads back the profiler's view — the full
+//! provision → compute → profile → bill loop.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use sagemaker_gpu_workflows::sagegpu::labs::matmul_lab;
+use sagemaker_gpu_workflows::sagegpu::prelude::*;
+use sagemaker_gpu_workflows::sagegpu::workflow::LabEnvironment;
+
+fn main() {
+    // 1. Provision: IAM role, VPC, subnet, notebook, one GPU instance.
+    let mut env = LabEnvironment::provision("student-01", 1).expect("provisioning succeeds");
+    println!("provisioned 1 GPU instance for {}", env.student());
+
+    // 2. A CUDA-style kernel: one thread per element, grid covers the data.
+    let gpu = env.gpu();
+    let n = 1 << 20;
+    let a = gpu.htod(&vec![1.0f32; n]).expect("fits in device memory");
+    let b = gpu.htod(&vec![2.0f32; n]).expect("fits in device memory");
+    let mut out = gpu.alloc_zeroed::<f32>(n).expect("fits");
+    let cfg = LaunchConfig::for_elements(n as u64, 256);
+    let profile = KernelProfile::elementwise(n as u64, 1, 12);
+    gpu.launch_map("vecadd", cfg, profile, &mut out, |i, _| {
+        a.host_view()[i] + b.host_view()[i]
+    })
+    .expect("valid launch");
+    let host = gpu.dtoh(&out).expect("read back");
+    assert!(host.iter().all(|&x| x == 3.0));
+    println!("vecadd over {n} elements: correct, simulated time {} us", gpu.now_ns() / 1000);
+
+    // 3. A bigger workload through the lab API.
+    let report = matmul_lab(&env, 256).expect("lab runs");
+    println!(
+        "matmul n=256: {:.1} achieved GFLOP/s, {:.0}% of time in transfers",
+        report.metrics["achieved_gflops"],
+        100.0 * report.metrics["transfer_fraction"]
+    );
+
+    // 4. The profiler's view (what Nsight would show).
+    println!("\nper-op statistics:\n{}", env.op_stats().render());
+    let bn = env.bottleneck_report(0);
+    println!("bottleneck class: {:?}", bn.class);
+    for r in &bn.recommendations {
+        println!("  advice: {r}");
+    }
+
+    // 5. Tear down and read the bill.
+    env.work_for(3600).expect("instances alive");
+    let bill = env.teardown().expect("teardown succeeds");
+    println!(
+        "\nbill for {}: ${:.2} ({:.1} GPU-hours), ${:.2} of budget left",
+        bill.student, bill.total_usd, bill.gpu_hours, bill.remaining_budget_usd
+    );
+}

@@ -1,0 +1,3 @@
+//! Workspace root library: re-exports the `sagegpu` facade for examples and
+//! integration tests hosted at the repository root.
+pub use sagegpu_core as sagegpu;

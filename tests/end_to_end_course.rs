@@ -1,0 +1,72 @@
+//! Cross-crate integration: the full course loop from provisioning to the
+//! bill, exercising cloud-sim, gpu-sim, tensor, nn, graph, taskflow,
+//! profiler, gcn, and rag together through the facade.
+
+use sagemaker_gpu_workflows::sagegpu::labs::{gcn_lab, matmul_lab, rag_lab};
+use sagemaker_gpu_workflows::sagegpu::profiler::bottleneck::BottleneckClass;
+use sagemaker_gpu_workflows::sagegpu::workflow::LabEnvironment;
+
+#[test]
+fn full_single_gpu_session() {
+    let mut env = LabEnvironment::provision("integration-student", 1).expect("provision");
+
+    // Run all three labs in one session.
+    let matmul = matmul_lab(&env, 128).expect("matmul lab");
+    assert!(matmul.gpu_time_ns > 0);
+    assert!(matmul.metrics["achieved_gflops"] > 0.0);
+
+    let rag = rag_lab(&env, 40, 8).expect("rag lab");
+    assert_eq!(rag.metrics["queries"], 8.0);
+    assert!(rag.metrics["throughput_qps"] > 0.0);
+
+    // The profiler sees the session's kernels and transfers.
+    let stats = env.op_stats();
+    assert!(stats.get("sgemm").is_some(), "matmul kernel in profile");
+    assert!(stats.rows.iter().any(|r| r.kind.is_transfer()), "transfers in profile");
+    let report = env.bottleneck_report(0);
+    assert!(
+        matches!(
+            report.class,
+            BottleneckClass::TransferBound | BottleneckClass::MemoryBound | BottleneckClass::ComputeBound
+        ),
+        "a busy session must not be idle-bound: {:?}",
+        report.class
+    );
+
+    // Two hours of lab time → a believable bill under the cap.
+    env.work_for(2 * 3600).expect("instances alive");
+    let bill = env.teardown().expect("teardown");
+    assert!(bill.total_usd > 0.5 && bill.total_usd < 5.0, "bill {}", bill.total_usd);
+    assert!(bill.remaining_budget_usd > 90.0);
+}
+
+#[test]
+fn full_multi_gpu_session_runs_algorithm_1() {
+    let mut env = LabEnvironment::provision("integration-ddp", 3).expect("provision 3 GPUs");
+    assert_eq!(env.gpu_count(), 3);
+
+    let lab = gcn_lab(&env, 40).expect("distributed GCN lab");
+    assert_eq!(lab.metrics["k"], 3.0);
+    assert!(lab.metrics["distributed_accuracy"] > 0.5);
+    // §III-B: splitting a modest graph must not yield large speedups.
+    assert!(
+        lab.metrics["speedup"] < 2.5,
+        "3 GPUs must not approach 3x on a small graph: {}",
+        lab.metrics["speedup"]
+    );
+
+    let bill = env.teardown().expect("teardown");
+    assert!(bill.gpu_hours >= 0.0);
+}
+
+#[test]
+fn budget_cap_is_enforced_end_to_end() {
+    // A student who leaves instances running long enough exhausts the cap
+    // and cannot provision again — §III-A's guarantee.
+    let mut env = LabEnvironment::provision("spendthrift", 3).expect("provision");
+    // 3 × g4dn.xlarge at $0.526/h: ~63 h to burn $100.
+    env.work_for(70 * 3600).expect("instances alive");
+    let bill = env.teardown().expect("teardown");
+    assert!(bill.total_usd > 100.0, "bill {} should exceed the cap", bill.total_usd);
+    assert!(bill.remaining_budget_usd < 0.0);
+}

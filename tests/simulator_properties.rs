@@ -1,0 +1,131 @@
+//! Property-based integration tests: invariants that must hold across the
+//! simulator stack for arbitrary (bounded) inputs.
+
+use proptest::prelude::*;
+use sagemaker_gpu_workflows::sagegpu::gpu::prelude::*;
+use sagemaker_gpu_workflows::sagegpu::graph::generators::erdos_renyi;
+use sagemaker_gpu_workflows::sagegpu::graph::partition::{
+    edge_cut, metis_partition, partition_balance, random_partition,
+};
+use sagemaker_gpu_workflows::sagegpu::stats::describe::describe;
+use sagemaker_gpu_workflows::sagegpu::stats::mannwhitney::mann_whitney_u;
+use sagemaker_gpu_workflows::sagegpu::stats::rank::midranks;
+use sagemaker_gpu_workflows::sagegpu::tensor::dense::Tensor;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Occupancy is always a valid fraction and never exceeds 1.
+    #[test]
+    fn occupancy_is_a_fraction(
+        block in 1u32..1024,
+        regs in 1u32..128,
+        grid in 1u32..4096,
+    ) {
+        let spec = DeviceSpec::t4();
+        let cfg = LaunchConfig::new(Dim3::x(grid), Dim3::x(block));
+        if let Some(r) = sagemaker_gpu_workflows::sagegpu::gpu::occupancy::occupancy(&spec, &cfg, regs) {
+            prop_assert!(r.occupancy > 0.0 && r.occupancy <= 1.0);
+            prop_assert!(r.blocks_per_sm >= 1);
+            prop_assert!(r.waves >= 1);
+        }
+    }
+
+    /// Kernel duration is monotone in FLOPs and in bytes.
+    #[test]
+    fn kernel_cost_is_monotone(
+        flops in 1u64..1_000_000_000,
+        bytes in 1u64..1_000_000_000,
+    ) {
+        let gpu = Gpu::new(0, DeviceSpec::t4());
+        let cfg = LaunchConfig::for_elements(1024, 256);
+        let base = KernelProfile { flops, bytes, access: AccessPattern::Coalesced, registers_per_thread: 32 };
+        let more_flops = KernelProfile { flops: flops * 2, ..base };
+        let more_bytes = KernelProfile { bytes: bytes * 2, ..base };
+        let (t0, _) = gpu.kernel_duration_ns(&cfg, &base).unwrap();
+        let (t1, _) = gpu.kernel_duration_ns(&cfg, &more_flops).unwrap();
+        let (t2, _) = gpu.kernel_duration_ns(&cfg, &more_bytes).unwrap();
+        prop_assert!(t1 >= t0);
+        prop_assert!(t2 >= t0);
+    }
+
+    /// Device memory accounting: alloc/free always balances.
+    #[test]
+    fn memory_accounting_balances(sizes in prop::collection::vec(1usize..10_000, 1..20)) {
+        let gpu = Gpu::new(0, DeviceSpec::t4());
+        {
+            let mut bufs = Vec::new();
+            for &s in &sizes {
+                bufs.push(gpu.alloc_zeroed::<f32>(s).unwrap());
+            }
+            let expected: u64 = sizes.iter().map(|&s| 4 * s as u64).sum();
+            prop_assert_eq!(gpu.mem_used(), expected);
+        }
+        prop_assert_eq!(gpu.mem_used(), 0);
+    }
+
+    /// Any partition of any graph: labels in range, all parts populated
+    /// when k divides cleanly, and edge cut bounded by total edge weight.
+    #[test]
+    fn partitions_are_well_formed(n in 8usize..120, k in 1usize..6, p in 0.02f64..0.3, seed in 0u64..50) {
+        prop_assume!(k <= n);
+        let g = erdos_renyi(n, p, seed).unwrap();
+        let parts = metis_partition(&g, k).unwrap();
+        prop_assert_eq!(parts.len(), n);
+        prop_assert!(parts.iter().all(|&x| x < k));
+        let cut = edge_cut(&g, &parts);
+        let total: f64 = g.edges().iter().map(|&(_, _, w)| w).sum();
+        prop_assert!(cut <= total + 1e-9);
+        prop_assert!(partition_balance(&g, &parts, k) >= 1.0 - 1e-9);
+        // Random baseline has the same well-formedness.
+        let rand_parts = random_partition(n, k, seed).unwrap();
+        prop_assert!(rand_parts.iter().all(|&x| x < k));
+    }
+
+    /// Matmul dimensions compose: (a·b)·c == a·(b·c) within f32 tolerance.
+    #[test]
+    fn matmul_is_associative(
+        m in 1usize..8, k1 in 1usize..8, k2 in 1usize..8, n in 1usize..8,
+        seed in 0u64..1000,
+    ) {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+        let a = Tensor::randn(m, k1, &mut rng).scale(0.5);
+        let b = Tensor::randn(k1, k2, &mut rng).scale(0.5);
+        let c = Tensor::randn(k2, n, &mut rng).scale(0.5);
+        let left = a.matmul(&b).unwrap().matmul(&c).unwrap();
+        let right = a.matmul(&b.matmul(&c).unwrap()).unwrap();
+        for (x, y) in left.data().iter().zip(right.data()) {
+            prop_assert!((x - y).abs() < 1e-3, "{} vs {}", x, y);
+        }
+    }
+
+    /// Midranks always sum to n(n+1)/2 and Mann–Whitney U1+U2 = n1·n2.
+    #[test]
+    fn rank_invariants(
+        a in prop::collection::vec(-100.0f64..100.0, 2..30),
+        b in prop::collection::vec(-100.0f64..100.0, 2..30),
+    ) {
+        let (ranks, _) = midranks(&a).unwrap();
+        let n = a.len() as f64;
+        let sum: f64 = ranks.iter().sum();
+        prop_assert!((sum - n * (n + 1.0) / 2.0).abs() < 1e-9);
+
+        if let Ok(r) = mann_whitney_u(&a, &b) {
+            prop_assert!((r.u1 + r.u2 - (a.len() * b.len()) as f64).abs() < 1e-9);
+            prop_assert!((0.0..=1.0).contains(&r.p_value));
+        }
+    }
+
+    /// Descriptive statistics internal ordering always holds.
+    #[test]
+    fn describe_orderings(xs in prop::collection::vec(-1e6f64..1e6, 2..100)) {
+        let d = describe(&xs).unwrap();
+        prop_assert!(d.min <= d.q1 + 1e-9);
+        prop_assert!(d.q1 <= d.median + 1e-9);
+        prop_assert!(d.median <= d.q3 + 1e-9);
+        prop_assert!(d.q3 <= d.max + 1e-9);
+        prop_assert!(d.std_dev >= 0.0);
+        prop_assert!(d.mean >= d.min - 1e-9 && d.mean <= d.max + 1e-9);
+    }
+}
