@@ -10,7 +10,9 @@ fn bench_provisioning(c: &mut Criterion) {
         b.iter(|| {
             let cloud = CloudProvider::new(Region::UsEast1);
             let role = cloud.create_student_role("s", 100.0).unwrap();
-            let out = BootstrapPlan::single_gpu_lab("lab-1").execute(&cloud, &role).unwrap();
+            let out = BootstrapPlan::single_gpu_lab("lab-1")
+                .execute(&cloud, &role)
+                .unwrap();
             cloud.clock().advance_secs(3600);
             BootstrapPlan::teardown(&cloud, &role, &out);
             cloud.billing().cost_for(&role)

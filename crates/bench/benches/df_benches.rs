@@ -5,7 +5,7 @@ use sagegpu_core::df::distributed::PartitionedFrame;
 use sagegpu_core::df::frame::{Agg, DataFrame};
 use sagegpu_core::gpu::cluster::LinkKind;
 use sagegpu_core::gpu::{DeviceSpec, GpuCluster};
-use sagegpu_core::taskflow::cluster::LocalCluster;
+use sagegpu_core::taskflow::cluster::ClusterBuilder;
 use std::sync::Arc;
 
 fn bench_df(c: &mut Criterion) {
@@ -21,8 +21,12 @@ fn bench_df(c: &mut Criterion) {
             &workers,
             |b, &workers| {
                 b.iter(|| {
-                    let gpus = Arc::new(GpuCluster::homogeneous(workers, DeviceSpec::t4(), LinkKind::Pcie));
-                    let cluster = Arc::new(LocalCluster::with_gpus(gpus));
+                    let gpus = Arc::new(GpuCluster::homogeneous(
+                        workers,
+                        DeviceSpec::t4(),
+                        LinkKind::Pcie,
+                    ));
+                    let cluster = Arc::new(ClusterBuilder::new().gpus(gpus).build());
                     let pf = PartitionedFrame::from_frame(trips.clone(), cluster);
                     pf.groupby_mean("zone", "fare").unwrap()
                 });

@@ -32,7 +32,9 @@ fn bench_retrieval(c: &mut Criterion) {
 }
 
 fn bench_serving(c: &mut Criterion) {
-    let queries: Vec<String> = (0..16).map(|i| Corpus::topic_query(i % 5, 5, i as u64)).collect();
+    let queries: Vec<String> = (0..16)
+        .map(|i| Corpus::topic_query(i % 5, 5, i as u64))
+        .collect();
     let mut group = c.benchmark_group("rag-serving-16-queries");
     group.sample_size(10);
     for &batch in &[1usize, 8] {

@@ -22,7 +22,8 @@ fn bench_rl(c: &mut Criterion) {
     group.bench_function("dqn-20-episodes", |b| {
         b.iter(|| {
             let mut env = GridWorld::lab4x4();
-            let mut agent = DqnAgent::new(env.num_states(), env.num_actions(), DqnConfig::default(), 1);
+            let mut agent =
+                DqnAgent::new(env.num_states(), env.num_actions(), DqnConfig::default(), 1);
             let gpu = Gpu::new(0, DeviceSpec::t4());
             let mut rng = SmallRng::seed_from_u64(1);
             agent.train(&mut env, 20, &gpu, &mut rng)

@@ -1,0 +1,54 @@
+//! Ablation — cluster dispatch mode on an imbalanced task bag.
+//!
+//! Round-robin placement pins every `workers`-th (long) task to worker 0,
+//! so the long tasks run serially on one thread; work stealing lets the
+//! idle workers drain worker 0's backlog. The acceptance criterion for the
+//! scheduler redesign is that `dispatch/work-stealing` beats
+//! `dispatch/round-robin` on this workload.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sagegpu_core::taskflow::cluster::ClusterBuilder;
+use sagegpu_core::taskflow::policy::Dispatch;
+use std::time::Duration;
+
+const WORKERS: usize = 4;
+const TASKS: usize = 48;
+
+fn run_imbalanced(dispatch: Dispatch) -> usize {
+    let cluster = ClusterBuilder::new()
+        .workers(WORKERS)
+        .dispatch(dispatch)
+        .build();
+    let futures: Vec<_> = (0..TASKS)
+        .map(|i| {
+            let long = i % WORKERS == 0;
+            cluster.submit(move |_| {
+                // Long tasks block (like a worker waiting on a simulated
+                // device or the interconnect) rather than spin, so the
+                // backlog effect survives single-core CI runners.
+                if long {
+                    std::thread::sleep(Duration::from_micros(500));
+                }
+                i
+            })
+        })
+        .collect();
+    cluster.gather(futures).unwrap().into_iter().sum()
+}
+
+fn bench_dispatch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dispatch");
+    group.sample_size(10);
+    for (name, dispatch) in [
+        ("round-robin", Dispatch::RoundRobin),
+        ("work-stealing", Dispatch::WorkStealing),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &dispatch, |b, &d| {
+            b.iter(|| run_imbalanced(d));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_dispatch);
+criterion_main!(benches);

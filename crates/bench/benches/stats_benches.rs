@@ -9,7 +9,9 @@ use sagegpu_core::stats::shapiro::shapiro_wilk;
 fn bench_tests(c: &mut Criterion) {
     let s = appendix_c_scores(2025);
     let mut group = c.benchmark_group("stats-n20");
-    group.bench_function("shapiro_wilk", |b| b.iter(|| shapiro_wilk(&s.graduate).unwrap()));
+    group.bench_function("shapiro_wilk", |b| {
+        b.iter(|| shapiro_wilk(&s.graduate).unwrap())
+    });
     group.bench_function("levene", |b| {
         b.iter(|| levene_test(&[&s.graduate, &s.undergraduate], Center::Mean).unwrap())
     });

@@ -9,9 +9,16 @@
 
 use sagegpu_bench::render;
 
-fn experiments() -> Vec<(&'static str, &'static str, fn() -> String)> {
+/// (id, description, renderer).
+type Experiment = (&'static str, &'static str, fn() -> String);
+
+fn experiments() -> Vec<Experiment> {
     vec![
-        ("fig1", "Enrollment per term", render::render_fig1 as fn() -> String),
+        (
+            "fig1",
+            "Enrollment per term",
+            render::render_fig1 as fn() -> String,
+        ),
         ("fig2", "Grade distributions", render::render_fig2),
         ("table1", "Course modules", render::render_table1),
         ("fig3", "End-of-semester evaluations", render::render_fig3),
@@ -25,15 +32,36 @@ fn experiments() -> Vec<(&'static str, &'static str, fn() -> String)> {
         ("fig9", "Boxplots", render::render_fig9),
         ("fig10_11", "Satisfaction", render::render_fig10_11),
         ("gcn", "Distributed GCN scaling", render::render_gcn),
-        ("partition", "METIS vs random partitioning", render::render_partition),
+        (
+            "partition",
+            "METIS vs random partitioning",
+            render::render_partition,
+        ),
         ("matmul", "Matmul memory bottleneck", render::render_matmul),
         ("rag", "RAG retrieval + serving", render::render_rag),
         ("pricing", "Appendix A pricing", render::render_pricing),
         ("rl", "RL agents (Labs 8/10, Asgn 3)", render::render_rl),
         ("df", "Distributed dataframes (Lab 6)", render::render_df),
-        ("interconnect", "Ablation: Algorithm 1 interconnects", render::render_interconnect),
-        ("scheduler", "Ablation: scheduling policy", render::render_scheduler),
-        ("access", "Ablation: access patterns & tiling", render::render_access),
+        (
+            "interconnect",
+            "Ablation: Algorithm 1 interconnects",
+            render::render_interconnect,
+        ),
+        (
+            "scheduler",
+            "Ablation: scheduling policy",
+            render::render_scheduler,
+        ),
+        (
+            "dispatch",
+            "Ablation: work stealing vs round-robin",
+            render::render_dispatch,
+        ),
+        (
+            "access",
+            "Ablation: access patterns & tiling",
+            render::render_access,
+        ),
     ]
 }
 

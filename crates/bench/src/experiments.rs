@@ -12,7 +12,9 @@ use sagegpu_core::gcn::experiment::{scaling_experiment, ScalingRow};
 use sagegpu_core::gcn::TrainConfig;
 use sagegpu_core::gpu::{DeviceSpec, Gpu};
 use sagegpu_core::graph::generators::{sbm, GraphDataset, SbmParams};
-use sagegpu_core::graph::partition::{edge_cut, metis_partition, partition_balance, random_partition};
+use sagegpu_core::graph::partition::{
+    edge_cut, metis_partition, partition_balance, random_partition,
+};
 use sagegpu_core::rag::corpus::Corpus;
 use sagegpu_core::rag::embed::Embedder;
 use sagegpu_core::rag::index::{recall_at_k, FlatIndex, IvfIndex, VectorIndex};
@@ -39,13 +41,17 @@ pub const SEED: u64 = 2025;
 
 /// (semester label, undergraduates, graduates).
 pub fn fig1_enrollment() -> Vec<(&'static str, usize, usize)> {
-    [Semester::Fall2024, Semester::Spring2025, Semester::Summer2025]
-        .iter()
-        .map(|&s| {
-            let (ug, g) = sagegpu_core::edu::cohort::enrollment(s);
-            (s.label(), ug, g)
-        })
-        .collect()
+    [
+        Semester::Fall2024,
+        Semester::Spring2025,
+        Semester::Summer2025,
+    ]
+    .iter()
+    .map(|&s| {
+        let (ug, g) = sagegpu_core::edu::cohort::enrollment(s);
+        (s.label(), ug, g)
+    })
+    .collect()
 }
 
 // ---------------------------------------------------------------------
@@ -153,8 +159,14 @@ pub fn table4_descriptives() -> Vec<(&'static str, DescriptiveStats)> {
 pub fn fig6_histograms() -> Vec<(&'static str, Histogram)> {
     let s = appendix_c_scores(SEED);
     vec![
-        ("Graduate", histogram_range(&s.graduate, 10, 50.0, 100.0).expect("valid")),
-        ("Undergraduate", histogram_range(&s.undergraduate, 10, 50.0, 100.0).expect("valid")),
+        (
+            "Graduate",
+            histogram_range(&s.graduate, 10, 50.0, 100.0).expect("valid"),
+        ),
+        (
+            "Undergraduate",
+            histogram_range(&s.undergraduate, 10, 50.0, 100.0).expect("valid"),
+        ),
     ]
 }
 
@@ -165,14 +177,17 @@ pub fn fig6_histograms() -> Vec<(&'static str, Histogram)> {
 /// (group, straightness correlation, number of points).
 pub fn fig7_8_qq() -> Vec<(&'static str, f64, usize)> {
     let s = appendix_c_scores(SEED);
-    [("Graduate", &s.graduate), ("Undergraduate", &s.undergraduate)]
-        .iter()
-        .map(|(name, xs)| {
-            let pts = qq_points(xs).expect("n=20");
-            let r = qq_correlation(&pts).expect("non-degenerate");
-            (*name, r, pts.len())
-        })
-        .collect()
+    [
+        ("Graduate", &s.graduate),
+        ("Undergraduate", &s.undergraduate),
+    ]
+    .iter()
+    .map(|(name, xs)| {
+        let pts = qq_points(xs).expect("n=20");
+        let r = qq_correlation(&pts).expect("non-degenerate");
+        (*name, r, pts.len())
+    })
+    .collect()
 }
 
 // ---------------------------------------------------------------------
@@ -206,7 +221,13 @@ pub fn fig9_boxplots() -> Vec<(&'static str, BoxplotData)> {
 pub fn fig10_11_satisfaction() -> Vec<(&'static str, [usize; 5], [f64; 5])> {
     Semester::analyzed()
         .iter()
-        .map(|&s| (s.label(), satisfaction_counts(s), satisfaction_percentages(s)))
+        .map(|&s| {
+            (
+                s.label(),
+                satisfaction_counts(s),
+                satisfaction_percentages(s),
+            )
+        })
         .collect()
 }
 
@@ -395,7 +416,9 @@ pub struct ServingRow {
 
 /// End-to-end serving sweep over batch sizes.
 pub fn rag_serving_sweep(batches: &[usize]) -> Vec<ServingRow> {
-    let queries: Vec<String> = (0..32).map(|i| Corpus::topic_query(i % 5, 5, i as u64)).collect();
+    let queries: Vec<String> = (0..32)
+        .map(|i| Corpus::topic_query(i % 5, 5, i as u64))
+        .collect();
     batches
         .iter()
         .map(|&batch| {
@@ -454,7 +477,10 @@ pub fn rl_comparison() -> Vec<RlRow> {
     let mut agent = DqnAgent::new(
         env.num_states(),
         env.num_actions(),
-        DqnConfig { epsilon_decay_episodes: 80, ..Default::default() },
+        DqnConfig {
+            epsilon_decay_episodes: 80,
+            ..Default::default()
+        },
         SEED,
     );
     let returns = agent.train(&mut env, 120, &gpu, &mut rng);
@@ -497,18 +523,26 @@ pub fn df_scaling(rows_in: usize, worker_counts: &[usize]) -> Vec<DfRow> {
     use sagegpu_core::df::frame::{Agg, DataFrame};
     use sagegpu_core::gpu::cluster::LinkKind;
     use sagegpu_core::gpu::GpuCluster;
-    use sagegpu_core::taskflow::cluster::LocalCluster;
+    use sagegpu_core::taskflow::cluster::ClusterBuilder;
 
     let trips = DataFrame::taxi_trips(rows_in, SEED);
-    let reference = trips.groupby_i64("zone", &[("fare", Agg::Mean)]).expect("reference");
+    let reference = trips
+        .groupby_i64("zone", &[("fare", Agg::Mean)])
+        .expect("reference");
     let ref_means = reference.f64_column("fare_mean").expect("column").to_vec();
     worker_counts
         .iter()
         .map(|&workers| {
-            let gpus = Arc::new(GpuCluster::homogeneous(workers, DeviceSpec::t4(), LinkKind::Pcie));
-            let cluster = Arc::new(LocalCluster::with_gpus(Arc::clone(&gpus)));
+            let gpus = Arc::new(GpuCluster::homogeneous(
+                workers,
+                DeviceSpec::t4(),
+                LinkKind::Pcie,
+            ));
+            let cluster = Arc::new(ClusterBuilder::new().gpus(Arc::clone(&gpus)).build());
             let pf = PartitionedFrame::from_frame(trips.clone(), cluster);
-            let result = pf.groupby_mean("zone", "fare").expect("distributed groupby");
+            let result = pf
+                .groupby_mean("zone", "fare")
+                .expect("distributed groupby");
             let means = result.f64_column("fare_mean").expect("column");
             let max_abs_error = means
                 .iter()
@@ -542,7 +576,10 @@ pub fn interconnect_ablation(epochs: usize) -> Vec<InterconnectRow> {
     use sagegpu_core::gcn::sequential::train_sequential;
     use sagegpu_core::gpu::cluster::LinkKind;
     let ds = gcn_dataset();
-    let cfg = TrainConfig { epochs, ..Default::default() };
+    let cfg = TrainConfig {
+        epochs,
+        ..Default::default()
+    };
     let seq = train_sequential(&ds, &cfg).sim_time_ns as f64;
     [
         ("ethernet (course)", LinkKind::Ethernet),
@@ -585,13 +622,20 @@ pub fn scheduler_ablation(worker_counts: &[usize]) -> Vec<SchedulerRow> {
     let mut g = TaskGraph::new();
     // Many short independent tasks first (FIFO's trap) …
     for i in 0..12 {
-        g.add_task(&format!("short-{i}"), &[], 2.0, |_| unit()).expect("fresh name");
+        g.add_task(&format!("short-{i}"), &[], 2.0, |_| unit())
+            .expect("fresh name");
     }
     // … then a long dependent chain that dominates the critical path.
-    g.add_task("chain-0", &[], 8.0, |_| unit()).expect("fresh name");
+    g.add_task("chain-0", &[], 8.0, |_| unit())
+        .expect("fresh name");
     for i in 1..4 {
-        g.add_task(&format!("chain-{i}"), &[&format!("chain-{}", i - 1)], 8.0, |_| unit())
-            .expect("fresh name");
+        g.add_task(
+            &format!("chain-{i}"),
+            &[&format!("chain-{}", i - 1)],
+            8.0,
+            |_| unit(),
+        )
+        .expect("fresh name");
     }
     worker_counts
         .iter()
@@ -602,6 +646,61 @@ pub fn scheduler_ablation(worker_counts: &[usize]) -> Vec<SchedulerRow> {
             lower_bound: g.critical_path().max(g.total_work() / workers as f64),
         })
         .collect()
+}
+
+// ---------------------------------------------------------------------
+// A04 — ablation: cluster dispatch mode on an imbalanced task bag
+// ---------------------------------------------------------------------
+
+/// One row of the dispatch-mode ablation.
+pub struct DispatchRow {
+    pub dispatch: &'static str,
+    pub wall_ms: f64,
+    pub steals: u64,
+    pub busy_imbalance: f64,
+}
+
+/// Runs an imbalanced task bag — every `workers`-th task is ~1 ms, the
+/// rest are trivial, so round-robin placement piles all the long tasks on
+/// worker 0 — under both dispatch modes of the real cluster. Work stealing
+/// lets idle workers drain worker 0's queue; the round-robin baseline
+/// serializes the long tasks on one thread.
+pub fn dispatch_ablation(workers: usize, tasks: usize) -> Vec<DispatchRow> {
+    use sagegpu_core::taskflow::cluster::ClusterBuilder;
+    use sagegpu_core::taskflow::policy::Dispatch;
+
+    let run = |name: &'static str, dispatch: Dispatch| {
+        let cluster = ClusterBuilder::new()
+            .workers(workers)
+            .dispatch(dispatch)
+            .build();
+        let start = std::time::Instant::now();
+        let futures: Vec<_> = (0..tasks)
+            .map(|i| {
+                let long = i % workers == 0;
+                cluster.submit(move |_| {
+                    if long {
+                        std::thread::sleep(std::time::Duration::from_millis(1));
+                    }
+                    i
+                })
+            })
+            .collect();
+        let got = cluster.gather(futures).expect("tasks succeed");
+        assert_eq!(got.len(), tasks);
+        let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+        let m = cluster.metrics();
+        DispatchRow {
+            dispatch: name,
+            wall_ms,
+            steals: m.total_steals(),
+            busy_imbalance: m.busy_imbalance(),
+        }
+    };
+    vec![
+        run("round-robin", Dispatch::RoundRobin),
+        run("work-stealing", Dispatch::WorkStealing),
+    ]
 }
 
 // ---------------------------------------------------------------------
@@ -667,8 +766,16 @@ pub fn access_ablation() -> Vec<AccessRow> {
 pub fn pricing_reconciliation() -> Vec<(&'static str, f64, f64)> {
     let cat = InstanceCatalog::us_east_1();
     vec![
-        ("single-GPU hourly average", cat.course_single_gpu_avg(), 1.262),
-        ("multi-GPU hourly average", cat.course_multi_gpu_avg(), 2.314),
+        (
+            "single-GPU hourly average",
+            cat.course_single_gpu_avg(),
+            1.262,
+        ),
+        (
+            "multi-GPU hourly average",
+            cat.course_multi_gpu_avg(),
+            2.314,
+        ),
     ]
 }
 
@@ -728,6 +835,30 @@ mod tests {
         assert!(retrieval[2].mean_recall_at_5 >= retrieval[1].mean_recall_at_5 - 1e-9);
         let serving = rag_serving_sweep(&[1, 8]);
         assert!(serving[1].throughput_qps > serving[0].throughput_qps);
+    }
+
+    #[test]
+    fn work_stealing_beats_round_robin_on_imbalanced_bag() {
+        let rows = dispatch_ablation(4, 48);
+        let rr = &rows[0];
+        let ws = &rows[1];
+        assert_eq!(rr.dispatch, "round-robin");
+        assert_eq!(rr.steals, 0, "round-robin must never steal");
+        assert!(ws.steals > 0, "stealing must actually occur");
+        // 12 one-millisecond tasks all land on worker 0 under round-robin
+        // (>= 12 ms serialized); four stealing workers split them.
+        assert!(
+            ws.wall_ms < rr.wall_ms,
+            "work stealing ({:.2} ms) should beat round-robin ({:.2} ms)",
+            ws.wall_ms,
+            rr.wall_ms
+        );
+        assert!(
+            ws.busy_imbalance < rr.busy_imbalance,
+            "stealing should even out busy time ({:.2} vs {:.2})",
+            ws.busy_imbalance,
+            rr.busy_imbalance
+        );
     }
 
     #[test]

@@ -21,7 +21,10 @@ pub fn render_fig1() -> String {
 /// E02 — Fig. 2.
 pub fn render_fig2() -> String {
     let mut out = header("Fig. 2 — Grade Distribution");
-    out.push_str(&format!("{:<12} {:>4} {:>4} {:>4} {:>4} {:>4}\n", "semester", "A", "B", "C", "D", "F"));
+    out.push_str(&format!(
+        "{:<12} {:>4} {:>4} {:>4} {:>4} {:>4}\n",
+        "semester", "A", "B", "C", "D", "F"
+    ));
     for (sem, counts) in fig2_grades() {
         out.push_str(&format!(
             "{:<12} {:>4} {:>4} {:>4} {:>4} {:>4}\n",
@@ -72,7 +75,9 @@ pub fn render_fig4() -> String {
         ));
     }
     out.push_str("paper anchors: 4a F24 final 2/2/1/2/2; 4a S25 final 0/0/9/7/5;\n");
-    out.push_str("4b improves mid->final; 4c dips (smaller dip in S25); 4d S25 has 10 disagreements\n");
+    out.push_str(
+        "4b improves mid->final; 4c dips (smaller dip in S25); 4d S25 has 10 disagreements\n",
+    );
     out
 }
 
@@ -86,10 +91,17 @@ pub fn render_fig5() -> String {
     for u in fig5_usage() {
         out.push_str(&format!(
             "{:<12} {:>9.1} {:>11.2} {:>12.2} {:>8} {:>9.2}\n",
-            u.semester, u.mean_gpu_hours, u.mean_cost_usd, u.total_cost_usd, u.reaped_instances, u.mean_project_hours
+            u.semester,
+            u.mean_gpu_hours,
+            u.mean_cost_usd,
+            u.total_cost_usd,
+            u.reaped_instances,
+            u.mean_project_hours
         ));
     }
-    out.push_str("paper: 40-45 h and $50-60 per student; S25 hours higher (2 extra labs); project < 2 h\n");
+    out.push_str(
+        "paper: 40-45 h and $50-60 per student; S25 hours higher (2 extra labs); project < 2 h\n",
+    );
     out
 }
 
@@ -196,7 +208,9 @@ pub fn render_fig10_11() -> String {
 pub fn render_gcn() -> String {
     let mut out = header("§III-B — Distributed GCN scaling (Algorithm 1)");
     out.push_str(&render_scaling_table(&gcn_scaling(&[2, 3], 25)));
-    out.push_str("paper: minimal speedup from splitting; accuracy improves vs sequential (METIS)\n");
+    out.push_str(
+        "paper: minimal speedup from splitting; accuracy improves vs sequential (METIS)\n",
+    );
     out
 }
 
@@ -283,25 +297,38 @@ pub fn render_rl() -> String {
 /// S02 — distributed dataframes.
 pub fn render_df() -> String {
     let mut out = header("Supplementary — Lab 6 / Assignment 2: distributed group-by");
-    out.push_str(&format!("{:>8} {:>9} {:>14}\n", "workers", "sim(ms)", "max-abs-error"));
+    out.push_str(&format!(
+        "{:>8} {:>9} {:>14}\n",
+        "workers", "sim(ms)", "max-abs-error"
+    ));
     for r in df_scaling(20_000, &[1, 2, 4]) {
-        out.push_str(&format!("{:>8} {:>9.2} {:>14.2e}\n", r.workers, r.sim_ms, r.max_abs_error));
+        out.push_str(&format!(
+            "{:>8} {:>9.2} {:>14.2e}\n",
+            r.workers, r.sim_ms, r.max_abs_error
+        ));
     }
-    out.push_str("expected: two-phase aggregation is exact; per-worker time shrinks with workers\n");
+    out.push_str(
+        "expected: two-phase aggregation is exact; per-worker time shrinks with workers\n",
+    );
     out
 }
 
 /// A01 — interconnect ablation.
 pub fn render_interconnect() -> String {
     let mut out = header("Ablation — Algorithm 1 across interconnects (k=3, METIS)");
-    out.push_str(&format!("{:<20} {:>12} {:>9}\n", "link", "sim-time(ms)", "speedup"));
+    out.push_str(&format!(
+        "{:<20} {:>12} {:>9}\n",
+        "link", "sim-time(ms)", "speedup"
+    ));
     for r in interconnect_ablation(15) {
         out.push_str(&format!(
             "{:<20} {:>12.2} {:>9.2}\n",
             r.link, r.sim_time_ms, r.speedup_vs_sequential
         ));
     }
-    out.push_str("expected: the course's VPC Ethernet is the slowest; better links recover speedup\n");
+    out.push_str(
+        "expected: the course's VPC Ethernet is the slowest; better links recover speedup\n",
+    );
     out.push_str("note: speedup can exceed k because METIS partitioning drops cut edges,\n");
     out.push_str("      shrinking total aggregation work relative to the full-graph baseline\n");
     out
@@ -320,14 +347,38 @@ pub fn render_scheduler() -> String {
             r.workers, r.fifo_makespan, r.critical_path_makespan, r.lower_bound
         ));
     }
-    out.push_str("expected: critical-path ordering tracks the lower bound; FIFO straggles the chain\n");
+    out.push_str(
+        "expected: critical-path ordering tracks the lower bound; FIFO straggles the chain\n",
+    );
+    out
+}
+
+/// A04 — dispatch-mode ablation on the real cluster.
+pub fn render_dispatch() -> String {
+    let mut out =
+        header("Ablation — cluster dispatch: round-robin vs work stealing (imbalanced bag)");
+    out.push_str(&format!(
+        "{:<16} {:>9} {:>8} {:>11}\n",
+        "dispatch", "wall(ms)", "steals", "imbalance"
+    ));
+    for r in dispatch_ablation(4, 48) {
+        out.push_str(&format!(
+            "{:<16} {:>9.2} {:>8} {:>11.2}\n",
+            r.dispatch, r.wall_ms, r.steals, r.busy_imbalance
+        ));
+    }
+    out.push_str("expected: round-robin piles the long tasks on worker 0; stealing drains them\n");
+    out.push_str("          (lower wall time, steals > 0, busy imbalance near 1.0)\n");
     out
 }
 
 /// A03 — access-pattern / tiling ablation.
 pub fn render_access() -> String {
     let mut out = header("Ablation — memory access patterns and tiling (cost model)");
-    out.push_str(&format!("{:<32} {:>10} {:>10}\n", "kernel", "sim(us)", "slowdown"));
+    out.push_str(&format!(
+        "{:<32} {:>10} {:>10}\n",
+        "kernel", "sim(us)", "slowdown"
+    ));
     for r in access_ablation() {
         out.push_str(&format!(
             "{:<32} {:>10.1} {:>9.1}x\n",
@@ -344,7 +395,9 @@ pub fn render_access() -> String {
 pub fn render_pricing() -> String {
     let mut out = header("Appendix A — Pricing reconciliation");
     for (label, modeled, paper) in pricing_reconciliation() {
-        out.push_str(&format!("{label:<28} modeled ${modeled:.3}/h   paper ${paper:.3}/h\n"));
+        out.push_str(&format!(
+            "{label:<28} modeled ${modeled:.3}/h   paper ${paper:.3}/h\n"
+        ));
     }
     out
 }
@@ -370,6 +423,7 @@ mod tests {
             ("fig10_11", render_fig10_11()),
             ("partition", render_partition()),
             ("pricing", render_pricing()),
+            ("dispatch", render_dispatch()),
         ] {
             assert!(text.len() > 80, "{name} output too short");
             assert!(text.contains("==="), "{name} missing header");

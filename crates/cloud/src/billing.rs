@@ -133,7 +133,8 @@ impl BillingLedger {
     /// summation order (hence the result) is deterministic.
     pub fn per_student_averages(&self) -> (f64, f64) {
         let inner = self.inner.read();
-        let mut per: std::collections::BTreeMap<&str, (f64, f64)> = std::collections::BTreeMap::new();
+        let mut per: std::collections::BTreeMap<&str, (f64, f64)> =
+            std::collections::BTreeMap::new();
         for r in inner.records.iter() {
             let e = per.entry(&r.principal).or_default();
             if r.gpus > 0 {

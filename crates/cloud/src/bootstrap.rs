@@ -112,6 +112,9 @@ impl BootstrapPlan {
 
     /// Executes the plan under `role`, stopping at the first error.
     /// On error the partially provisioned outcome is returned alongside.
+    // The outcome rides in the error so callers can tear down the partial
+    // provision; that intentionally makes the Err variant large.
+    #[allow(clippy::result_large_err)]
     pub fn execute(
         &self,
         cloud: &CloudProvider,
@@ -120,12 +123,10 @@ impl BootstrapPlan {
         let mut out = BootstrapOutcome::default();
         for step in &self.steps {
             match step {
-                BootstrapStep::EnsureVpc { name, cidr } => {
-                    match cloud.create_vpc(name, cidr) {
-                        Ok(id) => out.vpc = Some(id),
-                        Err(e) => return Err((e, out)),
-                    }
-                }
+                BootstrapStep::EnsureVpc { name, cidr } => match cloud.create_vpc(name, cidr) {
+                    Ok(id) => out.vpc = Some(id),
+                    Err(e) => return Err((e, out)),
+                },
                 BootstrapStep::EnsureSubnet { name, cidr } => {
                     let Some(vpc) = out.vpc else {
                         return Err((CloudError::NotFound("no VPC from prior step".into()), out));
@@ -137,7 +138,10 @@ impl BootstrapPlan {
                 }
                 BootstrapStep::LaunchInstances { type_name, count } => {
                     let Some(subnet) = out.subnet else {
-                        return Err((CloudError::NotFound("no subnet from prior step".into()), out));
+                        return Err((
+                            CloudError::NotFound("no subnet from prior step".into()),
+                            out,
+                        ));
                     };
                     for _ in 0..*count {
                         match cloud.run_instance_tagged(role, type_name, &subnet, &self.activity) {
@@ -147,7 +151,11 @@ impl BootstrapPlan {
                     }
                 }
                 BootstrapStep::CreateNotebook { type_name } => {
-                    match cloud.create_notebook(role, &format!("{}-{role}", self.activity), type_name) {
+                    match cloud.create_notebook(
+                        role,
+                        &format!("{}-{role}", self.activity),
+                        type_name,
+                    ) {
                         Ok(id) => out.notebooks.push(id),
                         Err(e) => return Err((e, out)),
                     }
@@ -189,7 +197,9 @@ mod tests {
     #[test]
     fn single_gpu_plan_provisions_everything() {
         let (cloud, s) = cloud_with_student();
-        let out = BootstrapPlan::single_gpu_lab("lab-2").execute(&cloud, &s).unwrap();
+        let out = BootstrapPlan::single_gpu_lab("lab-2")
+            .execute(&cloud, &s)
+            .unwrap();
         assert_eq!(out.instances.len(), 1);
         assert_eq!(out.notebooks.len(), 1);
         assert!(out.vpc.is_some() && out.subnet.is_some());
@@ -199,7 +209,9 @@ mod tests {
     #[test]
     fn multi_gpu_plan_launches_three_connected_instances() {
         let (cloud, s) = cloud_with_student();
-        let out = BootstrapPlan::multi_gpu_lab("assignment-3").execute(&cloud, &s).unwrap();
+        let out = BootstrapPlan::multi_gpu_lab("assignment-3")
+            .execute(&cloud, &s)
+            .unwrap();
         assert_eq!(out.instances.len(), 3);
         for pair in out.instances.windows(2) {
             assert!(cloud.can_reach(&pair[0], &pair[1]).unwrap());
@@ -212,7 +224,10 @@ mod tests {
         let plan = BootstrapPlan::single_gpu_lab("lab-2").with_wrong_subnet();
         let (err, partial) = plan.execute(&cloud, &s).unwrap_err();
         assert!(matches!(err, CloudError::Vpc(_)));
-        assert!(partial.vpc.is_some(), "VPC step succeeded before the failure");
+        assert!(
+            partial.vpc.is_some(),
+            "VPC step succeeded before the failure"
+        );
         assert!(partial.instances.is_empty(), "no instances were launched");
     }
 
@@ -233,8 +248,10 @@ mod tests {
     fn quota_violation_returns_partial_outcome() {
         let (cloud, s) = cloud_with_student();
         let mut plan = BootstrapPlan::multi_gpu_lab("big");
-        if let Some(BootstrapStep::LaunchInstances { count, .. }) =
-            plan.steps.iter_mut().find(|st| matches!(st, BootstrapStep::LaunchInstances { .. }))
+        if let Some(BootstrapStep::LaunchInstances { count, .. }) = plan
+            .steps
+            .iter_mut()
+            .find(|st| matches!(st, BootstrapStep::LaunchInstances { .. }))
         {
             *count = 5; // over the 3-GPU quota
         }

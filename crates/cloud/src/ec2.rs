@@ -196,8 +196,19 @@ mod tests {
     use crate::pricing::InstanceCatalog;
 
     fn inst(clock: &SimClock) -> Instance {
-        let ty = InstanceCatalog::us_east_1().get("g4dn.xlarge").unwrap().clone();
-        Instance::launch(InstanceId(1), "student-01", ty, VpcId(1), SubnetId(1), 0x0a000104, clock)
+        let ty = InstanceCatalog::us_east_1()
+            .get("g4dn.xlarge")
+            .unwrap()
+            .clone();
+        Instance::launch(
+            InstanceId(1),
+            "student-01",
+            ty,
+            VpcId(1),
+            SubnetId(1),
+            0x0a000104,
+            clock,
+        )
     }
 
     #[test]

@@ -234,7 +234,10 @@ mod tests {
             "view",
             vec![Statement::new(Effect::Allow, "ec2:DescribeInstances", "*")],
         );
-        let billing = Policy::new("bill", vec![Statement::new(Effect::Allow, "billing:View", "*")]);
+        let billing = Policy::new(
+            "bill",
+            vec![Statement::new(Effect::Allow, "billing:View", "*")],
+        );
         let role = Role::new("ta", vec![view_only, billing]);
         assert!(role.is_allowed(Action::DescribeInstances, "i-1"));
         assert!(role.is_allowed(Action::ViewBilling, "course"));

@@ -26,7 +26,14 @@ pub struct InstanceType {
 }
 
 impl InstanceType {
-    fn new(name: &str, vcpus: u32, gpus: u32, gpu_model: &str, memory_gib: u32, hourly_usd: f64) -> Self {
+    fn new(
+        name: &str,
+        vcpus: u32,
+        gpus: u32,
+        gpu_model: &str,
+        memory_gib: u32,
+        hourly_usd: f64,
+    ) -> Self {
         Self {
             name: name.to_owned(),
             vcpus,
@@ -180,9 +187,15 @@ mod tests {
 
     #[test]
     fn mixes_are_normalized() {
-        let s: f64 = InstanceCatalog::course_single_gpu_mix().iter().map(|(_, w)| w).sum();
+        let s: f64 = InstanceCatalog::course_single_gpu_mix()
+            .iter()
+            .map(|(_, w)| w)
+            .sum();
         assert!((s - 1.0).abs() < 1e-12);
-        let m: f64 = InstanceCatalog::course_multi_gpu_mix().iter().map(|(_, w)| w).sum();
+        let m: f64 = InstanceCatalog::course_multi_gpu_mix()
+            .iter()
+            .map(|(_, w)| w)
+            .sum();
         assert!((m - 1.0).abs() < 1e-12);
     }
 

@@ -47,7 +47,11 @@ pub enum CloudError {
     /// The principal's budget cap is exhausted.
     BudgetExceeded { role: String, spent: f64, cap: f64 },
     /// The principal would exceed the concurrent-GPU quota.
-    GpuQuotaExceeded { role: String, in_use: u32, quota: u32 },
+    GpuQuotaExceeded {
+        role: String,
+        in_use: u32,
+        quota: u32,
+    },
     /// Unknown instance type, role, VPC, subnet, or instance.
     NotFound(String),
     /// A role with this name already exists.
@@ -65,10 +69,20 @@ impl std::fmt::Display for CloudError {
                 write!(f, "access denied: role {role} may not {action}")
             }
             CloudError::BudgetExceeded { role, spent, cap } => {
-                write!(f, "budget exceeded for {role}: spent ${spent:.2} of ${cap:.2}")
+                write!(
+                    f,
+                    "budget exceeded for {role}: spent ${spent:.2} of ${cap:.2}"
+                )
             }
-            CloudError::GpuQuotaExceeded { role, in_use, quota } => {
-                write!(f, "GPU quota exceeded for {role}: {in_use} in use, quota {quota}")
+            CloudError::GpuQuotaExceeded {
+                role,
+                in_use,
+                quota,
+            } => {
+                write!(
+                    f,
+                    "GPU quota exceeded for {role}: {in_use} in use, quota {quota}"
+                )
             }
             CloudError::NotFound(what) => write!(f, "not found: {what}"),
             CloudError::RoleExists(name) => write!(f, "role already exists: {name}"),
@@ -161,7 +175,10 @@ impl CloudProvider {
         if roles.contains_key(name) {
             return Err(CloudError::RoleExists(name.to_owned()));
         }
-        roles.insert(name.to_owned(), Role::new(name, vec![Policy::student_lab_policy()]));
+        roles.insert(
+            name.to_owned(),
+            Role::new(name, vec![Policy::student_lab_policy()]),
+        );
         self.billing.set_budget(name, budget_usd);
         Ok(name.to_owned())
     }
@@ -172,7 +189,10 @@ impl CloudProvider {
         if roles.contains_key(name) {
             return Err(CloudError::RoleExists(name.to_owned()));
         }
-        roles.insert(name.to_owned(), Role::new(name, vec![Policy::admin_policy()]));
+        roles.insert(
+            name.to_owned(),
+            Role::new(name, vec![Policy::admin_policy()]),
+        );
         Ok(name.to_owned())
     }
 
@@ -204,7 +224,12 @@ impl CloudProvider {
     }
 
     /// Carves a subnet out of an existing VPC.
-    pub fn create_subnet(&self, vpc: &VpcId, name: &str, cidr: &str) -> Result<SubnetRef, CloudError> {
+    pub fn create_subnet(
+        &self,
+        vpc: &VpcId,
+        name: &str,
+        cidr: &str,
+    ) -> Result<SubnetRef, CloudError> {
         let mut vpcs = self.vpcs.write();
         let v = vpcs
             .get_mut(vpc)
@@ -409,7 +434,12 @@ impl CloudProvider {
     // ------------------------------------------------------------------
 
     /// Creates a notebook instance for a role.
-    pub fn create_notebook(&self, role: &str, name: &str, type_name: &str) -> Result<u64, CloudError> {
+    pub fn create_notebook(
+        &self,
+        role: &str,
+        name: &str,
+        type_name: &str,
+    ) -> Result<u64, CloudError> {
         self.authorize(role, Action::CreateNotebook, &format!("{role}/*"))?;
         let ty = self
             .catalog
@@ -428,7 +458,11 @@ impl CloudProvider {
         let nb = notebooks
             .get_mut(&id)
             .ok_or_else(|| CloudError::NotFound(format!("notebook {id}")))?;
-        self.authorize(role, Action::StopNotebook, &format!("{}/{}", nb.owner, nb.name))?;
+        self.authorize(
+            role,
+            Action::StopNotebook,
+            &format!("{}/{}", nb.owner, nb.name),
+        )?;
         nb.delete(&self.clock)
             .map_err(|e| CloudError::Lifecycle(e.to_string()))?;
         self.billing.record(UsageRecord {
@@ -505,12 +539,25 @@ mod tests {
     fn gpu_quota_enforced_at_three() {
         let (cloud, student, subnet) = setup();
         for _ in 0..3 {
-            cloud.run_instance(&student, "g4dn.xlarge", &subnet).unwrap();
+            cloud
+                .run_instance(&student, "g4dn.xlarge", &subnet)
+                .unwrap();
         }
-        let err = cloud.run_instance(&student, "g4dn.xlarge", &subnet).unwrap_err();
-        assert!(matches!(err, CloudError::GpuQuotaExceeded { in_use: 3, quota: 3, .. }));
+        let err = cloud
+            .run_instance(&student, "g4dn.xlarge", &subnet)
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            CloudError::GpuQuotaExceeded {
+                in_use: 3,
+                quota: 3,
+                ..
+            }
+        ));
         // A 4-GPU type can never fit under the default quota.
-        let err = cloud.run_instance(&student, "g4dn.12xlarge", &subnet).unwrap_err();
+        let err = cloud
+            .run_instance(&student, "g4dn.12xlarge", &subnet)
+            .unwrap_err();
         assert!(matches!(err, CloudError::GpuQuotaExceeded { .. }));
     }
 
@@ -518,7 +565,11 @@ mod tests {
     fn quota_frees_after_termination() {
         let (cloud, student, subnet) = setup();
         let ids: Vec<_> = (0..3)
-            .map(|_| cloud.run_instance(&student, "g4dn.xlarge", &subnet).unwrap())
+            .map(|_| {
+                cloud
+                    .run_instance(&student, "g4dn.xlarge", &subnet)
+                    .unwrap()
+            })
             .collect();
         cloud.terminate_instance(&student, &ids[0]).unwrap();
         assert!(cloud.run_instance(&student, "g4dn.xlarge", &subnet).is_ok());
@@ -531,7 +582,9 @@ mod tests {
         let id = cloud.run_instance(&poor, "g4dn.xlarge", &subnet).unwrap();
         cloud.clock().advance_hours(1); // $0.526 > $0.50
         cloud.terminate_instance(&poor, &id).unwrap();
-        let err = cloud.run_instance(&poor, "g4dn.xlarge", &subnet).unwrap_err();
+        let err = cloud
+            .run_instance(&poor, "g4dn.xlarge", &subnet)
+            .unwrap_err();
         assert!(matches!(err, CloudError::BudgetExceeded { .. }));
     }
 
@@ -552,8 +605,12 @@ mod tests {
     #[test]
     fn same_vpc_instances_reach_each_other() {
         let (cloud, student, subnet) = setup();
-        let a = cloud.run_instance(&student, "g4dn.xlarge", &subnet).unwrap();
-        let b = cloud.run_instance(&student, "g4dn.xlarge", &subnet).unwrap();
+        let a = cloud
+            .run_instance(&student, "g4dn.xlarge", &subnet)
+            .unwrap();
+        let b = cloud
+            .run_instance(&student, "g4dn.xlarge", &subnet)
+            .unwrap();
         assert!(cloud.can_reach(&a, &b).unwrap());
     }
 
@@ -561,16 +618,24 @@ mod tests {
     fn cross_vpc_instances_cannot_reach() {
         let (cloud, student, subnet) = setup();
         let other_vpc = cloud.create_vpc("other", "172.16.0.0/16").unwrap();
-        let other_subnet = cloud.create_subnet(&other_vpc, "x", "172.16.1.0/24").unwrap();
-        let a = cloud.run_instance(&student, "g4dn.xlarge", &subnet).unwrap();
-        let b = cloud.run_instance(&student, "g4dn.xlarge", &other_subnet).unwrap();
+        let other_subnet = cloud
+            .create_subnet(&other_vpc, "x", "172.16.1.0/24")
+            .unwrap();
+        let a = cloud
+            .run_instance(&student, "g4dn.xlarge", &subnet)
+            .unwrap();
+        let b = cloud
+            .run_instance(&student, "g4dn.xlarge", &other_subnet)
+            .unwrap();
         assert!(!cloud.can_reach(&a, &b).unwrap());
     }
 
     #[test]
     fn notebooks_create_bill_delete() {
         let (cloud, student, _) = setup();
-        let nb = cloud.create_notebook(&student, "jl", "ml.t3.medium").unwrap();
+        let nb = cloud
+            .create_notebook(&student, "jl", "ml.t3.medium")
+            .unwrap();
         cloud.clock().advance_hours(10);
         cloud.delete_notebook(&student, nb).unwrap();
         let cost = cloud.billing().cost_for(&student);
@@ -582,14 +647,21 @@ mod tests {
     fn subnet_misconfiguration_surfaces_as_vpc_error() {
         let (cloud, _, _) = setup();
         let vpc = cloud.create_vpc("v2", "10.1.0.0/16").unwrap();
-        let err = cloud.create_subnet(&vpc, "bad", "192.168.0.0/24").unwrap_err();
-        assert!(matches!(err, CloudError::Vpc(VpcError::SubnetOutsideVpc { .. })));
+        let err = cloud
+            .create_subnet(&vpc, "bad", "192.168.0.0/24")
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            CloudError::Vpc(VpcError::SubnetOutsideVpc { .. })
+        ));
     }
 
     #[test]
     fn list_running_tracks_idleness() {
         let (cloud, student, subnet) = setup();
-        let a = cloud.run_instance(&student, "g4dn.xlarge", &subnet).unwrap();
+        let a = cloud
+            .run_instance(&student, "g4dn.xlarge", &subnet)
+            .unwrap();
         cloud.clock().advance_secs(100);
         let running = cloud.list_running();
         assert_eq!(running, vec![(a, 100)]);
@@ -600,7 +672,9 @@ mod tests {
     #[test]
     fn stop_pauses_billing_through_provider() {
         let (cloud, student, subnet) = setup();
-        let id = cloud.run_instance(&student, "g4dn.xlarge", &subnet).unwrap();
+        let id = cloud
+            .run_instance(&student, "g4dn.xlarge", &subnet)
+            .unwrap();
         cloud.clock().advance_hours(1);
         cloud.stop_instance(&student, &id).unwrap();
         cloud.clock().advance_hours(10);

@@ -80,8 +80,12 @@ mod tests {
     #[test]
     fn reaps_only_over_threshold_instances() {
         let (cloud, student, subnet) = setup();
-        let idle = cloud.run_instance(&student, "g4dn.xlarge", &subnet).unwrap();
-        let busy = cloud.run_instance(&student, "g4dn.xlarge", &subnet).unwrap();
+        let idle = cloud
+            .run_instance(&student, "g4dn.xlarge", &subnet)
+            .unwrap();
+        let busy = cloud
+            .run_instance(&student, "g4dn.xlarge", &subnet)
+            .unwrap();
         cloud.clock().advance_secs(45 * 60);
         cloud.touch_instance(&busy).unwrap(); // student is working on this one
         let reaped = IdleReaper::default().sweep(&cloud);
@@ -92,17 +96,24 @@ mod tests {
     #[test]
     fn reaped_time_is_still_billed() {
         let (cloud, student, subnet) = setup();
-        let _ = cloud.run_instance(&student, "g4dn.xlarge", &subnet).unwrap();
+        let _ = cloud
+            .run_instance(&student, "g4dn.xlarge", &subnet)
+            .unwrap();
         cloud.clock().advance_hours(2);
         IdleReaper::new(60).sweep(&cloud);
         let cost = cloud.billing().cost_for(&student);
-        assert!((cost - 2.0 * 0.526).abs() < 1e-9, "forgotten GPU still costs: {cost}");
+        assert!(
+            (cost - 2.0 * 0.526).abs() < 1e-9,
+            "forgotten GPU still costs: {cost}"
+        );
     }
 
     #[test]
     fn sweep_under_threshold_reaps_nothing() {
         let (cloud, student, subnet) = setup();
-        let _ = cloud.run_instance(&student, "g4dn.xlarge", &subnet).unwrap();
+        let _ = cloud
+            .run_instance(&student, "g4dn.xlarge", &subnet)
+            .unwrap();
         cloud.clock().advance_secs(10 * 60);
         assert!(IdleReaper::default().sweep(&cloud).is_empty());
     }
@@ -110,8 +121,12 @@ mod tests {
     #[test]
     fn schedule_advances_time_and_accumulates() {
         let (cloud, student, subnet) = setup();
-        let _ = cloud.run_instance(&student, "g4dn.xlarge", &subnet).unwrap();
-        let _ = cloud.run_instance(&student, "g4dn.xlarge", &subnet).unwrap();
+        let _ = cloud
+            .run_instance(&student, "g4dn.xlarge", &subnet)
+            .unwrap();
+        let _ = cloud
+            .run_instance(&student, "g4dn.xlarge", &subnet)
+            .unwrap();
         // 4 sweeps × 15 min: both instances pass the 30-min idle mark by
         // the third sweep.
         let total = IdleReaper::default().run_schedule(&cloud, 4, 15 * 60);
@@ -125,9 +140,14 @@ mod tests {
         // Friday evening. Without the reaper it burns 64 h × $0.526 ≈ $34;
         // with a 30-min reaper sweeping hourly it costs at most ~2 h.
         let (cloud, student, subnet) = setup();
-        let _ = cloud.run_instance(&student, "g4dn.xlarge", &subnet).unwrap();
+        let _ = cloud
+            .run_instance(&student, "g4dn.xlarge", &subnet)
+            .unwrap();
         IdleReaper::default().run_schedule(&cloud, 64, 3600);
         let cost = cloud.billing().cost_for(&student);
-        assert!(cost < 2.0 * 0.526 + 1e-9, "reaper failed to cap cost: {cost}");
+        assert!(
+            cost < 2.0 * 0.526 + 1e-9,
+            "reaper failed to cap cost: {cost}"
+        );
     }
 }

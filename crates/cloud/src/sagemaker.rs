@@ -55,7 +55,13 @@ pub struct NotebookInstance {
 
 impl NotebookInstance {
     /// Creates a notebook that is immediately in service.
-    pub fn create(id: u64, name: &str, owner: &str, instance_type: InstanceType, clock: &SimClock) -> Self {
+    pub fn create(
+        id: u64,
+        name: &str,
+        owner: &str,
+        instance_type: InstanceType,
+        clock: &SimClock,
+    ) -> Self {
         Self {
             id,
             name: name.to_owned(),
@@ -139,7 +145,10 @@ mod tests {
     use crate::pricing::InstanceCatalog;
 
     fn nb(clock: &SimClock) -> NotebookInstance {
-        let ty = InstanceCatalog::us_east_1().get("ml.t3.medium").unwrap().clone();
+        let ty = InstanceCatalog::us_east_1()
+            .get("ml.t3.medium")
+            .unwrap()
+            .clone();
         NotebookInstance::create(1, "lab-notebook", "student-01", ty, clock)
     }
 

@@ -190,7 +190,12 @@ impl Vpc {
     /// Carves a new subnet out of the VPC block, rejecting blocks outside
     /// the VPC or overlapping existing subnets — the exact failure modes
     /// behind the paper's Fig. 4b confidence dip.
-    pub fn create_subnet(&mut self, id: SubnetId, name: &str, cidr_str: &str) -> Result<SubnetId, VpcError> {
+    pub fn create_subnet(
+        &mut self,
+        id: SubnetId,
+        name: &str,
+        cidr_str: &str,
+    ) -> Result<SubnetId, VpcError> {
         let cidr = Cidr::parse(cidr_str)?;
         if !self.cidr.contains(&cidr) {
             return Err(VpcError::SubnetOutsideVpc {
@@ -250,7 +255,14 @@ mod tests {
 
     #[test]
     fn cidr_parse_rejects_garbage() {
-        for bad in ["", "10.0.0.0", "10.0.0/24", "10.0.0.0/33", "256.0.0.0/8", "a.b.c.d/8"] {
+        for bad in [
+            "",
+            "10.0.0.0",
+            "10.0.0/24",
+            "10.0.0.0/33",
+            "256.0.0.0/8",
+            "a.b.c.d/8",
+        ] {
             assert!(Cidr::parse(bad).is_err(), "{bad} should fail");
         }
     }
@@ -271,10 +283,14 @@ mod tests {
         let mut vpc = Vpc::new(VpcId(1), "course", "10.0.0.0/16").unwrap();
         vpc.create_subnet(SubnetId(1), "a", "10.0.1.0/24").unwrap();
         // Outside the VPC — the classic student mistake.
-        let err = vpc.create_subnet(SubnetId(2), "b", "192.168.1.0/24").unwrap_err();
+        let err = vpc
+            .create_subnet(SubnetId(2), "b", "192.168.1.0/24")
+            .unwrap_err();
         assert!(matches!(err, VpcError::SubnetOutsideVpc { .. }));
         // Overlapping an existing subnet.
-        let err = vpc.create_subnet(SubnetId(3), "c", "10.0.1.128/25").unwrap_err();
+        let err = vpc
+            .create_subnet(SubnetId(3), "c", "10.0.1.128/25")
+            .unwrap_err();
         assert!(matches!(err, VpcError::SubnetOverlap { .. }));
         // Disjoint sibling works.
         vpc.create_subnet(SubnetId(4), "d", "10.0.2.0/24").unwrap();
@@ -284,7 +300,8 @@ mod tests {
     #[test]
     fn ip_allocation_is_sequential_and_bounded() {
         let mut vpc = Vpc::new(VpcId(1), "v", "10.0.0.0/16").unwrap();
-        vpc.create_subnet(SubnetId(1), "tiny", "10.0.0.0/29").unwrap(); // 8 addrs
+        vpc.create_subnet(SubnetId(1), "tiny", "10.0.0.0/29")
+            .unwrap(); // 8 addrs
         let s = vpc.subnet_mut(SubnetId(1)).unwrap();
         // hosts .4, .5, .6 available (network + 3 reserved low, broadcast kept free)
         let a = s.allocate_ip().unwrap();
@@ -293,7 +310,10 @@ mod tests {
         assert_eq!(Cidr::format_ip(a), "10.0.0.4");
         assert_eq!(Cidr::format_ip(b), "10.0.0.5");
         assert_eq!(Cidr::format_ip(c), "10.0.0.6");
-        assert!(matches!(s.allocate_ip(), Err(VpcError::SubnetExhausted { .. })));
+        assert!(matches!(
+            s.allocate_ip(),
+            Err(VpcError::SubnetExhausted { .. })
+        ));
         assert_eq!(s.allocated(), 3);
     }
 

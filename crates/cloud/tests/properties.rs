@@ -1,7 +1,7 @@
 //! Property-based invariants of the cloud control plane.
 
-use cloud_sim::pricing::billable_cost;
 use cloud_sim::prelude::*;
+use cloud_sim::pricing::billable_cost;
 use proptest::prelude::*;
 
 proptest! {

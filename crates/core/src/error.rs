@@ -1,0 +1,127 @@
+//! One error surface over the whole stack.
+//!
+//! Every layer of the reproduction has its own typed error enum (the GPU
+//! simulator's [`GpuError`], the scheduler's [`TaskError`], …). Code that
+//! composes layers — the [`crate::workflow`] loop, the [`crate::labs`],
+//! downstream experiment drivers — would otherwise juggle one error type
+//! per call or, worse, flatten everything to strings. [`SageError`] folds
+//! them into one sum type with `From` impls, so `?` works across layer
+//! boundaries and callers match on a single enum.
+
+use cloud_sim::provider::CloudError;
+use gpu_sim::GpuError;
+use sagegpu_df::DfError;
+use sagegpu_graph::GraphError;
+use sagegpu_stats::StatsError;
+use sagegpu_tensor::TensorError;
+use taskflow::TaskError;
+
+/// Any error the stack can produce, one variant per layer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SageError {
+    /// Cloud control plane: quotas, budgets, missing resources.
+    Cloud(CloudError),
+    /// Simulated GPU: allocation, transfer, launch failures.
+    Gpu(GpuError),
+    /// Tensor ops: shape mismatches, device-residency errors.
+    Tensor(TensorError),
+    /// Graph construction and partitioning.
+    Graph(GraphError),
+    /// Scheduler: panics, retries exhausted, deadlines, unknown workers.
+    Task(TaskError),
+    /// Dataframe ops: missing columns, type mismatches.
+    Df(DfError),
+    /// Statistical routines: degenerate samples, invalid parameters.
+    Stats(StatsError),
+}
+
+/// Shorthand for stack-spanning results.
+pub type SageResult<T> = Result<T, SageError>;
+
+macro_rules! from_layer {
+    ($variant:ident, $err:ty) => {
+        impl From<$err> for SageError {
+            fn from(e: $err) -> Self {
+                SageError::$variant(e)
+            }
+        }
+    };
+}
+
+from_layer!(Cloud, CloudError);
+from_layer!(Gpu, GpuError);
+from_layer!(Tensor, TensorError);
+from_layer!(Graph, GraphError);
+from_layer!(Task, TaskError);
+from_layer!(Df, DfError);
+from_layer!(Stats, StatsError);
+
+impl std::fmt::Display for SageError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SageError::Cloud(e) => write!(f, "cloud: {e}"),
+            SageError::Gpu(e) => write!(f, "gpu: {e}"),
+            SageError::Tensor(e) => write!(f, "tensor: {e}"),
+            SageError::Graph(e) => write!(f, "graph: {e}"),
+            SageError::Task(e) => write!(f, "task: {e}"),
+            SageError::Df(e) => write!(f, "dataframe: {e}"),
+            SageError::Stats(e) => write!(f, "stats: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SageError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SageError::Cloud(e) => Some(e),
+            SageError::Gpu(e) => Some(e),
+            SageError::Tensor(e) => Some(e),
+            SageError::Graph(e) => Some(e),
+            SageError::Task(e) => Some(e),
+            SageError::Df(e) => Some(e),
+            SageError::Stats(e) => Some(e),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tensor_layer() -> Result<(), TensorError> {
+        Err(TensorError::ShapeMismatch {
+            expected: "2x3".into(),
+            got: "4x5".into(),
+        })
+    }
+
+    #[test]
+    fn question_mark_lifts_layer_errors() {
+        fn composed() -> SageResult<()> {
+            tensor_layer()?;
+            Ok(())
+        }
+        match composed() {
+            Err(SageError::Tensor(TensorError::ShapeMismatch { expected, .. })) => {
+                assert_eq!(expected, "2x3")
+            }
+            other => panic!("expected tensor shape mismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn display_prefixes_the_layer() {
+        let e = SageError::from(TaskError::NoGpu { worker: 2 });
+        let msg = e.to_string();
+        assert!(msg.starts_with("task: "), "{msg}");
+        assert!(msg.contains("worker 2"), "{msg}");
+    }
+
+    #[test]
+    fn source_chains_to_the_layer_error() {
+        use std::error::Error;
+        let e = SageError::from(TaskError::Panicked("boom".into()));
+        let src = e.source().expect("has a source");
+        assert_eq!(src.to_string(), "task panicked: boom");
+    }
+}

@@ -6,15 +6,14 @@
 //! [`LabReport`] with real results plus the simulated GPU time — the pair
 //! the course graded on.
 
+use crate::error::SageResult;
 use crate::workflow::LabEnvironment;
-use gpu_sim::GpuError;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use sagegpu_gcn::distributed::{train_distributed, PartitionStrategy};
 use sagegpu_gcn::sequential::train_sequential;
 use sagegpu_gcn::TrainConfig;
 use sagegpu_graph::generators::{sbm, SbmParams};
-use sagegpu_graph::GraphError;
 use sagegpu_rag::pipeline::build_flat_pipeline;
 use sagegpu_tensor::dense::Tensor;
 use sagegpu_tensor::gpu_exec::GpuExecutor;
@@ -34,20 +33,17 @@ pub struct LabReport {
 /// Week 3 — matrix multiplication with memory profiling: uploads two
 /// `n × n` operands, multiplies on the device, reads the product back, and
 /// reports the transfer-vs-compute split (Assignment 1's deliverable).
-pub fn matmul_lab(env: &LabEnvironment, n: usize) -> Result<LabReport, GpuError> {
+pub fn matmul_lab(env: &LabEnvironment, n: usize) -> SageResult<LabReport> {
     let gpu = Arc::clone(env.gpu());
     let exec = GpuExecutor::new(Arc::clone(&gpu));
     let t0 = gpu.now_ns();
     let mut rng = SmallRng::seed_from_u64(3);
     let a = Tensor::randn(n, n, &mut rng);
     let b = Tensor::randn(n, n, &mut rng);
-    exec.upload(&a).map_err(|e| GpuError::InvalidLaunch { reason: e.to_string() })?;
-    exec.upload(&b).map_err(|e| GpuError::InvalidLaunch { reason: e.to_string() })?;
-    let c = exec
-        .matmul(&a, &b)
-        .map_err(|e| GpuError::InvalidLaunch { reason: e.to_string() })?;
-    exec.download(&c)
-        .map_err(|e| GpuError::InvalidLaunch { reason: e.to_string() })?;
+    exec.upload(&a)?;
+    exec.upload(&b)?;
+    let c = exec.matmul(&a, &b)?;
+    exec.download(&c)?;
     let gpu_time_ns = gpu.now_ns() - t0;
 
     // The lab's analysis: what fraction went to transfers?
@@ -61,7 +57,10 @@ pub fn matmul_lab(env: &LabEnvironment, n: usize) -> Result<LabReport, GpuError>
     let kernel = stats.get("sgemm").expect("matmul kernel ran");
     let mut metrics = BTreeMap::new();
     metrics.insert("n", n as f64);
-    metrics.insert("transfer_fraction", transfer_ns as f64 / gpu_time_ns.max(1) as f64);
+    metrics.insert(
+        "transfer_fraction",
+        transfer_ns as f64 / gpu_time_ns.max(1) as f64,
+    );
     metrics.insert("achieved_gflops", kernel.achieved_gflops());
     metrics.insert("checksum", c.sum() as f64);
     Ok(LabReport {
@@ -74,7 +73,7 @@ pub fn matmul_lab(env: &LabEnvironment, n: usize) -> Result<LabReport, GpuError>
 /// Weeks 8–10 — distributed GCN training (Algorithm 1): trains on an SBM
 /// dataset across the environment's GPUs with METIS partitioning and
 /// reports accuracy plus the speedup over sequential training.
-pub fn gcn_lab(env: &LabEnvironment, nodes_per_class: usize) -> Result<LabReport, GraphError> {
+pub fn gcn_lab(env: &LabEnvironment, nodes_per_class: usize) -> SageResult<LabReport> {
     let ds = sbm(
         &SbmParams {
             block_sizes: vec![nodes_per_class; 3],
@@ -97,7 +96,10 @@ pub fn gcn_lab(env: &LabEnvironment, nodes_per_class: usize) -> Result<LabReport
     metrics.insert("k", k as f64);
     metrics.insert("sequential_accuracy", seq.test_accuracy);
     metrics.insert("distributed_accuracy", dist.test_accuracy);
-    metrics.insert("speedup", seq.sim_time_ns as f64 / dist.sim_time_ns.max(1) as f64);
+    metrics.insert(
+        "speedup",
+        seq.sim_time_ns as f64 / dist.sim_time_ns.max(1) as f64,
+    );
     metrics.insert("edge_cut", dist.edge_cut);
     Ok(LabReport {
         lab: "distributed-gcn",
@@ -109,7 +111,7 @@ pub fn gcn_lab(env: &LabEnvironment, nodes_per_class: usize) -> Result<LabReport
 /// Week 8 — CNN training: trains the small conv → ReLU → GAP → linear
 /// classifier on the shifted-strokes dataset, charging each optimization
 /// step to the environment's GPU as a fused im2col-GEMM kernel.
-pub fn cnn_lab(env: &LabEnvironment, steps: usize) -> Result<LabReport, GpuError> {
+pub fn cnn_lab(env: &LabEnvironment, steps: usize) -> SageResult<LabReport> {
     use sagegpu_nn::conv::{patches_per_image, stroke_digits, SmallCnn};
     use sagegpu_nn::metrics::accuracy;
     use sagegpu_nn::optim::{Adam, Optimizer};
@@ -158,7 +160,11 @@ pub fn cnn_lab(env: &LabEnvironment, steps: usize) -> Result<LabReport, GpuError
     }
     let tape = Tape::new();
     let fwd = cnn.forward(&tape, &test);
-    let test_acc = accuracy(&tape.value(fwd.logits), &test_labels, &vec![true; test.batch]);
+    let test_acc = accuracy(
+        &tape.value(fwd.logits),
+        &test_labels,
+        &vec![true; test.batch],
+    );
 
     let mut metrics = BTreeMap::new();
     metrics.insert("steps", steps as f64);
@@ -174,7 +180,7 @@ pub fn cnn_lab(env: &LabEnvironment, steps: usize) -> Result<LabReport, GpuError
 
 /// Weeks 12–14 — RAG serving: builds the flat-index pipeline on the
 /// environment's GPU, runs a batched workload, and reports p50/p99/QPS.
-pub fn rag_lab(env: &LabEnvironment, corpus_size: usize, queries: usize) -> Result<LabReport, GpuError> {
+pub fn rag_lab(env: &LabEnvironment, corpus_size: usize, queries: usize) -> SageResult<LabReport> {
     let exec = GpuExecutor::new(Arc::clone(env.gpu()));
     let pipeline = build_flat_pipeline(corpus_size, 96, exec, 7);
     let workload: Vec<String> = (0..queries)
@@ -240,7 +246,11 @@ mod tests {
         let env = LabEnvironment::provision("s6", 1).unwrap();
         let r = cnn_lab(&env, 60).unwrap();
         assert!(r.metrics["last_loss"] < 0.5 * r.metrics["first_loss"]);
-        assert!(r.metrics["test_accuracy"] > 0.7, "acc {}", r.metrics["test_accuracy"]);
+        assert!(
+            r.metrics["test_accuracy"] > 0.7,
+            "acc {}",
+            r.metrics["test_accuracy"]
+        );
         assert!(r.gpu_time_ns > 0);
     }
 

@@ -27,7 +27,8 @@
 //! provision a student environment, run a lab workload, profile it, tear
 //! down and read the bill — and [`labs`] packages three canonical labs
 //! (matmul/memory, distributed GCN, RAG serving) used by the examples and
-//! benchmarks.
+//! benchmarks. Both speak [`error::SageError`], the single error surface
+//! folding every layer's error enum, so `?` composes across layers.
 //!
 //! ```
 //! use sagegpu_core::workflow::LabEnvironment;
@@ -53,11 +54,13 @@ pub use sagegpu_stats as stats;
 pub use sagegpu_tensor as tensor;
 pub use taskflow;
 
+pub mod error;
 pub mod labs;
 pub mod workflow;
 
 /// Convenient glob-import of the most-used types across the stack.
 pub mod prelude {
+    pub use crate::error::{SageError, SageResult};
     pub use crate::labs::{cnn_lab, gcn_lab, matmul_lab, rag_lab, LabReport};
     pub use crate::workflow::{CostBill, LabEnvironment};
     pub use cloud_sim::prelude::*;

@@ -7,8 +7,9 @@
 //! student's cap. [`LabEnvironment`] packages that loop over the simulated
 //! cloud and simulated GPUs.
 
+use crate::error::SageResult;
 use cloud_sim::bootstrap::{BootstrapOutcome, BootstrapPlan};
-use cloud_sim::provider::{CloudError, CloudProvider, Region};
+use cloud_sim::provider::{CloudProvider, Region};
 use gpu_sim::cluster::LinkKind;
 use gpu_sim::{DeviceSpec, Gpu, GpuCluster};
 use sagegpu_profiler::bottleneck::{analyze, BottleneckReport};
@@ -39,7 +40,7 @@ impl LabEnvironment {
     /// Provisions a fresh environment for `student` with `gpu_count`
     /// simulated T4s (1 = the single-GPU lab plan, >1 = the multi-GPU
     /// plan; the course capped students at 3 concurrent GPUs).
-    pub fn provision(student: &str, gpu_count: usize) -> Result<Self, CloudError> {
+    pub fn provision(student: &str, gpu_count: usize) -> SageResult<Self> {
         let cloud = CloudProvider::new(Region::UsEast1);
         let role = cloud.create_student_role(student, 100.0)?;
         let plan = if gpu_count <= 1 {
@@ -95,7 +96,7 @@ impl LabEnvironment {
 
     /// Marks lab activity on the cloud instances (defeats the idle reaper)
     /// and advances the cloud clock by `secs` of working time.
-    pub fn work_for(&self, secs: u64) -> Result<(), CloudError> {
+    pub fn work_for(&self, secs: u64) -> SageResult<()> {
         self.cloud.clock().advance_secs(secs);
         for id in &self.outcome.instances {
             self.cloud.touch_instance(id)?;
@@ -124,7 +125,7 @@ impl LabEnvironment {
     }
 
     /// Terminates all cloud resources and returns the bill.
-    pub fn teardown(&mut self) -> Result<CostBill, CloudError> {
+    pub fn teardown(&mut self) -> SageResult<CostBill> {
         if !self.torn_down {
             BootstrapPlan::teardown(&self.cloud, &self.role, &self.outcome);
             self.torn_down = true;
@@ -166,8 +167,12 @@ mod tests {
     }
 
     #[test]
-    fn quota_blocks_oversized_requests() {
-        assert!(LabEnvironment::provision("carol", 4).is_err());
+    fn quota_blocks_oversized_requests_with_typed_error() {
+        match LabEnvironment::provision("carol", 4) {
+            Err(crate::error::SageError::Cloud(_)) => {}
+            Err(other) => panic!("expected a cloud-layer quota error, got {other}"),
+            Ok(_) => panic!("oversized request should have been rejected"),
+        }
     }
 
     #[test]
@@ -176,7 +181,11 @@ mod tests {
         env.work_for(2 * 3600).unwrap();
         let bill = env.teardown().unwrap();
         // 2 h on a g4dn.xlarge ≈ $1.05, plus the notebook.
-        assert!(bill.total_usd > 1.0 && bill.total_usd < 2.0, "bill {}", bill.total_usd);
+        assert!(
+            bill.total_usd > 1.0 && bill.total_usd < 2.0,
+            "bill {}",
+            bill.total_usd
+        );
         assert!((bill.gpu_hours - 2.0).abs() < 0.01);
         assert!(bill.remaining_budget_usd < 100.0);
         // Idempotent.

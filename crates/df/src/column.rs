@@ -60,10 +60,18 @@ impl Column {
     pub fn filter(&self, mask: &[bool]) -> Column {
         match self {
             Column::F64(v) => Column::F64(
-                v.iter().zip(mask).filter(|(_, &m)| m).map(|(x, _)| *x).collect(),
+                v.iter()
+                    .zip(mask)
+                    .filter(|(_, &m)| m)
+                    .map(|(x, _)| *x)
+                    .collect(),
             ),
             Column::I64(v) => Column::I64(
-                v.iter().zip(mask).filter(|(_, &m)| m).map(|(x, _)| *x).collect(),
+                v.iter()
+                    .zip(mask)
+                    .filter(|(_, &m)| m)
+                    .map(|(x, _)| *x)
+                    .collect(),
             ),
             Column::Str(v) => Column::Str(
                 v.iter()

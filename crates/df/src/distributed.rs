@@ -154,10 +154,15 @@ mod tests {
     use super::*;
     use gpu_sim::cluster::LinkKind;
     use gpu_sim::{DeviceSpec, GpuCluster};
+    use taskflow::cluster::ClusterBuilder;
 
     fn setup(n: usize, workers: usize) -> (PartitionedFrame, Arc<GpuCluster>) {
-        let gpus = Arc::new(GpuCluster::homogeneous(workers, DeviceSpec::t4(), LinkKind::Pcie));
-        let cluster = Arc::new(LocalCluster::with_gpus(Arc::clone(&gpus)));
+        let gpus = Arc::new(GpuCluster::homogeneous(
+            workers,
+            DeviceSpec::t4(),
+            LinkKind::Pcie,
+        ));
+        let cluster = Arc::new(ClusterBuilder::new().gpus(Arc::clone(&gpus)).build());
         let df = DataFrame::taxi_trips(n, 9);
         (PartitionedFrame::from_frame(df, cluster), gpus)
     }
@@ -175,7 +180,9 @@ mod tests {
     fn distributed_filter_matches_single_node() {
         let (pf, _) = setup(200, 3);
         let filtered = pf.filter_f64("fare", |f| f > 12.0).unwrap();
-        let expected = DataFrame::taxi_trips(200, 9).filter_f64("fare", |f| f > 12.0).unwrap();
+        let expected = DataFrame::taxi_trips(200, 9)
+            .filter_f64("fare", |f| f > 12.0)
+            .unwrap();
         assert_eq!(filtered.collect().unwrap(), expected);
     }
 
@@ -186,7 +193,10 @@ mod tests {
         let single = DataFrame::taxi_trips(400, 9)
             .groupby_i64("zone", &[("fare", Agg::Mean)])
             .unwrap();
-        assert_eq!(dist.i64_column("zone").unwrap(), single.i64_column("zone").unwrap());
+        assert_eq!(
+            dist.i64_column("zone").unwrap(),
+            single.i64_column("zone").unwrap()
+        );
         let d = dist.f64_column("fare_mean").unwrap();
         let s = single.f64_column("fare_mean").unwrap();
         for (a, b) in d.iter().zip(s) {

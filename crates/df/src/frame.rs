@@ -140,7 +140,11 @@ impl DataFrame {
     }
 
     /// Rows where the f64 predicate holds on `column`.
-    pub fn filter_f64(&self, column: &str, pred: impl Fn(f64) -> bool) -> Result<DataFrame, DfError> {
+    pub fn filter_f64(
+        &self,
+        column: &str,
+        pred: impl Fn(f64) -> bool,
+    ) -> Result<DataFrame, DfError> {
         let mask: Vec<bool> = self.f64_column(column)?.iter().map(|&v| pred(v)).collect();
         self.filter_mask(&mask)
     }
@@ -213,8 +217,13 @@ impl DataFrame {
                     match agg {
                         Agg::Count => rows.len() as f64,
                         Agg::Sum => rows.iter().map(|&i| values[i]).sum(),
-                        Agg::Mean => rows.iter().map(|&i| values[i]).sum::<f64>() / rows.len() as f64,
-                        Agg::Min => rows.iter().map(|&i| values[i]).fold(f64::INFINITY, f64::min),
+                        Agg::Mean => {
+                            rows.iter().map(|&i| values[i]).sum::<f64>() / rows.len() as f64
+                        }
+                        Agg::Min => rows
+                            .iter()
+                            .map(|&i| values[i])
+                            .fold(f64::INFINITY, f64::min),
                         Agg::Max => rows
                             .iter()
                             .map(|&i| values[i])
@@ -313,7 +322,16 @@ mod tests {
         DataFrame::from_columns(vec![
             ("k", Column::I64(vec![1, 2, 1, 2, 3])),
             ("v", Column::F64(vec![10.0, 20.0, 30.0, 40.0, 50.0])),
-            ("tag", Column::Str(vec!["a".into(), "b".into(), "c".into(), "d".into(), "e".into()])),
+            (
+                "tag",
+                Column::Str(vec![
+                    "a".into(),
+                    "b".into(),
+                    "c".into(),
+                    "d".into(),
+                    "e".into(),
+                ]),
+            ),
         ])
         .unwrap()
     }
@@ -339,7 +357,10 @@ mod tests {
     fn typed_accessors_enforce_types() {
         let df = sample();
         assert!(df.f64_column("v").is_ok());
-        assert!(matches!(df.f64_column("k"), Err(DfError::TypeMismatch { .. })));
+        assert!(matches!(
+            df.f64_column("k"),
+            Err(DfError::TypeMismatch { .. })
+        ));
         assert!(matches!(df.column("ghost"), Err(DfError::NoSuchColumn(_))));
         assert_eq!(df.str_column("tag").unwrap()[4], "e");
     }
@@ -368,7 +389,16 @@ mod tests {
     fn groupby_all_aggregations() {
         let df = sample();
         let g = df
-            .groupby_i64("k", &[("v", Agg::Sum), ("v", Agg::Mean), ("v", Agg::Count), ("v", Agg::Min), ("v", Agg::Max)])
+            .groupby_i64(
+                "k",
+                &[
+                    ("v", Agg::Sum),
+                    ("v", Agg::Mean),
+                    ("v", Agg::Count),
+                    ("v", Agg::Min),
+                    ("v", Agg::Max),
+                ],
+            )
             .unwrap();
         assert_eq!(g.num_rows(), 3);
         assert_eq!(g.i64_column("k").unwrap(), &[1, 2, 3]);

@@ -49,7 +49,11 @@ impl GpuFrame {
     }
 
     /// GPU-charged filter on an f64 column.
-    pub fn filter_f64(&self, column: &str, pred: impl Fn(f64) -> bool) -> Result<GpuFrame, DfError> {
+    pub fn filter_f64(
+        &self,
+        column: &str,
+        pred: impl Fn(f64) -> bool,
+    ) -> Result<GpuFrame, DfError> {
         let n = self.df.num_rows() as u64;
         let profile = KernelProfile {
             flops: n,
@@ -60,7 +64,9 @@ impl GpuFrame {
         let cfg = LaunchConfig::for_elements(n.max(1), 256);
         let df = self
             .gpu
-            .launch("df_filter", cfg, profile, || self.df.filter_f64(column, pred))
+            .launch("df_filter", cfg, profile, || {
+                self.df.filter_f64(column, pred)
+            })
             .expect("valid launch")?;
         Ok(GpuFrame {
             df,
@@ -80,7 +86,9 @@ impl GpuFrame {
         let cfg = LaunchConfig::for_elements(n.max(1), 128);
         let df = self
             .gpu
-            .launch("df_groupby", cfg, profile, || self.df.groupby_i64(key, aggs))
+            .launch("df_groupby", cfg, profile, || {
+                self.df.groupby_i64(key, aggs)
+            })
             .expect("valid launch")?;
         Ok(GpuFrame {
             df,
@@ -116,7 +124,10 @@ mod tests {
     use gpu_sim::DeviceSpec;
 
     fn gpu_frame(n: usize) -> GpuFrame {
-        GpuFrame::upload(DataFrame::taxi_trips(n, 3), Arc::new(Gpu::new(0, DeviceSpec::t4())))
+        GpuFrame::upload(
+            DataFrame::taxi_trips(n, 3),
+            Arc::new(Gpu::new(0, DeviceSpec::t4())),
+        )
     }
 
     #[test]
@@ -167,8 +178,20 @@ mod tests {
         let _ = gf.filter_f64("fare", |f| f > 0.0).unwrap();
         let filter_dt = gf.gpu().now_ns() - t0;
         let t1 = gf.gpu().now_ns();
-        let _ = gf.groupby_i64("zone", &[("fare", Agg::Sum), ("distance", Agg::Sum), ("fare", Agg::Count)]).unwrap();
+        let _ = gf
+            .groupby_i64(
+                "zone",
+                &[
+                    ("fare", Agg::Sum),
+                    ("distance", Agg::Sum),
+                    ("fare", Agg::Count),
+                ],
+            )
+            .unwrap();
         let groupby_dt = gf.gpu().now_ns() - t1;
-        assert!(groupby_dt > filter_dt / 4, "groupby {groupby_dt} vs filter {filter_dt}");
+        assert!(
+            groupby_dt > filter_dt / 4,
+            "groupby {groupby_dt} vs filter {filter_dt}"
+        );
     }
 }

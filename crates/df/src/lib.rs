@@ -40,7 +40,10 @@ pub enum DfError {
     /// Referenced column does not exist.
     NoSuchColumn(String),
     /// Column has the wrong type for the operation.
-    TypeMismatch { column: String, expected: &'static str },
+    TypeMismatch {
+        column: String,
+        expected: &'static str,
+    },
     /// Columns of differing lengths in one frame.
     LengthMismatch { expected: usize, got: usize },
     /// A column name used twice.
@@ -55,7 +58,10 @@ impl std::fmt::Display for DfError {
                 write!(f, "column {column} is not of type {expected}")
             }
             DfError::LengthMismatch { expected, got } => {
-                write!(f, "column length {got} does not match frame length {expected}")
+                write!(
+                    f,
+                    "column length {got} does not match frame length {expected}"
+                )
             }
             DfError::DuplicateColumn(name) => write!(f, "duplicate column: {name}"),
         }

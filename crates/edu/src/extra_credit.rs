@@ -22,7 +22,9 @@ pub enum ExtraCredit {
 /// Whether the activity was offered in a semester.
 pub fn offered(activity: ExtraCredit, semester: Semester) -> bool {
     match activity {
-        ExtraCredit::BuildYourOwnLab => matches!(semester, Semester::Fall2024 | Semester::Spring2025),
+        ExtraCredit::BuildYourOwnLab => {
+            matches!(semester, Semester::Fall2024 | Semester::Spring2025)
+        }
         // The review was introduced in Spring 2025.
         ExtraCredit::PaperReview => matches!(semester, Semester::Spring2025),
     }
@@ -139,7 +141,10 @@ mod tests {
         let mean_quality: f64 =
             reviews.iter().map(|a| a.quality).sum::<f64>() / reviews.len() as f64;
         // Good but not excellent: the vague extensions cap the rubric.
-        assert!((0.55..=0.85).contains(&mean_quality), "quality {mean_quality}");
+        assert!(
+            (0.55..=0.85).contains(&mean_quality),
+            "quality {mean_quality}"
+        );
         // A minority fully meet the SLOs.
         let met = reviews.iter().filter(|a| a.met_slos).count();
         assert!(met < reviews.len(), "extensions were 'often vague'");

@@ -148,7 +148,10 @@ pub fn simulate_grades(cohort: &Cohort, seed: u64) -> Vec<CourseOutcome> {
 pub fn grade_distribution(outcomes: &[CourseOutcome]) -> [usize; 5] {
     let mut counts = [0usize; 5];
     for o in outcomes {
-        let idx = LetterGrade::ALL.iter().position(|&l| l == o.letter).expect("in ALL");
+        let idx = LetterGrade::ALL
+            .iter()
+            .position(|&l| l == o.letter)
+            .expect("in ALL");
         counts[idx] += 1;
     }
     counts
@@ -187,7 +190,11 @@ mod tests {
         assert_eq!(spring_total, 30);
         // Fall 2024: B is the modal grade.
         let fall_mode = fall.iter().enumerate().max_by_key(|(_, &c)| c).unwrap().0;
-        assert_eq!(LetterGrade::ALL[fall_mode], LetterGrade::B, "fall distribution {fall:?}");
+        assert_eq!(
+            LetterGrade::ALL[fall_mode],
+            LetterGrade::B,
+            "fall distribution {fall:?}"
+        );
         // Spring 2025: over 60% A.
         let a_share = spring[0] as f64 / spring_total as f64;
         assert!(a_share > 0.6, "spring A share {a_share} ({spring:?})");

@@ -5,8 +5,15 @@ use serde::Serialize;
 /// The deliverable attached to a week.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize)]
 pub enum Deliverable {
-    Lab { number: usize, title: &'static str },
-    Assignment { number: usize, title: &'static str, due_week: usize },
+    Lab {
+        number: usize,
+        title: &'static str,
+    },
+    Assignment {
+        number: usize,
+        title: &'static str,
+        due_week: usize,
+    },
     Exam(&'static str),
     Project(&'static str),
 }
@@ -106,14 +113,23 @@ pub fn render_modules_table() -> String {
             .iter()
             .map(|d| match d {
                 Deliverable::Lab { number, title } => format!("Lab {number}: {title}"),
-                Deliverable::Assignment { number, title, due_week } => {
+                Deliverable::Assignment {
+                    number,
+                    title,
+                    due_week,
+                } => {
                     format!("Assignment {number}: {title} (Due Week {due_week})")
                 }
                 Deliverable::Exam(name) => (*name).to_owned(),
                 Deliverable::Project(name) => (*name).to_owned(),
             })
             .collect();
-        out.push_str(&format!("{:>4} | {} | {}\n", m.week, m.topic, deliverables.join("; ")));
+        out.push_str(&format!(
+            "{:>4} | {} | {}\n",
+            m.week,
+            m.topic,
+            deliverables.join("; ")
+        ));
     }
     out
 }
@@ -146,7 +162,9 @@ mod tests {
             .iter()
             .flat_map(|m| &m.deliverables)
             .filter_map(|d| match d {
-                Deliverable::Assignment { number, due_week, .. } => Some((*number, *due_week)),
+                Deliverable::Assignment {
+                    number, due_week, ..
+                } => Some((*number, *due_week)),
                 _ => None,
             })
             .collect();

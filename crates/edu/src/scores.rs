@@ -132,7 +132,11 @@ mod tests {
         assert!((d.median - 97.92).abs() < 2.0, "median {}", d.median);
         assert!(d.max <= 99.17 + 1e-9);
         assert!(d.min >= 74.38 - 1e-9);
-        assert!(d.skewness < -1.0, "ceiling skew expected, got {}", d.skewness);
+        assert!(
+            d.skewness < -1.0,
+            "ceiling skew expected, got {}",
+            d.skewness
+        );
     }
 
     #[test]
@@ -156,7 +160,12 @@ mod tests {
         assert!(grad.w < 0.88, "graduate W {} should be low", grad.w);
         assert!(grad.p_value < 0.01, "graduate p {}", grad.p_value);
         let ug = shapiro_wilk(&s.undergraduate).unwrap();
-        assert!(ug.w > grad.w, "UG less skewed than grads: {} vs {}", ug.w, grad.w);
+        assert!(
+            ug.w > grad.w,
+            "UG less skewed than grads: {} vs {}",
+            ug.w,
+            grad.w
+        );
         assert!((0.80..=0.97).contains(&ug.w), "UG W {}", ug.w);
         assert!(ug.p_value < 0.10, "UG mildly non-normal, p {}", ug.p_value);
     }
@@ -211,7 +220,10 @@ mod tests {
         for seed in 0..10u64 {
             let s = appendix_c_scores(seed);
             let grad = shapiro_wilk(&s.graduate).unwrap();
-            assert!(grad.p_value < 0.05, "seed {seed}: grad normality must reject");
+            assert!(
+                grad.p_value < 0.05,
+                "seed {seed}: grad normality must reject"
+            );
             let mw = mann_whitney_u(&s.graduate, &s.undergraduate).unwrap();
             assert!(mw.p_value < 0.05, "seed {seed}: group difference must hold");
             let lv = levene_test(&[&s.graduate, &s.undergraduate], Center::Mean).unwrap();
@@ -219,7 +231,10 @@ mod tests {
                 levene_ok += 1;
             }
         }
-        assert!(levene_ok >= 7, "homogeneity conclusion held only {levene_ok}/10 seeds");
+        assert!(
+            levene_ok >= 7,
+            "homogeneity conclusion held only {levene_ok}/10 seeds"
+        );
     }
 
     #[test]

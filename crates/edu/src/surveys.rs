@@ -128,7 +128,8 @@ pub fn survey_responses(
     // Respondent subset: the n most diligent students answer surveys.
     let mut by_diligence: Vec<&crate::cohort::Student> = cohort.students.iter().collect();
     by_diligence.sort_by(|a, b| b.diligence.partial_cmp(&a.diligence).expect("finite"));
-    let respondents_subset: Vec<&crate::cohort::Student> = by_diligence.into_iter().take(n).collect();
+    let respondents_subset: Vec<&crate::cohort::Student> =
+        by_diligence.into_iter().take(n).collect();
     // Order by noisy ability (ascending): low ability → low confidence.
     // Noise is precomputed per student so the sort key is stable.
     let mut keyed: Vec<(f64, &crate::cohort::Student)> = respondents_subset
@@ -180,19 +181,37 @@ mod tests {
 
     #[test]
     fn fig4a_final_counts_match_paper_exactly() {
-        let f24 = survey_summary(&cohort(Semester::Fall2024), SurveyQuestion::NumbaCuda, SurveyWave::Final, SEED).unwrap();
+        let f24 = survey_summary(
+            &cohort(Semester::Fall2024),
+            SurveyQuestion::NumbaCuda,
+            SurveyWave::Final,
+            SEED,
+        )
+        .unwrap();
         assert_eq!(f24.counts, [2, 2, 1, 2, 2], "Fall 2024 4a");
-        let s25 = survey_summary(&cohort(Semester::Spring2025), SurveyQuestion::NumbaCuda, SurveyWave::Final, SEED).unwrap();
+        let s25 = survey_summary(
+            &cohort(Semester::Spring2025),
+            SurveyQuestion::NumbaCuda,
+            SurveyWave::Final,
+            SEED,
+        )
+        .unwrap();
         assert_eq!(s25.counts, [0, 0, 9, 7, 5], "Spring 2025 4a");
-        assert_eq!(s25.mode(), LikertResponse::Neutral, "'Neutral' the largest group");
+        assert_eq!(
+            s25.mode(),
+            LikertResponse::Neutral,
+            "'Neutral' the largest group"
+        );
     }
 
     #[test]
     fn fig4b_confidence_improves_mid_to_final() {
         for sem in [Semester::Fall2024, Semester::Spring2025] {
             let c = cohort(sem);
-            let mid = survey_summary(&c, SurveyQuestion::AwsCluster, SurveyWave::Mid, SEED).unwrap();
-            let fin = survey_summary(&c, SurveyQuestion::AwsCluster, SurveyWave::Final, SEED).unwrap();
+            let mid =
+                survey_summary(&c, SurveyQuestion::AwsCluster, SurveyWave::Mid, SEED).unwrap();
+            let fin =
+                survey_summary(&c, SurveyQuestion::AwsCluster, SurveyWave::Final, SEED).unwrap();
             assert!(
                 fin.mean_score() > mid.mean_score() + 0.5,
                 "{}: {} → {}",
@@ -208,14 +227,18 @@ mod tests {
         let dip = |sem: Semester| {
             let c = cohort(sem);
             let mid = survey_summary(&c, SurveyQuestion::Profiling, SurveyWave::Mid, SEED).unwrap();
-            let fin = survey_summary(&c, SurveyQuestion::Profiling, SurveyWave::Final, SEED).unwrap();
+            let fin =
+                survey_summary(&c, SurveyQuestion::Profiling, SurveyWave::Final, SEED).unwrap();
             mid.mean_score() - fin.mean_score()
         };
         let fall_dip = dip(Semester::Fall2024);
         let spring_dip = dip(Semester::Spring2025);
         assert!(fall_dip > 0.5, "Fall dip {fall_dip}");
         assert!(spring_dip > 0.0, "Spring still dips: {spring_dip}");
-        assert!(spring_dip < fall_dip, "dip attenuated in Spring: {spring_dip} vs {fall_dip}");
+        assert!(
+            spring_dip < fall_dip,
+            "dip attenuated in Spring: {spring_dip} vs {fall_dip}"
+        );
     }
 
     #[test]
@@ -223,11 +246,21 @@ mod tests {
         let c25 = cohort(Semester::Spring2025);
         assert!(survey_responses(&c25, SurveyQuestion::MultiGpu, SurveyWave::Mid, SEED).is_none());
         let fin = survey_summary(&c25, SurveyQuestion::MultiGpu, SurveyWave::Final, SEED).unwrap();
-        assert_eq!(fin.counts[0] + fin.counts[1], 10, "ten students expressing disagreement");
+        assert_eq!(
+            fin.counts[0] + fin.counts[1],
+            10,
+            "ten students expressing disagreement"
+        );
         // Most report neutral or higher.
         assert!(fin.counts[2] + fin.counts[3] + fin.counts[4] > 10);
         // Fall's small group was largely positive.
-        let f24 = survey_summary(&cohort(Semester::Fall2024), SurveyQuestion::MultiGpu, SurveyWave::Final, SEED).unwrap();
+        let f24 = survey_summary(
+            &cohort(Semester::Fall2024),
+            SurveyQuestion::MultiGpu,
+            SurveyWave::Final,
+            SEED,
+        )
+        .unwrap();
         assert!(f24.top_two_box() > 0.6);
     }
 
@@ -250,17 +283,31 @@ mod tests {
             .map(|(id, _)| ability_of(*id))
             .collect();
         let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
-        assert!(mean(&high) > mean(&low), "{} vs {}", mean(&high), mean(&low));
+        assert!(
+            mean(&high) > mean(&low),
+            "{} vs {}",
+            mean(&high),
+            mean(&low)
+        );
     }
 
     #[test]
     fn respondent_counts_match() {
         for sem in [Semester::Fall2024, Semester::Spring2025] {
             let c = cohort(sem);
-            for q in [SurveyQuestion::NumbaCuda, SurveyQuestion::AwsCluster, SurveyQuestion::Profiling] {
+            for q in [
+                SurveyQuestion::NumbaCuda,
+                SurveyQuestion::AwsCluster,
+                SurveyQuestion::Profiling,
+            ] {
                 for wave in [SurveyWave::Mid, SurveyWave::Final] {
                     let s = survey_summary(&c, q, wave, SEED).unwrap();
-                    assert_eq!(s.total(), respondents(sem), "{q:?} {wave:?} {}", sem.label());
+                    assert_eq!(
+                        s.total(),
+                        respondents(sem),
+                        "{q:?} {wave:?} {}",
+                        sem.label()
+                    );
                 }
             }
         }

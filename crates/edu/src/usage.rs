@@ -104,7 +104,9 @@ fn semester_sessions(semester: Semester, rng: &mut SmallRng) -> Vec<Session> {
 pub fn simulate_semester_usage(cohort: &Cohort, seed: u64) -> UsageSummary {
     let cloud = CloudProvider::new(Region::UsEast1);
     let reaper = IdleReaper::new(30 * 60);
-    let vpc = cloud.create_vpc("course", "10.0.0.0/16").expect("valid CIDR");
+    let vpc = cloud
+        .create_vpc("course", "10.0.0.0/16")
+        .expect("valid CIDR");
     let subnet: SubnetRef = cloud
         .create_subnet(&vpc, "labs", "10.0.0.0/18")
         .expect("valid subnet");
@@ -113,7 +115,10 @@ pub fn simulate_semester_usage(cohort: &Cohort, seed: u64) -> UsageSummary {
 
     for student in &cohort.students {
         let role = cloud
-            .create_student_role(&format!("{}-{}", cohort.semester.label(), student.id), 100.0)
+            .create_student_role(
+                &format!("{}-{}", cohort.semester.label(), student.id),
+                100.0,
+            )
             .expect("fresh role");
         for session in semester_sessions(cohort.semester, &mut rng) {
             // Notebook for the session (SageMaker Jupyter front-end).
@@ -142,7 +147,9 @@ pub fn simulate_semester_usage(cohort: &Cohort, seed: u64) -> UsageSummary {
                 reaped += reaper.sweep(&cloud).len();
             } else {
                 for id in &instances {
-                    cloud.terminate_instance(&role, id).expect("owner can terminate");
+                    cloud
+                        .terminate_instance(&role, id)
+                        .expect("owner can terminate");
                 }
             }
             cloud.delete_notebook(&role, nb).expect("owner can delete");
@@ -155,7 +162,12 @@ pub fn simulate_semester_usage(cohort: &Cohort, seed: u64) -> UsageSummary {
     let (mean_gpu_hours, mean_cost_usd) = cloud.billing().per_student_averages();
     let project_cost_hours: f64 = {
         // Project hours: read back from the ledger's activity breakdown.
-        let project_usd = cloud.billing().cost_by_activity().get("project").copied().unwrap_or(0.0);
+        let project_usd = cloud
+            .billing()
+            .cost_by_activity()
+            .get("project")
+            .copied()
+            .unwrap_or(0.0);
         // g4dn.xlarge at $0.526/h.
         project_usd / 0.526 / cohort.len() as f64
     };
@@ -237,7 +249,11 @@ mod tests {
     #[test]
     fn project_usage_under_two_hours() {
         let u = summary(Semester::Spring2025);
-        assert!(u.mean_project_hours < 2.0, "project hours {}", u.mean_project_hours);
+        assert!(
+            u.mean_project_hours < 2.0,
+            "project hours {}",
+            u.mean_project_hours
+        );
         assert!(u.mean_project_hours > 0.5);
     }
 

@@ -18,7 +18,9 @@ use sagegpu_profiler::timeline::Timeline;
 use sagegpu_tensor::dense::Tensor;
 use sagegpu_tensor::sparse::CsrMatrix;
 use std::sync::Arc;
-use taskflow::cluster::LocalCluster;
+use taskflow::cluster::ClusterBuilder;
+use taskflow::metrics::SchedulerMetrics;
+use taskflow::policy::{FaultPlan, RetryPolicy};
 
 /// How the graph is split across workers (line 3 of Algorithm 1 uses
 /// METIS; the course had students also try random splits).
@@ -69,6 +71,28 @@ pub struct DistResult {
     /// Per-device busy fraction of the makespan.
     pub device_utilization: Vec<f64>,
     pub model: Gcn,
+    /// Scheduler-side counters and task spans for the run (retries show up
+    /// here when fault injection was active).
+    pub sched_metrics: SchedulerMetrics,
+}
+
+/// Execution knobs for a distributed run beyond the training config:
+/// interconnect, fault injection, and the retry budget that absorbs it.
+#[derive(Debug, Clone)]
+pub struct DistOptions {
+    pub link: LinkKind,
+    pub fault_plan: FaultPlan,
+    pub retry: RetryPolicy,
+}
+
+impl Default for DistOptions {
+    fn default() -> Self {
+        DistOptions {
+            link: LinkKind::Ethernet,
+            fault_plan: FaultPlan::none(),
+            retry: RetryPolicy::none(),
+        }
+    }
 }
 
 fn build_partition(ds: &GraphDataset, nodes: Vec<usize>) -> Result<PartitionData, GraphError> {
@@ -118,6 +142,31 @@ pub fn train_distributed_with_link(
     strategy: PartitionStrategy,
     link: LinkKind,
 ) -> Result<DistResult, GraphError> {
+    train_distributed_with_opts(
+        ds,
+        k,
+        cfg,
+        strategy,
+        DistOptions {
+            link,
+            ..DistOptions::default()
+        },
+    )
+}
+
+/// [`train_distributed`] with full execution options, including seeded
+/// fault injection. Injected worker crashes are synthesized *before* the
+/// task body runs, so a retried epoch task recomputes from identical
+/// inputs — a faulty run with enough retry budget converges to exactly the
+/// same losses as a fault-free run (the resilience experiment of
+/// EXPERIMENTS.md).
+pub fn train_distributed_with_opts(
+    ds: &GraphDataset,
+    k: usize,
+    cfg: &TrainConfig,
+    strategy: PartitionStrategy,
+    opts: DistOptions,
+) -> Result<DistResult, GraphError> {
     // Line 3: partition.
     let parts = match strategy {
         PartitionStrategy::Metis => metis_partition(&ds.graph, k)?,
@@ -130,8 +179,12 @@ pub fn train_distributed_with_link(
     // setups were 2–3 *separate* single-GPU instances in one VPC, so the
     // default gradient exchange crosses Ethernet — the main reason the
     // paper saw "minimal performance improvement" from splitting.
-    let gpus = Arc::new(GpuCluster::homogeneous(k, DeviceSpec::t4(), link));
-    let cluster = LocalCluster::with_gpus(Arc::clone(&gpus));
+    let gpus = Arc::new(GpuCluster::homogeneous(k, DeviceSpec::t4(), opts.link));
+    let cluster = ClusterBuilder::new()
+        .gpus(Arc::clone(&gpus))
+        .fault_plan(opts.fault_plan)
+        .retry_policy(opts.retry)
+        .build();
 
     // Lines 5–6: build and distribute partitions (features charged as H2D).
     let mut partition_keys = Vec::with_capacity(k);
@@ -144,7 +197,7 @@ pub fn train_distributed_with_link(
             .submit_to(part, move |ctx| {
                 // Charge the feature upload to this worker's GPU.
                 let _ = ctx.gpu().htod(data_clone.x.data()).expect("features fit");
-                ctx.store.put(key, data_clone);
+                ctx.store.put(key, Arc::clone(&data_clone));
             })
             .expect("worker exists")
             .wait()
@@ -184,7 +237,8 @@ pub fn train_distributed_with_link(
                     let launch = LaunchConfig::for_elements(data.nodes.len().max(1) as u64, 128);
                     gpu.launch("gcn_epoch_local", launch, profile, || {
                         // Lines 10–11: local loss and gradients.
-                        let mut local = Gcn::new(in_dim, hidden, classes, &mut SmallRng::seed_from_u64(0));
+                        let mut local =
+                            Gcn::new(in_dim, hidden, classes, &mut SmallRng::seed_from_u64(0));
                         local.set_parameters(&params);
                         let tape = Tape::new();
                         let fwd = local.forward(&tape, Arc::clone(&data.adj), &data.x);
@@ -218,11 +272,7 @@ pub fn train_distributed_with_link(
         }
         // Line 14: report epoch loss (train-count-weighted).
         let loss = if total_train > 0.0 {
-            results
-                .iter()
-                .map(|(_, l, c)| *l * *c as f32)
-                .sum::<f32>()
-                / total_train as f32
+            results.iter().map(|(_, l, c)| *l * *c as f32).sum::<f32>() / total_train as f32
         } else {
             0.0
         };
@@ -265,7 +315,11 @@ pub fn train_distributed_with_link(
             }
         }
     }
-    let test_accuracy = if total == 0 { 0.0 } else { correct as f64 / total as f64 };
+    let test_accuracy = if total == 0 {
+        0.0
+    } else {
+        correct as f64 / total as f64
+    };
 
     // Evaluation 2: full-graph inference with the same trained weights.
     let full_adj = dataset_adjacency(ds);
@@ -275,6 +329,7 @@ pub fn train_distributed_with_link(
 
     let timeline = Timeline::from_recorder(gpus.recorder());
     let device_utilization = (0..k as u32).map(|d| timeline.utilization(d)).collect();
+    let sched_metrics = cluster.metrics();
 
     Ok(DistResult {
         k,
@@ -287,6 +342,7 @@ pub fn train_distributed_with_link(
         balance,
         device_utilization,
         model,
+        sched_metrics,
     })
 }
 
@@ -332,7 +388,12 @@ mod tests {
         let d = ds();
         let m = train_distributed(&d, 4, &cfg(), PartitionStrategy::Metis).unwrap();
         let r = train_distributed(&d, 4, &cfg(), PartitionStrategy::Random { seed: 3 }).unwrap();
-        assert!(m.edge_cut < r.edge_cut, "metis {} vs random {}", m.edge_cut, r.edge_cut);
+        assert!(
+            m.edge_cut < r.edge_cut,
+            "metis {} vs random {}",
+            m.edge_cut,
+            r.edge_cut
+        );
         assert!(m.balance < 1.2);
     }
 
@@ -371,6 +432,37 @@ mod tests {
         for &u in &r.device_utilization {
             assert!((0.0..=1.0).contains(&u));
         }
+    }
+
+    #[test]
+    fn injected_crashes_with_retries_match_fault_free_losses() {
+        // The resilience acceptance experiment: workers are killed mid-run
+        // by seeded fault injection; because crashes fire before the task
+        // body runs, retried epoch tasks recompute from identical state and
+        // the run converges to exactly the fault-free losses.
+        let d = ds();
+        let clean = train_distributed(&d, 2, &cfg(), PartitionStrategy::Metis).unwrap();
+        let faulty = train_distributed_with_opts(
+            &d,
+            2,
+            &cfg(),
+            PartitionStrategy::Metis,
+            DistOptions {
+                fault_plan: FaultPlan::crashes(17, 0.15),
+                retry: RetryPolicy::fixed(5, std::time::Duration::ZERO),
+                ..DistOptions::default()
+            },
+        )
+        .unwrap();
+        assert!(
+            faulty.sched_metrics.total_retries() > 0,
+            "the plan must actually kill some workers"
+        );
+        assert_eq!(clean.epoch_stats.len(), faulty.epoch_stats.len());
+        for (c, f) in clean.epoch_stats.iter().zip(&faulty.epoch_stats) {
+            assert_eq!(c.loss, f.loss, "epoch {} diverged under faults", c.epoch);
+        }
+        assert_eq!(clean.test_accuracy, faulty.test_accuracy);
     }
 
     #[test]

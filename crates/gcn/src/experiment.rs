@@ -45,7 +45,10 @@ pub fn scaling_experiment(
         final_loss: seq.epoch_stats.last().map(|e| e.loss).unwrap_or(0.0),
     }];
     for &k in ks {
-        for strategy in [PartitionStrategy::Metis, PartitionStrategy::Random { seed: 1 }] {
+        for strategy in [
+            PartitionStrategy::Metis,
+            PartitionStrategy::Random { seed: 1 },
+        ] {
             let r = train_distributed(ds, k, cfg, strategy)?;
             let mean_util = if r.device_utilization.is_empty() {
                 0.0
@@ -73,7 +76,15 @@ pub fn render_scaling_table(rows: &[ScalingRow]) -> String {
     let mut out = String::new();
     out.push_str(&format!(
         "{:>2} {:<12} {:>9} {:>12} {:>8} {:>10} {:>8} {:>6} {:>8}\n",
-        "k", "strategy", "test-acc", "sim-time(ms)", "speedup", "edge-cut", "balance", "util", "loss"
+        "k",
+        "strategy",
+        "test-acc",
+        "sim-time(ms)",
+        "speedup",
+        "edge-cut",
+        "balance",
+        "util",
+        "loss"
     ));
     for r in rows {
         out.push_str(&format!(
@@ -111,7 +122,15 @@ mod tests {
             5,
         )
         .unwrap();
-        let rows = scaling_experiment(&ds, &[2], &TrainConfig { epochs: 10, ..Default::default() }).unwrap();
+        let rows = scaling_experiment(
+            &ds,
+            &[2],
+            &TrainConfig {
+                epochs: 10,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         // 1 sequential + metis + random.
         assert_eq!(rows.len(), 3);
         assert_eq!(rows[0].strategy, "sequential");

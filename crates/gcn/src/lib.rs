@@ -17,7 +17,7 @@
 //! |---|---|
 //! | 2: compute normalized adjacency Ã | [`sagegpu_graph::normalize`] |
 //! | 3: partition G with METIS | [`sagegpu_graph::partition::metis_partition`] |
-//! | 4: Dask cluster, worker per GPU | [`taskflow::cluster::LocalCluster::with_gpus`] |
+//! | 4: Dask cluster, worker per GPU | [`taskflow::cluster::ClusterBuilder::gpus`] |
 //! | 5–6: distribute Gᵢ, Xᵢ, Yᵢ | [`distributed::train_distributed`] scatter phase |
 //! | 7–8: init + broadcast θ | broadcast of [`sagegpu_nn::layers::Gcn`] params |
 //! | 9–11: local loss + gradients | per-worker tape autograd |

@@ -102,7 +102,13 @@ pub fn train_sequential(ds: &GraphDataset, cfg: &TrainConfig) -> SeqResult {
     let _feat_buf = gpu.htod(x.data()).expect("features fit");
     let n = ds.num_nodes() as u64;
     let nnz = (2 * ds.graph.num_edges() + ds.num_nodes()) as u64;
-    let profile = epoch_profile(n, nnz, ds.feature_dim as u64, cfg.hidden as u64, ds.num_classes as u64);
+    let profile = epoch_profile(
+        n,
+        nnz,
+        ds.feature_dim as u64,
+        cfg.hidden as u64,
+        ds.num_classes as u64,
+    );
     let cfg_launch = LaunchConfig::for_elements(n, 128);
 
     let mut epoch_stats = Vec::with_capacity(cfg.epochs);
@@ -161,7 +167,13 @@ mod tests {
     #[test]
     fn loss_decreases_over_training() {
         let ds = small_ds();
-        let r = train_sequential(&ds, &TrainConfig { epochs: 25, ..Default::default() });
+        let r = train_sequential(
+            &ds,
+            &TrainConfig {
+                epochs: 25,
+                ..Default::default()
+            },
+        );
         let first = r.epoch_stats.first().unwrap().loss;
         let last = r.epoch_stats.last().unwrap().loss;
         assert!(last < 0.7 * first, "loss {first} → {last}");
@@ -170,7 +182,13 @@ mod tests {
     #[test]
     fn accuracy_beats_chance_on_separable_data() {
         let ds = small_ds();
-        let r = train_sequential(&ds, &TrainConfig { epochs: 40, ..Default::default() });
+        let r = train_sequential(
+            &ds,
+            &TrainConfig {
+                epochs: 40,
+                ..Default::default()
+            },
+        );
         // 3 balanced classes → chance = 1/3; the SBM is very separable.
         assert!(r.test_accuracy > 0.7, "test accuracy {}", r.test_accuracy);
         assert!(r.train_accuracy >= r.test_accuracy - 0.1);
@@ -179,15 +197,30 @@ mod tests {
     #[test]
     fn simulated_time_advances_with_epochs() {
         let ds = small_ds();
-        let short = train_sequential(&ds, &TrainConfig { epochs: 5, ..Default::default() });
-        let long = train_sequential(&ds, &TrainConfig { epochs: 20, ..Default::default() });
+        let short = train_sequential(
+            &ds,
+            &TrainConfig {
+                epochs: 5,
+                ..Default::default()
+            },
+        );
+        let long = train_sequential(
+            &ds,
+            &TrainConfig {
+                epochs: 20,
+                ..Default::default()
+            },
+        );
         assert!(long.sim_time_ns > 3 * short.sim_time_ns);
     }
 
     #[test]
     fn deterministic_given_seed() {
         let ds = small_ds();
-        let cfg = TrainConfig { epochs: 10, ..Default::default() };
+        let cfg = TrainConfig {
+            epochs: 10,
+            ..Default::default()
+        };
         let a = train_sequential(&ds, &cfg);
         let b = train_sequential(&ds, &cfg);
         assert_eq!(a.test_accuracy, b.test_accuracy);

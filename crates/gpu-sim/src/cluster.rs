@@ -91,7 +91,9 @@ impl GpuCluster {
 
     /// Borrow device `i`.
     pub fn device(&self, i: usize) -> Result<&Arc<Gpu>, GpuError> {
-        self.devices.get(i).ok_or(GpuError::NoSuchDevice { device: i as u32 })
+        self.devices
+            .get(i)
+            .ok_or(GpuError::NoSuchDevice { device: i as u32 })
     }
 
     /// Iterate over all devices.
@@ -284,8 +286,8 @@ mod tests {
     #[test]
     fn shared_recorder_sees_all_devices() {
         let c = cluster(2, LinkKind::Pcie);
-        let _ = c.device(0).unwrap().htod(&vec![0f32; 16]).unwrap();
-        let _ = c.device(1).unwrap().htod(&vec![0f32; 16]).unwrap();
+        let _ = c.device(0).unwrap().htod(&[0f32; 16]).unwrap();
+        let _ = c.device(1).unwrap().htod(&[0f32; 16]).unwrap();
         let devices: std::collections::HashSet<u32> =
             c.recorder().snapshot().iter().map(|e| e.device).collect();
         assert_eq!(devices.len(), 2);

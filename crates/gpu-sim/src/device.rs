@@ -78,7 +78,12 @@ impl Gpu {
     pub fn sync_streams(&self) -> u64 {
         let t = {
             let mut streams = self.streams.lock();
-            let t = streams.iter().copied().max().unwrap_or(0).max(self.clock_ns.load(Ordering::SeqCst));
+            let t = streams
+                .iter()
+                .copied()
+                .max()
+                .unwrap_or(0)
+                .max(self.clock_ns.load(Ordering::SeqCst));
             for s in streams.iter_mut() {
                 *s = t;
             }
@@ -170,12 +175,32 @@ impl Gpu {
         cur
     }
 
-    fn record(&self, kind: EventKind, name: &str, start: u64, dur: u64, bytes: u64, flops: u64, occ: f64) {
+    #[allow(clippy::too_many_arguments)]
+    fn record(
+        &self,
+        kind: EventKind,
+        name: &str,
+        start: u64,
+        dur: u64,
+        bytes: u64,
+        flops: u64,
+        occ: f64,
+    ) {
         self.record_on(kind, name, 0, start, dur, bytes, flops, occ);
     }
 
     #[allow(clippy::too_many_arguments)]
-    fn record_on(&self, kind: EventKind, name: &str, stream: u32, start: u64, dur: u64, bytes: u64, flops: u64, occ: f64) {
+    fn record_on(
+        &self,
+        kind: EventKind,
+        name: &str,
+        stream: u32,
+        start: u64,
+        dur: u64,
+        bytes: u64,
+        flops: u64,
+        occ: f64,
+    ) {
         self.recorder.record(TraceEvent {
             kind,
             name: name.to_owned(),
@@ -199,12 +224,16 @@ impl Gpu {
         &self,
         n: usize,
     ) -> Result<DeviceBuffer<T>, GpuError> {
-        DeviceBuffer::from_vec(vec![T::default(); n], self.ordinal, Arc::clone(&self.accounting))
+        DeviceBuffer::from_vec(
+            vec![T::default(); n],
+            self.ordinal,
+            Arc::clone(&self.accounting),
+        )
     }
 
     fn transfer_ns(&self, bytes: u64) -> u64 {
-        let t = self.spec.pcie_latency_ns
-            + bytes as f64 / self.spec.pcie_bandwidth_bytes_per_sec * 1e9;
+        let t =
+            self.spec.pcie_latency_ns + bytes as f64 / self.spec.pcie_bandwidth_bytes_per_sec * 1e9;
         t.ceil() as u64
     }
 
@@ -213,7 +242,8 @@ impl Gpu {
         &self,
         host: &[T],
     ) -> Result<DeviceBuffer<T>, GpuError> {
-        let buf = DeviceBuffer::from_vec(host.to_vec(), self.ordinal, Arc::clone(&self.accounting))?;
+        let buf =
+            DeviceBuffer::from_vec(host.to_vec(), self.ordinal, Arc::clone(&self.accounting))?;
         let bytes = buf.size_bytes();
         let dur = self.transfer_ns(bytes);
         let start = self.advance(dur);
@@ -240,8 +270,11 @@ impl Gpu {
         buf: &DeviceBuffer<T>,
     ) -> Result<DeviceBuffer<T>, GpuError> {
         buf.expect_device(self.ordinal)?;
-        let copy =
-            DeviceBuffer::from_vec(buf.host_view().to_vec(), self.ordinal, Arc::clone(&self.accounting))?;
+        let copy = DeviceBuffer::from_vec(
+            buf.host_view().to_vec(),
+            self.ordinal,
+            Arc::clone(&self.accounting),
+        )?;
         let bytes = 2 * buf.size_bytes(); // read + write
         let dur = (self.spec.memory.latency_ns
             + bytes as f64 / self.spec.memory.bandwidth_bytes_per_sec * 1e9)
@@ -255,9 +288,17 @@ impl Gpu {
     // Kernel launch
     // ------------------------------------------------------------------
 
-    fn validate(&self, cfg: &LaunchConfig, profile: &KernelProfile) -> Result<OccupancyResult, GpuError> {
+    fn validate(
+        &self,
+        cfg: &LaunchConfig,
+        profile: &KernelProfile,
+    ) -> Result<OccupancyResult, GpuError> {
         if !cfg.grid.is_valid_extent() || !cfg.block.is_valid_extent() {
-            return Err(invalid_launch(cfg.grid, cfg.block, "grid/block components must be >= 1"));
+            return Err(invalid_launch(
+                cfg.grid,
+                cfg.block,
+                "grid/block components must be >= 1",
+            ));
         }
         if cfg.threads_per_block() > self.spec.max_threads_per_block as u64 {
             return Err(invalid_launch(
@@ -273,9 +314,8 @@ impl Gpu {
                 "shared memory per block exceeds SM capacity",
             ));
         }
-        occupancy(&self.spec, cfg, profile.registers_per_thread).ok_or_else(|| {
-            invalid_launch(cfg.grid, cfg.block, "launch cannot be placed on an SM")
-        })
+        occupancy(&self.spec, cfg, profile.registers_per_thread)
+            .ok_or_else(|| invalid_launch(cfg.grid, cfg.block, "launch cannot be placed on an SM"))
     }
 
     /// Modeled kernel duration, without running anything. Exposed so cost
@@ -289,7 +329,7 @@ impl Gpu {
         // Effective compute throughput scales with occupancy up to ~50%,
         // past which latency is fully hidden — the standard CUDA rule of
         // thumb the course's optimization module teaches.
-        let occ_factor = (occ.occupancy * 2.0).min(1.0).max(0.05);
+        let occ_factor = (occ.occupancy * 2.0).clamp(0.05, 1.0);
         let compute_s = profile.flops as f64 / (self.spec.peak_flops() * occ_factor);
         let bw = self.spec.memory.bandwidth_bytes_per_sec * profile.access.bandwidth_efficiency();
         let mem_s = profile.bytes as f64 / bw + self.spec.memory.latency_ns * 1e-9;
@@ -359,11 +399,21 @@ impl Gpu {
         stream: StreamId,
         host: &[T],
     ) -> Result<DeviceBuffer<T>, GpuError> {
-        let buf = DeviceBuffer::from_vec(host.to_vec(), self.ordinal, Arc::clone(&self.accounting))?;
+        let buf =
+            DeviceBuffer::from_vec(host.to_vec(), self.ordinal, Arc::clone(&self.accounting))?;
         let bytes = buf.size_bytes();
         let dur = self.transfer_ns(bytes);
         let start = self.advance_on(stream, dur);
-        self.record_on(EventKind::MemcpyH2D, "htod", stream.ordinal(), start, dur, bytes, 0, 0.0);
+        self.record_on(
+            EventKind::MemcpyH2D,
+            "htod",
+            stream.ordinal(),
+            start,
+            dur,
+            bytes,
+            0,
+            0.0,
+        );
         Ok(buf)
     }
 
@@ -377,7 +427,16 @@ impl Gpu {
         let bytes = buf.size_bytes();
         let dur = self.transfer_ns(bytes);
         let start = self.advance_on(stream, dur);
-        self.record_on(EventKind::MemcpyD2H, "dtoh", stream.ordinal(), start, dur, bytes, 0, 0.0);
+        self.record_on(
+            EventKind::MemcpyD2H,
+            "dtoh",
+            stream.ordinal(),
+            start,
+            dur,
+            bytes,
+            0,
+            0.0,
+        );
         Ok(buf.host_view().to_vec())
     }
 
@@ -507,9 +566,13 @@ mod tests {
         let g = gpu();
         let mut out = g.alloc_zeroed::<f32>(1000).unwrap();
         let cfg = LaunchConfig::for_elements(1000, 256);
-        g.launch_map("square", cfg, KernelProfile::elementwise(1000, 1, 8), &mut out, |i, _| {
-            (i as f32) * (i as f32)
-        })
+        g.launch_map(
+            "square",
+            cfg,
+            KernelProfile::elementwise(1000, 1, 8),
+            &mut out,
+            |i, _| (i as f32) * (i as f32),
+        )
         .unwrap();
         let host = g.dtoh(&out).unwrap();
         assert_eq!(host[7], 49.0);
@@ -522,7 +585,13 @@ mod tests {
         let mut out = g.alloc_zeroed::<f32>(1000).unwrap();
         let cfg = LaunchConfig::new(Dim3::x(1), Dim3::x(256)); // only 256 threads
         let err = g
-            .launch_map("bad", cfg, KernelProfile::elementwise(1000, 1, 8), &mut out, |_, _| 0.0)
+            .launch_map(
+                "bad",
+                cfg,
+                KernelProfile::elementwise(1000, 1, 8),
+                &mut out,
+                |_, _| 0.0,
+            )
             .unwrap_err();
         assert!(matches!(err, GpuError::ShapeMismatch { .. }));
     }
@@ -587,9 +656,13 @@ mod tests {
             let mut out = g.alloc_zeroed::<f32>(4096).unwrap();
             let cfg = LaunchConfig::for_elements(4096, 128);
             for _ in 0..5 {
-                g.launch_map("k", cfg, KernelProfile::elementwise(4096, 2, 8), &mut out, |i, _| {
-                    i as f32
-                })
+                g.launch_map(
+                    "k",
+                    cfg,
+                    KernelProfile::elementwise(4096, 2, 8),
+                    &mut out,
+                    |i, _| i as f32,
+                )
                 .unwrap();
             }
             g.now_ns()
@@ -604,9 +677,13 @@ mod tests {
         let buf = g.htod(&data).unwrap();
         let mut out = g.alloc_zeroed::<f32>(256).unwrap();
         let cfg = LaunchConfig::for_elements(256, 128);
-        g.launch_map("copy", cfg, KernelProfile::elementwise(256, 0, 8), &mut out, |i, _| {
-            buf.host_view()[i]
-        })
+        g.launch_map(
+            "copy",
+            cfg,
+            KernelProfile::elementwise(256, 0, 8),
+            &mut out,
+            |i, _| buf.host_view()[i],
+        )
         .unwrap();
         g.synchronize();
         let evs = g.recorder().snapshot();
@@ -625,11 +702,16 @@ mod tests {
         let g = gpu();
         let cfg = LaunchConfig::new(Dim3::xy(4, 2), Dim3::x(32));
         let hits: Vec<AtomicU32> = (0..256).map(|_| AtomicU32::new(0)).collect();
-        g.launch_threads("count", cfg, KernelProfile::elementwise(256, 1, 4), |b, t| {
-            let bid = Dim3::xy(4, 2).linearize(b).unwrap() as usize;
-            let tid = bid * 32 + t.x as usize;
-            hits[tid].fetch_add(1, Ordering::Relaxed);
-        })
+        g.launch_threads(
+            "count",
+            cfg,
+            KernelProfile::elementwise(256, 1, 4),
+            |b, t| {
+                let bid = Dim3::xy(4, 2).linearize(b).unwrap() as usize;
+                let tid = bid * 32 + t.x as usize;
+                hits[tid].fetch_add(1, Ordering::Relaxed);
+            },
+        )
         .unwrap();
         assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
     }
@@ -747,7 +829,7 @@ mod tests {
         let s1 = g.create_stream();
         let s2 = g.create_stream();
         assert_ne!(s1, s2);
-        let _ = g.htod_on(s2, &vec![0u8; 64]).unwrap();
+        let _ = g.htod_on(s2, &[0u8; 64]).unwrap();
         let ev = g.recorder().snapshot().into_iter().next().unwrap();
         assert_eq!(ev.stream, s2.ordinal());
         assert_eq!(StreamId::DEFAULT.ordinal(), 0);
@@ -757,7 +839,7 @@ mod tests {
     fn wrong_device_buffer_rejected() {
         let g0 = Gpu::new(0, DeviceSpec::t4());
         let g1 = Gpu::new(1, DeviceSpec::t4());
-        let buf = g0.htod(&vec![1f32; 16]).unwrap();
+        let buf = g0.htod(&[1f32; 16]).unwrap();
         assert!(matches!(g1.dtoh(&buf), Err(GpuError::WrongDevice { .. })));
     }
 }

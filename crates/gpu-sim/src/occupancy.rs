@@ -58,11 +58,10 @@ pub fn occupancy(
     let by_thread_slots = spec.max_threads_per_sm / (warps_per_block * spec.warp_size);
     let regs_per_block = registers_per_thread.max(1) * threads_per_block;
     let by_registers = spec.registers_per_sm / regs_per_block.max(1);
-    let by_shared = if cfg.shared_mem_bytes == 0 {
-        u32::MAX
-    } else {
-        spec.shared_mem_per_sm / cfg.shared_mem_bytes
-    };
+    let by_shared = spec
+        .shared_mem_per_sm
+        .checked_div(cfg.shared_mem_bytes)
+        .unwrap_or(u32::MAX);
 
     let (blocks_per_sm, limiter) = [
         (by_block_slots, OccupancyLimiter::BlockSlots),

@@ -72,11 +72,10 @@ proptest! {
         let p = KernelProfile { flops, bytes, access: AccessPattern::Coalesced, registers_per_thread: 32 };
         let (dur, occ) = gpu.kernel_duration_ns(&cfg, &p).unwrap();
         let spec = gpu.spec();
-        let occ_factor = (occ.occupancy * 2.0).min(1.0).max(0.05);
+        let occ_factor = (occ.occupancy * 2.0).clamp(0.05, 1.0);
         let compute = flops as f64 / (spec.peak_flops() * occ_factor) * 1e9;
         let mem = bytes as f64 / (spec.memory.bandwidth_bytes_per_sec * 0.85) * 1e9 + spec.memory.latency_ns;
         let expected = spec.launch_overhead_ns + compute.max(mem);
         prop_assert!((dur as f64 - expected).abs() <= expected * 1e-6 + 2.0);
     }
 }
-

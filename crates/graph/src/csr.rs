@@ -18,8 +18,7 @@ impl Graph {
     /// Builds from an undirected edge list (each pair listed once);
     /// self-loops and duplicate edges are merged (weights summed).
     pub fn from_edges(n: usize, edges: &[(usize, usize)]) -> Result<Self, GraphError> {
-        let weighted: Vec<(usize, usize, f64)> =
-            edges.iter().map(|&(u, v)| (u, v, 1.0)).collect();
+        let weighted: Vec<(usize, usize, f64)> = edges.iter().map(|&(u, v)| (u, v, 1.0)).collect();
         Self::from_weighted_edges(n, &weighted, vec![1; n])
     }
 
@@ -50,7 +49,7 @@ impl Graph {
             sym.push((u, v, w));
             sym.push((v, u, w));
         }
-        sym.sort_by(|a, b| (a.0, a.1).cmp(&(b.0, b.1)));
+        sym.sort_by_key(|a| (a.0, a.1));
         let mut merged: Vec<(usize, usize, f64)> = Vec::with_capacity(sym.len());
         for (u, v, w) in sym {
             match merged.last_mut() {
@@ -189,12 +188,9 @@ mod tests {
 
     #[test]
     fn self_loops_dropped_duplicates_merged() {
-        let g = Graph::from_weighted_edges(
-            3,
-            &[(0, 0, 5.0), (0, 1, 1.0), (1, 0, 2.0)],
-            vec![1, 1, 1],
-        )
-        .unwrap();
+        let g =
+            Graph::from_weighted_edges(3, &[(0, 0, 5.0), (0, 1, 1.0), (1, 0, 2.0)], vec![1, 1, 1])
+                .unwrap();
         assert_eq!(g.num_edges(), 1);
         let (v, w) = g.neighbors(0).next().unwrap();
         assert_eq!(v, 1);

@@ -35,12 +35,20 @@ pub struct SbmParams {
 impl SbmParams {
     /// Validates parameter ranges.
     pub fn validate(&self) -> Result<(), GraphError> {
-        if self.block_sizes.is_empty() || self.block_sizes.iter().any(|&s| s == 0) {
-            return Err(GraphError::BadParameter("block sizes must be non-empty and positive".into()));
+        if self.block_sizes.is_empty() || self.block_sizes.contains(&0) {
+            return Err(GraphError::BadParameter(
+                "block sizes must be non-empty and positive".into(),
+            ));
         }
-        for (name, p) in [("p_in", self.p_in), ("p_out", self.p_out), ("train_fraction", self.train_fraction)] {
+        for (name, p) in [
+            ("p_in", self.p_in),
+            ("p_out", self.p_out),
+            ("train_fraction", self.train_fraction),
+        ] {
             if !(0.0..=1.0).contains(&p) {
-                return Err(GraphError::BadParameter(format!("{name} must be in [0,1], got {p}")));
+                return Err(GraphError::BadParameter(format!(
+                    "{name} must be in [0,1], got {p}"
+                )));
             }
         }
         if self.feature_dim == 0 {
@@ -79,12 +87,16 @@ impl GraphDataset {
 
     /// Indices of training nodes.
     pub fn train_nodes(&self) -> Vec<usize> {
-        (0..self.num_nodes()).filter(|&u| self.train_mask[u]).collect()
+        (0..self.num_nodes())
+            .filter(|&u| self.train_mask[u])
+            .collect()
     }
 
     /// Indices of held-out nodes.
     pub fn test_nodes(&self) -> Vec<usize> {
-        (0..self.num_nodes()).filter(|&u| !self.train_mask[u]).collect()
+        (0..self.num_nodes())
+            .filter(|&u| !self.train_mask[u])
+            .collect()
     }
 
     /// Fraction of edges whose endpoints share a label (homophily).
@@ -111,7 +123,7 @@ pub fn sbm(params: &SbmParams, seed: u64) -> Result<GraphDataset, GraphError> {
     // Node labels by block.
     let mut labels = Vec::with_capacity(n);
     for (b, &size) in params.block_sizes.iter().enumerate() {
-        labels.extend(std::iter::repeat(b).take(size));
+        labels.extend(std::iter::repeat_n(b, size));
     }
 
     // Edges: Bernoulli per pair is O(n²); geometric skipping over the
@@ -144,7 +156,11 @@ pub fn sbm(params: &SbmParams, seed: u64) -> Result<GraphDataset, GraphError> {
                 u += 1;
             }
             let v = u + 1 + (idx - row_start);
-            let p = if labels[u] == labels[v] { params.p_in } else { params.p_out };
+            let p = if labels[u] == labels[v] {
+                params.p_in
+            } else {
+                params.p_out
+            };
             if rng.gen::<f64>() < p / p_max {
                 edges.push((u, v));
             }
@@ -176,7 +192,9 @@ pub fn sbm(params: &SbmParams, seed: u64) -> Result<GraphDataset, GraphError> {
         }
     }
 
-    let train_mask: Vec<bool> = (0..n).map(|_| rng.gen::<f64>() < params.train_fraction).collect();
+    let train_mask: Vec<bool> = (0..n)
+        .map(|_| rng.gen::<f64>() < params.train_fraction)
+        .collect();
 
     Ok(GraphDataset {
         graph: Graph::from_edges(n, &edges)?,
@@ -245,19 +263,86 @@ pub fn reddit_like(scale: f64, seed: u64) -> Result<GraphDataset, GraphError> {
 /// split as labels — the classic graph fixture.
 pub fn karate_club() -> GraphDataset {
     let edges: [(usize, usize); 78] = [
-        (0, 1), (0, 2), (0, 3), (0, 4), (0, 5), (0, 6), (0, 7), (0, 8), (0, 10), (0, 11),
-        (0, 12), (0, 13), (0, 17), (0, 19), (0, 21), (0, 31), (1, 2), (1, 3), (1, 7), (1, 13),
-        (1, 17), (1, 19), (1, 21), (1, 30), (2, 3), (2, 7), (2, 8), (2, 9), (2, 13), (2, 27),
-        (2, 28), (2, 32), (3, 7), (3, 12), (3, 13), (4, 6), (4, 10), (5, 6), (5, 10), (5, 16),
-        (6, 16), (8, 30), (8, 32), (8, 33), (9, 33), (13, 33), (14, 32), (14, 33), (15, 32),
-        (15, 33), (18, 32), (18, 33), (19, 33), (20, 32), (20, 33), (22, 32), (22, 33),
-        (23, 25), (23, 27), (23, 29), (23, 32), (23, 33), (24, 25), (24, 27), (24, 31),
-        (25, 31), (26, 29), (26, 33), (27, 33), (28, 31), (28, 33), (29, 32), (29, 33),
-        (30, 32), (30, 33), (31, 32), (31, 33), (32, 33),
+        (0, 1),
+        (0, 2),
+        (0, 3),
+        (0, 4),
+        (0, 5),
+        (0, 6),
+        (0, 7),
+        (0, 8),
+        (0, 10),
+        (0, 11),
+        (0, 12),
+        (0, 13),
+        (0, 17),
+        (0, 19),
+        (0, 21),
+        (0, 31),
+        (1, 2),
+        (1, 3),
+        (1, 7),
+        (1, 13),
+        (1, 17),
+        (1, 19),
+        (1, 21),
+        (1, 30),
+        (2, 3),
+        (2, 7),
+        (2, 8),
+        (2, 9),
+        (2, 13),
+        (2, 27),
+        (2, 28),
+        (2, 32),
+        (3, 7),
+        (3, 12),
+        (3, 13),
+        (4, 6),
+        (4, 10),
+        (5, 6),
+        (5, 10),
+        (5, 16),
+        (6, 16),
+        (8, 30),
+        (8, 32),
+        (8, 33),
+        (9, 33),
+        (13, 33),
+        (14, 32),
+        (14, 33),
+        (15, 32),
+        (15, 33),
+        (18, 32),
+        (18, 33),
+        (19, 33),
+        (20, 32),
+        (20, 33),
+        (22, 32),
+        (22, 33),
+        (23, 25),
+        (23, 27),
+        (23, 29),
+        (23, 32),
+        (23, 33),
+        (24, 25),
+        (24, 27),
+        (24, 31),
+        (25, 31),
+        (26, 29),
+        (26, 33),
+        (27, 33),
+        (28, 31),
+        (28, 33),
+        (29, 32),
+        (29, 33),
+        (30, 32),
+        (30, 33),
+        (31, 32),
+        (31, 33),
+        (32, 33),
     ];
-    let mr_hi_faction = [
-        0, 1, 2, 3, 4, 5, 6, 7, 10, 11, 12, 13, 16, 17, 19, 21,
-    ];
+    let mr_hi_faction = [0, 1, 2, 3, 4, 5, 6, 7, 10, 11, 12, 13, 16, 17, 19, 21];
     let labels: Vec<usize> = (0..34)
         .map(|u| usize::from(!mr_hi_faction.contains(&u)))
         .collect();
@@ -313,7 +398,9 @@ pub fn grid(rows: usize, cols: usize) -> Result<Graph, GraphError> {
 /// Erdős–Rényi G(n, p).
 pub fn erdos_renyi(n: usize, p: f64, seed: u64) -> Result<Graph, GraphError> {
     if !(0.0..=1.0).contains(&p) {
-        return Err(GraphError::BadParameter(format!("p must be in [0,1], got {p}")));
+        return Err(GraphError::BadParameter(format!(
+            "p must be in [0,1], got {p}"
+        )));
     }
     let mut rng = SmallRng::seed_from_u64(seed);
     let mut edges = Vec::new();
@@ -367,7 +454,11 @@ mod tests {
             7,
         )
         .unwrap();
-        assert!(ds.edge_homophily() > 0.8, "homophily {}", ds.edge_homophily());
+        assert!(
+            ds.edge_homophily() > 0.8,
+            "homophily {}",
+            ds.edge_homophily()
+        );
     }
 
     #[test]
@@ -429,7 +520,9 @@ mod tests {
         .unwrap();
         // Class-0 nodes should average high on dim 0, class-1 on dim 1.
         let avg = |class: usize, dim: usize| -> f32 {
-            let nodes: Vec<usize> = (0..ds.num_nodes()).filter(|&u| ds.labels[u] == class).collect();
+            let nodes: Vec<usize> = (0..ds.num_nodes())
+                .filter(|&u| ds.labels[u] == class)
+                .collect();
             nodes.iter().map(|&u| ds.feature_row(u)[dim]).sum::<f32>() / nodes.len() as f32
         };
         assert!(avg(0, 0) > 2.0);
@@ -444,7 +537,10 @@ mod tests {
         assert_eq!(ds.feature_dim, 500);
         assert!(ds.num_nodes() > 300);
         let mean_degree = 2.0 * ds.graph.num_edges() as f64 / ds.num_nodes() as f64;
-        assert!(mean_degree > 2.0 && mean_degree < 8.0, "mean degree {mean_degree}");
+        assert!(
+            mean_degree > 2.0 && mean_degree < 8.0,
+            "mean degree {mean_degree}"
+        );
     }
 
     #[test]

@@ -76,9 +76,9 @@ mod tests {
         let g = Graph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (0, 4), (1, 3)]).unwrap();
         let (indptr, indices, values) = normalized_adjacency(&g);
         let m = dense_of(&indptr, &indices, &values, 5);
-        for i in 0..5 {
-            for j in 0..5 {
-                assert!((m[i][j] - m[j][i]).abs() < 1e-6);
+        for (i, row) in m.iter().enumerate() {
+            for (j, v) in row.iter().enumerate() {
+                assert!((v - m[j][i]).abs() < 1e-6);
             }
         }
     }

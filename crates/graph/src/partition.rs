@@ -200,7 +200,9 @@ fn refine(g: &Graph, parts: &mut [usize], k: usize, passes: usize, imbalance: f6
                 }
                 let gain = conn[p] - conn[home];
                 let uw = g.node_weight(u) as f64;
-                if gain > best_gain && part_weight[p] + uw <= max_weight && part_weight[home] - uw > 0.0
+                if gain > best_gain
+                    && part_weight[p] + uw <= max_weight
+                    && part_weight[home] - uw > 0.0
                 {
                     best_gain = gain;
                     best_part = p;
@@ -230,7 +232,7 @@ pub fn metis_partition(g: &Graph, k: usize) -> Result<Vec<usize>, GraphError> {
     if k == 1 {
         return Ok(vec![0; n]);
     }
-    let mut rng = SmallRng::seed_from_u64(0x6d65_7469_73);
+    let mut rng = SmallRng::seed_from_u64(0x006d_6574_6973);
 
     // Phase 1: coarsen until small or stuck.
     let coarsen_stop = (30 * k).max(120);
@@ -333,7 +335,7 @@ mod tests {
         assert!(cut <= 96.0, "cut {cut} too high for a grid");
         // Every part non-empty.
         for p in 0..4 {
-            assert!(parts.iter().any(|&x| x == p), "part {p} empty");
+            assert!(parts.contains(&p), "part {p} empty");
         }
     }
 
@@ -365,7 +367,10 @@ mod tests {
     #[test]
     fn metis_is_deterministic() {
         let g = two_cliques(15);
-        assert_eq!(metis_partition(&g, 2).unwrap(), metis_partition(&g, 2).unwrap());
+        assert_eq!(
+            metis_partition(&g, 2).unwrap(),
+            metis_partition(&g, 2).unwrap()
+        );
     }
 
     #[test]
@@ -423,7 +428,7 @@ mod tests {
         .unwrap();
         let parts = metis_partition(&ds.graph, 8).unwrap();
         for p in 0..8 {
-            assert!(parts.iter().any(|&x| x == p), "part {p} empty");
+            assert!(parts.contains(&p), "part {p} empty");
         }
         assert!(partition_balance(&ds.graph, &parts, 8) < 1.2);
     }

@@ -35,7 +35,10 @@ impl ImageBatch {
 /// becomes one row with k² columns. Output shape:
 /// `(batch · out_h · out_w) × k²` where `out_h = height − k + 1`.
 pub fn im2col(images: &ImageBatch, k: usize) -> Tensor {
-    assert!(k >= 1 && k <= images.height && k <= images.width, "kernel must fit");
+    assert!(
+        k >= 1 && k <= images.height && k <= images.width,
+        "kernel must fit"
+    );
     let out_h = images.height - k + 1;
     let out_w = images.width - k + 1;
     let rows = images.batch * out_h * out_w;
@@ -221,7 +224,12 @@ mod tests {
     #[test]
     fn mean_pool_rows_value_and_gradient() {
         let tape = Tape::new();
-        let x = tape.leaf(Tensor::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0], &[7.0, 8.0]]));
+        let x = tape.leaf(Tensor::from_rows(&[
+            &[1.0, 2.0],
+            &[3.0, 4.0],
+            &[5.0, 6.0],
+            &[7.0, 8.0],
+        ]));
         let pooled = tape.mean_pool_rows(x, 2);
         let v = tape.value(pooled);
         assert_eq!(v.shape(), (2, 2));
@@ -232,7 +240,10 @@ mod tests {
         let grads = tape.backward(loss);
         let g = grads[x.index()].as_ref().unwrap();
         assert_eq!(g.shape(), (4, 2));
-        assert!((g.get(0, 0) - g.get(1, 0)).abs() < 1e-7, "rows in a group share gradient");
+        assert!(
+            (g.get(0, 0) - g.get(1, 0)).abs() < 1e-7,
+            "rows in a group share gradient"
+        );
     }
 
     #[test]
@@ -262,7 +273,10 @@ mod tests {
                 .collect();
             opt.step_all(cnn.parameters_mut(), &grad_tensors);
         }
-        assert!(last_loss < 0.5 * first_loss, "loss {first_loss} → {last_loss}");
+        assert!(
+            last_loss < 0.5 * first_loss,
+            "loss {first_loss} → {last_loss}"
+        );
         // Generalization to unseen shifted strokes.
         let tape = Tape::new();
         let fwd = cnn.forward(&tape, &test);

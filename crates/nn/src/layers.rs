@@ -220,8 +220,18 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(2);
         let gcn = Gcn::new(4, 8, 3, &mut rng);
         let adj = Arc::new(
-            CsrMatrix::from_triplets(5, 5, &[(0, 0, 1.0), (1, 1, 1.0), (2, 2, 1.0), (3, 3, 1.0), (4, 4, 1.0)])
-                .unwrap(),
+            CsrMatrix::from_triplets(
+                5,
+                5,
+                &[
+                    (0, 0, 1.0),
+                    (1, 1, 1.0),
+                    (2, 2, 1.0),
+                    (3, 3, 1.0),
+                    (4, 4, 1.0),
+                ],
+            )
+            .unwrap(),
         );
         let x = Tensor::randn(5, 4, &mut rng);
         let tape = Tape::new();
@@ -247,7 +257,8 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(4);
         let mut gcn = Gcn::new(4, 8, 2, &mut rng);
         let adj = Arc::new(
-            CsrMatrix::from_triplets(4, 4, &[(0, 0, 1.0), (1, 1, 1.0), (2, 2, 1.0), (3, 3, 1.0)]).unwrap(),
+            CsrMatrix::from_triplets(4, 4, &[(0, 0, 1.0), (1, 1, 1.0), (2, 2, 1.0), (3, 3, 1.0)])
+                .unwrap(),
         );
         let x = Tensor::randn(4, 4, &mut rng);
         let labels = vec![0, 0, 1, 1];

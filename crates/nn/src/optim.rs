@@ -108,8 +108,12 @@ impl Optimizer for Adam {
             self.v.resize(i + 1, None);
         }
         let t = self.t.max(1) as f32;
-        let m_prev = self.m[i].take().unwrap_or_else(|| Tensor::zeros(grad.rows(), grad.cols()));
-        let v_prev = self.v[i].take().unwrap_or_else(|| Tensor::zeros(grad.rows(), grad.cols()));
+        let m_prev = self.m[i]
+            .take()
+            .unwrap_or_else(|| Tensor::zeros(grad.rows(), grad.cols()));
+        let v_prev = self.v[i]
+            .take()
+            .unwrap_or_else(|| Tensor::zeros(grad.rows(), grad.cols()));
         let m = m_prev
             .scale(self.beta1)
             .add(&grad.scale(1.0 - self.beta1))

@@ -29,7 +29,11 @@ pub fn weighted_average_gradients(per_worker: &[Vec<Tensor>], weights: &[f64]) -
         .map(|g| g.scale((weights[0] / total) as f32))
         .collect();
     for (worker, w) in per_worker.iter().zip(weights).skip(1) {
-        assert_eq!(worker.len(), n_params, "parameter count mismatch across workers");
+        assert_eq!(
+            worker.len(),
+            n_params,
+            "parameter count mismatch across workers"
+        );
         let k = (*w / total) as f32;
         for (acc, g) in out.iter_mut().zip(worker) {
             *acc = acc.add(&g.scale(k)).expect("gradient shapes match");

@@ -165,8 +165,12 @@ impl Tape {
                     count += 1;
                 }
             }
-            Tensor::from_vec(1, 1, vec![if count > 0 { total / count as f32 } else { 0.0 }])
-                .expect("scalar")
+            Tensor::from_vec(
+                1,
+                1,
+                vec![if count > 0 { total / count as f32 } else { 0.0 }],
+            )
+            .expect("scalar")
         };
         self.push(
             Op::CrossEntropy {
@@ -216,7 +220,11 @@ impl Tape {
         let value = {
             let nodes = self.nodes.borrow();
             let x = &nodes[input.0].value;
-            assert_eq!(x.rows() % group, 0, "rows must divide into groups of {group}");
+            assert_eq!(
+                x.rows() % group,
+                0,
+                "rows must divide into groups of {group}"
+            );
             let out_rows = x.rows() / group;
             let mut out = Tensor::zeros(out_rows, x.cols());
             for r in 0..x.rows() {
@@ -248,7 +256,9 @@ impl Tape {
         };
 
         for i in (0..n).rev() {
-            let Some(grad) = grads[i].clone() else { continue };
+            let Some(grad) = grads[i].clone() else {
+                continue;
+            };
             match &nodes[i].op {
                 Op::Leaf => {}
                 Op::MatMul(a, b) => {
@@ -359,10 +369,7 @@ mod tests {
     use rand::SeedableRng;
 
     /// Central-difference numerical gradient of `f` w.r.t. `param`.
-    fn numerical_grad(
-        param: &Tensor,
-        f: &dyn Fn(&Tensor) -> f32,
-    ) -> Tensor {
+    fn numerical_grad(param: &Tensor, f: &dyn Fn(&Tensor) -> f32) -> Tensor {
         let eps = 1e-3f32;
         let mut grad = Tensor::zeros(param.rows(), param.cols());
         for r in 0..param.rows() {
@@ -457,7 +464,13 @@ mod tests {
             CsrMatrix::from_triplets(
                 3,
                 3,
-                &[(0, 0, 0.5), (0, 1, 0.5), (1, 1, 1.0), (2, 0, 0.3), (2, 2, 0.7)],
+                &[
+                    (0, 0, 0.5),
+                    (0, 1, 0.5),
+                    (1, 1, 1.0),
+                    (2, 0, 0.3),
+                    (2, 2, 0.7),
+                ],
             )
             .unwrap(),
         );
@@ -589,7 +602,8 @@ mod tests {
             let v = tape.leaf(p.clone());
             let w = tape.leaf(Tensor::eye(2));
             let q = tape.matmul(v, w);
-            tape.value(tape.mse_indexed(q, &[1, 0], &[0.0, 1.0])).get(0, 0)
+            tape.value(tape.mse_indexed(q, &[1, 0], &[0.0, 1.0]))
+                .get(0, 0)
         };
         let tape = Tape::new();
         let v = tape.leaf(pred0.clone());

@@ -135,8 +135,10 @@ pub fn analyze(timeline: &Timeline, device: u32, spec: &DeviceSpec) -> Bottlenec
             );
         }
         BottleneckClass::ComputeBound => {
-            recommendations
-                .push("Compute-bound at the FLOP roof: consider lower precision or algorithmic savings.".to_owned());
+            recommendations.push(
+                "Compute-bound at the FLOP roof: consider lower precision or algorithmic savings."
+                    .to_owned(),
+            );
         }
     }
     if kernels.iter().any(|k| k.mean_occupancy < 0.25) {
@@ -163,7 +165,15 @@ mod tests {
     use super::*;
     use gpu_sim::TraceEvent;
 
-    fn ev(kind: EventKind, name: &str, start: u64, dur: u64, bytes: u64, flops: u64, occ: f64) -> TraceEvent {
+    fn ev(
+        kind: EventKind,
+        name: &str,
+        start: u64,
+        dur: u64,
+        bytes: u64,
+        flops: u64,
+        occ: f64,
+    ) -> TraceEvent {
         TraceEvent {
             kind,
             name: name.into(),
@@ -190,7 +200,10 @@ mod tests {
         let report = analyze(&t, 0, &spec());
         assert_eq!(report.class, BottleneckClass::TransferBound);
         assert!(report.transfer_fraction > 0.8);
-        assert!(report.recommendations.iter().any(|r| r.contains("batch transfers")));
+        assert!(report
+            .recommendations
+            .iter()
+            .any(|r| r.contains("batch transfers")));
     }
 
     #[test]
@@ -208,7 +221,10 @@ mod tests {
         let report = analyze(&t, 0, &spec());
         assert_eq!(report.class, BottleneckClass::MemoryBound);
         assert!(!report.kernels[0].compute_side);
-        assert!(report.recommendations.iter().any(|r| r.contains("coalescing")));
+        assert!(report
+            .recommendations
+            .iter()
+            .any(|r| r.contains("coalescing")));
     }
 
     #[test]
@@ -252,7 +268,10 @@ mod tests {
             0.1,
         )]);
         let report = analyze(&t, 0, &spec());
-        assert!(report.recommendations.iter().any(|r| r.contains("occupancy")));
+        assert!(report
+            .recommendations
+            .iter()
+            .any(|r| r.contains("occupancy")));
     }
 
     #[test]

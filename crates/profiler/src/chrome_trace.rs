@@ -4,64 +4,44 @@
 //! it is the lingua franca of timeline viewers (chrome://tracing, Perfetto,
 //! TensorBoard's trace viewer). Events become `"ph": "X"` (complete) slices
 //! with microsecond timestamps, one track per (device, stream).
+//!
+//! The document is emitted by hand (see [`crate::json`]): the offline
+//! `serde_json` stand-in only implements parsing, and the format here is a
+//! fixed flat schema that does not benefit from a serializer.
 
+use crate::json::{push_f64, push_str_literal};
 use gpu_sim::TraceEvent;
-use serde::Serialize;
-
-#[derive(Serialize)]
-struct ChromeEvent<'a> {
-    name: &'a str,
-    cat: &'static str,
-    ph: &'static str,
-    /// Timestamp in microseconds.
-    ts: f64,
-    /// Duration in microseconds.
-    dur: f64,
-    /// Process id — we map devices to pids.
-    pid: u32,
-    /// Thread id — we map streams to tids.
-    tid: u32,
-    args: ChromeArgs,
-}
-
-#[derive(Serialize)]
-struct ChromeArgs {
-    bytes: u64,
-    flops: u64,
-    occupancy: f64,
-}
-
-#[derive(Serialize)]
-struct ChromeTrace<'a> {
-    #[serde(rename = "traceEvents")]
-    trace_events: Vec<ChromeEvent<'a>>,
-    #[serde(rename = "displayTimeUnit")]
-    display_time_unit: &'static str,
-}
+use std::fmt::Write;
 
 /// Serializes events to a Chrome-trace JSON string.
 pub fn to_chrome_trace(events: &[TraceEvent]) -> String {
-    let trace = ChromeTrace {
-        trace_events: events
-            .iter()
-            .map(|ev| ChromeEvent {
-                name: &ev.name,
-                cat: ev.kind.label(),
-                ph: "X",
-                ts: ev.start_ns as f64 / 1e3,
-                dur: ev.dur_ns as f64 / 1e3,
-                pid: ev.device,
-                tid: ev.stream,
-                args: ChromeArgs {
-                    bytes: ev.bytes,
-                    flops: ev.flops,
-                    occupancy: ev.occupancy,
-                },
-            })
-            .collect(),
-        display_time_unit: "ns",
-    };
-    serde_json::to_string_pretty(&trace).expect("trace serialization cannot fail")
+    let mut out = String::with_capacity(256 + events.len() * 192);
+    out.push_str("{\n  \"traceEvents\": [");
+    for (i, ev) in events.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n    {\n      \"name\": ");
+        push_str_literal(&mut out, &ev.name);
+        out.push_str(",\n      \"cat\": ");
+        push_str_literal(&mut out, ev.kind.label());
+        out.push_str(",\n      \"ph\": \"X\",\n      \"ts\": ");
+        push_f64(&mut out, ev.start_ns as f64 / 1e3);
+        out.push_str(",\n      \"dur\": ");
+        push_f64(&mut out, ev.dur_ns as f64 / 1e3);
+        let _ = write!(
+            out,
+            ",\n      \"pid\": {},\n      \"tid\": {},\n      \"args\": {{ \"bytes\": {}, \"flops\": {}, \"occupancy\": ",
+            ev.device, ev.stream, ev.bytes, ev.flops
+        );
+        push_f64(&mut out, ev.occupancy);
+        out.push_str(" }\n    }");
+    }
+    if !events.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("],\n  \"displayTimeUnit\": \"ns\"\n}");
+    out
 }
 
 #[cfg(test)]
@@ -114,5 +94,12 @@ mod tests {
         let json = to_chrome_trace(&[]);
         let parsed: serde_json::Value = serde_json::from_str(&json).unwrap();
         assert_eq!(parsed["traceEvents"].as_array().unwrap().len(), 0);
+    }
+
+    #[test]
+    fn event_names_are_escaped() {
+        let json = to_chrome_trace(&[ev("memcpy \"H2D\"\n", 1, 10, 10)]);
+        let parsed: serde_json::Value = serde_json::from_str(&json).unwrap();
+        assert_eq!(parsed["traceEvents"][0]["name"], "memcpy \"H2D\"\n");
     }
 }

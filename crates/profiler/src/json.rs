@@ -1,0 +1,60 @@
+//! Minimal JSON emission helpers.
+//!
+//! The offline `serde_json` stand-in only implements the read path, so the
+//! profiler writes its trace documents by hand. The helpers here keep the
+//! escaping and number rules in one place for every exporter in this crate.
+
+use std::fmt::Write;
+
+/// Appends `s` as a JSON string literal (with surrounding quotes).
+pub(crate) fn push_str_literal(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Appends `v` as a JSON number. Non-finite values (which JSON cannot
+/// represent) are written as 0.
+pub(crate) fn push_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        let _ = write!(out, "{v}");
+    } else {
+        out.push('0');
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_quotes_backslashes_and_controls() {
+        let mut out = String::new();
+        push_str_literal(&mut out, "a\"b\\c\nd\u{1}");
+        assert_eq!(out, "\"a\\\"b\\\\c\\nd\\u0001\"");
+        assert_eq!(serde_json::from_str(&out).unwrap(), "a\"b\\c\nd\u{1}");
+    }
+
+    #[test]
+    fn numbers_stay_parseable() {
+        for v in [0.0, 1.5, -2.25, 1e-9, 1e12, f64::NAN, f64::INFINITY] {
+            let mut out = String::new();
+            push_f64(&mut out, v);
+            let parsed = serde_json::from_str(&out).unwrap();
+            let expect = if v.is_finite() { v } else { 0.0 };
+            assert_eq!(parsed.as_f64(), Some(expect));
+        }
+    }
+}

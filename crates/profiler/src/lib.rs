@@ -17,14 +17,19 @@
 //!   the textual recommendations the labs ask students to derive.
 //! - [`chrome_trace`] — Chrome `about:tracing` JSON export, the
 //!   interchange format both real profilers speak.
+//! - [`sched_trace`] — the taskflow scheduler's per-attempt task spans as
+//!   chrome-trace worker lanes (retries, injected faults, and steals all
+//!   visible), standalone or merged with the GPU kernel timeline.
 //! - [`roofline`] — roofline-model plot data: per-kernel (intensity,
 //!   achieved FLOP/s) points against the device's compute and bandwidth
 //!   roofs.
 
 pub mod bottleneck;
 pub mod chrome_trace;
+mod json;
 pub mod opstats;
 pub mod roofline;
+pub mod sched_trace;
 pub mod timeline;
 
 /// Convenient glob-import of the crate's primary types.
@@ -33,5 +38,6 @@ pub mod prelude {
     pub use crate::chrome_trace::to_chrome_trace;
     pub use crate::opstats::{OpStats, OpStatsTable};
     pub use crate::roofline::{roofline, Roofline, RooflinePoint};
+    pub use crate::sched_trace::{merged_chrome_trace, scheduler_to_chrome_trace};
     pub use crate::timeline::Timeline;
 }

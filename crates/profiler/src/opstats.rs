@@ -94,7 +94,7 @@ impl OpStatsTable {
             entry.mean_occupancy += (ev.occupancy - entry.mean_occupancy) / entry.count as f64;
         }
         let mut rows: Vec<OpStats> = groups.into_values().collect();
-        rows.sort_by(|a, b| b.total_ns.cmp(&a.total_ns));
+        rows.sort_by_key(|r| std::cmp::Reverse(r.total_ns));
         Self { rows }
     }
 
@@ -114,7 +114,9 @@ impl OpStatsTable {
         if total == 0 {
             return 0.0;
         }
-        self.get(name).map(|r| r.total_ns as f64 / total as f64).unwrap_or(0.0)
+        self.get(name)
+            .map(|r| r.total_ns as f64 / total as f64)
+            .unwrap_or(0.0)
     }
 
     /// Renders an aligned text table (the artifact students read in labs).
@@ -197,7 +199,8 @@ mod tests {
     #[test]
     fn achieved_rates() {
         // 1000 bytes in 100 ns → 10 bytes/ns = 10 GB/s.
-        let table = OpStatsTable::from_events(&[ev(EventKind::MemcpyH2D, "htod", 100, 1000, 0, 0.0)]);
+        let table =
+            OpStatsTable::from_events(&[ev(EventKind::MemcpyH2D, "htod", 100, 1000, 0, 0.0)]);
         let row = table.get("htod").unwrap();
         assert!((row.achieved_gbps() - 10.0).abs() < 1e-12);
         assert_eq!(row.achieved_gflops(), 0.0);

@@ -109,7 +109,10 @@ mod tests {
     fn ridge_is_machine_balance() {
         let spec = DeviceSpec::t4();
         let r = roofline(&spec, &[]);
-        assert!((r.ridge_intensity - spec.peak_flops() / spec.memory.bandwidth_bytes_per_sec).abs() < 1e-9);
+        assert!(
+            (r.ridge_intensity - spec.peak_flops() / spec.memory.bandwidth_bytes_per_sec).abs()
+                < 1e-9
+        );
         assert!(r.points.is_empty());
         // T4: ~8.1e12 / 320e9 ≈ 25 FLOP/byte.
         assert!((20.0..32.0).contains(&r.ridge_intensity));
@@ -136,7 +139,8 @@ mod tests {
                 access: AccessPattern::Coalesced,
                 registers_per_thread: 32,
             };
-            gpu.launch(&format!("k_{flops_per}_{bytes_per}"), cfg, p, || ()).unwrap();
+            gpu.launch(&format!("k_{flops_per}_{bytes_per}"), cfg, p, || ())
+                .unwrap();
         }
         let r = roofline(gpu.spec(), &gpu.recorder().snapshot());
         assert_eq!(r.points.len(), 3);
@@ -159,8 +163,15 @@ mod tests {
         let gpu = Gpu::new(0, DeviceSpec::t4());
         let small = KernelProfile::matmul(32, 32, 32);
         let large = KernelProfile::matmul(2048, 2048, 2048);
-        gpu.launch("small", LaunchConfig::for_matrix(32, 32, 16), small, || ()).unwrap();
-        gpu.launch("large", LaunchConfig::for_matrix(2048, 2048, 16), large, || ()).unwrap();
+        gpu.launch("small", LaunchConfig::for_matrix(32, 32, 16), small, || ())
+            .unwrap();
+        gpu.launch(
+            "large",
+            LaunchConfig::for_matrix(2048, 2048, 16),
+            large,
+            || (),
+        )
+        .unwrap();
         let r = roofline(gpu.spec(), &gpu.recorder().snapshot());
         let small_pt = r.points.iter().find(|p| p.name == "small").unwrap();
         let large_pt = r.points.iter().find(|p| p.name == "large").unwrap();

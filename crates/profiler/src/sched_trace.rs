@@ -1,0 +1,252 @@
+//! Chrome-trace export of the taskflow scheduler's per-attempt spans.
+//!
+//! The work-stealing scheduler records a [`TaskSpan`] for every executed
+//! attempt (see `taskflow::metrics`). Here those spans become one timeline
+//! lane per worker, so a straggling worker shows up as a long lane, a
+//! retry storm as stacked re-attempts, and a steal as a slice whose
+//! `stolen` arg is true on a lane the task was not queued on. The same
+//! document can also merge the GPU kernel trace, putting simulated-device
+//! activity and scheduler activity side by side in one viewer.
+
+use crate::json::{push_f64, push_str_literal};
+use gpu_sim::TraceEvent;
+use std::fmt::Write;
+use taskflow::metrics::SchedulerMetrics;
+
+/// The synthetic "process" id scheduler lanes live under, chosen to stay
+/// clear of simulated-GPU ordinals (which export as their own pids).
+const SCHED_PID: u32 = 1000;
+
+fn push_thread_metadata(out: &mut String, first: &mut bool, m: &SchedulerMetrics) {
+    for w in &m.workers {
+        if !*first {
+            out.push(',');
+        }
+        *first = false;
+        out.push_str(
+            "\n    {\n      \"name\": \"thread_name\",\n      \"ph\": \"M\",\n      \"pid\": ",
+        );
+        let _ = write!(
+            out,
+            "{SCHED_PID},\n      \"tid\": {},\n      \"args\": {{ \"name\": ",
+            w.worker_id
+        );
+        push_str_literal(
+            out,
+            &format!(
+                "worker-{} (tasks={}, steals={}, retries={}, depth={})",
+                w.worker_id, w.tasks_run, w.steals, w.retries, w.max_queue_depth
+            ),
+        );
+        out.push_str(" }\n    }");
+    }
+}
+
+fn push_sched_spans(out: &mut String, first: &mut bool, m: &SchedulerMetrics) {
+    for span in &m.spans {
+        if !*first {
+            out.push(',');
+        }
+        *first = false;
+        out.push_str("\n    {\n      \"name\": ");
+        push_str_literal(out, &span.label);
+        out.push_str(",\n      \"cat\": ");
+        push_str_literal(out, span.outcome.label());
+        out.push_str(",\n      \"ph\": \"X\",\n      \"ts\": ");
+        push_f64(out, span.start_ns as f64 / 1e3);
+        out.push_str(",\n      \"dur\": ");
+        push_f64(out, span.dur_ns() as f64 / 1e3);
+        let _ = write!(
+            out,
+            ",\n      \"pid\": {},\n      \"tid\": {},\n      \"args\": {{ \"task_id\": {}, \"attempt\": {}, \"stolen\": {}, \"queue_delay_us\": ",
+            SCHED_PID, span.worker, span.task_id, span.attempt, span.stolen
+        );
+        push_f64(
+            out,
+            span.start_ns.saturating_sub(span.queued_ns) as f64 / 1e3,
+        );
+        out.push_str(" }\n    }");
+    }
+}
+
+fn push_gpu_event(out: &mut String, first: &mut bool, ev: &TraceEvent) {
+    if !*first {
+        out.push(',');
+    }
+    *first = false;
+    out.push_str("\n    {\n      \"name\": ");
+    push_str_literal(out, &ev.name);
+    out.push_str(",\n      \"cat\": ");
+    push_str_literal(out, ev.kind.label());
+    out.push_str(",\n      \"ph\": \"X\",\n      \"ts\": ");
+    push_f64(out, ev.start_ns as f64 / 1e3);
+    out.push_str(",\n      \"dur\": ");
+    push_f64(out, ev.dur_ns as f64 / 1e3);
+    let _ = write!(
+        out,
+        ",\n      \"pid\": {},\n      \"tid\": {},\n      \"args\": {{ \"bytes\": {}, \"flops\": {} }}\n    }}",
+        ev.device, ev.stream, ev.bytes, ev.flops
+    );
+}
+
+fn close_trace(mut out: String, any: bool) -> String {
+    if any {
+        out.push_str("\n  ");
+    }
+    out.push_str("],\n  \"displayTimeUnit\": \"ns\"\n}");
+    out
+}
+
+/// Serializes a scheduler-metrics snapshot to Chrome-trace JSON: one lane
+/// (`tid`) per worker under a synthetic scheduler process (`pid` 1000),
+/// one complete slice per task attempt, labeled lanes carrying the
+/// per-worker counters.
+pub fn scheduler_to_chrome_trace(m: &SchedulerMetrics) -> String {
+    let mut out = String::with_capacity(256 + m.spans.len() * 224 + m.workers.len() * 160);
+    out.push_str("{\n  \"traceEvents\": [");
+    let mut first = true;
+    push_thread_metadata(&mut out, &mut first, m);
+    push_sched_spans(&mut out, &mut first, m);
+    close_trace(out, !first)
+}
+
+/// One document with both the simulated-GPU kernel timeline (pids = device
+/// ordinals) and the scheduler's worker lanes (pid 1000) — the combined
+/// view the profiler labs read: which worker ran which task, and what the
+/// device underneath was doing at the time.
+pub fn merged_chrome_trace(events: &[TraceEvent], m: &SchedulerMetrics) -> String {
+    let mut out = String::with_capacity(
+        256 + events.len() * 192 + m.spans.len() * 224 + m.workers.len() * 160,
+    );
+    out.push_str("{\n  \"traceEvents\": [");
+    let mut first = true;
+    for ev in events {
+        push_gpu_event(&mut out, &mut first, ev);
+    }
+    push_thread_metadata(&mut out, &mut first, m);
+    push_sched_spans(&mut out, &mut first, m);
+    close_trace(out, !first)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::EventKind;
+    use taskflow::metrics::{SpanOutcome, TaskSpan, WorkerMetrics};
+
+    fn metrics() -> SchedulerMetrics {
+        SchedulerMetrics {
+            workers: vec![
+                WorkerMetrics {
+                    worker_id: 0,
+                    tasks_run: 2,
+                    steals: 0,
+                    retries: 1,
+                    max_queue_depth: 2,
+                    busy_ns: 3_000,
+                },
+                WorkerMetrics {
+                    worker_id: 1,
+                    tasks_run: 1,
+                    steals: 1,
+                    retries: 0,
+                    max_queue_depth: 1,
+                    busy_ns: 1_000,
+                },
+            ],
+            spans: vec![
+                TaskSpan {
+                    task_id: 0,
+                    label: "epoch \"0\"".into(),
+                    worker: 0,
+                    attempt: 0,
+                    queued_ns: 0,
+                    start_ns: 1_000,
+                    end_ns: 2_500,
+                    stolen: false,
+                    outcome: SpanOutcome::InjectedCrash,
+                },
+                TaskSpan {
+                    task_id: 0,
+                    label: "epoch \"0\"".into(),
+                    worker: 0,
+                    attempt: 1,
+                    queued_ns: 0,
+                    start_ns: 2_500,
+                    end_ns: 4_000,
+                    stolen: false,
+                    outcome: SpanOutcome::Completed,
+                },
+                TaskSpan {
+                    task_id: 1,
+                    label: "task-1".into(),
+                    worker: 1,
+                    attempt: 0,
+                    queued_ns: 500,
+                    start_ns: 1_500,
+                    end_ns: 2_500,
+                    stolen: true,
+                    outcome: SpanOutcome::Completed,
+                },
+            ],
+            wall_ns: 5_000,
+        }
+    }
+
+    #[test]
+    fn scheduler_trace_has_lanes_and_attempt_slices() {
+        let json = scheduler_to_chrome_trace(&metrics());
+        let parsed: serde_json::Value = serde_json::from_str(&json).unwrap();
+        let events = parsed["traceEvents"].as_array().unwrap();
+        // 2 thread-name metadata events + 3 attempt slices.
+        assert_eq!(events.len(), 5);
+        assert_eq!(events[0]["ph"], "M");
+        assert_eq!(events[0]["pid"], 1000);
+        let name = events[0]["args"]["name"].as_str().unwrap();
+        assert!(
+            name.contains("worker-0") && name.contains("retries=1"),
+            "{name}"
+        );
+
+        let crash = &events[2];
+        assert_eq!(crash["name"], "epoch \"0\"");
+        assert_eq!(crash["cat"], "injected-crash");
+        assert_eq!(crash["ts"], 1.0);
+        assert_eq!(crash["dur"], 1.5);
+        assert_eq!(crash["args"]["attempt"], 0);
+
+        let stolen = &events[4];
+        assert_eq!(stolen["tid"], 1);
+        assert_eq!(stolen["args"]["stolen"], true);
+        assert_eq!(stolen["args"]["queue_delay_us"], 1.0);
+    }
+
+    #[test]
+    fn merged_trace_keeps_gpu_and_scheduler_separate_pids() {
+        let gpu_events = vec![TraceEvent {
+            kind: EventKind::Kernel,
+            name: "sgemm".into(),
+            device: 0,
+            stream: 0,
+            start_ns: 0,
+            dur_ns: 1_000,
+            bytes: 64,
+            flops: 128,
+            occupancy: 0.5,
+        }];
+        let json = merged_chrome_trace(&gpu_events, &metrics());
+        let parsed: serde_json::Value = serde_json::from_str(&json).unwrap();
+        let events = parsed["traceEvents"].as_array().unwrap();
+        assert_eq!(events.len(), 6);
+        assert_eq!(events[0]["name"], "sgemm");
+        assert_eq!(events[0]["pid"], 0);
+        assert!(events[1..].iter().all(|e| e["pid"] == 1000));
+    }
+
+    #[test]
+    fn empty_metrics_trace_is_valid() {
+        let json = scheduler_to_chrome_trace(&SchedulerMetrics::default());
+        let parsed: serde_json::Value = serde_json::from_str(&json).unwrap();
+        assert_eq!(parsed["traceEvents"].as_array().unwrap().len(), 0);
+    }
+}

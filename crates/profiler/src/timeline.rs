@@ -108,7 +108,11 @@ impl Timeline {
     pub fn idle_gaps(&self, device: u32, min_ns: u64) -> Vec<IdleGap> {
         let mut gaps = Vec::new();
         let mut cursor = 0u64;
-        for ev in self.lane(device).iter().filter(|e| e.kind != EventKind::Range) {
+        for ev in self
+            .lane(device)
+            .iter()
+            .filter(|e| e.kind != EventKind::Range)
+        {
             if ev.start_ns > cursor {
                 let dur = ev.start_ns - cursor;
                 if dur >= min_ns {
@@ -200,8 +204,22 @@ mod tests {
         ]);
         let gaps = t.idle_gaps(0, 1);
         assert_eq!(gaps.len(), 2);
-        assert_eq!(gaps[0], IdleGap { device: 0, start_ns: 0, dur_ns: 100 });
-        assert_eq!(gaps[1], IdleGap { device: 0, start_ns: 110, dur_ns: 90 });
+        assert_eq!(
+            gaps[0],
+            IdleGap {
+                device: 0,
+                start_ns: 0,
+                dur_ns: 100
+            }
+        );
+        assert_eq!(
+            gaps[1],
+            IdleGap {
+                device: 0,
+                start_ns: 110,
+                dur_ns: 90
+            }
+        );
         // Threshold filters small gaps.
         assert_eq!(t.idle_gaps(0, 95).len(), 1);
     }

@@ -58,7 +58,11 @@ impl Bm25Index {
 
     fn idf(&self, term: &str) -> f64 {
         let n = self.len() as f64;
-        let df = self.postings.get(term).map(|p| p.len() as f64).unwrap_or(0.0);
+        let df = self
+            .postings
+            .get(term)
+            .map(|p| p.len() as f64)
+            .unwrap_or(0.0);
         // BM25+ style floor keeps common terms non-negative.
         (((n - df + 0.5) / (df + 0.5)) + 1.0).ln()
     }
@@ -71,7 +75,9 @@ impl Bm25Index {
         let avg_len = self.total_len / self.len() as f64;
         let mut scores: HashMap<usize, f64> = HashMap::new();
         for term in tokenize(query) {
-            let Some(postings) = self.postings.get(&term) else { continue };
+            let Some(postings) = self.postings.get(&term) else {
+                continue;
+            };
             let idf = self.idf(&term);
             for &(doc, tf) in postings {
                 let len = self.doc_len[&doc];
@@ -86,7 +92,12 @@ impl Bm25Index {
                 score: score as f32,
             })
             .collect();
-        hits.sort_by(|a, b| b.score.partial_cmp(&a.score).expect("finite").then(a.doc_id.cmp(&b.doc_id)));
+        hits.sort_by(|a, b| {
+            b.score
+                .partial_cmp(&a.score)
+                .expect("finite")
+                .then(a.doc_id.cmp(&b.doc_id))
+        });
         hits.truncate(k);
         hits
     }
@@ -108,7 +119,12 @@ pub fn reciprocal_rank_fusion(lists: &[Vec<SearchHit>], k: f64, top: usize) -> V
             score: score as f32,
         })
         .collect();
-    hits.sort_by(|a, b| b.score.partial_cmp(&a.score).expect("finite").then(a.doc_id.cmp(&b.doc_id)));
+    hits.sort_by(|a, b| {
+        b.score
+            .partial_cmp(&a.score)
+            .expect("finite")
+            .then(a.doc_id.cmp(&b.doc_id))
+    });
     hits.truncate(top);
     hits
 }
@@ -172,14 +188,32 @@ mod tests {
     #[test]
     fn rrf_prefers_documents_ranked_by_both_systems() {
         let dense = vec![
-            SearchHit { doc_id: 1, score: 0.9 },
-            SearchHit { doc_id: 2, score: 0.8 },
-            SearchHit { doc_id: 3, score: 0.7 },
+            SearchHit {
+                doc_id: 1,
+                score: 0.9,
+            },
+            SearchHit {
+                doc_id: 2,
+                score: 0.8,
+            },
+            SearchHit {
+                doc_id: 3,
+                score: 0.7,
+            },
         ];
         let lexical = vec![
-            SearchHit { doc_id: 2, score: 5.0 },
-            SearchHit { doc_id: 4, score: 4.0 },
-            SearchHit { doc_id: 1, score: 3.0 },
+            SearchHit {
+                doc_id: 2,
+                score: 5.0,
+            },
+            SearchHit {
+                doc_id: 4,
+                score: 4.0,
+            },
+            SearchHit {
+                doc_id: 1,
+                score: 3.0,
+            },
         ];
         let fused = reciprocal_rank_fusion(&[dense, lexical], 60.0, 4);
         // Doc 2 (ranks 2 and 1) and doc 1 (ranks 1 and 3) lead; the
@@ -221,6 +255,9 @@ mod tests {
             fused_total >= weakest_total,
             "fusion {fused_total} must not trail the weaker system {weakest_total}"
         );
-        assert!(fused_total >= 15, "hybrid should be mostly on-topic: {fused_total}/25");
+        assert!(
+            fused_total >= 15,
+            "hybrid should be mostly on-topic: {fused_total}/25"
+        );
     }
 }

@@ -30,37 +30,100 @@ const TOPICS: &[(&str, &[&str])] = &[
     (
         "cuda",
         &[
-            "kernel", "thread", "block", "grid", "warp", "occupancy", "shared", "memory",
-            "coalesced", "register", "launch", "stream", "sm", "divergence", "cuda",
+            "kernel",
+            "thread",
+            "block",
+            "grid",
+            "warp",
+            "occupancy",
+            "shared",
+            "memory",
+            "coalesced",
+            "register",
+            "launch",
+            "stream",
+            "sm",
+            "divergence",
+            "cuda",
         ],
     ),
     (
         "cloud",
         &[
-            "instance", "vpc", "subnet", "iam", "role", "budget", "billing", "sagemaker",
-            "notebook", "region", "terminate", "idle", "provision", "quota", "aws",
+            "instance",
+            "vpc",
+            "subnet",
+            "iam",
+            "role",
+            "budget",
+            "billing",
+            "sagemaker",
+            "notebook",
+            "region",
+            "terminate",
+            "idle",
+            "provision",
+            "quota",
+            "aws",
         ],
     ),
     (
         "training",
         &[
-            "gradient", "epoch", "loss", "optimizer", "adam", "partition", "metis", "dask",
-            "worker", "broadcast", "aggregate", "gcn", "accuracy", "distributed", "allreduce",
+            "gradient",
+            "epoch",
+            "loss",
+            "optimizer",
+            "adam",
+            "partition",
+            "metis",
+            "dask",
+            "worker",
+            "broadcast",
+            "aggregate",
+            "gcn",
+            "accuracy",
+            "distributed",
+            "allreduce",
         ],
     ),
     (
         "profiling",
         &[
-            "nsight", "profiler", "timeline", "bottleneck", "bandwidth", "transfer", "idle",
-            "utilization", "trace", "roofline", "hotspot", "latency", "overhead", "tensorboard",
+            "nsight",
+            "profiler",
+            "timeline",
+            "bottleneck",
+            "bandwidth",
+            "transfer",
+            "idle",
+            "utilization",
+            "trace",
+            "roofline",
+            "hotspot",
+            "latency",
+            "overhead",
+            "tensorboard",
             "systems",
         ],
     ),
     (
         "rag",
         &[
-            "retrieval", "embedding", "index", "faiss", "query", "generator", "context",
-            "document", "vector", "similarity", "rerank", "throughput", "batch", "token",
+            "retrieval",
+            "embedding",
+            "index",
+            "faiss",
+            "query",
+            "generator",
+            "context",
+            "document",
+            "vector",
+            "similarity",
+            "rerank",
+            "throughput",
+            "batch",
+            "token",
             "augmented",
         ],
     ),
@@ -68,8 +131,26 @@ const TOPICS: &[(&str, &[&str])] = &[
 
 /// Connective filler shared by all topics (keeps documents sentence-like).
 const FILLER: &[&str] = &[
-    "the", "a", "of", "for", "with", "and", "then", "we", "measure", "configure", "use",
-    "observe", "improve", "each", "per", "when", "this", "model", "system", "performance",
+    "the",
+    "a",
+    "of",
+    "for",
+    "with",
+    "and",
+    "then",
+    "we",
+    "measure",
+    "configure",
+    "use",
+    "observe",
+    "improve",
+    "each",
+    "per",
+    "when",
+    "this",
+    "model",
+    "system",
+    "performance",
 ];
 
 impl Corpus {
@@ -190,10 +271,16 @@ mod tests {
         let c = Corpus::synthetic(5, 200, 3);
         // Doc 0 is CUDA-topic: must contain characteristic CUDA terms.
         let cuda_doc = &c.get(0).unwrap().text;
-        assert!(cuda_doc.contains("kernel") || cuda_doc.contains("warp") || cuda_doc.contains("cuda"));
+        assert!(
+            cuda_doc.contains("kernel") || cuda_doc.contains("warp") || cuda_doc.contains("cuda")
+        );
         // Doc 1 is cloud-topic.
         let cloud_doc = &c.get(1).unwrap().text;
-        assert!(cloud_doc.contains("instance") || cloud_doc.contains("vpc") || cloud_doc.contains("aws"));
+        assert!(
+            cloud_doc.contains("instance")
+                || cloud_doc.contains("vpc")
+                || cloud_doc.contains("aws")
+        );
     }
 
     #[test]

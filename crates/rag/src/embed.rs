@@ -121,7 +121,10 @@ mod tests {
         let e = Embedder::new(64, 3);
         let a = e.embed("gpu memory bandwidth");
         let b = e.embed("bandwidth memory gpu");
-        assert!((cosine(&a, &b) - 1.0).abs() < 1e-5, "bag-of-words is order-free");
+        assert!(
+            (cosine(&a, &b) - 1.0).abs() < 1e-5,
+            "bag-of-words is order-free"
+        );
         let c = e.embed("gpu memory latency");
         assert!(cosine(&a, &c) < 0.999);
     }

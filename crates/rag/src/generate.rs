@@ -77,7 +77,10 @@ impl MarkovGenerator {
             let Some(successors) = self.transitions.get(&current) else {
                 break;
             };
-            let next = successors.choose(&mut rng).expect("non-empty successor list").clone();
+            let next = successors
+                .choose(&mut rng)
+                .expect("non-empty successor list")
+                .clone();
             out.push(next.clone());
             current = next;
         }

@@ -35,7 +35,12 @@ pub trait VectorIndex {
 }
 
 fn top_k(mut scores: Vec<SearchHit>, k: usize) -> Vec<SearchHit> {
-    scores.sort_by(|a, b| b.score.partial_cmp(&a.score).expect("finite").then(a.doc_id.cmp(&b.doc_id)));
+    scores.sort_by(|a, b| {
+        b.score
+            .partial_cmp(&a.score)
+            .expect("finite")
+            .then(a.doc_id.cmp(&b.doc_id))
+    });
     scores.truncate(k);
     scores
 }
@@ -286,8 +291,7 @@ impl VectorIndex for IvfIndex {
                 (c, score)
             })
             .collect();
-        centroid_scores
-            .sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite").then(a.0.cmp(&b.0)));
+        centroid_scores.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite").then(a.0.cmp(&b.0)));
 
         let mut hits = Vec::new();
         for &(c, _) in centroid_scores.iter().take(self.nprobe) {
@@ -412,7 +416,11 @@ mod tests {
         }
         let mut ivf = IvfIndex::train(96, 16, 16, &data, 2);
         ivf.set_nprobe(2);
-        assert!(ivf.scan_fraction() < 0.3, "scan fraction {}", ivf.scan_fraction());
+        assert!(
+            ivf.scan_fraction() < 0.3,
+            "scan fraction {}",
+            ivf.scan_fraction()
+        );
         // Recall over several queries: below 1.0 is expected but should
         // stay usable (> 0.4) because lists align with topics.
         let mut total_recall = 0.0;
@@ -442,9 +450,18 @@ mod tests {
     fn top_k_truncates_and_orders() {
         let hits = top_k(
             vec![
-                SearchHit { doc_id: 1, score: 0.5 },
-                SearchHit { doc_id: 2, score: 0.9 },
-                SearchHit { doc_id: 3, score: 0.7 },
+                SearchHit {
+                    doc_id: 1,
+                    score: 0.5,
+                },
+                SearchHit {
+                    doc_id: 2,
+                    score: 0.9,
+                },
+                SearchHit {
+                    doc_id: 3,
+                    score: 0.7,
+                },
             ],
             2,
         );
@@ -456,7 +473,7 @@ mod tests {
     #[test]
     fn empty_index_returns_nothing() {
         let idx = FlatIndex::new(8);
-        assert!(idx.search(&vec![0.0; 8], 5).is_empty());
+        assert!(idx.search(&[0.0; 8], 5).is_empty());
         assert!(idx.is_empty());
     }
 

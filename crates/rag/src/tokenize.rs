@@ -31,7 +31,10 @@ mod tests {
 
     #[test]
     fn handles_punctuation_and_numbers() {
-        assert_eq!(tokenize("g4dn.xlarge costs $0.526/hr"), vec!["g4dn", "xlarge", "costs", "0", "526", "hr"]);
+        assert_eq!(
+            tokenize("g4dn.xlarge costs $0.526/hr"),
+            vec!["g4dn", "xlarge", "costs", "0", "526", "hr"]
+        );
     }
 
     #[test]

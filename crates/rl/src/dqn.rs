@@ -128,7 +128,11 @@ impl DqnAgent {
         let actions: Vec<usize> = batch.iter().map(|t| t.action).collect();
 
         // Fused forward+backward, charged to the simulated device.
-        let (d, h, a) = (self.state_dim as u64, self.cfg.hidden as u64, self.num_actions as u64);
+        let (d, h, a) = (
+            self.state_dim as u64,
+            self.cfg.hidden as u64,
+            self.num_actions as u64,
+        );
         let flops = 3 * 2 * (d * h + h * a) * b as u64; // fwd + ~2x bwd
         let profile = KernelProfile {
             flops,
@@ -149,13 +153,14 @@ impl DqnAgent {
                     .iter()
                     .map(|v| grads[v.index()].clone().expect("param grad"))
                     .collect();
-                self.opt.step_all(self.online.parameters_mut(), &grad_tensors);
+                self.opt
+                    .step_all(self.online.parameters_mut(), &grad_tensors);
                 loss_val
             })
             .expect("valid launch");
 
         self.grad_steps += 1;
-        if self.grad_steps % self.cfg.target_sync_every == 0 {
+        if self.grad_steps.is_multiple_of(self.cfg.target_sync_every) {
             self.target = self.online.clone();
         }
         Some(loss)

@@ -84,7 +84,10 @@ impl GridWorld {
     pub fn new(rows: usize, cols: usize, pits: Vec<usize>) -> Self {
         assert!(rows >= 2 && cols >= 2, "grid must be at least 2x2");
         let goal = rows * cols - 1;
-        assert!(!pits.contains(&0) && !pits.contains(&goal), "start/goal cannot be pits");
+        assert!(
+            !pits.contains(&0) && !pits.contains(&goal),
+            "start/goal cannot be pits"
+        );
         Self {
             rows,
             cols,
@@ -237,8 +240,16 @@ mod tests {
         env.reset();
         let mut r = rng();
         let mut last = env.step(Action::Up, &mut r);
-        last = if last.done { last } else { env.step(Action::Up, &mut r) };
-        last = if last.done { last } else { env.step(Action::Up, &mut r) };
+        last = if last.done {
+            last
+        } else {
+            env.step(Action::Up, &mut r)
+        };
+        last = if last.done {
+            last
+        } else {
+            env.step(Action::Up, &mut r)
+        };
         assert!(last.done, "bouncing off the wall must hit the step limit");
     }
 

@@ -16,7 +16,7 @@ use sagegpu_nn::layers::Mlp;
 use sagegpu_nn::tape::Tape;
 use sagegpu_tensor::dense::Tensor;
 use std::sync::Arc;
-use taskflow::cluster::LocalCluster;
+use taskflow::cluster::ClusterBuilder;
 
 /// Result of a parallel training run.
 #[derive(Debug, Clone)]
@@ -85,8 +85,13 @@ fn rollout(
             access: AccessPattern::Coalesced,
             registers_per_thread: 32,
         };
-        gpu.launch("dqn_rollout", LaunchConfig::for_elements(h, 64), profile, || ())
-            .expect("valid launch");
+        gpu.launch(
+            "dqn_rollout",
+            LaunchConfig::for_elements(h, 64),
+            profile,
+            || (),
+        )
+        .expect("valid launch");
         returns.push(total);
     }
     (transitions, returns)
@@ -106,16 +111,12 @@ pub fn train_parallel_dqn(
         DeviceSpec::t4(),
         LinkKind::Ethernet,
     ));
-    let cluster = LocalCluster::with_gpus(Arc::clone(&gpus));
+    let cluster = ClusterBuilder::new().gpus(Arc::clone(&gpus)).build();
     let template = GridWorld::lab4x4();
-    let mut agent = DqnAgent::new(
-        template.num_states(),
-        template.num_actions(),
-        cfg,
-        seed,
-    );
+    let mut agent = DqnAgent::new(template.num_states(), template.num_actions(), cfg, seed);
     let mut master_rng = SmallRng::seed_from_u64(seed);
-    let param_bytes: u64 = 4 * 2 * (template.num_states() * 64 + 64 * template.num_actions()) as u64;
+    let param_bytes: u64 =
+        4 * 2 * (template.num_states() * 64 + 64 * template.num_actions()) as u64;
 
     let mut round_returns = Vec::with_capacity(rounds);
     for round in 0..rounds {
@@ -125,12 +126,22 @@ pub fn train_parallel_dqn(
         let futures: Vec<_> = (0..workers)
             .map(|w| {
                 let policy = policy.clone();
-                let mut env = template.clone();
+                let env = template.clone();
                 let worker_seed = seed ^ (round as u64) << 8 ^ w as u64;
                 cluster
                     .submit_to(w, move |ctx| {
+                        // Fresh env + rng per attempt keeps the task body a
+                        // pure `Fn`, so a retried attempt replays exactly.
+                        let mut env = env.clone();
                         let mut rng = SmallRng::seed_from_u64(worker_seed);
-                        rollout(&policy, &mut env, episodes_per_round, epsilon, ctx.gpu(), &mut rng)
+                        rollout(
+                            &policy,
+                            &mut env,
+                            episodes_per_round,
+                            epsilon,
+                            ctx.gpu(),
+                            &mut rng,
+                        )
                     })
                     .expect("worker exists")
             })
@@ -177,15 +188,25 @@ mod tests {
 
     #[test]
     fn parallel_agent_learns() {
-        let r = train_parallel_dqn(3, 12, 6, DqnConfig {
-            epsilon_decay_episodes: 40,
-            ..Default::default()
-        }, 11);
+        let r = train_parallel_dqn(
+            3,
+            12,
+            6,
+            DqnConfig {
+                epsilon_decay_episodes: 40,
+                ..Default::default()
+            },
+            11,
+        );
         assert_eq!(r.round_returns.len(), 12);
         let early = r.round_returns[..3].iter().sum::<f64>() / 3.0;
         let late = r.round_returns[9..].iter().sum::<f64>() / 3.0;
         assert!(late > early, "no learning: {early} → {late}");
-        assert!(r.final_return > 0.0, "final greedy return {}", r.final_return);
+        assert!(
+            r.final_return > 0.0,
+            "final greedy return {}",
+            r.final_return
+        );
         assert!(r.final_steps < 40);
     }
 

@@ -68,7 +68,12 @@ impl QLearner {
     }
 
     /// Trains for `episodes`, returning the per-episode returns.
-    pub fn train(&mut self, env: &mut impl Environment, episodes: usize, rng: &mut SmallRng) -> Vec<f64> {
+    pub fn train(
+        &mut self,
+        env: &mut impl Environment,
+        episodes: usize,
+        rng: &mut SmallRng,
+    ) -> Vec<f64> {
         let mut returns = Vec::with_capacity(episodes);
         for _ in 0..episodes {
             let mut s = env.reset();
@@ -124,7 +129,10 @@ mod tests {
         // Greedy policy reaches the goal near-optimally.
         let (ret, steps) = agent.evaluate(&mut env, &mut rng);
         assert!(ret > 0.5, "greedy return {ret}");
-        assert!(steps <= env.optimal_steps() + 4, "greedy path {steps} steps");
+        assert!(
+            steps <= env.optimal_steps() + 4,
+            "greedy path {steps} steps"
+        );
     }
 
     #[test]
@@ -144,7 +152,7 @@ mod tests {
         agent.alpha = 1.0;
         agent.gamma = 0.9;
         agent.update(1, Action::Up, 0.0, 1, true); // dummy
-        // Seed Q(1, Down) = 2.0 by direct updates.
+                                                   // Seed Q(1, Down) = 2.0 by direct updates.
         agent.update(1, Action::Down, 2.0, 0, true);
         agent.update(0, Action::Right, 0.0, 1, false);
         assert!((agent.q_value(0, Action::Right.index()) - 1.8).abs() < 1e-12);

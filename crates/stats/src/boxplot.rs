@@ -28,7 +28,10 @@ impl BoxplotData {
 /// Builds boxplot data with the standard 1.5·IQR whisker rule.
 pub fn boxplot(xs: &[f64]) -> Result<BoxplotData, StatsError> {
     if xs.len() < 4 {
-        return Err(StatsError::TooFewSamples { needed: 4, got: xs.len() });
+        return Err(StatsError::TooFewSamples {
+            needed: 4,
+            got: xs.len(),
+        });
     }
     check_finite(xs)?;
     let mut sorted = xs.to_vec();

@@ -18,7 +18,10 @@ pub fn pearson(x: &[f64], y: &[f64]) -> Result<f64, StatsError> {
         )));
     }
     if x.len() < 2 {
-        return Err(StatsError::TooFewSamples { needed: 2, got: x.len() });
+        return Err(StatsError::TooFewSamples {
+            needed: 2,
+            got: x.len(),
+        });
     }
     check_finite(x)?;
     check_finite(y)?;

@@ -30,7 +30,9 @@ pub fn quantile(sorted: &[f64], q: f64) -> Result<f64, StatsError> {
         return Err(StatsError::TooFewSamples { needed: 1, got: 0 });
     }
     if !(0.0..=1.0).contains(&q) {
-        return Err(StatsError::BadParameter(format!("quantile q must be in [0,1], got {q}")));
+        return Err(StatsError::BadParameter(format!(
+            "quantile q must be in [0,1], got {q}"
+        )));
     }
     let n = sorted.len();
     let h = (n as f64 - 1.0) * q;
@@ -56,7 +58,10 @@ pub fn mean(xs: &[f64]) -> Result<f64, StatsError> {
 /// Sample variance (n − 1 denominator).
 pub fn variance(xs: &[f64]) -> Result<f64, StatsError> {
     if xs.len() < 2 {
-        return Err(StatsError::TooFewSamples { needed: 2, got: xs.len() });
+        return Err(StatsError::TooFewSamples {
+            needed: 2,
+            got: xs.len(),
+        });
     }
     let m = mean(xs)?;
     Ok(xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (xs.len() as f64 - 1.0))
@@ -70,7 +75,10 @@ pub fn std_dev(xs: &[f64]) -> Result<f64, StatsError> {
 /// Full descriptive summary.
 pub fn describe(xs: &[f64]) -> Result<DescriptiveStats, StatsError> {
     if xs.len() < 2 {
-        return Err(StatsError::TooFewSamples { needed: 2, got: xs.len() });
+        return Err(StatsError::TooFewSamples {
+            needed: 2,
+            got: xs.len(),
+        });
     }
     check_finite(xs)?;
     let n = xs.len() as f64;

@@ -61,7 +61,11 @@ pub fn histogram_range(xs: &[f64], bins: usize, lo: f64, hi: f64) -> Result<Hist
         return Err(StatsError::BadParameter(format!("hi {hi} < lo {lo}")));
     }
     check_finite(xs)?;
-    let width = if hi == lo { 1.0 } else { (hi - lo) / bins as f64 };
+    let width = if hi == lo {
+        1.0
+    } else {
+        (hi - lo) / bins as f64
+    };
     let edges: Vec<f64> = (0..=bins).map(|i| lo + i as f64 * width).collect();
     let mut counts = vec![0usize; bins];
     for &x in xs {

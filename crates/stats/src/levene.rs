@@ -36,11 +36,16 @@ pub struct LeveneResult {
 pub fn levene_test(groups: &[&[f64]], center: Center) -> Result<LeveneResult, StatsError> {
     let k = groups.len();
     if k < 2 {
-        return Err(StatsError::BadParameter(format!("need at least 2 groups, got {k}")));
+        return Err(StatsError::BadParameter(format!(
+            "need at least 2 groups, got {k}"
+        )));
     }
     for g in groups {
         if g.len() < 2 {
-            return Err(StatsError::TooFewSamples { needed: 2, got: g.len() });
+            return Err(StatsError::TooFewSamples {
+                needed: 2,
+                got: g.len(),
+            });
         }
         check_finite(g)?;
     }
@@ -99,7 +104,11 @@ mod tests {
         let a = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0];
         let b = [11.0, 12.0, 13.0, 14.0, 15.0, 16.0, 17.0, 18.0]; // shifted only
         let r = levene_test(&[&a, &b], Center::Mean).unwrap();
-        assert!(r.f_statistic < 1e-9, "identical spreads → F ≈ 0, got {}", r.f_statistic);
+        assert!(
+            r.f_statistic < 1e-9,
+            "identical spreads → F ≈ 0, got {}",
+            r.f_statistic
+        );
         assert!(r.p_value > 0.95);
     }
 
@@ -114,7 +123,7 @@ mod tests {
 
     #[test]
     fn degrees_of_freedom_match_group_structure() {
-        let a = vec![1.0; 20]
+        let a = [1.0; 20]
             .iter()
             .enumerate()
             .map(|(i, _)| i as f64)

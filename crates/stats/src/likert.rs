@@ -185,7 +185,15 @@ mod tests {
 
     #[test]
     fn percentages_sum_to_100() {
-        let rs = [Agree, Disagree, Neutral, Agree, StronglyAgree, Agree, Neutral];
+        let rs = [
+            Agree,
+            Disagree,
+            Neutral,
+            Agree,
+            StronglyAgree,
+            Agree,
+            Neutral,
+        ];
         let s = LikertSummary::tabulate(&rs);
         let p = s.percentages();
         assert!((p.iter().sum::<f64>() - 100.0).abs() < 1e-9);

@@ -54,11 +54,11 @@ fn exact_two_sided_p(u_min: f64, n1: usize, n2: usize) -> f64 {
                     continue;
                 }
                 // Assign current rank to sample 1 (beats s2 smaller items).
-                if s1 + 1 <= n1 && u + s2 <= max_u {
+                if s1 < n1 && u + s2 <= max_u {
                     next[s1 + 1][u + s2] += ways;
                 }
                 // Assign to sample 2.
-                if s2 + 1 <= n2 {
+                if s2 < n2 {
                     next[s1][u] += ways;
                 }
             }
@@ -106,7 +106,10 @@ pub fn mann_whitney_u(a: &[f64], b: &[f64]) -> Result<MannWhitneyResult, StatsEr
         // Continuity correction toward the mean, two-sided.
         let u_min = u1.min(u2);
         let z = (u_min - mu + 0.5) / sigma;
-        ((2.0 * normal_cdf(z)).min(1.0), PValueMethod::NormalApproximation)
+        (
+            (2.0 * normal_cdf(z)).min(1.0),
+            PValueMethod::NormalApproximation,
+        )
     };
 
     Ok(MannWhitneyResult {
@@ -208,6 +211,9 @@ mod tests {
         // All values identical → every rank tied → σ² = 0.
         let a = [5.0, 5.0, 5.0];
         let b = [5.0, 5.0, 5.0];
-        assert!(matches!(mann_whitney_u(&a, &b), Err(StatsError::ZeroVariance)));
+        assert!(matches!(
+            mann_whitney_u(&a, &b),
+            Err(StatsError::ZeroVariance)
+        ));
     }
 }

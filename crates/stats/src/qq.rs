@@ -18,7 +18,10 @@ pub struct QqPoint {
 /// `(i − 0.375)/(n + 0.25)` — the statsmodels default the paper's plots use.
 pub fn qq_points(xs: &[f64]) -> Result<Vec<QqPoint>, StatsError> {
     if xs.len() < 2 {
-        return Err(StatsError::TooFewSamples { needed: 2, got: xs.len() });
+        return Err(StatsError::TooFewSamples {
+            needed: 2,
+            got: xs.len(),
+        });
     }
     check_finite(xs)?;
     let mut sorted = xs.to_vec();
@@ -41,7 +44,10 @@ pub fn qq_points(xs: &[f64]) -> Result<Vec<QqPoint>, StatsError> {
 /// quick "straightness" score (1.0 = perfectly normal-looking).
 pub fn qq_correlation(points: &[QqPoint]) -> Result<f64, StatsError> {
     if points.len() < 2 {
-        return Err(StatsError::TooFewSamples { needed: 2, got: points.len() });
+        return Err(StatsError::TooFewSamples {
+            needed: 2,
+            got: points.len(),
+        });
     }
     let t: Vec<f64> = points.iter().map(|p| p.theoretical).collect();
     let o: Vec<f64> = points.iter().map(|p| p.observed).collect();
@@ -108,6 +114,9 @@ mod tests {
         assert!(qq_points(&[1.0]).is_err());
         assert!(qq_points(&[1.0, f64::NAN]).is_err());
         let pts = qq_points(&[2.0, 2.0, 2.0]).unwrap();
-        assert!(matches!(qq_correlation(&pts), Err(StatsError::ZeroVariance)));
+        assert!(matches!(
+            qq_correlation(&pts),
+            Err(StatsError::ZeroVariance)
+        ));
     }
 }

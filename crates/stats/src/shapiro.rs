@@ -62,7 +62,17 @@ pub fn shapiro_wilk(xs: &[f64]) -> Result<ShapiroResult, StatsError> {
     } else {
         let c = |i: usize| m[i] / m_dot_m.sqrt();
         // Royston's polynomial corrections for the largest weights.
-        let a_n = poly(&[-2.706_056, 4.434_685, -2.071_190, -0.147_981, 0.221_157, c(n - 1)], u);
+        let a_n = poly(
+            &[
+                -2.706_056,
+                4.434_685,
+                -2.071_190,
+                -0.147_981,
+                0.221_157,
+                c(n - 1),
+            ],
+            u,
+        );
         if n <= 5 {
             let phi = (m_dot_m - 2.0 * m[n - 1] * m[n - 1]) / (1.0 - 2.0 * a_n * a_n);
             a[n - 1] = a_n;
@@ -71,7 +81,17 @@ pub fn shapiro_wilk(xs: &[f64]) -> Result<ShapiroResult, StatsError> {
                 a[i] = m[i] / phi.sqrt();
             }
         } else {
-            let a_n1 = poly(&[-3.582_633, 5.682_633, -1.752_461, -0.293_762, 0.042_981, c(n - 2)], u);
+            let a_n1 = poly(
+                &[
+                    -3.582_633,
+                    5.682_633,
+                    -1.752_461,
+                    -0.293_762,
+                    0.042_981,
+                    c(n - 2),
+                ],
+                u,
+            );
             let phi = (m_dot_m - 2.0 * m[n - 1] * m[n - 1] - 2.0 * m[n - 2] * m[n - 2])
                 / (1.0 - 2.0 * a_n * a_n - 2.0 * a_n1 * a_n1);
             a[n - 1] = a_n;
@@ -129,8 +149,8 @@ mod tests {
     fn w_is_high_for_normal_looking_data() {
         // Symmetric, bell-ish sample.
         let xs = [
-            -2.0, -1.5, -1.1, -0.8, -0.6, -0.4, -0.2, -0.1, 0.0, 0.1, 0.2, 0.4, 0.6, 0.8, 1.1,
-            1.5, 2.0,
+            -2.0, -1.5, -1.1, -0.8, -0.6, -0.4, -0.2, -0.1, 0.0, 0.1, 0.2, 0.4, 0.6, 0.8, 1.1, 1.5,
+            2.0,
         ];
         let r = shapiro_wilk(&xs).unwrap();
         assert!(r.w > 0.95, "W = {}", r.w);
@@ -150,7 +170,9 @@ mod tests {
     fn reference_sample_matches_r_output() {
         // R: shapiro.test(c(148,154,158,160,161,162,166,170,182,195,236))
         // gives W ≈ 0.79, p ≈ 0.009 (heights data used across textbooks).
-        let xs = [148.0, 154.0, 158.0, 160.0, 161.0, 162.0, 166.0, 170.0, 182.0, 195.0, 236.0];
+        let xs = [
+            148.0, 154.0, 158.0, 160.0, 161.0, 162.0, 166.0, 170.0, 182.0, 195.0, 236.0,
+        ];
         let r = shapiro_wilk(&xs).unwrap();
         assert!((r.w - 0.79).abs() < 0.03, "W = {}", r.w);
         assert!(r.p_value < 0.02, "p = {}", r.p_value);
@@ -198,7 +220,11 @@ mod tests {
             92.0, 90.06, 88.0, 84.0, 78.0, 74.38,
         ];
         let r = shapiro_wilk(&xs).unwrap();
-        assert!(r.w < 0.90, "ceiling-skewed sample must look non-normal, W = {}", r.w);
+        assert!(
+            r.w < 0.90,
+            "ceiling-skewed sample must look non-normal, W = {}",
+            r.w
+        );
         assert!(r.p_value < 0.01, "p = {}", r.p_value);
     }
 
@@ -217,10 +243,16 @@ mod tests {
             shapiro_wilk(&[1.0, 2.0]),
             Err(StatsError::TooFewSamples { .. })
         ));
-        assert!(matches!(shapiro_wilk(&[5.0; 10]), Err(StatsError::ZeroVariance)));
+        assert!(matches!(
+            shapiro_wilk(&[5.0; 10]),
+            Err(StatsError::ZeroVariance)
+        ));
         assert!(shapiro_wilk(&[1.0, f64::NAN, 2.0]).is_err());
         let big = vec![0.0; 5001];
-        assert!(matches!(shapiro_wilk(&big), Err(StatsError::TooManySamples { .. })));
+        assert!(matches!(
+            shapiro_wilk(&big),
+            Err(StatsError::TooManySamples { .. })
+        ));
     }
 
     #[test]

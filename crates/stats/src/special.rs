@@ -14,10 +14,10 @@ use crate::StatsError;
 pub fn ln_gamma(x: f64) -> f64 {
     const G: f64 = 7.0;
     const COEF: [f64; 9] = [
-        0.999_999_999_999_809_93,
+        0.999_999_999_999_809_9,
         676.520_368_121_885_1,
         -1_259.139_216_722_402_8,
-        771.323_428_777_653_13,
+        771.323_428_777_653_1,
         -176.615_029_162_140_6,
         12.507_343_278_686_905,
         -0.138_571_095_265_720_12,
@@ -26,7 +26,9 @@ pub fn ln_gamma(x: f64) -> f64 {
     ];
     if x < 0.5 {
         // Reflection formula.
-        return std::f64::consts::PI.ln() - (std::f64::consts::PI * x).sin().ln() - ln_gamma(1.0 - x);
+        return std::f64::consts::PI.ln()
+            - (std::f64::consts::PI * x).sin().ln()
+            - ln_gamma(1.0 - x);
     }
     let x = x - 1.0;
     let mut a = COEF[0];
@@ -51,7 +53,7 @@ fn erfc_cheb(x: f64) -> f64 {
                                 + t * (-1.135_203_98
                                     + t * (1.488_515_87
                                         + t * (-0.822_152_23 + t * 0.170_872_77)))))))))
-        .exp();
+            .exp();
     if x >= 0.0 {
         ans
     } else {
@@ -85,7 +87,9 @@ pub fn normal_pdf(z: f64) -> f64 {
 /// step to near machine precision.
 pub fn normal_quantile(p: f64) -> Result<f64, StatsError> {
     if !(0.0..=1.0).contains(&p) || p == 0.0 || p == 1.0 {
-        return Err(StatsError::BadParameter(format!("quantile p must be in (0,1), got {p}")));
+        return Err(StatsError::BadParameter(format!(
+            "quantile p must be in (0,1), got {p}"
+        )));
     }
     const A: [f64; 6] = [
         -3.969_683_028_665_376e1,
@@ -142,7 +146,9 @@ pub fn normal_quantile(p: f64) -> Result<f64, StatsError> {
 /// Regularized lower incomplete gamma `P(a, x)` for `a > 0`, `x ≥ 0`.
 pub fn gamma_p(a: f64, x: f64) -> Result<f64, StatsError> {
     if a <= 0.0 || x < 0.0 {
-        return Err(StatsError::BadParameter(format!("gamma_p requires a>0, x>=0 (a={a}, x={x})")));
+        return Err(StatsError::BadParameter(format!(
+            "gamma_p requires a>0, x>=0 (a={a}, x={x})"
+        )));
     }
     if x == 0.0 {
         return Ok(0.0);
@@ -262,7 +268,9 @@ pub fn beta_inc(a: f64, b: f64, x: f64) -> Result<f64, StatsError> {
 /// Student-t CDF with `df` degrees of freedom.
 pub fn t_cdf(t: f64, df: f64) -> Result<f64, StatsError> {
     if df <= 0.0 {
-        return Err(StatsError::BadParameter(format!("t_cdf df must be > 0, got {df}")));
+        return Err(StatsError::BadParameter(format!(
+            "t_cdf df must be > 0, got {df}"
+        )));
     }
     let x = df / (df + t * t);
     let p = 0.5 * beta_inc(df / 2.0, 0.5, x)?;
@@ -272,7 +280,9 @@ pub fn t_cdf(t: f64, df: f64) -> Result<f64, StatsError> {
 /// F distribution CDF with `(d1, d2)` degrees of freedom.
 pub fn f_cdf(f: f64, d1: f64, d2: f64) -> Result<f64, StatsError> {
     if d1 <= 0.0 || d2 <= 0.0 {
-        return Err(StatsError::BadParameter(format!("f_cdf dfs must be > 0 (d1={d1}, d2={d2})")));
+        return Err(StatsError::BadParameter(format!(
+            "f_cdf dfs must be > 0 (d1={d1}, d2={d2})"
+        )));
     }
     if f <= 0.0 {
         return Ok(0.0);
@@ -284,7 +294,9 @@ pub fn f_cdf(f: f64, d1: f64, d2: f64) -> Result<f64, StatsError> {
 /// Chi-square CDF with `k` degrees of freedom.
 pub fn chi2_cdf(x: f64, k: f64) -> Result<f64, StatsError> {
     if k <= 0.0 {
-        return Err(StatsError::BadParameter(format!("chi2_cdf df must be > 0, got {k}")));
+        return Err(StatsError::BadParameter(format!(
+            "chi2_cdf df must be > 0, got {k}"
+        )));
     }
     if x <= 0.0 {
         return Ok(0.0);
@@ -369,10 +381,18 @@ mod tests {
         close(beta_inc(1.0, 1.0, 0.3).unwrap(), 0.3, 1e-12);
         // Symmetry: I_0.5(a,a) = 0.5
         close(beta_inc(2.0, 2.0, 0.5).unwrap(), 0.5, 1e-12);
-        close(beta_inc(7.5, 3.25, 0.5).unwrap(), 1.0 - beta_inc(3.25, 7.5, 0.5).unwrap(), 1e-12);
+        close(
+            beta_inc(7.5, 3.25, 0.5).unwrap(),
+            1.0 - beta_inc(3.25, 7.5, 0.5).unwrap(),
+            1e-12,
+        );
         // I_x(2,2) = x²(3-2x)
         let x: f64 = 0.35;
-        close(beta_inc(2.0, 2.0, x).unwrap(), x * x * (3.0 - 2.0 * x), 1e-12);
+        close(
+            beta_inc(2.0, 2.0, x).unwrap(),
+            x * x * (3.0 - 2.0 * x),
+            1e-12,
+        );
         assert_eq!(beta_inc(2.0, 3.0, 0.0).unwrap(), 0.0);
         assert_eq!(beta_inc(2.0, 3.0, 1.0).unwrap(), 1.0);
     }

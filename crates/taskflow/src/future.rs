@@ -1,48 +1,102 @@
 //! Waitable task results.
 
 use crate::TaskError;
-use crossbeam::channel::{bounded, Receiver, Sender};
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Lifecycle of the shared result slot.
+#[derive(Debug)]
+enum Slot<T> {
+    Pending,
+    Ready(Result<T, TaskError>),
+    Consumed,
+}
+
+#[derive(Debug)]
+struct Inner<T> {
+    slot: Mutex<Slot<T>>,
+    cv: Condvar,
+}
 
 /// A handle to a task's eventual result.
 ///
-/// Backed by a one-shot channel; `wait` blocks until the worker finishes.
+/// Backed by a one-shot slot; `wait` blocks until the worker finishes.
 #[derive(Debug)]
 pub struct TaskFuture<T> {
-    rx: Receiver<Result<T, TaskError>>,
+    inner: Arc<Inner<T>>,
 }
 
-/// Producer side handed to the executing worker.
+/// Producer side handed to the executing worker. Dropping it without
+/// fulfilling signals [`TaskError::ClusterShutDown`] to the waiter.
 #[derive(Debug)]
 pub(crate) struct TaskPromise<T> {
-    tx: Sender<Result<T, TaskError>>,
+    inner: Option<Arc<Inner<T>>>,
 }
 
 /// Creates a linked (future, promise) pair.
 pub(crate) fn oneshot<T>() -> (TaskFuture<T>, TaskPromise<T>) {
-    let (tx, rx) = bounded(1);
-    (TaskFuture { rx }, TaskPromise { tx })
+    let inner = Arc::new(Inner {
+        slot: Mutex::new(Slot::Pending),
+        cv: Condvar::new(),
+    });
+    (
+        TaskFuture {
+            inner: Arc::clone(&inner),
+        },
+        TaskPromise { inner: Some(inner) },
+    )
 }
 
 impl<T> TaskPromise<T> {
-    pub(crate) fn fulfill(self, value: Result<T, TaskError>) {
-        // The receiver may have been dropped; that's fine.
-        let _ = self.tx.send(value);
+    pub(crate) fn fulfill(mut self, value: Result<T, TaskError>) {
+        if let Some(inner) = self.inner.take() {
+            let mut slot = inner.slot.lock().unwrap_or_else(|e| e.into_inner());
+            if matches!(*slot, Slot::Pending) {
+                *slot = Slot::Ready(value);
+            }
+            drop(slot);
+            inner.cv.notify_all();
+        }
+    }
+}
+
+impl<T> Drop for TaskPromise<T> {
+    fn drop(&mut self) {
+        if let Some(inner) = self.inner.take() {
+            let mut slot = inner.slot.lock().unwrap_or_else(|e| e.into_inner());
+            if matches!(*slot, Slot::Pending) {
+                *slot = Slot::Ready(Err(TaskError::ClusterShutDown));
+            }
+            drop(slot);
+            inner.cv.notify_all();
+        }
     }
 }
 
 impl<T> TaskFuture<T> {
     /// Blocks until the task completes.
     pub fn wait(self) -> Result<T, TaskError> {
-        self.rx.recv().unwrap_or(Err(TaskError::ClusterShutDown))
+        let mut slot = self.inner.slot.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            match std::mem::replace(&mut *slot, Slot::Consumed) {
+                Slot::Ready(v) => return v,
+                Slot::Consumed => return Err(TaskError::ClusterShutDown),
+                Slot::Pending => {
+                    *slot = Slot::Pending;
+                    slot = self.inner.cv.wait(slot).unwrap_or_else(|e| e.into_inner());
+                }
+            }
+        }
     }
 
     /// Non-blocking poll; returns `None` while the task is still running.
     pub fn try_wait(&self) -> Option<Result<T, TaskError>> {
-        match self.rx.try_recv() {
-            Ok(v) => Some(v),
-            Err(crossbeam::channel::TryRecvError::Empty) => None,
-            Err(crossbeam::channel::TryRecvError::Disconnected) => {
-                Some(Err(TaskError::ClusterShutDown))
+        let mut slot = self.inner.slot.lock().unwrap_or_else(|e| e.into_inner());
+        match std::mem::replace(&mut *slot, Slot::Consumed) {
+            Slot::Ready(v) => Some(v),
+            Slot::Consumed => Some(Err(TaskError::ClusterShutDown)),
+            Slot::Pending => {
+                *slot = Slot::Pending;
+                None
             }
         }
     }
@@ -87,5 +141,13 @@ mod tests {
         let h = std::thread::spawn(move || prom.fulfill(Ok(7)));
         assert_eq!(fut.wait(), Ok(7));
         h.join().unwrap();
+    }
+
+    #[test]
+    fn second_try_wait_reports_consumed() {
+        let (fut, prom) = oneshot::<u8>();
+        prom.fulfill(Ok(1));
+        assert_eq!(fut.try_wait(), Some(Ok(1)));
+        assert_eq!(fut.try_wait(), Some(Err(TaskError::ClusterShutDown)));
     }
 }

@@ -61,7 +61,13 @@ impl TaskGraph {
     /// Adds a task. `deps` are names of previously added tasks whose outputs
     /// are passed to `f` in the declared order. `cost` feeds the
     /// critical-path schedule (use 1.0 when unknown).
-    pub fn add_task<F>(&mut self, name: &str, deps: &[&str], cost: f64, f: F) -> Result<(), TaskError>
+    pub fn add_task<F>(
+        &mut self,
+        name: &str,
+        deps: &[&str],
+        cost: f64,
+        f: F,
+    ) -> Result<(), TaskError>
     where
         F: Fn(&[TaskValue]) -> TaskValue + Send + Sync + 'static,
     {
@@ -71,10 +77,13 @@ impl TaskGraph {
         let dep_ids = deps
             .iter()
             .map(|d| {
-                self.index.get(*d).copied().ok_or_else(|| TaskError::UnknownDependency {
-                    task: name.to_owned(),
-                    dep: (*d).to_owned(),
-                })
+                self.index
+                    .get(*d)
+                    .copied()
+                    .ok_or_else(|| TaskError::UnknownDependency {
+                        task: name.to_owned(),
+                        dep: (*d).to_owned(),
+                    })
             })
             .collect::<Result<Vec<_>, _>>()?;
         self.index.insert(name.to_owned(), self.tasks.len());
@@ -232,7 +241,11 @@ impl TaskGraph {
     fn check_acyclic(&self) -> Result<(), TaskError> {
         // add_task's "deps must already exist" rule makes cycles impossible,
         // but verify anyway (the invariant is cheap and load-bearing).
-        let executed: usize = self.waves(SchedulePolicy::Fifo).iter().map(|w| w.len()).sum();
+        let executed: usize = self
+            .waves(SchedulePolicy::Fifo)
+            .iter()
+            .map(|w| w.len())
+            .sum();
         if executed != self.tasks.len() {
             let stuck = self
                 .tasks
@@ -314,6 +327,7 @@ pub fn get_result<T: Any + Send + Sync>(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::cluster::ClusterBuilder;
 
     fn value<T: Any + Send + Sync>(v: T) -> TaskValue {
         Arc::new(v)
@@ -348,7 +362,7 @@ mod tests {
 
     #[test]
     fn parallel_matches_sequential() {
-        let cluster = LocalCluster::new(4);
+        let cluster = ClusterBuilder::new().workers(4).build();
         for policy in [SchedulePolicy::Fifo, SchedulePolicy::CriticalPath] {
             let results = diamond().run_on(&cluster, policy).unwrap();
             assert_eq!(*get_result::<i64>(&results, "d").unwrap(), 132);
@@ -418,7 +432,7 @@ mod tests {
             )
         })
         .unwrap();
-        let cluster = LocalCluster::new(8);
+        let cluster = ClusterBuilder::new().workers(8).build();
         let results = g.run_on(&cluster, SchedulePolicy::Fifo).unwrap();
         // Σ (1 + i) for i in 0..50 = 50 + 1225.
         assert_eq!(*get_result::<u64>(&results, "sink").unwrap(), 50 + 1225);
@@ -437,7 +451,9 @@ mod tests {
         // One worker = serial execution.
         assert!((g.estimate_makespan(1, SchedulePolicy::Fifo) - g.total_work()).abs() < 1e-9);
         // Unlimited workers on the diamond = critical path.
-        assert!((g.estimate_makespan(8, SchedulePolicy::CriticalPath) - g.critical_path()).abs() < 1e-9);
+        assert!(
+            (g.estimate_makespan(8, SchedulePolicy::CriticalPath) - g.critical_path()).abs() < 1e-9
+        );
     }
 
     #[test]
@@ -447,18 +463,22 @@ mod tests {
         // starts the chain immediately.
         let mut g = TaskGraph::new();
         g.add_task("chain-a", &[], 10.0, |_| value(())).unwrap();
-        g.add_task("chain-b", &["chain-a"], 10.0, |_| value(())).unwrap();
+        g.add_task("chain-b", &["chain-a"], 10.0, |_| value(()))
+            .unwrap();
         for i in 0..6 {
-            g.add_task(&format!("short-{i}"), &[], 2.0, |_| value(())).unwrap();
+            g.add_task(&format!("short-{i}"), &[], 2.0, |_| value(()))
+                .unwrap();
         }
         // FIFO dispatches in insertion order — but insertion puts chain-a
         // first here, so invert: re-build with shorts first.
         let mut g2 = TaskGraph::new();
         for i in 0..6 {
-            g2.add_task(&format!("short-{i}"), &[], 2.0, |_| value(())).unwrap();
+            g2.add_task(&format!("short-{i}"), &[], 2.0, |_| value(()))
+                .unwrap();
         }
         g2.add_task("chain-a", &[], 10.0, |_| value(())).unwrap();
-        g2.add_task("chain-b", &["chain-a"], 10.0, |_| value(())).unwrap();
+        g2.add_task("chain-b", &["chain-a"], 10.0, |_| value(()))
+            .unwrap();
         let fifo = g2.estimate_makespan(2, SchedulePolicy::Fifo);
         let cp = g2.estimate_makespan(2, SchedulePolicy::CriticalPath);
         assert!(
@@ -484,7 +504,7 @@ mod tests {
         let mut g = TaskGraph::new();
         g.add_task("bad", &[], 1.0, |_| -> TaskValue { panic!("exploded") })
             .unwrap();
-        let cluster = LocalCluster::new(2);
+        let cluster = ClusterBuilder::new().workers(2).build();
         assert!(matches!(
             g.run_on(&cluster, SchedulePolicy::Fifo),
             Err(TaskError::Panicked(_))

@@ -7,9 +7,17 @@
 //! Rust, so this crate implements the subset of its execution model that
 //! the algorithm (and the course's week-6 RAPIDS/Dask labs) relies on:
 //!
-//! - [`cluster::LocalCluster`] — a pool of worker threads, each optionally
-//!   pinned to a simulated GPU ([`gpu_sim::Gpu`]), with Dask's client
-//!   verbs: `submit`, `submit_to`, `scatter`, `broadcast`, `gather`.
+//! - [`cluster::ClusterBuilder`] / [`cluster::LocalCluster`] — a pool of
+//!   worker threads over a shared work-stealing deque scheduler, each
+//!   worker optionally pinned to a simulated GPU ([`gpu_sim::Gpu`]), with
+//!   Dask's client verbs: `submit`, `submit_to`, `scatter`, `broadcast`,
+//!   `gather`.
+//! - [`policy`] — per-task retry/backoff policies, deadline timeouts, and
+//!   deterministic seeded fault injection (worker crash, slow worker,
+//!   dropped result) for resilience experiments.
+//! - [`metrics`] — per-worker counters (tasks run, steals, retries, queue
+//!   depth, busy time) and per-attempt task spans that
+//!   `sagegpu-profiler` renders onto its chrome-trace timeline.
 //! - [`future::TaskFuture`] — a waitable handle to a task's result; worker
 //!   panics surface as [`TaskError::Panicked`] instead of poisoning the
 //!   pool.
@@ -20,9 +28,9 @@
 //!   path), used by the scheduler-ablation benchmark.
 //!
 //! ```
-//! use taskflow::cluster::LocalCluster;
+//! use taskflow::cluster::ClusterBuilder;
 //!
-//! let cluster = LocalCluster::new(4);
+//! let cluster = ClusterBuilder::new().workers(4).build();
 //! let futs: Vec<_> = (0..8)
 //!     .map(|i| cluster.submit(move |_ctx| i * i))
 //!     .collect();
@@ -33,14 +41,19 @@
 pub mod cluster;
 pub mod future;
 pub mod graph;
+pub mod metrics;
+pub mod policy;
+pub(crate) mod sched;
 pub mod store;
 pub mod worker;
 
 /// Convenient glob-import of the crate's primary types.
 pub mod prelude {
-    pub use crate::cluster::LocalCluster;
+    pub use crate::cluster::{ClusterBuilder, LocalCluster};
     pub use crate::future::TaskFuture;
     pub use crate::graph::{SchedulePolicy, TaskGraph};
+    pub use crate::metrics::{SchedulerMetrics, TaskSpan, WorkerMetrics};
+    pub use crate::policy::{Dispatch, FaultPlan, RetryPolicy, TaskOptions};
     pub use crate::store::DataKey;
     pub use crate::worker::WorkerCtx;
     pub use crate::TaskError;
@@ -49,12 +62,17 @@ pub mod prelude {
 /// Errors surfaced by task execution.
 #[derive(Debug, Clone, PartialEq)]
 pub enum TaskError {
-    /// The task panicked on its worker.
+    /// The task panicked on its worker (after exhausting any retry budget).
     Panicked(String),
     /// The cluster shut down before the task produced a result.
     ClusterShutDown,
     /// A worker index outside the pool was addressed.
     UnknownWorker { worker: usize, pool: usize },
+    /// The task missed its deadline: its retry loop was still failing when
+    /// the configured timeout elapsed.
+    DeadlineExceeded { timeout_ms: u64, attempts: u32 },
+    /// A task asked for the pinned GPU on a CPU-only worker.
+    NoGpu { worker: usize },
     /// The task graph contains a dependency cycle.
     CycleDetected { involving: String },
     /// A task referenced an unknown dependency name.
@@ -71,6 +89,17 @@ impl std::fmt::Display for TaskError {
             TaskError::UnknownWorker { worker, pool } => {
                 write!(f, "worker {worker} does not exist (pool size {pool})")
             }
+            TaskError::DeadlineExceeded {
+                timeout_ms,
+                attempts,
+            } => write!(
+                f,
+                "task missed its {timeout_ms} ms deadline after {attempts} attempt(s)"
+            ),
+            TaskError::NoGpu { worker } => write!(
+                f,
+                "worker {worker} has no pinned GPU; build the cluster with ClusterBuilder::gpus"
+            ),
             TaskError::CycleDetected { involving } => {
                 write!(f, "task graph has a cycle involving '{involving}'")
             }

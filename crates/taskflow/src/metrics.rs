@@ -1,0 +1,192 @@
+//! Per-worker scheduler metrics and per-attempt task spans.
+//!
+//! The profiler labs in the reproduced course teach students to read
+//! timelines, not averages: a straggling worker is obvious as a long lane,
+//! a retry storm as stacked re-attempts. The scheduler therefore records a
+//! [`TaskSpan`] per *attempt* (so retries and injected faults are visible
+//! individually) plus aggregate [`WorkerMetrics`] counters, and
+//! `sagegpu-profiler` renders the whole thing as a chrome-trace timeline.
+
+/// How one task attempt ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpanOutcome {
+    /// The attempt produced a result.
+    Completed,
+    /// Fault injection crashed the worker before the body ran.
+    InjectedCrash,
+    /// The body ran but fault injection dropped the result.
+    InjectedDrop,
+    /// The task body panicked.
+    Panicked,
+    /// The retry loop abandoned the task at its deadline.
+    TimedOut,
+}
+
+impl SpanOutcome {
+    /// Short label used on trace timelines.
+    pub fn label(&self) -> &'static str {
+        match self {
+            SpanOutcome::Completed => "completed",
+            SpanOutcome::InjectedCrash => "injected-crash",
+            SpanOutcome::InjectedDrop => "injected-drop",
+            SpanOutcome::Panicked => "panicked",
+            SpanOutcome::TimedOut => "timed-out",
+        }
+    }
+}
+
+/// One executed attempt of one task, timed against the cluster epoch.
+#[derive(Debug, Clone)]
+pub struct TaskSpan {
+    /// Cluster-unique task id.
+    pub task_id: u64,
+    /// Timeline label (`task-<id>` unless the submitter set one).
+    pub label: String,
+    /// Worker that executed this attempt.
+    pub worker: usize,
+    /// 0-based attempt number (>= 1 means a retry).
+    pub attempt: u32,
+    /// Nanoseconds from cluster start to when the task was queued.
+    pub queued_ns: u64,
+    /// Nanoseconds from cluster start to when this attempt began.
+    pub start_ns: u64,
+    /// Nanoseconds from cluster start to when this attempt ended.
+    pub end_ns: u64,
+    /// Whether the executing worker stole the task from another queue.
+    pub stolen: bool,
+    /// How the attempt ended.
+    pub outcome: SpanOutcome,
+}
+
+impl TaskSpan {
+    /// Attempt duration in nanoseconds.
+    pub fn dur_ns(&self) -> u64 {
+        self.end_ns.saturating_sub(self.start_ns)
+    }
+}
+
+/// Aggregate counters for one worker.
+#[derive(Debug, Clone, Default)]
+pub struct WorkerMetrics {
+    pub worker_id: usize,
+    /// Task attempts this worker executed.
+    pub tasks_run: u64,
+    /// Attempts this worker stole from another worker's deque.
+    pub steals: u64,
+    /// Retry attempts (attempt number >= 1) this worker executed.
+    pub retries: u64,
+    /// Deepest its run queue ever got (pinned + stealable).
+    pub max_queue_depth: usize,
+    /// Nanoseconds spent inside task bodies.
+    pub busy_ns: u64,
+}
+
+/// A snapshot of everything the scheduler measured.
+#[derive(Debug, Clone, Default)]
+pub struct SchedulerMetrics {
+    /// One entry per worker, indexed by worker id.
+    pub workers: Vec<WorkerMetrics>,
+    /// Per-attempt spans in completion order (empty when span recording
+    /// was disabled at build time).
+    pub spans: Vec<TaskSpan>,
+    /// Nanoseconds from cluster start to this snapshot.
+    pub wall_ns: u64,
+}
+
+impl SchedulerMetrics {
+    /// Total attempts executed across the pool.
+    pub fn total_tasks(&self) -> u64 {
+        self.workers.iter().map(|w| w.tasks_run).sum()
+    }
+
+    /// Total steals across the pool (0 under round-robin dispatch).
+    pub fn total_steals(&self) -> u64 {
+        self.workers.iter().map(|w| w.steals).sum()
+    }
+
+    /// Total retry attempts across the pool.
+    pub fn total_retries(&self) -> u64 {
+        self.workers.iter().map(|w| w.retries).sum()
+    }
+
+    /// Busy-time imbalance: max worker busy-ns over mean busy-ns. 1.0 is a
+    /// perfectly balanced pool; the ablation uses this to show stealing
+    /// flattening skewed workloads.
+    pub fn busy_imbalance(&self) -> f64 {
+        if self.workers.is_empty() {
+            return 1.0;
+        }
+        let max = self.workers.iter().map(|w| w.busy_ns).max().unwrap_or(0) as f64;
+        let mean =
+            self.workers.iter().map(|w| w.busy_ns).sum::<u64>() as f64 / self.workers.len() as f64;
+        if mean <= 0.0 {
+            1.0
+        } else {
+            max / mean
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aggregates_sum_over_workers() {
+        let m = SchedulerMetrics {
+            workers: vec![
+                WorkerMetrics {
+                    worker_id: 0,
+                    tasks_run: 3,
+                    steals: 1,
+                    retries: 0,
+                    max_queue_depth: 4,
+                    busy_ns: 100,
+                },
+                WorkerMetrics {
+                    worker_id: 1,
+                    tasks_run: 5,
+                    steals: 0,
+                    retries: 2,
+                    max_queue_depth: 2,
+                    busy_ns: 300,
+                },
+            ],
+            spans: Vec::new(),
+            wall_ns: 1000,
+        };
+        assert_eq!(m.total_tasks(), 8);
+        assert_eq!(m.total_steals(), 1);
+        assert_eq!(m.total_retries(), 2);
+        // max 300 / mean 200.
+        assert!((m.busy_imbalance() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn imbalance_degenerate_cases() {
+        assert_eq!(SchedulerMetrics::default().busy_imbalance(), 1.0);
+        let idle = SchedulerMetrics {
+            workers: vec![WorkerMetrics::default(); 3],
+            spans: Vec::new(),
+            wall_ns: 0,
+        };
+        assert_eq!(idle.busy_imbalance(), 1.0);
+    }
+
+    #[test]
+    fn span_duration_saturates() {
+        let span = TaskSpan {
+            task_id: 1,
+            label: "t".into(),
+            worker: 0,
+            attempt: 0,
+            queued_ns: 0,
+            start_ns: 10,
+            end_ns: 25,
+            stolen: false,
+            outcome: SpanOutcome::Completed,
+        };
+        assert_eq!(span.dur_ns(), 15);
+        assert_eq!(span.outcome.label(), "completed");
+    }
+}

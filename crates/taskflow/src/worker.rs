@@ -1,7 +1,7 @@
-//! Worker threads and the context tasks execute in.
+//! The context tasks execute in.
 
 use crate::store::ObjectStore;
-use crossbeam::channel::Receiver;
+use crate::TaskError;
 use gpu_sim::Gpu;
 use std::sync::Arc;
 
@@ -17,58 +17,38 @@ pub struct WorkerCtx {
 }
 
 impl WorkerCtx {
-    /// The pinned GPU, panicking with a clear message when the cluster was
-    /// built without GPUs (a programming error in the caller).
+    /// The pinned GPU as a typed error: [`TaskError::NoGpu`] when the
+    /// cluster was built without GPUs. Prefer this in task bodies that
+    /// already return `Result` — the error propagates through the future
+    /// instead of killing the attempt.
+    pub fn try_gpu(&self) -> Result<&Arc<Gpu>, TaskError> {
+        self.gpu.as_ref().ok_or(TaskError::NoGpu {
+            worker: self.worker_id,
+        })
+    }
+
+    /// The pinned GPU, panicking when the cluster was built without GPUs
+    /// (a programming error in the caller). The panic is caught by the
+    /// scheduler and surfaces as [`TaskError::Panicked`].
     pub fn gpu(&self) -> &Arc<Gpu> {
         self.gpu
             .as_ref()
-            .expect("worker has no pinned GPU; build the cluster with LocalCluster::with_gpus")
-    }
-}
-
-/// A boxed unit of work.
-pub(crate) type Job = Box<dyn FnOnce(&WorkerCtx) + Send>;
-
-/// The worker thread body: drain jobs until the channel closes.
-pub(crate) fn worker_loop(
-    worker_id: usize,
-    gpu: Option<Arc<Gpu>>,
-    store: Arc<ObjectStore>,
-    jobs: Receiver<Job>,
-) {
-    let ctx = WorkerCtx {
-        worker_id,
-        gpu,
-        store,
-    };
-    while let Ok(job) = jobs.recv() {
-        job(&ctx);
+            .expect("worker has no pinned GPU; build the cluster with ClusterBuilder::gpus")
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crossbeam::channel::unbounded;
 
     #[test]
-    fn worker_processes_jobs_in_order() {
-        let (tx, rx) = unbounded::<Job>();
-        let store = Arc::new(ObjectStore::new());
-        let results = Arc::new(parking_lot::Mutex::new(Vec::new()));
-        for i in 0..5 {
-            let results = Arc::clone(&results);
-            tx.send(Box::new(move |ctx: &WorkerCtx| {
-                results.lock().push((ctx.worker_id, i));
-            }))
-            .unwrap();
-        }
-        drop(tx);
-        worker_loop(3, None, store, rx);
-        let r = results.lock();
-        assert_eq!(r.len(), 5);
-        assert!(r.iter().all(|&(w, _)| w == 3));
-        assert_eq!(r.iter().map(|&(_, i)| i).collect::<Vec<_>>(), vec![0, 1, 2, 3, 4]);
+    fn try_gpu_reports_typed_error() {
+        let ctx = WorkerCtx {
+            worker_id: 3,
+            gpu: None,
+            store: Arc::new(ObjectStore::new()),
+        };
+        assert_eq!(ctx.try_gpu().unwrap_err(), TaskError::NoGpu { worker: 3 });
     }
 
     #[test]

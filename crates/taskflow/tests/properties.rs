@@ -1,0 +1,93 @@
+//! Property-based invariants of the work-stealing scheduler.
+//!
+//! The two contracts ISSUE 1 demands of the fault model:
+//! (a) deterministic fault injection plus a sufficient retry budget is
+//!     invisible to callers — `gather` returns exactly what a fault-free
+//!     run returns, in the same order;
+//! (b) a task that fails every attempt surfaces `TaskError::Panicked`
+//!     once the budget is spent instead of hanging `gather`.
+
+use proptest::prelude::*;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+use taskflow::cluster::{ClusterBuilder, LocalCluster};
+use taskflow::policy::{Dispatch, FaultPlan, RetryPolicy};
+use taskflow::TaskError;
+
+/// A deterministic task body: mixes the task index so reordering or lost
+/// results would show up as a wrong value, not just a wrong count.
+fn run_bag(cluster: &LocalCluster, tasks: usize) -> Result<Vec<u64>, TaskError> {
+    let futures: Vec<_> = (0..tasks)
+        .map(|i| {
+            cluster.submit(move |_ctx| {
+                let x = (i as u64).wrapping_mul(0x9e37_79b9) ^ 0xabcd;
+                x.rotate_left((i % 31) as u32)
+            })
+        })
+        .collect();
+    cluster.gather(futures)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// (a) Faulty run + retries == fault-free run, bit for bit.
+    #[test]
+    fn seeded_faults_with_retries_are_invisible(
+        seed in 0u64..10_000,
+        workers in 1usize..5,
+        tasks in 1usize..40,
+        crash_pct in 1u32..25,
+    ) {
+        let clean = ClusterBuilder::new().workers(workers).build();
+        let expected = run_bag(&clean, tasks).expect("fault-free run succeeds");
+
+        // Crash + drop + slow all active; the retry budget is deep enough
+        // that an all-attempts-fail streak is astronomically unlikely
+        // (<= 0.31^17 per task).
+        let faulty = ClusterBuilder::new()
+            .workers(workers)
+            .dispatch(Dispatch::WorkStealing)
+            .fault_plan(FaultPlan {
+                seed,
+                crash_rate: crash_pct as f64 / 100.0,
+                slow_rate: 0.05,
+                drop_rate: 0.01,
+                slow_delay: Duration::from_micros(20),
+            })
+            .retry_policy(RetryPolicy::fixed(16, Duration::ZERO))
+            .build();
+        let got = run_bag(&faulty, tasks).expect("faults are absorbed by retries");
+        prop_assert_eq!(got, expected);
+    }
+
+    /// (b) Unconditional panics exhaust the budget, run exactly
+    /// `retries + 1` attempts, and surface as `Panicked` — `gather` and
+    /// `wait` both return instead of hanging.
+    #[test]
+    fn panics_exhaust_budget_and_surface(
+        retries in 0u32..4,
+        workers in 1usize..4,
+    ) {
+        let cluster = ClusterBuilder::new()
+            .workers(workers)
+            .retry_policy(RetryPolicy::fixed(retries, Duration::ZERO))
+            .build();
+        let attempts = Arc::new(AtomicU32::new(0));
+        let counter = Arc::clone(&attempts);
+        let fut = cluster.submit(move |_| {
+            counter.fetch_add(1, Ordering::SeqCst);
+            panic!("always fails");
+        });
+        match fut.wait() {
+            Err(TaskError::Panicked(msg)) => prop_assert!(msg.contains("always fails"), "{}", msg),
+            other => prop_assert!(false, "expected Panicked, got {:?}", other),
+        }
+        prop_assert_eq!(attempts.load(Ordering::SeqCst), retries + 1);
+
+        // The cluster is still healthy: a follow-up task runs normally.
+        let ok = cluster.submit(|_| 7u32).wait();
+        prop_assert_eq!(ok, Ok(7));
+    }
+}

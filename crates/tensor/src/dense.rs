@@ -68,7 +68,11 @@ impl Tensor {
         for row in rows {
             data.extend_from_slice(row);
         }
-        Self { rows: r, cols: c, data }
+        Self {
+            rows: r,
+            cols: c,
+            data,
+        }
     }
 
     /// Standard-normal random tensor (Box–Muller over the given RNG).
@@ -280,7 +284,10 @@ impl Tensor {
     pub fn matmul(&self, other: &Self) -> Result<Self, TensorError> {
         if self.cols != other.rows {
             return Err(TensorError::ShapeMismatch {
-                expected: format!("inner dims to agree ({}x{} · {}x{})", self.rows, self.cols, other.rows, other.cols),
+                expected: format!(
+                    "inner dims to agree ({}x{} · {}x{})",
+                    self.rows, self.cols, other.rows, other.cols
+                ),
                 got: format!("{} vs {}", self.cols, other.rows),
             });
         }
@@ -509,7 +516,12 @@ mod tests {
         let r = Tensor::randn(100, 100, &mut rng);
         let mean = r.mean();
         assert!(mean.abs() < 0.05, "mean {mean}");
-        let var: f32 = r.data().iter().map(|x| (x - mean) * (x - mean)).sum::<f32>() / 10_000.0;
+        let var: f32 = r
+            .data()
+            .iter()
+            .map(|x| (x - mean) * (x - mean))
+            .sum::<f32>()
+            / 10_000.0;
         assert!((var - 1.0).abs() < 0.1, "var {var}");
         let x = Tensor::xavier(64, 32, &mut rng);
         let limit = (6.0f32 / 96.0).sqrt();

@@ -53,8 +53,7 @@ impl GpuExecutor {
         let n = b.cols();
         let cfg = LaunchConfig::for_matrix(m as u64, n as u64, 16);
         let profile = KernelProfile::matmul(m as u64, k as u64, n as u64);
-        self.gpu
-            .launch("sgemm", cfg, profile, || a.matmul(b))?
+        self.gpu.launch("sgemm", cfg, profile, || a.matmul(b))?
     }
 
     /// Elementwise sum on the device.
@@ -220,8 +219,12 @@ mod tests {
         e.download(&t).unwrap();
         let evs = e.gpu().recorder().snapshot();
         assert!(evs.len() > before);
-        assert!(evs.iter().any(|ev| ev.kind == gpu_sim::EventKind::MemcpyH2D));
-        assert!(evs.iter().any(|ev| ev.kind == gpu_sim::EventKind::MemcpyD2H));
+        assert!(evs
+            .iter()
+            .any(|ev| ev.kind == gpu_sim::EventKind::MemcpyH2D));
+        assert!(evs
+            .iter()
+            .any(|ev| ev.kind == gpu_sim::EventKind::MemcpyD2H));
     }
 
     #[test]

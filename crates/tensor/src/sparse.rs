@@ -70,10 +70,16 @@ impl CsrMatrix {
     ) -> Result<Self, TensorError> {
         for &(r, c, _) in triplets {
             if r >= rows {
-                return Err(TensorError::OutOfBounds { index: r, len: rows });
+                return Err(TensorError::OutOfBounds {
+                    index: r,
+                    len: rows,
+                });
             }
             if c >= cols {
-                return Err(TensorError::OutOfBounds { index: c, len: cols });
+                return Err(TensorError::OutOfBounds {
+                    index: c,
+                    len: cols,
+                });
             }
         }
         let mut sorted: Vec<(usize, usize, f32)> = triplets.to_vec();
@@ -191,7 +197,8 @@ mod tests {
         // [[1, 0, 2],
         //  [0, 0, 0],
         //  [3, 4, 0]]
-        CsrMatrix::from_triplets(3, 3, &[(0, 0, 1.0), (0, 2, 2.0), (2, 0, 3.0), (2, 1, 4.0)]).unwrap()
+        CsrMatrix::from_triplets(3, 3, &[(0, 0, 1.0), (0, 2, 2.0), (2, 0, 3.0), (2, 1, 4.0)])
+            .unwrap()
     }
 
     #[test]

@@ -20,15 +20,24 @@ fn main() {
 
     // Enroll a small class: dedicated roles, $100 caps (§III-A).
     let students: Vec<String> = (1..=4)
-        .map(|i| cloud.create_student_role(&format!("student-{i:02}"), 100.0).expect("fresh role"))
+        .map(|i| {
+            cloud
+                .create_student_role(&format!("student-{i:02}"), 100.0)
+                .expect("fresh role")
+        })
         .collect();
     println!("enrolled {} students with $100 budget caps", students.len());
 
     // Everyone runs the single-GPU lab bootstrap.
     let mut outcomes = Vec::new();
     for s in &students {
-        let out = BootstrapPlan::single_gpu_lab("lab-3").execute(&cloud, s).expect("bootstrap works");
-        println!("{s}: launched {} instance(s) + notebook", out.instances.len());
+        let out = BootstrapPlan::single_gpu_lab("lab-3")
+            .execute(&cloud, s)
+            .expect("bootstrap works");
+        println!(
+            "{s}: launched {} instance(s) + notebook",
+            out.instances.len()
+        );
         outcomes.push(out);
     }
 
@@ -59,5 +68,8 @@ fn main() {
         );
     }
     println!("  class total: ${:.2}", cloud.billing().total_cost());
-    println!("\ncost by activity: {:?}", cloud.billing().cost_by_activity());
+    println!(
+        "\ncost by activity: {:?}",
+        cloud.billing().cost_by_activity()
+    );
 }

@@ -16,7 +16,7 @@ use sagemaker_gpu_workflows::sagegpu::df::gpu::GpuFrame;
 use sagemaker_gpu_workflows::sagegpu::gpu::cluster::LinkKind;
 use sagemaker_gpu_workflows::sagegpu::gpu::{DeviceSpec, Gpu, GpuCluster};
 use sagemaker_gpu_workflows::sagegpu::profiler::opstats::OpStatsTable;
-use sagemaker_gpu_workflows::sagegpu::taskflow::cluster::LocalCluster;
+use sagemaker_gpu_workflows::sagegpu::taskflow::cluster::ClusterBuilder;
 use std::sync::Arc;
 
 fn main() {
@@ -31,7 +31,9 @@ fn main() {
     // Single-GPU cuDF-style pipeline.
     let gpu = Arc::new(Gpu::new(0, DeviceSpec::t4()));
     let gf = GpuFrame::upload(trips.clone(), Arc::clone(&gpu));
-    let long_trips = gf.filter_f64("distance", |d| d > 5.0).expect("column exists");
+    let long_trips = gf
+        .filter_f64("distance", |d| d > 5.0)
+        .expect("column exists");
     let by_zone = long_trips
         .groupby_i64("zone", &[("fare", Agg::Mean), ("fare", Agg::Count)])
         .expect("groupby");
@@ -41,22 +43,32 @@ fn main() {
     let means = ranked.df.f64_column("fare_mean").expect("mean");
     let counts = ranked.df.f64_column("fare_count").expect("count");
     for i in 0..ranked.df.num_rows() {
-        println!("  zone {}: ${:>6.2}  ({} trips)", zones[i], means[i], counts[i]);
+        println!(
+            "  zone {}: ${:>6.2}  ({} trips)",
+            zones[i], means[i], counts[i]
+        );
     }
     println!("\nGPU profile of the pipeline:");
-    println!("{}", OpStatsTable::from_events(&gpu.recorder().snapshot()).render());
+    println!(
+        "{}",
+        OpStatsTable::from_events(&gpu.recorder().snapshot()).render()
+    );
 
     // Dask-style: partitioned across 4 GPU workers.
     let gpus = Arc::new(GpuCluster::homogeneous(4, DeviceSpec::t4(), LinkKind::Pcie));
-    let cluster = Arc::new(LocalCluster::with_gpus(Arc::clone(&gpus)));
+    let cluster = Arc::new(ClusterBuilder::new().gpus(Arc::clone(&gpus)).build());
     let pf = PartitionedFrame::from_frame(trips.clone(), cluster);
     println!(
         "partitioned into {} chunks of ~{} rows",
         pf.num_partitions(),
         pf.num_rows() / pf.num_partitions()
     );
-    let filtered = pf.filter_f64("distance", |d| d > 5.0).expect("distributed filter");
-    let dist_result = filtered.groupby_mean("zone", "fare").expect("two-phase groupby");
+    let filtered = pf
+        .filter_f64("distance", |d| d > 5.0)
+        .expect("distributed filter");
+    let dist_result = filtered
+        .groupby_mean("zone", "fare")
+        .expect("two-phase groupby");
 
     // The lab's correctness check: distributed == single-node.
     let single = trips

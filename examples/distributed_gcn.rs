@@ -9,10 +9,14 @@
 //! cargo run --release --example distributed_gcn
 //! ```
 
-use sagemaker_gpu_workflows::sagegpu::gcn::distributed::{train_distributed, PartitionStrategy};
+use sagemaker_gpu_workflows::sagegpu::gcn::distributed::{
+    train_distributed, train_distributed_with_opts, DistOptions, PartitionStrategy,
+};
 use sagemaker_gpu_workflows::sagegpu::gcn::experiment::{render_scaling_table, scaling_experiment};
 use sagemaker_gpu_workflows::sagegpu::gcn::TrainConfig;
 use sagemaker_gpu_workflows::sagegpu::graph::generators::{sbm, SbmParams};
+use sagemaker_gpu_workflows::sagegpu::taskflow::policy::{FaultPlan, RetryPolicy};
+use std::time::Duration;
 
 fn main() {
     // A PubMed-shaped planted-partition graph: 3 communities whose labels
@@ -50,7 +54,10 @@ fn main() {
     // Detail view of one run: per-epoch loss and per-device utilization.
     let detail = train_distributed(&ds, 3, &cfg, PartitionStrategy::Metis).expect("trains");
     println!("METIS k=3 details:");
-    println!("  edge cut {} (balance {:.3})", detail.edge_cut, detail.balance);
+    println!(
+        "  edge cut {} (balance {:.3})",
+        detail.edge_cut, detail.balance
+    );
     println!(
         "  device utilization: {:?}",
         detail
@@ -65,6 +72,33 @@ fn main() {
     println!(
         "  partitioned-inference accuracy {:.4} | full-graph inference {:.4}",
         detail.test_accuracy, detail.test_accuracy_full_graph
+    );
+
+    // Resilience: seeded fault injection kills workers mid-run; the retry
+    // budget absorbs it and the run converges to the same losses.
+    let faulty = train_distributed_with_opts(
+        &ds,
+        3,
+        &cfg,
+        PartitionStrategy::Metis,
+        DistOptions {
+            fault_plan: FaultPlan::crashes(7, 0.1),
+            retry: RetryPolicy::fixed(5, Duration::ZERO),
+            ..DistOptions::default()
+        },
+    )
+    .expect("trains under faults");
+    let m = &faulty.sched_metrics;
+    println!("\nresilience (10% injected crash rate, 5 retries):");
+    println!(
+        "  {} attempts, {} retries absorbed, busy imbalance {:.2}",
+        m.total_tasks(),
+        m.total_retries(),
+        m.busy_imbalance()
+    );
+    println!(
+        "  final loss identical to fault-free run: {}",
+        faulty.epoch_stats.last().map(|e| e.loss) == detail.epoch_stats.last().map(|e| e.loss)
     );
     println!("\npaper's claims to check: minimal speedup; METIS accuracy >= sequential");
 }

@@ -34,7 +34,10 @@ fn main() {
         mean(&returns[..50]),
         mean(&returns[returns.len() - 50..])
     );
-    println!("  greedy policy: return {ret:.2} in {steps} steps (optimal path = {})", env.optimal_steps());
+    println!(
+        "  greedy policy: return {ret:.2} in {steps} steps (optimal path = {})",
+        env.optimal_steps()
+    );
 
     // Lab 8: DQN on a simulated T4.
     let gpu = Gpu::new(0, DeviceSpec::t4());
@@ -61,7 +64,10 @@ fn main() {
         gpu.kernels_launched(),
         gpu.now_ns() as f64 / 1e6
     );
-    println!("{}", OpStatsTable::from_events(&gpu.recorder().snapshot()).render());
+    println!(
+        "{}",
+        OpStatsTable::from_events(&gpu.recorder().snapshot()).render()
+    );
 
     // Assignment 3: the multi-GPU agent.
     let r = train_parallel_dqn(3, 12, 6, DqnConfig::default(), 11);

@@ -117,10 +117,16 @@ fn main() {
         )
         .expect("valid");
     });
-    println!("\nper-op stats:\n{}", OpStatsTable::from_events(&gpu.recorder().snapshot()).render());
+    println!(
+        "\nper-op stats:\n{}",
+        OpStatsTable::from_events(&gpu.recorder().snapshot()).render()
+    );
 
     // The roofline view of everything this lab launched.
-    println!("{}", roofline(gpu.spec(), &gpu.recorder().snapshot()).render());
+    println!(
+        "{}",
+        roofline(gpu.spec(), &gpu.recorder().snapshot()).render()
+    );
 
     let trace = to_chrome_trace(&gpu.recorder().snapshot());
     let path = std::env::temp_dir().join("sagegpu_trace.json");

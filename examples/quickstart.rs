@@ -31,7 +31,10 @@ fn main() {
     .expect("valid launch");
     let host = gpu.dtoh(&out).expect("read back");
     assert!(host.iter().all(|&x| x == 3.0));
-    println!("vecadd over {n} elements: correct, simulated time {} us", gpu.now_ns() / 1000);
+    println!(
+        "vecadd over {n} elements: correct, simulated time {} us",
+        gpu.now_ns() / 1000
+    );
 
     // 3. A bigger workload through the lab API.
     let report = matmul_lab(&env, 256).expect("lab runs");

@@ -20,7 +20,11 @@ fn main() {
     // Lab 12: the end-to-end pipeline on one simulated T4.
     let exec = GpuExecutor::new(Arc::new(Gpu::new(0, DeviceSpec::t4())));
     let pipeline = build_flat_pipeline(200, 96, exec, 7);
-    println!("indexed {} documents across {} topics", pipeline.corpus.len(), Corpus::num_topics());
+    println!(
+        "indexed {} documents across {} topics",
+        pipeline.corpus.len(),
+        Corpus::num_topics()
+    );
 
     let question = "kernel occupancy shared memory coalesced";
     let response = pipeline.answer(question, 1);
@@ -30,7 +34,11 @@ fn main() {
         response
             .hits
             .iter()
-            .map(|h| pipeline.corpus.get(h.doc_id).map(|d| d.title.clone()).unwrap_or_default())
+            .map(|h| pipeline
+                .corpus
+                .get(h.doc_id)
+                .map(|d| d.title.clone())
+                .unwrap_or_default())
             .collect::<Vec<_>>()
     );
     println!("A: {} …", &response.answer[..response.answer.len().min(90)]);
@@ -70,7 +78,9 @@ fn main() {
     }
 
     // Lab 13b: batched serving throughput.
-    let queries: Vec<String> = (0..32).map(|i| Corpus::topic_query(i % 5, 5, i as u64)).collect();
+    let queries: Vec<String> = (0..32)
+        .map(|i| Corpus::topic_query(i % 5, 5, i as u64))
+        .collect();
     println!("\nbatched serving (32 queries):");
     for batch in [1usize, 4, 16] {
         let exec = GpuExecutor::new(Arc::new(Gpu::new(0, DeviceSpec::t4())));

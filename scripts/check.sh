@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Pre-PR gate: run everything CI would. Fails fast on the first problem.
+#
+#   scripts/check.sh
+#
+# 1. cargo fmt --check       — formatting
+# 2. cargo clippy -D warnings — lints, workspace-wide incl. tests/benches
+# 3. tier-1: release build + full test suite
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> tier-1: cargo build --release && cargo test -q"
+cargo build --release
+cargo test -q
+
+echo "OK: all checks passed"

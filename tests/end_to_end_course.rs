@@ -22,12 +22,17 @@ fn full_single_gpu_session() {
     // The profiler sees the session's kernels and transfers.
     let stats = env.op_stats();
     assert!(stats.get("sgemm").is_some(), "matmul kernel in profile");
-    assert!(stats.rows.iter().any(|r| r.kind.is_transfer()), "transfers in profile");
+    assert!(
+        stats.rows.iter().any(|r| r.kind.is_transfer()),
+        "transfers in profile"
+    );
     let report = env.bottleneck_report(0);
     assert!(
         matches!(
             report.class,
-            BottleneckClass::TransferBound | BottleneckClass::MemoryBound | BottleneckClass::ComputeBound
+            BottleneckClass::TransferBound
+                | BottleneckClass::MemoryBound
+                | BottleneckClass::ComputeBound
         ),
         "a busy session must not be idle-bound: {:?}",
         report.class
@@ -36,7 +41,11 @@ fn full_single_gpu_session() {
     // Two hours of lab time → a believable bill under the cap.
     env.work_for(2 * 3600).expect("instances alive");
     let bill = env.teardown().expect("teardown");
-    assert!(bill.total_usd > 0.5 && bill.total_usd < 5.0, "bill {}", bill.total_usd);
+    assert!(
+        bill.total_usd > 0.5 && bill.total_usd < 5.0,
+        "bill {}",
+        bill.total_usd
+    );
     assert!(bill.remaining_budget_usd > 90.0);
 }
 
@@ -67,6 +76,10 @@ fn budget_cap_is_enforced_end_to_end() {
     // 3 × g4dn.xlarge at $0.526/h: ~63 h to burn $100.
     env.work_for(70 * 3600).expect("instances alive");
     let bill = env.teardown().expect("teardown");
-    assert!(bill.total_usd > 100.0, "bill {} should exceed the cap", bill.total_usd);
+    assert!(
+        bill.total_usd > 100.0,
+        "bill {} should exceed the cap",
+        bill.total_usd
+    );
     assert!(bill.remaining_budget_usd < 0.0);
 }

@@ -8,34 +8,56 @@ use sagegpu_bench::experiments::*;
 #[test]
 fn e01_enrollment_reconciles_with_paper() {
     let rows = fig1_enrollment();
-    let spring = rows.iter().find(|r| r.0 == "Spring 2025").expect("spring row");
+    let spring = rows
+        .iter()
+        .find(|r| r.0 == "Spring 2025")
+        .expect("spring row");
     assert_eq!(spring.2, 15, "fifteen graduate students (§III)");
     let total: usize = rows
         .iter()
         .filter(|r| r.0 != "Summer 2025")
         .map(|r| r.1 + r.2)
         .sum();
-    assert!((39..=40).contains(&total), "'about thirty-nine students' (§I)");
+    assert!(
+        (39..=40).contains(&total),
+        "'about thirty-nine students' (§I)"
+    );
 }
 
 #[test]
 fn e02_grade_narrative_holds() {
     let grades = fig2_grades();
     let fall = grades.iter().find(|g| g.0 == "Fall 2024").expect("fall");
-    let spring = grades.iter().find(|g| g.0 == "Spring 2025").expect("spring");
+    let spring = grades
+        .iter()
+        .find(|g| g.0 == "Spring 2025")
+        .expect("spring");
     // "the majority of students achieved a 'B'" (F24 mode = B).
-    let fall_mode = fall.1.iter().enumerate().max_by_key(|(_, &c)| c).expect("data").0;
+    let fall_mode = fall
+        .1
+        .iter()
+        .enumerate()
+        .max_by_key(|(_, &c)| c)
+        .expect("data")
+        .0;
     assert_eq!(fall_mode, 1, "Fall 2024 mode must be B: {:?}", fall.1);
     // "over 60% of students securing an 'A'".
     let spring_total: usize = spring.1.iter().sum();
-    assert!(spring.1[0] as f64 / spring_total as f64 > 0.6, "Spring A share: {:?}", spring.1);
+    assert!(
+        spring.1[0] as f64 / spring_total as f64 > 0.6,
+        "Spring A share: {:?}",
+        spring.1
+    );
 }
 
 #[test]
 fn e10_e11_e14_appendix_c_statistics_reproduce() {
     // Table III conclusions.
     let t3 = table3_assumptions();
-    assert!(t3.grad.p_value < 0.001 || t3.grad.p_value < 0.01, "grads non-normal");
+    assert!(
+        t3.grad.p_value < 0.001 || t3.grad.p_value < 0.01,
+        "grads non-normal"
+    );
     assert!(t3.undergrad.p_value < 0.10, "UG mildly non-normal");
     assert!(t3.grad.w < t3.undergrad.w, "grads more skewed than UG");
     assert!(t3.levene.p_value > 0.05, "homogeneity of variance holds");
@@ -51,7 +73,11 @@ fn e10_e11_e14_appendix_c_statistics_reproduce() {
 
     // Appendix C's Mann–Whitney: U = 332, p = .0004.
     let mwu = mwu_test();
-    assert!((mwu.u1 - 332.0).abs() < 40.0, "U {} near the paper's 332", mwu.u1);
+    assert!(
+        (mwu.u1 - 332.0).abs() < 40.0,
+        "U {} near the paper's 332",
+        mwu.u1
+    );
     assert!(mwu.p_value < 0.005, "p {} (paper .0004)", mwu.p_value);
 }
 
@@ -60,8 +86,18 @@ fn e09_usage_and_cost_bands_hold() {
     let usage = fig5_usage();
     assert_eq!(usage.len(), 2);
     for u in &usage {
-        assert!((37.0..=49.0).contains(&u.mean_gpu_hours), "{}: {} h", u.semester, u.mean_gpu_hours);
-        assert!((45.0..=65.0).contains(&u.mean_cost_usd), "{}: ${}", u.semester, u.mean_cost_usd);
+        assert!(
+            (37.0..=49.0).contains(&u.mean_gpu_hours),
+            "{}: {} h",
+            u.semester,
+            u.mean_gpu_hours
+        );
+        assert!(
+            (45.0..=65.0).contains(&u.mean_cost_usd),
+            "{}: ${}",
+            u.semester,
+            u.mean_cost_usd
+        );
         assert!(u.mean_project_hours < 2.0, "project usage under 2 h");
     }
     // Spring hours higher (two extra labs).
@@ -82,9 +118,15 @@ fn e16_satisfaction_splits_exact() {
 fn e17_gcn_claims_hold_at_small_scale() {
     // Small/fast variant of the §III-B sweep (the full one runs in repro).
     let rows = gcn_scaling(&[3], 15);
-    let seq = rows.iter().find(|r| r.strategy == "sequential").expect("baseline");
+    let seq = rows
+        .iter()
+        .find(|r| r.strategy == "sequential")
+        .expect("baseline");
     let metis = rows.iter().find(|r| r.strategy == "metis").expect("metis");
-    let random = rows.iter().find(|r| r.strategy == "random").expect("random");
+    let random = rows
+        .iter()
+        .find(|r| r.strategy == "random")
+        .expect("random");
     // Minimal speedup (paper: "minimal performance improvement").
     assert!(metis.speedup < 2.5, "speedup {}", metis.speedup);
     // METIS cuts less than random.

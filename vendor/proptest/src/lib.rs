@@ -1,0 +1,466 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Supports the subset this workspace uses: the `proptest!` macro with
+//! `ident in strategy` arguments, numeric range strategies, simple
+//! char-class string strategies (`"[a-z0-9]{1,8}"`), `prop::collection::vec`,
+//! `prop_assert!`/`prop_assert_eq!`/`prop_assume!`, and
+//! `ProptestConfig::with_cases`. Case generation is deterministic per test
+//! name so offline runs are reproducible. See README, "Hermetic offline
+//! build".
+
+use std::fmt;
+
+/// Why a test case did not pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TestCaseError {
+    /// Assertion failure — the property is violated.
+    Fail(String),
+    /// Input rejected by `prop_assume!` — try another case.
+    Reject(String),
+}
+
+impl TestCaseError {
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TestCaseError::Fail(m) => write!(f, "test case failed: {m}"),
+            TestCaseError::Reject(m) => write!(f, "test case rejected: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for TestCaseError {}
+
+/// Runner configuration. Only `cases` is consulted.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    pub cases: u32,
+    pub max_global_rejects: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig {
+            cases,
+            ..Self::default()
+        }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: 256,
+            max_global_rejects: 65_536,
+        }
+    }
+}
+
+pub mod test_runner {
+    pub use super::{ProptestConfig, TestCaseError};
+
+    /// Drives one property test: deterministic RNG plus the case loop.
+    pub struct TestRunner {
+        state: u64,
+        config: ProptestConfig,
+    }
+
+    impl TestRunner {
+        /// Seeds deterministically from the test name, so failures
+        /// reproduce run-to-run without a regression file.
+        pub fn new(name: &str, config: ProptestConfig) -> Self {
+            let mut seed = 0xcbf2_9ce4_8422_2325u64; // FNV-1a
+            for b in name.bytes() {
+                seed ^= b as u64;
+                seed = seed.wrapping_mul(0x1000_0000_01b3);
+            }
+            TestRunner {
+                state: seed,
+                config,
+            }
+        }
+
+        /// SplitMix64 step.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform value in `[0, bound)` by widening multiply.
+        pub fn below(&mut self, bound: u64) -> u64 {
+            debug_assert!(bound > 0);
+            (((self.next_u64() as u128) * (bound as u128)) >> 64) as u64
+        }
+
+        /// Uniform f64 in `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+
+        /// Runs the case loop, panicking on the first failing case.
+        pub fn run<F>(&mut self, name: &str, mut case: F)
+        where
+            F: FnMut(&mut TestRunner) -> Result<(), TestCaseError>,
+        {
+            let mut passed = 0u32;
+            let mut rejected = 0u32;
+            while passed < self.config.cases {
+                match case(self) {
+                    Ok(()) => passed += 1,
+                    Err(TestCaseError::Reject(_)) => {
+                        rejected += 1;
+                        if rejected > self.config.max_global_rejects {
+                            panic!(
+                                "proptest '{name}': exceeded {} rejected cases \
+                                 (prop_assume! too restrictive?)",
+                                self.config.max_global_rejects
+                            );
+                        }
+                    }
+                    Err(TestCaseError::Fail(msg)) => {
+                        panic!("proptest '{name}' failed after {passed} passing case(s): {msg}");
+                    }
+                }
+            }
+        }
+    }
+}
+
+pub mod strategy {
+    use super::test_runner::TestRunner;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A recipe for generating values of `Self::Value`.
+    pub trait Strategy {
+        type Value;
+        fn sample(&self, runner: &mut TestRunner) -> Self::Value;
+    }
+
+    macro_rules! int_strategy {
+        ($($ty:ty),*) => {$(
+            impl Strategy for Range<$ty> {
+                type Value = $ty;
+                fn sample(&self, runner: &mut TestRunner) -> $ty {
+                    assert!(self.start < self.end, "empty strategy range");
+                    let span = self.end.wrapping_sub(self.start) as u64;
+                    self.start.wrapping_add(runner.below(span) as $ty)
+                }
+            }
+            impl Strategy for RangeInclusive<$ty> {
+                type Value = $ty;
+                fn sample(&self, runner: &mut TestRunner) -> $ty {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty strategy range");
+                    let span = (hi.wrapping_sub(lo) as u64).wrapping_add(1);
+                    if span == 0 {
+                        return runner.next_u64() as $ty;
+                    }
+                    lo.wrapping_add(runner.below(span) as $ty)
+                }
+            }
+        )*};
+    }
+    int_strategy!(u8, i8, u16, i16, u32, i32, u64, i64, usize, isize);
+
+    macro_rules! float_strategy {
+        ($($ty:ty),*) => {$(
+            impl Strategy for Range<$ty> {
+                type Value = $ty;
+                fn sample(&self, runner: &mut TestRunner) -> $ty {
+                    assert!(self.start < self.end, "empty strategy range");
+                    let unit = runner.unit_f64() as $ty;
+                    let v = self.start + unit * (self.end - self.start);
+                    if v >= self.end { self.start } else { v }
+                }
+            }
+            impl Strategy for RangeInclusive<$ty> {
+                type Value = $ty;
+                fn sample(&self, runner: &mut TestRunner) -> $ty {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty strategy range");
+                    lo + (runner.unit_f64() as $ty) * (hi - lo)
+                }
+            }
+        )*};
+    }
+    float_strategy!(f32, f64);
+
+    /// String strategy from a char-class pattern: `[class]{min,max}`.
+    ///
+    /// The only regex shape the workspace uses. The class accepts literal
+    /// characters, `a-z`-style ranges, and a trailing `-` as a literal.
+    impl Strategy for &str {
+        type Value = String;
+
+        fn sample(&self, runner: &mut TestRunner) -> String {
+            let (alphabet, min_len, max_len) = parse_char_class(self);
+            let len = min_len + runner.below((max_len - min_len + 1) as u64) as usize;
+            (0..len)
+                .map(|_| alphabet[runner.below(alphabet.len() as u64) as usize])
+                .collect()
+        }
+    }
+
+    fn bad_pattern(pattern: &str) -> ! {
+        panic!("unsupported pattern {pattern:?}: expected \"[class]{{min,max}}\"")
+    }
+
+    fn parse_char_class(pattern: &str) -> (Vec<char>, usize, usize) {
+        let rest = pattern
+            .strip_prefix('[')
+            .unwrap_or_else(|| bad_pattern(pattern));
+        let close = rest.find(']').unwrap_or_else(|| bad_pattern(pattern));
+        let class: Vec<char> = rest[..close].chars().collect();
+
+        let mut alphabet = Vec::new();
+        let mut i = 0;
+        while i < class.len() {
+            if i + 2 < class.len() && class[i + 1] == '-' {
+                for c in class[i]..=class[i + 2] {
+                    alphabet.push(c);
+                }
+                i += 3;
+            } else {
+                alphabet.push(class[i]);
+                i += 1;
+            }
+        }
+        assert!(!alphabet.is_empty(), "empty char class in {pattern:?}");
+
+        let reps = rest[close + 1..]
+            .strip_prefix('{')
+            .and_then(|s| s.strip_suffix('}'))
+            .unwrap_or_else(|| bad_pattern(pattern));
+        let (lo, hi) = reps.split_once(',').unwrap_or((reps, reps));
+        let min_len: usize = lo.trim().parse().unwrap_or_else(|_| bad_pattern(pattern));
+        let max_len: usize = hi.trim().parse().unwrap_or_else(|_| bad_pattern(pattern));
+        assert!(min_len <= max_len, "inverted repetition in {pattern:?}");
+        (alphabet, min_len, max_len)
+    }
+}
+
+pub mod collection {
+    use super::strategy::Strategy;
+    use super::test_runner::TestRunner;
+    use std::ops::Range;
+
+    /// Strategy for `Vec<S::Value>` with a uniform length in `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        assert!(size.start < size.end, "empty vec size range");
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, runner: &mut TestRunner) -> Vec<S::Value> {
+            let span = (self.size.end - self.size.start) as u64;
+            let len = self.size.start + runner.below(span) as usize;
+            (0..len).map(|_| self.element.sample(runner)).collect()
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::strategy::Strategy;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+    pub use crate::{ProptestConfig, TestCaseError};
+
+    /// Namespace mirror so `prop::collection::vec(...)` resolves after a
+    /// glob import of this prelude.
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)*)));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `(left == right)`\n  left: `{:?}`\n right: `{:?}`",
+            l,
+            r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l == *r, $($fmt)*);
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: `(left != right)`\n  left: `{:?}`\n right: `{:?}`",
+            l,
+            r
+        );
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::reject(stringify!($cond)));
+        }
+    };
+}
+
+/// The `proptest!` block: an optional `#![proptest_config(...)]` followed by
+/// `#[test]` functions whose arguments are `name in strategy` bindings.
+#[macro_export]
+macro_rules! proptest {
+    (@fns ($config:expr)) => {};
+    (
+        @fns ($config:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($args:tt)*) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $config;
+            let mut runner =
+                $crate::test_runner::TestRunner::new(stringify!($name), config);
+            runner.run(stringify!($name), |__pt_runner| {
+                $crate::proptest!(@bind __pt_runner; $($args)*);
+                let mut __pt_case =
+                    move || -> ::std::result::Result<(), $crate::TestCaseError> {
+                        $body
+                        ::std::result::Result::Ok(())
+                    };
+                __pt_case()
+            });
+        }
+        $crate::proptest!(@fns ($config) $($rest)*);
+    };
+
+    (@bind $rt:ident;) => {};
+    (@bind $rt:ident; mut $arg:ident in $strat:expr) => {
+        #[allow(unused_mut)]
+        let mut $arg = $crate::strategy::Strategy::sample(&($strat), $rt);
+    };
+    (@bind $rt:ident; mut $arg:ident in $strat:expr, $($rest:tt)*) => {
+        #[allow(unused_mut)]
+        let mut $arg = $crate::strategy::Strategy::sample(&($strat), $rt);
+        $crate::proptest!(@bind $rt; $($rest)*);
+    };
+    (@bind $rt:ident; $arg:ident in $strat:expr) => {
+        let $arg = $crate::strategy::Strategy::sample(&($strat), $rt);
+    };
+    (@bind $rt:ident; $arg:ident in $strat:expr, $($rest:tt)*) => {
+        let $arg = $crate::strategy::Strategy::sample(&($strat), $rt);
+        $crate::proptest!(@bind $rt; $($rest)*);
+    };
+
+    // Public entry points — kept last so the internal `@`-rules above are
+    // never shadowed by the catch-all.
+    (
+        #![proptest_config($config:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::proptest!(@fns ($config) $($rest)*);
+    };
+    (
+        $($rest:tt)*
+    ) => {
+        $crate::proptest!(@fns ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Range strategies stay in bounds.
+        #[test]
+        fn ranges_in_bounds(a in 3usize..9, b in -2.5f64..2.5, c in 10u8..=12) {
+            prop_assert!((3..9).contains(&a));
+            prop_assert!((-2.5..2.5).contains(&b));
+            prop_assert!((10..=12).contains(&c));
+        }
+
+        /// Vec and string strategies respect their size and alphabet.
+        #[test]
+        fn collections_wellformed(
+            xs in prop::collection::vec(0i64..6, 1..10),
+            s in "[a-c ]{2,5}",
+            mut ys in prop::collection::vec(-1.0f64..1.0, 0..4),
+        ) {
+            prop_assert!((1..10).contains(&xs.len()));
+            prop_assert!(xs.iter().all(|&x| (0..6).contains(&x)));
+            prop_assert!((2..=5).contains(&s.len()));
+            prop_assert!(s.chars().all(|ch| matches!(ch, 'a'..='c' | ' ')));
+            ys.sort_by(|p, q| p.partial_cmp(q).unwrap());
+            prop_assert!(ys.windows(2).all(|w| w[0] <= w[1]));
+        }
+
+        /// prop_assume retries instead of failing.
+        #[test]
+        fn assume_filters(n in 0u32..100) {
+            prop_assume!(n % 2 == 0);
+            prop_assert_eq!(n % 2, 0);
+        }
+    }
+
+    #[test]
+    fn helper_functions_can_return_testcase_error() {
+        fn check(v: u32) -> Result<(), TestCaseError> {
+            prop_assert!(v < 10, "v was {}", v);
+            Ok(())
+        }
+        assert!(check(5).is_ok());
+        assert!(matches!(check(50), Err(TestCaseError::Fail(_))));
+    }
+
+    #[test]
+    #[should_panic(expected = "failed after")]
+    fn failures_panic_with_context() {
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(8))]
+            #[allow(dead_code)]
+            fn always_fails(_x in 0u32..10) {
+                prop_assert!(false, "intentional");
+            }
+        }
+        always_fails();
+    }
+}

@@ -1,0 +1,406 @@
+//! Offline stand-in for the `rand` crate (0.8 API subset).
+//!
+//! Implements exactly what the workspace uses — `SmallRng`, `SeedableRng`,
+//! `Rng::{gen, gen_range, gen_bool}`, and `SliceRandom::{shuffle, choose}`
+//! — with the same algorithms rand 0.8 uses on 64-bit platforms
+//! (xoshiro256++ seeded via SplitMix64, 53-bit float conversion, widening
+//! multiply-with-rejection integer ranges), so seeded sequences keep the
+//! statistical behavior the repo's tests were tuned against. See README,
+//! "Hermetic offline build".
+
+/// Core uniform-bit generation.
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+
+    fn next_u32(&mut self) -> u32 {
+        self.next_u64() as u32
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let bytes = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+    }
+}
+
+/// Deterministic construction from seeds.
+pub trait SeedableRng: Sized {
+    type Seed: Default + AsMut<[u8]>;
+
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// SplitMix64 seed expansion, as in `rand_core`.
+    fn seed_from_u64(mut state: u64) -> Self {
+        const PHI: u64 = 0x9e3779b97f4a7c15;
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(8) {
+            state = state.wrapping_add(PHI);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+            z ^= z >> 31;
+            chunk.copy_from_slice(&z.to_le_bytes()[..chunk.len()]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+pub mod distributions {
+    use super::RngCore;
+
+    /// A value distribution samplable from raw bits.
+    pub trait Distribution<T> {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+    }
+
+    /// The "natural" uniform distribution per type (rand's `Standard`).
+    pub struct Standard;
+
+    impl Distribution<f64> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+            // 53 random mantissa bits in [0, 1).
+            (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+
+    impl Distribution<f32> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f32 {
+            (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+        }
+    }
+
+    impl Distribution<bool> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> bool {
+            rng.next_u32() & 1 == 1
+        }
+    }
+
+    macro_rules! standard_int {
+        ($($ty:ty => $via:ident),*) => {$(
+            impl Distribution<$ty> for Standard {
+                fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> $ty {
+                    rng.$via() as $ty
+                }
+            }
+        )*};
+    }
+    standard_int!(u64 => next_u64, i64 => next_u64, usize => next_u64,
+                  isize => next_u64, u32 => next_u32, i32 => next_u32,
+                  u16 => next_u32, i16 => next_u32, u8 => next_u32,
+                  i8 => next_u32);
+}
+
+mod uniform {
+    use super::RngCore;
+
+    /// A range argument accepted by [`super::Rng::gen_range`].
+    ///
+    /// Implemented once, generically, over [`SampleUniform`] element types
+    /// — a single impl per range shape matters for type inference: it lets
+    /// an unsuffixed literal range like `-0.5..0.5` unify with the
+    /// surrounding expression's float type exactly as rand 0.8 does.
+    pub trait SampleRange<T> {
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+    }
+
+    /// Element types `gen_range` can sample uniformly.
+    pub trait SampleUniform: Sized + PartialOrd {
+        /// Uniform draw from `[low, high)`.
+        fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self;
+        /// Uniform draw from `[low, high]`.
+        fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self;
+    }
+
+    impl<T: SampleUniform> SampleRange<T> for std::ops::Range<T> {
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+            assert!(self.start < self.end, "cannot sample empty range");
+            T::sample_half_open(rng, self.start, self.end)
+        }
+    }
+
+    impl<T: SampleUniform> SampleRange<T> for std::ops::RangeInclusive<T> {
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+            let (lo, hi) = self.into_inner();
+            assert!(lo <= hi, "cannot sample empty range");
+            T::sample_inclusive(rng, lo, hi)
+        }
+    }
+
+    /// Uniform u64 in `[0, range)` by widening multiply with rejection
+    /// (the unbiased method rand 0.8 uses).
+    pub(crate) fn uniform_u64_below<R: RngCore + ?Sized>(rng: &mut R, range: u64) -> u64 {
+        debug_assert!(range > 0);
+        let zone = (range << range.leading_zeros()).wrapping_sub(1);
+        loop {
+            let v = rng.next_u64();
+            let m = (v as u128) * (range as u128);
+            let lo = m as u64;
+            if lo <= zone {
+                return (m >> 64) as u64;
+            }
+        }
+    }
+
+    pub(crate) fn uniform_u32_below<R: RngCore + ?Sized>(rng: &mut R, range: u32) -> u32 {
+        debug_assert!(range > 0);
+        let zone = (range << range.leading_zeros()).wrapping_sub(1);
+        loop {
+            let v = rng.next_u32();
+            let m = (v as u64) * (range as u64);
+            let lo = m as u32;
+            if lo <= zone {
+                return (m >> 32) as u32;
+            }
+        }
+    }
+
+    macro_rules! int_uniform {
+        ($($ty:ty => ($uty:ty, $below:ident)),*) => {$(
+            impl SampleUniform for $ty {
+                fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+                    let span = high.wrapping_sub(low) as $uty;
+                    low.wrapping_add($below(rng, span) as $ty)
+                }
+                fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+                    let span = (high.wrapping_sub(low) as $uty).wrapping_add(1);
+                    if span == 0 {
+                        // Full-width range: any value is uniform.
+                        return $crate::distributions::Distribution::sample(
+                            &$crate::distributions::Standard, rng);
+                    }
+                    low.wrapping_add($below(rng, span) as $ty)
+                }
+            }
+        )*};
+    }
+    int_uniform!(u64 => (u64, uniform_u64_below), i64 => (u64, uniform_u64_below),
+                 usize => (u64, uniform_u64_below), isize => (u64, uniform_u64_below),
+                 u32 => (u32, uniform_u32_below), i32 => (u32, uniform_u32_below),
+                 u16 => (u32, uniform_u32_below), i16 => (u32, uniform_u32_below),
+                 u8 => (u32, uniform_u32_below), i8 => (u32, uniform_u32_below));
+
+    macro_rules! float_uniform {
+        ($($ty:ty => $std:expr),*) => {$(
+            impl SampleUniform for $ty {
+                fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+                    let unit: $ty = $std(rng);
+                    let v = low + unit * (high - low);
+                    // Guard against rounding up to the excluded endpoint.
+                    if v >= high { <$ty>::max(low, high - (high - low) * <$ty>::EPSILON) } else { v }
+                }
+                fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+                    let unit: $ty = $std(rng);
+                    low + unit * (high - low)
+                }
+            }
+        )*};
+    }
+    float_uniform!(
+        f64 => |rng: &mut R| (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64),
+        f32 => |rng: &mut R| (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    );
+}
+
+pub use uniform::{SampleRange, SampleUniform};
+
+/// User-facing sampling methods, blanket-implemented for every generator.
+pub trait Rng: RngCore {
+    fn gen<T>(&mut self) -> T
+    where
+        distributions::Standard: distributions::Distribution<T>,
+    {
+        distributions::Distribution::sample(&distributions::Standard, self)
+    }
+
+    fn sample<T, D: distributions::Distribution<T>>(&mut self, dist: D) -> T {
+        dist.sample(self)
+    }
+
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample_single(self)
+    }
+
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "p must be a probability");
+        self.gen::<f64>() < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// xoshiro256++ — the algorithm behind rand 0.8's 64-bit `SmallRng`.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    impl RngCore for SmallRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+
+    impl SeedableRng for SmallRng {
+        type Seed = [u8; 32];
+
+        fn from_seed(seed: [u8; 32]) -> Self {
+            let mut s = [0u64; 4];
+            for (i, chunk) in seed.chunks(8).enumerate() {
+                s[i] = u64::from_le_bytes(chunk.try_into().expect("8-byte chunk"));
+            }
+            if s == [0; 4] {
+                // The all-zero state is a fixed point; nudge it.
+                s = [
+                    0x9e3779b97f4a7c15,
+                    0x6a09e667f3bcc909,
+                    0xbb67ae8584caa73b,
+                    1,
+                ];
+            }
+            Self { s }
+        }
+    }
+}
+
+pub mod seq {
+    use super::{uniform, Rng, RngCore};
+
+    /// Index below `ubound`, via 32-bit sampling when it fits (as rand does).
+    fn gen_index<R: RngCore + ?Sized>(rng: &mut R, ubound: usize) -> usize {
+        if ubound <= u32::MAX as usize {
+            uniform::uniform_u32_below(rng, ubound as u32) as usize
+        } else {
+            uniform::uniform_u64_below(rng, ubound as u64) as usize
+        }
+    }
+
+    /// Random-order and random-pick operations on slices.
+    pub trait SliceRandom {
+        type Item;
+
+        fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R);
+        fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+            // Fisher–Yates, high to low, matching rand 0.8.
+            for i in (1..self.len()).rev() {
+                self.swap(i, gen_index(rng, i + 1));
+            }
+        }
+
+        fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                self.get(gen_index(rng, self.len()))
+            }
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::distributions::Distribution;
+    pub use crate::rngs::SmallRng;
+    pub use crate::seq::SliceRandom;
+    pub use crate::{Rng, RngCore, SeedableRng};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn seeded_sequences_are_reproducible() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = SmallRng::seed_from_u64(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn unit_floats_stay_in_range_and_look_uniform() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let n = 20_000;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            let x: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&x));
+            sum += x;
+        }
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn int_ranges_cover_uniformly() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        let mut counts = [0usize; 6];
+        for _ in 0..60_000 {
+            counts[rng.gen_range(0..6usize)] += 1;
+        }
+        for &c in &counts {
+            assert!((8_000..12_000).contains(&c), "counts {counts:?}");
+        }
+        for _ in 0..1000 {
+            let v = rng.gen_range(-5i64..5);
+            assert!((-5..5).contains(&v));
+            let w = rng.gen_range(105..=123u32);
+            assert!((105..=123).contains(&w));
+        }
+    }
+
+    #[test]
+    fn float_ranges_respect_bounds() {
+        let mut rng = SmallRng::seed_from_u64(13);
+        for _ in 0..10_000 {
+            let x = rng.gen_range(-2.5f64..7.5);
+            assert!((-2.5..7.5).contains(&x));
+            let y = rng.gen_range(0.1f32..1.0);
+            assert!((0.1..1.0).contains(&y));
+        }
+    }
+
+    #[test]
+    fn shuffle_permutes_and_choose_picks_members() {
+        let mut rng = SmallRng::seed_from_u64(17);
+        let mut v: Vec<u32> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "50 elements virtually never shuffle to identity");
+        for _ in 0..100 {
+            assert!(v.contains(v.choose(&mut rng).unwrap()));
+        }
+        assert!(Vec::<u32>::new().choose(&mut rng).is_none());
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = SmallRng::seed_from_u64(19);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((2_200..2_800).contains(&hits), "hits {hits}");
+    }
+}

@@ -1,0 +1,205 @@
+//! Offline stand-in for the `rayon` crate.
+//!
+//! Implements the small parallel-iterator subset the workspace uses
+//! (`par_iter`, `par_iter_mut`, `par_chunks`, `par_chunks_mut`,
+//! `into_par_iter` on ranges, plus `map`/`enumerate`/`for_each`/`collect`/
+//! `sum`) on top of `std::thread::scope`. Work is split into one contiguous
+//! block per available core; order of results is preserved. See README,
+//! "Hermetic offline build".
+
+/// Minimum number of items before fan-out to threads is worth the spawn cost.
+const PAR_THRESHOLD: usize = 8;
+
+fn worker_count(items: usize) -> usize {
+    std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+        .min(items)
+}
+
+/// Applies `f` to every item, in parallel, preserving order.
+fn pmap<T: Send, U: Send, F: Fn(T) -> U + Sync>(items: Vec<T>, f: F) -> Vec<U> {
+    let n = items.len();
+    let threads = worker_count(n);
+    if threads <= 1 || n < PAR_THRESHOLD {
+        return items.into_iter().map(f).collect();
+    }
+    let chunk_len = n.div_ceil(threads);
+    let mut blocks: Vec<Vec<T>> = Vec::with_capacity(threads);
+    let mut it = items.into_iter();
+    loop {
+        let block: Vec<T> = it.by_ref().take(chunk_len).collect();
+        if block.is_empty() {
+            break;
+        }
+        blocks.push(block);
+    }
+    let f = &f;
+    let per_block: Vec<Vec<U>> = std::thread::scope(|s| {
+        let handles: Vec<_> = blocks
+            .into_iter()
+            .map(|block| s.spawn(move || block.into_iter().map(f).collect::<Vec<U>>()))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("parallel worker panicked"))
+            .collect()
+    });
+    per_block.into_iter().flatten().collect()
+}
+
+/// An eager "parallel iterator": adapters fan work out immediately.
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParIter<T> {
+    pub fn enumerate(self) -> ParIter<(usize, T)> {
+        ParIter {
+            items: self.items.into_iter().enumerate().collect(),
+        }
+    }
+
+    pub fn map<U: Send, F: Fn(T) -> U + Sync>(self, f: F) -> ParIter<U> {
+        ParIter {
+            items: pmap(self.items, f),
+        }
+    }
+
+    pub fn for_each<F: Fn(T) + Sync>(self, f: F) {
+        pmap(self.items, f);
+    }
+
+    pub fn collect<C: FromParallelIterator<T>>(self) -> C {
+        C::from_par_iter(self)
+    }
+
+    pub fn sum<S: std::iter::Sum<T>>(self) -> S {
+        self.items.into_iter().sum()
+    }
+
+    /// Compat no-op: the split heuristic here is fixed.
+    pub fn with_min_len(self, _min: usize) -> Self {
+        self
+    }
+}
+
+/// Conversion out of a parallel iterator (only `Vec` is needed here).
+pub trait FromParallelIterator<T> {
+    fn from_par_iter(iter: ParIter<T>) -> Self;
+}
+
+impl<T: Send> FromParallelIterator<T> for Vec<T> {
+    fn from_par_iter(iter: ParIter<T>) -> Self {
+        iter.items
+    }
+}
+
+/// `into_par_iter()` for owned collections and ranges.
+pub trait IntoParallelIterator {
+    type Item: Send;
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+macro_rules! range_into_par_iter {
+    ($($ty:ty),*) => {$(
+        impl IntoParallelIterator for std::ops::Range<$ty> {
+            type Item = $ty;
+            fn into_par_iter(self) -> ParIter<$ty> {
+                ParIter { items: self.collect() }
+            }
+        }
+    )*};
+}
+range_into_par_iter!(usize, u32, u64, i32, i64);
+
+/// `par_iter` / `par_chunks` on shared slices.
+pub trait ParallelSlice<T: Sync> {
+    fn par_iter(&self) -> ParIter<&T>;
+    fn par_chunks(&self, chunk_size: usize) -> ParIter<&[T]>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_iter(&self) -> ParIter<&T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+
+    fn par_chunks(&self, chunk_size: usize) -> ParIter<&[T]> {
+        assert!(chunk_size > 0, "chunk size must be positive");
+        ParIter {
+            items: self.chunks(chunk_size).collect(),
+        }
+    }
+}
+
+/// `par_iter_mut` / `par_chunks_mut` on exclusive slices.
+pub trait ParallelSliceMut<T: Send> {
+    fn par_iter_mut(&mut self) -> ParIter<&mut T>;
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParIter<&mut [T]>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_iter_mut(&mut self) -> ParIter<&mut T> {
+        ParIter {
+            items: self.iter_mut().collect(),
+        }
+    }
+
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParIter<&mut [T]> {
+        assert!(chunk_size > 0, "chunk size must be positive");
+        ParIter {
+            items: self.chunks_mut(chunk_size).collect(),
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::{FromParallelIterator, IntoParallelIterator, ParallelSlice, ParallelSliceMut};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let v: Vec<u64> = (0u64..1000).into_par_iter().map(|i| i * 2).collect();
+        assert_eq!(v.len(), 1000);
+        assert!(v.iter().enumerate().all(|(i, &x)| x == 2 * i as u64));
+    }
+
+    #[test]
+    fn chunks_mut_writes_disjoint_blocks() {
+        let mut data = vec![0u32; 103];
+        data.par_chunks_mut(10).enumerate().for_each(|(i, chunk)| {
+            for slot in chunk.iter_mut() {
+                *slot = i as u32;
+            }
+        });
+        assert_eq!(data[0], 0);
+        assert_eq!(data[55], 5);
+        assert_eq!(data[102], 10);
+    }
+
+    #[test]
+    fn par_iter_sum_matches_serial() {
+        let v: Vec<u64> = (1..=100).collect();
+        let s: u64 = v.par_iter().map(|&x| x).sum();
+        assert_eq!(s, 5050);
+    }
+
+    #[test]
+    fn small_inputs_stay_sequential_and_correct() {
+        let v: Vec<usize> = (0usize..3).into_par_iter().map(|i| i + 1).collect();
+        assert_eq!(v, vec![1, 2, 3]);
+    }
+}

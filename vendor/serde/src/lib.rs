@@ -1,0 +1,9 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! Re-exports the no-op `Serialize`/`Deserialize` derives so the
+//! workspace's `#[derive(Serialize, Deserialize)]` annotations keep
+//! compiling without network access. Actual serialization in this
+//! workspace goes through `sagegpu-profiler`'s hand-rolled JSON writer.
+//! See README, "Hermetic offline build".
+
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,20 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on many plain-data types
+//! but only ever serializes through the hand-rolled JSON writer in
+//! `sagegpu-profiler` (see README, "Hermetic offline build"). These derives
+//! therefore accept the usual syntax — including `#[serde(...)]` helper
+//! attributes — and expand to nothing, keeping the annotations compiling
+//! without pulling the real serde machinery into the build.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
