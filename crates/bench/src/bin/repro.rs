@@ -62,6 +62,11 @@ fn experiments() -> Vec<Experiment> {
             "Ablation: access patterns & tiling",
             render::render_access,
         ),
+        (
+            "serving",
+            "Ablation: online serving (A05)",
+            render::render_serving,
+        ),
     ]
 }
 

@@ -5,7 +5,8 @@
 //! TensorBoard's trace viewer). Events become `"ph": "X"` (complete) slices
 //! with microsecond timestamps, one track per (device, stream).
 //!
-//! The document is emitted by hand (see [`crate::json`]): the offline
+//! The document is emitted by hand (see the crate-private `json` module):
+//! the offline
 //! `serde_json` stand-in only implements parsing, and the format here is a
 //! fixed flat schema that does not benefit from a serializer.
 

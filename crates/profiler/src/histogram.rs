@@ -1,0 +1,216 @@
+//! Fixed-footprint latency histograms for online serving stages.
+//!
+//! The serving labs ask for p50/p99 under load, per stage, without keeping
+//! every sample: a request server that stores raw latencies forever is
+//! exactly the kind of unbounded state the course warns about. This is the
+//! HDR-histogram idea reduced to power-of-two buckets: bucket `i` counts
+//! samples in `[2^i, 2^(i+1))` ns, so the footprint is 64 counters
+//! regardless of traffic and any quantile is answerable within one octave
+//! of the true value. Exact `count`/`sum`/`min`/`max` are tracked on the
+//! side so means and extremes stay precise.
+
+/// A log2-bucketed latency histogram over nanosecond samples.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    /// `counts[i]` = samples in `[2^i, 2^(i+1))` ns; bucket 0 also holds 0.
+    counts: [u64; 64],
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            counts: [0; 64],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    fn bucket_of(ns: u64) -> usize {
+        63 - ns.max(1).leading_zeros() as usize
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, ns: u64) {
+        self.counts[Self::bucket_of(ns)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(ns);
+        self.min = self.min.min(ns);
+        self.max = self.max.max(ns);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Whether no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Smallest recorded sample (0 when empty).
+    pub fn min_ns(&self) -> u64 {
+        if self.is_empty() {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded sample.
+    pub fn max_ns(&self) -> u64 {
+        self.max
+    }
+
+    /// Exact mean of the recorded samples (0.0 when empty).
+    pub fn mean_ns(&self) -> f64 {
+        if self.is_empty() {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Ceil-based nearest-rank percentile: the bucket holding the
+    /// `⌈p·N⌉`-th smallest sample, reported as that bucket's upper edge
+    /// clamped to the exact observed extremes. Within one power of two of
+    /// the true value by construction.
+    pub fn percentile_ns(&self, p: f64) -> u64 {
+        if self.is_empty() {
+            return 0;
+        }
+        let rank = ((self.count as f64 * p).ceil().max(1.0) as u64).min(self.count);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                let upper = if i >= 63 {
+                    u64::MAX
+                } else {
+                    (1u64 << (i + 1)) - 1
+                };
+                return upper.clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Folds another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// One-line `count/mean/p50/p99/max` summary in microseconds.
+    pub fn summary(&self) -> String {
+        format!(
+            "n={} mean={:.1}us p50={:.1}us p99={:.1}us max={:.1}us",
+            self.count,
+            self.mean_ns() / 1e3,
+            self.percentile_ns(0.50) as f64 / 1e3,
+            self.percentile_ns(0.99) as f64 / 1e3,
+            self.max_ns() as f64 / 1e3,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_reports_zeros() {
+        let h = Histogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.percentile_ns(0.99), 0);
+        assert_eq!(h.mean_ns(), 0.0);
+        assert_eq!(h.min_ns(), 0);
+        assert_eq!(h.max_ns(), 0);
+    }
+
+    #[test]
+    fn exact_stats_are_exact() {
+        let mut h = Histogram::new();
+        for v in [100u64, 200, 300, 400] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.mean_ns(), 250.0);
+        assert_eq!(h.min_ns(), 100);
+        assert_eq!(h.max_ns(), 400);
+    }
+
+    #[test]
+    fn percentile_is_within_one_octave_and_monotone() {
+        let mut h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.record(v * 1_000); // 1..=1000 µs
+        }
+        let p50 = h.percentile_ns(0.50);
+        let p99 = h.percentile_ns(0.99);
+        // True p50 = 500_000, p99 = 990_000; log2 buckets answer within 2x.
+        assert!((250_000..=1_000_000).contains(&p50), "{p50}");
+        assert!((495_000..=1_000_000).contains(&p99), "{p99}");
+        assert!(p99 >= p50);
+        assert_eq!(h.percentile_ns(1.0), h.percentile_ns(0.999));
+    }
+
+    #[test]
+    fn single_sample_percentiles_hit_the_sample() {
+        let mut h = Histogram::new();
+        h.record(777);
+        assert_eq!(h.percentile_ns(0.5), 777);
+        assert_eq!(h.percentile_ns(0.99), 777);
+        // Zero-valued samples are representable too.
+        let mut z = Histogram::new();
+        z.record(0);
+        assert_eq!(z.percentile_ns(0.5), 0);
+    }
+
+    #[test]
+    fn merge_matches_recording_everything_in_one() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        let mut all = Histogram::new();
+        for v in 1..=50u64 {
+            a.record(v * 10);
+            all.record(v * 10);
+        }
+        for v in 51..=100u64 {
+            b.record(v * 10);
+            all.record(v * 10);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), all.count());
+        assert_eq!(a.mean_ns(), all.mean_ns());
+        assert_eq!(a.percentile_ns(0.9), all.percentile_ns(0.9));
+        assert_eq!(a.min_ns(), all.min_ns());
+        assert_eq!(a.max_ns(), all.max_ns());
+    }
+
+    #[test]
+    fn summary_mentions_the_key_quantiles() {
+        let mut h = Histogram::new();
+        h.record(2_000);
+        let s = h.summary();
+        assert!(s.contains("n=1") && s.contains("p99="), "{s}");
+    }
+}

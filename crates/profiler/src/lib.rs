@@ -20,24 +20,33 @@
 //! - [`sched_trace`] — the taskflow scheduler's per-attempt task spans as
 //!   chrome-trace worker lanes (retries, injected faults, and steals all
 //!   visible), standalone or merged with the GPU kernel timeline.
+//! - [`serve_trace`] — online-serving request lifecycles (queue wait →
+//!   retrieve → generate, cache hits categorized) as chrome-trace stage
+//!   lanes, merge-friendly with the scheduler and GPU exporters.
+//! - [`histogram`] — fixed-footprint log2-bucketed latency histograms for
+//!   per-stage p50/p99 reporting under sustained serving load.
 //! - [`roofline`] — roofline-model plot data: per-kernel (intensity,
 //!   achieved FLOP/s) points against the device's compute and bandwidth
 //!   roofs.
 
 pub mod bottleneck;
 pub mod chrome_trace;
+pub mod histogram;
 mod json;
 pub mod opstats;
 pub mod roofline;
 pub mod sched_trace;
+pub mod serve_trace;
 pub mod timeline;
 
 /// Convenient glob-import of the crate's primary types.
 pub mod prelude {
     pub use crate::bottleneck::{analyze, BottleneckClass, BottleneckReport};
     pub use crate::chrome_trace::to_chrome_trace;
+    pub use crate::histogram::Histogram;
     pub use crate::opstats::{OpStats, OpStatsTable};
     pub use crate::roofline::{roofline, Roofline, RooflinePoint};
     pub use crate::sched_trace::{merged_chrome_trace, scheduler_to_chrome_trace};
+    pub use crate::serve_trace::{serving_to_chrome_trace, RequestSpan};
     pub use crate::timeline::Timeline;
 }

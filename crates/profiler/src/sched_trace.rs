@@ -1,7 +1,7 @@
 //! Chrome-trace export of the taskflow scheduler's per-attempt spans.
 //!
-//! The work-stealing scheduler records a [`TaskSpan`] for every executed
-//! attempt (see `taskflow::metrics`). Here those spans become one timeline
+//! The work-stealing scheduler records a [`taskflow::metrics::TaskSpan`]
+//! for every executed attempt. Here those spans become one timeline
 //! lane per worker, so a straggling worker shows up as a long lane, a
 //! retry storm as stacked re-attempts, and a steal as a slice whose
 //! `stolen` arg is true on a lane the task was not queued on. The same

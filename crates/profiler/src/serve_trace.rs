@@ -1,0 +1,210 @@
+//! Chrome-trace export of online-serving request lifecycles.
+//!
+//! The RAG serving layer stamps every request with its admission, dispatch,
+//! and per-stage times. Here each request becomes three slices in three
+//! stage lanes — `queue` (admission → micro-batch dispatch), `retrieve`,
+//! and `generate` — under a synthetic serving process, so a viewer shows
+//! where a slow request spent its life: parked behind the batch window,
+//! scanning the index, or decoding. Cache hits are categorized so the
+//! retrieve lane visibly collapses once the cache warms. The serving pid
+//! (1001) is distinct from the scheduler's (1000) and from GPU device
+//! ordinals, so the document merges cleanly with those exporters' events.
+
+use crate::json::{push_f64, push_str_literal};
+use std::fmt::Write;
+
+/// The synthetic "process" id serving lanes live under, next to the
+/// scheduler's 1000 and clear of simulated-GPU ordinals.
+const SERVE_PID: u32 = 1001;
+
+/// Stage lanes, exported as thread ids under [`SERVE_PID`].
+const LANES: [(u32, &str); 3] = [(0, "queue"), (1, "retrieve"), (2, "generate")];
+
+/// One served request's lifecycle timestamps.
+///
+/// `enqueue_ns` and `dispatch_ns` are wall-clock offsets on the serving
+/// clock; `retrieve_ns` and `generate_ns` are the simulated stage
+/// durations, laid out back-to-back from the dispatch point.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RequestSpan {
+    /// Admission-order request id.
+    pub request_id: u64,
+    /// Micro-batch this request was coalesced into.
+    pub batch_id: u64,
+    /// When the request entered the admission queue.
+    pub enqueue_ns: u64,
+    /// When the micro-batcher dispatched its batch to the cluster.
+    pub dispatch_ns: u64,
+    /// Simulated retrieval duration (0 for cache hits).
+    pub retrieve_ns: u64,
+    /// Simulated generation duration.
+    pub generate_ns: u64,
+    /// Whether retrieval was answered from the cache.
+    pub cache_hit: bool,
+}
+
+impl RequestSpan {
+    /// Time spent queued before dispatch.
+    pub fn queue_wait_ns(&self) -> u64 {
+        self.dispatch_ns.saturating_sub(self.enqueue_ns)
+    }
+}
+
+fn push_slice(
+    out: &mut String,
+    first: &mut bool,
+    cat: &str,
+    tid: u32,
+    start_ns: u64,
+    dur_ns: u64,
+    span: &RequestSpan,
+) {
+    if !*first {
+        out.push(',');
+    }
+    *first = false;
+    out.push_str("\n    {\n      \"name\": ");
+    push_str_literal(out, &format!("req-{}", span.request_id));
+    out.push_str(",\n      \"cat\": ");
+    push_str_literal(out, cat);
+    out.push_str(",\n      \"ph\": \"X\",\n      \"ts\": ");
+    push_f64(out, start_ns as f64 / 1e3);
+    out.push_str(",\n      \"dur\": ");
+    push_f64(out, dur_ns as f64 / 1e3);
+    let _ = write!(
+        out,
+        ",\n      \"pid\": {SERVE_PID},\n      \"tid\": {tid},\n      \"args\": {{ \"request_id\": {}, \"batch_id\": {}, \"cache_hit\": {} }}\n    }}",
+        span.request_id, span.batch_id, span.cache_hit
+    );
+}
+
+/// Serializes request lifecycles to Chrome-trace JSON: three labeled stage
+/// lanes under the serving process, one complete slice per request per
+/// stage. Merge-friendly with [`crate::sched_trace`] and the GPU exporters
+/// (distinct pids).
+pub fn serving_to_chrome_trace(spans: &[RequestSpan]) -> String {
+    let mut out = String::with_capacity(256 + spans.len() * 640);
+    out.push_str("{\n  \"traceEvents\": [");
+    let mut first = true;
+    for (tid, lane) in LANES {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str(
+            "\n    {\n      \"name\": \"thread_name\",\n      \"ph\": \"M\",\n      \"pid\": ",
+        );
+        let _ = write!(
+            out,
+            "{SERVE_PID},\n      \"tid\": {tid},\n      \"args\": {{ \"name\": "
+        );
+        push_str_literal(&mut out, &format!("serve-{lane}"));
+        out.push_str(" }\n    }");
+    }
+    for span in spans {
+        let cat = if span.cache_hit {
+            "cache-hit"
+        } else {
+            "cache-miss"
+        };
+        push_slice(
+            &mut out,
+            &mut first,
+            "queued",
+            0,
+            span.enqueue_ns,
+            span.queue_wait_ns(),
+            span,
+        );
+        push_slice(
+            &mut out,
+            &mut first,
+            cat,
+            1,
+            span.dispatch_ns,
+            span.retrieve_ns,
+            span,
+        );
+        push_slice(
+            &mut out,
+            &mut first,
+            "decode",
+            2,
+            span.dispatch_ns + span.retrieve_ns,
+            span.generate_ns,
+            span,
+        );
+    }
+    out.push_str("\n  ],\n  \"displayTimeUnit\": \"ns\"\n}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spans() -> Vec<RequestSpan> {
+        vec![
+            RequestSpan {
+                request_id: 0,
+                batch_id: 0,
+                enqueue_ns: 1_000,
+                dispatch_ns: 3_000,
+                retrieve_ns: 2_000,
+                generate_ns: 4_000,
+                cache_hit: false,
+            },
+            RequestSpan {
+                request_id: 1,
+                batch_id: 0,
+                enqueue_ns: 2_000,
+                dispatch_ns: 3_000,
+                retrieve_ns: 0,
+                generate_ns: 4_000,
+                cache_hit: true,
+            },
+        ]
+    }
+
+    #[test]
+    fn three_lanes_and_three_slices_per_request() {
+        let json = serving_to_chrome_trace(&spans());
+        let parsed: serde_json::Value = serde_json::from_str(&json).unwrap();
+        let events = parsed["traceEvents"].as_array().unwrap();
+        // 3 lane-name metadata events + 2 requests × 3 slices.
+        assert_eq!(events.len(), 9);
+        assert!(events[..3].iter().all(|e| e["ph"] == "M"));
+        assert_eq!(events[3]["pid"], 1001);
+        assert_eq!(events[3]["name"], "req-0");
+        assert_eq!(events[3]["tid"], 0);
+        assert_eq!(events[3]["dur"], 2.0); // 2 µs queued
+        let retrieve_hit = &events[7];
+        assert_eq!(retrieve_hit["cat"], "cache-hit");
+        assert_eq!(retrieve_hit["dur"], 0.0);
+        let decode = &events[8];
+        assert_eq!(decode["tid"], 2);
+        assert_eq!(decode["ts"], 3.0);
+        assert_eq!(decode["args"]["cache_hit"], true);
+    }
+
+    #[test]
+    fn empty_span_list_is_valid_json_with_lane_metadata() {
+        let json = serving_to_chrome_trace(&[]);
+        let parsed: serde_json::Value = serde_json::from_str(&json).unwrap();
+        assert_eq!(parsed["traceEvents"].as_array().unwrap().len(), 3);
+    }
+
+    #[test]
+    fn queue_wait_saturates() {
+        let s = RequestSpan {
+            request_id: 9,
+            batch_id: 1,
+            enqueue_ns: 10,
+            dispatch_ns: 5,
+            retrieve_ns: 0,
+            generate_ns: 0,
+            cache_hit: false,
+        };
+        assert_eq!(s.queue_wait_ns(), 0);
+    }
+}

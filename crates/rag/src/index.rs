@@ -12,6 +12,7 @@ use rand::rngs::SmallRng;
 use rayon::prelude::*;
 use sagegpu_tensor::dense::Tensor;
 use sagegpu_tensor::gpu_exec::GpuExecutor;
+use std::sync::{Arc, Mutex};
 
 /// One search result.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -52,6 +53,9 @@ pub struct FlatIndex {
     /// Row-major `len × dim`.
     vectors: Vec<f32>,
     gpu: Option<GpuExecutor>,
+    /// Device-resident copy of `vectors`, rebuilt lazily after `add`
+    /// invalidates it, so a query does not pay an O(n·d) host allocation.
+    device_mat: Mutex<Option<Arc<Tensor>>>,
 }
 
 impl FlatIndex {
@@ -62,6 +66,7 @@ impl FlatIndex {
             ids: Vec::new(),
             vectors: Vec::new(),
             gpu: None,
+            device_mat: Mutex::new(None),
         }
     }
 
@@ -79,6 +84,19 @@ impl FlatIndex {
             .map(|row| row.iter().zip(query).map(|(a, b)| a * b).sum())
             .collect()
     }
+
+    /// The cached device matrix, rebuilt only when `add` invalidated it.
+    fn device_matrix(&self) -> Arc<Tensor> {
+        let mut cached = self.device_mat.lock().unwrap_or_else(|e| e.into_inner());
+        cached
+            .get_or_insert_with(|| {
+                Arc::new(
+                    Tensor::from_vec(self.ids.len(), self.dim, self.vectors.clone())
+                        .expect("index shape"),
+                )
+            })
+            .clone()
+    }
 }
 
 impl VectorIndex for FlatIndex {
@@ -86,6 +104,7 @@ impl VectorIndex for FlatIndex {
         assert_eq!(vector.len(), self.dim, "vector dim mismatch");
         self.ids.push(doc_id);
         self.vectors.extend(vector);
+        *self.device_mat.lock().unwrap_or_else(|e| e.into_inner()) = None;
     }
 
     fn search(&self, query: &[f32], k: usize) -> Vec<SearchHit> {
@@ -95,8 +114,7 @@ impl VectorIndex for FlatIndex {
         }
         let scores = match &self.gpu {
             Some(gpu) => {
-                let mat = Tensor::from_vec(self.ids.len(), self.dim, self.vectors.clone())
-                    .expect("index shape");
+                let mat = self.device_matrix();
                 gpu.score_rows(&mat, query).expect("gpu scoring")
             }
             None => self.cpu_scores(query),
@@ -391,6 +409,35 @@ mod tests {
             gpu_hits.iter().map(|h| h.doc_id).collect::<Vec<_>>()
         );
         assert!(gpu_exec.gpu().now_ns() > 0, "GPU search must charge time");
+    }
+
+    #[test]
+    fn gpu_matrix_is_cached_across_searches_and_invalidated_by_add() {
+        use gpu_sim::{DeviceSpec, Gpu};
+        use std::sync::Arc;
+        let (_, _, data) = indexed_corpus(12);
+        let gpu_exec = GpuExecutor::new(Arc::new(Gpu::new(0, DeviceSpec::t4())));
+        let mut idx = FlatIndex::with_gpu(96, gpu_exec);
+        for (id, v) in &data {
+            idx.add(*id, v.clone());
+        }
+        let q = &data[0].1;
+        let first = idx.search(q, 3);
+        let mat_a = idx.device_matrix();
+        let second = idx.search(q, 3);
+        let mat_b = idx.device_matrix();
+        assert!(
+            Arc::ptr_eq(&mat_a, &mat_b),
+            "repeat searches must reuse the cached device tensor"
+        );
+        assert_eq!(first, second);
+        // `add` invalidates the cache and the new vector becomes visible.
+        let (_, embedder, _) = indexed_corpus(1);
+        let fresh = embedder.embed("warp divergence stalls the scheduler pipeline");
+        idx.add(999, fresh.clone());
+        let mat_c = idx.device_matrix();
+        assert!(!Arc::ptr_eq(&mat_b, &mat_c), "add must rebuild the tensor");
+        assert_eq!(idx.search(&fresh, 1)[0].doc_id, 999);
     }
 
     #[test]

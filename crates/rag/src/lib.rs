@@ -28,6 +28,10 @@
 //!   context → generate, single-query and batched, with per-stage
 //!   simulated-latency breakdowns and a workload harness reporting
 //!   p50/p99/throughput (experiment E20).
+//! - [`serve`] — the online serving layer over the pipeline: bounded
+//!   admission with load-shedding, dynamic micro-batching, an LRU
+//!   retrieval cache, fault-tolerant cluster dispatch with retries, and
+//!   per-stage histograms + chrome-trace request spans (experiment A05).
 
 pub mod bm25;
 pub mod corpus;
@@ -35,6 +39,7 @@ pub mod embed;
 pub mod generate;
 pub mod index;
 pub mod pipeline;
+pub mod serve;
 pub mod tokenize;
 
 /// Convenient glob-import of the crate's primary types.
@@ -45,5 +50,9 @@ pub mod prelude {
     pub use crate::generate::MarkovGenerator;
     pub use crate::index::{FlatIndex, IvfIndex, SearchHit, VectorIndex};
     pub use crate::pipeline::{LatencyReport, RagPipeline, RagResponse};
+    pub use crate::serve::{
+        CacheStats, RagServer, ResponseHandle, RetrievalCache, ServeError, ServedResponse,
+        ServerConfig, ServerReport,
+    };
     pub use crate::tokenize::tokenize;
 }

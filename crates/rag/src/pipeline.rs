@@ -14,7 +14,7 @@ use crate::generate::MarkovGenerator;
 use crate::index::{SearchHit, VectorIndex};
 use sagegpu_tensor::gpu_exec::GpuExecutor;
 use std::sync::Arc;
-use taskflow::cluster::LocalCluster;
+use taskflow::{LocalCluster, TaskError};
 
 /// One answered query.
 #[derive(Debug, Clone)]
@@ -86,7 +86,8 @@ impl<I: VectorIndex> RagPipeline<I> {
         &self.gpu
     }
 
-    fn context_of(&self, hits: &[SearchHit]) -> String {
+    /// Assembles the generation context from retrieved hits.
+    pub fn context_of(&self, hits: &[SearchHit]) -> String {
         hits.iter()
             .filter_map(|h| self.corpus.get(h.doc_id))
             .map(|d| d.text.as_str())
@@ -94,13 +95,20 @@ impl<I: VectorIndex> RagPipeline<I> {
             .join(" ")
     }
 
+    /// Embeds `query` and retrieves its top-k hits plus assembled context —
+    /// the cacheable front half of the pipeline.
+    pub fn retrieve(&self, query: &str) -> (Vec<SearchHit>, String) {
+        let qv = self.embedder.embed(query);
+        let hits = self.index.search(&qv, self.top_k);
+        let ctx = self.context_of(&hits);
+        (hits, ctx)
+    }
+
     /// Answers one query, recording per-stage simulated time.
     pub fn answer(&self, query: &str, seed: u64) -> RagResponse {
         let t0 = self.gpu.gpu().now_ns();
-        let qv = self.embedder.embed(query);
-        let hits = self.index.search(&qv, self.top_k);
+        let (hits, context) = self.retrieve(query);
         let t1 = self.gpu.gpu().now_ns();
-        let context = self.context_of(&hits);
         let answers = self.generator.generate_batch_on_gpu(
             &self.gpu,
             &[context.as_str()],
@@ -124,15 +132,8 @@ impl<I: VectorIndex> RagPipeline<I> {
             return Vec::new();
         }
         let t0 = self.gpu.gpu().now_ns();
-        let per_query: Vec<(Vec<SearchHit>, String)> = queries
-            .iter()
-            .map(|q| {
-                let qv = self.embedder.embed(q);
-                let hits = self.index.search(&qv, self.top_k);
-                let ctx = self.context_of(&hits);
-                (hits, ctx)
-            })
-            .collect();
+        let per_query: Vec<(Vec<SearchHit>, String)> =
+            queries.iter().map(|q| self.retrieve(q)).collect();
         let t1 = self.gpu.gpu().now_ns();
         let contexts: Vec<&str> = per_query.iter().map(|(_, c)| c.as_str()).collect();
         let answers =
@@ -144,12 +145,13 @@ impl<I: VectorIndex> RagPipeline<I> {
             .iter()
             .zip(per_query)
             .zip(answers)
-            .map(|((q, (hits, _)), answer)| RagResponse {
+            .enumerate()
+            .map(|(i, ((q, (hits, _)), answer))| RagResponse {
                 query: (*q).to_owned(),
                 answer,
                 hits,
-                retrieve_ns: (t1 - t0) / n,
-                generate_ns: (t2 - t1) / n,
+                retrieve_ns: split_exact(t1 - t0, n, i as u64),
+                generate_ns: split_exact(t2 - t1, n, i as u64),
             })
             .collect()
     }
@@ -184,13 +186,18 @@ impl<I: VectorIndex + Send + Sync + 'static> RagPipeline<I> {
     /// single-worker cluster this reproduces `run_workload` exactly; with
     /// more workers, batches overlap on the shared simulated device and
     /// per-query latencies include that interference.
+    ///
+    /// A batch whose retry budget is exhausted (injected faults, panics,
+    /// deadlines) surfaces its [`TaskError`] instead of panicking the
+    /// workload; callers composing layers lift it into
+    /// `sagegpu_core::error::SageError` via `?`.
     pub fn run_workload_on(
         self: &Arc<Self>,
         cluster: &LocalCluster,
         queries: &[String],
         batch_size: usize,
         seed: u64,
-    ) -> LatencyReport {
+    ) -> Result<LatencyReport, TaskError> {
         let start = self.gpu.gpu().now_ns();
         let batch_size = batch_size.max(1);
         let futures: Vec<_> = queries
@@ -209,7 +216,7 @@ impl<I: VectorIndex + Send + Sync + 'static> RagPipeline<I> {
         let mut latencies_ns: Vec<u64> = Vec::with_capacity(queries.len());
         let mut retrieve_total = 0u64;
         let mut total = 0u64;
-        for responses in cluster.gather(futures).expect("rag batch tasks succeed") {
+        for responses in cluster.gather(futures)? {
             for r in responses {
                 latencies_ns.push(r.total_ns());
                 retrieve_total += r.retrieve_ns;
@@ -218,8 +225,31 @@ impl<I: VectorIndex + Send + Sync + 'static> RagPipeline<I> {
         }
         let end = self.gpu.gpu().now_ns();
         let span_s = (end - start) as f64 * 1e-9;
-        summarize(queries.len(), latencies_ns, retrieve_total, total, span_s)
+        Ok(summarize(
+            queries.len(),
+            latencies_ns,
+            retrieve_total,
+            total,
+            span_s,
+        ))
     }
+}
+
+/// Share `i` of `span` split across `n` ways with the remainder spread over
+/// the first `span % n` shares, so the shares sum to `span` exactly.
+pub(crate) fn split_exact(span: u64, n: u64, i: u64) -> u64 {
+    span / n + u64::from(i < span % n)
+}
+
+/// Ceil-based nearest-rank percentile — the ⌈p·N⌉-th smallest sample — so
+/// small samples never report below the true rank (p99 of 100 samples is
+/// the 99th value, not the 98th that `round()` could pick).
+pub(crate) fn percentile_ns(sorted_ns: &[u64], p: f64) -> u64 {
+    if sorted_ns.is_empty() {
+        return 0;
+    }
+    let rank = (sorted_ns.len() as f64 * p).ceil().max(1.0) as usize;
+    sorted_ns[rank.min(sorted_ns.len()) - 1]
 }
 
 /// Folds raw per-query numbers into a [`LatencyReport`].
@@ -231,13 +261,7 @@ fn summarize(
     span_s: f64,
 ) -> LatencyReport {
     latencies_ns.sort_unstable();
-    let pct = |p: f64| -> f64 {
-        if latencies_ns.is_empty() {
-            return 0.0;
-        }
-        let idx = ((latencies_ns.len() as f64 - 1.0) * p).round() as usize;
-        latencies_ns[idx] as f64 / 1e3
-    };
+    let pct = |p: f64| -> f64 { percentile_ns(&latencies_ns, p) as f64 / 1e3 };
     LatencyReport {
         queries,
         p50_us: pct(0.50),
@@ -355,15 +379,78 @@ mod tests {
         let sequential = build_flat_pipeline(30, 64, gpu(), 7).run_workload(&queries, 4, 0);
         let p = Arc::new(build_flat_pipeline(30, 64, gpu(), 7));
         let cluster = ClusterBuilder::new().workers(1).build();
-        let distributed = p.run_workload_on(&cluster, &queries, 4, 0);
+        let distributed = p.run_workload_on(&cluster, &queries, 4, 0).unwrap();
         assert_eq!(distributed, sequential);
 
         // More workers still answer every query with a coherent report.
         let cluster = ClusterBuilder::new().workers(3).build();
-        let rep = p.run_workload_on(&cluster, &queries, 4, 1);
+        let rep = p.run_workload_on(&cluster, &queries, 4, 1).unwrap();
         assert_eq!(rep.queries, 12);
         assert!(rep.p99_us >= rep.p50_us);
         assert_eq!(cluster.metrics().total_tasks(), 3, "one task per batch");
+    }
+
+    #[test]
+    fn batch_latency_attribution_is_exact() {
+        // Summed per-query stage times must equal the batch spans exactly
+        // (integer division used to drop up to n-1 ns per stage).
+        let p = build_flat_pipeline(30, 64, gpu(), 7);
+        for n in [1usize, 3, 7] {
+            let queries: Vec<String> = (0..n)
+                .map(|i| Corpus::topic_query(i % 5, 4, i as u64))
+                .collect();
+            let refs: Vec<&str> = queries.iter().map(|s| s.as_str()).collect();
+            let t0 = p.gpu().gpu().now_ns();
+            let responses = p.answer_batch(&refs, 0);
+            let t1 = p.gpu().gpu().now_ns();
+            let retrieve_sum: u64 = responses.iter().map(|r| r.retrieve_ns).sum();
+            let generate_sum: u64 = responses.iter().map(|r| r.generate_ns).sum();
+            assert_eq!(retrieve_sum + generate_sum, t1 - t0, "batch of {n}");
+        }
+        // The splitter itself is exact for awkward remainders.
+        for (span, n) in [(10u64, 3u64), (7, 7), (5, 4), (0, 2)] {
+            let total: u64 = (0..n).map(|i| split_exact(span, n, i)).sum();
+            assert_eq!(total, span);
+        }
+    }
+
+    #[test]
+    fn percentiles_use_ceil_nearest_rank() {
+        // 100 distinct values 1..=100 µs: p50 must be the 50th smallest
+        // (50 µs) and p99 the 99th (99 µs). The old round()-based rank
+        // selected index 98.01→98 → 99 µs only by luck on p99 but gave
+        // 50.5→50→51 µs at p50 of even-sized samples.
+        let ns: Vec<u64> = (1..=100u64).map(|v| v * 1_000).collect();
+        assert_eq!(percentile_ns(&ns, 0.50), 50_000);
+        assert_eq!(percentile_ns(&ns, 0.99), 99_000);
+        assert_eq!(percentile_ns(&ns, 1.0), 100_000);
+        // Small sample: p99 of 10 samples is the 10th (max), never the 9th.
+        let small: Vec<u64> = (1..=10u64).map(|v| v * 100).collect();
+        assert_eq!(percentile_ns(&small, 0.99), 1_000);
+        assert_eq!(percentile_ns(&small, 0.50), 500);
+        assert_eq!(percentile_ns(&[], 0.5), 0);
+        // End-to-end: the report reflects the same rank rule.
+        let report = summarize(100, ns, 1, 2, 1.0);
+        assert_eq!(report.p50_us, 50.0);
+        assert_eq!(report.p99_us, 99.0);
+    }
+
+    #[test]
+    fn exhausted_retries_surface_error_instead_of_panicking() {
+        use taskflow::cluster::ClusterBuilder;
+        use taskflow::policy::FaultPlan;
+        // Every attempt crashes and there are no retries: the workload must
+        // return the task error rather than panic.
+        let p = Arc::new(build_flat_pipeline(20, 64, gpu(), 3));
+        let cluster = ClusterBuilder::new()
+            .workers(2)
+            .fault_plan(FaultPlan::crashes(1, 1.0))
+            .build();
+        let queries: Vec<String> = (0..6)
+            .map(|i| Corpus::topic_query(i % 5, 4, i as u64))
+            .collect();
+        let err = p.run_workload_on(&cluster, &queries, 2, 0).unwrap_err();
+        assert!(matches!(err, taskflow::TaskError::Panicked(_)), "{err:?}");
     }
 
     #[test]

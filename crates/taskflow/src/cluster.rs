@@ -376,6 +376,14 @@ impl LocalCluster {
         })
     }
 
+    /// Nanoseconds elapsed on the scheduler's wall clock — the same axis
+    /// task spans are stamped on, so layered services (batch deadlines,
+    /// queue-wait accounting) can timestamp events that line up with the
+    /// scheduler lanes in a merged chrome trace.
+    pub fn now_ns(&self) -> u64 {
+        self.sched.now_ns()
+    }
+
     /// Snapshot of the scheduler's per-worker counters and task spans.
     pub fn metrics(&self) -> SchedulerMetrics {
         self.sched.metrics()

@@ -47,6 +47,9 @@ pub(crate) mod sched;
 pub mod store;
 pub mod worker;
 
+pub use cluster::{ClusterBuilder, LocalCluster};
+pub use policy::{Dispatch, FaultKind, FaultPlan, RetryPolicy, TaskOptions};
+
 /// Convenient glob-import of the crate's primary types.
 pub mod prelude {
     pub use crate::cluster::{ClusterBuilder, LocalCluster};

@@ -5,7 +5,9 @@
 #
 # 1. cargo fmt --check       — formatting
 # 2. cargo clippy -D warnings — lints, workspace-wide incl. tests/benches
-# 3. tier-1: release build + full test suite
+# 3. cargo doc -D warnings    — rustdoc builds clean (broken intra-doc
+#                               links, private-item leaks, bad HTML)
+# 4. tier-1: release build + full test suite
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -14,6 +16,9 @@ cargo fmt --all -- --check
 
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo doc --no-deps (warnings denied)"
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --quiet
 
 echo "==> tier-1: cargo build --release && cargo test -q"
 cargo build --release
