@@ -67,6 +67,11 @@ fn experiments() -> Vec<Experiment> {
             "Ablation: online serving (A05)",
             render::render_serving,
         ),
+        (
+            "residency",
+            "Ablation: device residency (A06)",
+            render::render_residency,
+        ),
     ]
 }
 

@@ -314,6 +314,61 @@ pub fn render_serving() -> String {
     out
 }
 
+/// A06 — residency ablation.
+pub fn render_residency() -> String {
+    let a = residency_ablation();
+    let mut out = header("Ablation — device residency: resident vs naive data movement (A06)");
+    out.push_str("GCN: 60 epochs, hidden=32, k=2 over NVLink, METIS partitions:\n");
+    out.push_str(&format!(
+        "{:<10} {:>10} {:>10} {:>10} {:>12} {:>9} {:>8} {:>14} {:>9}\n",
+        "mode",
+        "h2d(KB)",
+        "d2h(KB)",
+        "p2p(KB)",
+        "sim-time(ms)",
+        "loss",
+        "acc",
+        "bottleneck",
+        "hit-ratio"
+    ));
+    for r in &a.gcn {
+        out.push_str(&format!(
+            "{:<10} {:>10.1} {:>10.1} {:>10.1} {:>12.2} {:>9.4} {:>8.3} {:>14} {:>9.2}\n",
+            r.mode,
+            r.h2d_kb,
+            r.d2h_kb,
+            r.p2p_kb,
+            r.sim_time_ms,
+            r.final_loss,
+            r.test_accuracy,
+            r.bottleneck,
+            r.residency_hit_ratio
+        ));
+    }
+    out.push_str(&format!(
+        "GCN host-link reduction: {:.1}x  (bit-identical: {})\n\n",
+        a.gcn_reduction, a.gcn_identical
+    ));
+    out.push_str("RAG: 32 queries against a 60-doc x 96-dim index:\n");
+    out.push_str(&format!(
+        "{:<10} {:>10} {:>10} {:>9}\n",
+        "mode", "h2d(KB)", "d2h(KB)", "hit-ratio"
+    ));
+    for r in &a.rag {
+        out.push_str(&format!(
+            "{:<10} {:>10.1} {:>10.1} {:>9.2}\n",
+            r.mode, r.h2d_kb, r.d2h_kb, r.residency_hit_ratio
+        ));
+    }
+    out.push_str(&format!(
+        "RAG host-link reduction: {:.1}x  (identical scores: {})\n",
+        a.rag_reduction, a.rag_identical
+    ));
+    out.push_str("expected: >=5x fewer host-link bytes in both domains, identical outputs,\n");
+    out.push_str("          and the resident GCN run classified compute-bound\n");
+    out
+}
+
 /// S01 — RL agents.
 pub fn render_rl() -> String {
     let mut out = header("Supplementary — Labs 8/10 + Assignment 3: RL agents");

@@ -40,10 +40,10 @@ pub fn matmul_lab(env: &LabEnvironment, n: usize) -> SageResult<LabReport> {
     let mut rng = SmallRng::seed_from_u64(3);
     let a = Tensor::randn(n, n, &mut rng);
     let b = Tensor::randn(n, n, &mut rng);
-    exec.upload(&a)?;
-    exec.upload(&b)?;
-    let c = exec.matmul(&a, &b)?;
-    exec.download(&c)?;
+    let da = exec.upload(&a)?;
+    let db = exec.upload(&b)?;
+    let c = exec.matmul(&da, &db)?;
+    let c = exec.download(&c)?;
     let gpu_time_ns = gpu.now_ns() - t0;
 
     // The lab's analysis: what fraction went to transfers?

@@ -2,7 +2,7 @@
 
 use crate::sequential::{dataset_adjacency, dataset_features, epoch_profile, infer};
 use crate::{EpochStats, TrainConfig};
-use gpu_sim::{DeviceSpec, GpuCluster, LaunchConfig, LinkKind};
+use gpu_sim::{DeviceSpec, EventKind, GpuCluster, LaunchConfig, LinkKind, ResidencySnapshot};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use sagegpu_graph::generators::GraphDataset;
@@ -13,9 +13,12 @@ use sagegpu_nn::layers::Gcn;
 use sagegpu_nn::metrics::accuracy;
 use sagegpu_nn::optim::{Adam, Optimizer};
 use sagegpu_nn::parallel::weighted_average_gradients;
+use sagegpu_nn::resident::{ResidentAdam, ResidentParams};
 use sagegpu_nn::tape::Tape;
+use sagegpu_profiler::bottleneck::{analyze_with_residency, BottleneckReport};
 use sagegpu_profiler::timeline::Timeline;
 use sagegpu_tensor::dense::Tensor;
+use sagegpu_tensor::gpu_exec::GpuExecutor;
 use sagegpu_tensor::sparse::CsrMatrix;
 use std::sync::Arc;
 use taskflow::cluster::ClusterBuilder;
@@ -36,6 +39,32 @@ impl PartitionStrategy {
         match self {
             PartitionStrategy::Metis => "metis",
             PartitionStrategy::Random { .. } => "random",
+        }
+    }
+}
+
+/// Where training state lives between epochs — the week-5 memory-hierarchy
+/// lesson applied to Algorithm 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ResidencyMode {
+    /// Host-mediated exchange: every epoch re-broadcasts θ over the host
+    /// link (H2D) and pulls every worker's gradients back to host RAM
+    /// (D2H) before the network exchange — how a first, unoptimized
+    /// student implementation moves data.
+    Naive,
+    /// Device-resident: θ and the optimizer moments are uploaded once and
+    /// live in each worker's memory pool across epochs; gradients move
+    /// over the peer links only, and the trained parameters come back to
+    /// the host at a single explicit sync point after the last epoch.
+    Resident,
+}
+
+impl ResidencyMode {
+    /// Human-readable name for tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ResidencyMode::Naive => "naive",
+            ResidencyMode::Resident => "resident",
         }
     }
 }
@@ -74,6 +103,29 @@ pub struct DistResult {
     /// Scheduler-side counters and task spans for the run (retries show up
     /// here when fault injection was active).
     pub sched_metrics: SchedulerMetrics,
+    /// Which residency mode charged the run's data movement.
+    pub residency: &'static str,
+    /// Total host→device bytes charged across all workers.
+    pub h2d_bytes: u64,
+    /// Total device→host bytes charged across all workers.
+    pub d2h_bytes: u64,
+    /// Total peer-link (D2D/P2P) bytes charged across all workers.
+    pub p2p_bytes: u64,
+    /// Per-epoch θ residency lookups (one per worker per epoch: a hit when
+    /// the parameters were already device-resident, a miss when they had to
+    /// be re-staged) plus the host-link bytes that resulted.
+    pub residency_lookups: ResidencySnapshot,
+    /// Device 0's residency-aware bottleneck verdict for the run.
+    pub bottleneck: BottleneckReport,
+}
+
+impl DistResult {
+    /// Bytes that crossed the host link (H2D + D2H) — the PCIe traffic the
+    /// residency layer exists to eliminate. Peer-link bytes are excluded:
+    /// they flow GPU-to-GPU without touching host RAM.
+    pub fn host_link_bytes(&self) -> u64 {
+        self.h2d_bytes + self.d2h_bytes
+    }
 }
 
 /// Execution knobs for a distributed run beyond the training config:
@@ -83,6 +135,7 @@ pub struct DistOptions {
     pub link: LinkKind,
     pub fault_plan: FaultPlan,
     pub retry: RetryPolicy,
+    pub residency: ResidencyMode,
 }
 
 impl Default for DistOptions {
@@ -91,6 +144,7 @@ impl Default for DistOptions {
             link: LinkKind::Ethernet,
             fault_plan: FaultPlan::none(),
             retry: RetryPolicy::none(),
+            residency: ResidencyMode::Naive,
         }
     }
 }
@@ -211,10 +265,39 @@ pub fn train_distributed_with_opts(
     let mut opt = Adam::new(cfg.lr);
     let param_bytes = model.parameter_bytes();
     let (in_dim, hidden, classes) = (ds.feature_dim, cfg.hidden, ds.num_classes);
+    let naive = opts.residency == ResidencyMode::Naive;
+
+    // Resident mode: upload θ once per worker (the only per-worker H2D for
+    // parameters in the whole run) and pin replicated optimizer state in
+    // each device's memory pool. Every replica steps on the same averaged
+    // gradients, so replicas stay bit-identical across epochs — standard
+    // synchronous DDP. The driver-side host model mirrors the same math
+    // for broadcasting current values into epoch tasks.
+    let mut resident_workers: Option<Vec<(GpuExecutor, ResidentParams, ResidentAdam)>> =
+        match opts.residency {
+            ResidencyMode::Naive => None,
+            ResidencyMode::Resident => {
+                let init = model.get_parameters();
+                let mut workers = Vec::with_capacity(k);
+                for w in 0..k {
+                    let exec = GpuExecutor::new(Arc::clone(gpus.device(w).expect("worker device")));
+                    let params = ResidentParams::upload(&exec, &init).expect("θ fits on device");
+                    workers.push((exec, params, ResidentAdam::new(cfg.lr)));
+                }
+                Some(workers)
+            }
+        };
 
     // Lines 9–14: epochs.
     let mut epoch_stats = Vec::with_capacity(cfg.epochs);
+    let (mut theta_hits, mut theta_misses) = (0u64, 0u64);
     for epoch in 0..cfg.epochs {
+        // One θ residency lookup per worker per epoch.
+        if naive {
+            theta_misses += k as u64;
+        } else {
+            theta_hits += k as u64;
+        }
         // Line 8 (per epoch): broadcast current θ.
         let params = model.get_parameters();
         let mut futures = Vec::with_capacity(k);
@@ -227,6 +310,18 @@ pub fn train_distributed_with_opts(
                         .get::<Arc<PartitionData>>(key)
                         .expect("partition scattered");
                     let gpu = ctx.gpu();
+                    // Naive residency: re-stage θ onto the device every
+                    // epoch. Resident mode skips this — the parameters are
+                    // already in the worker's pool.
+                    let staged_theta = if naive {
+                        let flat: Vec<f32> = params
+                            .iter()
+                            .flat_map(|t| t.data().iter().copied())
+                            .collect();
+                        Some(gpu.htod(&flat).expect("θ fits"))
+                    } else {
+                        None
+                    };
                     let profile = epoch_profile(
                         data.nodes.len() as u64,
                         data.nnz,
@@ -235,25 +330,33 @@ pub fn train_distributed_with_opts(
                         classes as u64,
                     );
                     let launch = LaunchConfig::for_elements(data.nodes.len().max(1) as u64, 128);
-                    gpu.launch("gcn_epoch_local", launch, profile, || {
-                        // Lines 10–11: local loss and gradients.
-                        let mut local =
-                            Gcn::new(in_dim, hidden, classes, &mut SmallRng::seed_from_u64(0));
-                        local.set_parameters(&params);
-                        let tape = Tape::new();
-                        let fwd = local.forward(&tape, Arc::clone(&data.adj), &data.x);
-                        let loss = tape.cross_entropy(fwd.logits, &data.labels, &data.train_mask);
-                        let loss_val = tape.value(loss).get(0, 0);
-                        let grads = tape.backward(loss);
-                        let grad_tensors: Vec<Tensor> = fwd
-                            .params
-                            .iter()
-                            .map(|v| grads[v.index()].clone().expect("param grad"))
-                            .collect();
-                        let train_count = data.train_mask.iter().filter(|&&m| m).count();
-                        (grad_tensors, loss_val, train_count)
-                    })
-                    .expect("valid launch")
+                    let out = gpu
+                        .launch("gcn_epoch_local", launch, profile, || {
+                            // Lines 10–11: local loss and gradients.
+                            let mut local =
+                                Gcn::new(in_dim, hidden, classes, &mut SmallRng::seed_from_u64(0));
+                            local.set_parameters(&params);
+                            let tape = Tape::new();
+                            let fwd = local.forward(&tape, Arc::clone(&data.adj), &data.x);
+                            let loss =
+                                tape.cross_entropy(fwd.logits, &data.labels, &data.train_mask);
+                            let loss_val = tape.value(loss).get(0, 0);
+                            let grads = tape.backward(loss);
+                            let grad_tensors: Vec<Tensor> = fwd
+                                .params
+                                .iter()
+                                .map(|v| grads[v.index()].clone().expect("param grad"))
+                                .collect();
+                            let train_count = data.train_mask.iter().filter(|&&m| m).count();
+                            (grad_tensors, loss_val, train_count)
+                        })
+                        .expect("valid launch");
+                    // Naive residency: pull the gradients (same footprint
+                    // as θ) back through host RAM for the exchange.
+                    if let Some(buf) = &staged_theta {
+                        let _ = gpu.dtoh(buf).expect("gradients return");
+                    }
+                    out
                 })
                 .expect("worker exists");
             futures.push(fut);
@@ -267,7 +370,14 @@ pub fn train_distributed_with_opts(
         let total_train: f64 = weights.iter().sum();
         if total_train > 0.0 {
             let avg = weighted_average_gradients(&per_worker, &weights);
-            // Line 13: global update.
+            // Line 13: global update. In resident mode every device replica
+            // applies the same averaged gradients in place — no transfer;
+            // the host model mirrors the identical arithmetic.
+            if let Some(workers) = resident_workers.as_mut() {
+                for (exec, params, ropt) in workers.iter_mut() {
+                    ropt.step_all(exec, params, &avg).expect("resident step");
+                }
+            }
             opt.step_all(model.parameters_mut(), &avg);
         }
         // Line 14: report epoch loss (train-count-weighted).
@@ -277,6 +387,15 @@ pub fn train_distributed_with_opts(
             0.0
         };
         epoch_stats.push(EpochStats { epoch, loss });
+    }
+
+    // Resident mode: the single explicit sync point — read the trained θ
+    // back from one replica (they are bit-identical) and make it the
+    // model the evaluations run with.
+    if let Some(workers) = resident_workers.as_ref() {
+        let (exec, params, _) = &workers[0];
+        let synced = params.to_host(exec).expect("final sync");
+        model.set_parameters(&synced);
     }
 
     // Evaluation 1: partitioned inference (students' setup).
@@ -331,6 +450,24 @@ pub fn train_distributed_with_opts(
     let device_utilization = (0..k as u32).map(|d| timeline.utilization(d)).collect();
     let sched_metrics = cluster.metrics();
 
+    let (mut h2d_bytes, mut d2h_bytes, mut p2p_bytes) = (0u64, 0u64, 0u64);
+    for e in gpus.recorder().snapshot() {
+        match e.kind {
+            EventKind::MemcpyH2D => h2d_bytes += e.bytes,
+            EventKind::MemcpyD2H => d2h_bytes += e.bytes,
+            EventKind::MemcpyD2D | EventKind::MemcpyP2P => p2p_bytes += e.bytes,
+            _ => {}
+        }
+    }
+    let residency_lookups = ResidencySnapshot {
+        hits: theta_hits,
+        misses: theta_misses,
+        h2d_bytes,
+        d2h_bytes,
+    };
+    let bottleneck =
+        analyze_with_residency(&timeline, 0, &DeviceSpec::t4(), Some(&residency_lookups));
+
     Ok(DistResult {
         k,
         strategy: strategy.name(),
@@ -343,6 +480,12 @@ pub fn train_distributed_with_opts(
         device_utilization,
         model,
         sched_metrics,
+        residency: opts.residency.name(),
+        h2d_bytes,
+        d2h_bytes,
+        p2p_bytes,
+        residency_lookups,
+        bottleneck,
     })
 }
 
@@ -459,6 +602,93 @@ mod tests {
             "the plan must actually kill some workers"
         );
         assert_eq!(clean.epoch_stats.len(), faulty.epoch_stats.len());
+        for (c, f) in clean.epoch_stats.iter().zip(&faulty.epoch_stats) {
+            assert_eq!(c.loss, f.loss, "epoch {} diverged under faults", c.epoch);
+        }
+        assert_eq!(clean.test_accuracy, faulty.test_accuracy);
+    }
+
+    #[test]
+    fn resident_training_is_bit_identical_and_moves_fewer_host_bytes() {
+        // The tentpole acceptance, in miniature: keeping θ and optimizer
+        // state device-resident must not change a single bit of the
+        // training trajectory — only where the bytes flow.
+        let d = ds();
+        let naive = train_distributed_with_opts(
+            &d,
+            2,
+            &cfg(),
+            PartitionStrategy::Metis,
+            DistOptions {
+                residency: ResidencyMode::Naive,
+                ..DistOptions::default()
+            },
+        )
+        .unwrap();
+        let resident = train_distributed_with_opts(
+            &d,
+            2,
+            &cfg(),
+            PartitionStrategy::Metis,
+            DistOptions {
+                residency: ResidencyMode::Resident,
+                ..DistOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(naive.epoch_stats, resident.epoch_stats, "losses diverged");
+        assert_eq!(naive.test_accuracy, resident.test_accuracy);
+        assert_eq!(
+            naive.model.get_parameters(),
+            resident.model.get_parameters(),
+            "trained parameters must be bit-identical"
+        );
+        assert_eq!(naive.residency, "naive");
+        assert_eq!(resident.residency, "resident");
+        // Both exchange gradient payload over the links…
+        assert_eq!(naive.p2p_bytes, resident.p2p_bytes);
+        // …but only the naive run round-trips θ/gradients through host RAM
+        // every epoch.
+        assert!(
+            naive.host_link_bytes() > 3 * resident.host_link_bytes(),
+            "naive {} vs resident {} host-link bytes",
+            naive.host_link_bytes(),
+            resident.host_link_bytes()
+        );
+        assert!(resident.d2h_bytes > 0, "final sync must charge one D2H");
+    }
+
+    #[test]
+    fn resident_training_survives_fault_injection() {
+        // Resident optimizer steps happen once per epoch on the driver
+        // side of the gather barrier, so injected worker crashes (and
+        // their retries) cannot double-apply an update.
+        let d = ds();
+        let clean = train_distributed_with_opts(
+            &d,
+            2,
+            &cfg(),
+            PartitionStrategy::Metis,
+            DistOptions {
+                residency: ResidencyMode::Resident,
+                ..DistOptions::default()
+            },
+        )
+        .unwrap();
+        let faulty = train_distributed_with_opts(
+            &d,
+            2,
+            &cfg(),
+            PartitionStrategy::Metis,
+            DistOptions {
+                residency: ResidencyMode::Resident,
+                fault_plan: FaultPlan::crashes(17, 0.15),
+                retry: RetryPolicy::fixed(5, std::time::Duration::ZERO),
+                ..DistOptions::default()
+            },
+        )
+        .unwrap();
+        assert!(faulty.sched_metrics.total_retries() > 0);
         for (c, f) in clean.epoch_stats.iter().zip(&faulty.epoch_stats) {
             assert_eq!(c.loss, f.loss, "epoch {} diverged under faults", c.epoch);
         }

@@ -7,6 +7,7 @@ use crate::event::{EventKind, EventRecorder, TraceEvent};
 use crate::kernel::{KernelProfile, LaunchConfig};
 use crate::memory::{DeviceBuffer, MemoryAccounting};
 use crate::occupancy::{occupancy, OccupancyResult};
+use crate::pool::{MemoryPool, PoolLease};
 use rayon::prelude::*;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -282,6 +283,77 @@ impl Gpu {
         let start = self.advance(dur);
         self.record(EventKind::MemcpyD2D, "dtod", start, dur, bytes, 0, 0.0);
         Ok(copy)
+    }
+
+    /// Charges an H2D transfer of `bytes` into pooled device memory on the
+    /// default stream, returning the (now resident) lease.
+    ///
+    /// This is the residency layer's upload primitive: the payload itself
+    /// lives in the caller's host structures (the simulator computes on
+    /// host RAM), so only the cost and the capacity reservation are
+    /// modeled here.
+    pub fn htod_pooled(&self, pool: &MemoryPool, bytes: u64) -> Result<PoolLease, GpuError> {
+        self.htod_pooled_on(StreamId::DEFAULT, pool, bytes)
+    }
+
+    /// [`Self::htod_pooled`] on an explicit stream (`cudaMemcpyAsync` into
+    /// a pooled buffer).
+    pub fn htod_pooled_on(
+        &self,
+        stream: StreamId,
+        pool: &MemoryPool,
+        bytes: u64,
+    ) -> Result<PoolLease, GpuError> {
+        if pool.device() != self.ordinal {
+            return Err(GpuError::WrongDevice {
+                expected: pool.device(),
+                actual: self.ordinal,
+            });
+        }
+        let lease = pool.lease(bytes)?;
+        let dur = self.transfer_ns(bytes);
+        let start = self.advance_on(stream, dur);
+        self.record_on(
+            EventKind::MemcpyH2D,
+            "htod",
+            stream.ordinal(),
+            start,
+            dur,
+            bytes,
+            0,
+            0.0,
+        );
+        Ok(lease)
+    }
+
+    /// Charges a D2H readback of a pooled buffer on the default stream.
+    /// The lease stays resident — reading back does not evict.
+    pub fn dtoh_pooled(&self, lease: &PoolLease) -> Result<(), GpuError> {
+        self.dtoh_pooled_on(StreamId::DEFAULT, lease)
+    }
+
+    /// [`Self::dtoh_pooled`] on an explicit stream.
+    pub fn dtoh_pooled_on(&self, stream: StreamId, lease: &PoolLease) -> Result<(), GpuError> {
+        if lease.device() != self.ordinal {
+            return Err(GpuError::WrongDevice {
+                expected: lease.device(),
+                actual: self.ordinal,
+            });
+        }
+        let bytes = lease.bytes();
+        let dur = self.transfer_ns(bytes);
+        let start = self.advance_on(stream, dur);
+        self.record_on(
+            EventKind::MemcpyD2H,
+            "dtoh",
+            stream.ordinal(),
+            start,
+            dur,
+            bytes,
+            0,
+            0.0,
+        );
+        Ok(())
     }
 
     // ------------------------------------------------------------------

@@ -61,6 +61,7 @@ pub mod event;
 pub mod kernel;
 pub mod memory;
 pub mod occupancy;
+pub mod pool;
 
 /// Convenient glob-import of the crate's primary types.
 pub mod prelude {
@@ -73,6 +74,9 @@ pub mod prelude {
     pub use crate::kernel::{AccessPattern, KernelProfile, LaunchConfig};
     pub use crate::memory::DeviceBuffer;
     pub use crate::occupancy::OccupancyResult;
+    pub use crate::pool::{
+        BufferId, MemoryPool, PoolLease, PoolStats, ResidencySnapshot, ResidencyStats,
+    };
 }
 
 pub use arch::DeviceSpec;
@@ -83,3 +87,4 @@ pub use error::GpuError;
 pub use event::{EventKind, EventRecorder, TraceEvent};
 pub use kernel::{AccessPattern, KernelProfile, LaunchConfig};
 pub use memory::DeviceBuffer;
+pub use pool::{BufferId, MemoryPool, PoolLease, PoolStats, ResidencySnapshot, ResidencyStats};

@@ -1,0 +1,494 @@
+//! Pooled device memory: a size-class caching allocator over
+//! [`MemoryAccounting`], plus residency counters.
+//!
+//! Raw [`crate::memory::DeviceBuffer`] allocations model `cudaMalloc`:
+//! every allocation and free goes straight to the device-wide capacity
+//! ledger. Real frameworks do not work that way — PyTorch, CuPy and JAX all
+//! interpose a *caching allocator* so that the steady-state of a training
+//! loop performs zero `cudaMalloc`/`cudaFree` calls. [`MemoryPool`]
+//! reproduces that design in miniature:
+//!
+//! - requests are rounded up to a **size class** (next power of two, minimum
+//!   [`MIN_SIZE_CLASS_BYTES`]) so freed slabs are reusable by later requests
+//!   of similar size;
+//! - freeing a [`PoolLease`] returns its slab to a per-class free list —
+//!   the bytes stay *reserved* against device capacity (cached);
+//! - on reservation failure the pool [`MemoryPool::trim`]s its cache and
+//!   retries once before surfacing [`GpuError::OutOfMemory`] — the same
+//!   "empty the cache, then really OOM" behavior as
+//!   `torch.cuda.empty_cache()` done automatically.
+//!
+//! Every live lease carries a globally unique [`BufferId`]; the pool tracks
+//! the set of resident ids, which is what lets the executor layer above
+//! answer "is this tensor already on the device?" without a transfer.
+//!
+//! [`ResidencyStats`] is the companion ledger for that question: hit/miss
+//! counts and host-link byte counters, consumed by the profiler's
+//! bottleneck classifier.
+
+use crate::device::Gpu;
+use crate::error::GpuError;
+use crate::memory::MemoryAccounting;
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Smallest slab the pool hands out; sub-256 B requests round up to this,
+/// mirroring the 512 B minimum block of the PyTorch caching allocator.
+pub const MIN_SIZE_CLASS_BYTES: u64 = 256;
+
+static NEXT_BUFFER_ID: AtomicU64 = AtomicU64::new(1);
+
+/// Globally unique identity of a pooled device allocation.
+///
+/// Ids are never reused, so holding a `BufferId` after its lease dropped is
+/// safe: residency queries simply answer `false`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BufferId(u64);
+
+impl BufferId {
+    /// The raw id value (monotonically increasing, process-wide).
+    pub fn raw(&self) -> u64 {
+        self.0
+    }
+}
+
+/// Rounds a request up to its pool size class.
+pub fn size_class(bytes: u64) -> u64 {
+    if bytes == 0 {
+        0
+    } else {
+        bytes.max(MIN_SIZE_CLASS_BYTES).next_power_of_two()
+    }
+}
+
+#[derive(Debug, Default)]
+struct PoolCounters {
+    allocs: AtomicU64,
+    frees: AtomicU64,
+    reuse_hits: AtomicU64,
+    trims: AtomicU64,
+    in_use_bytes: AtomicU64,
+    cached_bytes: AtomicU64,
+    high_water_bytes: AtomicU64,
+}
+
+#[derive(Debug)]
+struct PoolShared {
+    device: u32,
+    accounting: Arc<MemoryAccounting>,
+    /// size class → number of cached (reserved but free) slabs.
+    free: parking_lot::Mutex<BTreeMap<u64, u64>>,
+    /// Ids of live leases: which buffers are currently resident.
+    resident: parking_lot::Mutex<BTreeSet<BufferId>>,
+    counters: PoolCounters,
+}
+
+impl Drop for PoolShared {
+    fn drop(&mut self) {
+        // Leases keep the shared state alive, so by the time this runs every
+        // slab is in the cache; hand the reservations back to the device.
+        let cached: u64 = self.free.get_mut().iter().map(|(c, n)| c * n).sum();
+        if cached > 0 {
+            self.accounting.release(cached);
+        }
+    }
+}
+
+/// A caching size-class allocator for one device's memory.
+///
+/// Cheaply cloneable handle; clones share the same cache and counters.
+#[derive(Debug, Clone)]
+pub struct MemoryPool {
+    shared: Arc<PoolShared>,
+}
+
+impl MemoryPool {
+    /// Creates a pool drawing from `gpu`'s capacity ledger.
+    pub fn new(gpu: &Gpu) -> Self {
+        Self {
+            shared: Arc::new(PoolShared {
+                device: gpu.ordinal(),
+                accounting: gpu.accounting_handle(),
+                free: parking_lot::Mutex::new(BTreeMap::new()),
+                resident: parking_lot::Mutex::new(BTreeSet::new()),
+                counters: PoolCounters::default(),
+            }),
+        }
+    }
+
+    /// Ordinal of the device this pool allocates on.
+    pub fn device(&self) -> u32 {
+        self.shared.device
+    }
+
+    /// Leases a slab large enough for `bytes`.
+    ///
+    /// Reuses a cached slab of the same size class when one exists;
+    /// otherwise reserves fresh capacity, trimming the cache and retrying
+    /// once before reporting [`GpuError::OutOfMemory`]. Allocation costs no
+    /// simulated time (as `cudaMalloc` from a warm cache costs ~none).
+    pub fn lease(&self, bytes: u64) -> Result<PoolLease, GpuError> {
+        let class = size_class(bytes);
+        let s = &self.shared;
+        let reused = class > 0 && {
+            let mut free = s.free.lock();
+            match free.get_mut(&class) {
+                Some(n) if *n > 0 => {
+                    *n -= 1;
+                    true
+                }
+                _ => false,
+            }
+        };
+        if reused {
+            s.counters.reuse_hits.fetch_add(1, Ordering::Relaxed);
+            s.counters.cached_bytes.fetch_sub(class, Ordering::Relaxed);
+        } else if class > 0 && s.accounting.reserve(class, s.device).is_err() {
+            self.trim();
+            s.accounting.reserve(class, s.device)?;
+        }
+        s.counters.allocs.fetch_add(1, Ordering::Relaxed);
+        let in_use = s.counters.in_use_bytes.fetch_add(class, Ordering::Relaxed) + class;
+        s.counters
+            .high_water_bytes
+            .fetch_max(in_use, Ordering::Relaxed);
+        let id = BufferId(NEXT_BUFFER_ID.fetch_add(1, Ordering::Relaxed));
+        s.resident.lock().insert(id);
+        Ok(PoolLease {
+            shared: Arc::clone(s),
+            id,
+            bytes,
+            class_bytes: class,
+        })
+    }
+
+    /// Releases every cached slab back to the device ledger, returning the
+    /// number of bytes freed (`torch.cuda.empty_cache()`).
+    pub fn trim(&self) -> u64 {
+        let s = &self.shared;
+        let freed: u64 = {
+            let mut free = s.free.lock();
+            let freed = free.iter().map(|(c, n)| c * n).sum();
+            free.clear();
+            freed
+        };
+        if freed > 0 {
+            s.accounting.release(freed);
+            s.counters.cached_bytes.fetch_sub(freed, Ordering::Relaxed);
+            s.counters.trims.fetch_add(1, Ordering::Relaxed);
+        }
+        freed
+    }
+
+    /// Whether the lease with id `id` is still alive (device-resident).
+    pub fn is_resident(&self, id: BufferId) -> bool {
+        self.shared.resident.lock().contains(&id)
+    }
+
+    /// Number of live leases.
+    pub fn resident_count(&self) -> usize {
+        self.shared.resident.lock().len()
+    }
+
+    /// Snapshot of the pool's counters.
+    pub fn stats(&self) -> PoolStats {
+        let c = &self.shared.counters;
+        PoolStats {
+            device: self.shared.device,
+            allocs: c.allocs.load(Ordering::Relaxed),
+            frees: c.frees.load(Ordering::Relaxed),
+            reuse_hits: c.reuse_hits.load(Ordering::Relaxed),
+            trims: c.trims.load(Ordering::Relaxed),
+            in_use_bytes: c.in_use_bytes.load(Ordering::Relaxed),
+            cached_bytes: c.cached_bytes.load(Ordering::Relaxed),
+            high_water_bytes: c.high_water_bytes.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// RAII handle to a pooled slab: dropping it returns the slab to the cache
+/// (the reservation is kept — use [`MemoryPool::trim`] to give it back).
+#[derive(Debug)]
+pub struct PoolLease {
+    shared: Arc<PoolShared>,
+    id: BufferId,
+    bytes: u64,
+    class_bytes: u64,
+}
+
+impl PoolLease {
+    /// Unique identity of this allocation.
+    pub fn id(&self) -> BufferId {
+        self.id
+    }
+
+    /// Bytes requested by the caller.
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Bytes actually reserved (the size class).
+    pub fn class_bytes(&self) -> u64 {
+        self.class_bytes
+    }
+
+    /// Ordinal of the owning device.
+    pub fn device(&self) -> u32 {
+        self.shared.device
+    }
+}
+
+impl Drop for PoolLease {
+    fn drop(&mut self) {
+        let s = &self.shared;
+        s.resident.lock().remove(&self.id);
+        s.counters.frees.fetch_add(1, Ordering::Relaxed);
+        s.counters
+            .in_use_bytes
+            .fetch_sub(self.class_bytes, Ordering::Relaxed);
+        if self.class_bytes > 0 {
+            *s.free.lock().entry(self.class_bytes).or_insert(0) += 1;
+            s.counters
+                .cached_bytes
+                .fetch_add(self.class_bytes, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Point-in-time view of a pool's counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PoolStats {
+    pub device: u32,
+    pub allocs: u64,
+    pub frees: u64,
+    pub reuse_hits: u64,
+    pub trims: u64,
+    pub in_use_bytes: u64,
+    pub cached_bytes: u64,
+    pub high_water_bytes: u64,
+}
+
+impl PoolStats {
+    /// Fraction of allocations served from the cache.
+    pub fn reuse_ratio(&self) -> f64 {
+        if self.allocs == 0 {
+            0.0
+        } else {
+            self.reuse_hits as f64 / self.allocs as f64
+        }
+    }
+}
+
+/// Shared hit/miss and host-link byte counters for residency-aware
+/// executors. One instance is typically shared between an executor and the
+/// profiler analyzing its trace.
+#[derive(Debug, Default)]
+pub struct ResidencyStats {
+    hits: AtomicU64,
+    misses: AtomicU64,
+    h2d_bytes: AtomicU64,
+    d2h_bytes: AtomicU64,
+}
+
+impl ResidencyStats {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An operand was already device-resident: no transfer charged.
+    pub fn record_hit(&self) {
+        self.hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// An operand had to be staged from the host.
+    pub fn record_miss(&self) {
+        self.misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Adds `bytes` moved host → device.
+    pub fn add_h2d(&self, bytes: u64) {
+        self.h2d_bytes.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Adds `bytes` moved device → host.
+    pub fn add_d2h(&self, bytes: u64) {
+        self.d2h_bytes.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Point-in-time copy of the counters.
+    pub fn snapshot(&self) -> ResidencySnapshot {
+        ResidencySnapshot {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            h2d_bytes: self.h2d_bytes.load(Ordering::Relaxed),
+            d2h_bytes: self.d2h_bytes.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Point-in-time view of [`ResidencyStats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ResidencySnapshot {
+    pub hits: u64,
+    pub misses: u64,
+    pub h2d_bytes: u64,
+    pub d2h_bytes: u64,
+}
+
+impl ResidencySnapshot {
+    /// Fraction of operand lookups that found the data already resident
+    /// (0.0 when nothing was looked up).
+    pub fn hit_ratio(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// Total bytes that crossed the host link in either direction.
+    pub fn host_link_bytes(&self) -> u64 {
+        self.h2d_bytes + self.d2h_bytes
+    }
+
+    /// Counter-wise difference against an earlier snapshot.
+    pub fn since(&self, earlier: &ResidencySnapshot) -> ResidencySnapshot {
+        ResidencySnapshot {
+            hits: self.hits - earlier.hits,
+            misses: self.misses - earlier.misses,
+            h2d_bytes: self.h2d_bytes - earlier.h2d_bytes,
+            d2h_bytes: self.d2h_bytes - earlier.d2h_bytes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arch::DeviceSpec;
+
+    fn tiny_gpu() -> Gpu {
+        Gpu::new(0, DeviceSpec::test_tiny())
+    }
+
+    #[test]
+    fn size_classes_round_up_to_powers_of_two() {
+        assert_eq!(size_class(0), 0);
+        assert_eq!(size_class(1), 256);
+        assert_eq!(size_class(256), 256);
+        assert_eq!(size_class(257), 512);
+        assert_eq!(size_class(1000), 1024);
+        assert_eq!(size_class(1024), 1024);
+    }
+
+    #[test]
+    fn lease_reserves_and_drop_caches() {
+        let g = tiny_gpu();
+        let pool = MemoryPool::new(&g);
+        let lease = pool.lease(1000).unwrap();
+        assert_eq!(lease.bytes(), 1000);
+        assert_eq!(lease.class_bytes(), 1024);
+        assert_eq!(g.mem_used(), 1024);
+        assert!(pool.is_resident(lease.id()));
+        let id = lease.id();
+        drop(lease);
+        // Slab is cached: still reserved, but no longer resident.
+        assert_eq!(g.mem_used(), 1024);
+        assert!(!pool.is_resident(id));
+        assert_eq!(pool.stats().cached_bytes, 1024);
+        assert_eq!(pool.trim(), 1024);
+        assert_eq!(g.mem_used(), 0);
+    }
+
+    #[test]
+    fn freed_slab_is_reused_for_same_class() {
+        let g = tiny_gpu();
+        let pool = MemoryPool::new(&g);
+        let a = pool.lease(900).unwrap();
+        drop(a);
+        let b = pool.lease(1024).unwrap(); // same 1024 class
+        let stats = pool.stats();
+        assert_eq!(stats.reuse_hits, 1);
+        assert_eq!(stats.allocs, 2);
+        assert_eq!(g.mem_used(), 1024, "no second reservation");
+        drop(b);
+    }
+
+    #[test]
+    fn oom_trims_cache_and_retries_before_failing() {
+        let g = tiny_gpu(); // 1 MiB capacity
+        let pool = MemoryPool::new(&g);
+        let a = pool.lease(300 << 10).unwrap();
+        drop(a); // cached: 512 KiB class slab stays reserved
+        assert!(g.mem_used() > 0);
+        // A different class that only fits if the cache is trimmed.
+        let b = pool.lease(700 << 10).unwrap();
+        assert_eq!(pool.stats().trims, 1);
+        drop(b);
+        // And a request that can never fit surfaces OOM, not a panic.
+        let err = pool.lease(2 << 20).unwrap_err();
+        assert!(matches!(err, GpuError::OutOfMemory { .. }));
+    }
+
+    #[test]
+    fn high_water_tracks_peak_in_use() {
+        let g = tiny_gpu();
+        let pool = MemoryPool::new(&g);
+        let a = pool.lease(256 << 10).unwrap();
+        let b = pool.lease(256 << 10).unwrap();
+        drop(a);
+        drop(b);
+        let stats = pool.stats();
+        assert_eq!(stats.high_water_bytes, 512 << 10);
+        assert_eq!(stats.in_use_bytes, 0);
+        assert_eq!(stats.frees, 2);
+    }
+
+    #[test]
+    fn dropping_pool_releases_cached_reservations() {
+        let g = tiny_gpu();
+        {
+            let pool = MemoryPool::new(&g);
+            let lease = pool.lease(4096).unwrap();
+            drop(lease);
+            assert_eq!(g.mem_used(), 4096);
+        }
+        assert_eq!(g.mem_used(), 0);
+    }
+
+    #[test]
+    fn buffer_ids_are_unique_across_pools() {
+        let g = tiny_gpu();
+        let p1 = MemoryPool::new(&g);
+        let p2 = MemoryPool::new(&g);
+        let a = p1.lease(64).unwrap();
+        let b = p2.lease(64).unwrap();
+        assert_ne!(a.id(), b.id());
+    }
+
+    #[test]
+    fn residency_stats_ratio_and_bytes() {
+        let rs = ResidencyStats::new();
+        assert_eq!(rs.snapshot().hit_ratio(), 0.0);
+        rs.record_hit();
+        rs.record_hit();
+        rs.record_hit();
+        rs.record_miss();
+        rs.add_h2d(100);
+        rs.add_d2h(50);
+        let snap = rs.snapshot();
+        assert_eq!(snap.hit_ratio(), 0.75);
+        assert_eq!(snap.host_link_bytes(), 150);
+        let later = ResidencySnapshot {
+            hits: 5,
+            misses: 1,
+            h2d_bytes: 300,
+            d2h_bytes: 50,
+        };
+        let delta = later.since(&snap);
+        assert_eq!(delta.hits, 2);
+        assert_eq!(delta.h2d_bytes, 200);
+    }
+}

@@ -64,6 +64,52 @@ proptest! {
         prop_assert!(back.iter().all(|&x| x == val));
     }
 
+    /// Any interleaving of pool leases and frees never overshoots device
+    /// capacity, and OOM surfaces as a `GpuError`, never a panic.
+    #[test]
+    fn pool_never_exceeds_capacity(ops in proptest::collection::vec(0u64..4_000_000, 1..64)) {
+        let gpu = Gpu::new(0, DeviceSpec::test_tiny()); // 1 MiB capacity
+        let cap = gpu.spec().memory.capacity_bytes;
+        let pool = MemoryPool::new(&gpu);
+        let mut live = Vec::new();
+        for op in ops {
+            // Low bit chooses free-vs-keep, the rest is the request size.
+            let (free_first, bytes) = (op & 1 == 1, op >> 1);
+            if free_first && !live.is_empty() {
+                live.pop(); // drop a lease: slab goes back to the cache
+            }
+            match pool.lease(bytes) {
+                Ok(lease) => live.push(lease),
+                Err(e) => prop_assert!(matches!(e, GpuError::OutOfMemory { .. })),
+            }
+            prop_assert!(gpu.mem_used() <= cap, "used {} > cap {}", gpu.mem_used(), cap);
+        }
+    }
+
+    /// After every lease drops, trimming the cache restores `mem_used()` to
+    /// its baseline — the pool leaks nothing.
+    #[test]
+    fn pool_restores_baseline_after_drops(sizes in proptest::collection::vec(1u64..300_000, 1..32)) {
+        let gpu = Gpu::new(0, DeviceSpec::test_tiny());
+        let baseline = gpu.mem_used();
+        let pool = MemoryPool::new(&gpu);
+        let mut live = Vec::new();
+        for bytes in sizes {
+            if let Ok(lease) = pool.lease(bytes) {
+                live.push(lease);
+            }
+        }
+        let stats = pool.stats();
+        prop_assert!(stats.high_water_bytes <= gpu.spec().memory.capacity_bytes);
+        drop(live);
+        pool.trim();
+        prop_assert_eq!(gpu.mem_used(), baseline);
+        let stats = pool.stats();
+        prop_assert_eq!(stats.allocs, stats.frees);
+        prop_assert_eq!(stats.in_use_bytes, 0);
+        prop_assert_eq!(pool.resident_count(), 0);
+    }
+
     /// The roofline duration equals max(compute, memory) + overhead.
     #[test]
     fn roofline_is_max_of_roofs(flops in 1u64..1_000_000_000_000, bytes in 1u64..1_000_000_000) {

@@ -16,7 +16,11 @@
 //!   classifier (conv → ReLU → global average pool → linear).
 //! - [`optim`] — SGD (with momentum) and Adam.
 //! - [`parallel`] — synchronous data-parallel utilities: gradient
-//!   averaging across workers (Algorithm 1 lines 11–13).
+//!   averaging across workers (Algorithm 1 lines 11–13), host-side or over
+//!   the cluster's peer links.
+//! - [`resident`] — device-resident training state: parameters and
+//!   optimizer moments that live in the GPU memory pool across steps, with
+//!   explicit `to_host` sync points.
 //! - [`metrics`] — classification accuracy.
 //!
 //! ## Gradient correctness
@@ -31,6 +35,7 @@ pub mod layers;
 pub mod metrics;
 pub mod optim;
 pub mod parallel;
+pub mod resident;
 pub mod tape;
 
 /// Convenient glob-import of the crate's primary types.
@@ -39,6 +44,7 @@ pub mod prelude {
     pub use crate::layers::{Gcn, GcnLayer, Linear, Mlp};
     pub use crate::metrics::accuracy;
     pub use crate::optim::{Adam, Optimizer, Sgd};
-    pub use crate::parallel::average_gradients;
+    pub use crate::parallel::{all_reduce_gradients, average_gradients};
+    pub use crate::resident::{ResidentAdam, ResidentParams, ResidentSgd};
     pub use crate::tape::{Tape, Var};
 }

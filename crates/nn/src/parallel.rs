@@ -6,6 +6,7 @@
 //! nodes) contribute proportionally, which makes the distributed gradient
 //! an unbiased estimate of the full-graph gradient.
 
+use gpu_sim::GpuCluster;
 use sagegpu_tensor::dense::Tensor;
 
 /// Averages per-worker gradient lists uniformly.
@@ -48,6 +49,24 @@ pub fn gradient_bytes(grads: &[Tensor]) -> u64 {
     grads.iter().map(|g| g.size_bytes()).sum()
 }
 
+/// Device-side gradient all-reduce: averages per-worker gradients like
+/// [`weighted_average_gradients`], but charges the movement to the
+/// cluster's *peer links* (ring all-reduce, `MemcpyP2P` events) instead of
+/// round-tripping every gradient through host RAM. The returned values are
+/// identical to the host-path average — only where the bytes flow differs.
+///
+/// Returns the averaged gradients and the modeled collective duration.
+pub fn all_reduce_gradients(
+    cluster: &GpuCluster,
+    per_worker: &[Vec<Tensor>],
+    weights: &[f64],
+) -> (Vec<Tensor>, u64) {
+    assert!(!per_worker.is_empty(), "no worker gradients");
+    let bytes = gradient_bytes(&per_worker[0]);
+    let dur = cluster.all_reduce_cost(bytes);
+    (weighted_average_gradients(per_worker, weights), dur)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -88,6 +107,26 @@ mod tests {
     fn gradient_bytes_sums_parameter_sizes() {
         let grads = vec![Tensor::zeros(10, 10), Tensor::zeros(1, 10)];
         assert_eq!(gradient_bytes(&grads), 4 * 110);
+    }
+
+    #[test]
+    fn device_all_reduce_matches_host_average_and_charges_links() {
+        use gpu_sim::{DeviceSpec, EventKind, GpuCluster, LinkKind};
+        let cluster = GpuCluster::homogeneous(4, DeviceSpec::t4(), LinkKind::NvLink);
+        let per_worker: Vec<Vec<Tensor>> =
+            (0..4).map(|w| vec![Tensor::full(8, 8, w as f32)]).collect();
+        let weights = vec![1.0; 4];
+        let host = weighted_average_gradients(&per_worker, &weights);
+        let (dev, dur) = all_reduce_gradients(&cluster, &per_worker, &weights);
+        assert_eq!(dev, host, "device all-reduce must be value-identical");
+        assert!(dur > 0, "collective must take simulated time");
+        let p2p = cluster
+            .recorder()
+            .snapshot()
+            .iter()
+            .filter(|e| e.kind == EventKind::MemcpyP2P)
+            .count();
+        assert_eq!(p2p, 4, "one peer-link event per device");
     }
 
     #[test]

@@ -1,0 +1,349 @@
+//! Device-resident training state: parameters and optimizer moments that
+//! live on the GPU across steps.
+//!
+//! The host-path training loop implicitly "re-uploads" parameters every
+//! step and pulls every gradient back — exactly the data-movement failure
+//! mode the course's profiling weeks teach students to spot. This module
+//! keeps the long-lived state where real frameworks keep it:
+//!
+//! - [`ResidentParams`] — model parameters uploaded **once** and mutated
+//!   in place on the device; the only way back to the host is the explicit
+//!   [`ResidentParams::to_host`] sync point, which charges the D2H.
+//! - [`ResidentSgd`] / [`ResidentAdam`] — optimizers whose velocity/moment
+//!   state is allocated from the device pool on first use and never leaves.
+//!   Their update arithmetic is copied expression-for-expression from
+//!   [`crate::optim::Sgd`] / [`crate::optim::Adam`], so resident training
+//!   is **bit-identical** to the host path.
+//!
+//! Forward/backward activations are the third leg: they are born resident
+//! because every `GpuExecutor` op output already is (see
+//! `sagegpu_tensor::residency`); inside a fused training-step kernel they
+//! never exist on the host at all.
+
+use sagegpu_tensor::dense::Tensor;
+use sagegpu_tensor::gpu_exec::GpuExecutor;
+use sagegpu_tensor::residency::DeviceTensor;
+use sagegpu_tensor::TensorError;
+
+/// Model parameters resident in device memory.
+#[derive(Debug)]
+pub struct ResidentParams {
+    tensors: Vec<DeviceTensor>,
+}
+
+impl ResidentParams {
+    /// Uploads `params` onto `exec`'s device, charging one H2D per tensor.
+    /// This is the scatter-once moment of a training run.
+    pub fn upload(exec: &GpuExecutor, params: &[Tensor]) -> Result<Self, TensorError> {
+        let tensors = params
+            .iter()
+            .map(|p| exec.upload(p))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Self { tensors })
+    }
+
+    /// Number of parameter tensors.
+    pub fn len(&self) -> usize {
+        self.tensors.len()
+    }
+
+    /// Whether there are no parameters.
+    pub fn is_empty(&self) -> bool {
+        self.tensors.is_empty()
+    }
+
+    /// Total bytes of device memory the parameters occupy.
+    pub fn bytes(&self) -> u64 {
+        self.tensors.iter().map(|t| t.size_bytes()).sum()
+    }
+
+    /// The resident handles.
+    pub fn tensors(&self) -> &[DeviceTensor] {
+        &self.tensors
+    }
+
+    /// Mutable resident handles, for in-place device updates.
+    pub fn tensors_mut(&mut self) -> &mut [DeviceTensor] {
+        &mut self.tensors
+    }
+
+    /// Device-side views of the values — what a kernel on the owning
+    /// device reads. Free; does not cross the host link.
+    pub fn device_views(&self) -> Vec<&Tensor> {
+        self.tensors.iter().map(|t| t.tensor()).collect()
+    }
+
+    /// Explicit synchronization point: reads every parameter back to the
+    /// host, charging one D2H transfer per tensor. The parameters stay
+    /// resident — this is a copy, not an eviction.
+    pub fn to_host(&self, exec: &GpuExecutor) -> Result<Vec<Tensor>, TensorError> {
+        self.tensors.iter().map(|t| exec.download(t)).collect()
+    }
+}
+
+/// SGD (with momentum) whose velocity state is device-resident.
+///
+/// Arithmetic matches [`Sgd`](crate::optim::Sgd) exactly; see the module docs.
+#[derive(Debug)]
+pub struct ResidentSgd {
+    pub lr: f32,
+    pub momentum: f32,
+    velocity: Vec<Option<DeviceTensor>>,
+}
+
+impl ResidentSgd {
+    /// Plain SGD.
+    pub fn new(lr: f32) -> Self {
+        Self::with_momentum(lr, 0.0)
+    }
+
+    /// SGD with momentum `β`: `v ← βv + g; p ← p − lr·v`.
+    pub fn with_momentum(lr: f32, momentum: f32) -> Self {
+        Self {
+            lr,
+            momentum,
+            velocity: Vec::new(),
+        }
+    }
+
+    /// Applies one update per parameter, entirely on the device: the
+    /// gradients are device-side values and the velocity slots live in the
+    /// pool across steps.
+    pub fn step_all(
+        &mut self,
+        exec: &GpuExecutor,
+        params: &mut ResidentParams,
+        grads: &[Tensor],
+    ) -> Result<(), TensorError> {
+        assert_eq!(params.len(), grads.len(), "param/grad count mismatch");
+        if self.velocity.len() < params.len() {
+            self.velocity.resize_with(params.len(), || None);
+        }
+        for (i, (p, grad)) in params.tensors_mut().iter_mut().zip(grads).enumerate() {
+            if self.momentum == 0.0 {
+                let updated = p.tensor().sub(&grad.scale(self.lr)).expect("shapes");
+                *p.tensor_mut() = updated;
+                continue;
+            }
+            let v = match &self.velocity[i] {
+                Some(prev) => prev
+                    .tensor()
+                    .scale(self.momentum)
+                    .add(grad)
+                    .expect("shapes"),
+                None => grad.clone(),
+            };
+            let updated = p.tensor().sub(&v.scale(self.lr)).expect("shapes");
+            *p.tensor_mut() = updated;
+            if let Some(dt) = &mut self.velocity[i] {
+                *dt.tensor_mut() = v;
+            } else {
+                self.velocity[i] = Some(exec.alloc_on_device(v)?);
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Adam whose first/second-moment state is device-resident.
+///
+/// Arithmetic matches [`Adam`](crate::optim::Adam) exactly; see the module docs.
+#[derive(Debug)]
+pub struct ResidentAdam {
+    pub lr: f32,
+    pub beta1: f32,
+    pub beta2: f32,
+    pub eps: f32,
+    t: i32,
+    m: Vec<Option<DeviceTensor>>,
+    v: Vec<Option<DeviceTensor>>,
+}
+
+impl ResidentAdam {
+    /// Adam with the canonical defaults (β₁ = .9, β₂ = .999, ε = 1e-8).
+    pub fn new(lr: f32) -> Self {
+        Self {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            t: 0,
+            m: Vec::new(),
+            v: Vec::new(),
+        }
+    }
+
+    /// The number of steps taken so far.
+    pub fn steps(&self) -> i32 {
+        self.t
+    }
+
+    /// Applies one Adam update per parameter on the device. Moments are
+    /// pool-allocated on first use and mutated in place afterwards.
+    pub fn step_all(
+        &mut self,
+        exec: &GpuExecutor,
+        params: &mut ResidentParams,
+        grads: &[Tensor],
+    ) -> Result<(), TensorError> {
+        assert_eq!(params.len(), grads.len(), "param/grad count mismatch");
+        self.t += 1;
+        if self.m.len() < params.len() {
+            self.m.resize_with(params.len(), || None);
+            self.v.resize_with(params.len(), || None);
+        }
+        let t = self.t.max(1) as f32;
+        for (i, (p, grad)) in params.tensors_mut().iter_mut().zip(grads).enumerate() {
+            // Expression-for-expression copy of `Adam::step` so the
+            // trajectories are bit-identical to host training.
+            let m_prev = match &self.m[i] {
+                Some(dt) => dt.tensor().clone(),
+                None => Tensor::zeros(grad.rows(), grad.cols()),
+            };
+            let v_prev = match &self.v[i] {
+                Some(dt) => dt.tensor().clone(),
+                None => Tensor::zeros(grad.rows(), grad.cols()),
+            };
+            let m = m_prev
+                .scale(self.beta1)
+                .add(&grad.scale(1.0 - self.beta1))
+                .expect("shapes");
+            let v = v_prev
+                .scale(self.beta2)
+                .add(&grad.hadamard(grad).expect("shapes").scale(1.0 - self.beta2))
+                .expect("shapes");
+            let m_hat = m.scale(1.0 / (1.0 - self.beta1.powf(t)));
+            let v_hat = v.scale(1.0 / (1.0 - self.beta2.powf(t)));
+            let mut update = m_hat;
+            for (u, vh) in update.data_mut().iter_mut().zip(v_hat.data()) {
+                *u = self.lr * *u / (vh.sqrt() + self.eps);
+            }
+            let updated = p.tensor().sub(&update).expect("shapes");
+            *p.tensor_mut() = updated;
+            if let Some(dt) = &mut self.m[i] {
+                *dt.tensor_mut() = m;
+            } else {
+                self.m[i] = Some(exec.alloc_on_device(m)?);
+            }
+            if let Some(dt) = &mut self.v[i] {
+                *dt.tensor_mut() = v;
+            } else {
+                self.v[i] = Some(exec.alloc_on_device(v)?);
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::optim::{Adam, Optimizer, Sgd};
+    use gpu_sim::{DeviceSpec, EventKind, Gpu};
+    use std::sync::Arc;
+
+    fn exec() -> GpuExecutor {
+        GpuExecutor::new(Arc::new(Gpu::new(0, DeviceSpec::t4())))
+    }
+
+    fn toy_grads(step: usize) -> Vec<Tensor> {
+        vec![
+            Tensor::full(2, 2, 0.3 + step as f32 * 0.07),
+            Tensor::full(1, 2, -0.2 + step as f32 * 0.01),
+        ]
+    }
+
+    #[test]
+    fn resident_adam_is_bit_identical_to_host_adam() {
+        let e = exec();
+        let init = vec![Tensor::full(2, 2, 1.0), Tensor::full(1, 2, -0.5)];
+
+        let mut host_params = init.clone();
+        let mut host_opt = Adam::new(0.05);
+
+        let mut dev_params = ResidentParams::upload(&e, &init).unwrap();
+        let mut dev_opt = ResidentAdam::new(0.05);
+
+        for step in 0..7 {
+            let grads = toy_grads(step);
+            host_opt.step_all(host_params.iter_mut().collect(), &grads);
+            dev_opt.step_all(&e, &mut dev_params, &grads).unwrap();
+        }
+        let back = dev_params.to_host(&e).unwrap();
+        assert_eq!(back, host_params, "trajectories must match exactly");
+        assert_eq!(dev_opt.steps(), 7);
+    }
+
+    #[test]
+    fn resident_sgd_is_bit_identical_to_host_sgd() {
+        let e = exec();
+        let init = vec![Tensor::full(3, 2, 0.8)];
+
+        let mut host_params = init.clone();
+        let mut host_opt = Sgd::with_momentum(0.1, 0.9);
+
+        let mut dev_params = ResidentParams::upload(&e, &init).unwrap();
+        let mut dev_opt = ResidentSgd::with_momentum(0.1, 0.9);
+
+        for step in 0..5 {
+            let grads = toy_grads(step)[..1].to_vec();
+            let grads = vec![Tensor::full(3, 2, grads[0].get(0, 0))];
+            host_opt.step_all(host_params.iter_mut().collect(), &grads);
+            dev_opt.step_all(&e, &mut dev_params, &grads).unwrap();
+        }
+        assert_eq!(dev_params.to_host(&e).unwrap(), host_params);
+    }
+
+    #[test]
+    fn training_steps_charge_no_host_transfers() {
+        let e = exec();
+        let init = vec![Tensor::full(4, 4, 0.5)];
+        let mut params = ResidentParams::upload(&e, &init).unwrap();
+        let mut opt = ResidentAdam::new(0.01);
+        let transfers = |e: &GpuExecutor| {
+            e.gpu()
+                .recorder()
+                .snapshot()
+                .iter()
+                .filter(|ev| ev.kind.is_transfer())
+                .count()
+        };
+        let before = transfers(&e);
+        for step in 0..4 {
+            let grads = vec![Tensor::full(4, 4, 0.1 * (step + 1) as f32)];
+            opt.step_all(&e, &mut params, &grads).unwrap();
+        }
+        assert_eq!(transfers(&e), before, "optimizer steps must stay on-device");
+        // Moments + params stay resident in the pool across steps.
+        assert_eq!(e.pool().resident_count(), 3);
+    }
+
+    #[test]
+    fn to_host_is_the_explicit_sync_point() {
+        let e = exec();
+        let init = vec![Tensor::full(2, 2, 1.0), Tensor::full(1, 2, 2.0)];
+        let params = ResidentParams::upload(&e, &init).unwrap();
+        let before = e.gpu().recorder().len();
+        let host = params.to_host(&e).unwrap();
+        assert_eq!(host, init);
+        let evs = e.gpu().recorder().snapshot().split_off(before);
+        let d2h: Vec<_> = evs
+            .iter()
+            .filter(|ev| ev.kind == EventKind::MemcpyD2H)
+            .collect();
+        assert_eq!(d2h.len(), 2, "one D2H per parameter");
+        assert_eq!(d2h.iter().map(|ev| ev.bytes).sum::<u64>(), params.bytes());
+    }
+
+    #[test]
+    fn params_report_bytes_and_views() {
+        let e = exec();
+        let init = vec![Tensor::zeros(2, 3), Tensor::zeros(1, 3)];
+        let params = ResidentParams::upload(&e, &init).unwrap();
+        assert_eq!(params.len(), 2);
+        assert!(!params.is_empty());
+        assert_eq!(params.bytes(), 4 * (6 + 3));
+        let views = params.device_views();
+        assert_eq!(views[0].shape(), (2, 3));
+    }
+}

@@ -41,7 +41,9 @@ pub mod timeline;
 
 /// Convenient glob-import of the crate's primary types.
 pub mod prelude {
-    pub use crate::bottleneck::{analyze, BottleneckClass, BottleneckReport};
+    pub use crate::bottleneck::{
+        analyze, analyze_with_residency, BottleneckClass, BottleneckReport,
+    };
     pub use crate::chrome_trace::to_chrome_trace;
     pub use crate::histogram::Histogram;
     pub use crate::opstats::{OpStats, OpStatsTable};

@@ -12,6 +12,7 @@ use rand::rngs::SmallRng;
 use rayon::prelude::*;
 use sagegpu_tensor::dense::Tensor;
 use sagegpu_tensor::gpu_exec::GpuExecutor;
+use sagegpu_tensor::residency::DeviceTensor;
 use std::sync::{Arc, Mutex};
 
 /// One search result.
@@ -53,9 +54,10 @@ pub struct FlatIndex {
     /// Row-major `len × dim`.
     vectors: Vec<f32>,
     gpu: Option<GpuExecutor>,
-    /// Device-resident copy of `vectors`, rebuilt lazily after `add`
-    /// invalidates it, so a query does not pay an O(n·d) host allocation.
-    device_mat: Mutex<Option<Arc<Tensor>>>,
+    /// Device-resident copy of `vectors`, uploaded lazily (one charged H2D)
+    /// and invalidated by `add`. Repeat searches are residency hits: the
+    /// scoring kernel reads the resident matrix without re-transferring.
+    device_mat: Mutex<Option<Arc<DeviceTensor>>>,
 }
 
 impl FlatIndex {
@@ -85,15 +87,19 @@ impl FlatIndex {
             .collect()
     }
 
-    /// The cached device matrix, rebuilt only when `add` invalidated it.
-    fn device_matrix(&self) -> Arc<Tensor> {
+    /// The resident device matrix, re-uploaded only when `add` invalidated
+    /// it (the upload charges the H2D transfer; hits after that are free).
+    fn device_matrix(&self) -> Arc<DeviceTensor> {
+        let gpu = self
+            .gpu
+            .as_ref()
+            .expect("device matrix requires a GPU index");
         let mut cached = self.device_mat.lock().unwrap_or_else(|e| e.into_inner());
         cached
             .get_or_insert_with(|| {
-                Arc::new(
-                    Tensor::from_vec(self.ids.len(), self.dim, self.vectors.clone())
-                        .expect("index shape"),
-                )
+                let host = Tensor::from_vec(self.ids.len(), self.dim, self.vectors.clone())
+                    .expect("index shape");
+                Arc::new(gpu.upload(&host).expect("index fits on device"))
             })
             .clone()
     }
@@ -115,7 +121,7 @@ impl VectorIndex for FlatIndex {
         let scores = match &self.gpu {
             Some(gpu) => {
                 let mat = self.device_matrix();
-                gpu.score_rows(&mat, query).expect("gpu scoring")
+                gpu.score_rows(&*mat, query).expect("gpu scoring")
             }
             None => self.cpu_scores(query),
         };

@@ -151,18 +151,6 @@ pub struct LocalCluster {
 }
 
 impl LocalCluster {
-    /// `n` CPU-only workers.
-    #[deprecated(note = "use ClusterBuilder::new().workers(n).build()")]
-    pub fn new(n: usize) -> Self {
-        ClusterBuilder::new().workers(n).build()
-    }
-
-    /// One worker per GPU in `gpus`, each pinned to its device.
-    #[deprecated(note = "use ClusterBuilder::new().gpus(gpus).build()")]
-    pub fn with_gpus(gpus: Arc<GpuCluster>) -> Self {
-        ClusterBuilder::new().gpus(gpus).build()
-    }
-
     /// Number of workers.
     pub fn len(&self) -> usize {
         self.stores.len()
@@ -529,14 +517,13 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_constructors_still_work() {
-        let c = LocalCluster::new(2);
+    fn builder_covers_cpu_and_gpu_constructions() {
+        let c = ClusterBuilder::new().workers(2).build();
         assert_eq!(c.len(), 2);
         assert_eq!(c.submit(|_| 1 + 1).wait().unwrap(), 2);
 
         let gpus = Arc::new(GpuCluster::homogeneous(2, DeviceSpec::t4(), LinkKind::Pcie));
-        let c = LocalCluster::with_gpus(gpus);
+        let c = ClusterBuilder::new().gpus(gpus).build();
         assert_eq!(c.len(), 2);
     }
 

@@ -7,23 +7,51 @@
 //! the course's profiling labs need to observe: matmuls that get
 //! compute-bound as they grow, elementwise ops stuck at the bandwidth roof,
 //! and sparse aggregations crippled by random access.
+//!
+//! ## Placement and residency
+//!
+//! Every op accepts `impl Into<`[`TensorRef`]`>`, so operands may be host
+//! tensors (`&Tensor`) or device-resident handles (`&DeviceTensor`):
+//!
+//! - a **host** operand is a residency *miss*: the executor stages it
+//!   through the device [`MemoryPool`] and charges the H2D transfer, like a
+//!   framework implicitly copying a NumPy array to the GPU;
+//! - a **device** operand is a residency *hit*: it is used in place, free;
+//! - outputs are born device-resident (allocation costs no simulated time,
+//!   as `cudaMalloc` from a warm caching allocator) and only cross back to
+//!   the host through an explicit [`GpuExecutor::download`] sync point.
+//!
+//! Hit/miss counts and host-link bytes accumulate in a shared
+//! [`ResidencyStats`], which the profiler folds into its bottleneck
+//! classification.
 
 use crate::dense::Tensor;
+use crate::residency::{CsrRef, DeviceCsr, DeviceTensor, TensorRef};
 use crate::sparse::CsrMatrix;
 use crate::TensorError;
-use gpu_sim::{Gpu, KernelProfile, LaunchConfig};
+use gpu_sim::pool::{MemoryPool, ResidencySnapshot, ResidencyStats};
+use gpu_sim::{Gpu, GpuError, KernelProfile, LaunchConfig};
 use std::sync::Arc;
 
 /// A tensor-op executor bound to one simulated GPU.
+///
+/// Clones share the same memory pool and residency counters.
 #[derive(Clone)]
 pub struct GpuExecutor {
     gpu: Arc<Gpu>,
+    pool: MemoryPool,
+    residency: Arc<ResidencyStats>,
 }
 
 impl GpuExecutor {
-    /// Wraps a device.
+    /// Wraps a device, creating a fresh memory pool for it.
     pub fn new(gpu: Arc<Gpu>) -> Self {
-        Self { gpu }
+        let pool = MemoryPool::new(&gpu);
+        Self {
+            gpu,
+            pool,
+            residency: Arc::new(ResidencyStats::new()),
+        }
     }
 
     /// The underlying device.
@@ -31,80 +59,217 @@ impl GpuExecutor {
         &self.gpu
     }
 
-    /// Charges an H2D transfer for moving `t` onto the device.
-    /// (Data stays host-resident; only time and events are simulated.)
-    pub fn upload(&self, t: &Tensor) -> Result<(), TensorError> {
-        let buf = self.gpu.htod(t.data())?;
-        drop(buf); // capacity accounting is transient for the executor API
+    /// The device memory pool backing this executor's allocations.
+    pub fn pool(&self) -> &MemoryPool {
+        &self.pool
+    }
+
+    /// Shared residency counters (hits, misses, host-link bytes).
+    pub fn residency(&self) -> &Arc<ResidencyStats> {
+        &self.residency
+    }
+
+    /// Point-in-time copy of the residency counters.
+    pub fn residency_snapshot(&self) -> ResidencySnapshot {
+        self.residency.snapshot()
+    }
+
+    /// Moves a host tensor onto the device, charging one H2D transfer.
+    pub fn upload(&self, t: &Tensor) -> Result<DeviceTensor, TensorError> {
+        let bytes = t.size_bytes();
+        let lease = self.gpu.htod_pooled(&self.pool, bytes)?;
+        self.residency.add_h2d(bytes);
+        Ok(DeviceTensor::new(t.clone(), lease))
+    }
+
+    /// Moves a CSR matrix onto the device, charging one H2D transfer.
+    pub fn upload_csr(&self, m: &CsrMatrix) -> Result<DeviceCsr, TensorError> {
+        let bytes = DeviceCsr::csr_size_bytes(m);
+        let lease = self.gpu.htod_pooled(&self.pool, bytes)?;
+        self.residency.add_h2d(bytes);
+        Ok(DeviceCsr::new(m.clone(), lease))
+    }
+
+    /// Reads a device tensor back to the host, charging exactly one D2H
+    /// transfer. The tensor stays resident — downloading does not evict.
+    pub fn download(&self, t: &DeviceTensor) -> Result<Tensor, TensorError> {
+        self.expect_local(t.device())?;
+        self.gpu.dtoh_pooled(t.lease())?;
+        self.residency.add_d2h(t.size_bytes());
+        Ok(t.tensor().clone())
+    }
+
+    fn expect_local(&self, device: u32) -> Result<(), TensorError> {
+        if device != self.gpu.ordinal() {
+            return Err(GpuError::WrongDevice {
+                expected: device,
+                actual: self.gpu.ordinal(),
+            }
+            .into());
+        }
         Ok(())
     }
 
-    /// Charges a D2H transfer for reading `t` back.
-    pub fn download(&self, t: &Tensor) -> Result<(), TensorError> {
-        let buf = self.gpu.htod(t.data())?;
-        // Model the reverse direction explicitly.
-        let _ = self.gpu.dtoh(&buf)?;
-        Ok(())
+    /// Resolves an operand for a kernel: device-resident tensors are hits
+    /// (used in place), host tensors are misses (staged through the pool,
+    /// charging the H2D transfer). The returned lease keeps staged scratch
+    /// alive for the duration of the op.
+    fn stage<'a>(
+        &self,
+        r: TensorRef<'a>,
+    ) -> Result<(&'a Tensor, Option<gpu_sim::pool::PoolLease>), TensorError> {
+        match r {
+            TensorRef::Host(t) => {
+                self.residency.record_miss();
+                let bytes = t.size_bytes();
+                let lease = self.gpu.htod_pooled(&self.pool, bytes)?;
+                self.residency.add_h2d(bytes);
+                Ok((t, Some(lease)))
+            }
+            TensorRef::Device(dt) => {
+                self.expect_local(dt.device())?;
+                self.residency.record_hit();
+                Ok((dt.tensor(), None))
+            }
+        }
+    }
+
+    /// [`Self::stage`] for sparse operands.
+    fn stage_csr<'a>(
+        &self,
+        r: CsrRef<'a>,
+    ) -> Result<(&'a CsrMatrix, Option<gpu_sim::pool::PoolLease>), TensorError> {
+        match r {
+            CsrRef::Host(m) => {
+                self.residency.record_miss();
+                let bytes = DeviceCsr::csr_size_bytes(m);
+                let lease = self.gpu.htod_pooled(&self.pool, bytes)?;
+                self.residency.add_h2d(bytes);
+                Ok((m, Some(lease)))
+            }
+            CsrRef::Device(dm) => {
+                self.expect_local(dm.device())?;
+                self.residency.record_hit();
+                Ok((dm.matrix(), None))
+            }
+        }
+    }
+
+    /// Wraps a freshly computed kernel output as device-resident.
+    fn make_resident(&self, t: Tensor) -> Result<DeviceTensor, TensorError> {
+        let lease = self.pool.lease(t.size_bytes())?;
+        Ok(DeviceTensor::new(t, lease))
+    }
+
+    /// Registers a tensor whose values are produced *on the device* (e.g.
+    /// zero-initialized optimizer state) as resident without charging a
+    /// transfer — the moral equivalent of `cudaMalloc` plus an on-device
+    /// memset. Do not use this to smuggle host data onto the device; that
+    /// is what [`Self::upload`] (which charges the H2D) is for.
+    pub fn alloc_on_device(&self, t: Tensor) -> Result<DeviceTensor, TensorError> {
+        self.make_resident(t)
     }
 
     /// Dense matmul on the device (tiled-kernel cost model).
-    pub fn matmul(&self, a: &Tensor, b: &Tensor) -> Result<Tensor, TensorError> {
+    pub fn matmul<'a, 'b>(
+        &self,
+        a: impl Into<TensorRef<'a>>,
+        b: impl Into<TensorRef<'b>>,
+    ) -> Result<DeviceTensor, TensorError> {
+        let (a, _ga) = self.stage(a.into())?;
+        let (b, _gb) = self.stage(b.into())?;
         let (m, k) = a.shape();
         let n = b.cols();
         let cfg = LaunchConfig::for_matrix(m as u64, n as u64, 16);
         let profile = KernelProfile::matmul(m as u64, k as u64, n as u64);
-        self.gpu.launch("sgemm", cfg, profile, || a.matmul(b))?
+        let out = self.gpu.launch("sgemm", cfg, profile, || a.matmul(b))??;
+        self.make_resident(out)
     }
 
     /// Elementwise sum on the device.
-    pub fn add(&self, a: &Tensor, b: &Tensor) -> Result<Tensor, TensorError> {
+    pub fn add<'a, 'b>(
+        &self,
+        a: impl Into<TensorRef<'a>>,
+        b: impl Into<TensorRef<'b>>,
+    ) -> Result<DeviceTensor, TensorError> {
+        let (a, _ga) = self.stage(a.into())?;
+        let (b, _gb) = self.stage(b.into())?;
         let n = a.len() as u64;
         let cfg = LaunchConfig::for_elements(n, 256);
         let profile = KernelProfile::elementwise(n, 1, 12);
-        self.gpu.launch("vec_add", cfg, profile, || a.add(b))?
+        let out = self.gpu.launch("vec_add", cfg, profile, || a.add(b))??;
+        self.make_resident(out)
     }
 
     /// ReLU on the device.
-    pub fn relu(&self, a: &Tensor) -> Result<Tensor, TensorError> {
+    pub fn relu<'a>(&self, a: impl Into<TensorRef<'a>>) -> Result<DeviceTensor, TensorError> {
+        let (a, _g) = self.stage(a.into())?;
         let n = a.len() as u64;
         let cfg = LaunchConfig::for_elements(n, 256);
         let profile = KernelProfile::elementwise(n, 1, 8);
-        Ok(self.gpu.launch("relu", cfg, profile, || a.relu())?)
+        let out = self.gpu.launch("relu", cfg, profile, || a.relu())?;
+        self.make_resident(out)
     }
 
     /// Scalar multiply on the device.
-    pub fn scale(&self, a: &Tensor, kf: f32) -> Result<Tensor, TensorError> {
+    pub fn scale<'a>(
+        &self,
+        a: impl Into<TensorRef<'a>>,
+        kf: f32,
+    ) -> Result<DeviceTensor, TensorError> {
+        let (a, _g) = self.stage(a.into())?;
         let n = a.len() as u64;
         let cfg = LaunchConfig::for_elements(n, 256);
         let profile = KernelProfile::elementwise(n, 1, 8);
-        Ok(self.gpu.launch("scale", cfg, profile, || a.scale(kf))?)
+        let out = self.gpu.launch("scale", cfg, profile, || a.scale(kf))?;
+        self.make_resident(out)
     }
 
     /// Row softmax on the device.
-    pub fn softmax_rows(&self, a: &Tensor) -> Result<Tensor, TensorError> {
+    pub fn softmax_rows<'a>(
+        &self,
+        a: impl Into<TensorRef<'a>>,
+    ) -> Result<DeviceTensor, TensorError> {
+        let (a, _g) = self.stage(a.into())?;
         let n = a.len() as u64;
         let cfg = LaunchConfig::for_elements(n, 256);
         let profile = KernelProfile::elementwise(n, 4, 8);
-        Ok(self
+        let out = self
             .gpu
-            .launch("softmax", cfg, profile, || a.softmax_rows())?)
+            .launch("softmax", cfg, profile, || a.softmax_rows())?;
+        self.make_resident(out)
     }
 
     /// Sparse-dense product (GCN aggregation) on the device: random access,
     /// so the cost model uses the gather profile.
-    pub fn spmm(&self, a: &CsrMatrix, x: &Tensor) -> Result<Tensor, TensorError> {
+    pub fn spmm<'a, 'b>(
+        &self,
+        a: impl Into<CsrRef<'a>>,
+        x: impl Into<TensorRef<'b>>,
+    ) -> Result<DeviceTensor, TensorError> {
+        let (a, _ga) = self.stage_csr(a.into())?;
+        let (x, _gx) = self.stage(x.into())?;
         let nnz = a.nnz() as u64;
         let d = x.cols() as u64;
         let (rows, _) = a.shape();
         let cfg = LaunchConfig::for_elements(rows as u64, 128);
         let profile = KernelProfile::sparse_aggregate(nnz.max(1), d.max(1));
-        self.gpu
-            .launch("spmm_aggregate", cfg, profile, || a.spmm(x))?
+        let out = self
+            .gpu
+            .launch("spmm_aggregate", cfg, profile, || a.spmm(x))??;
+        self.make_resident(out)
     }
 
     /// Dot-product scoring of a query against an embedding matrix — the
-    /// retrieval kernel of the RAG pipeline (matrix-vector product).
-    pub fn score_rows(&self, mat: &Tensor, query: &[f32]) -> Result<Vec<f32>, TensorError> {
+    /// retrieval kernel of the RAG pipeline (matrix-vector product). The
+    /// query vector and the score vector always cross the host link (they
+    /// are request/response payloads); the matrix transfers only on miss.
+    pub fn score_rows<'a>(
+        &self,
+        mat: impl Into<TensorRef<'a>>,
+        query: &[f32],
+    ) -> Result<Vec<f32>, TensorError> {
+        let (mat, _g) = self.stage(mat.into())?;
         let (rows, cols) = mat.shape();
         if cols != query.len() {
             return Err(TensorError::ShapeMismatch {
@@ -112,6 +277,9 @@ impl GpuExecutor {
                 got: format!("{}", query.len()),
             });
         }
+        let query_bytes = (4 * query.len()) as u64;
+        let _q = self.gpu.htod_pooled(&self.pool, query_bytes)?;
+        self.residency.add_h2d(query_bytes);
         let cfg = LaunchConfig::for_elements(rows as u64, 256);
         let profile = KernelProfile {
             flops: 2 * (rows * cols) as u64,
@@ -119,7 +287,7 @@ impl GpuExecutor {
             access: gpu_sim::AccessPattern::Coalesced,
             registers_per_thread: 32,
         };
-        Ok(self.gpu.launch("dot_score", cfg, profile, || {
+        let scores: Vec<f32> = self.gpu.launch("dot_score", cfg, profile, || {
             (0..rows)
                 .map(|r| {
                     mat.row(r)
@@ -129,14 +297,19 @@ impl GpuExecutor {
                         .sum::<f32>()
                 })
                 .collect()
-        })?)
+        })?;
+        let score_lease = self.pool.lease((4 * scores.len()) as u64)?;
+        self.gpu.dtoh_pooled(&score_lease)?;
+        self.residency.add_d2h(score_lease.bytes());
+        Ok(scores)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use gpu_sim::DeviceSpec;
+    use crate::residency::Placement;
+    use gpu_sim::{DeviceSpec, EventKind};
     use rand::rngs::SmallRng;
     use rand::SeedableRng;
 
@@ -153,7 +326,8 @@ mod tests {
         let t0 = e.gpu().now_ns();
         let got = e.matmul(&a, &b).unwrap();
         assert!(e.gpu().now_ns() > t0);
-        assert_eq!(got, a.matmul(&b).unwrap());
+        assert_eq!(got.tensor(), &a.matmul(&b).unwrap());
+        assert_eq!(got.placement(), Placement::Device(0));
     }
 
     #[test]
@@ -179,7 +353,7 @@ mod tests {
         let e = exec();
         let m = CsrMatrix::from_triplets(3, 3, &[(0, 1, 2.0), (1, 2, 1.0), (2, 0, 3.0)]).unwrap();
         let x = Tensor::from_rows(&[&[1.0, 1.0], &[2.0, 2.0], &[3.0, 3.0]]);
-        assert_eq!(e.spmm(&m, &x).unwrap(), m.spmm(&x).unwrap());
+        assert_eq!(e.spmm(&m, &x).unwrap().tensor(), &m.spmm(&x).unwrap());
     }
 
     #[test]
@@ -215,22 +389,112 @@ mod tests {
         let e = exec();
         let t = Tensor::ones(64, 64);
         let before = e.gpu().recorder().len();
-        e.upload(&t).unwrap();
-        e.download(&t).unwrap();
+        let dev = e.upload(&t).unwrap();
+        let back = e.download(&dev).unwrap();
+        assert_eq!(back, t);
         let evs = e.gpu().recorder().snapshot();
         assert!(evs.len() > before);
-        assert!(evs
+        assert!(evs.iter().any(|ev| ev.kind == EventKind::MemcpyH2D));
+        assert!(evs.iter().any(|ev| ev.kind == EventKind::MemcpyD2H));
+    }
+
+    /// Regression: `download` used to charge an H2D transfer (and then a
+    /// D2H) for a read-back — double-charging in the wrong direction. It
+    /// must cost exactly one D2H event of the tensor's byte size.
+    #[test]
+    fn download_charges_exactly_one_d2h_of_right_size() {
+        let e = exec();
+        let t = Tensor::ones(64, 64);
+        let dev = e.upload(&t).unwrap();
+        let before = e.gpu().recorder().len();
+        e.download(&dev).unwrap();
+        let evs: Vec<_> = e.gpu().recorder().snapshot().split_off(before);
+        assert_eq!(evs.len(), 1, "download must emit exactly one event");
+        assert_eq!(evs[0].kind, EventKind::MemcpyD2H);
+        assert_eq!(evs[0].bytes, t.size_bytes());
+    }
+
+    #[test]
+    fn device_operands_hit_and_charge_no_transfer() {
+        let e = exec();
+        let a = Tensor::ones(16, 16);
+        let da = e.upload(&a).unwrap();
+        let transfers_before = e
+            .gpu()
+            .recorder()
+            .snapshot()
             .iter()
-            .any(|ev| ev.kind == gpu_sim::EventKind::MemcpyH2D));
-        assert!(evs
+            .filter(|ev| ev.kind.is_transfer())
+            .count();
+        let out = e.matmul(&da, &da).unwrap();
+        let transfers_after = e
+            .gpu()
+            .recorder()
+            .snapshot()
             .iter()
-            .any(|ev| ev.kind == gpu_sim::EventKind::MemcpyD2H));
+            .filter(|ev| ev.kind.is_transfer())
+            .count();
+        assert_eq!(
+            transfers_before, transfers_after,
+            "resident operands must not charge transfers"
+        );
+        let snap = e.residency_snapshot();
+        assert_eq!(snap.hits, 2);
+        assert_eq!(snap.misses, 0);
+        assert_eq!(out.device(), 0);
+    }
+
+    #[test]
+    fn host_operands_miss_and_charge_h2d() {
+        let e = exec();
+        let a = Tensor::ones(16, 16);
+        e.matmul(&a, &a).unwrap();
+        let snap = e.residency_snapshot();
+        assert_eq!(snap.misses, 2);
+        assert_eq!(snap.hits, 0);
+        assert_eq!(snap.h2d_bytes, 2 * a.size_bytes());
+        let h2d_events = e
+            .gpu()
+            .recorder()
+            .snapshot()
+            .iter()
+            .filter(|ev| ev.kind == EventKind::MemcpyH2D)
+            .count();
+        assert_eq!(h2d_events, 2);
+    }
+
+    #[test]
+    fn outputs_stay_resident_and_chain_for_free() {
+        let e = exec();
+        let a = Tensor::ones(8, 8);
+        let da = e.upload(&a).unwrap();
+        let h1 = e.matmul(&da, &da).unwrap();
+        let h2 = e.relu(&h1).unwrap();
+        let h3 = e.matmul(&h2, &da).unwrap();
+        let snap = e.residency_snapshot();
+        assert_eq!(snap.misses, 0);
+        assert_eq!(snap.hits, 5);
+        assert_eq!(snap.h2d_bytes, a.size_bytes(), "only the explicit upload");
+        assert!(e.pool().is_resident(h3.id()));
+        let id = h1.id();
+        drop(h1);
+        assert!(!e.pool().is_resident(id));
+    }
+
+    #[test]
+    fn cross_device_tensor_rejected() {
+        let e0 = exec();
+        let e1 = GpuExecutor::new(Arc::new(Gpu::new(1, DeviceSpec::t4())));
+        let t = Tensor::ones(4, 4);
+        let d0 = e0.upload(&t).unwrap();
+        assert!(e1.matmul(&d0, &t).is_err());
+        assert!(e1.download(&d0).is_err());
     }
 
     #[test]
     fn scale_matches_host() {
         let e = exec();
         let t = Tensor::from_rows(&[&[1.0, -2.0]]);
-        assert_eq!(e.scale(&t, 3.0).unwrap(), t.scale(3.0));
+        assert_eq!(e.scale(&t, 3.0).unwrap().tensor(), &t.scale(3.0));
     }
 }

@@ -15,6 +15,9 @@
 //!   [`gpu_sim::Gpu`]: the arithmetic is executed for real on the host
 //!   while the simulator charges roofline time and emits trace events, so
 //!   profilers observe GPU-shaped timelines.
+//! - [`residency`] — placement-aware handles ([`residency::DeviceTensor`],
+//!   [`residency::TensorRef`]) so executor ops charge transfers only on a
+//!   residency miss and keep outputs device-resident.
 //!
 //! ```
 //! use sagegpu_tensor::dense::Tensor;
@@ -27,12 +30,14 @@
 
 pub mod dense;
 pub mod gpu_exec;
+pub mod residency;
 pub mod sparse;
 
 /// Convenient glob-import of the crate's primary types.
 pub mod prelude {
     pub use crate::dense::Tensor;
     pub use crate::gpu_exec::GpuExecutor;
+    pub use crate::residency::{CsrRef, DeviceCsr, DeviceTensor, Placement, TensorRef};
     pub use crate::sparse::CsrMatrix;
     pub use crate::TensorError;
 }

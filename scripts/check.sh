@@ -7,7 +7,8 @@
 # 2. cargo clippy -D warnings — lints, workspace-wide incl. tests/benches
 # 3. cargo doc -D warnings    — rustdoc builds clean (broken intra-doc
 #                               links, private-item leaks, bad HTML)
-# 4. tier-1: release build + full test suite
+# 4. tier-1: release build (all targets: lib, bins, tests, benches) +
+#    full test suite
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -20,8 +21,8 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo doc --no-deps (warnings denied)"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --quiet
 
-echo "==> tier-1: cargo build --release && cargo test -q"
-cargo build --release
-cargo test -q
+echo "==> tier-1: cargo build --release --all-targets && cargo test -q --workspace"
+cargo build --release --all-targets
+cargo test -q --workspace
 
 echo "OK: all checks passed"
