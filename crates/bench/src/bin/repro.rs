@@ -72,6 +72,11 @@ fn experiments() -> Vec<Experiment> {
             "Ablation: device residency (A06)",
             render::render_residency,
         ),
+        (
+            "fusion",
+            "Ablation: fused kernels + stream pipelining (A07)",
+            render::render_fusion,
+        ),
     ]
 }
 

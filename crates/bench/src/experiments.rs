@@ -1019,6 +1019,213 @@ pub fn residency_ablation() -> ResidencyAblation {
 }
 
 // ---------------------------------------------------------------------
+// A07 — fused kernels + stream pipelining ablation
+// ---------------------------------------------------------------------
+
+/// One distributed GCN training run under an execution mode.
+pub struct FusionGcnRow {
+    pub mode: &'static str,
+    /// Total kernel launches charged across both workers.
+    pub kernel_launches: u64,
+    pub sim_time_ms: f64,
+    /// Device 0's share of kernel time lost to fixed launch overhead.
+    pub launch_overhead_fraction: f64,
+    pub final_loss: f32,
+    pub test_accuracy: f64,
+}
+
+/// One 32-query RAG scoring run under an execution mode.
+pub struct FusionRagRow {
+    pub mode: &'static str,
+    pub kernel_launches: u64,
+    pub sim_time_us: f64,
+    /// Engine-busy ÷ makespan: above the serial run's value means the
+    /// two-stream pipeline genuinely overlapped copies with compute.
+    pub overlap_efficiency: f64,
+}
+
+/// The full fusion ablation: distributed GCN training charged per-op vs
+/// with fused epilogues, and RAG scoring per-query vs double-buffered.
+pub struct FusionAblation {
+    pub gcn: Vec<FusionGcnRow>,
+    /// Serial ÷ fused kernel launches for the GCN runs.
+    pub gcn_launch_reduction: f64,
+    /// Serial ÷ fused simulated makespan for the GCN runs.
+    pub gcn_speedup: f64,
+    /// True when both GCN runs produced bit-identical losses, accuracy,
+    /// and trained parameters.
+    pub gcn_identical: bool,
+    pub rag: Vec<FusionRagRow>,
+    /// Serial ÷ fused kernel launches for the RAG runs.
+    pub rag_launch_reduction: f64,
+    /// Serial ÷ fused simulated makespan for the RAG runs.
+    pub rag_speedup: f64,
+    /// True when both RAG runs returned identical scores for every query.
+    pub rag_identical: bool,
+}
+
+/// A07 — the perf-optimization acceptance experiment. Trains the E17 GCN
+/// dataset for 40 epochs on 2 NVLink-connected resident workers with every
+/// logical op its own launch vs fused epilogues + overlapped feature
+/// upload, then scores 32 RAG queries per-query vs through the two-stream
+/// double-buffered batch path. Fusion and overlap only change the cost
+/// model: both comparisons must be value-identical while the fused side
+/// launches strictly fewer kernels in strictly less simulated time.
+pub fn fusion_ablation() -> FusionAblation {
+    use sagegpu_core::gcn::distributed::{
+        train_distributed_with_opts, DistOptions, PartitionStrategy, ResidencyMode,
+    };
+    use sagegpu_core::gcn::exec::ExecMode;
+    use sagegpu_core::gpu::cluster::LinkKind;
+    use sagegpu_core::profiler::bottleneck::analyze;
+    use sagegpu_core::profiler::timeline::Timeline;
+
+    let ds = gcn_dataset();
+    let cfg = TrainConfig {
+        epochs: 40,
+        hidden: 32,
+        ..Default::default()
+    };
+    let run_gcn = |mode: ExecMode| {
+        train_distributed_with_opts(
+            &ds,
+            2,
+            &cfg,
+            PartitionStrategy::Metis,
+            DistOptions {
+                link: LinkKind::NvLink,
+                residency: ResidencyMode::Resident,
+                exec: mode,
+                ..DistOptions::default()
+            },
+        )
+        .expect("trains")
+    };
+    let serial = run_gcn(ExecMode::PerOpSerial);
+    let fused = run_gcn(ExecMode::FusedOverlapped);
+    let gcn_identical = serial.epoch_stats == fused.epoch_stats
+        && serial.test_accuracy == fused.test_accuracy
+        && serial.model.get_parameters() == fused.model.get_parameters();
+    let gcn_launch_reduction = serial.kernel_launches as f64 / fused.kernel_launches.max(1) as f64;
+    let gcn_speedup = serial.sim_time_ns as f64 / fused.sim_time_ns.max(1) as f64;
+    let gcn_rows = [serial, fused]
+        .into_iter()
+        .map(|r| FusionGcnRow {
+            mode: r.exec,
+            kernel_launches: r.kernel_launches,
+            sim_time_ms: r.sim_time_ns as f64 / 1e6,
+            launch_overhead_fraction: r.bottleneck.launch_overhead_fraction,
+            final_loss: r.epoch_stats.last().expect("epochs ran").loss,
+            test_accuracy: r.test_accuracy,
+        })
+        .collect();
+
+    // RAG: the A06 workload — 32 queries against a 60-doc, 96-dim resident
+    // index — scored one launch per query vs chunked across two streams.
+    let embedder = Embedder::new(96, SEED);
+    let corpus = Corpus::synthetic(60, 80, SEED);
+    let rows: Vec<Vec<f32>> = corpus
+        .docs()
+        .iter()
+        .map(|d| embedder.embed(&d.text))
+        .collect();
+    let flat: Vec<f32> = rows.iter().flatten().copied().collect();
+    let mat = Tensor::from_vec(60, 96, flat).expect("dims");
+    let queries: Vec<Vec<f32>> = (0..32)
+        .map(|i| embedder.embed(&Corpus::topic_query(i % 5, 6, i as u64)))
+        .collect();
+
+    let run_rag = |batch: bool| -> (FusionRagRow, Vec<Vec<f32>>) {
+        let gpu = Arc::new(Gpu::new(0, DeviceSpec::t4()));
+        let exec = GpuExecutor::new(Arc::clone(&gpu));
+        let device_mat = exec.upload(&mat).expect("index fits");
+        let scores: Vec<Vec<f32>> = if batch {
+            exec.score_rows_batch(&device_mat, &queries)
+                .expect("scores")
+        } else {
+            queries
+                .iter()
+                .map(|q| exec.score_rows(&device_mat, q).expect("scores"))
+                .collect()
+        };
+        let timeline = Timeline::from_recorder(gpu.recorder());
+        let report = analyze(&timeline, 0, &DeviceSpec::t4());
+        (
+            FusionRagRow {
+                mode: if batch { "fused" } else { "serial" },
+                kernel_launches: gpu.kernels_launched(),
+                sim_time_us: gpu.now_ns() as f64 / 1e3,
+                overlap_efficiency: report.overlap_efficiency,
+            },
+            scores,
+        )
+    };
+    let (rag_serial, serial_scores) = run_rag(false);
+    let (rag_fused, fused_scores) = run_rag(true);
+    let rag_identical = serial_scores == fused_scores;
+    let rag_launch_reduction =
+        rag_serial.kernel_launches as f64 / rag_fused.kernel_launches.max(1) as f64;
+    let rag_speedup = rag_serial.sim_time_us / rag_fused.sim_time_us.max(1e-9);
+
+    FusionAblation {
+        gcn: gcn_rows,
+        gcn_launch_reduction,
+        gcn_speedup,
+        gcn_identical,
+        rag: vec![rag_serial, rag_fused],
+        rag_launch_reduction,
+        rag_speedup,
+        rag_identical,
+    }
+}
+
+/// Machine-readable A07 summary — the content of `BENCH_A07.json`. The
+/// document is emitted by hand because the offline `serde_json` stand-in
+/// only parses.
+pub fn fusion_ablation_json(a: &FusionAblation) -> String {
+    let gcn_rows: Vec<String> = a
+        .gcn
+        .iter()
+        .map(|r| {
+            format!(
+                "{{\"mode\":\"{}\",\"kernel_launches\":{},\"sim_time_ms\":{},\
+                 \"launch_overhead_fraction\":{},\"final_loss\":{},\"test_accuracy\":{}}}",
+                r.mode,
+                r.kernel_launches,
+                r.sim_time_ms,
+                r.launch_overhead_fraction,
+                r.final_loss,
+                r.test_accuracy
+            )
+        })
+        .collect();
+    let rag_rows: Vec<String> = a
+        .rag
+        .iter()
+        .map(|r| {
+            format!(
+                "{{\"mode\":\"{}\",\"kernel_launches\":{},\"sim_time_us\":{},\
+                 \"overlap_efficiency\":{}}}",
+                r.mode, r.kernel_launches, r.sim_time_us, r.overlap_efficiency
+            )
+        })
+        .collect();
+    format!(
+        "{{\n  \"experiment\": \"A07\",\n  \"title\": \"fused kernels + stream pipelining\",\n  \
+         \"gcn\": {{\"rows\": [{}], \"launch_reduction\": {}, \"speedup\": {}, \"identical\": {}}},\n  \
+         \"rag\": {{\"rows\": [{}], \"launch_reduction\": {}, \"speedup\": {}, \"identical\": {}}}\n}}\n",
+        gcn_rows.join(", "),
+        a.gcn_launch_reduction,
+        a.gcn_speedup,
+        a.gcn_identical,
+        rag_rows.join(", "),
+        a.rag_launch_reduction,
+        a.rag_speedup,
+        a.rag_identical
+    )
+}
+
+// ---------------------------------------------------------------------
 // E21 — Appendix A pricing reconciliation
 // ---------------------------------------------------------------------
 
@@ -1183,6 +1390,67 @@ mod tests {
         assert_eq!(a.gcn[1].residency_hit_ratio, 1.0);
         assert_eq!(a.gcn[0].residency_hit_ratio, 0.0);
         assert_eq!(a.rag[1].residency_hit_ratio, 1.0);
+    }
+
+    #[test]
+    fn fusion_ablation_meets_acceptance() {
+        let a = fusion_ablation();
+        // Bit-identical outputs in both domains — fusion and pipelining
+        // only reprice the schedule, never the arithmetic.
+        assert!(a.gcn_identical, "GCN training trajectories diverged");
+        assert!(a.rag_identical, "RAG scores diverged");
+        // Strictly fewer launches AND strictly lower makespan, both domains.
+        assert_eq!(a.gcn[0].mode, "serial");
+        assert_eq!(a.gcn[1].mode, "fused");
+        assert!(
+            a.gcn[1].kernel_launches < a.gcn[0].kernel_launches,
+            "fused GCN launches {} not below serial {}",
+            a.gcn[1].kernel_launches,
+            a.gcn[0].kernel_launches
+        );
+        assert!(
+            a.gcn_speedup > 1.0,
+            "fused GCN makespan not lower (speedup {:.3})",
+            a.gcn_speedup
+        );
+        assert_eq!(a.rag[0].mode, "serial");
+        assert_eq!(a.rag[1].mode, "fused");
+        assert!(
+            a.rag[1].kernel_launches < a.rag[0].kernel_launches,
+            "batched RAG launches {} not below serial {}",
+            a.rag[1].kernel_launches,
+            a.rag[0].kernel_launches
+        );
+        assert!(
+            a.rag_speedup > 1.0,
+            "batched RAG makespan not lower (speedup {:.3})",
+            a.rag_speedup
+        );
+        // Fusing shrinks the launch-overhead share of kernel time; the
+        // two-stream pipeline pushes overlap efficiency above the
+        // back-to-back serial schedule.
+        assert!(
+            a.gcn[1].launch_overhead_fraction < a.gcn[0].launch_overhead_fraction,
+            "fused launch-overhead share {:.3} not below serial {:.3}",
+            a.gcn[1].launch_overhead_fraction,
+            a.gcn[0].launch_overhead_fraction
+        );
+        assert!(
+            a.rag[1].overlap_efficiency > a.rag[0].overlap_efficiency,
+            "pipelined overlap {:.3} not above serial {:.3}",
+            a.rag[1].overlap_efficiency,
+            a.rag[0].overlap_efficiency
+        );
+        // The JSON artifact parses and carries the headline fields.
+        let json = fusion_ablation_json(&a);
+        let v: serde_json::Value = serde_json::from_str(&json).expect("valid JSON");
+        assert_eq!(v["experiment"], "A07");
+        assert_eq!(v["gcn"]["rows"].as_array().expect("rows").len(), 2);
+        assert_eq!(v["rag"]["rows"].as_array().expect("rows").len(), 2);
+        assert_eq!(v["gcn"]["identical"].as_bool(), Some(true));
+        assert_eq!(v["rag"]["identical"].as_bool(), Some(true));
+        assert!(v["gcn"]["speedup"].as_f64().expect("speedup") > 1.0);
+        assert!(v["rag"]["speedup"].as_f64().expect("speedup") > 1.0);
     }
 
     #[test]

@@ -1,8 +1,9 @@
 //! Algorithm 1: distributed GCN training over partitioned subgraphs.
 
-use crate::sequential::{dataset_adjacency, dataset_features, epoch_profile, infer};
+use crate::exec::{charge_epoch, EpochDims, ExecMode};
+use crate::sequential::{dataset_adjacency, dataset_features, infer};
 use crate::{EpochStats, TrainConfig};
-use gpu_sim::{DeviceSpec, EventKind, GpuCluster, LaunchConfig, LinkKind, ResidencySnapshot};
+use gpu_sim::{DeviceSpec, EventKind, GpuCluster, GpuEvent, LinkKind, ResidencySnapshot, StreamId};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use sagegpu_graph::generators::GraphDataset;
@@ -105,6 +106,10 @@ pub struct DistResult {
     pub sched_metrics: SchedulerMetrics,
     /// Which residency mode charged the run's data movement.
     pub residency: &'static str,
+    /// Which execution mode charged the run's kernels ("serial"/"fused").
+    pub exec: &'static str,
+    /// Total kernel launches charged across all workers.
+    pub kernel_launches: u64,
     /// Total host→device bytes charged across all workers.
     pub h2d_bytes: u64,
     /// Total device→host bytes charged across all workers.
@@ -136,6 +141,9 @@ pub struct DistOptions {
     pub fault_plan: FaultPlan,
     pub retry: RetryPolicy,
     pub residency: ResidencyMode,
+    /// How epoch kernels are charged: one launch per op, or fused epilogues
+    /// with copy/compute overlap (the A07 ablation knob).
+    pub exec: ExecMode,
 }
 
 impl Default for DistOptions {
@@ -145,6 +153,7 @@ impl Default for DistOptions {
             fault_plan: FaultPlan::none(),
             retry: RetryPolicy::none(),
             residency: ResidencyMode::Naive,
+            exec: ExecMode::FusedOverlapped,
         }
     }
 }
@@ -241,22 +250,42 @@ pub fn train_distributed_with_opts(
         .build();
 
     // Lines 5–6: build and distribute partitions (features charged as H2D).
+    // In fused+resident mode the upload rides a dedicated copy stream and
+    // hands back an event, so the θ staging (and anything else the default
+    // stream does before epoch 0) overlaps the feature copy instead of
+    // queueing behind it; epoch 0 waits on the event before its first
+    // kernel, exactly like a `cudaStreamWaitEvent` dependency.
+    let overlap_upload =
+        opts.exec == ExecMode::FusedOverlapped && opts.residency == ResidencyMode::Resident;
     let mut partition_keys = Vec::with_capacity(k);
+    let mut feature_ready: Vec<Option<GpuEvent>> = Vec::with_capacity(k);
     for part in 0..k {
         let nodes: Vec<usize> = (0..ds.num_nodes()).filter(|&u| parts[u] == part).collect();
         let data = Arc::new(build_partition(ds, nodes)?);
         let key = taskflow::store::DataKey::fresh();
         let data_clone = Arc::clone(&data);
-        cluster
+        let event = cluster
             .submit_to(part, move |ctx| {
                 // Charge the feature upload to this worker's GPU.
-                let _ = ctx.gpu().htod(data_clone.x.data()).expect("features fit");
+                let gpu = ctx.gpu();
+                let event = if overlap_upload {
+                    let copy = gpu.create_stream();
+                    let _ = gpu
+                        .htod_on(copy, data_clone.x.data())
+                        .expect("features fit");
+                    Some(gpu.record_event(copy))
+                } else {
+                    let _ = gpu.htod(data_clone.x.data()).expect("features fit");
+                    None
+                };
                 ctx.store.put(key, Arc::clone(&data_clone));
+                event
             })
             .expect("worker exists")
             .wait()
             .expect("scatter succeeds");
         partition_keys.push(key);
+        feature_ready.push(event);
     }
 
     // Line 7: global model.
@@ -300,9 +329,17 @@ pub fn train_distributed_with_opts(
         }
         // Line 8 (per epoch): broadcast current θ.
         let params = model.get_parameters();
+        let exec_mode = opts.exec;
         let mut futures = Vec::with_capacity(k);
         for (worker, &key) in partition_keys.iter().enumerate() {
             let params = params.clone();
+            // Epoch 0 must not start its first kernel until the copy-stream
+            // feature upload has landed.
+            let ready = if epoch == 0 {
+                feature_ready[worker]
+            } else {
+                None
+            };
             let fut = cluster
                 .submit_to(worker, move |ctx| {
                     let data = ctx
@@ -310,6 +347,9 @@ pub fn train_distributed_with_opts(
                         .get::<Arc<PartitionData>>(key)
                         .expect("partition scattered");
                     let gpu = ctx.gpu();
+                    if let Some(event) = &ready {
+                        gpu.stream_wait(StreamId::DEFAULT, event);
+                    }
                     // Naive residency: re-stage θ onto the device every
                     // epoch. Resident mode skips this — the parameters are
                     // already in the worker's pool.
@@ -322,35 +362,31 @@ pub fn train_distributed_with_opts(
                     } else {
                         None
                     };
-                    let profile = epoch_profile(
-                        data.nodes.len() as u64,
-                        data.nnz,
-                        in_dim as u64,
-                        hidden as u64,
-                        classes as u64,
-                    );
-                    let launch = LaunchConfig::for_elements(data.nodes.len().max(1) as u64, 128);
-                    let out = gpu
-                        .launch("gcn_epoch_local", launch, profile, || {
-                            // Lines 10–11: local loss and gradients.
-                            let mut local =
-                                Gcn::new(in_dim, hidden, classes, &mut SmallRng::seed_from_u64(0));
-                            local.set_parameters(&params);
-                            let tape = Tape::new();
-                            let fwd = local.forward(&tape, Arc::clone(&data.adj), &data.x);
-                            let loss =
-                                tape.cross_entropy(fwd.logits, &data.labels, &data.train_mask);
-                            let loss_val = tape.value(loss).get(0, 0);
-                            let grads = tape.backward(loss);
-                            let grad_tensors: Vec<Tensor> = fwd
-                                .params
-                                .iter()
-                                .map(|v| grads[v.index()].clone().expect("param grad"))
-                                .collect();
-                            let train_count = data.train_mask.iter().filter(|&&m| m).count();
-                            (grad_tensors, loss_val, train_count)
-                        })
-                        .expect("valid launch");
+                    let dims = EpochDims {
+                        n: data.nodes.len() as u64,
+                        nnz: data.nnz,
+                        d: in_dim as u64,
+                        h: hidden as u64,
+                        c: classes as u64,
+                    };
+                    let out = charge_epoch(gpu, exec_mode, dims, || {
+                        // Lines 10–11: local loss and gradients.
+                        let mut local =
+                            Gcn::new(in_dim, hidden, classes, &mut SmallRng::seed_from_u64(0));
+                        local.set_parameters(&params);
+                        let tape = Tape::new();
+                        let fwd = local.forward(&tape, Arc::clone(&data.adj), &data.x);
+                        let loss = tape.cross_entropy(fwd.logits, &data.labels, &data.train_mask);
+                        let loss_val = tape.value(loss).get(0, 0);
+                        let grads = tape.backward(loss);
+                        let grad_tensors: Vec<Tensor> = fwd
+                            .params
+                            .iter()
+                            .map(|v| grads[v.index()].clone().expect("param grad"))
+                            .collect();
+                        let train_count = data.train_mask.iter().filter(|&&m| m).count();
+                        (grad_tensors, loss_val, train_count)
+                    });
                     // Naive residency: pull the gradients (same footprint
                     // as θ) back through host RAM for the exchange.
                     if let Some(buf) = &staged_theta {
@@ -481,6 +517,10 @@ pub fn train_distributed_with_opts(
         model,
         sched_metrics,
         residency: opts.residency.name(),
+        exec: opts.exec.name(),
+        kernel_launches: (0..k)
+            .map(|w| gpus.device(w).expect("worker device").kernels_launched())
+            .sum(),
         h2d_bytes,
         d2h_bytes,
         p2p_bytes,
@@ -693,6 +733,58 @@ mod tests {
             assert_eq!(c.loss, f.loss, "epoch {} diverged under faults", c.epoch);
         }
         assert_eq!(clean.test_accuracy, faulty.test_accuracy);
+    }
+
+    #[test]
+    fn fused_exec_matches_serial_bitwise_with_fewer_launches() {
+        // The A07 acceptance in miniature: fusion + overlap change the cost
+        // model, never the arithmetic.
+        let d = ds();
+        let serial = train_distributed_with_opts(
+            &d,
+            2,
+            &cfg(),
+            PartitionStrategy::Metis,
+            DistOptions {
+                residency: ResidencyMode::Resident,
+                exec: ExecMode::PerOpSerial,
+                ..DistOptions::default()
+            },
+        )
+        .unwrap();
+        let fused = train_distributed_with_opts(
+            &d,
+            2,
+            &cfg(),
+            PartitionStrategy::Metis,
+            DistOptions {
+                residency: ResidencyMode::Resident,
+                exec: ExecMode::FusedOverlapped,
+                ..DistOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(serial.epoch_stats, fused.epoch_stats, "losses diverged");
+        assert_eq!(serial.test_accuracy, fused.test_accuracy);
+        assert_eq!(
+            serial.model.get_parameters(),
+            fused.model.get_parameters(),
+            "trained parameters must be bit-identical"
+        );
+        assert_eq!(serial.exec, "serial");
+        assert_eq!(fused.exec, "fused");
+        assert!(
+            fused.kernel_launches < serial.kernel_launches,
+            "fused {} vs serial {} launches",
+            fused.kernel_launches,
+            serial.kernel_launches
+        );
+        assert!(
+            fused.sim_time_ns < serial.sim_time_ns,
+            "fused {} vs serial {} ns",
+            fused.sim_time_ns,
+            serial.sim_time_ns
+        );
     }
 
     #[test]

@@ -29,12 +29,14 @@
 //! simulated wall-clock (the timing model is the GPU simulator's).
 
 pub mod distributed;
+pub mod exec;
 pub mod experiment;
 pub mod sequential;
 
 /// Convenient glob-import of the crate's primary types.
 pub mod prelude {
     pub use crate::distributed::{train_distributed, DistResult, PartitionStrategy};
+    pub use crate::exec::{charge_epoch, EpochDims, ExecMode};
     pub use crate::experiment::{scaling_experiment, ScalingRow};
     pub use crate::sequential::{train_sequential, SeqResult};
     pub use crate::TrainConfig;

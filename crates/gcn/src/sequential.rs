@@ -1,7 +1,8 @@
 //! Sequential (single-GPU) GCN training — the paper's baseline.
 
+use crate::exec::{charge_epoch, EpochDims, ExecMode};
 use crate::{EpochStats, TrainConfig};
-use gpu_sim::{DeviceSpec, Gpu, KernelProfile, LaunchConfig};
+use gpu_sim::{DeviceSpec, Gpu, KernelProfile};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use sagegpu_graph::generators::GraphDataset;
@@ -46,6 +47,11 @@ pub fn dataset_features(ds: &GraphDataset) -> Tensor {
 /// The per-epoch kernel cost of one forward+backward pass over a (sub)graph
 /// with `n` nodes, `nnz` adjacency non-zeros, feature width `d`, hidden
 /// width `h`, and `c` classes. Backward ≈ 2× forward (the usual rule).
+///
+/// This is the legacy single-mega-kernel estimate, kept as a coarse
+/// aggregate reference; training now charges the per-phase launch plans of
+/// [`crate::exec::charge_epoch`], which make launch overhead and fusion
+/// visible to the simulator.
 pub fn epoch_profile(n: u64, nnz: u64, d: u64, h: u64, c: u64) -> KernelProfile {
     let fwd_flops = 2 * nnz * d + 2 * n * d * h + 2 * nnz * h + 2 * n * h * c;
     let fwd_bytes = 4 * (2 * nnz * d + n * (d + h) + 2 * nnz * h + n * (h + c) + d * h + h * c);
@@ -100,24 +106,19 @@ pub fn train_sequential(ds: &GraphDataset, cfg: &TrainConfig) -> SeqResult {
 
     // Features and adjacency move to the device once.
     let _feat_buf = gpu.htod(x.data()).expect("features fit");
-    let n = ds.num_nodes() as u64;
-    let nnz = (2 * ds.graph.num_edges() + ds.num_nodes()) as u64;
-    let profile = epoch_profile(
-        n,
-        nnz,
-        ds.feature_dim as u64,
-        cfg.hidden as u64,
-        ds.num_classes as u64,
-    );
-    let cfg_launch = LaunchConfig::for_elements(n, 128);
+    let dims = EpochDims {
+        n: ds.num_nodes() as u64,
+        nnz: (2 * ds.graph.num_edges() + ds.num_nodes()) as u64,
+        d: ds.feature_dim as u64,
+        h: cfg.hidden as u64,
+        c: ds.num_classes as u64,
+    };
 
     let mut epoch_stats = Vec::with_capacity(cfg.epochs);
     for epoch in 0..cfg.epochs {
-        let loss = gpu
-            .launch("gcn_epoch", cfg_launch, profile, || {
-                train_step(&mut model, &mut opt, &adj, &x, &ds.labels, &ds.train_mask)
-            })
-            .expect("launch config is valid");
+        let loss = charge_epoch(&gpu, ExecMode::FusedOverlapped, dims, || {
+            train_step(&mut model, &mut opt, &adj, &x, &ds.labels, &ds.train_mask)
+        });
         epoch_stats.push(EpochStats { epoch, loss });
     }
 

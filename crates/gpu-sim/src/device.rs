@@ -45,6 +45,31 @@ impl StreamId {
     }
 }
 
+/// A recorded point on a stream's timeline (`cudaEventRecord`).
+///
+/// Events capture the timestamp at which all work previously issued on the
+/// recording stream completes; another stream can order itself after that
+/// point with [`Gpu::stream_wait`] — the building block for copy/compute
+/// pipelines that span streams.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GpuEvent {
+    stream: u32,
+    t_ns: u64,
+}
+
+impl GpuEvent {
+    /// Simulated time at which the event fires (all prior work on the
+    /// recording stream has completed).
+    pub fn timestamp_ns(&self) -> u64 {
+        self.t_ns
+    }
+
+    /// Ordinal of the stream the event was recorded on.
+    pub fn stream_ordinal(&self) -> u32 {
+        self.stream
+    }
+}
+
 impl Gpu {
     /// Creates a device with its own private event recorder.
     pub fn new(ordinal: u32, spec: DeviceSpec) -> Self {
@@ -93,6 +118,27 @@ impl Gpu {
         self.advance_to(t);
         self.record_on(EventKind::Sync, "stream-sync", 0, t, 0, 0, 0, 0.0);
         t
+    }
+
+    /// Records an event on `stream` (`cudaEventRecord`): captures the time
+    /// at which everything issued on the stream so far will have finished.
+    pub fn record_event(&self, stream: StreamId) -> GpuEvent {
+        let floor = self.clock_ns.load(Ordering::SeqCst);
+        let streams = self.streams.lock();
+        let t_ns = streams[stream.0 as usize].max(floor);
+        GpuEvent {
+            stream: stream.0,
+            t_ns,
+        }
+    }
+
+    /// Makes all future work on `stream` wait for `event`
+    /// (`cudaStreamWaitEvent`): the stream's next-free slot is pushed to at
+    /// least the event timestamp. Costs no simulated time itself.
+    pub fn stream_wait(&self, stream: StreamId, event: &GpuEvent) {
+        let mut streams = self.streams.lock();
+        let slot = &mut streams[stream.0 as usize];
+        *slot = (*slot).max(event.t_ns);
     }
 
     /// Device ordinal (0-based).
@@ -905,6 +951,98 @@ mod tests {
         let ev = g.recorder().snapshot().into_iter().next().unwrap();
         assert_eq!(ev.stream, s2.ordinal());
         assert_eq!(StreamId::DEFAULT.ordinal(), 0);
+    }
+
+    #[test]
+    fn two_stream_makespan_never_exceeds_serial_sum() {
+        // Makespan of N ops spread over two streams is bounded above by the
+        // serial sum of their durations (and below by the longest op).
+        let durations: Vec<u64> = {
+            let g = gpu();
+            let sizes = [1usize << 18, 1 << 20, 1 << 16, 1 << 19];
+            sizes
+                .iter()
+                .map(|&n| {
+                    let t0 = g.now_ns();
+                    let _ = g.htod(&vec![0u8; n]).unwrap();
+                    g.now_ns() - t0
+                })
+                .collect()
+        };
+        let serial_sum: u64 = durations.iter().sum();
+        let longest = *durations.iter().max().unwrap();
+        let overlapped = {
+            let g = gpu();
+            let s1 = g.create_stream();
+            let s2 = g.create_stream();
+            for (i, &n) in [1usize << 18, 1 << 20, 1 << 16, 1 << 19].iter().enumerate() {
+                let s = if i % 2 == 0 { s1 } else { s2 };
+                let _ = g.htod_on(s, &vec![0u8; n]).unwrap();
+            }
+            g.sync_streams()
+        };
+        assert!(overlapped <= serial_sum, "{overlapped} > {serial_sum}");
+        assert!(overlapped >= longest);
+    }
+
+    #[test]
+    fn per_stream_events_are_monotonic() {
+        let g = gpu();
+        let s = g.create_stream();
+        let cfg = LaunchConfig::for_elements(1 << 14, 256);
+        let p = KernelProfile::elementwise(1 << 14, 2, 8);
+        let mut last = g.record_event(s).timestamp_ns();
+        for _ in 0..4 {
+            g.launch_on(s, "k", cfg, p, || ()).unwrap();
+            let t = g.record_event(s).timestamp_ns();
+            assert!(t > last, "stream clock must advance per launch");
+            last = t;
+        }
+    }
+
+    #[test]
+    fn stream_wait_orders_consumer_after_producer() {
+        let g = gpu();
+        let producer = g.create_stream();
+        let consumer = g.create_stream();
+        // Producer: a sizeable H2D copy. Record an event after it.
+        let _ = g.htod_on(producer, &vec![0u8; 4 << 20]).unwrap();
+        let ev = g.record_event(producer);
+        assert!(ev.timestamp_ns() > 0);
+        assert_eq!(ev.stream_ordinal(), producer.ordinal());
+        // Consumer waits on the event, then launches.
+        g.stream_wait(consumer, &ev);
+        g.launch_on(
+            consumer,
+            "use",
+            LaunchConfig::for_elements(1 << 10, 256),
+            KernelProfile::elementwise(1 << 10, 1, 8),
+            || (),
+        )
+        .unwrap();
+        let evs = g.recorder().snapshot();
+        let kernel = evs.iter().find(|e| e.kind == EventKind::Kernel).unwrap();
+        assert!(
+            kernel.start_ns >= ev.timestamp_ns(),
+            "consumer kernel must start after the producer event"
+        );
+        // Without the wait, an identical kernel on a fresh stream starts at 0.
+        let free = g.create_stream();
+        g.launch_on(
+            free,
+            "unordered",
+            LaunchConfig::for_elements(1 << 10, 256),
+            KernelProfile::elementwise(1 << 10, 1, 8),
+            || (),
+        )
+        .unwrap();
+        let unordered = g
+            .recorder()
+            .snapshot()
+            .into_iter()
+            .find(|e| e.name == "unordered")
+            .unwrap();
+        assert!(unordered.start_ns < ev.timestamp_ns());
     }
 
     #[test]

@@ -113,6 +113,68 @@ impl KernelProfile {
         }
     }
 
+    /// Fused `m×k · k×n` matmul with a bias epilogue (`X·W + b`): the
+    /// bias add happens in registers before the store, so the profile is
+    /// the tiled matmul plus the bias read and `m·n` extra FLOPs — the
+    /// intermediate `m×n` product is never written to or re-read from
+    /// global memory, and only one launch overhead is charged.
+    pub fn fused_linear(m: u64, k: u64, n: u64) -> Self {
+        Self {
+            flops: 2 * m * k * n + m * n,
+            bytes: 4 * (m * k + k * n + n + m * n),
+            access: AccessPattern::Coalesced,
+            registers_per_thread: 64,
+        }
+    }
+
+    /// [`Self::fused_linear`] with a ReLU epilogue as well (`relu(X·W + b)`)
+    /// — one more FLOP per output element, still zero extra traffic.
+    pub fn fused_linear_relu(m: u64, k: u64, n: u64) -> Self {
+        Self {
+            flops: 2 * m * k * n + 2 * m * n,
+            bytes: 4 * (m * k + k * n + n + m * n),
+            access: AccessPattern::Coalesced,
+            registers_per_thread: 72,
+        }
+    }
+
+    /// Fused backward pass of a linear layer: one launch computes
+    /// `dX = dY·Wᵀ`, `dW = Xᵀ·dY` and `dB = colsum(dY)`, reading the
+    /// upstream gradient once instead of three times. `relu_mask` adds the
+    /// in-register masking of `dY` by the forward activation.
+    pub fn fused_linear_bwd(m: u64, k: u64, n: u64, relu_mask: bool) -> Self {
+        let mask_flops = if relu_mask { m * n } else { 0 };
+        Self {
+            flops: 4 * m * k * n + m * n + mask_flops,
+            bytes: 4 * (2 * (m * k) + 2 * (k * n) + m * n + n),
+            access: AccessPattern::Coalesced,
+            registers_per_thread: 80,
+        }
+    }
+
+    /// Sparse aggregation over `nnz` edges at width `d` with a ReLU
+    /// epilogue over the `rows × d` output applied in registers: same
+    /// traffic as [`Self::sparse_aggregate`], plus the epilogue FLOPs.
+    pub fn spmm_relu(nnz: u64, d: u64, rows: u64) -> Self {
+        Self {
+            flops: 2 * nnz * d + rows * d,
+            bytes: 4 * (2 * nnz * d),
+            access: AccessPattern::Random,
+            registers_per_thread: 48,
+        }
+    }
+
+    /// Fused scale + row softmax over `n` elements: one read, one write,
+    /// with the scaling folded into the exponentiation pass.
+    pub fn scale_softmax(n: u64) -> Self {
+        Self {
+            flops: 5 * n,
+            bytes: 8 * n,
+            access: AccessPattern::Coalesced,
+            registers_per_thread: 32,
+        }
+    }
+
     /// Overrides the access pattern.
     pub fn with_access(mut self, access: AccessPattern) -> Self {
         self.access = access;
@@ -227,6 +289,43 @@ mod tests {
         let naive = KernelProfile::matmul_naive(256, 256, 256);
         assert!(naive.bytes > 10 * tiled.bytes);
         assert_eq!(naive.flops, tiled.flops);
+    }
+
+    #[test]
+    fn fused_linear_drops_intermediate_traffic() {
+        let (m, k, n) = (256, 64, 32);
+        // Serial path: matmul writes m*n, bias-add re-reads m*n + n and
+        // writes m*n, relu re-reads and re-writes m*n again.
+        let serial_bytes = KernelProfile::matmul(m, k, n).bytes
+            + 4 * (m * n + n + m * n) // bias add: read out + bias, write out
+            + 4 * (2 * m * n); // relu: read + write
+        let fused = KernelProfile::fused_linear_relu(m, k, n);
+        assert!(fused.bytes < serial_bytes);
+        // FLOPs are identical: matmul + bias + relu.
+        let serial_flops = KernelProfile::matmul(m, k, n).flops + m * n + m * n;
+        assert_eq!(fused.flops, serial_flops);
+        assert!(KernelProfile::fused_linear(m, k, n).bytes == fused.bytes);
+        assert!(KernelProfile::fused_linear(m, k, n).flops < fused.flops);
+    }
+
+    #[test]
+    fn spmm_relu_matches_sparse_aggregate_traffic() {
+        let fused = KernelProfile::spmm_relu(10_000, 32, 500);
+        let base = KernelProfile::sparse_aggregate(10_000, 32);
+        assert_eq!(fused.bytes, base.bytes);
+        assert_eq!(fused.flops, base.flops + 500 * 32);
+        assert_eq!(fused.access, AccessPattern::Random);
+    }
+
+    #[test]
+    fn fused_linear_bwd_reads_gradient_once() {
+        let plain = KernelProfile::fused_linear_bwd(128, 64, 32, false);
+        let masked = KernelProfile::fused_linear_bwd(128, 64, 32, true);
+        assert_eq!(masked.bytes, plain.bytes);
+        assert_eq!(masked.flops, plain.flops + 128 * 32);
+        // Three separate backward matmuls would read dY three times.
+        let three_reads = 4 * 3 * (128 * 32);
+        assert!(plain.bytes < KernelProfile::matmul(128, 32, 64).bytes * 3 + three_reads);
     }
 
     #[test]

@@ -67,7 +67,7 @@ pub mod pool;
 pub mod prelude {
     pub use crate::arch::{DeviceSpec, MemorySpec};
     pub use crate::cluster::{GpuCluster, LinkKind};
-    pub use crate::device::{Gpu, StreamId};
+    pub use crate::device::{Gpu, GpuEvent, StreamId};
     pub use crate::dim::Dim3;
     pub use crate::error::GpuError;
     pub use crate::event::{EventKind, EventRecorder, TraceEvent};
@@ -81,7 +81,7 @@ pub mod prelude {
 
 pub use arch::DeviceSpec;
 pub use cluster::{GpuCluster, LinkKind};
-pub use device::{Gpu, StreamId};
+pub use device::{Gpu, GpuEvent, StreamId};
 pub use dim::Dim3;
 pub use error::GpuError;
 pub use event::{EventKind, EventRecorder, TraceEvent};

@@ -24,10 +24,21 @@ impl Linear {
 
     /// Records the forward pass, returning `(output, weight_var, bias_var)`
     /// — the param vars are needed to read gradients after `backward`.
+    /// Recorded as one fused `linear` node (sgemm + bias epilogue); values
+    /// and gradients are bit-identical to `add_bias(matmul(x, w), b)`.
     pub fn forward(&self, tape: &Tape, x: Var) -> (Var, Var, Var) {
         let w = tape.leaf(self.weight.clone());
         let b = tape.leaf(self.bias.clone());
-        let out = tape.add_bias(tape.matmul(x, w), b);
+        let out = tape.linear(x, w, b);
+        (out, w, b)
+    }
+
+    /// [`Self::forward`] with a fused ReLU epilogue: `relu(x·W + b)` as a
+    /// single node.
+    pub fn forward_relu(&self, tape: &Tape, x: Var) -> (Var, Var, Var) {
+        let w = tape.leaf(self.weight.clone());
+        let b = tape.leaf(self.bias.clone());
+        let out = tape.linear_relu(x, w, b);
         (out, w, b)
     }
 
@@ -66,6 +77,13 @@ impl GcnLayer {
         let agg = tape.spmm(adj, h);
         self.linear.forward(tape, agg)
     }
+
+    /// [`Self::forward`] with the inter-layer ReLU fused into the linear
+    /// transform's epilogue.
+    pub fn forward_relu(&self, tape: &Tape, adj: Arc<CsrMatrix>, h: Var) -> (Var, Var, Var) {
+        let agg = tape.spmm(adj, h);
+        self.linear.forward_relu(tape, agg)
+    }
 }
 
 /// The two-layer GCN of Kipf & Welling:
@@ -95,8 +113,7 @@ impl Gcn {
     /// Records the forward pass over features `x` with adjacency `adj`.
     pub fn forward(&self, tape: &Tape, adj: Arc<CsrMatrix>, x: &Tensor) -> GcnForward {
         let vx = tape.leaf(x.clone());
-        let (h1, w1, b1) = self.layer1.forward(tape, Arc::clone(&adj), vx);
-        let h1 = tape.relu(h1);
+        let (h1, w1, b1) = self.layer1.forward_relu(tape, Arc::clone(&adj), vx);
         let (logits, w2, b2) = self.layer2.forward(tape, adj, h1);
         GcnForward {
             logits,
@@ -173,8 +190,7 @@ impl Mlp {
     /// Records the forward pass over input rows `x`.
     pub fn forward(&self, tape: &Tape, x: &Tensor) -> MlpForward {
         let vx = tape.leaf(x.clone());
-        let (h, w1, b1) = self.layer1.forward(tape, vx);
-        let h = tape.relu(h);
+        let (h, w1, b1) = self.layer1.forward_relu(tape, vx);
         let (logits, w2, b2) = self.layer2.forward(tape, h);
         MlpForward {
             logits,

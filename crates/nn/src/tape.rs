@@ -27,6 +27,11 @@ enum Op {
     AddBias(Var, Var),
     /// `C = relu(A)`.
     Relu(Var),
+    /// Fused linear layer `C = x·w + b`, optionally with a ReLU epilogue —
+    /// one node (and one simulated kernel) instead of two or three. The
+    /// backward pass composes the MatMul/AddBias/Relu rules verbatim, so
+    /// gradients are bit-identical to the unfused chain.
+    Linear { x: Var, w: Var, b: Var, relu: bool },
     /// `C = k · A`.
     Scale(Var, f32),
     /// Masked mean cross-entropy from logits (scalar output).
@@ -141,6 +146,37 @@ impl Tape {
     pub fn relu(&self, a: Var) -> Var {
         let value = self.nodes.borrow()[a.0].value.relu();
         self.push(Op::Relu(a), value)
+    }
+
+    /// Fused `x·w + b` as a single node (the `linear` kernel on the
+    /// simulated device). Values and gradients are bit-identical to
+    /// `add_bias(matmul(x, w), b)`.
+    pub fn linear(&self, x: Var, w: Var, b: Var) -> Var {
+        self.linear_impl(x, w, b, false)
+    }
+
+    /// Fused `relu(x·w + b)` as a single node. Bit-identical to
+    /// `relu(add_bias(matmul(x, w), b))`.
+    pub fn linear_relu(&self, x: Var, w: Var, b: Var) -> Var {
+        self.linear_impl(x, w, b, true)
+    }
+
+    fn linear_impl(&self, x: Var, w: Var, b: Var, relu: bool) -> Var {
+        let value = {
+            let nodes = self.nodes.borrow();
+            let h = nodes[x.0]
+                .value
+                .matmul(&nodes[w.0].value)
+                .expect("matmul shapes")
+                .add_row_broadcast(&nodes[b.0].value)
+                .expect("bias shape");
+            if relu {
+                h.relu()
+            } else {
+                h
+            }
+        };
+        self.push(Op::Linear { x, w, b, relu }, value)
     }
 
     /// `k · a`.
@@ -298,6 +334,35 @@ impl Tape {
                         }
                     }
                     accumulate(&mut grads[a.0], da);
+                }
+                Op::Linear { x, w, b, relu } => {
+                    let mut g = grad;
+                    if *relu {
+                        // `out = relu(pre)` is zero exactly where `pre ≤ 0`
+                        // (max(-0.0, 0.0) = 0.0), so masking by the fused
+                        // output reproduces the unfused Relu rule without
+                        // storing the pre-activation.
+                        let out = &nodes[i].value;
+                        for (gv, &o) in g.data_mut().iter_mut().zip(out.data()) {
+                            if o <= 0.0 {
+                                *gv = 0.0;
+                            }
+                        }
+                    }
+                    let x_val = &nodes[x.0].value;
+                    let w_val = &nodes[w.0].value;
+                    let dx = g.matmul(&w_val.transpose()).expect("dX");
+                    let dw = x_val.transpose().matmul(&g).expect("dW");
+                    let cols = g.cols();
+                    let mut db = Tensor::zeros(1, cols);
+                    for r in 0..g.rows() {
+                        for c in 0..cols {
+                            db.set(0, c, db.get(0, c) + g.get(r, c));
+                        }
+                    }
+                    accumulate(&mut grads[x.0], dx);
+                    accumulate(&mut grads[w.0], dw);
+                    accumulate(&mut grads[b.0], db);
                 }
                 Op::Scale(a, k) => {
                     accumulate(&mut grads[a.0], grad.scale(*k));
@@ -613,6 +678,100 @@ mod tests {
         let grads = tape.backward(loss);
         let num = numerical_grad(&pred0, &run);
         assert_close(grads[v.index()].as_ref().unwrap(), &num, 3e-2);
+    }
+
+    #[test]
+    fn fused_linear_matches_unfused_chain_bitwise() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        let x0 = Tensor::randn(5, 4, &mut rng);
+        let w0 = Tensor::randn(4, 3, &mut rng).scale(0.5);
+        let b0 = Tensor::randn(1, 3, &mut rng).scale(0.2);
+        let labels = vec![0, 2, 1, 0, 2];
+        let mask = vec![true, true, false, true, true];
+
+        let unfused = {
+            let tape = Tape::new();
+            let (vx, vw, vb) = (
+                tape.leaf(x0.clone()),
+                tape.leaf(w0.clone()),
+                tape.leaf(b0.clone()),
+            );
+            let h = tape.relu(tape.add_bias(tape.matmul(vx, vw), vb));
+            let loss = tape.cross_entropy(h, &labels, &mask);
+            let grads = tape.backward(loss);
+            (
+                tape.value(h),
+                tape.value(loss),
+                grads[vx.index()].clone().unwrap(),
+                grads[vw.index()].clone().unwrap(),
+                grads[vb.index()].clone().unwrap(),
+            )
+        };
+        let fused = {
+            let tape = Tape::new();
+            let (vx, vw, vb) = (
+                tape.leaf(x0.clone()),
+                tape.leaf(w0.clone()),
+                tape.leaf(b0.clone()),
+            );
+            let h = tape.linear_relu(vx, vw, vb);
+            let loss = tape.cross_entropy(h, &labels, &mask);
+            let grads = tape.backward(loss);
+            (
+                tape.value(h),
+                tape.value(loss),
+                grads[vx.index()].clone().unwrap(),
+                grads[vw.index()].clone().unwrap(),
+                grads[vb.index()].clone().unwrap(),
+            )
+        };
+        // Bitwise equality, not approximate: fusion only merges nodes.
+        assert_eq!(unfused.0, fused.0);
+        assert_eq!(unfused.1, fused.1);
+        assert_eq!(unfused.2, fused.2);
+        assert_eq!(unfused.3, fused.3);
+        assert_eq!(unfused.4, fused.4);
+
+        // Without the epilogue, linear == add_bias(matmul).
+        let tape = Tape::new();
+        let (vx, vw, vb) = (tape.leaf(x0.clone()), tape.leaf(w0), tape.leaf(b0));
+        let plain = tape.linear(vx, vw, vb);
+        let chain = tape.add_bias(tape.matmul(vx, vw), vb);
+        assert_eq!(tape.value(plain), tape.value(chain));
+    }
+
+    #[test]
+    fn fused_linear_gradient_matches_numerical() {
+        let mut rng = SmallRng::seed_from_u64(10);
+        let x0 = Tensor::randn(4, 3, &mut rng);
+        let w0 = Tensor::randn(3, 2, &mut rng).scale(0.5);
+        let b0 = Tensor::randn(1, 2, &mut rng).scale(0.3);
+        let labels = vec![0, 1, 1, 0];
+        let mask = vec![true, true, true, true];
+        let run = |w: &Tensor| -> f32 {
+            let tape = Tape::new();
+            let (vx, vw, vb) = (
+                tape.leaf(x0.clone()),
+                tape.leaf(w.clone()),
+                tape.leaf(b0.clone()),
+            );
+            let h = tape.linear_relu(vx, vw, vb);
+            tape.value(tape.cross_entropy(h, &labels, &mask)).get(0, 0)
+        };
+        let tape = Tape::new();
+        let (vx, vw, vb) = (
+            tape.leaf(x0.clone()),
+            tape.leaf(w0.clone()),
+            tape.leaf(b0.clone()),
+        );
+        let h = tape.linear_relu(vx, vw, vb);
+        let loss = tape.cross_entropy(h, &labels, &mask);
+        let grads = tape.backward(loss);
+        assert_close(
+            grads[vw.index()].as_ref().unwrap(),
+            &numerical_grad(&w0, &run),
+            3e-3,
+        );
     }
 
     #[test]

@@ -48,6 +48,16 @@ pub struct BottleneckReport {
     pub transfer_fraction: f64,
     /// Fraction of makespan idle.
     pub idle_fraction: f64,
+    /// Number of kernel launches on this device's lane.
+    pub kernel_launches: u64,
+    /// Share of total kernel time that is fixed launch overhead — the cost
+    /// fusion exists to amortize (clamped to 1.0 for synthetic traces with
+    /// durations below the spec's overhead).
+    pub launch_overhead_fraction: f64,
+    /// Engine-busy time ÷ makespan. When copies and kernels run on
+    /// overlapped streams this exceeds the device's busy *fraction* — and
+    /// can exceed 1.0 when the lanes are saturated.
+    pub overlap_efficiency: f64,
     pub kernels: Vec<KernelVerdict>,
     /// Host→device bytes moved on this device's lane.
     pub h2d_bytes: u64,
@@ -110,6 +120,14 @@ pub fn analyze_with_residency(
     let kernel_fraction = kernel_ns as f64 / span as f64;
     let transfer_fraction = transfer_ns as f64 / span as f64;
     let idle_fraction = idle_ns as f64 / span as f64;
+
+    let kernel_launches = lane.iter().filter(|e| e.kind == EventKind::Kernel).count() as u64;
+    let launch_overhead_fraction = if kernel_ns == 0 {
+        0.0
+    } else {
+        (kernel_launches as f64 * spec.launch_overhead_ns / kernel_ns as f64).min(1.0)
+    };
+    let overlap_efficiency = timeline.engine_busy_ns(device) as f64 / span as f64;
 
     // Per-kernel roofline verdicts.
     let machine_balance = spec.peak_flops() / spec.memory.bandwidth_bytes_per_sec;
@@ -198,6 +216,13 @@ pub fn analyze_with_residency(
                 .to_owned(),
         );
     }
+    if launch_overhead_fraction > 0.25 {
+        recommendations.push(
+            "Launch overhead is a large share of kernel time: fuse adjacent kernels (bias and \
+             activation epilogues, backward triples) so each launch does more work."
+                .to_owned(),
+        );
+    }
     if kernels.iter().any(|k| k.mean_occupancy < 0.25) {
         recommendations.push(
             "Some kernels run below 25% occupancy: reduce per-thread registers or shrink shared \
@@ -212,6 +237,9 @@ pub fn analyze_with_residency(
         kernel_fraction,
         transfer_fraction,
         idle_fraction,
+        kernel_launches,
+        launch_overhead_fraction,
+        overlap_efficiency,
         kernels,
         h2d_bytes,
         d2h_bytes,
@@ -417,6 +445,74 @@ mod tests {
         assert_eq!(report.h2d_bytes, 5120);
         assert_eq!(report.d2h_bytes, 512);
         assert_eq!(report.p2p_bytes, 2048);
+    }
+
+    #[test]
+    fn launch_overhead_share_counts_launches_and_advises_fusion() {
+        // Ten 5 µs kernels on a T4 (4 µs overhead each): 40 µs of the 50 µs
+        // of kernel time is overhead → 0.8 share, and the fusion advice
+        // fires.
+        let events = (0..10)
+            .map(|i| {
+                ev(
+                    EventKind::Kernel,
+                    "tiny",
+                    i * 5_000,
+                    5_000,
+                    1 << 20,
+                    1 << 20,
+                    0.9,
+                )
+            })
+            .collect();
+        let report = analyze(&Timeline::from_events(events), 0, &spec());
+        assert_eq!(report.kernel_launches, 10);
+        assert!((report.launch_overhead_fraction - 0.8).abs() < 1e-9);
+        assert!(report
+            .recommendations
+            .iter()
+            .any(|r| r.contains("fuse adjacent kernels")));
+        // One big kernel doing the same work has a tiny overhead share.
+        let one = Timeline::from_events(vec![ev(
+            EventKind::Kernel,
+            "fused",
+            0,
+            50_000,
+            10 << 20,
+            10 << 20,
+            0.9,
+        )]);
+        let fused = analyze(&one, 0, &spec());
+        assert_eq!(fused.kernel_launches, 1);
+        assert!(fused.launch_overhead_fraction < 0.1);
+        assert!(!fused
+            .recommendations
+            .iter()
+            .any(|r| r.contains("fuse adjacent kernels")));
+    }
+
+    #[test]
+    fn overlap_efficiency_exceeds_busy_fraction_when_streams_overlap() {
+        // A copy on stream 1 fully hidden behind a kernel on stream 0:
+        // engine-busy is 2× the makespan-covering kernel.
+        let mut copy = ev(EventKind::MemcpyH2D, "htod", 0, 1000, 1 << 20, 0, 0.0);
+        copy.stream = 1;
+        let kernel = ev(EventKind::Kernel, "k", 0, 1000, 1 << 20, 1 << 30, 0.9);
+        let overlapped = analyze(
+            &Timeline::from_events(vec![kernel.clone(), copy]),
+            0,
+            &spec(),
+        );
+        assert!((overlapped.overlap_efficiency - 2.0).abs() < 1e-9);
+        // The same work serialized on one stream shows no overlap.
+        let mut serial_copy = ev(EventKind::MemcpyH2D, "htod", 1000, 1000, 1 << 20, 0, 0.0);
+        serial_copy.stream = 0;
+        let serial = analyze(
+            &Timeline::from_events(vec![kernel, serial_copy]),
+            0,
+            &spec(),
+        );
+        assert!((serial.overlap_efficiency - 1.0).abs() < 1e-9);
     }
 
     #[test]

@@ -12,16 +12,23 @@
 
 use crate::json::{push_f64, push_str_literal};
 use gpu_sim::TraceEvent;
+use std::collections::BTreeSet;
 use std::fmt::Write;
 
-/// Serializes events to a Chrome-trace JSON string.
+/// Serializes events to a Chrome-trace JSON string. Besides the `"X"`
+/// slices, the document carries `"M"` (metadata) events naming one process
+/// per device and one thread per (device, stream) pair, so trace viewers
+/// render multi-stream overlap as separate labelled rows instead of one
+/// anonymous lane.
 pub fn to_chrome_trace(events: &[TraceEvent]) -> String {
-    let mut out = String::with_capacity(256 + events.len() * 192);
+    let mut out = String::with_capacity(512 + events.len() * 192);
     out.push_str("{\n  \"traceEvents\": [");
-    for (i, ev) in events.iter().enumerate() {
-        if i > 0 {
+    let mut emitted = 0usize;
+    for ev in events.iter() {
+        if emitted > 0 {
             out.push(',');
         }
+        emitted += 1;
         out.push_str("\n    {\n      \"name\": ");
         push_str_literal(&mut out, &ev.name);
         out.push_str(",\n      \"cat\": ");
@@ -38,7 +45,41 @@ pub fn to_chrome_trace(events: &[TraceEvent]) -> String {
         push_f64(&mut out, ev.occupancy);
         out.push_str(" }\n    }");
     }
-    if !events.is_empty() {
+
+    let mut devices: BTreeSet<u32> = BTreeSet::new();
+    let mut lanes: BTreeSet<(u32, u32)> = BTreeSet::new();
+    for ev in events.iter() {
+        devices.insert(ev.device);
+        lanes.insert((ev.device, ev.stream));
+    }
+    for d in devices {
+        if emitted > 0 {
+            out.push(',');
+        }
+        emitted += 1;
+        let _ = write!(
+            out,
+            "\n    {{ \"name\": \"process_name\", \"ph\": \"M\", \"pid\": {d}, \"args\": {{ \"name\": \"gpu{d}\" }} }}"
+        );
+    }
+    for (d, s) in lanes {
+        if emitted > 0 {
+            out.push(',');
+        }
+        emitted += 1;
+        let label = if s == 0 {
+            format!("stream {s} (default)")
+        } else {
+            format!("stream {s}")
+        };
+        let _ = write!(
+            out,
+            "\n    {{ \"name\": \"thread_name\", \"ph\": \"M\", \"pid\": {d}, \"tid\": {s}, \"args\": {{ \"name\": "
+        );
+        push_str_literal(&mut out, &label);
+        out.push_str(" } }");
+    }
+    if emitted > 0 {
         out.push_str("\n  ");
     }
     out.push_str("],\n  \"displayTimeUnit\": \"ns\"\n}");
@@ -69,7 +110,8 @@ mod tests {
         let json = to_chrome_trace(&[ev("sgemm", 0, 1000, 500)]);
         let parsed: serde_json::Value = serde_json::from_str(&json).unwrap();
         let events = parsed["traceEvents"].as_array().unwrap();
-        assert_eq!(events.len(), 1);
+        // One slice + one process_name + one thread_name metadata event.
+        assert_eq!(events.len(), 3);
         let e = &events[0];
         assert_eq!(e["name"], "sgemm");
         assert_eq!(e["ph"], "X");
@@ -88,6 +130,28 @@ mod tests {
         let events = parsed["traceEvents"].as_array().unwrap();
         assert_eq!(events[0]["pid"], 0);
         assert_eq!(events[1]["pid"], 2);
+    }
+
+    #[test]
+    fn streams_get_named_thread_lanes() {
+        let mut copy = ev("htod", 0, 0, 10);
+        copy.stream = 1;
+        copy.kind = EventKind::MemcpyH2D;
+        let json = to_chrome_trace(&[ev("k", 0, 0, 10), copy]);
+        let parsed: serde_json::Value = serde_json::from_str(&json).unwrap();
+        let events = parsed["traceEvents"].as_array().unwrap();
+        let meta: Vec<&serde_json::Value> = events.iter().filter(|e| e["ph"] == "M").collect();
+        // One process_name for device 0, thread_name for streams 0 and 1.
+        assert_eq!(meta.len(), 3);
+        assert!(meta
+            .iter()
+            .any(|e| e["name"] == "process_name" && e["args"]["name"] == "gpu0"));
+        assert!(meta.iter().any(|e| e["name"] == "thread_name"
+            && e["tid"] == 0
+            && e["args"]["name"] == "stream 0 (default)"));
+        assert!(meta.iter().any(|e| e["name"] == "thread_name"
+            && e["tid"] == 1
+            && e["args"]["name"] == "stream 1"));
     }
 
     #[test]

@@ -94,6 +94,19 @@ impl Timeline {
         busy
     }
 
+    /// Engine-busy nanoseconds of one device: the *sum* of non-range event
+    /// durations, so work running concurrently on different streams counts
+    /// once per stream. Dividing by the makespan gives the overlap
+    /// efficiency — a value above 1× busy time means copies and kernels
+    /// genuinely ran side by side.
+    pub fn engine_busy_ns(&self, device: u32) -> u64 {
+        self.lane(device)
+            .iter()
+            .filter(|e| e.kind != EventKind::Range)
+            .map(|e| e.dur_ns)
+            .sum()
+    }
+
     /// Device utilization relative to the *global* makespan, in `[0, 1]`.
     pub fn utilization(&self, device: u32) -> f64 {
         let span = self.makespan_ns();
@@ -194,6 +207,20 @@ mod tests {
             ev(0, EventKind::Range, 0, 1000), // ignored
         ]);
         assert_eq!(t.busy_ns(0), 20);
+    }
+
+    #[test]
+    fn engine_busy_counts_overlapped_streams_separately() {
+        let mut copy = ev(0, EventKind::MemcpyH2D, 0, 10);
+        copy.stream = 1;
+        let t = Timeline::from_events(vec![
+            ev(0, EventKind::Kernel, 0, 10), // overlaps the stream-1 copy
+            copy,
+            ev(0, EventKind::Range, 0, 1000), // ignored
+        ]);
+        // Union busy time merges the overlap; engine-busy does not.
+        assert_eq!(t.busy_ns(0), 10);
+        assert_eq!(t.engine_busy_ns(0), 20);
     }
 
     #[test]

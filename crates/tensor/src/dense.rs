@@ -269,12 +269,22 @@ impl Tensor {
         self.map(|x| x.max(0.0))
     }
 
-    /// Transpose.
+    /// Transpose, processed in `32 × 32` blocks so both the source reads
+    /// and the destination writes stay inside one cache-resident tile —
+    /// the naive row-major/column-major walk strides through the whole
+    /// matrix for every element on one side.
     pub fn transpose(&self) -> Self {
+        const BLOCK: usize = 32;
         let mut out = Self::zeros(self.cols, self.rows);
-        for r in 0..self.rows {
-            for c in 0..self.cols {
-                out.data[c * self.rows + r] = self.data[r * self.cols + c];
+        for rb in (0..self.rows).step_by(BLOCK) {
+            let r_end = (rb + BLOCK).min(self.rows);
+            for cb in (0..self.cols).step_by(BLOCK) {
+                let c_end = (cb + BLOCK).min(self.cols);
+                for r in rb..r_end {
+                    for c in cb..c_end {
+                        out.data[c * self.rows + r] = self.data[r * self.cols + c];
+                    }
+                }
             }
         }
         out
@@ -342,14 +352,15 @@ impl Tensor {
         out
     }
 
-    /// Index of the max element in each row.
+    /// Index of the max element in each row. Uses IEEE total ordering, so
+    /// NaN logits rank highest instead of panicking mid-comparison.
     pub fn argmax_rows(&self) -> Vec<usize> {
         self.data
             .chunks(self.cols)
             .map(|row| {
                 row.iter()
                     .enumerate()
-                    .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+                    .max_by(|a, b| a.1.total_cmp(b.1))
                     .map(|(i, _)| i)
                     .unwrap_or(0)
             })
@@ -455,6 +466,32 @@ mod tests {
         let a = Tensor::randn(4, 6, &mut rng);
         assert_eq!(a.transpose().transpose(), a);
         assert_eq!(a.transpose().get(5, 3), a.get(3, 5));
+    }
+
+    #[test]
+    fn transpose_crosses_block_boundaries() {
+        // Shapes straddling the 32-wide blocking in both dimensions.
+        let mut rng = SmallRng::seed_from_u64(7);
+        for &(r, c) in &[(1, 1), (31, 33), (32, 32), (33, 31), (65, 2), (2, 65)] {
+            let a = Tensor::randn(r, c, &mut rng);
+            let t = a.transpose();
+            assert_eq!(t.shape(), (c, r));
+            for i in 0..r {
+                for j in 0..c {
+                    assert_eq!(t.get(j, i), a.get(i, j), "({i},{j}) of {r}x{c}");
+                }
+            }
+        }
+    }
+
+    /// Regression: `argmax_rows` used `partial_cmp(..).expect("finite")`
+    /// and panicked on the first NaN logit a diverged model produced.
+    #[test]
+    fn argmax_rows_tolerates_nan_logits() {
+        let a = Tensor::from_rows(&[&[1.0, f32::NAN, 0.5], &[0.0, -1.0, 2.0]]);
+        let idx = a.argmax_rows();
+        // total_cmp ranks NaN above every finite value.
+        assert_eq!(idx, vec![1, 2]);
     }
 
     #[test]

@@ -30,8 +30,13 @@ use crate::residency::{CsrRef, DeviceCsr, DeviceTensor, TensorRef};
 use crate::sparse::CsrMatrix;
 use crate::TensorError;
 use gpu_sim::pool::{MemoryPool, ResidencySnapshot, ResidencyStats};
-use gpu_sim::{Gpu, GpuError, KernelProfile, LaunchConfig};
-use std::sync::Arc;
+use gpu_sim::{Gpu, GpuError, KernelProfile, LaunchConfig, StreamId};
+use std::sync::{Arc, Mutex};
+
+/// Queries per chunk in [`GpuExecutor::score_rows_batch`]'s two-stream
+/// pipeline — small enough to keep both streams busy, large enough to
+/// amortize launch overhead.
+const SCORE_CHUNK: usize = 8;
 
 /// A tensor-op executor bound to one simulated GPU.
 ///
@@ -41,6 +46,8 @@ pub struct GpuExecutor {
     gpu: Arc<Gpu>,
     pool: MemoryPool,
     residency: Arc<ResidencyStats>,
+    /// Lazily created stream pair for double-buffered batch scoring.
+    pipeline: Arc<Mutex<Option<(StreamId, StreamId)>>>,
 }
 
 impl GpuExecutor {
@@ -51,6 +58,7 @@ impl GpuExecutor {
             gpu,
             pool,
             residency: Arc::new(ResidencyStats::new()),
+            pipeline: Arc::new(Mutex::new(None)),
         }
     }
 
@@ -240,6 +248,89 @@ impl GpuExecutor {
         self.make_resident(out)
     }
 
+    /// Fused linear layer `X·W + b`: the bias add runs in the sgemm
+    /// epilogue, so the `m×n` product never round-trips through global
+    /// memory and only one launch overhead and one output allocation are
+    /// charged (vs. two of each on the unfused path). Host arithmetic is
+    /// the exact composition of `matmul` and `add_row_broadcast`, so the
+    /// values are bit-identical to the serial ops.
+    pub fn linear<'a, 'b, 'c>(
+        &self,
+        x: impl Into<TensorRef<'a>>,
+        w: impl Into<TensorRef<'b>>,
+        b: impl Into<TensorRef<'c>>,
+    ) -> Result<DeviceTensor, TensorError> {
+        let (x, _gx) = self.stage(x.into())?;
+        let (w, _gw) = self.stage(w.into())?;
+        let (b, _gb) = self.stage(b.into())?;
+        let (m, k) = x.shape();
+        let n = w.cols();
+        let cfg = LaunchConfig::for_matrix(m as u64, n as u64, 16);
+        let profile = KernelProfile::fused_linear(m as u64, k as u64, n as u64);
+        let out = self
+            .gpu
+            .launch("linear", cfg, profile, || x.matmul(w)?.add_row_broadcast(b))??;
+        self.make_resident(out)
+    }
+
+    /// [`Self::linear`] with a ReLU epilogue as well: `relu(X·W + b)` in a
+    /// single launch instead of three.
+    pub fn linear_relu<'a, 'b, 'c>(
+        &self,
+        x: impl Into<TensorRef<'a>>,
+        w: impl Into<TensorRef<'b>>,
+        b: impl Into<TensorRef<'c>>,
+    ) -> Result<DeviceTensor, TensorError> {
+        let (x, _gx) = self.stage(x.into())?;
+        let (w, _gw) = self.stage(w.into())?;
+        let (b, _gb) = self.stage(b.into())?;
+        let (m, k) = x.shape();
+        let n = w.cols();
+        let cfg = LaunchConfig::for_matrix(m as u64, n as u64, 16);
+        let profile = KernelProfile::fused_linear_relu(m as u64, k as u64, n as u64);
+        let out = self.gpu.launch("linear_relu", cfg, profile, || {
+            Ok::<_, TensorError>(x.matmul(w)?.add_row_broadcast(b)?.relu())
+        })??;
+        self.make_resident(out)
+    }
+
+    /// Fused sparse aggregation + ReLU: the epilogue applies in registers
+    /// before the store, charging one launch and allocating once.
+    pub fn spmm_relu<'a, 'b>(
+        &self,
+        a: impl Into<CsrRef<'a>>,
+        x: impl Into<TensorRef<'b>>,
+    ) -> Result<DeviceTensor, TensorError> {
+        let (a, _ga) = self.stage_csr(a.into())?;
+        let (x, _gx) = self.stage(x.into())?;
+        let nnz = a.nnz() as u64;
+        let d = x.cols() as u64;
+        let (rows, _) = a.shape();
+        let cfg = LaunchConfig::for_elements(rows as u64, 128);
+        let profile = KernelProfile::spmm_relu(nnz.max(1), d.max(1), rows as u64);
+        let out = self
+            .gpu
+            .launch("spmm_relu", cfg, profile, || a.spmm(x).map(|t| t.relu()))??;
+        self.make_resident(out)
+    }
+
+    /// Fused scale + row softmax (`softmax(k·X)`, the attention-score
+    /// idiom): one read and one write instead of two of each.
+    pub fn scale_softmax<'a>(
+        &self,
+        a: impl Into<TensorRef<'a>>,
+        kf: f32,
+    ) -> Result<DeviceTensor, TensorError> {
+        let (a, _g) = self.stage(a.into())?;
+        let n = a.len() as u64;
+        let cfg = LaunchConfig::for_elements(n, 256);
+        let profile = KernelProfile::scale_softmax(n);
+        let out = self
+            .gpu
+            .launch("scale_softmax", cfg, profile, || a.scale(kf).softmax_rows())?;
+        self.make_resident(out)
+    }
+
     /// Sparse-dense product (GCN aggregation) on the device: random access,
     /// so the cost model uses the gather profile.
     pub fn spmm<'a, 'b>(
@@ -302,6 +393,84 @@ impl GpuExecutor {
         self.gpu.dtoh_pooled(&score_lease)?;
         self.residency.add_d2h(score_lease.bytes());
         Ok(scores)
+    }
+
+    /// The lazily created two-stream pair used by the batch scorer.
+    fn pipeline_streams(&self) -> (StreamId, StreamId) {
+        let mut guard = self.pipeline.lock().expect("pipeline lock");
+        *guard.get_or_insert_with(|| (self.gpu.create_stream(), self.gpu.create_stream()))
+    }
+
+    /// Batched, double-buffered [`Self::score_rows`]: queries are chunked
+    /// and alternated across two streams so the H2D upload of chunk `k+1`
+    /// overlaps the `dot_score` kernel of chunk `k`, and each chunk's
+    /// kernel scores all of its queries in one launch (the matrix is read
+    /// once per chunk instead of once per query). Per-row arithmetic is the
+    /// identical dot-product expression, so scores are bit-identical to
+    /// calling [`Self::score_rows`] per query.
+    pub fn score_rows_batch<'a>(
+        &self,
+        mat: impl Into<TensorRef<'a>>,
+        queries: &[Vec<f32>],
+    ) -> Result<Vec<Vec<f32>>, TensorError> {
+        let (mat, _g) = self.stage(mat.into())?;
+        let (rows, cols) = mat.shape();
+        for q in queries {
+            if q.len() != cols {
+                return Err(TensorError::ShapeMismatch {
+                    expected: format!("query of length {cols}"),
+                    got: format!("{}", q.len()),
+                });
+            }
+        }
+        if queries.is_empty() {
+            return Ok(Vec::new());
+        }
+        let (s1, s2) = self.pipeline_streams();
+        // Both pipeline streams must observe the (possibly just staged)
+        // matrix before touching it.
+        let staged = self.gpu.record_event(StreamId::DEFAULT);
+        self.gpu.stream_wait(s1, &staged);
+        self.gpu.stream_wait(s2, &staged);
+        let mut out = Vec::with_capacity(queries.len());
+        for (i, chunk) in queries.chunks(SCORE_CHUNK).enumerate() {
+            let s = if i % 2 == 0 { s1 } else { s2 };
+            let q = chunk.len();
+            let query_bytes = (4 * q * cols) as u64;
+            let _q_lease = self.gpu.htod_pooled_on(s, &self.pool, query_bytes)?;
+            self.residency.add_h2d(query_bytes);
+            let cfg = LaunchConfig::for_elements((rows * q) as u64, 256);
+            let profile = KernelProfile {
+                flops: (2 * rows * cols * q) as u64,
+                bytes: 4 * (rows * cols + q * cols + q * rows) as u64,
+                access: gpu_sim::AccessPattern::Coalesced,
+                registers_per_thread: 32,
+            };
+            let scores: Vec<Vec<f32>> =
+                self.gpu.launch_on(s, "dot_score_batch", cfg, profile, || {
+                    chunk
+                        .iter()
+                        .map(|query| {
+                            (0..rows)
+                                .map(|r| {
+                                    mat.row(r)
+                                        .iter()
+                                        .zip(query)
+                                        .map(|(a, b)| a * b)
+                                        .sum::<f32>()
+                                })
+                                .collect()
+                        })
+                        .collect()
+                })?;
+            let score_bytes = (4 * q * rows) as u64;
+            let score_lease = self.pool.lease(score_bytes)?;
+            self.gpu.dtoh_pooled_on(s, &score_lease)?;
+            self.residency.add_d2h(score_bytes);
+            out.extend(scores);
+        }
+        self.gpu.sync_streams();
+        Ok(out)
     }
 }
 
@@ -496,5 +665,134 @@ mod tests {
         let e = exec();
         let t = Tensor::from_rows(&[&[1.0, -2.0]]);
         assert_eq!(e.scale(&t, 3.0).unwrap().tensor(), &t.scale(3.0));
+    }
+
+    #[test]
+    fn fused_linear_is_bit_identical_to_serial_ops_with_one_launch() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        let x = Tensor::randn(24, 16, &mut rng);
+        let w = Tensor::randn(16, 8, &mut rng);
+        let b = Tensor::randn(1, 8, &mut rng);
+        let serial_value = x.matmul(&w).unwrap().add_row_broadcast(&b).unwrap().relu();
+
+        let e = exec();
+        let fused = e.linear_relu(&x, &w, &b).unwrap();
+        assert_eq!(
+            fused.tensor(),
+            &serial_value,
+            "fusion must not change values"
+        );
+        assert_eq!(e.gpu().kernels_launched(), 1, "one launch for the chain");
+
+        let plain = exec();
+        let lin = plain.linear(&x, &w, &b).unwrap();
+        assert_eq!(
+            lin.tensor(),
+            &x.matmul(&w).unwrap().add_row_broadcast(&b).unwrap()
+        );
+        assert_eq!(plain.gpu().kernels_launched(), 1);
+    }
+
+    #[test]
+    fn fused_linear_is_cheaper_than_serial_chain() {
+        let mut rng = SmallRng::seed_from_u64(12);
+        let x = Tensor::randn(256, 64, &mut rng);
+        let w = Tensor::randn(64, 32, &mut rng);
+        let b = Tensor::randn(1, 32, &mut rng);
+        // Broadcast the bias to full shape so the serial chain can use the
+        // elementwise add (the unfused bias-add launch).
+        let bias_full = Tensor::zeros(256, 32).add_row_broadcast(&b).unwrap();
+        let serial_ns = {
+            let e = exec();
+            let dx = e.upload(&x).unwrap();
+            let dw = e.upload(&w).unwrap();
+            let dbias = e.upload(&bias_full).unwrap();
+            let t0 = e.gpu().now_ns();
+            let m = e.matmul(&dx, &dw).unwrap();
+            let s = e.add(&m, &dbias).unwrap();
+            let _ = e.relu(&s).unwrap();
+            e.gpu().now_ns() - t0
+        };
+        let fused_ns = {
+            let e = exec();
+            let dx = e.upload(&x).unwrap();
+            let dw = e.upload(&w).unwrap();
+            let db = e.upload(&b).unwrap();
+            let t0 = e.gpu().now_ns();
+            let _ = e.linear_relu(&dx, &dw, &db).unwrap();
+            e.gpu().now_ns() - t0
+        };
+        assert!(fused_ns < serial_ns, "{fused_ns} vs {serial_ns}");
+    }
+
+    #[test]
+    fn spmm_relu_matches_host_composition() {
+        let e = exec();
+        let m = CsrMatrix::from_triplets(3, 3, &[(0, 1, -2.0), (1, 2, 1.0), (2, 0, 3.0)]).unwrap();
+        let x = Tensor::from_rows(&[&[1.0, -1.0], &[2.0, -2.0], &[3.0, -3.0]]);
+        let fused = e.spmm_relu(&m, &x).unwrap();
+        assert_eq!(fused.tensor(), &m.spmm(&x).unwrap().relu());
+        assert_eq!(e.gpu().kernels_launched(), 1);
+    }
+
+    #[test]
+    fn scale_softmax_matches_host_composition() {
+        let e = exec();
+        let t = Tensor::from_rows(&[&[1.0, 2.0, 3.0], &[-1.0, 0.0, 1.0]]);
+        let fused = e.scale_softmax(&t, 0.5).unwrap();
+        assert_eq!(fused.tensor(), &t.scale(0.5).softmax_rows());
+        assert_eq!(e.gpu().kernels_launched(), 1);
+    }
+
+    #[test]
+    fn score_rows_batch_matches_serial_scores_bitwise() {
+        let mut rng = SmallRng::seed_from_u64(13);
+        let mat = Tensor::randn(40, 24, &mut rng);
+        let queries: Vec<Vec<f32>> = (0..20)
+            .map(|_| Tensor::randn(1, 24, &mut rng).data().to_vec())
+            .collect();
+        let serial = {
+            let e = exec();
+            let dm = e.upload(&mat).unwrap();
+            queries
+                .iter()
+                .map(|q| e.score_rows(&dm, q).unwrap())
+                .collect::<Vec<_>>()
+        };
+        let e = exec();
+        let dm = e.upload(&mat).unwrap();
+        let batch = e.score_rows_batch(&dm, &queries).unwrap();
+        assert_eq!(batch, serial);
+        // 20 queries in chunks of 8 → 3 launches instead of 20.
+        assert_eq!(e.gpu().kernels_launched(), 3);
+        assert!(e.score_rows_batch(&dm, &[vec![0.0; 5]]).is_err());
+        assert!(e.score_rows_batch(&dm, &[]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn score_rows_batch_overlaps_copies_with_compute() {
+        let mut rng = SmallRng::seed_from_u64(14);
+        let mat = Tensor::randn(512, 256, &mut rng);
+        let queries: Vec<Vec<f32>> = (0..32)
+            .map(|_| Tensor::randn(1, 256, &mut rng).data().to_vec())
+            .collect();
+        let serial_ns = {
+            let e = exec();
+            let dm = e.upload(&mat).unwrap();
+            for q in &queries {
+                e.score_rows(&dm, q).unwrap();
+            }
+            e.gpu().now_ns()
+        };
+        let batch_ns = {
+            let e = exec();
+            let dm = e.upload(&mat).unwrap();
+            e.score_rows_batch(&dm, &queries).unwrap();
+            e.gpu().now_ns()
+        };
+        assert!(
+            batch_ns < serial_ns,
+            "batched+overlapped {batch_ns} must beat serial {serial_ns}"
+        );
     }
 }

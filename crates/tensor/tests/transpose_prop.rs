@@ -1,0 +1,43 @@
+//! Property tests for the blocked transpose: element-for-element equal to
+//! the naive double loop on arbitrary shapes, including sizes that do not
+//! divide the block width.
+
+use proptest::prelude::*;
+use sagegpu_tensor::dense::Tensor;
+
+/// The reference transpose the blocked implementation replaced.
+fn naive_transpose(t: &Tensor) -> Tensor {
+    let (rows, cols) = t.shape();
+    let mut out = Tensor::zeros(cols, rows);
+    for r in 0..rows {
+        for c in 0..cols {
+            out.set(c, r, t.get(r, c));
+        }
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn blocked_transpose_matches_naive(
+        rows in 1usize..80,
+        cols in 1usize..80,
+        seed in 0u64..1_000,
+    ) {
+        let mut rng = <rand::rngs::SmallRng as rand::SeedableRng>::seed_from_u64(seed);
+        let t = Tensor::randn(rows, cols, &mut rng);
+        prop_assert_eq!(t.transpose(), naive_transpose(&t));
+    }
+
+    #[test]
+    fn blocked_transpose_is_involutive(
+        rows in 1usize..80,
+        cols in 1usize..80,
+    ) {
+        let mut rng = <rand::rngs::SmallRng as rand::SeedableRng>::seed_from_u64(rows as u64 * 81 + cols as u64);
+        let t = Tensor::randn(rows, cols, &mut rng);
+        prop_assert_eq!(t.transpose().transpose(), t);
+    }
+}

@@ -9,6 +9,8 @@
 #                               links, private-item leaks, bad HTML)
 # 4. tier-1: release build (all targets: lib, bins, tests, benches) +
 #    full test suite
+# 5. BENCH_A07.json: regenerate via `repro --exp fusion`, then validate it
+#    parses and reports strict fusion wins (crates/bench/tests/bench_a07.rs)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -24,5 +26,9 @@ RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --quiet
 echo "==> tier-1: cargo build --release --all-targets && cargo test -q --workspace"
 cargo build --release --all-targets
 cargo test -q --workspace
+
+echo "==> BENCH_A07.json: regenerate + validate"
+cargo run --release -q -p sagegpu-bench --bin repro -- --exp fusion > /dev/null
+cargo test -q -p sagegpu-bench --test bench_a07
 
 echo "OK: all checks passed"
