@@ -77,6 +77,11 @@ fn experiments() -> Vec<Experiment> {
             "Ablation: fused kernels + stream pipelining (A07)",
             render::render_fusion,
         ),
+        (
+            "scaling",
+            "Ablation: comm overlap x worker scaling (A08)",
+            render::render_comm_scaling,
+        ),
     ]
 }
 

@@ -1,6 +1,6 @@
 //! Algorithm 1: distributed GCN training over partitioned subgraphs.
 
-use crate::exec::{charge_epoch, EpochDims, ExecMode};
+use crate::exec::{charge_epoch_tracked, EpochDims, ExecMode};
 use crate::sequential::{dataset_adjacency, dataset_features, infer};
 use crate::{EpochStats, TrainConfig};
 use gpu_sim::{DeviceSpec, EventKind, GpuCluster, GpuEvent, LinkKind, ResidencySnapshot, StreamId};
@@ -13,7 +13,9 @@ use sagegpu_graph::GraphError;
 use sagegpu_nn::layers::Gcn;
 use sagegpu_nn::metrics::accuracy;
 use sagegpu_nn::optim::{Adam, Optimizer};
-use sagegpu_nn::parallel::weighted_average_gradients;
+use sagegpu_nn::parallel::{
+    bucket_gradients, charge_bucketed_all_reduce, weighted_average_gradients,
+};
 use sagegpu_nn::resident::{ResidentAdam, ResidentParams};
 use sagegpu_nn::tape::Tape;
 use sagegpu_profiler::bottleneck::{analyze_with_residency, BottleneckReport};
@@ -70,6 +72,38 @@ impl ResidencyMode {
     }
 }
 
+/// How the per-epoch gradient exchange is scheduled — the A08 ablation
+/// knob. Both modes compute **bit-identical** averaged gradients; they
+/// differ only in when the communication occupies the timeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CommMode {
+    /// One opaque ring all-reduce of the full parameter payload *after*
+    /// the backward pass — communication fully exposed on the critical
+    /// path (the unoptimized Algorithm 1, and why the paper saw minimal
+    /// speedup from splitting).
+    Monolithic,
+    /// DDP-style bucketed overlap: gradients are grouped into size-capped
+    /// buckets in reverse layer order and each bucket's chunked ring
+    /// all-reduce launches on the dedicated comm stream as soon as the
+    /// backward op producing its last gradient retires, overlapping comm
+    /// with the remaining backward compute.
+    BucketedOverlap {
+        /// Size cap per bucket; a gradient larger than this gets its own
+        /// bucket.
+        bucket_bytes: u64,
+    },
+}
+
+impl CommMode {
+    /// Human-readable name for tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            CommMode::Monolithic => "monolithic",
+            CommMode::BucketedOverlap { .. } => "bucketed",
+        }
+    }
+}
+
 /// Everything one worker holds about its partition.
 struct PartitionData {
     /// Original node ids, local index order.
@@ -116,6 +150,17 @@ pub struct DistResult {
     pub d2h_bytes: u64,
     /// Total peer-link (D2D/P2P) bytes charged across all workers.
     pub p2p_bytes: u64,
+    /// Which comm schedule charged the gradient exchange
+    /// ("monolithic"/"bucketed").
+    pub comm: &'static str,
+    /// Gradient-exchange time left on the critical path (after the epoch's
+    /// compute had already finished), summed over epochs.
+    pub exposed_comm_ns: u64,
+    /// Gradient-exchange time hidden behind backward compute, summed over
+    /// epochs. Always 0 for [`CommMode::Monolithic`].
+    pub overlapped_comm_ns: u64,
+    /// Bucket collectives launched per epoch (0 when monolithic).
+    pub comm_buckets_per_epoch: u64,
     /// Per-epoch θ residency lookups (one per worker per epoch: a hit when
     /// the parameters were already device-resident, a miss when they had to
     /// be re-staged) plus the host-link bytes that resulted.
@@ -144,6 +189,10 @@ pub struct DistOptions {
     /// How epoch kernels are charged: one launch per op, or fused epilogues
     /// with copy/compute overlap (the A07 ablation knob).
     pub exec: ExecMode,
+    /// How the gradient exchange is scheduled: one exposed monolithic
+    /// all-reduce, or bucketed collectives overlapped with backward (the
+    /// A08 ablation knob).
+    pub comm: CommMode,
 }
 
 impl Default for DistOptions {
@@ -154,6 +203,7 @@ impl Default for DistOptions {
             retry: RetryPolicy::none(),
             residency: ResidencyMode::Naive,
             exec: ExecMode::FusedOverlapped,
+            comm: CommMode::Monolithic,
         }
     }
 }
@@ -320,6 +370,8 @@ pub fn train_distributed_with_opts(
     // Lines 9–14: epochs.
     let mut epoch_stats = Vec::with_capacity(cfg.epochs);
     let (mut theta_hits, mut theta_misses) = (0u64, 0u64);
+    let (mut exposed_comm_ns, mut overlapped_comm_ns) = (0u64, 0u64);
+    let mut comm_buckets_per_epoch = 0u64;
     for epoch in 0..cfg.epochs {
         // One θ residency lookup per worker per epoch.
         if naive {
@@ -369,30 +421,39 @@ pub fn train_distributed_with_opts(
                         h: hidden as u64,
                         c: classes as u64,
                     };
-                    let out = charge_epoch(gpu, exec_mode, dims, || {
-                        // Lines 10–11: local loss and gradients.
-                        let mut local =
-                            Gcn::new(in_dim, hidden, classes, &mut SmallRng::seed_from_u64(0));
-                        local.set_parameters(&params);
-                        let tape = Tape::new();
-                        let fwd = local.forward(&tape, Arc::clone(&data.adj), &data.x);
-                        let loss = tape.cross_entropy(fwd.logits, &data.labels, &data.train_mask);
-                        let loss_val = tape.value(loss).get(0, 0);
-                        let grads = tape.backward(loss);
-                        let grad_tensors: Vec<Tensor> = fwd
-                            .params
-                            .iter()
-                            .map(|v| grads[v.index()].clone().expect("param grad"))
-                            .collect();
-                        let train_count = data.train_mask.iter().filter(|&&m| m).count();
-                        (grad_tensors, loss_val, train_count)
-                    });
+                    let ((grad_tensors, loss_val, train_count), mut grads_ready) =
+                        charge_epoch_tracked(gpu, exec_mode, dims, || {
+                            // Lines 10–11: local loss and gradients.
+                            let mut local =
+                                Gcn::new(in_dim, hidden, classes, &mut SmallRng::seed_from_u64(0));
+                            local.set_parameters(&params);
+                            let tape = Tape::new();
+                            let fwd = local.forward(&tape, Arc::clone(&data.adj), &data.x);
+                            let loss =
+                                tape.cross_entropy(fwd.logits, &data.labels, &data.train_mask);
+                            let loss_val = tape.value(loss).get(0, 0);
+                            let grads = tape.backward(loss);
+                            let grad_tensors: Vec<Tensor> = fwd
+                                .params
+                                .iter()
+                                .map(|v| grads[v.index()].clone().expect("param grad"))
+                                .collect();
+                            let train_count = data.train_mask.iter().filter(|&&m| m).count();
+                            (grad_tensors, loss_val, train_count)
+                        });
                     // Naive residency: pull the gradients (same footprint
-                    // as θ) back through host RAM for the exchange.
+                    // as θ) back through host RAM for the exchange. No
+                    // gradient can enter a collective before that D2H
+                    // lands, so the retirement timestamps clamp to it —
+                    // naive residency forfeits most of the overlap window.
                     if let Some(buf) = &staged_theta {
                         let _ = gpu.dtoh(buf).expect("gradients return");
+                        let t = gpu.record_event(StreamId::DEFAULT).timestamp_ns();
+                        for r in grads_ready.iter_mut() {
+                            *r = (*r).max(t);
+                        }
                     }
-                    out
+                    (grad_tensors, loss_val, train_count, grads_ready)
                 })
                 .expect("worker exists");
             futures.push(fut);
@@ -400,9 +461,33 @@ pub fn train_distributed_with_opts(
         let results = cluster.gather(futures).expect("epoch tasks succeed");
 
         // Line 12: aggregate gradients (ring all-reduce on the links).
-        gpus.all_reduce_cost(param_bytes);
-        let weights: Vec<f64> = results.iter().map(|(_, _, c)| *c as f64).collect();
-        let per_worker: Vec<Vec<Tensor>> = results.iter().map(|(g, _, _)| g.clone()).collect();
+        // Monolithic mode barriers and charges one opaque collective after
+        // backward; bucketed mode replays the per-gradient retirement
+        // timestamps the workers recorded, so each bucket's chunked ring
+        // starts mid-backward and only the tail past the epoch's compute
+        // end is exposed.
+        match opts.comm {
+            CommMode::Monolithic => {
+                exposed_comm_ns += gpus.all_reduce_cost(param_bytes);
+            }
+            CommMode::BucketedOverlap { bucket_bytes } => {
+                let compute_end = gpus.makespan_ns();
+                let buckets = bucket_gradients(&results[0].0, bucket_bytes);
+                comm_buckets_per_epoch = buckets.len() as u64;
+                let ready: Vec<Vec<u64>> = results.iter().map(|r| r.3.clone()).collect();
+                let (_, stats) = charge_bucketed_all_reduce(&gpus, &buckets, &ready);
+                let exposed = stats.comm_end_ns.saturating_sub(compute_end);
+                exposed_comm_ns += exposed;
+                overlapped_comm_ns += stats.total_comm_ns.saturating_sub(exposed);
+                // Synchronous DDP: the optimizer step waits for the last
+                // bucket on every replica.
+                for d in gpus.devices() {
+                    d.advance_to(stats.comm_end_ns);
+                }
+            }
+        }
+        let weights: Vec<f64> = results.iter().map(|(_, _, c, _)| *c as f64).collect();
+        let per_worker: Vec<Vec<Tensor>> = results.iter().map(|(g, _, _, _)| g.clone()).collect();
         let total_train: f64 = weights.iter().sum();
         if total_train > 0.0 {
             let avg = weighted_average_gradients(&per_worker, &weights);
@@ -418,7 +503,11 @@ pub fn train_distributed_with_opts(
         }
         // Line 14: report epoch loss (train-count-weighted).
         let loss = if total_train > 0.0 {
-            results.iter().map(|(_, l, c)| *l * *c as f32).sum::<f32>() / total_train as f32
+            results
+                .iter()
+                .map(|(_, l, c, _)| *l * *c as f32)
+                .sum::<f32>()
+                / total_train as f32
         } else {
             0.0
         };
@@ -524,6 +613,10 @@ pub fn train_distributed_with_opts(
         h2d_bytes,
         d2h_bytes,
         p2p_bytes,
+        comm: opts.comm.name(),
+        exposed_comm_ns,
+        overlapped_comm_ns,
+        comm_buckets_per_epoch,
         residency_lookups,
         bottleneck,
     })
@@ -784,6 +877,110 @@ mod tests {
             "fused {} vs serial {} ns",
             fused.sim_time_ns,
             serial.sim_time_ns
+        );
+    }
+
+    #[test]
+    fn bucketed_comm_is_bit_identical_and_overlaps() {
+        // The A08 acceptance in miniature: rescheduling the gradient
+        // exchange must not change a single bit of the trajectory — only
+        // how much of the comm hides behind backward compute.
+        let d = ds();
+        for residency in [ResidencyMode::Naive, ResidencyMode::Resident] {
+            let mono = train_distributed_with_opts(
+                &d,
+                2,
+                &cfg(),
+                PartitionStrategy::Metis,
+                DistOptions {
+                    residency,
+                    comm: CommMode::Monolithic,
+                    ..DistOptions::default()
+                },
+            )
+            .unwrap();
+            let bucketed = train_distributed_with_opts(
+                &d,
+                2,
+                &cfg(),
+                PartitionStrategy::Metis,
+                DistOptions {
+                    residency,
+                    comm: CommMode::BucketedOverlap {
+                        bucket_bytes: 1 << 20,
+                    },
+                    ..DistOptions::default()
+                },
+            )
+            .unwrap();
+            assert_eq!(mono.epoch_stats, bucketed.epoch_stats, "losses diverged");
+            assert_eq!(mono.test_accuracy, bucketed.test_accuracy);
+            assert_eq!(
+                mono.model.get_parameters(),
+                bucketed.model.get_parameters(),
+                "trained parameters must be bit-identical ({residency:?})"
+            );
+            assert_eq!(mono.comm, "monolithic");
+            assert_eq!(bucketed.comm, "bucketed");
+            assert_eq!(mono.overlapped_comm_ns, 0, "monolithic comm never hides");
+            assert!(mono.exposed_comm_ns > 0);
+            assert!(bucketed.comm_buckets_per_epoch >= 1);
+            // Never worse — and in resident mode (gradients stay on
+            // device, retirement timestamps mid-backward) strictly better.
+            assert!(
+                bucketed.exposed_comm_ns <= mono.exposed_comm_ns,
+                "{residency:?}: bucketed exposed {} vs monolithic {}",
+                bucketed.exposed_comm_ns,
+                mono.exposed_comm_ns
+            );
+            assert!(bucketed.sim_time_ns <= mono.sim_time_ns);
+            if residency == ResidencyMode::Resident {
+                assert!(
+                    bucketed.exposed_comm_ns < mono.exposed_comm_ns,
+                    "resident: bucketed exposed {} must beat monolithic {}",
+                    bucketed.exposed_comm_ns,
+                    mono.exposed_comm_ns
+                );
+                assert!(
+                    bucketed.sim_time_ns < mono.sim_time_ns,
+                    "resident: bucketed {} ns must beat monolithic {} ns",
+                    bucketed.sim_time_ns,
+                    mono.sim_time_ns
+                );
+                assert!(bucketed.overlapped_comm_ns > 0);
+            }
+        }
+    }
+
+    #[test]
+    fn resident_overlap_hides_more_comm_than_naive() {
+        // Naive residency drags every gradient through host RAM before the
+        // exchange, clamping all retirement timestamps to the D2H — the
+        // resident path keeps the mid-backward launch points.
+        let d = ds();
+        let run = |residency| {
+            train_distributed_with_opts(
+                &d,
+                2,
+                &cfg(),
+                PartitionStrategy::Metis,
+                DistOptions {
+                    residency,
+                    comm: CommMode::BucketedOverlap {
+                        bucket_bytes: 1 << 20,
+                    },
+                    ..DistOptions::default()
+                },
+            )
+            .unwrap()
+        };
+        let naive = run(ResidencyMode::Naive);
+        let resident = run(ResidencyMode::Resident);
+        assert!(
+            resident.overlapped_comm_ns > naive.overlapped_comm_ns,
+            "resident {} ns overlapped vs naive {} ns",
+            resident.overlapped_comm_ns,
+            naive.overlapped_comm_ns
         );
     }
 

@@ -20,7 +20,11 @@
 //! The model arithmetic is identical in both modes — only the cost model
 //! changes — so losses and accuracies are bit-for-bit equal.
 
-use gpu_sim::{Gpu, KernelProfile, LaunchConfig};
+use gpu_sim::{Gpu, KernelProfile, LaunchConfig, StreamId};
+
+/// Number of trainable parameters of the two-layer GCN, in the order
+/// [`sagegpu_nn::layers::Gcn::get_parameters`] lists them: `[W1, b1, W2, b2]`.
+pub const GCN_PARAM_COUNT: usize = 4;
 
 /// How an epoch's kernel work is priced (and, in the distributed trainer,
 /// whether uploads overlap compute across streams).
@@ -150,14 +154,49 @@ impl EpochDims {
     }
 }
 
+/// Which launch of the plan *retires* each parameter gradient: pairs of
+/// `(launch index, parameter indices)`. Parameter indices follow
+/// [`sagegpu_nn::layers::Gcn::get_parameters`] order (`[W1, b1, W2, b2]`); launch
+/// indices follow `launch_plan(mode)`. Backward runs last layer first, so
+/// high-indexed parameters retire first — the property DDP-style bucketing
+/// exploits to overlap their all-reduce with the rest of backward.
+fn grad_ready_marks(mode: ExecMode) -> &'static [(usize, &'static [usize])] {
+    match mode {
+        // Serial: db2 at `bias_bwd` (8), dW2 at the second `sgemm_bwd` (10),
+        // db1 at `bias_bwd` (13), dW1 at the fifth `sgemm_bwd` (15).
+        ExecMode::PerOpSerial => &[(8, &[3]), (10, &[2]), (13, &[1]), (15, &[0])],
+        // Fused: `linear_bwd` (5) emits {dW2, db2}; `linear_relu_bwd` (7)
+        // emits {dW1, db1}. The trailing `spmm_bwd` (8) only produces input
+        // gradients — the overlap window even a single bucket can use.
+        ExecMode::FusedOverlapped => &[(5, &[2, 3]), (7, &[0, 1])],
+    }
+}
+
 /// Charges one epoch's kernel sequence to `gpu` and runs `body` (the real
 /// forward/backward/step arithmetic) inside the first launch. The remaining
 /// launches of the plan are cost-only — the work they price already happened
 /// in `body`, which keeps the host arithmetic independent of the plan.
 pub fn charge_epoch<T>(gpu: &Gpu, mode: ExecMode, dims: EpochDims, body: impl FnOnce() -> T) -> T {
+    charge_epoch_tracked(gpu, mode, dims, body).0
+}
+
+/// Like [`charge_epoch`], but also records *when each parameter gradient
+/// retired* on the simulated timeline: the returned vector has
+/// [`GCN_PARAM_COUNT`] entries, `ready[p]` being the default-stream event
+/// timestamp after the launch that produced gradient `p` (see
+/// `grad_ready_marks`). These timestamps are what lets a bucketed
+/// all-reduce launch each bucket mid-backward instead of after the epoch.
+pub fn charge_epoch_tracked<T>(
+    gpu: &Gpu,
+    mode: ExecMode,
+    dims: EpochDims,
+    body: impl FnOnce() -> T,
+) -> (T, Vec<u64>) {
+    let marks = grad_ready_marks(mode);
+    let mut ready = vec![0u64; GCN_PARAM_COUNT];
     let mut body = Some(body);
     let mut out = None;
-    for (name, cfg, profile) in dims.launch_plan(mode) {
+    for (i, (name, cfg, profile)) in dims.launch_plan(mode).into_iter().enumerate() {
         match body.take() {
             Some(b) => {
                 out = Some(
@@ -170,8 +209,14 @@ pub fn charge_epoch<T>(gpu: &Gpu, mode: ExecMode, dims: EpochDims, body: impl Fn
                     .expect("epoch launch is valid");
             }
         }
+        if let Some((_, params)) = marks.iter().find(|(idx, _)| *idx == i) {
+            let t = gpu.record_event(StreamId::DEFAULT).timestamp_ns();
+            for &p in *params {
+                ready[p] = t;
+            }
+        }
     }
-    out.expect("launch plan is never empty")
+    (out.expect("launch plan is never empty"), ready)
 }
 
 #[cfg(test)]
@@ -225,6 +270,40 @@ mod tests {
         // The gap is at least the eight saved launch overheads.
         let saved = serial.now_ns() - fused.now_ns();
         assert!(saved as f64 >= 8.0 * DeviceSpec::t4().launch_overhead_ns);
+    }
+
+    #[test]
+    fn tracked_epoch_reports_grad_retirement_in_reverse_layer_order() {
+        for mode in [ExecMode::PerOpSerial, ExecMode::FusedOverlapped] {
+            let gpu = Gpu::new(0, DeviceSpec::t4());
+            let (out, ready) = charge_epoch_tracked(&gpu, mode, dims(), || 7);
+            assert_eq!(out, 7);
+            assert_eq!(ready.len(), GCN_PARAM_COUNT);
+            assert!(ready.iter().all(|&t| t > 0), "every gradient retires");
+            // Layer-2 gradients (W2 = 2, b2 = 3) retire before layer-1's.
+            assert!(ready[3] <= ready[2] || mode == ExecMode::FusedOverlapped);
+            assert!(ready[2] < ready[0], "dW2 retires before dW1 ({mode:?})");
+            assert!(ready[1] <= ready[0]);
+            // The last gradient retires strictly before the epoch ends: the
+            // trailing spmm_bwd (input gradients) is still in flight — the
+            // window bucketed comm overlaps.
+            let last = ready.iter().copied().max().unwrap();
+            assert!(
+                last < gpu.now_ns(),
+                "grads ready at {last}, epoch ends at {} ({mode:?})",
+                gpu.now_ns()
+            );
+        }
+    }
+
+    #[test]
+    fn tracked_epoch_charges_the_same_timeline_as_untracked() {
+        let plain = Gpu::new(0, DeviceSpec::t4());
+        let tracked = Gpu::new(1, DeviceSpec::t4());
+        charge_epoch(&plain, ExecMode::FusedOverlapped, dims(), || ());
+        let _ = charge_epoch_tracked(&tracked, ExecMode::FusedOverlapped, dims(), || ());
+        assert_eq!(plain.now_ns(), tracked.now_ns(), "tracking is free");
+        assert_eq!(plain.kernels_launched(), tracked.kernels_launched());
     }
 
     #[test]

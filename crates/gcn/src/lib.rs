@@ -35,8 +35,8 @@ pub mod sequential;
 
 /// Convenient glob-import of the crate's primary types.
 pub mod prelude {
-    pub use crate::distributed::{train_distributed, DistResult, PartitionStrategy};
-    pub use crate::exec::{charge_epoch, EpochDims, ExecMode};
+    pub use crate::distributed::{train_distributed, CommMode, DistResult, PartitionStrategy};
+    pub use crate::exec::{charge_epoch, charge_epoch_tracked, EpochDims, ExecMode};
     pub use crate::experiment::{scaling_experiment, ScalingRow};
     pub use crate::sequential::{train_sequential, SeqResult};
     pub use crate::TrainConfig;

@@ -6,7 +6,7 @@
 //! timeline, and are connected pairwise by PCIe or NVLink-class links.
 
 use crate::arch::DeviceSpec;
-use crate::device::Gpu;
+use crate::device::{Gpu, StreamId};
 use crate::error::GpuError;
 use crate::event::{EventKind, EventRecorder, TraceEvent};
 use crate::memory::DeviceBuffer;
@@ -46,12 +46,40 @@ impl LinkKind {
     }
 }
 
+/// Timeline footprint of one chunked ring collective launched with
+/// [`GpuCluster::all_reduce_chunked`]. The caller decides what to order
+/// after it — e.g. `advance_to(end_ns)` before the optimizer step — so
+/// independent compute can keep running while the collective is in flight.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ReduceHandle {
+    /// When the collective started (every participant ready, comm stream free).
+    pub start_ns: u64,
+    /// When the last ring step completed on every device.
+    pub end_ns: u64,
+    /// Number of lockstep ring steps charged (`2 (n-1)`).
+    pub steps: u64,
+    /// Payload size reduced across the ring.
+    pub bytes: u64,
+    /// Bytes each device moved over its links (`steps × chunk`).
+    pub per_dev_bytes: u64,
+}
+
+impl ReduceHandle {
+    /// Wall-clock duration of the collective.
+    pub fn dur_ns(&self) -> u64 {
+        self.end_ns - self.start_ns
+    }
+}
+
 /// A single node holding several simulated GPUs.
 #[derive(Debug)]
 pub struct GpuCluster {
     devices: Vec<Arc<Gpu>>,
     link: LinkKind,
     recorder: EventRecorder,
+    /// One dedicated communication stream per device (NCCL-style), created
+    /// at construction so collectives never contend with compute streams.
+    comm_streams: Vec<StreamId>,
 }
 
 impl GpuCluster {
@@ -59,13 +87,15 @@ impl GpuCluster {
     /// connected with `link`, recording into one shared timeline.
     pub fn homogeneous(n: usize, spec: DeviceSpec, link: LinkKind) -> Self {
         let recorder = EventRecorder::new();
-        let devices = (0..n)
+        let devices: Vec<Arc<Gpu>> = (0..n)
             .map(|i| Arc::new(Gpu::with_recorder(i as u32, spec.clone(), recorder.clone())))
             .collect();
+        let comm_streams = devices.iter().map(|d| d.create_stream()).collect();
         Self {
             devices,
             link,
             recorder,
+            comm_streams,
         }
     }
 
@@ -184,6 +214,86 @@ impl GpuCluster {
         dur
     }
 
+    /// The dedicated comm stream of device `i`.
+    pub fn comm_stream(&self, i: usize) -> Result<StreamId, GpuError> {
+        self.comm_streams
+            .get(i)
+            .copied()
+            .ok_or(GpuError::NoSuchDevice { device: i as u32 })
+    }
+
+    /// Chunked ring all-reduce of `bytes`, charged as `2 (n-1)` discrete
+    /// lockstep steps on each device's dedicated comm stream — the NCCL
+    /// schedule, where each step moves one `bytes / n` chunk per device
+    /// (reduce-scatter phase then all-gather phase).
+    ///
+    /// `ready_ns[i]` is when device `i`'s payload becomes available (e.g.
+    /// the event timestamp of the backward op producing the last gradient
+    /// in a bucket); the collective starts once every participant is ready
+    /// *and* every comm stream has drained its previous collective. Unlike
+    /// [`GpuCluster::all_reduce_cost`], this neither barriers the devices
+    /// nor advances their default streams, so compute issued afterwards
+    /// overlaps the collective; callers order dependents explicitly via
+    /// the returned [`ReduceHandle`] (typically `advance_to(end_ns)`).
+    pub fn all_reduce_chunked(&self, bytes: u64, name: &str, ready_ns: &[u64]) -> ReduceHandle {
+        let n = self.devices.len().max(1) as u64;
+        if n == 1 {
+            let t = ready_ns.first().copied().unwrap_or(0);
+            return ReduceHandle {
+                start_ns: t,
+                end_ns: t,
+                steps: 0,
+                bytes,
+                per_dev_bytes: 0,
+            };
+        }
+        assert_eq!(
+            ready_ns.len(),
+            self.devices.len(),
+            "one ready timestamp per device"
+        );
+        let chunk = bytes.div_ceil(n);
+        let steps = 2 * (n - 1);
+        let step_dur = (self.link.latency_ns()
+            + chunk as f64 / self.link.bandwidth_bytes_per_sec() * 1e9)
+            .ceil() as u64;
+        // Lockstep rings: every step is a synchronous neighbour exchange,
+        // so the collective starts only when the *slowest* participant is
+        // ready and its comm stream is free.
+        let start = self
+            .devices
+            .iter()
+            .zip(self.comm_streams.iter())
+            .zip(ready_ns.iter())
+            .map(|((d, &cs), &r)| d.record_event(cs).timestamp_ns().max(r))
+            .max()
+            .unwrap_or(0);
+        for (d, &cs) in self.devices.iter().zip(self.comm_streams.iter()) {
+            for s in 0..steps {
+                let phase = if s < n - 1 { "rs" } else { "ag" };
+                let step_start = d.reserve_on(cs, start, step_dur);
+                self.recorder.record(TraceEvent {
+                    kind: EventKind::MemcpyP2P,
+                    name: format!("{name}/{phase}{s}"),
+                    device: d.ordinal(),
+                    stream: cs.ordinal(),
+                    start_ns: step_start,
+                    dur_ns: step_dur,
+                    bytes: chunk,
+                    flops: 0,
+                    occupancy: 0.0,
+                });
+            }
+        }
+        ReduceHandle {
+            start_ns: start,
+            end_ns: start + steps * step_dur,
+            steps,
+            bytes,
+            per_dev_bytes: steps * chunk,
+        }
+    }
+
     /// Wall-clock of the slowest device (makespan of the simulated program).
     pub fn makespan_ns(&self) -> u64 {
         self.devices.iter().map(|d| d.now_ns()).max().unwrap_or(0)
@@ -281,6 +391,89 @@ mod tests {
         c.all_reduce_cost(1 << 10);
         let evs = c.recorder().snapshot();
         assert_eq!(evs.iter().filter(|e| e.name == "all-reduce").count(), 3);
+    }
+
+    #[test]
+    fn chunked_all_reduce_matches_monolithic_cost_model() {
+        // Same bytes, same link: the chunked schedule's total duration must
+        // track the monolithic formula (identical latency terms; bandwidth
+        // term differs only by per-step chunk rounding).
+        let bytes = 1u64 << 20;
+        let mono = cluster(4, LinkKind::Pcie).all_reduce_cost(bytes);
+        let c = cluster(4, LinkKind::Pcie);
+        let h = c.all_reduce_chunked(bytes, "grads", &[0, 0, 0, 0]);
+        assert_eq!(h.steps, 6);
+        let slack = h.steps; // ±1 ns of ceil rounding per step
+        assert!(h.dur_ns() <= mono + slack && h.dur_ns() + slack >= mono);
+        assert!(h.per_dev_bytes >= (2 * 3 * bytes) / 4);
+    }
+
+    #[test]
+    fn chunked_all_reduce_records_lockstep_steps_on_comm_streams() {
+        let c = cluster(3, LinkKind::NvLink);
+        let h = c.all_reduce_chunked(3 << 10, "b0", &[0, 0, 0]);
+        let evs = c.recorder().snapshot();
+        let steps: Vec<_> = evs.iter().filter(|e| e.name.starts_with("b0/")).collect();
+        // 2 (n-1) steps on each of the 3 devices, all on the comm stream.
+        assert_eq!(steps.len(), 12);
+        assert!(steps.iter().all(|e| e.kind == EventKind::MemcpyP2P));
+        for i in 0..3 {
+            let stream = c.comm_stream(i).unwrap().ordinal();
+            let mut dev_steps: Vec<_> = steps
+                .iter()
+                .filter(|e| e.device == i as u32 && e.stream == stream)
+                .collect();
+            dev_steps.sort_by_key(|e| e.start_ns);
+            assert_eq!(dev_steps.len(), 4);
+            // Lockstep: back-to-back spans starting at the collective start.
+            assert_eq!(dev_steps[0].start_ns, h.start_ns);
+            for w in dev_steps.windows(2) {
+                assert_eq!(w[0].start_ns + w[0].dur_ns, w[1].start_ns);
+            }
+        }
+        assert_eq!(
+            h.end_ns,
+            steps.iter().map(|e| e.start_ns + e.dur_ns).max().unwrap()
+        );
+    }
+
+    #[test]
+    fn chunked_all_reduce_waits_for_slowest_participant() {
+        let c = cluster(2, LinkKind::Pcie);
+        let h = c.all_reduce_chunked(1 << 10, "g", &[1_000, 50_000]);
+        assert_eq!(h.start_ns, 50_000);
+    }
+
+    #[test]
+    fn chunked_all_reduce_overlaps_default_stream_compute() {
+        let c = cluster(2, LinkKind::Pcie);
+        let h = c.all_reduce_chunked(1 << 20, "g", &[0, 0]);
+        assert!(h.dur_ns() > 0);
+        // The default stream was not advanced: new compute can start at 0,
+        // concurrent with the in-flight collective.
+        for d in c.devices() {
+            let ev = d.record_event(StreamId::DEFAULT);
+            assert_eq!(ev.timestamp_ns(), 0);
+        }
+        // But the device makespan covers the collective.
+        assert_eq!(c.makespan_ns(), h.end_ns);
+    }
+
+    #[test]
+    fn chunked_all_reduce_serializes_on_comm_stream() {
+        let c = cluster(2, LinkKind::Pcie);
+        let a = c.all_reduce_chunked(1 << 16, "a", &[0, 0]);
+        let b = c.all_reduce_chunked(1 << 16, "b", &[0, 0]);
+        assert_eq!(b.start_ns, a.end_ns, "second bucket queues behind first");
+    }
+
+    #[test]
+    fn chunked_all_reduce_single_device_is_free() {
+        let c = cluster(1, LinkKind::Ethernet);
+        let h = c.all_reduce_chunked(1 << 20, "g", &[123]);
+        assert_eq!(h.dur_ns(), 0);
+        assert_eq!(h.steps, 0);
+        assert!(c.recorder().snapshot().is_empty());
     }
 
     #[test]

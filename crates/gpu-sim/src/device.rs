@@ -206,6 +206,20 @@ impl Gpu {
         start
     }
 
+    /// Reserves `dur_ns` on `stream` with an extra lower bound on the
+    /// start: the op begins at `max(stream free, device floor,
+    /// not_before_ns)` and the stream's next-free slot moves past it.
+    /// Returns the start. Used by cluster collectives to place lockstep
+    /// ring steps on per-device comm streams without touching the floor.
+    pub(crate) fn reserve_on(&self, stream: StreamId, not_before_ns: u64, dur_ns: u64) -> u64 {
+        let floor = self.clock_ns.load(Ordering::SeqCst);
+        let mut streams = self.streams.lock();
+        let slot = &mut streams[stream.0 as usize];
+        let start = (*slot).max(floor).max(not_before_ns);
+        *slot = start + dur_ns;
+        start
+    }
+
     /// Advances the device clock to at least `t_ns` (used by cluster ops to
     /// model cross-device waits). Returns the new time.
     pub fn advance_to(&self, t_ns: u64) -> u64 {

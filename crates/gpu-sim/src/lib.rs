@@ -66,7 +66,7 @@ pub mod pool;
 /// Convenient glob-import of the crate's primary types.
 pub mod prelude {
     pub use crate::arch::{DeviceSpec, MemorySpec};
-    pub use crate::cluster::{GpuCluster, LinkKind};
+    pub use crate::cluster::{GpuCluster, LinkKind, ReduceHandle};
     pub use crate::device::{Gpu, GpuEvent, StreamId};
     pub use crate::dim::Dim3;
     pub use crate::error::GpuError;
@@ -80,7 +80,7 @@ pub mod prelude {
 }
 
 pub use arch::DeviceSpec;
-pub use cluster::{GpuCluster, LinkKind};
+pub use cluster::{GpuCluster, LinkKind, ReduceHandle};
 pub use device::{Gpu, GpuEvent, StreamId};
 pub use dim::Dim3;
 pub use error::GpuError;

@@ -6,7 +6,7 @@
 //! nodes) contribute proportionally, which makes the distributed gradient
 //! an unbiased estimate of the full-graph gradient.
 
-use gpu_sim::GpuCluster;
+use gpu_sim::{GpuCluster, ReduceHandle};
 use sagegpu_tensor::dense::Tensor;
 
 /// Averages per-worker gradient lists uniformly.
@@ -65,6 +65,109 @@ pub fn all_reduce_gradients(
     let bytes = gradient_bytes(&per_worker[0]);
     let dur = cluster.all_reduce_cost(bytes);
     (weighted_average_gradients(per_worker, weights), dur)
+}
+
+/// A group of parameters whose gradients are reduced in one collective —
+/// the unit of comm/compute overlap in DDP-style training.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GradBucket {
+    /// Parameter indices, in backward production order (descending index:
+    /// the last layer's gradients retire first and bucket first).
+    pub params: Vec<usize>,
+    /// Total payload of the bucket's gradients.
+    pub bytes: u64,
+}
+
+/// Groups gradients into size-capped buckets in *reverse* parameter order —
+/// the order the backward pass produces them — so the first bucket fills
+/// (and its all-reduce can launch) while earlier layers are still
+/// back-propagating. Every bucket holds at least one parameter; a gradient
+/// larger than `bucket_bytes` gets a bucket of its own.
+pub fn bucket_gradients(grads: &[Tensor], bucket_bytes: u64) -> Vec<GradBucket> {
+    let cap = bucket_bytes.max(1);
+    let mut buckets: Vec<GradBucket> = Vec::new();
+    let mut params: Vec<usize> = Vec::new();
+    let mut bytes = 0u64;
+    for idx in (0..grads.len()).rev() {
+        let sz = grads[idx].size_bytes();
+        if !params.is_empty() && bytes + sz > cap {
+            buckets.push(GradBucket {
+                params: std::mem::take(&mut params),
+                bytes,
+            });
+            bytes = 0;
+        }
+        params.push(idx);
+        bytes += sz;
+    }
+    if !params.is_empty() {
+        buckets.push(GradBucket { params, bytes });
+    }
+    buckets
+}
+
+/// Schedule statistics of one bucketed gradient exchange.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BucketedReduceStats {
+    /// Number of bucket collectives launched.
+    pub buckets: u64,
+    /// Sum of all bucket collective durations (overlapped or not).
+    pub total_comm_ns: u64,
+    /// When the first bucket's collective started.
+    pub comm_start_ns: u64,
+    /// When the last bucket's collective completed — the point the
+    /// optimizer step must wait for.
+    pub comm_end_ns: u64,
+}
+
+/// Charges one chunked ring collective per bucket on the cluster's comm
+/// streams. `ready_ns[w][p]` is the simulated timestamp at which worker
+/// `w`'s gradient for parameter `p` retired; a bucket launches once every
+/// worker has produced *all* of its parameters (and the previous bucket has
+/// drained the comm stream). Charging only — gradient values are untouched.
+pub fn charge_bucketed_all_reduce(
+    cluster: &GpuCluster,
+    buckets: &[GradBucket],
+    ready_ns: &[Vec<u64>],
+) -> (Vec<ReduceHandle>, BucketedReduceStats) {
+    let mut handles = Vec::with_capacity(buckets.len());
+    for (i, b) in buckets.iter().enumerate() {
+        let per_dev: Vec<u64> = ready_ns
+            .iter()
+            .map(|w| b.params.iter().map(|&p| w[p]).max().unwrap_or(0))
+            .collect();
+        handles.push(cluster.all_reduce_chunked(b.bytes, &format!("grad-bucket{i}"), &per_dev));
+    }
+    let stats = BucketedReduceStats {
+        buckets: handles.len() as u64,
+        total_comm_ns: handles.iter().map(ReduceHandle::dur_ns).sum(),
+        comm_start_ns: handles.first().map(|h| h.start_ns).unwrap_or(0),
+        comm_end_ns: handles.iter().map(|h| h.end_ns).max().unwrap_or(0),
+    };
+    (handles, stats)
+}
+
+/// Bucketed, overlap-capable gradient all-reduce: groups gradients with
+/// [`bucket_gradients`], launches each bucket's chunked ring collective as
+/// soon as its last gradient retires on every worker, and returns the
+/// weighted average. The averaged values are **bit-identical** to
+/// [`all_reduce_gradients`] — bucketing only reschedules when the bytes
+/// move, never how they are combined.
+pub fn all_reduce_gradients_bucketed(
+    cluster: &GpuCluster,
+    per_worker: &[Vec<Tensor>],
+    weights: &[f64],
+    ready_ns: &[Vec<u64>],
+    bucket_bytes: u64,
+) -> (Vec<Tensor>, Vec<ReduceHandle>, BucketedReduceStats) {
+    assert!(!per_worker.is_empty(), "no worker gradients");
+    let buckets = bucket_gradients(&per_worker[0], bucket_bytes);
+    let (handles, stats) = charge_bucketed_all_reduce(cluster, &buckets, ready_ns);
+    (
+        weighted_average_gradients(per_worker, weights),
+        handles,
+        stats,
+    )
 }
 
 #[cfg(test)]
@@ -127,6 +230,78 @@ mod tests {
             .filter(|e| e.kind == EventKind::MemcpyP2P)
             .count();
         assert_eq!(p2p, 4, "one peer-link event per device");
+    }
+
+    #[test]
+    fn buckets_fill_in_reverse_order_with_size_cap() {
+        // Sizes (bytes): p0 = 400, p1 = 40, p2 = 200, p3 = 8.
+        let grads = vec![
+            Tensor::zeros(10, 10),
+            Tensor::zeros(1, 10),
+            Tensor::zeros(5, 10),
+            Tensor::zeros(1, 2),
+        ];
+        let buckets = bucket_gradients(&grads, 240);
+        // Reverse order: p3 (8) + p2 (200) fit; p1 (40) would overflow the
+        // cap, so it starts a bucket; p0 — larger than the cap — is alone.
+        assert_eq!(buckets.len(), 3);
+        assert_eq!(buckets[0].params, vec![3, 2]);
+        assert_eq!(buckets[0].bytes, 208);
+        assert_eq!(buckets[1].params, vec![1]);
+        assert_eq!(buckets[2].params, vec![0]);
+        assert_eq!(buckets[2].bytes, 400);
+        // A huge cap collapses everything into one bucket.
+        let one = bucket_gradients(&grads, u64::MAX);
+        assert_eq!(one.len(), 1);
+        assert_eq!(one[0].params, vec![3, 2, 1, 0]);
+        assert_eq!(one[0].bytes, gradient_bytes(&grads));
+    }
+
+    #[test]
+    fn bucketed_all_reduce_is_value_identical_to_monolithic() {
+        use gpu_sim::{DeviceSpec, GpuCluster, LinkKind};
+        let cluster = GpuCluster::homogeneous(3, DeviceSpec::t4(), LinkKind::Pcie);
+        let per_worker: Vec<Vec<Tensor>> = (0..3)
+            .map(|w| {
+                vec![
+                    Tensor::full(4, 4, 0.3 + w as f32),
+                    Tensor::full(1, 4, 1.7 * w as f32),
+                    Tensor::full(4, 2, 0.9 - w as f32),
+                ]
+            })
+            .collect();
+        let weights = vec![2.0, 1.0, 3.0];
+        let host = weighted_average_gradients(&per_worker, &weights);
+        let ready = vec![vec![0u64; 3]; 3];
+        let (avg, handles, stats) =
+            all_reduce_gradients_bucketed(&cluster, &per_worker, &weights, &ready, 32);
+        assert_eq!(avg, host, "bucketing must not change gradient values");
+        assert!(handles.len() > 1, "cap of 32 B must split the parameters");
+        assert_eq!(stats.buckets, handles.len() as u64);
+        assert!(stats.total_comm_ns > 0);
+    }
+
+    #[test]
+    fn buckets_launch_as_gradients_retire() {
+        use gpu_sim::{DeviceSpec, GpuCluster, LinkKind};
+        let cluster = GpuCluster::homogeneous(2, DeviceSpec::t4(), LinkKind::NvLink);
+        let grads = vec![Tensor::zeros(8, 8), Tensor::zeros(8, 8)];
+        let buckets = bucket_gradients(&grads, 256); // one bucket per param
+        assert_eq!(buckets.len(), 2);
+        // Param 1 (last layer) retires at 10 µs, param 0 at 100 µs.
+        let ready = vec![vec![100_000u64, 10_000], vec![100_000, 10_000]];
+        let (handles, stats) = charge_bucketed_all_reduce(&cluster, &buckets, &ready);
+        assert_eq!(handles[0].start_ns, 10_000, "bucket 0 launches early");
+        assert!(
+            handles[0].end_ns < 100_000,
+            "bucket 0 fully overlaps the rest of backward"
+        );
+        assert_eq!(handles[1].start_ns, 100_000);
+        assert_eq!(stats.comm_end_ns, handles[1].end_ns);
+        assert_eq!(
+            stats.total_comm_ns,
+            handles[0].dur_ns() + handles[1].dur_ns()
+        );
     }
 
     #[test]

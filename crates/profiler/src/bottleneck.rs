@@ -65,6 +65,11 @@ pub struct BottleneckReport {
     pub d2h_bytes: u64,
     /// Peer-link (D2D/P2P) bytes moved on this device's lane.
     pub p2p_bytes: u64,
+    /// Share of collective-communication time (P2P events) left *exposed*
+    /// on the critical path — not covered by any concurrently running
+    /// kernel on this device. 0.0 when the lane has no P2P traffic; 1.0
+    /// means every communication nanosecond added to the makespan.
+    pub comm_exposed_fraction: f64,
     /// Residency hit ratio of the executor's operand lookups, when the
     /// caller supplied residency stats (`None` for plain [`analyze`]).
     pub residency_hit_ratio: Option<f64>,
@@ -75,6 +80,48 @@ pub struct BottleneckReport {
 /// Analyzes one device's lane against its hardware spec.
 pub fn analyze(timeline: &Timeline, device: u32, spec: &DeviceSpec) -> BottleneckReport {
     analyze_with_residency(timeline, device, spec, None)
+}
+
+/// Merges possibly-overlapping `(start, end)` intervals into a sorted,
+/// disjoint union.
+fn interval_union(mut iv: Vec<(u64, u64)>) -> Vec<(u64, u64)> {
+    iv.sort_unstable();
+    let mut out: Vec<(u64, u64)> = Vec::new();
+    for (s, e) in iv {
+        match out.last_mut() {
+            Some(last) if s <= last.1 => last.1 = last.1.max(e),
+            _ => out.push((s, e)),
+        }
+    }
+    out
+}
+
+/// Total length of `intervals` not covered by `cover` (both sorted and
+/// disjoint — outputs of [`interval_union`]).
+fn uncovered_ns(intervals: &[(u64, u64)], cover: &[(u64, u64)]) -> u64 {
+    let mut total = 0u64;
+    for &(s, e) in intervals {
+        let mut cur = s;
+        for &(cs, ce) in cover {
+            if ce <= cur {
+                continue;
+            }
+            if cs >= e {
+                break;
+            }
+            if cs > cur {
+                total += cs.min(e) - cur;
+            }
+            cur = cur.max(ce);
+            if cur >= e {
+                break;
+            }
+        }
+        if cur < e {
+            total += e - cur;
+        }
+    }
+    total
 }
 
 /// [`analyze`], with the executor's residency statistics folded into the
@@ -151,6 +198,28 @@ pub fn analyze_with_residency(
         });
     }
 
+    // Exposed-communication share: P2P (collective) time minus the part
+    // hidden behind concurrently running kernels on this device's other
+    // streams — the overlap a bucketed all-reduce buys.
+    let comm_iv = interval_union(
+        lane.iter()
+            .filter(|e| e.kind == EventKind::MemcpyP2P && e.dur_ns > 0)
+            .map(|e| (e.start_ns, e.start_ns + e.dur_ns))
+            .collect(),
+    );
+    let kernel_iv = interval_union(
+        lane.iter()
+            .filter(|e| e.kind == EventKind::Kernel && e.dur_ns > 0)
+            .map(|e| (e.start_ns, e.start_ns + e.dur_ns))
+            .collect(),
+    );
+    let comm_total_ns: u64 = comm_iv.iter().map(|&(s, e)| e - s).sum();
+    let comm_exposed_fraction = if comm_total_ns == 0 {
+        0.0
+    } else {
+        uncovered_ns(&comm_iv, &kernel_iv) as f64 / comm_total_ns as f64
+    };
+
     let residency_hit_ratio = residency.map(|r| r.hit_ratio());
     let resident_compute = residency_hit_ratio.is_some_and(|h| h >= 0.9);
     let class = if idle_fraction > 0.5 {
@@ -223,6 +292,14 @@ pub fn analyze_with_residency(
                 .to_owned(),
         );
     }
+    if comm_total_ns > 0 && comm_exposed_fraction > 0.25 {
+        recommendations.push(
+            "Most collective communication is exposed on the critical path: shrink gradient \
+             buckets so each all-reduce launches as soon as its gradients retire and overlaps \
+             the remaining backward compute."
+                .to_owned(),
+        );
+    }
     if kernels.iter().any(|k| k.mean_occupancy < 0.25) {
         recommendations.push(
             "Some kernels run below 25% occupancy: reduce per-thread registers or shrink shared \
@@ -244,6 +321,7 @@ pub fn analyze_with_residency(
         h2d_bytes,
         d2h_bytes,
         p2p_bytes,
+        comm_exposed_fraction,
         residency_hit_ratio,
         recommendations,
     }
@@ -513,6 +591,91 @@ mod tests {
             &spec(),
         );
         assert!((serial.overlap_efficiency - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fully_exposed_comm_advises_bucket_shrinking() {
+        // A monolithic all-reduce after all compute: every comm nanosecond
+        // is on the critical path.
+        let t = Timeline::from_events(vec![
+            ev(
+                EventKind::Kernel,
+                "backward",
+                0,
+                1000,
+                1 << 20,
+                1 << 20,
+                0.9,
+            ),
+            ev(
+                EventKind::MemcpyP2P,
+                "all-reduce",
+                1000,
+                800,
+                1 << 20,
+                0,
+                0.0,
+            ),
+        ]);
+        let report = analyze(&t, 0, &spec());
+        assert!((report.comm_exposed_fraction - 1.0).abs() < 1e-9);
+        assert!(report
+            .recommendations
+            .iter()
+            .any(|r| r.contains("shrink gradient buckets")));
+    }
+
+    #[test]
+    fn overlapped_comm_reduces_exposed_fraction() {
+        // A bucketed collective on the comm stream, 3/4 hidden behind the
+        // still-running backward kernel on stream 0.
+        let mut bucket = ev(
+            EventKind::MemcpyP2P,
+            "grad-bucket0/rs0",
+            200,
+            800,
+            1 << 18,
+            0,
+            0.0,
+        );
+        bucket.stream = 1;
+        let t = Timeline::from_events(vec![
+            ev(EventKind::Kernel, "spmm_bwd", 0, 800, 1 << 20, 1 << 20, 0.9),
+            bucket,
+        ]);
+        let report = analyze(&t, 0, &spec());
+        assert!((report.comm_exposed_fraction - 0.25).abs() < 1e-9);
+        assert!(!report
+            .recommendations
+            .iter()
+            .any(|r| r.contains("shrink gradient buckets")));
+        // Fully hidden comm exposes nothing.
+        let mut hidden = ev(
+            EventKind::MemcpyP2P,
+            "grad-bucket0/rs0",
+            100,
+            400,
+            1 << 18,
+            0,
+            0.0,
+        );
+        hidden.stream = 1;
+        let t2 = Timeline::from_events(vec![
+            ev(EventKind::Kernel, "spmm_bwd", 0, 800, 1 << 20, 1 << 20, 0.9),
+            hidden,
+        ]);
+        assert!(analyze(&t2, 0, &spec()).comm_exposed_fraction < 1e-9);
+    }
+
+    #[test]
+    fn no_comm_means_zero_exposed_fraction() {
+        let t = Timeline::from_events(vec![ev(EventKind::Kernel, "k", 0, 100, 1, 1, 0.9)]);
+        let report = analyze(&t, 0, &spec());
+        assert_eq!(report.comm_exposed_fraction, 0.0);
+        assert!(!report
+            .recommendations
+            .iter()
+            .any(|r| r.contains("shrink gradient buckets")));
     }
 
     #[test]

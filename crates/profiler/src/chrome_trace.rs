@@ -11,8 +11,8 @@
 //! fixed flat schema that does not benefit from a serializer.
 
 use crate::json::{push_f64, push_str_literal};
-use gpu_sim::TraceEvent;
-use std::collections::BTreeSet;
+use gpu_sim::{EventKind, TraceEvent};
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt::Write;
 
 /// Serializes events to a Chrome-trace JSON string. Besides the `"X"`
@@ -48,9 +48,15 @@ pub fn to_chrome_trace(events: &[TraceEvent]) -> String {
 
     let mut devices: BTreeSet<u32> = BTreeSet::new();
     let mut lanes: BTreeSet<(u32, u32)> = BTreeSet::new();
+    // A non-default lane carrying exclusively peer-link traffic is a
+    // dedicated communication stream (the cluster's chunked collectives) —
+    // label it so overlap with the compute lane reads at a glance.
+    let mut lane_all_p2p: BTreeMap<(u32, u32), bool> = BTreeMap::new();
     for ev in events.iter() {
         devices.insert(ev.device);
         lanes.insert((ev.device, ev.stream));
+        *lane_all_p2p.entry((ev.device, ev.stream)).or_insert(true) &=
+            ev.kind == EventKind::MemcpyP2P;
     }
     for d in devices {
         if emitted > 0 {
@@ -69,6 +75,8 @@ pub fn to_chrome_trace(events: &[TraceEvent]) -> String {
         emitted += 1;
         let label = if s == 0 {
             format!("stream {s} (default)")
+        } else if lane_all_p2p.get(&(d, s)).copied().unwrap_or(false) {
+            format!("stream {s} (comm)")
         } else {
             format!("stream {s}")
         };
@@ -152,6 +160,32 @@ mod tests {
         assert!(meta.iter().any(|e| e["name"] == "thread_name"
             && e["tid"] == 1
             && e["args"]["name"] == "stream 1"));
+    }
+
+    #[test]
+    fn comm_only_streams_get_comm_lane_label() {
+        let mut step = ev("grad-bucket0/rs0", 0, 0, 10);
+        step.stream = 1;
+        step.kind = EventKind::MemcpyP2P;
+        let mut copy = ev("htod", 0, 0, 10);
+        copy.stream = 2;
+        copy.kind = EventKind::MemcpyH2D;
+        let json = to_chrome_trace(&[ev("k", 0, 0, 10), step, copy]);
+        let parsed: serde_json::Value = serde_json::from_str(&json).unwrap();
+        let events = parsed["traceEvents"].as_array().unwrap();
+        let meta: Vec<&serde_json::Value> = events.iter().filter(|e| e["ph"] == "M").collect();
+        assert!(meta.iter().any(|e| e["name"] == "thread_name"
+            && e["tid"] == 1
+            && e["args"]["name"] == "stream 1 (comm)"));
+        // Mixed-traffic streams keep the plain label; stream 0 never gets
+        // the comm label even when it carries P2P (monolithic all-reduce).
+        assert!(meta.iter().any(|e| e["name"] == "thread_name"
+            && e["tid"] == 2
+            && e["args"]["name"] == "stream 2"));
+        let mut mono = ev("all-reduce", 0, 0, 10);
+        mono.kind = EventKind::MemcpyP2P;
+        let json = to_chrome_trace(&[mono]);
+        assert!(json.contains("stream 0 (default)"));
     }
 
     #[test]

@@ -36,15 +36,62 @@ pub trait VectorIndex {
     }
 }
 
-fn top_k(mut scores: Vec<SearchHit>, k: usize) -> Vec<SearchHit> {
-    scores.sort_by(|a, b| {
-        b.score
-            .partial_cmp(&a.score)
-            .expect("finite")
-            .then(a.doc_id.cmp(&b.doc_id))
-    });
-    scores.truncate(k);
-    scores
+/// The ranking order hits are returned in: score descending, `doc_id`
+/// ascending on ties. [`f32::total_cmp`] keeps the order total even for NaN
+/// scores (which rank as greater than every finite score) instead of
+/// panicking mid-search.
+fn hit_order(a: &SearchHit, b: &SearchHit) -> std::cmp::Ordering {
+    b.score.total_cmp(&a.score).then(a.doc_id.cmp(&b.doc_id))
+}
+
+/// Wrapper ordering a max-heap so the *worst* retained hit sits on top —
+/// the reverse of [`hit_order`] — making `BinaryHeap` a bounded best-k set.
+struct WorstFirst(SearchHit);
+
+impl PartialEq for WorstFirst {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == std::cmp::Ordering::Equal
+    }
+}
+
+impl Eq for WorstFirst {}
+
+impl PartialOrd for WorstFirst {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for WorstFirst {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // `hit_order` sorts best-first, so the greatest element under it is
+        // the worst hit — exactly what the max-heap should surface.
+        hit_order(&self.0, &other.0)
+    }
+}
+
+/// Selects the best `k` hits in `O(n log k)` with a bounded heap instead of
+/// sorting the full candidate list — the candidate set is the whole corpus
+/// (flat) or every probed list (IVF), while `k` is a handful.
+fn top_k(scores: Vec<SearchHit>, k: usize) -> Vec<SearchHit> {
+    if k == 0 {
+        return Vec::new();
+    }
+    let mut heap: std::collections::BinaryHeap<WorstFirst> =
+        std::collections::BinaryHeap::with_capacity(k + 1);
+    for hit in scores {
+        if heap.len() < k {
+            heap.push(WorstFirst(hit));
+        } else if hit_order(&hit, &heap.peek().expect("heap at capacity").0)
+            == std::cmp::Ordering::Less
+        {
+            heap.pop();
+            heap.push(WorstFirst(hit));
+        }
+    }
+    let mut out: Vec<SearchHit> = heap.into_iter().map(|w| w.0).collect();
+    out.sort_by(hit_order);
+    out
 }
 
 /// Exact dot-product index.
@@ -349,7 +396,7 @@ impl VectorIndex for IvfIndex {
                 (c, score)
             })
             .collect();
-        centroid_scores.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite").then(a.0.cmp(&b.0)));
+        centroid_scores.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
 
         let mut hits = Vec::new();
         for &(c, _) in centroid_scores.iter().take(self.nprobe) {
@@ -583,6 +630,113 @@ mod tests {
         assert_eq!(hits.len(), 2);
         assert_eq!(hits[0].doc_id, 2);
         assert_eq!(hits[1].doc_id, 3);
+    }
+
+    #[test]
+    fn heap_top_k_matches_full_sort_on_random_inputs() {
+        use rand::rngs::SmallRng;
+        use rand::{Rng, SeedableRng};
+        // Reference: the old full-sort implementation.
+        let reference = |mut scores: Vec<SearchHit>, k: usize| -> Vec<SearchHit> {
+            scores.sort_by(hit_order);
+            scores.truncate(k);
+            scores
+        };
+        let mut rng = SmallRng::seed_from_u64(7);
+        for trial in 0..50 {
+            let n = rng.gen_range(0..60usize);
+            let hits: Vec<SearchHit> = (0..n)
+                .map(|_| SearchHit {
+                    doc_id: rng.gen_range(0..30usize),
+                    // Coarse grid to force plenty of score ties.
+                    score: (rng.gen_range(-5..5i32) as f32) / 4.0,
+                })
+                .collect();
+            for k in [0, 1, 3, n / 2, n, n + 5] {
+                assert_eq!(
+                    top_k(hits.clone(), k),
+                    reference(hits.clone(), k),
+                    "trial {trial}, n {n}, k {k}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn nan_scores_do_not_panic_and_keep_finite_order() {
+        // Regression: `partial_cmp(...).expect("finite")` panicked here.
+        let hits = vec![
+            SearchHit {
+                doc_id: 0,
+                score: 0.4,
+            },
+            SearchHit {
+                doc_id: 1,
+                score: f32::NAN,
+            },
+            SearchHit {
+                doc_id: 2,
+                score: 0.9,
+            },
+            SearchHit {
+                doc_id: 3,
+                score: 0.1,
+            },
+        ];
+        let got = top_k(hits, 3);
+        assert_eq!(got.len(), 3);
+        // total_cmp ranks NaN above every finite score; the finite hits
+        // keep their relative order behind it.
+        assert_eq!(got[0].doc_id, 1);
+        assert!(got[0].score.is_nan());
+        assert_eq!(got[1].doc_id, 2);
+        assert_eq!(got[2].doc_id, 0);
+    }
+
+    #[test]
+    fn ivf_recall_is_monotone_in_nprobe() {
+        let (_, _, data) = indexed_corpus(200);
+        let mut flat = FlatIndex::new(96);
+        for (id, v) in &data {
+            flat.add(*id, v.clone());
+        }
+        let mut ivf = IvfIndex::train(96, 16, 1, &data, 2);
+        let queries: Vec<&Vec<f32>> = (0..10).map(|i| &data[i * 17].1).collect();
+        let exact: Vec<Vec<SearchHit>> = queries.iter().map(|q| flat.search(q, 5)).collect();
+        let mut prev = -1.0;
+        for nprobe in 1..=ivf.nlist() {
+            ivf.set_nprobe(nprobe);
+            let mean: f64 = queries
+                .iter()
+                .zip(&exact)
+                .map(|(q, e)| recall_at_k(e, &ivf.search(q, 5)))
+                .sum::<f64>()
+                / queries.len() as f64;
+            assert!(
+                mean >= prev - 1e-12,
+                "recall dropped from {prev} to {mean} at nprobe {nprobe}"
+            );
+            prev = mean;
+        }
+        assert_eq!(prev, 1.0, "probing every list must reach full recall");
+    }
+
+    #[test]
+    fn ivf_full_probe_reproduces_flat_results_exactly() {
+        // nprobe == nlist scans every vector with the same dot-product
+        // accumulation order as the flat index, so the hit lists must be
+        // identical — doc ids *and* bitwise scores.
+        let (_, _, data) = indexed_corpus(60);
+        let mut flat = FlatIndex::new(96);
+        for (id, v) in &data {
+            flat.add(*id, v.clone());
+        }
+        let ivf = IvfIndex::train(96, 8, 8, &data, 5);
+        assert_eq!(ivf.nprobe(), ivf.nlist());
+        for i in 0..12 {
+            let q = &data[i * 5].1;
+            assert_eq!(flat.search(q, 10), ivf.search(q, 10), "query {i}");
+        }
     }
 
     #[test]

@@ -11,6 +11,9 @@
 #    full test suite
 # 5. BENCH_A07.json: regenerate via `repro --exp fusion`, then validate it
 #    parses and reports strict fusion wins (crates/bench/tests/bench_a07.rs)
+# 6. BENCH_A08.json: regenerate via `repro --exp scaling`, then validate the
+#    comm schedules agree bit-for-bit and the bucketed overlap strictly
+#    shrinks exposed communication (crates/bench/tests/bench_a08.rs)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -30,5 +33,9 @@ cargo test -q --workspace
 echo "==> BENCH_A07.json: regenerate + validate"
 cargo run --release -q -p sagegpu-bench --bin repro -- --exp fusion > /dev/null
 cargo test -q -p sagegpu-bench --test bench_a07
+
+echo "==> BENCH_A08.json: regenerate + validate"
+cargo run --release -q -p sagegpu-bench --bin repro -- --exp scaling > /dev/null
+cargo test -q -p sagegpu-bench --test bench_a08
 
 echo "OK: all checks passed"
