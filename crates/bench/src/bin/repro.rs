@@ -82,6 +82,11 @@ fn experiments() -> Vec<Experiment> {
             "Ablation: comm overlap x worker scaling (A08)",
             render::render_comm_scaling,
         ),
+        (
+            "graph",
+            "Ablation: graph capture/replay (A09)",
+            render::render_graph,
+        ),
     ]
 }
 

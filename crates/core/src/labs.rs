@@ -139,20 +139,21 @@ pub fn cnn_lab(env: &LabEnvironment, steps: usize) -> SageResult<LabReport> {
     let mut first_loss = 0.0f32;
     let mut last_loss = 0.0f32;
     for step in 0..steps {
-        let loss_val = gpu.launch("cnn_train_step", launch, profile, || {
-            let tape = Tape::new();
-            let fwd = cnn.forward(&tape, &train);
-            let loss = tape.cross_entropy(fwd.logits, &train_labels, &mask);
-            let loss_val = tape.value(loss).get(0, 0);
-            let grads = tape.backward(loss);
-            let grad_tensors: Vec<Tensor> = fwd
-                .params
-                .iter()
-                .map(|v| grads[v.index()].clone().expect("param grad"))
-                .collect();
-            opt.step_all(cnn.parameters_mut(), &grad_tensors);
-            loss_val
-        })?;
+        let loss_val =
+            gpu_sim::LaunchSpec::new("cnn_train_step", launch, profile).run(&gpu, || {
+                let tape = Tape::new();
+                let fwd = cnn.forward(&tape, &train);
+                let loss = tape.cross_entropy(fwd.logits, &train_labels, &mask);
+                let loss_val = tape.value(loss).get(0, 0);
+                let grads = tape.backward(loss);
+                let grad_tensors: Vec<Tensor> = fwd
+                    .params
+                    .iter()
+                    .map(|v| grads[v.index()].clone().expect("param grad"))
+                    .collect();
+                opt.step_all(cnn.parameters_mut(), &grad_tensors);
+                loss_val
+            })?;
         if step == 0 {
             first_loss = loss_val;
         }

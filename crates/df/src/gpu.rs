@@ -8,7 +8,7 @@
 
 use crate::frame::{Agg, DataFrame};
 use crate::DfError;
-use gpu_sim::{AccessPattern, Gpu, KernelProfile, LaunchConfig};
+use gpu_sim::{AccessPattern, Gpu, KernelProfile, LaunchConfig, LaunchSpec};
 use std::sync::Arc;
 
 /// A dataframe bound to a simulated GPU.
@@ -62,11 +62,8 @@ impl GpuFrame {
             registers_per_thread: 24,
         };
         let cfg = LaunchConfig::for_elements(n.max(1), 256);
-        let df = self
-            .gpu
-            .launch("df_filter", cfg, profile, || {
-                self.df.filter_f64(column, pred)
-            })
+        let df = LaunchSpec::new("df_filter", cfg, profile)
+            .run(&self.gpu, || self.df.filter_f64(column, pred))
             .expect("valid launch")?;
         Ok(GpuFrame {
             df,
@@ -84,11 +81,8 @@ impl GpuFrame {
             registers_per_thread: 40,
         };
         let cfg = LaunchConfig::for_elements(n.max(1), 128);
-        let df = self
-            .gpu
-            .launch("df_groupby", cfg, profile, || {
-                self.df.groupby_i64(key, aggs)
-            })
+        let df = LaunchSpec::new("df_groupby", cfg, profile)
+            .run(&self.gpu, || self.df.groupby_i64(key, aggs))
             .expect("valid launch")?;
         Ok(GpuFrame {
             df,
@@ -107,9 +101,8 @@ impl GpuFrame {
             registers_per_thread: 32,
         };
         let cfg = LaunchConfig::for_elements(n, 256);
-        let df = self
-            .gpu
-            .launch("df_sort", cfg, profile, || self.df.sort_by_f64(column))
+        let df = LaunchSpec::new("df_sort", cfg, profile)
+            .run(&self.gpu, || self.df.sort_by_f64(column))
             .expect("valid launch")?;
         Ok(GpuFrame {
             df,

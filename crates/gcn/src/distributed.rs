@@ -1,6 +1,8 @@
 //! Algorithm 1: distributed GCN training over partitioned subgraphs.
 
-use crate::exec::{charge_epoch_tracked, EpochDims, ExecMode};
+use crate::exec::{
+    capture_epoch, charge_epoch_tracked, EpochDims, EpochGraph, ExecMode, SubmitMode,
+};
 use crate::sequential::{dataset_adjacency, dataset_features, infer};
 use crate::{EpochStats, TrainConfig};
 use gpu_sim::{DeviceSpec, EventKind, GpuCluster, GpuEvent, LinkKind, ResidencySnapshot, StreamId};
@@ -153,6 +155,8 @@ pub struct DistResult {
     /// Which comm schedule charged the gradient exchange
     /// ("monolithic"/"bucketed").
     pub comm: &'static str,
+    /// Which submission mode issued epoch kernels ("eager"/"captured").
+    pub submit: &'static str,
     /// Gradient-exchange time left on the critical path (after the epoch's
     /// compute had already finished), summed over epochs.
     pub exposed_comm_ns: u64,
@@ -193,6 +197,9 @@ pub struct DistOptions {
     /// all-reduce, or bucketed collectives overlapped with backward (the
     /// A08 ablation knob).
     pub comm: CommMode,
+    /// How epoch commands are submitted: eagerly kernel-by-kernel, or as a
+    /// captured graph replayed per epoch (the A09 ablation knob).
+    pub submit: SubmitMode,
 }
 
 impl Default for DistOptions {
@@ -204,6 +211,7 @@ impl Default for DistOptions {
             residency: ResidencyMode::Naive,
             exec: ExecMode::FusedOverlapped,
             comm: CommMode::Monolithic,
+            submit: SubmitMode::Eager,
         }
     }
 }
@@ -367,6 +375,12 @@ pub fn train_distributed_with_opts(
             }
         };
 
+    // Captured submission: one graph per worker (partitions differ in
+    // shape), captured lazily inside the worker's first epoch task and
+    // cached in the scheduler store for every later epoch to replay.
+    let graph_keys: Vec<taskflow::store::DataKey> =
+        (0..k).map(|_| taskflow::store::DataKey::fresh()).collect();
+
     // Lines 9–14: epochs.
     let mut epoch_stats = Vec::with_capacity(cfg.epochs);
     let (mut theta_hits, mut theta_misses) = (0u64, 0u64);
@@ -385,6 +399,8 @@ pub fn train_distributed_with_opts(
         let mut futures = Vec::with_capacity(k);
         for (worker, &key) in partition_keys.iter().enumerate() {
             let params = params.clone();
+            let graph_key = graph_keys[worker];
+            let submit = opts.submit;
             // Epoch 0 must not start its first kernel until the copy-stream
             // feature upload has landed.
             let ready = if epoch == 0 {
@@ -421,26 +437,41 @@ pub fn train_distributed_with_opts(
                         h: hidden as u64,
                         c: classes as u64,
                     };
-                    let ((grad_tensors, loss_val, train_count), mut grads_ready) =
-                        charge_epoch_tracked(gpu, exec_mode, dims, || {
-                            // Lines 10–11: local loss and gradients.
-                            let mut local =
-                                Gcn::new(in_dim, hidden, classes, &mut SmallRng::seed_from_u64(0));
-                            local.set_parameters(&params);
-                            let tape = Tape::new();
-                            let fwd = local.forward(&tape, Arc::clone(&data.adj), &data.x);
-                            let loss =
-                                tape.cross_entropy(fwd.logits, &data.labels, &data.train_mask);
-                            let loss_val = tape.value(loss).get(0, 0);
-                            let grads = tape.backward(loss);
-                            let grad_tensors: Vec<Tensor> = fwd
-                                .params
-                                .iter()
-                                .map(|v| grads[v.index()].clone().expect("param grad"))
-                                .collect();
-                            let train_count = data.train_mask.iter().filter(|&&m| m).count();
-                            (grad_tensors, loss_val, train_count)
-                        });
+                    let body = || {
+                        // Lines 10–11: local loss and gradients.
+                        let mut local =
+                            Gcn::new(in_dim, hidden, classes, &mut SmallRng::seed_from_u64(0));
+                        local.set_parameters(&params);
+                        let tape = Tape::new();
+                        let fwd = local.forward(&tape, Arc::clone(&data.adj), &data.x);
+                        let loss = tape.cross_entropy(fwd.logits, &data.labels, &data.train_mask);
+                        let loss_val = tape.value(loss).get(0, 0);
+                        let grads = tape.backward(loss);
+                        let grad_tensors: Vec<Tensor> = fwd
+                            .params
+                            .iter()
+                            .map(|v| grads[v.index()].clone().expect("param grad"))
+                            .collect();
+                        let train_count = data.train_mask.iter().filter(|&&m| m).count();
+                        (grad_tensors, loss_val, train_count)
+                    };
+                    let ((grad_tensors, loss_val, train_count), mut grads_ready) = match submit {
+                        SubmitMode::Eager => charge_epoch_tracked(gpu, exec_mode, dims, body),
+                        SubmitMode::Captured => {
+                            // First epoch on this worker: record the DAG
+                            // once; every later epoch replays it.
+                            let graph = match ctx.store.get::<EpochGraph>(graph_key) {
+                                Some(g) => g,
+                                None => {
+                                    let g = capture_epoch(gpu, exec_mode, dims)
+                                        .expect("epoch plan is capturable");
+                                    ctx.store.put(graph_key, g);
+                                    ctx.store.get::<EpochGraph>(graph_key).expect("just stored")
+                                }
+                            };
+                            graph.charge(gpu, body)
+                        }
+                    };
                     // Naive residency: pull the gradients (same footprint
                     // as θ) back through host RAM for the exchange. No
                     // gradient can enter a collective before that D2H
@@ -614,6 +645,7 @@ pub fn train_distributed_with_opts(
         d2h_bytes,
         p2p_bytes,
         comm: opts.comm.name(),
+        submit: opts.submit.name(),
         exposed_comm_ns,
         overlapped_comm_ns,
         comm_buckets_per_epoch,
@@ -982,6 +1014,97 @@ mod tests {
             resident.overlapped_comm_ns,
             naive.overlapped_comm_ns
         );
+    }
+
+    #[test]
+    fn captured_submission_is_bit_identical_with_fewer_launches() {
+        // The A09 acceptance in miniature: replaying each epoch from a
+        // captured graph must not change a single bit of the training
+        // trajectory — only how many submissions the device processes and
+        // what share of kernel time is launch overhead.
+        let d = ds();
+        let run = |submit| {
+            train_distributed_with_opts(
+                &d,
+                2,
+                &cfg(),
+                PartitionStrategy::Metis,
+                DistOptions {
+                    residency: ResidencyMode::Resident,
+                    submit,
+                    ..DistOptions::default()
+                },
+            )
+            .unwrap()
+        };
+        let eager = run(SubmitMode::Eager);
+        let captured = run(SubmitMode::Captured);
+        assert_eq!(eager.epoch_stats, captured.epoch_stats, "losses diverged");
+        assert_eq!(eager.test_accuracy, captured.test_accuracy);
+        assert_eq!(
+            eager.model.get_parameters(),
+            captured.model.get_parameters(),
+            "trained parameters must be bit-identical"
+        );
+        assert_eq!(eager.submit, "eager");
+        assert_eq!(captured.submit, "captured");
+        // 9 fused kernels per epoch collapse into 1 graph launch.
+        assert!(
+            captured.kernel_launches < eager.kernel_launches / 4,
+            "captured {} vs eager {} launches",
+            captured.kernel_launches,
+            eager.kernel_launches
+        );
+        assert!(
+            captured.sim_time_ns < eager.sim_time_ns,
+            "captured {} vs eager {} ns",
+            captured.sim_time_ns,
+            eager.sim_time_ns
+        );
+        assert!(
+            captured.bottleneck.launch_overhead_fraction
+                < eager.bottleneck.launch_overhead_fraction,
+            "captured overhead share {} must beat eager {}",
+            captured.bottleneck.launch_overhead_fraction,
+            eager.bottleneck.launch_overhead_fraction
+        );
+    }
+
+    #[test]
+    fn captured_submission_survives_fault_injection() {
+        // Injected crashes fire before the task body, so a retried epoch
+        // task re-resolves the cached graph (or captures fresh) and the
+        // trajectory is unchanged.
+        let d = ds();
+        let clean = train_distributed_with_opts(
+            &d,
+            2,
+            &cfg(),
+            PartitionStrategy::Metis,
+            DistOptions {
+                submit: SubmitMode::Captured,
+                ..DistOptions::default()
+            },
+        )
+        .unwrap();
+        let faulty = train_distributed_with_opts(
+            &d,
+            2,
+            &cfg(),
+            PartitionStrategy::Metis,
+            DistOptions {
+                submit: SubmitMode::Captured,
+                fault_plan: FaultPlan::crashes(17, 0.15),
+                retry: RetryPolicy::fixed(5, std::time::Duration::ZERO),
+                ..DistOptions::default()
+            },
+        )
+        .unwrap();
+        assert!(faulty.sched_metrics.total_retries() > 0);
+        for (c, f) in clean.epoch_stats.iter().zip(&faulty.epoch_stats) {
+            assert_eq!(c.loss, f.loss, "epoch {} diverged under faults", c.epoch);
+        }
+        assert_eq!(clean.test_accuracy, faulty.test_accuracy);
     }
 
     #[test]

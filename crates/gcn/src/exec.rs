@@ -20,7 +20,9 @@
 //! The model arithmetic is identical in both modes — only the cost model
 //! changes — so losses and accuracies are bit-for-bit equal.
 
-use gpu_sim::{Gpu, KernelProfile, LaunchConfig, StreamId};
+use gpu_sim::{
+    CmdEvent, Command, Gpu, GpuError, Graph, KernelCommand, KernelProfile, LaunchConfig, StreamId,
+};
 
 /// Number of trainable parameters of the two-layer GCN, in the order
 /// [`sagegpu_nn::layers::Gcn::get_parameters`] lists them: `[W1, b1, W2, b2]`.
@@ -42,6 +44,30 @@ impl ExecMode {
         match self {
             ExecMode::PerOpSerial => "serial",
             ExecMode::FusedOverlapped => "fused",
+        }
+    }
+}
+
+/// How epoch commands reach the device — the A09 ablation knob. Both modes
+/// charge the same kernels with the same durations; they differ only in
+/// submission cost: eager pays one launch overhead per kernel, captured
+/// pays one per epoch (the graph launch).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubmitMode {
+    /// Every kernel submitted and retired individually (per-launch
+    /// overhead), as [`charge_epoch_tracked`] does.
+    Eager,
+    /// The epoch's command DAG is captured once ([`capture_epoch`]) and
+    /// replayed per epoch ([`EpochGraph::charge`]).
+    Captured,
+}
+
+impl SubmitMode {
+    /// Human-readable name for tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            SubmitMode::Eager => "eager",
+            SubmitMode::Captured => "captured",
         }
     }
 }
@@ -172,51 +198,148 @@ fn grad_ready_marks(mode: ExecMode) -> &'static [(usize, &'static [usize])] {
     }
 }
 
+/// Emits one epoch's command stream onto the default stream — every kernel
+/// of the plan, with an `EventRecord` after each gradient-retiring launch —
+/// running `body` (the real forward/backward/step arithmetic) at the first
+/// kernel's submission. Nothing is charged here: the caller rings the
+/// doorbell once (eager), or the whole batch lands in an in-flight capture.
+/// Returns the body's value and the recorded events with the parameter
+/// indices each one retires.
+fn emit_epoch<T>(
+    gpu: &Gpu,
+    mode: ExecMode,
+    dims: EpochDims,
+    body: impl FnOnce() -> T,
+) -> (T, Vec<(CmdEvent, &'static [usize])>) {
+    let marks = grad_ready_marks(mode);
+    let mut body = Some(body);
+    let mut out = None;
+    let mut records = Vec::new();
+    for (i, (name, cfg, profile)) in dims.launch_plan(mode).into_iter().enumerate() {
+        let (dur, occ) = gpu
+            .kernel_duration_ns(&cfg, &profile)
+            .expect("epoch launch is valid");
+        if let Some(b) = body.take() {
+            out = Some(b());
+        }
+        gpu.submit(
+            StreamId::DEFAULT,
+            Command::Kernel(KernelCommand {
+                name: name.to_owned(),
+                dur_ns: dur,
+                bytes: profile.bytes,
+                flops: profile.flops,
+                occupancy: occ.occupancy,
+                graph: false,
+            }),
+        );
+        if let Some((_, params)) = marks.iter().find(|(idx, _)| *idx == i) {
+            let ev = gpu.create_cmd_event();
+            gpu.submit(StreamId::DEFAULT, Command::EventRecord { event: ev });
+            records.push((ev, *params));
+        }
+    }
+    (out.expect("launch plan is never empty"), records)
+}
+
 /// Charges one epoch's kernel sequence to `gpu` and runs `body` (the real
-/// forward/backward/step arithmetic) inside the first launch. The remaining
-/// launches of the plan are cost-only — the work they price already happened
-/// in `body`, which keeps the host arithmetic independent of the plan.
+/// forward/backward/step arithmetic) at the first kernel's submission. The
+/// remaining launches of the plan are cost-only — the work they price
+/// already happened in `body`, which keeps the host arithmetic independent
+/// of the plan. The whole epoch is submitted as one command batch and
+/// retired by a single doorbell.
 pub fn charge_epoch<T>(gpu: &Gpu, mode: ExecMode, dims: EpochDims, body: impl FnOnce() -> T) -> T {
     charge_epoch_tracked(gpu, mode, dims, body).0
 }
 
 /// Like [`charge_epoch`], but also records *when each parameter gradient
 /// retired* on the simulated timeline: the returned vector has
-/// [`GCN_PARAM_COUNT`] entries, `ready[p]` being the default-stream event
-/// timestamp after the launch that produced gradient `p` (see
-/// `grad_ready_marks`). These timestamps are what lets a bucketed
-/// all-reduce launch each bucket mid-backward instead of after the epoch.
+/// [`GCN_PARAM_COUNT`] entries, `ready[p]` being the timestamp the command
+/// processor resolved for the `EventRecord` after the launch that produced
+/// gradient `p` (see `grad_ready_marks`). These timestamps are what lets a
+/// bucketed all-reduce launch each bucket mid-backward instead of after the
+/// epoch.
 pub fn charge_epoch_tracked<T>(
     gpu: &Gpu,
     mode: ExecMode,
     dims: EpochDims,
     body: impl FnOnce() -> T,
 ) -> (T, Vec<u64>) {
-    let marks = grad_ready_marks(mode);
+    let (out, records) = emit_epoch(gpu, mode, dims, body);
+    gpu.doorbell().expect("a single-stream epoch never stalls");
     let mut ready = vec![0u64; GCN_PARAM_COUNT];
-    let mut body = Some(body);
-    let mut out = None;
-    for (i, (name, cfg, profile)) in dims.launch_plan(mode).into_iter().enumerate() {
-        match body.take() {
-            Some(b) => {
-                out = Some(
-                    gpu.launch(name, cfg, profile, b)
-                        .expect("epoch launch is valid"),
-                )
-            }
-            None => {
-                gpu.launch(name, cfg, profile, || ())
-                    .expect("epoch launch is valid");
-            }
+    for (ev, params) in records {
+        let t = gpu
+            .cmd_event_ns(ev)
+            .expect("every epoch record retires at the doorbell");
+        for &p in params {
+            ready[p] = t;
         }
-        if let Some((_, params)) = marks.iter().find(|(idx, _)| *idx == i) {
-            let t = gpu.record_event(StreamId::DEFAULT).timestamp_ns();
+    }
+    (out, ready)
+}
+
+/// One GCN epoch captured as a command graph: [`capture_epoch`] records the
+/// full kernel DAG (with its gradient-retirement `EventRecord`s) once, and
+/// [`EpochGraph::charge`] replays it per epoch — one launch overhead for
+/// the whole plan instead of one per kernel, with the gradient-readiness
+/// timestamps still resolved per replay.
+pub struct EpochGraph {
+    graph: Graph,
+    /// Parameter indices retired by each captured `EventRecord`, in capture
+    /// (= replay event) order.
+    marks: Vec<&'static [usize]>,
+}
+
+/// Records `mode`'s epoch plan for `dims` as a replayable graph. Charges
+/// nothing: capture diverts the submissions, and the kernel bodies are
+/// no-ops (the real arithmetic runs per epoch, in [`EpochGraph::charge`]'s
+/// `body`).
+pub fn capture_epoch(gpu: &Gpu, mode: ExecMode, dims: EpochDims) -> Result<EpochGraph, GpuError> {
+    gpu.begin_capture(match mode {
+        ExecMode::PerOpSerial => "gcn-epoch/serial",
+        ExecMode::FusedOverlapped => "gcn-epoch/fused",
+    })?;
+    let (_, records) = emit_epoch(gpu, mode, dims, || ());
+    let graph = gpu.end_capture()?;
+    Ok(EpochGraph {
+        graph,
+        marks: records.into_iter().map(|(_, params)| params).collect(),
+    })
+}
+
+impl EpochGraph {
+    /// Runs `body` (the real epoch arithmetic) and replays the captured
+    /// command DAG to charge it, returning the body's value and the
+    /// per-parameter gradient-retirement timestamps — the same contract as
+    /// [`charge_epoch_tracked`], at amortized near-zero submission cost.
+    pub fn charge<T>(&self, gpu: &Gpu, body: impl FnOnce() -> T) -> (T, Vec<u64>) {
+        let out = body();
+        let replay = self
+            .graph
+            .replay(gpu)
+            .expect("a captured epoch replays on its own device");
+        let mut ready = vec![0u64; GCN_PARAM_COUNT];
+        for (i, params) in self.marks.iter().enumerate() {
+            let t = replay
+                .event_ns(i)
+                .expect("every captured record resolves on replay");
             for &p in *params {
                 ready[p] = t;
             }
         }
+        (out, ready)
     }
-    (out.expect("launch plan is never empty"), ready)
+
+    /// Number of captured commands (kernels + event records).
+    pub fn len(&self) -> usize {
+        self.graph.len()
+    }
+
+    /// Whether the graph is empty (never true for a captured epoch).
+    pub fn is_empty(&self) -> bool {
+        self.graph.is_empty()
+    }
 }
 
 #[cfg(test)]
@@ -304,6 +427,58 @@ mod tests {
         let _ = charge_epoch_tracked(&tracked, ExecMode::FusedOverlapped, dims(), || ());
         assert_eq!(plain.now_ns(), tracked.now_ns(), "tracking is free");
         assert_eq!(plain.kernels_launched(), tracked.kernels_launched());
+    }
+
+    #[test]
+    fn captured_epoch_saves_per_kernel_overheads_and_keeps_marks() {
+        for mode in [ExecMode::PerOpSerial, ExecMode::FusedOverlapped] {
+            let eager = Gpu::new(0, DeviceSpec::t4());
+            let (_, eager_ready) = charge_epoch_tracked(&eager, mode, dims(), || ());
+
+            let captured = Gpu::new(1, DeviceSpec::t4());
+            let graph = capture_epoch(&captured, mode, dims()).unwrap();
+            assert_eq!(captured.now_ns(), 0, "capture charges nothing");
+            assert_eq!(captured.kernels_launched(), 0);
+            let (out, ready) = graph.charge(&captured, || 7);
+            assert_eq!(out, 7);
+            // Replay pays ONE launch overhead for the whole plan; eager
+            // pays one per kernel.
+            let k = dims().launch_count(mode) as u64;
+            let oh = DeviceSpec::t4().launch_overhead_ns as u64;
+            assert_eq!(eager.now_ns() - captured.now_ns(), (k - 1) * oh);
+            assert_eq!(captured.kernels_launched(), 1, "one graph launch");
+            // Gradient readiness keeps the same retirement ORDER (the
+            // bucketing contract), just on the cheaper timeline.
+            let order = |r: &[u64]| {
+                let mut idx: Vec<usize> = (0..r.len()).collect();
+                idx.sort_by_key(|&p| r[p]);
+                idx
+            };
+            assert_eq!(order(&ready), order(&eager_ready), "{mode:?}");
+            assert!(ready.iter().all(|&t| t > 0));
+        }
+    }
+
+    #[test]
+    fn replaying_n_epochs_matches_n_eager_epochs_minus_overheads() {
+        let dims = dims();
+        let mode = ExecMode::FusedOverlapped;
+        let eager = Gpu::new(0, DeviceSpec::t4());
+        for _ in 0..5 {
+            charge_epoch(&eager, mode, dims, || ());
+        }
+        let captured = Gpu::new(1, DeviceSpec::t4());
+        let graph = capture_epoch(&captured, mode, dims).unwrap();
+        let mut sum = 0u64;
+        for i in 0..5u64 {
+            let (v, _) = graph.charge(&captured, || i);
+            sum += v;
+        }
+        assert_eq!(sum, 10, "body runs per replay");
+        let k = dims.launch_count(mode) as u64;
+        let oh = DeviceSpec::t4().launch_overhead_ns as u64;
+        assert_eq!(eager.now_ns() - captured.now_ns(), 5 * (k - 1) * oh);
+        assert_eq!(captured.kernels_launched(), 5);
     }
 
     #[test]

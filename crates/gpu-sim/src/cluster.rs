@@ -6,6 +6,7 @@
 //! timeline, and are connected pairwise by PCIe or NVLink-class links.
 
 use crate::arch::DeviceSpec;
+use crate::command::{CollectiveCommand, Command};
 use crate::device::{Gpu, StreamId};
 use crate::error::GpuError;
 use crate::event::{EventKind, EventRecorder, TraceEvent};
@@ -163,6 +164,7 @@ impl GpuCluster {
             bytes,
             flops: 0,
             occupancy: 0.0,
+            graph: false,
         });
         let data = buf.into_vec();
         // Re-allocate on destination (charges its capacity, not time —
@@ -209,6 +211,7 @@ impl GpuCluster {
                 bytes: per_dev_bytes,
                 flops: 0,
                 occupancy: 0.0,
+                graph: false,
             });
         }
         dur
@@ -271,19 +274,18 @@ impl GpuCluster {
         for (d, &cs) in self.devices.iter().zip(self.comm_streams.iter()) {
             for s in 0..steps {
                 let phase = if s < n - 1 { "rs" } else { "ag" };
-                let step_start = d.reserve_on(cs, start, step_dur);
-                self.recorder.record(TraceEvent {
-                    kind: EventKind::MemcpyP2P,
-                    name: format!("{name}/{phase}{s}"),
-                    device: d.ordinal(),
-                    stream: cs.ordinal(),
-                    start_ns: step_start,
-                    dur_ns: step_dur,
-                    bytes: chunk,
-                    flops: 0,
-                    occupancy: 0.0,
-                });
+                d.submit(
+                    cs,
+                    Command::Collective(CollectiveCommand {
+                        name: format!("{name}/{phase}{s}"),
+                        dur_ns: step_dur,
+                        bytes: chunk,
+                        not_before_ns: start,
+                    }),
+                );
             }
+            d.doorbell()
+                .expect("collective steps carry no event dependencies");
         }
         ReduceHandle {
             start_ns: start,

@@ -1,0 +1,810 @@
+//! The command-stream runtime: asynchronous submission, a driver-side
+//! command processor, and CUDA-graph-style capture/replay.
+//!
+//! The historical `Gpu` surface charged every operation synchronously:
+//! `launch` advanced the stream clock and recorded a trace event before it
+//! returned. This module restructures submission the way real drivers do:
+//!
+//! 1. The host encodes work as typed [`Command`]s ([`KernelCommand`],
+//!    [`CopyCommand`], [`Command::EventRecord`]/[`Command::EventWait`],
+//!    [`CollectiveCommand`]) and pushes them onto per-stream queues with
+//!    [`Gpu::submit`]. Submission is cheap and charges nothing.
+//! 2. Ringing the [`Gpu::doorbell`] hands the queues to the command
+//!    processor, which retires commands in stream order, resolves event
+//!    edges across streams, advances the simulated clock, and posts a
+//!    [`Completion`] per retired command to the stream's completion queue.
+//! 3. The classic entry points (`LaunchSpec::run`, `htod`, `record_event`,
+//!    ...) are now thin wrappers that submit one command and ring the
+//!    doorbell immediately, which makes their timelines bit-identical to
+//!    the old synchronous charges.
+//!
+//! On top of the queues sits graph capture: between
+//! [`Gpu::begin_capture`] and [`Gpu::end_capture`] submissions are
+//! diverted into a [`Graph`] instead of being retired. `end_capture`
+//! validates the stream/event edges once, and [`Graph::replay`] re-issues
+//! the whole DAG per epoch for the cost of a single launch — the
+//! CUDA-graph amortization the profiling labs motivate.
+//!
+//! Costs are resolved *at submission time* (a kernel's roofline duration,
+//! a copy's PCIe time), so validation errors surface exactly where the old
+//! synchronous API raised them; retirement only does clock arithmetic.
+
+use crate::device::{Gpu, StreamId};
+use crate::error::GpuError;
+use crate::event::{EventKind, TraceEvent};
+use std::collections::{HashMap, VecDeque};
+
+/// Identifier of a driver-side event slot used by
+/// [`Command::EventRecord`]/[`Command::EventWait`] edges.
+///
+/// Allocated with [`Gpu::create_cmd_event`]; resolves to a timestamp when
+/// the recording command retires (query with [`Gpu::cmd_event_ns`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CmdEvent(pub(crate) u32);
+
+impl CmdEvent {
+    /// Slot index in the processor's event table.
+    pub fn index(&self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A kernel execution with its cost already resolved at submission.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelCommand {
+    /// Kernel name as it appears on the timeline.
+    pub name: String,
+    /// Modeled duration (roofline + launch overhead), from
+    /// [`Gpu::kernel_duration_ns`].
+    pub dur_ns: u64,
+    /// Bytes touched (for the trace event).
+    pub bytes: u64,
+    /// FLOPs performed (for the trace event).
+    pub flops: u64,
+    /// Achieved occupancy in `[0, 1]`.
+    pub occupancy: f64,
+    /// True when re-issued by [`Graph::replay`]: the node carries no
+    /// per-launch overhead and does not count as a launch.
+    pub graph: bool,
+}
+
+/// A host↔device or device-local copy with its cost already resolved.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CopyCommand {
+    /// Transfer tag on the timeline (`"htod"`, `"dtoh"`, `"dtod"`).
+    pub name: String,
+    /// Direction; expected to be one of the transfer kinds.
+    pub kind: EventKind,
+    /// Modeled transfer duration.
+    pub dur_ns: u64,
+    /// Bytes moved.
+    pub bytes: u64,
+    /// True when re-issued by [`Graph::replay`].
+    pub graph: bool,
+}
+
+/// One lockstep step of a cluster collective (ring all-reduce), placed on
+/// a comm stream no earlier than the collective's global start.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CollectiveCommand {
+    /// Step name on the timeline (e.g. `"grads/rs0"`).
+    pub name: String,
+    /// Duration of this step.
+    pub dur_ns: u64,
+    /// Bytes this step moves (one chunk).
+    pub bytes: u64,
+    /// Global lower bound on the step's start (the collective cannot begin
+    /// before every participant is ready).
+    pub not_before_ns: u64,
+}
+
+/// A typed command on a stream queue.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// Execute a kernel.
+    Kernel(KernelCommand),
+    /// Move data.
+    Copy(CopyCommand),
+    /// Resolve an event slot to "now" on the owning stream
+    /// (`cudaEventRecord`).
+    EventRecord {
+        /// Slot to resolve.
+        event: CmdEvent,
+    },
+    /// Hold the stream until an event slot resolves
+    /// (`cudaStreamWaitEvent`).
+    EventWait {
+        /// Slot to wait for.
+        event: CmdEvent,
+    },
+    /// One step of a cluster collective.
+    Collective(CollectiveCommand),
+}
+
+/// Completion entry posted when a command retires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Completion {
+    /// Submission sequence number (global, monotonically increasing).
+    pub seq: u64,
+    /// Stream the command retired on.
+    pub stream: u32,
+    /// Simulated start of the command (event ops: the resolved timestamp).
+    pub start_ns: u64,
+    /// Simulated end of the command.
+    pub end_ns: u64,
+}
+
+/// In-flight capture of a command DAG.
+#[derive(Debug)]
+struct CaptureState {
+    name: String,
+    nodes: Vec<(u32, Command)>,
+}
+
+/// Driver-side state: per-stream queues, the event table, completion
+/// queues, and any in-flight capture. Owned by [`Gpu`] behind a mutex.
+#[derive(Debug, Default)]
+pub(crate) struct CommandProcessor {
+    /// Pending commands per stream ordinal; heads retire first.
+    queues: Vec<VecDeque<(u64, Command)>>,
+    /// Completions per stream ordinal, in retirement order.
+    completions: Vec<VecDeque<Completion>>,
+    /// Event table: `None` until the recording command retires.
+    events: Vec<Option<u64>>,
+    next_seq: u64,
+    capture: Option<CaptureState>,
+}
+
+impl CommandProcessor {
+    fn ensure_stream(&mut self, ordinal: u32) {
+        let need = ordinal as usize + 1;
+        if self.queues.len() < need {
+            self.queues.resize_with(need, VecDeque::new);
+            self.completions.resize_with(need, VecDeque::new);
+        }
+    }
+
+    fn pending(&self) -> usize {
+        self.queues.iter().map(|q| q.len()).sum()
+    }
+}
+
+impl Gpu {
+    /// Pushes a command onto `stream`'s queue (or the active capture)
+    /// without ringing the doorbell. Returns the submission sequence
+    /// number. Nothing is charged until [`Gpu::doorbell`].
+    pub fn submit(&self, stream: StreamId, cmd: Command) -> u64 {
+        let mut cp = self.cmd.lock();
+        let seq = cp.next_seq;
+        cp.next_seq += 1;
+        if let Some(cap) = cp.capture.as_mut() {
+            cap.nodes.push((stream.ordinal(), cmd));
+        } else {
+            cp.ensure_stream(stream.ordinal());
+            cp.queues[stream.ordinal() as usize].push_back((seq, cmd));
+        }
+        seq
+    }
+
+    /// Rings the doorbell: the command processor retires every queued
+    /// command it can, round-robin over stream heads, resolving event
+    /// edges as they appear. A full pass with queued commands but no
+    /// progress means some wait can never resolve —
+    /// [`GpuError::QueueStalled`]. No-op during capture.
+    pub fn doorbell(&self) -> Result<(), GpuError> {
+        let mut cp = self.cmd.lock();
+        self.drain_locked(&mut cp)
+    }
+
+    /// Number of commands queued but not yet retired.
+    pub fn pending_commands(&self) -> usize {
+        self.cmd.lock().pending()
+    }
+
+    /// Drains and returns `stream`'s completion queue in retirement order.
+    pub fn drain_completions(&self, stream: StreamId) -> Vec<Completion> {
+        let mut cp = self.cmd.lock();
+        cp.ensure_stream(stream.ordinal());
+        cp.completions[stream.ordinal() as usize]
+            .drain(..)
+            .collect()
+    }
+
+    /// Allocates a fresh event slot for
+    /// [`Command::EventRecord`]/[`Command::EventWait`] edges.
+    pub fn create_cmd_event(&self) -> CmdEvent {
+        let mut cp = self.cmd.lock();
+        cp.events.push(None);
+        CmdEvent((cp.events.len() - 1) as u32)
+    }
+
+    /// Resolved timestamp of an event slot, if its record has retired.
+    pub fn cmd_event_ns(&self, event: CmdEvent) -> Option<u64> {
+        self.cmd.lock().events.get(event.index()).copied().flatten()
+    }
+
+    /// Whether a capture is in flight.
+    pub fn is_capturing(&self) -> bool {
+        self.cmd.lock().capture.is_some()
+    }
+
+    /// Starts capturing: subsequent submissions are recorded into a graph
+    /// instead of retiring (kernel bodies still run; nothing is charged).
+    /// Errors on nested capture or with undrained queues.
+    pub fn begin_capture(&self, name: &str) -> Result<(), GpuError> {
+        let mut cp = self.cmd.lock();
+        if let Some(cap) = &cp.capture {
+            return Err(GpuError::InvalidCapture {
+                reason: format!("capture '{}' already in progress", cap.name),
+            });
+        }
+        if cp.pending() > 0 {
+            return Err(GpuError::InvalidCapture {
+                reason: format!(
+                    "{} commands still queued; ring the doorbell first",
+                    cp.pending()
+                ),
+            });
+        }
+        cp.capture = Some(CaptureState {
+            name: name.to_owned(),
+            nodes: Vec::new(),
+        });
+        Ok(())
+    }
+
+    /// Ends the capture, validating the recorded DAG: every in-capture
+    /// wait must reference an event recorded *earlier in the capture* (a
+    /// wait on an outside or never-recorded event would deadlock replay),
+    /// collectives are not capturable, and an empty graph is rejected.
+    pub fn end_capture(&self) -> Result<Graph, GpuError> {
+        let mut cp = self.cmd.lock();
+        let cap = cp.capture.take().ok_or_else(|| GpuError::InvalidCapture {
+            reason: "no capture in progress".to_owned(),
+        })?;
+        if cap.nodes.is_empty() {
+            return Err(GpuError::InvalidCapture {
+                reason: format!("capture '{}' recorded no commands", cap.name),
+            });
+        }
+        let mut recorded = std::collections::HashSet::new();
+        for (stream, cmd) in &cap.nodes {
+            match cmd {
+                Command::EventRecord { event } => {
+                    recorded.insert(event.0);
+                }
+                Command::EventWait { event } if !recorded.contains(&event.0) => {
+                    return Err(GpuError::InvalidCapture {
+                        reason: format!(
+                            "stream {stream} waits on event #{} never recorded in capture '{}'",
+                            event.index(),
+                            cap.name
+                        ),
+                    });
+                }
+                Command::Collective(c) => {
+                    return Err(GpuError::InvalidCapture {
+                        reason: format!(
+                            "collective '{}' in capture '{}': collectives span devices and are not capturable",
+                            c.name, cap.name
+                        ),
+                    });
+                }
+                _ => {}
+            }
+        }
+        Ok(Graph {
+            name: cap.name,
+            nodes: cap.nodes,
+            launch_overhead_ns: self.spec().launch_overhead_ns.ceil() as u64,
+        })
+    }
+
+    /// Discards an in-flight capture (error-path cleanup). No-op when no
+    /// capture is active.
+    pub fn abort_capture(&self) {
+        self.cmd.lock().capture = None;
+    }
+
+    /// Retires everything currently runnable. Caller holds the lock.
+    pub(crate) fn drain_locked(&self, cp: &mut CommandProcessor) -> Result<(), GpuError> {
+        if cp.capture.is_some() {
+            return Ok(());
+        }
+        loop {
+            let mut progressed = false;
+            let mut stalled: Option<String> = None;
+            for s in 0..cp.queues.len() {
+                loop {
+                    let runnable = match cp.queues[s].front() {
+                        None => break,
+                        Some((seq, Command::EventWait { event })) => {
+                            let ready = cp.events[event.index()].is_some();
+                            if !ready {
+                                stalled = Some(format!(
+                                    "stream {s}: command #{seq} waits on unresolved event #{}",
+                                    event.index()
+                                ));
+                            }
+                            ready
+                        }
+                        Some(_) => true,
+                    };
+                    if !runnable {
+                        break;
+                    }
+                    let (seq, cmd) = cp.queues[s].pop_front().expect("head exists");
+                    self.retire(cp, StreamId(s as u32), seq, cmd);
+                    progressed = true;
+                }
+            }
+            if cp.pending() == 0 {
+                return Ok(());
+            }
+            if !progressed {
+                return Err(GpuError::QueueStalled {
+                    reason: stalled.unwrap_or_else(|| "no runnable command".to_owned()),
+                });
+            }
+        }
+    }
+
+    /// Retires one command: clock arithmetic + trace event + completion.
+    fn retire(&self, cp: &mut CommandProcessor, stream: StreamId, seq: u64, cmd: Command) {
+        let (start, end) = match cmd {
+            Command::Kernel(k) => {
+                let start = self.advance_on(stream, k.dur_ns);
+                if !k.graph {
+                    self.count_kernel_launch();
+                }
+                self.recorder().record(TraceEvent {
+                    kind: EventKind::Kernel,
+                    name: k.name,
+                    device: self.ordinal(),
+                    stream: stream.ordinal(),
+                    start_ns: start,
+                    dur_ns: k.dur_ns,
+                    bytes: k.bytes,
+                    flops: k.flops,
+                    occupancy: k.occupancy,
+                    graph: k.graph,
+                });
+                (start, start + k.dur_ns)
+            }
+            Command::Copy(c) => {
+                let start = self.advance_on(stream, c.dur_ns);
+                self.recorder().record(TraceEvent {
+                    kind: c.kind,
+                    name: c.name,
+                    device: self.ordinal(),
+                    stream: stream.ordinal(),
+                    start_ns: start,
+                    dur_ns: c.dur_ns,
+                    bytes: c.bytes,
+                    flops: 0,
+                    occupancy: 0.0,
+                    graph: c.graph,
+                });
+                (start, start + c.dur_ns)
+            }
+            Command::Collective(c) => {
+                let start = self.reserve_on(stream, c.not_before_ns, c.dur_ns);
+                self.recorder().record(TraceEvent {
+                    kind: EventKind::MemcpyP2P,
+                    name: c.name,
+                    device: self.ordinal(),
+                    stream: stream.ordinal(),
+                    start_ns: start,
+                    dur_ns: c.dur_ns,
+                    bytes: c.bytes,
+                    flops: 0,
+                    occupancy: 0.0,
+                    graph: false,
+                });
+                (start, start + c.dur_ns)
+            }
+            Command::EventRecord { event } => {
+                let t = self.stream_time(stream);
+                cp.events[event.index()] = Some(t);
+                (t, t)
+            }
+            Command::EventWait { event } => {
+                let t = cp.events[event.index()].expect("checked runnable");
+                self.wait_until(stream, t);
+                // The wait releases once the stream reaches it AND the
+                // event has fired.
+                let released = self.stream_time(stream);
+                (released, released)
+            }
+        };
+        cp.completions[stream.ordinal() as usize].push_back(Completion {
+            seq,
+            stream: stream.ordinal(),
+            start_ns: start,
+            end_ns: end,
+        });
+    }
+}
+
+/// A captured command DAG, validated by [`Gpu::end_capture`].
+///
+/// Replaying charges the whole epoch for the submission cost of a *single*
+/// launch: one `graph-launch/<name>` kernel event pays the launch overhead
+/// once, and every captured kernel node is re-issued overhead-free with
+/// `graph = true` (excluded from launch counting).
+#[derive(Debug, Clone)]
+pub struct Graph {
+    name: String,
+    nodes: Vec<(u32, Command)>,
+    launch_overhead_ns: u64,
+}
+
+impl Graph {
+    /// Name given at [`Gpu::begin_capture`].
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of captured commands.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the graph holds no commands (never true for a graph from
+    /// [`Gpu::end_capture`], which rejects empty captures).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Number of `EventRecord` nodes; their resolved replay timestamps are
+    /// exposed by [`Replay::event_ns`] in capture order.
+    pub fn event_count(&self) -> usize {
+        self.nodes
+            .iter()
+            .filter(|(_, c)| matches!(c, Command::EventRecord { .. }))
+            .count()
+    }
+
+    /// Re-issues the captured DAG on `gpu` (the device it was captured
+    /// on): fresh event slots, one overhead-paying `graph-launch` kernel,
+    /// every node submitted, one doorbell.
+    pub fn replay(&self, gpu: &Gpu) -> Result<Replay, GpuError> {
+        let mut cp = gpu.cmd.lock();
+        if let Some(cap) = &cp.capture {
+            return Err(GpuError::InvalidCapture {
+                reason: format!(
+                    "cannot replay '{}' while capturing '{}'",
+                    self.name, cap.name
+                ),
+            });
+        }
+        for (stream, _) in &self.nodes {
+            if *stream as usize >= gpu.stream_count() {
+                return Err(GpuError::InvalidCapture {
+                    reason: format!(
+                        "graph '{}' uses stream {stream}, which does not exist on device {}",
+                        self.name,
+                        gpu.ordinal()
+                    ),
+                });
+            }
+        }
+        // Fresh event slots per replay; capture-time ids are templates.
+        let mut remap: HashMap<u32, u32> = HashMap::new();
+        let mut record_slots: Vec<u32> = Vec::new();
+        for (_, cmd) in &self.nodes {
+            if let Command::EventRecord { event } = cmd {
+                cp.events.push(None);
+                let fresh = (cp.events.len() - 1) as u32;
+                remap.insert(event.0, fresh);
+                record_slots.push(fresh);
+            }
+        }
+        let root = StreamId(self.nodes[0].0);
+        let push = |cp: &mut CommandProcessor, stream: StreamId, cmd: Command| {
+            let seq = cp.next_seq;
+            cp.next_seq += 1;
+            cp.ensure_stream(stream.ordinal());
+            cp.queues[stream.ordinal() as usize].push_back((seq, cmd));
+        };
+        push(
+            &mut cp,
+            root,
+            Command::Kernel(KernelCommand {
+                name: format!("graph-launch/{}", self.name),
+                dur_ns: self.launch_overhead_ns,
+                bytes: 0,
+                flops: 0,
+                occupancy: 0.0,
+                graph: false,
+            }),
+        );
+        for (stream, cmd) in &self.nodes {
+            let cmd = match cmd {
+                Command::Kernel(k) => Command::Kernel(KernelCommand {
+                    dur_ns: k.dur_ns.saturating_sub(self.launch_overhead_ns),
+                    graph: true,
+                    ..k.clone()
+                }),
+                Command::Copy(c) => Command::Copy(CopyCommand {
+                    graph: true,
+                    ..c.clone()
+                }),
+                Command::EventRecord { event } => Command::EventRecord {
+                    event: CmdEvent(remap[&event.0]),
+                },
+                Command::EventWait { event } => Command::EventWait {
+                    event: CmdEvent(remap[&event.0]),
+                },
+                Command::Collective(c) => {
+                    unreachable!("end_capture rejects collectives ('{}')", c.name)
+                }
+            };
+            push(&mut cp, StreamId(*stream), cmd);
+        }
+        gpu.drain_locked(&mut cp)?;
+        let events: Vec<u64> = record_slots
+            .iter()
+            .map(|&slot| cp.events[slot as usize].expect("record retired"))
+            .collect();
+        drop(cp);
+        let end_ns = self
+            .nodes
+            .iter()
+            .map(|(s, _)| gpu.stream_time(StreamId(*s)))
+            .max()
+            .unwrap_or(0)
+            .max(gpu.stream_time(root));
+        Ok(Replay { end_ns, events })
+    }
+}
+
+/// Outcome of one [`Graph::replay`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Replay {
+    end_ns: u64,
+    events: Vec<u64>,
+}
+
+impl Replay {
+    /// Latest stream time among the graph's streams after retirement.
+    pub fn end_ns(&self) -> u64 {
+        self.end_ns
+    }
+
+    /// Resolved timestamp of the `idx`-th captured `EventRecord` (capture
+    /// order).
+    pub fn event_ns(&self, idx: usize) -> Option<u64> {
+        self.events.get(idx).copied()
+    }
+
+    /// All resolved `EventRecord` timestamps in capture order.
+    pub fn events(&self) -> &[u64] {
+        &self.events
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arch::DeviceSpec;
+    use crate::device::LaunchSpec;
+    use crate::kernel::{KernelProfile, LaunchConfig};
+
+    fn gpu() -> Gpu {
+        Gpu::new(0, DeviceSpec::t4())
+    }
+
+    fn k(name: &str, dur: u64) -> Command {
+        Command::Kernel(KernelCommand {
+            name: name.to_owned(),
+            dur_ns: dur,
+            bytes: 0,
+            flops: 0,
+            occupancy: 0.5,
+            graph: false,
+        })
+    }
+
+    #[test]
+    fn submission_charges_nothing_until_doorbell() {
+        let g = gpu();
+        g.submit(StreamId::DEFAULT, k("a", 1_000));
+        g.submit(StreamId::DEFAULT, k("b", 2_000));
+        assert_eq!(g.now_ns(), 0);
+        assert_eq!(g.pending_commands(), 2);
+        g.doorbell().unwrap();
+        assert_eq!(g.now_ns(), 3_000);
+        assert_eq!(g.pending_commands(), 0);
+        assert_eq!(g.kernels_launched(), 2);
+    }
+
+    #[test]
+    fn completions_are_posted_in_retirement_order() {
+        let g = gpu();
+        let s0 = g.submit(StreamId::DEFAULT, k("a", 10));
+        let s1 = g.submit(StreamId::DEFAULT, k("b", 20));
+        g.doorbell().unwrap();
+        let comps = g.drain_completions(StreamId::DEFAULT);
+        assert_eq!(comps.len(), 2);
+        assert_eq!(comps[0].seq, s0);
+        assert_eq!(comps[0].end_ns, 10);
+        assert_eq!(comps[1].seq, s1);
+        assert_eq!(comps[1].start_ns, 10);
+        assert_eq!(comps[1].end_ns, 30);
+        assert!(g.drain_completions(StreamId::DEFAULT).is_empty());
+    }
+
+    #[test]
+    fn event_edges_order_cross_stream_commands() {
+        let g = gpu();
+        let s1 = g.create_stream();
+        let ev = g.create_cmd_event();
+        // Producer on default: kernel then record. Consumer on s1: wait
+        // then kernel. Submit the consumer FIRST — retirement must still
+        // order it after the producer's record.
+        g.submit(s1, Command::EventWait { event: ev });
+        g.submit(s1, k("consumer", 500));
+        g.submit(StreamId::DEFAULT, k("producer", 5_000));
+        g.submit(StreamId::DEFAULT, Command::EventRecord { event: ev });
+        g.doorbell().unwrap();
+        assert_eq!(g.cmd_event_ns(ev), Some(5_000));
+        let comps = g.drain_completions(s1);
+        assert_eq!(comps.len(), 2);
+        assert_eq!(comps[1].start_ns, 5_000, "consumer starts after the event");
+    }
+
+    #[test]
+    fn wait_on_never_recorded_event_stalls_with_typed_error() {
+        let g = gpu();
+        let ev = g.create_cmd_event();
+        g.submit(StreamId::DEFAULT, Command::EventWait { event: ev });
+        let err = g.doorbell().unwrap_err();
+        assert!(matches!(err, GpuError::QueueStalled { .. }), "{err}");
+    }
+
+    #[test]
+    fn nested_capture_and_end_without_begin_are_typed_errors() {
+        let g = gpu();
+        assert!(matches!(
+            g.end_capture(),
+            Err(GpuError::InvalidCapture { .. })
+        ));
+        g.begin_capture("outer").unwrap();
+        assert!(matches!(
+            g.begin_capture("inner"),
+            Err(GpuError::InvalidCapture { .. })
+        ));
+        g.abort_capture();
+        assert!(!g.is_capturing());
+    }
+
+    #[test]
+    fn empty_capture_is_rejected() {
+        let g = gpu();
+        g.begin_capture("nothing").unwrap();
+        assert!(matches!(
+            g.end_capture(),
+            Err(GpuError::InvalidCapture { .. })
+        ));
+    }
+
+    #[test]
+    fn capture_rejects_wait_on_event_recorded_outside() {
+        let g = gpu();
+        let s1 = g.create_stream();
+        // Recorded BEFORE the capture: not a legal in-graph edge.
+        let outside = g.record_event(StreamId::DEFAULT);
+        g.begin_capture("bad-edge").unwrap();
+        g.stream_wait(s1, &outside);
+        let err = g.end_capture().unwrap_err();
+        assert!(matches!(err, GpuError::InvalidCapture { .. }), "{err}");
+    }
+
+    #[test]
+    fn capture_rejects_collectives() {
+        let g = gpu();
+        g.begin_capture("coll").unwrap();
+        g.submit(
+            StreamId::DEFAULT,
+            Command::Collective(CollectiveCommand {
+                name: "grads/rs0".to_owned(),
+                dur_ns: 10,
+                bytes: 4,
+                not_before_ns: 0,
+            }),
+        );
+        assert!(matches!(
+            g.end_capture(),
+            Err(GpuError::InvalidCapture { .. })
+        ));
+    }
+
+    #[test]
+    fn capture_charges_nothing_and_replay_matches_eager() {
+        let cfg = LaunchConfig::for_elements(1 << 16, 256);
+        let profile = KernelProfile::elementwise(1 << 16, 4, 8);
+        // Eager reference: two kernels with a cross-stream edge.
+        let run_eager = |g: &Gpu, s1: StreamId| {
+            LaunchSpec::new("produce", cfg, profile)
+                .run(g, || ())
+                .unwrap();
+            let ev = g.record_event(StreamId::DEFAULT);
+            g.stream_wait(s1, &ev);
+            LaunchSpec::new("consume", cfg, profile)
+                .on(s1)
+                .run(g, || ())
+                .unwrap();
+        };
+        let eager = {
+            let g = gpu();
+            let s1 = g.create_stream();
+            for _ in 0..3 {
+                run_eager(&g, s1);
+            }
+            g.sync_streams()
+        };
+        let captured = {
+            let g = gpu();
+            let s1 = g.create_stream();
+            g.begin_capture("edge").unwrap();
+            run_eager(&g, s1);
+            let graph = g.end_capture().unwrap();
+            assert_eq!(g.now_ns(), 0, "capture must charge nothing");
+            assert_eq!(g.kernels_launched(), 0);
+            for _ in 0..3 {
+                graph.replay(&g).unwrap();
+            }
+            g.sync_streams()
+        };
+        // Replay pays ONE overhead per epoch instead of two; with the
+        // produce→consume pipeline, the critical path sheds exactly one
+        // overhead over the three rounds.
+        let oh = DeviceSpec::t4().launch_overhead_ns as u64;
+        assert_eq!(eager - captured, oh);
+    }
+
+    #[test]
+    fn replay_counts_one_launch_and_marks_nodes_as_graph() {
+        let g = gpu();
+        let cfg = LaunchConfig::for_elements(1 << 10, 256);
+        let profile = KernelProfile::elementwise(1 << 10, 2, 8);
+        g.begin_capture("pair").unwrap();
+        LaunchSpec::new("a", cfg, profile).run(&g, || ()).unwrap();
+        LaunchSpec::new("b", cfg, profile).run(&g, || ()).unwrap();
+        let graph = g.end_capture().unwrap();
+        assert_eq!(graph.len(), 2);
+        let r1 = graph.replay(&g).unwrap();
+        assert_eq!(g.kernels_launched(), 1, "one launch per replay");
+        let evs = g.recorder().snapshot();
+        assert_eq!(evs.len(), 3);
+        assert!(evs[0].name.starts_with("graph-launch/"));
+        assert!(!evs[0].graph);
+        assert!(evs[1].graph && evs[2].graph);
+        assert_eq!(r1.end_ns(), g.now_ns());
+        let r2 = graph.replay(&g).unwrap();
+        assert_eq!(g.kernels_launched(), 2);
+        assert!(r2.end_ns() > r1.end_ns());
+    }
+
+    #[test]
+    fn replay_exposes_record_timestamps_in_capture_order() {
+        let g = gpu();
+        let cfg = LaunchConfig::for_elements(1 << 10, 256);
+        let profile = KernelProfile::elementwise(1 << 10, 2, 8);
+        g.begin_capture("marks").unwrap();
+        LaunchSpec::new("a", cfg, profile).run(&g, || ()).unwrap();
+        let first = g.record_event(StreamId::DEFAULT);
+        assert_eq!(first.timestamp_ns(), 0, "unresolved during capture");
+        LaunchSpec::new("b", cfg, profile).run(&g, || ()).unwrap();
+        let _second = g.record_event(StreamId::DEFAULT);
+        let graph = g.end_capture().unwrap();
+        assert_eq!(graph.event_count(), 2);
+        let r = graph.replay(&g).unwrap();
+        let (t0, t1) = (r.event_ns(0).unwrap(), r.event_ns(1).unwrap());
+        assert!(0 < t0 && t0 < t1);
+        assert_eq!(t1, r.end_ns());
+        assert_eq!(r.events(), &[t0, t1]);
+        assert!(r.event_ns(2).is_none());
+    }
+}

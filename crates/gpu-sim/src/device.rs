@@ -1,6 +1,14 @@
 //! A live simulated GPU: allocator, clock, kernel launch, transfers.
+//!
+//! Since the command-stream rework, every charging entry point here is a
+//! thin wrapper over [`crate::command`]: it encodes the operation as a
+//! [`Command`], submits it, and rings the doorbell immediately, which makes
+//! the resulting timeline bit-identical to the historical synchronous
+//! charges while sharing one retirement path with batched submission and
+//! graph replay.
 
 use crate::arch::DeviceSpec;
+use crate::command::{Command, CommandProcessor, CopyCommand, KernelCommand};
 use crate::dim::Dim3;
 use crate::error::{invalid_launch, GpuError};
 use crate::event::{EventKind, EventRecorder, TraceEvent};
@@ -29,6 +37,9 @@ pub struct Gpu {
     streams: parking_lot::Mutex<Vec<u64>>,
     recorder: EventRecorder,
     kernels_launched: AtomicU64,
+    /// Driver-side command processor (queues, event table, capture state).
+    /// Lock ordering: `cmd` before `streams`, never the reverse.
+    pub(crate) cmd: parking_lot::Mutex<CommandProcessor>,
 }
 
 /// Handle to an asynchronous stream created with [`Gpu::create_stream`].
@@ -55,13 +66,21 @@ impl StreamId {
 pub struct GpuEvent {
     stream: u32,
     t_ns: u64,
+    /// Backing slot in the command processor's event table.
+    cmd: crate::command::CmdEvent,
 }
 
 impl GpuEvent {
     /// Simulated time at which the event fires (all prior work on the
-    /// recording stream has completed).
+    /// recording stream has completed). Zero while the event is only
+    /// captured in a graph (it resolves per replay).
     pub fn timestamp_ns(&self) -> u64 {
         self.t_ns
+    }
+
+    /// The driver-side event slot backing this event.
+    pub fn cmd_event(&self) -> crate::command::CmdEvent {
+        self.cmd
     }
 
     /// Ordinal of the stream the event was recorded on.
@@ -87,6 +106,7 @@ impl Gpu {
             streams: parking_lot::Mutex::new(vec![0]),
             recorder,
             kernels_launched: AtomicU64::new(0),
+            cmd: parking_lot::Mutex::new(CommandProcessor::default()),
         }
     }
 
@@ -101,7 +121,11 @@ impl Gpu {
 
     /// Aligns every stream (and the device floor) to the latest timestamp
     /// among them — `cudaDeviceSynchronize` across streams. Returns it.
+    /// Drains any pending commands first. Not capturable: call it outside
+    /// [`Gpu::begin_capture`]/[`Gpu::end_capture`] windows.
     pub fn sync_streams(&self) -> u64 {
+        self.doorbell()
+            .expect("cannot sync streams: command queue stalled");
         let t = {
             let mut streams = self.streams.lock();
             let t = streams
@@ -122,13 +146,17 @@ impl Gpu {
 
     /// Records an event on `stream` (`cudaEventRecord`): captures the time
     /// at which everything issued on the stream so far will have finished.
+    /// During graph capture the returned event is an unresolved template
+    /// (`timestamp_ns() == 0`); it resolves per replay.
     pub fn record_event(&self, stream: StreamId) -> GpuEvent {
-        let floor = self.clock_ns.load(Ordering::SeqCst);
-        let streams = self.streams.lock();
-        let t_ns = streams[stream.0 as usize].max(floor);
+        let cmd = self.create_cmd_event();
+        self.submit(stream, Command::EventRecord { event: cmd });
+        self.doorbell().expect("an event record can always retire");
+        let t_ns = self.cmd_event_ns(cmd).unwrap_or(0);
         GpuEvent {
             stream: stream.0,
             t_ns,
+            cmd,
         }
     }
 
@@ -136,9 +164,9 @@ impl Gpu {
     /// (`cudaStreamWaitEvent`): the stream's next-free slot is pushed to at
     /// least the event timestamp. Costs no simulated time itself.
     pub fn stream_wait(&self, stream: StreamId, event: &GpuEvent) {
-        let mut streams = self.streams.lock();
-        let slot = &mut streams[stream.0 as usize];
-        *slot = (*slot).max(event.t_ns);
+        self.submit(stream, Command::EventWait { event: event.cmd });
+        self.doorbell()
+            .expect("an eager stream_wait needs an already-recorded event");
     }
 
     /// Device ordinal (0-based).
@@ -191,19 +219,41 @@ impl Gpu {
         Arc::clone(&self.accounting)
     }
 
-    fn advance(&self, dur_ns: u64) -> u64 {
-        self.advance_on(StreamId::DEFAULT, dur_ns)
-    }
-
     /// Reserves `dur_ns` on a stream: the op starts when the stream is
     /// free (but never before the device floor) and returns its start.
-    fn advance_on(&self, stream: StreamId, dur_ns: u64) -> u64 {
+    /// Called only from command retirement.
+    pub(crate) fn advance_on(&self, stream: StreamId, dur_ns: u64) -> u64 {
         let floor = self.clock_ns.load(Ordering::SeqCst);
         let mut streams = self.streams.lock();
         let slot = &mut streams[stream.0 as usize];
         let start = (*slot).max(floor);
         *slot = start + dur_ns;
         start
+    }
+
+    /// Current time on one stream: its next-free slot, or the device
+    /// floor if later. Does not move the stream.
+    pub(crate) fn stream_time(&self, stream: StreamId) -> u64 {
+        let floor = self.clock_ns.load(Ordering::SeqCst);
+        self.streams.lock()[stream.0 as usize].max(floor)
+    }
+
+    /// Pushes a stream's next-free slot to at least `t_ns` (event-wait
+    /// retirement). Costs no simulated time.
+    pub(crate) fn wait_until(&self, stream: StreamId, t_ns: u64) {
+        let mut streams = self.streams.lock();
+        let slot = &mut streams[stream.0 as usize];
+        *slot = (*slot).max(t_ns);
+    }
+
+    /// Number of streams that exist on this device.
+    pub(crate) fn stream_count(&self) -> usize {
+        self.streams.lock().len()
+    }
+
+    /// Counts one kernel launch (retirement of a non-graph kernel).
+    pub(crate) fn count_kernel_launch(&self) {
+        self.kernels_launched.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Reserves `dur_ns` on `stream` with an extra lower bound on the
@@ -272,6 +322,7 @@ impl Gpu {
             bytes,
             flops,
             occupancy: occ,
+            graph: false,
         });
     }
 
@@ -298,18 +349,35 @@ impl Gpu {
         t.ceil() as u64
     }
 
+    /// Submits one copy command and rings the doorbell (the eager-wrapper
+    /// path shared by all transfer entry points).
+    fn charge_copy(
+        &self,
+        stream: StreamId,
+        kind: EventKind,
+        name: &str,
+        dur_ns: u64,
+        bytes: u64,
+    ) -> Result<(), GpuError> {
+        self.submit(
+            stream,
+            Command::Copy(CopyCommand {
+                name: name.to_owned(),
+                kind,
+                dur_ns,
+                bytes,
+                graph: false,
+            }),
+        );
+        self.doorbell()
+    }
+
     /// Copies host data to a new device buffer, charging PCIe time.
     pub fn htod<T: Copy + Send + Sync + 'static>(
         &self,
         host: &[T],
     ) -> Result<DeviceBuffer<T>, GpuError> {
-        let buf =
-            DeviceBuffer::from_vec(host.to_vec(), self.ordinal, Arc::clone(&self.accounting))?;
-        let bytes = buf.size_bytes();
-        let dur = self.transfer_ns(bytes);
-        let start = self.advance(dur);
-        self.record(EventKind::MemcpyH2D, "htod", start, dur, bytes, 0, 0.0);
-        Ok(buf)
+        self.htod_on(StreamId::DEFAULT, host)
     }
 
     /// Copies a device buffer back to host, charging PCIe time.
@@ -317,12 +385,7 @@ impl Gpu {
         &self,
         buf: &DeviceBuffer<T>,
     ) -> Result<Vec<T>, GpuError> {
-        buf.expect_device(self.ordinal)?;
-        let bytes = buf.size_bytes();
-        let dur = self.transfer_ns(bytes);
-        let start = self.advance(dur);
-        self.record(EventKind::MemcpyD2H, "dtoh", start, dur, bytes, 0, 0.0);
-        Ok(buf.host_view().to_vec())
+        self.dtoh_on(StreamId::DEFAULT, buf)
     }
 
     /// Duplicates a buffer on the same device, charging global-memory time.
@@ -340,8 +403,7 @@ impl Gpu {
         let dur = (self.spec.memory.latency_ns
             + bytes as f64 / self.spec.memory.bandwidth_bytes_per_sec * 1e9)
             .ceil() as u64;
-        let start = self.advance(dur);
-        self.record(EventKind::MemcpyD2D, "dtod", start, dur, bytes, 0, 0.0);
+        self.charge_copy(StreamId::DEFAULT, EventKind::MemcpyD2D, "dtod", dur, bytes)?;
         Ok(copy)
     }
 
@@ -372,17 +434,7 @@ impl Gpu {
         }
         let lease = pool.lease(bytes)?;
         let dur = self.transfer_ns(bytes);
-        let start = self.advance_on(stream, dur);
-        self.record_on(
-            EventKind::MemcpyH2D,
-            "htod",
-            stream.ordinal(),
-            start,
-            dur,
-            bytes,
-            0,
-            0.0,
-        );
+        self.charge_copy(stream, EventKind::MemcpyH2D, "htod", dur, bytes)?;
         Ok(lease)
     }
 
@@ -402,18 +454,7 @@ impl Gpu {
         }
         let bytes = lease.bytes();
         let dur = self.transfer_ns(bytes);
-        let start = self.advance_on(stream, dur);
-        self.record_on(
-            EventKind::MemcpyD2H,
-            "dtoh",
-            stream.ordinal(),
-            start,
-            dur,
-            bytes,
-            0,
-            0.0,
-        );
-        Ok(())
+        self.charge_copy(stream, EventKind::MemcpyD2H, "dtoh", dur, bytes)
     }
 
     // ------------------------------------------------------------------
@@ -469,11 +510,8 @@ impl Gpu {
         Ok((dur.ceil() as u64, occ))
     }
 
-    /// Launches a kernel: validates the configuration, charges modeled
-    /// time, runs `body` (the real computation), and records a trace event.
-    ///
-    /// `body` is expected to parallelize itself (e.g. rayon) if beneficial;
-    /// the simulated duration comes from `profile`, not wall time.
+    /// Deprecated wrapper over [`LaunchSpec::run`].
+    #[deprecated(note = "use `LaunchSpec::new(name, cfg, profile).run(gpu, body)`")]
     pub fn launch<R>(
         &self,
         name: &str,
@@ -481,25 +519,11 @@ impl Gpu {
         profile: KernelProfile,
         body: impl FnOnce() -> R,
     ) -> Result<R, GpuError> {
-        let (dur, occ) = self.kernel_duration_ns(&cfg, &profile)?;
-        let out = body();
-        let start = self.advance(dur);
-        self.record(
-            EventKind::Kernel,
-            name,
-            start,
-            dur,
-            profile.bytes,
-            profile.flops,
-            occ.occupancy,
-        );
-        self.kernels_launched.fetch_add(1, Ordering::Relaxed);
-        Ok(out)
+        LaunchSpec::new(name, cfg, profile).run(self, body)
     }
 
-    /// [`Self::launch`] on an explicit stream: kernels on different
-    /// streams may overlap in simulated time with transfers and with each
-    /// other (the week-4 lab's copy/compute-overlap optimization).
+    /// Deprecated wrapper over [`LaunchSpec::on`] + [`LaunchSpec::run`].
+    #[deprecated(note = "use `LaunchSpec::new(name, cfg, profile).on(stream).run(gpu, body)`")]
     pub fn launch_on<R>(
         &self,
         stream: StreamId,
@@ -508,21 +532,9 @@ impl Gpu {
         profile: KernelProfile,
         body: impl FnOnce() -> R,
     ) -> Result<R, GpuError> {
-        let (dur, occ) = self.kernel_duration_ns(&cfg, &profile)?;
-        let out = body();
-        let start = self.advance_on(stream, dur);
-        self.record_on(
-            EventKind::Kernel,
-            name,
-            stream.ordinal(),
-            start,
-            dur,
-            profile.bytes,
-            profile.flops,
-            occ.occupancy,
-        );
-        self.kernels_launched.fetch_add(1, Ordering::Relaxed);
-        Ok(out)
+        LaunchSpec::new(name, cfg, profile)
+            .on(stream)
+            .run(self, body)
     }
 
     /// Asynchronous host-to-device copy on a stream (`cudaMemcpyAsync`).
@@ -535,17 +547,7 @@ impl Gpu {
             DeviceBuffer::from_vec(host.to_vec(), self.ordinal, Arc::clone(&self.accounting))?;
         let bytes = buf.size_bytes();
         let dur = self.transfer_ns(bytes);
-        let start = self.advance_on(stream, dur);
-        self.record_on(
-            EventKind::MemcpyH2D,
-            "htod",
-            stream.ordinal(),
-            start,
-            dur,
-            bytes,
-            0,
-            0.0,
-        );
+        self.charge_copy(stream, EventKind::MemcpyH2D, "htod", dur, bytes)?;
         Ok(buf)
     }
 
@@ -558,22 +560,12 @@ impl Gpu {
         buf.expect_device(self.ordinal)?;
         let bytes = buf.size_bytes();
         let dur = self.transfer_ns(bytes);
-        let start = self.advance_on(stream, dur);
-        self.record_on(
-            EventKind::MemcpyD2H,
-            "dtoh",
-            stream.ordinal(),
-            start,
-            dur,
-            bytes,
-            0,
-            0.0,
-        );
+        self.charge_copy(stream, EventKind::MemcpyD2H, "dtoh", dur, bytes)?;
         Ok(buf.host_view().to_vec())
     }
 
-    /// CUDA's "one thread per output element" idiom, made safe: thread `i`
-    /// computes `f(i, n)` into `out[i]`. The grid must cover `out.len()`.
+    /// Deprecated wrapper over [`LaunchSpec::map`].
+    #[deprecated(note = "use `LaunchSpec::new(name, cfg, profile).map(gpu, out, f)`")]
     pub fn launch_map<T, F>(
         &self,
         name: &str,
@@ -586,26 +578,11 @@ impl Gpu {
         T: Copy + Send + Sync + 'static,
         F: Fn(usize, usize) -> T + Sync,
     {
-        out.expect_device(self.ordinal)?;
-        let n = out.len();
-        if cfg.total_threads() < n as u64 {
-            return Err(GpuError::ShapeMismatch {
-                expected: n as u64,
-                actual: cfg.total_threads(),
-            });
-        }
-        self.launch(name, cfg, profile, || {
-            out.host_view_mut()
-                .par_iter_mut()
-                .enumerate()
-                .for_each(|(i, slot)| *slot = f(i, n));
-        })
+        LaunchSpec::new(name, cfg, profile).map(self, out, f)
     }
 
-    /// Runs `f(block_idx, thread_idx)` for every thread in the launch,
-    /// parallelized over blocks (threads within a block run sequentially,
-    /// which legalizes shared-memory-style per-block state in `f`'s captures
-    /// only via synchronization). Intended for instructional kernels.
+    /// Deprecated wrapper over [`LaunchSpec::for_each_thread`].
+    #[deprecated(note = "use `LaunchSpec::new(name, cfg, profile).for_each_thread(gpu, f)`")]
     pub fn launch_threads<F>(
         &self,
         name: &str,
@@ -616,17 +593,7 @@ impl Gpu {
     where
         F: Fn(Dim3, Dim3) + Sync,
     {
-        let grid = cfg.grid;
-        let block = cfg.block;
-        self.launch(name, cfg, profile, || {
-            (0..grid.count()).into_par_iter().for_each(|b| {
-                let bidx = grid.delinearize(b).expect("in range");
-                for t in 0..block.count() {
-                    let tidx = block.delinearize(t).expect("in range");
-                    f(bidx, tidx);
-                }
-            });
-        })
+        LaunchSpec::new(name, cfg, profile).for_each_thread(self, f)
     }
 
     /// Records a blocking synchronization point (`cudaDeviceSynchronize`).
@@ -642,6 +609,138 @@ impl Gpu {
         let end = self.now_ns();
         self.record(EventKind::Range, name, start, end - start, 0, 0, 0.0);
         out
+    }
+}
+
+/// Builder describing one kernel launch — the single entry point that
+/// replaced the historical `launch`/`launch_on`/`launch_map`/
+/// `launch_threads` quartet.
+///
+/// ```
+/// use gpu_sim::prelude::*;
+/// use gpu_sim::device::LaunchSpec;
+///
+/// let gpu = Gpu::new(0, DeviceSpec::t4());
+/// let cfg = LaunchConfig::for_elements(1024, 256);
+/// let profile = KernelProfile::elementwise(1024, 1, 8);
+/// let s = gpu.create_stream();
+/// LaunchSpec::new("scale", cfg, profile)
+///     .on(s)
+///     .run(&gpu, || ())
+///     .unwrap();
+/// assert_eq!(gpu.kernels_launched(), 1);
+/// ```
+///
+/// Terminals ([`LaunchSpec::run`], [`LaunchSpec::map`],
+/// [`LaunchSpec::for_each_thread`]) validate the configuration, run the
+/// body on the host, and submit one [`KernelCommand`] with the modeled
+/// duration; eagerly ringing the doorbell keeps the timeline identical to
+/// the old synchronous charge. During graph capture the command lands in
+/// the graph instead.
+#[derive(Debug, Clone, Copy)]
+pub struct LaunchSpec<'a> {
+    name: &'a str,
+    cfg: LaunchConfig,
+    profile: KernelProfile,
+    stream: StreamId,
+}
+
+impl<'a> LaunchSpec<'a> {
+    /// A launch of `name` with an explicit grid/block configuration,
+    /// targeting the default stream.
+    pub fn new(name: &'a str, cfg: LaunchConfig, profile: KernelProfile) -> Self {
+        Self {
+            name,
+            cfg,
+            profile,
+            stream: StreamId::DEFAULT,
+        }
+    }
+
+    /// Targets an explicit stream (kernels on different streams may
+    /// overlap with transfers and each other).
+    pub fn on(mut self, stream: StreamId) -> Self {
+        self.stream = stream;
+        self
+    }
+
+    /// Replaces the configuration with a one-thread-per-element grid over
+    /// `n` elements (blocks of 256 threads).
+    pub fn threads(mut self, n: u64) -> Self {
+        self.cfg = LaunchConfig::for_elements(n, 256);
+        self
+    }
+
+    /// The launch configuration this spec will submit.
+    pub fn config(&self) -> &LaunchConfig {
+        &self.cfg
+    }
+
+    /// Validates, runs `body` (the real computation), and submits the
+    /// kernel command. `body` is expected to parallelize itself (e.g.
+    /// rayon) if beneficial; the simulated duration comes from the
+    /// profile, not wall time.
+    pub fn run<R>(&self, gpu: &Gpu, body: impl FnOnce() -> R) -> Result<R, GpuError> {
+        let (dur, occ) = gpu.kernel_duration_ns(&self.cfg, &self.profile)?;
+        let out = body();
+        gpu.submit(
+            self.stream,
+            Command::Kernel(KernelCommand {
+                name: self.name.to_owned(),
+                dur_ns: dur,
+                bytes: self.profile.bytes,
+                flops: self.profile.flops,
+                occupancy: occ.occupancy,
+                graph: false,
+            }),
+        );
+        gpu.doorbell()?;
+        Ok(out)
+    }
+
+    /// CUDA's "one thread per output element" idiom, made safe: thread `i`
+    /// computes `f(i, n)` into `out[i]`. The grid must cover `out.len()`.
+    pub fn map<T, F>(&self, gpu: &Gpu, out: &mut DeviceBuffer<T>, f: F) -> Result<(), GpuError>
+    where
+        T: Copy + Send + Sync + 'static,
+        F: Fn(usize, usize) -> T + Sync,
+    {
+        out.expect_device(gpu.ordinal)?;
+        let n = out.len();
+        if self.cfg.total_threads() < n as u64 {
+            return Err(GpuError::ShapeMismatch {
+                expected: n as u64,
+                actual: self.cfg.total_threads(),
+            });
+        }
+        self.run(gpu, || {
+            out.host_view_mut()
+                .par_iter_mut()
+                .enumerate()
+                .for_each(|(i, slot)| *slot = f(i, n));
+        })
+    }
+
+    /// Runs `f(block_idx, thread_idx)` for every thread in the launch,
+    /// parallelized over blocks (threads within a block run sequentially,
+    /// which legalizes shared-memory-style per-block state in `f`'s
+    /// captures only via synchronization). Intended for instructional
+    /// kernels.
+    pub fn for_each_thread<F>(&self, gpu: &Gpu, f: F) -> Result<(), GpuError>
+    where
+        F: Fn(Dim3, Dim3) + Sync,
+    {
+        let grid = self.cfg.grid;
+        let block = self.cfg.block;
+        self.run(gpu, || {
+            (0..grid.count()).into_par_iter().for_each(|b| {
+                let bidx = grid.delinearize(b).expect("in range");
+                for t in 0..block.count() {
+                    let tidx = block.delinearize(t).expect("in range");
+                    f(bidx, tidx);
+                }
+            });
+        })
     }
 }
 
@@ -698,14 +797,9 @@ mod tests {
         let g = gpu();
         let mut out = g.alloc_zeroed::<f32>(1000).unwrap();
         let cfg = LaunchConfig::for_elements(1000, 256);
-        g.launch_map(
-            "square",
-            cfg,
-            KernelProfile::elementwise(1000, 1, 8),
-            &mut out,
-            |i, _| (i as f32) * (i as f32),
-        )
-        .unwrap();
+        LaunchSpec::new("square", cfg, KernelProfile::elementwise(1000, 1, 8))
+            .map(&g, &mut out, |i, _| (i as f32) * (i as f32))
+            .unwrap();
         let host = g.dtoh(&out).unwrap();
         assert_eq!(host[7], 49.0);
         assert_eq!(host[999], 999.0 * 999.0);
@@ -716,14 +810,8 @@ mod tests {
         let g = gpu();
         let mut out = g.alloc_zeroed::<f32>(1000).unwrap();
         let cfg = LaunchConfig::new(Dim3::x(1), Dim3::x(256)); // only 256 threads
-        let err = g
-            .launch_map(
-                "bad",
-                cfg,
-                KernelProfile::elementwise(1000, 1, 8),
-                &mut out,
-                |_, _| 0.0,
-            )
+        let err = LaunchSpec::new("bad", cfg, KernelProfile::elementwise(1000, 1, 8))
+            .map(&g, &mut out, |_, _| 0.0)
             .unwrap_err();
         assert!(matches!(err, GpuError::ShapeMismatch { .. }));
     }
@@ -732,8 +820,8 @@ mod tests {
     fn invalid_block_size_rejected() {
         let g = gpu();
         let cfg = LaunchConfig::new(Dim3::x(1), Dim3::x(2048));
-        let err = g
-            .launch("k", cfg, KernelProfile::elementwise(10, 1, 4), || ())
+        let err = LaunchSpec::new("k", cfg, KernelProfile::elementwise(10, 1, 4))
+            .run(&g, || ())
             .unwrap_err();
         assert!(matches!(err, GpuError::InvalidLaunch { .. }));
     }
@@ -742,9 +830,11 @@ mod tests {
     fn zero_grid_rejected() {
         let g = gpu();
         let cfg = LaunchConfig::new(Dim3::x(0), Dim3::x(128));
-        assert!(g
-            .launch("k", cfg, KernelProfile::elementwise(10, 1, 4), || ())
-            .is_err());
+        assert!(
+            LaunchSpec::new("k", cfg, KernelProfile::elementwise(10, 1, 4))
+                .run(&g, || ())
+                .is_err()
+        );
     }
 
     #[test]
@@ -788,18 +878,53 @@ mod tests {
             let mut out = g.alloc_zeroed::<f32>(4096).unwrap();
             let cfg = LaunchConfig::for_elements(4096, 128);
             for _ in 0..5 {
-                g.launch_map(
-                    "k",
-                    cfg,
-                    KernelProfile::elementwise(4096, 2, 8),
-                    &mut out,
-                    |i, _| i as f32,
-                )
-                .unwrap();
+                LaunchSpec::new("k", cfg, KernelProfile::elementwise(4096, 2, 8))
+                    .map(&g, &mut out, |i, _| i as f32)
+                    .unwrap();
             }
             g.now_ns()
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_launch_wrappers_match_launch_spec() {
+        let cfg = LaunchConfig::for_elements(1024, 256);
+        let profile = KernelProfile::elementwise(1024, 2, 8);
+        // Each legacy entry point must behave exactly like its LaunchSpec
+        // equivalent: same timeline, same results.
+        let spec_run = {
+            let g = gpu();
+            let s = g.create_stream();
+            let mut out = g.alloc_zeroed::<f32>(1024).unwrap();
+            LaunchSpec::new("a", cfg, profile).run(&g, || ()).unwrap();
+            LaunchSpec::new("b", cfg, profile)
+                .on(s)
+                .run(&g, || ())
+                .unwrap();
+            LaunchSpec::new("c", cfg, profile)
+                .map(&g, &mut out, |i, _| i as f32)
+                .unwrap();
+            LaunchSpec::new("d", cfg, profile)
+                .for_each_thread(&g, |_, _| ())
+                .unwrap();
+            g.synchronize();
+            (g.now_ns(), g.kernels_launched(), g.dtoh(&out).unwrap())
+        };
+        let legacy_run = {
+            let g = gpu();
+            let s = g.create_stream();
+            let mut out = g.alloc_zeroed::<f32>(1024).unwrap();
+            g.launch("a", cfg, profile, || ()).unwrap();
+            g.launch_on(s, "b", cfg, profile, || ()).unwrap();
+            g.launch_map("c", cfg, profile, &mut out, |i, _| i as f32)
+                .unwrap();
+            g.launch_threads("d", cfg, profile, |_, _| ()).unwrap();
+            g.synchronize();
+            (g.now_ns(), g.kernels_launched(), g.dtoh(&out).unwrap())
+        };
+        assert_eq!(spec_run, legacy_run);
     }
 
     #[test]
@@ -809,14 +934,9 @@ mod tests {
         let buf = g.htod(&data).unwrap();
         let mut out = g.alloc_zeroed::<f32>(256).unwrap();
         let cfg = LaunchConfig::for_elements(256, 128);
-        g.launch_map(
-            "copy",
-            cfg,
-            KernelProfile::elementwise(256, 0, 8),
-            &mut out,
-            |i, _| buf.host_view()[i],
-        )
-        .unwrap();
+        LaunchSpec::new("copy", cfg, KernelProfile::elementwise(256, 0, 8))
+            .map(&g, &mut out, |i, _| buf.host_view()[i])
+            .unwrap();
         g.synchronize();
         let evs = g.recorder().snapshot();
         assert_eq!(evs.len(), 3);
@@ -834,17 +954,13 @@ mod tests {
         let g = gpu();
         let cfg = LaunchConfig::new(Dim3::xy(4, 2), Dim3::x(32));
         let hits: Vec<AtomicU32> = (0..256).map(|_| AtomicU32::new(0)).collect();
-        g.launch_threads(
-            "count",
-            cfg,
-            KernelProfile::elementwise(256, 1, 4),
-            |b, t| {
+        LaunchSpec::new("count", cfg, KernelProfile::elementwise(256, 1, 4))
+            .for_each_thread(&g, |b, t| {
                 let bid = Dim3::xy(4, 2).linearize(b).unwrap() as usize;
                 let tid = bid * 32 + t.x as usize;
                 hits[tid].fetch_add(1, Ordering::Relaxed);
-            },
-        )
-        .unwrap();
+            })
+            .unwrap();
         assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
     }
 
@@ -896,12 +1012,12 @@ mod tests {
         let serial = {
             let g = gpu();
             let _ = g.htod(&vec![0u8; 8 << 20]).unwrap();
-            g.launch(
+            LaunchSpec::new(
                 "k",
                 LaunchConfig::for_elements(1 << 20, 256),
                 KernelProfile::elementwise(1 << 20, 64, 8),
-                || (),
             )
+            .run(&g, || ())
             .unwrap();
             g.now_ns()
         };
@@ -910,13 +1026,13 @@ mod tests {
             let s1 = g.create_stream();
             let s2 = g.create_stream();
             let _ = g.htod_on(s1, &vec![0u8; 8 << 20]).unwrap();
-            g.launch_on(
-                s2,
+            LaunchSpec::new(
                 "k",
                 LaunchConfig::for_elements(1 << 20, 256),
                 KernelProfile::elementwise(1 << 20, 64, 8),
-                || (),
             )
+            .on(s2)
+            .run(&g, || ())
             .unwrap();
             g.sync_streams()
         };
@@ -934,8 +1050,8 @@ mod tests {
         let s = g.create_stream();
         let cfg = LaunchConfig::for_elements(1 << 16, 256);
         let p = KernelProfile::elementwise(1 << 16, 4, 8);
-        g.launch_on(s, "a", cfg, p, || ()).unwrap();
-        g.launch_on(s, "b", cfg, p, || ()).unwrap();
+        LaunchSpec::new("a", cfg, p).on(s).run(&g, || ()).unwrap();
+        LaunchSpec::new("b", cfg, p).on(s).run(&g, || ()).unwrap();
         let evs = g.recorder().snapshot();
         assert_eq!(evs.len(), 2);
         assert!(evs[1].start_ns >= evs[0].end_ns(), "in-stream ordering");
@@ -1007,7 +1123,7 @@ mod tests {
         let p = KernelProfile::elementwise(1 << 14, 2, 8);
         let mut last = g.record_event(s).timestamp_ns();
         for _ in 0..4 {
-            g.launch_on(s, "k", cfg, p, || ()).unwrap();
+            LaunchSpec::new("k", cfg, p).on(s).run(&g, || ()).unwrap();
             let t = g.record_event(s).timestamp_ns();
             assert!(t > last, "stream clock must advance per launch");
             last = t;
@@ -1026,13 +1142,13 @@ mod tests {
         assert_eq!(ev.stream_ordinal(), producer.ordinal());
         // Consumer waits on the event, then launches.
         g.stream_wait(consumer, &ev);
-        g.launch_on(
-            consumer,
+        LaunchSpec::new(
             "use",
             LaunchConfig::for_elements(1 << 10, 256),
             KernelProfile::elementwise(1 << 10, 1, 8),
-            || (),
         )
+        .on(consumer)
+        .run(&g, || ())
         .unwrap();
         let evs = g.recorder().snapshot();
         let kernel = evs.iter().find(|e| e.kind == EventKind::Kernel).unwrap();
@@ -1042,13 +1158,13 @@ mod tests {
         );
         // Without the wait, an identical kernel on a fresh stream starts at 0.
         let free = g.create_stream();
-        g.launch_on(
-            free,
+        LaunchSpec::new(
             "unordered",
             LaunchConfig::for_elements(1 << 10, 256),
             KernelProfile::elementwise(1 << 10, 1, 8),
-            || (),
         )
+        .on(free)
+        .run(&g, || ())
         .unwrap();
         let unordered = g
             .recorder()

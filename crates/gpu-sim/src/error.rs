@@ -21,6 +21,13 @@ pub enum GpuError {
     NoPeerLink { from: u32, to: u32 },
     /// Referenced device id does not exist in the cluster.
     NoSuchDevice { device: u32 },
+    /// Graph capture was begun, ended, or validated in an illegal state
+    /// (nested capture, end without begin, a cross-stream wait on an event
+    /// never recorded inside the capture, ...).
+    InvalidCapture { reason: String },
+    /// The command processor made a full retirement pass without progress:
+    /// some queued command waits on an event that will never resolve.
+    QueueStalled { reason: String },
 }
 
 impl std::fmt::Display for GpuError {
@@ -45,6 +52,8 @@ impl std::fmt::Display for GpuError {
                 write!(f, "no peer link between device {from} and device {to}")
             }
             GpuError::NoSuchDevice { device } => write!(f, "no such device: {device}"),
+            GpuError::InvalidCapture { reason } => write!(f, "invalid graph capture: {reason}"),
+            GpuError::QueueStalled { reason } => write!(f, "command queue stalled: {reason}"),
         }
     }
 }

@@ -75,6 +75,11 @@ pub struct TraceEvent {
     pub flops: u64,
     /// Achieved occupancy in `[0, 1]` for kernels; 0 otherwise.
     pub occupancy: f64,
+    /// Whether the event was re-issued by a [`Graph`](crate::command::Graph)
+    /// replay rather than submitted individually. Replayed kernel nodes
+    /// carry no per-launch overhead (the graph launch pays it once), so the
+    /// profiler excludes them from launch counting.
+    pub graph: bool,
 }
 
 impl TraceEvent {
@@ -162,6 +167,7 @@ mod tests {
             bytes: 0,
             flops: 0,
             occupancy: 0.5,
+            graph: false,
         }
     }
 

@@ -24,7 +24,10 @@
 //!   bandwidths). Presets model the AWS instance GPUs the paper used
 //!   (T4 on `g4dn`, A10G on `g5`, V100 on `p3`).
 //! - [`device::Gpu`] — a live device: allocator, streams, simulated clock,
-//!   kernel launch.
+//!   kernel launch via the [`device::LaunchSpec`] builder.
+//! - [`command`] — the command-stream runtime: typed commands on
+//!   per-stream queues, doorbell-driven retirement, completion queues,
+//!   and CUDA-graph-style capture/replay.
 //! - [`memory::DeviceBuffer`] — typed device allocation holding real data.
 //! - [`kernel`] — launch configuration, cost profiles, access patterns.
 //! - [`occupancy`] — CUDA-style occupancy calculator.
@@ -43,9 +46,9 @@
 //!
 //! let cfg = LaunchConfig::for_elements(1024, 256);
 //! let profile = KernelProfile::elementwise(1024, 2, 3 * 4);
-//! gpu.launch_map("vecadd", cfg, profile, &mut out, |i, _| {
-//!     a.host_view()[i] + b.host_view()[i]
-//! }).unwrap();
+//! LaunchSpec::new("vecadd", cfg, profile)
+//!     .map(&gpu, &mut out, |i, _| a.host_view()[i] + b.host_view()[i])
+//!     .unwrap();
 //!
 //! let host = gpu.dtoh(&out).unwrap();
 //! assert!(host.iter().all(|&x| x == 3.0));
@@ -54,6 +57,7 @@
 
 pub mod arch;
 pub mod cluster;
+pub mod command;
 pub mod device;
 pub mod dim;
 pub mod error;
@@ -67,7 +71,10 @@ pub mod pool;
 pub mod prelude {
     pub use crate::arch::{DeviceSpec, MemorySpec};
     pub use crate::cluster::{GpuCluster, LinkKind, ReduceHandle};
-    pub use crate::device::{Gpu, GpuEvent, StreamId};
+    pub use crate::command::{
+        CmdEvent, CollectiveCommand, Command, Completion, CopyCommand, Graph, KernelCommand, Replay,
+    };
+    pub use crate::device::{Gpu, GpuEvent, LaunchSpec, StreamId};
     pub use crate::dim::Dim3;
     pub use crate::error::GpuError;
     pub use crate::event::{EventKind, EventRecorder, TraceEvent};
@@ -81,7 +88,10 @@ pub mod prelude {
 
 pub use arch::DeviceSpec;
 pub use cluster::{GpuCluster, LinkKind, ReduceHandle};
-pub use device::{Gpu, GpuEvent, StreamId};
+pub use command::{
+    CmdEvent, CollectiveCommand, Command, Completion, CopyCommand, Graph, KernelCommand, Replay,
+};
+pub use device::{Gpu, GpuEvent, LaunchSpec, StreamId};
 pub use dim::Dim3;
 pub use error::GpuError;
 pub use event::{EventKind, EventRecorder, TraceEvent};

@@ -23,18 +23,83 @@ proptest! {
         prop_assert!(t_a as f64 >= DeviceSpec::t4().pcie_latency_ns);
     }
 
-    /// launch_map computes f(i) at every index, for any covering config.
+    /// LaunchSpec::map computes f(i) at every index, for any covering config.
     #[test]
     fn launch_map_total_coverage(n in 1usize..4096, block in 1u32..512) {
         let gpu = Gpu::new(0, DeviceSpec::t4());
         let mut out = gpu.alloc_zeroed::<f32>(n).unwrap();
         let cfg = LaunchConfig::for_elements(n as u64, block);
-        gpu.launch_map("idx", cfg, KernelProfile::elementwise(n as u64, 1, 8), &mut out, |i, _| i as f32)
+        LaunchSpec::new("idx", cfg, KernelProfile::elementwise(n as u64, 1, 8))
+            .map(&gpu, &mut out, |i, _| i as f32)
             .unwrap();
         let host = gpu.dtoh(&out).unwrap();
         for (i, &v) in host.iter().enumerate() {
             prop_assert_eq!(v, i as f32);
         }
+    }
+
+    /// Command retirement respects stream order and event edges for ANY
+    /// batch of kernels spread over streams with record/wait pairs: within
+    /// a stream completions retire in submission order back-to-back, and
+    /// every waiting command starts at or after the event it waits on.
+    #[test]
+    fn retirement_respects_stream_and_event_edges(
+        durs in proptest::collection::vec(1u64..50_000, 2..24),
+        raw_edges in proptest::collection::vec(0usize..(24 * 24), 0..8),
+    ) {
+        let gpu = Gpu::new(0, DeviceSpec::t4());
+        let streams = [StreamId::DEFAULT, gpu.create_stream(), gpu.create_stream()];
+        // Producer half on stream 1, consumer half on stream 2; an event
+        // edge (p, c) orders consumer kernel c after producer kernel p.
+        let n = durs.len();
+        let mut events = Vec::new();
+        for e in &raw_edges {
+            let (p, c) = (e / 24, e % 24);
+            events.push((p % (n / 2), n / 2 + c % (n - n / 2), gpu.create_cmd_event()));
+        }
+        let mut kernel_seq = vec![0u64; n];
+        for (i, &dur) in durs.iter().enumerate() {
+            let stream = streams[if i < n / 2 { 1 } else { 2 }];
+            for (_, _, ev) in events.iter().filter(|(_, c, _)| *c == i) {
+                gpu.submit(stream, Command::EventWait { event: *ev });
+            }
+            kernel_seq[i] = gpu.submit(stream, Command::Kernel(KernelCommand {
+                name: format!("k{i}"),
+                dur_ns: dur,
+                bytes: 0,
+                flops: 0,
+                occupancy: 0.5,
+                graph: false,
+            }));
+            for (_, _, ev) in events.iter().filter(|(p, _, _)| *p == i) {
+                gpu.submit(stream, Command::EventRecord { event: *ev });
+            }
+        }
+        gpu.doorbell().unwrap();
+        // Per-stream: completions retire in submission order, back-to-back
+        // (a later command never starts before an earlier one ends).
+        let mut by_seq = std::collections::HashMap::new();
+        for s in &streams[1..] {
+            let comps = gpu.drain_completions(*s);
+            for w in comps.windows(2) {
+                prop_assert!(w[0].seq < w[1].seq, "in-stream submission order");
+                prop_assert!(w[1].start_ns >= w[0].end_ns, "no overlap within a stream");
+            }
+            for c in comps {
+                by_seq.insert(c.seq, c);
+            }
+        }
+        // Every event edge is respected: the event resolved to the
+        // producer kernel's end, and the consumer starts at or after it.
+        for (p, c, ev) in &events {
+            let t = gpu.cmd_event_ns(*ev);
+            prop_assert!(t.is_some(), "all events resolved");
+            let t = t.unwrap();
+            prop_assert!(t >= by_seq[&kernel_seq[*p]].end_ns, "record after producer");
+            prop_assert!(by_seq[&kernel_seq[*c]].start_ns >= t, "consumer after event");
+        }
+        prop_assert_eq!(gpu.pending_commands(), 0);
+        prop_assert_eq!(gpu.kernels_launched(), n as u64);
     }
 
     /// Occupancy never increases when registers per thread grow.

@@ -168,7 +168,13 @@ pub fn analyze_with_residency(
     let transfer_fraction = transfer_ns as f64 / span as f64;
     let idle_fraction = idle_ns as f64 / span as f64;
 
-    let kernel_launches = lane.iter().filter(|e| e.kind == EventKind::Kernel).count() as u64;
+    // Graph-replayed kernels (`graph: true`) cost no per-kernel submission:
+    // the whole graph is one launch (its `graph-launch/*` marker event), so
+    // only non-graph kernel events count toward launch overhead.
+    let kernel_launches = lane
+        .iter()
+        .filter(|e| e.kind == EventKind::Kernel && !e.graph)
+        .count() as u64;
     let launch_overhead_fraction = if kernel_ns == 0 {
         0.0
     } else {
@@ -351,6 +357,7 @@ mod tests {
             bytes,
             flops,
             occupancy: occ,
+            graph: false,
         }
     }
 
@@ -564,6 +571,43 @@ mod tests {
         assert_eq!(fused.kernel_launches, 1);
         assert!(fused.launch_overhead_fraction < 0.1);
         assert!(!fused
+            .recommendations
+            .iter()
+            .any(|r| r.contains("fuse adjacent kernels")));
+    }
+
+    #[test]
+    fn graph_replayed_kernels_do_not_count_as_launches() {
+        // Same ten tiny kernels, but replayed from a captured graph: only
+        // the graph-launch marker is a real submission, so the overhead
+        // share collapses and the fusion advice stays quiet.
+        let mut events = vec![ev(
+            EventKind::Kernel,
+            "graph-launch/epoch",
+            0,
+            4_000,
+            0,
+            0,
+            1.0,
+        )];
+        events.extend((0..10).map(|i| {
+            let mut e = ev(
+                EventKind::Kernel,
+                "tiny",
+                4_000 + i * 5_000,
+                5_000,
+                1 << 20,
+                1 << 20,
+                0.9,
+            );
+            e.graph = true;
+            e
+        }));
+        let report = analyze(&Timeline::from_events(events), 0, &spec());
+        assert_eq!(report.kernel_launches, 1);
+        // 4 µs of overhead over 54 µs of kernel time.
+        assert!((report.launch_overhead_fraction - 4.0 / 54.0).abs() < 1e-9);
+        assert!(!report
             .recommendations
             .iter()
             .any(|r| r.contains("fuse adjacent kernels")));

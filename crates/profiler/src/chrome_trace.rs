@@ -110,6 +110,7 @@ mod tests {
             bytes: 64,
             flops: 128,
             occupancy: 0.75,
+            graph: false,
         }
     }
 

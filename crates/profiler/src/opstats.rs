@@ -158,6 +158,7 @@ mod tests {
             bytes,
             flops,
             occupancy: occ,
+            graph: false,
         }
     }
 

@@ -103,7 +103,7 @@ impl Roofline {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use gpu_sim::{AccessPattern, Gpu, KernelProfile, LaunchConfig};
+    use gpu_sim::{AccessPattern, Gpu, KernelProfile, LaunchConfig, LaunchSpec};
 
     #[test]
     fn ridge_is_machine_balance() {
@@ -139,7 +139,8 @@ mod tests {
                 access: AccessPattern::Coalesced,
                 registers_per_thread: 32,
             };
-            gpu.launch(&format!("k_{flops_per}_{bytes_per}"), cfg, p, || ())
+            LaunchSpec::new(&format!("k_{flops_per}_{bytes_per}"), cfg, p)
+                .run(&gpu, || ())
                 .unwrap();
         }
         let r = roofline(gpu.spec(), &gpu.recorder().snapshot());
@@ -163,15 +164,12 @@ mod tests {
         let gpu = Gpu::new(0, DeviceSpec::t4());
         let small = KernelProfile::matmul(32, 32, 32);
         let large = KernelProfile::matmul(2048, 2048, 2048);
-        gpu.launch("small", LaunchConfig::for_matrix(32, 32, 16), small, || ())
+        LaunchSpec::new("small", LaunchConfig::for_matrix(32, 32, 16), small)
+            .run(&gpu, || ())
             .unwrap();
-        gpu.launch(
-            "large",
-            LaunchConfig::for_matrix(2048, 2048, 16),
-            large,
-            || (),
-        )
-        .unwrap();
+        LaunchSpec::new("large", LaunchConfig::for_matrix(2048, 2048, 16), large)
+            .run(&gpu, || ())
+            .unwrap();
         let r = roofline(gpu.spec(), &gpu.recorder().snapshot());
         let small_pt = r.points.iter().find(|p| p.name == "small").unwrap();
         let large_pt = r.points.iter().find(|p| p.name == "large").unwrap();
@@ -182,12 +180,12 @@ mod tests {
     #[test]
     fn render_mentions_every_kernel() {
         let gpu = Gpu::new(0, DeviceSpec::t4());
-        gpu.launch(
+        LaunchSpec::new(
             "vecadd",
             LaunchConfig::for_elements(1024, 256),
             KernelProfile::elementwise(1024, 1, 12),
-            || (),
         )
+        .run(&gpu, || ())
         .unwrap();
         let text = roofline(gpu.spec(), &gpu.recorder().snapshot()).render();
         assert!(text.contains("vecadd"));

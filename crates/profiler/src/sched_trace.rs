@@ -233,6 +233,7 @@ mod tests {
             bytes: 64,
             flops: 128,
             occupancy: 0.5,
+            graph: false,
         }];
         let json = merged_chrome_trace(&gpu_events, &metrics());
         let parsed: serde_json::Value = serde_json::from_str(&json).unwrap();

@@ -170,6 +170,7 @@ mod tests {
             bytes: 0,
             flops: 0,
             occupancy: 0.0,
+            graph: false,
         }
     }
 

@@ -9,7 +9,7 @@
 //! measure.
 
 use crate::tokenize::tokenize;
-use gpu_sim::{AccessPattern, KernelProfile, LaunchConfig};
+use gpu_sim::{AccessPattern, KernelProfile, LaunchConfig, LaunchSpec};
 use rand::prelude::*;
 use rand::rngs::SmallRng;
 use sagegpu_tensor::gpu_exec::GpuExecutor;
@@ -122,8 +122,8 @@ impl MarkovGenerator {
         // One launch per decode step (the autoregressive loop).
         for step in 0..max_tokens {
             let _ = step;
-            gpu.gpu()
-                .launch("llm_decode_step", cfg, profile, || ())
+            LaunchSpec::new("llm_decode_step", cfg, profile)
+                .run(gpu.gpu(), || ())
                 .expect("decode launch valid");
         }
         contexts

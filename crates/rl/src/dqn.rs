@@ -3,7 +3,7 @@
 
 use crate::env::{Action, Environment};
 use crate::replay::{ReplayBuffer, Transition};
-use gpu_sim::{AccessPattern, Gpu, KernelProfile, LaunchConfig};
+use gpu_sim::{AccessPattern, Gpu, KernelProfile, LaunchConfig, LaunchSpec};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use sagegpu_nn::layers::Mlp;
@@ -141,8 +141,8 @@ impl DqnAgent {
             registers_per_thread: 48,
         };
         let launch = LaunchConfig::for_elements((b as u64 * h).max(1), 128);
-        let loss = gpu
-            .launch("dqn_train_step", launch, profile, || {
+        let loss = LaunchSpec::new("dqn_train_step", launch, profile)
+            .run(gpu, || {
                 let tape = Tape::new();
                 let fwd = self.online.forward(&tape, &states);
                 let loss = tape.mse_indexed(fwd.logits, &actions, &targets);

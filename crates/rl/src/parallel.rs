@@ -9,7 +9,7 @@
 use crate::dqn::{DqnAgent, DqnConfig};
 use crate::env::{Action, Environment, GridWorld};
 use gpu_sim::cluster::LinkKind;
-use gpu_sim::{AccessPattern, DeviceSpec, GpuCluster, KernelProfile, LaunchConfig};
+use gpu_sim::{AccessPattern, DeviceSpec, GpuCluster, KernelProfile, LaunchConfig, LaunchSpec};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use sagegpu_nn::layers::Mlp;
@@ -85,13 +85,9 @@ fn rollout(
             access: AccessPattern::Coalesced,
             registers_per_thread: 32,
         };
-        gpu.launch(
-            "dqn_rollout",
-            LaunchConfig::for_elements(h, 64),
-            profile,
-            || (),
-        )
-        .expect("valid launch");
+        LaunchSpec::new("dqn_rollout", LaunchConfig::for_elements(h, 64), profile)
+            .run(gpu, || ())
+            .expect("valid launch");
         returns.push(total);
     }
     (transitions, returns)

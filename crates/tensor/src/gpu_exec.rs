@@ -30,13 +30,50 @@ use crate::residency::{CsrRef, DeviceCsr, DeviceTensor, TensorRef};
 use crate::sparse::CsrMatrix;
 use crate::TensorError;
 use gpu_sim::pool::{MemoryPool, ResidencySnapshot, ResidencyStats};
-use gpu_sim::{Gpu, GpuError, KernelProfile, LaunchConfig, StreamId};
+use gpu_sim::{Gpu, GpuError, Graph, KernelProfile, LaunchConfig, LaunchSpec, StreamId};
 use std::sync::{Arc, Mutex};
 
 /// Queries per chunk in [`GpuExecutor::score_rows_batch`]'s two-stream
 /// pipeline — small enough to keep both streams busy, large enough to
 /// amortize launch overhead.
 const SCORE_CHUNK: usize = 8;
+
+/// The dot-product scoring arithmetic shared by every scoring path —
+/// [`GpuExecutor::score_rows`], the batched kernel bodies, and the
+/// graph-captured scorer all call this exact function, which is what makes
+/// their results bit-identical.
+fn dot_scores(mat: &Tensor, query: &[f32]) -> Vec<f32> {
+    let (rows, _) = mat.shape();
+    (0..rows)
+        .map(|r| {
+            mat.row(r)
+                .iter()
+                .zip(query)
+                .map(|(a, b)| a * b)
+                .sum::<f32>()
+        })
+        .collect()
+}
+
+/// Launch geometry and byte traffic for one chunk of `q` queries against a
+/// `rows × cols` matrix — shared by the eager and captured batch scorers so
+/// both charge the identical command sequence.
+fn score_chunk_plan(rows: usize, cols: usize, q: usize) -> (LaunchConfig, KernelProfile, u64, u64) {
+    let cfg = LaunchConfig::for_elements((rows * q) as u64, 256);
+    let profile = KernelProfile {
+        flops: (2 * rows * cols * q) as u64,
+        bytes: 4 * (rows * cols + q * cols + q * rows) as u64,
+        access: gpu_sim::AccessPattern::Coalesced,
+        registers_per_thread: 32,
+    };
+    let query_bytes = (4 * q * cols) as u64;
+    let score_bytes = (4 * q * rows) as u64;
+    (cfg, profile, query_bytes, score_bytes)
+}
+
+/// A captured batch-scoring graph plus the (rows, cols, num queries)
+/// shape it was recorded for — stale entries are recaptured.
+type ScoreGraphCache = Option<(usize, usize, usize, Graph)>;
 
 /// A tensor-op executor bound to one simulated GPU.
 ///
@@ -48,6 +85,8 @@ pub struct GpuExecutor {
     residency: Arc<ResidencyStats>,
     /// Lazily created stream pair for double-buffered batch scoring.
     pipeline: Arc<Mutex<Option<(StreamId, StreamId)>>>,
+    /// Captured batch-scoring graph — invalidated on shape change.
+    score_graph: Arc<Mutex<ScoreGraphCache>>,
 }
 
 impl GpuExecutor {
@@ -59,6 +98,7 @@ impl GpuExecutor {
             pool,
             residency: Arc::new(ResidencyStats::new()),
             pipeline: Arc::new(Mutex::new(None)),
+            score_graph: Arc::new(Mutex::new(None)),
         }
     }
 
@@ -190,7 +230,7 @@ impl GpuExecutor {
         let n = b.cols();
         let cfg = LaunchConfig::for_matrix(m as u64, n as u64, 16);
         let profile = KernelProfile::matmul(m as u64, k as u64, n as u64);
-        let out = self.gpu.launch("sgemm", cfg, profile, || a.matmul(b))??;
+        let out = LaunchSpec::new("sgemm", cfg, profile).run(&self.gpu, || a.matmul(b))??;
         self.make_resident(out)
     }
 
@@ -205,7 +245,7 @@ impl GpuExecutor {
         let n = a.len() as u64;
         let cfg = LaunchConfig::for_elements(n, 256);
         let profile = KernelProfile::elementwise(n, 1, 12);
-        let out = self.gpu.launch("vec_add", cfg, profile, || a.add(b))??;
+        let out = LaunchSpec::new("vec_add", cfg, profile).run(&self.gpu, || a.add(b))??;
         self.make_resident(out)
     }
 
@@ -215,7 +255,7 @@ impl GpuExecutor {
         let n = a.len() as u64;
         let cfg = LaunchConfig::for_elements(n, 256);
         let profile = KernelProfile::elementwise(n, 1, 8);
-        let out = self.gpu.launch("relu", cfg, profile, || a.relu())?;
+        let out = LaunchSpec::new("relu", cfg, profile).run(&self.gpu, || a.relu())?;
         self.make_resident(out)
     }
 
@@ -229,7 +269,7 @@ impl GpuExecutor {
         let n = a.len() as u64;
         let cfg = LaunchConfig::for_elements(n, 256);
         let profile = KernelProfile::elementwise(n, 1, 8);
-        let out = self.gpu.launch("scale", cfg, profile, || a.scale(kf))?;
+        let out = LaunchSpec::new("scale", cfg, profile).run(&self.gpu, || a.scale(kf))?;
         self.make_resident(out)
     }
 
@@ -242,9 +282,7 @@ impl GpuExecutor {
         let n = a.len() as u64;
         let cfg = LaunchConfig::for_elements(n, 256);
         let profile = KernelProfile::elementwise(n, 4, 8);
-        let out = self
-            .gpu
-            .launch("softmax", cfg, profile, || a.softmax_rows())?;
+        let out = LaunchSpec::new("softmax", cfg, profile).run(&self.gpu, || a.softmax_rows())?;
         self.make_resident(out)
     }
 
@@ -267,9 +305,8 @@ impl GpuExecutor {
         let n = w.cols();
         let cfg = LaunchConfig::for_matrix(m as u64, n as u64, 16);
         let profile = KernelProfile::fused_linear(m as u64, k as u64, n as u64);
-        let out = self
-            .gpu
-            .launch("linear", cfg, profile, || x.matmul(w)?.add_row_broadcast(b))??;
+        let out = LaunchSpec::new("linear", cfg, profile)
+            .run(&self.gpu, || x.matmul(w)?.add_row_broadcast(b))??;
         self.make_resident(out)
     }
 
@@ -288,7 +325,7 @@ impl GpuExecutor {
         let n = w.cols();
         let cfg = LaunchConfig::for_matrix(m as u64, n as u64, 16);
         let profile = KernelProfile::fused_linear_relu(m as u64, k as u64, n as u64);
-        let out = self.gpu.launch("linear_relu", cfg, profile, || {
+        let out = LaunchSpec::new("linear_relu", cfg, profile).run(&self.gpu, || {
             Ok::<_, TensorError>(x.matmul(w)?.add_row_broadcast(b)?.relu())
         })??;
         self.make_resident(out)
@@ -308,9 +345,8 @@ impl GpuExecutor {
         let (rows, _) = a.shape();
         let cfg = LaunchConfig::for_elements(rows as u64, 128);
         let profile = KernelProfile::spmm_relu(nnz.max(1), d.max(1), rows as u64);
-        let out = self
-            .gpu
-            .launch("spmm_relu", cfg, profile, || a.spmm(x).map(|t| t.relu()))??;
+        let out = LaunchSpec::new("spmm_relu", cfg, profile)
+            .run(&self.gpu, || a.spmm(x).map(|t| t.relu()))??;
         self.make_resident(out)
     }
 
@@ -325,9 +361,8 @@ impl GpuExecutor {
         let n = a.len() as u64;
         let cfg = LaunchConfig::for_elements(n, 256);
         let profile = KernelProfile::scale_softmax(n);
-        let out = self
-            .gpu
-            .launch("scale_softmax", cfg, profile, || a.scale(kf).softmax_rows())?;
+        let out = LaunchSpec::new("scale_softmax", cfg, profile)
+            .run(&self.gpu, || a.scale(kf).softmax_rows())?;
         self.make_resident(out)
     }
 
@@ -345,9 +380,8 @@ impl GpuExecutor {
         let (rows, _) = a.shape();
         let cfg = LaunchConfig::for_elements(rows as u64, 128);
         let profile = KernelProfile::sparse_aggregate(nnz.max(1), d.max(1));
-        let out = self
-            .gpu
-            .launch("spmm_aggregate", cfg, profile, || a.spmm(x))??;
+        let out =
+            LaunchSpec::new("spmm_aggregate", cfg, profile).run(&self.gpu, || a.spmm(x))??;
         self.make_resident(out)
     }
 
@@ -378,17 +412,8 @@ impl GpuExecutor {
             access: gpu_sim::AccessPattern::Coalesced,
             registers_per_thread: 32,
         };
-        let scores: Vec<f32> = self.gpu.launch("dot_score", cfg, profile, || {
-            (0..rows)
-                .map(|r| {
-                    mat.row(r)
-                        .iter()
-                        .zip(query)
-                        .map(|(a, b)| a * b)
-                        .sum::<f32>()
-                })
-                .collect()
-        })?;
+        let scores: Vec<f32> =
+            LaunchSpec::new("dot_score", cfg, profile).run(&self.gpu, || dot_scores(mat, query))?;
         let score_lease = self.pool.lease((4 * scores.len()) as u64)?;
         self.gpu.dtoh_pooled(&score_lease)?;
         self.residency.add_d2h(score_lease.bytes());
@@ -436,34 +461,14 @@ impl GpuExecutor {
         for (i, chunk) in queries.chunks(SCORE_CHUNK).enumerate() {
             let s = if i % 2 == 0 { s1 } else { s2 };
             let q = chunk.len();
-            let query_bytes = (4 * q * cols) as u64;
+            let (cfg, profile, query_bytes, score_bytes) = score_chunk_plan(rows, cols, q);
             let _q_lease = self.gpu.htod_pooled_on(s, &self.pool, query_bytes)?;
             self.residency.add_h2d(query_bytes);
-            let cfg = LaunchConfig::for_elements((rows * q) as u64, 256);
-            let profile = KernelProfile {
-                flops: (2 * rows * cols * q) as u64,
-                bytes: 4 * (rows * cols + q * cols + q * rows) as u64,
-                access: gpu_sim::AccessPattern::Coalesced,
-                registers_per_thread: 32,
-            };
-            let scores: Vec<Vec<f32>> =
-                self.gpu.launch_on(s, "dot_score_batch", cfg, profile, || {
-                    chunk
-                        .iter()
-                        .map(|query| {
-                            (0..rows)
-                                .map(|r| {
-                                    mat.row(r)
-                                        .iter()
-                                        .zip(query)
-                                        .map(|(a, b)| a * b)
-                                        .sum::<f32>()
-                                })
-                                .collect()
-                        })
-                        .collect()
+            let scores: Vec<Vec<f32>> = LaunchSpec::new("dot_score_batch", cfg, profile)
+                .on(s)
+                .run(&self.gpu, || {
+                    chunk.iter().map(|query| dot_scores(mat, query)).collect()
                 })?;
-            let score_bytes = (4 * q * rows) as u64;
             let score_lease = self.pool.lease(score_bytes)?;
             self.gpu.dtoh_pooled_on(s, &score_lease)?;
             self.residency.add_d2h(score_bytes);
@@ -471,6 +476,101 @@ impl GpuExecutor {
         }
         self.gpu.sync_streams();
         Ok(out)
+    }
+
+    /// Graph-captured [`Self::score_rows_batch`]: the first call with a
+    /// given (matrix shape × batch size) captures the full two-stream
+    /// command DAG — staging-event edges, per-chunk uploads, scoring
+    /// kernels, score read-backs — and every subsequent call replays it for
+    /// one launch overhead instead of one per chunk. Scores come from the
+    /// same `dot_scores` arithmetic as the eager path, so the outputs
+    /// are bit-identical; only the submission cost differs.
+    pub fn score_rows_batch_captured<'a>(
+        &self,
+        mat: impl Into<TensorRef<'a>>,
+        queries: &[Vec<f32>],
+    ) -> Result<Vec<Vec<f32>>, TensorError> {
+        let (mat, _g) = self.stage(mat.into())?;
+        let (rows, cols) = mat.shape();
+        for q in queries {
+            if q.len() != cols {
+                return Err(TensorError::ShapeMismatch {
+                    expected: format!("query of length {cols}"),
+                    got: format!("{}", q.len()),
+                });
+            }
+        }
+        if queries.is_empty() {
+            return Ok(Vec::new());
+        }
+        let (s1, s2) = self.pipeline_streams();
+        {
+            let mut cache = self.score_graph.lock().expect("score graph lock");
+            let stale = !matches!(
+                &*cache,
+                Some((r, c, n, _)) if *r == rows && *c == cols && *n == queries.len()
+            );
+            if stale {
+                let graph = self.capture_score_graph(rows, cols, queries.len(), s1, s2)?;
+                *cache = Some((rows, cols, queries.len(), graph));
+            }
+            let (_, _, _, graph) = cache.as_ref().expect("just filled");
+            graph.replay(&self.gpu)?;
+        }
+        self.gpu.sync_streams();
+        // The replay charged the simulated traffic; the residency ledger
+        // still counts this call's host-link bytes.
+        for chunk in queries.chunks(SCORE_CHUNK) {
+            let (_, _, query_bytes, score_bytes) = score_chunk_plan(rows, cols, chunk.len());
+            self.residency.add_h2d(query_bytes);
+            self.residency.add_d2h(score_bytes);
+        }
+        Ok(queries.iter().map(|query| dot_scores(mat, query)).collect())
+    }
+
+    /// Records the batch-scoring DAG for `n_queries` against a
+    /// `rows × cols` matrix: the exact command sequence the eager scorer
+    /// submits, with no-op kernel bodies (capture charges nothing; the
+    /// host arithmetic runs per call, outside the graph).
+    fn capture_score_graph(
+        &self,
+        rows: usize,
+        cols: usize,
+        n_queries: usize,
+        s1: StreamId,
+        s2: StreamId,
+    ) -> Result<Graph, TensorError> {
+        self.gpu.begin_capture("dot_score_batch")?;
+        let emit = || -> Result<(), TensorError> {
+            let staged = self.gpu.record_event(StreamId::DEFAULT);
+            self.gpu.stream_wait(s1, &staged);
+            self.gpu.stream_wait(s2, &staged);
+            let mut remaining = n_queries;
+            let mut i = 0usize;
+            while remaining > 0 {
+                let q = remaining.min(SCORE_CHUNK);
+                let s = if i.is_multiple_of(2) { s1 } else { s2 };
+                let (cfg, profile, query_bytes, score_bytes) = score_chunk_plan(rows, cols, q);
+                let _q_lease = self.gpu.htod_pooled_on(s, &self.pool, query_bytes)?;
+                LaunchSpec::new("dot_score_batch", cfg, profile)
+                    .on(s)
+                    .run(&self.gpu, || ())?;
+                let score_lease = self.pool.lease(score_bytes)?;
+                self.gpu.dtoh_pooled_on(s, &score_lease)?;
+                remaining -= q;
+                i += 1;
+            }
+            Ok(())
+        };
+        match emit() {
+            Ok(()) => Ok(self.gpu.end_capture()?),
+            Err(e) => {
+                // A pool OOM mid-capture must not leave the device stuck in
+                // capture mode.
+                self.gpu.abort_capture();
+                Err(e)
+            }
+        }
     }
 }
 
@@ -794,5 +894,58 @@ mod tests {
             batch_ns < serial_ns,
             "batched+overlapped {batch_ns} must beat serial {serial_ns}"
         );
+    }
+
+    #[test]
+    fn score_rows_batch_captured_is_bit_identical_and_cheaper_to_submit() {
+        let mut rng = SmallRng::seed_from_u64(15);
+        let mat = Tensor::randn(64, 32, &mut rng);
+        let queries: Vec<Vec<f32>> = (0..20)
+            .map(|_| Tensor::randn(1, 32, &mut rng).data().to_vec())
+            .collect();
+
+        let eager = {
+            let e = exec();
+            let dm = e.upload(&mat).unwrap();
+            e.score_rows_batch(&dm, &queries).unwrap()
+        };
+        let e = exec();
+        let dm = e.upload(&mat).unwrap();
+        let first = e.score_rows_batch_captured(&dm, &queries).unwrap();
+        assert_eq!(first, eager, "captured scores must match eager bitwise");
+        // The capture itself replays once: a single graph-launch submission
+        // instead of 3 chunk kernels.
+        assert_eq!(e.gpu().kernels_launched(), 1);
+        let again = e.score_rows_batch_captured(&dm, &queries).unwrap();
+        assert_eq!(again, eager);
+        assert_eq!(e.gpu().kernels_launched(), 2, "one launch per replay");
+        assert!(!e.gpu().is_capturing(), "capture never leaks");
+    }
+
+    #[test]
+    fn score_rows_batch_captured_recaptures_on_shape_change() {
+        let mut rng = SmallRng::seed_from_u64(16);
+        let mat = Tensor::randn(32, 16, &mut rng);
+        let wide: Vec<Vec<f32>> = (0..12)
+            .map(|_| Tensor::randn(1, 16, &mut rng).data().to_vec())
+            .collect();
+        let narrow = wide[..3].to_vec();
+
+        let e = exec();
+        let dm = e.upload(&mat).unwrap();
+        let a = e.score_rows_batch_captured(&dm, &wide).unwrap();
+        let b = e.score_rows_batch_captured(&dm, &narrow).unwrap();
+        assert_eq!(a[..3], b[..], "shrunk batch scores the same prefixes");
+        // Eager reference for the narrow batch.
+        let eager = {
+            let f = exec();
+            let fm = f.upload(&mat).unwrap();
+            f.score_rows_batch(&fm, &narrow).unwrap()
+        };
+        assert_eq!(b, eager);
+        // A bad query length is a typed error, not a stuck capture.
+        assert!(e.score_rows_batch_captured(&dm, &[vec![0.0; 5]]).is_err());
+        assert!(!e.gpu().is_capturing());
+        assert!(e.score_rows_batch_captured(&dm, &[]).unwrap().is_empty());
     }
 }

@@ -44,13 +44,12 @@ fn main() {
     for _ in 0..4 {
         let buf = gpu.htod(&vec![1.0f32; n]).expect("fits");
         let mut out = gpu.alloc_zeroed::<f32>(n).expect("fits");
-        gpu.launch_map(
+        LaunchSpec::new(
             "axpy",
             LaunchConfig::for_elements(n as u64, 256),
             KernelProfile::elementwise(n as u64, 2, 12),
-            &mut out,
-            |i, _| 2.0 * buf.host_view()[i] + 1.0,
         )
+        .map(&gpu, &mut out, |i, _| 2.0 * buf.host_view()[i] + 1.0)
         .expect("valid");
         let _ = gpu.dtoh(&out).expect("fits");
     }
@@ -72,12 +71,12 @@ fn main() {
 
     // Scenario C: a big tiled matmul living at the FLOP roof.
     let gpu = fresh_gpu();
-    gpu.launch(
+    LaunchSpec::new(
         "sgemm_2048",
         LaunchConfig::for_matrix(2048, 2048, 16),
         KernelProfile::matmul(2048, 2048, 2048),
-        || (),
     )
+    .run(&gpu, || ())
     .expect("valid");
     report(&gpu, "C. 2048^3 matmul       ");
 
@@ -88,13 +87,13 @@ fn main() {
     let compute_stream = gpu.create_stream();
     for _ in 0..4 {
         let _ = gpu.htod_on(copy_stream, &vec![1.0f32; n]).expect("fits");
-        gpu.launch_on(
-            compute_stream,
+        LaunchSpec::new(
             "axpy",
             LaunchConfig::for_elements(n as u64, 256),
             KernelProfile::elementwise(n as u64, 2, 12),
-            || (),
         )
+        .on(compute_stream)
+        .run(&gpu, || ())
         .expect("valid");
     }
     let overlapped = gpu.sync_streams();
@@ -108,13 +107,14 @@ fn main() {
     let buf = gpu.htod(&vec![0f32; n]).expect("fits");
     let mut out = gpu.alloc_zeroed::<f32>(n).expect("fits");
     gpu.range("lab-step", || {
-        gpu.launch_map(
+        LaunchSpec::new(
             "square",
             LaunchConfig::for_elements(n as u64, 256),
             KernelProfile::elementwise(n as u64, 1, 8),
-            &mut out,
-            |i, _| buf.host_view()[i] * buf.host_view()[i],
         )
+        .map(&gpu, &mut out, |i, _| {
+            buf.host_view()[i] * buf.host_view()[i]
+        })
         .expect("valid");
     });
     println!(

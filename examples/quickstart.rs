@@ -25,10 +25,9 @@ fn main() {
     let mut out = gpu.alloc_zeroed::<f32>(n).expect("fits");
     let cfg = LaunchConfig::for_elements(n as u64, 256);
     let profile = KernelProfile::elementwise(n as u64, 1, 12);
-    gpu.launch_map("vecadd", cfg, profile, &mut out, |i, _| {
-        a.host_view()[i] + b.host_view()[i]
-    })
-    .expect("valid launch");
+    LaunchSpec::new("vecadd", cfg, profile)
+        .map(gpu, &mut out, |i, _| a.host_view()[i] + b.host_view()[i])
+        .expect("valid launch");
     let host = gpu.dtoh(&out).expect("read back");
     assert!(host.iter().all(|&x| x == 3.0));
     println!(

@@ -14,6 +14,9 @@
 # 6. BENCH_A08.json: regenerate via `repro --exp scaling`, then validate the
 #    comm schedules agree bit-for-bit and the bucketed overlap strictly
 #    shrinks exposed communication (crates/bench/tests/bench_a08.rs)
+# 7. BENCH_A09.json: regenerate via `repro --exp graph`, then validate graph
+#    replay collapses submissions and amortizes launch overhead with
+#    bit-identical outputs (crates/bench/tests/bench_a09.rs)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -37,5 +40,9 @@ cargo test -q -p sagegpu-bench --test bench_a07
 echo "==> BENCH_A08.json: regenerate + validate"
 cargo run --release -q -p sagegpu-bench --bin repro -- --exp scaling > /dev/null
 cargo test -q -p sagegpu-bench --test bench_a08
+
+echo "==> BENCH_A09.json: regenerate + validate"
+cargo run --release -q -p sagegpu-bench --bin repro -- --exp graph > /dev/null
+cargo test -q -p sagegpu-bench --test bench_a09
 
 echo "OK: all checks passed"
