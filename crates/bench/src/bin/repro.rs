@@ -87,6 +87,11 @@ fn experiments() -> Vec<Experiment> {
             "Ablation: graph capture/replay (A09)",
             render::render_graph,
         ),
+        (
+            "topology",
+            "Ablation: two-tier topology x hierarchical collectives (A10)",
+            render::render_topology,
+        ),
     ]
 }
 

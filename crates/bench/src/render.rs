@@ -523,6 +523,77 @@ pub fn render_graph() -> String {
     out
 }
 
+/// A10 — two-tier topology x hierarchical collectives ablation. Also
+/// refreshes the committed `BENCH_A10.json` artifact at the repository
+/// root.
+pub fn render_topology() -> String {
+    let a = topology_scaling_ablation();
+    let json = topology_scaling_json(&a);
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_A10.json");
+    let mut out = header("Ablation — two-tier topology x hierarchical collectives (A10)");
+    match std::fs::write(path, &json) {
+        Ok(()) => out.push_str("wrote BENCH_A10.json\n"),
+        Err(e) => out.push_str(&format!("warning: could not write BENCH_A10.json: {e}\n")),
+    }
+    out.push_str(
+        "GCN: 25 epochs, hidden=128, 3200-node SBM, METIS, resident+fused;\n\
+         flat = VPC Ethernet everywhere, hier = NVLink islands of 4 bridged by Ethernet:\n",
+    );
+    out.push_str(&format!(
+        "{:>3} {:<13} {:<11} {:<5} {:>12} {:>8} {:>12} {:>12} {:>9} {:>9} {:>9} {:>8} {:>9} {:>7}\n",
+        "k",
+        "topology",
+        "comm",
+        "wire",
+        "sim-time(ms)",
+        "speedup",
+        "exposed(ms)",
+        "overlap(ms)",
+        "exp-frac",
+        "intra",
+        "inter",
+        "buckets",
+        "loss",
+        "acc"
+    ));
+    for r in &a.rows {
+        out.push_str(&format!(
+            "{:>3} {:<13} {:<11} {:<5} {:>12.2} {:>8.2} {:>12.3} {:>12.3} {:>9.3} {:>9.3} {:>9.3} {:>8} {:>9.4} {:>7.3}\n",
+            r.workers,
+            r.topology,
+            r.comm,
+            r.compression,
+            r.sim_time_ms,
+            r.speedup,
+            r.exposed_comm_ms,
+            r.overlapped_comm_ms,
+            r.comm_exposed_fraction,
+            r.comm_exposed_fraction_intra,
+            r.comm_exposed_fraction_inter,
+            r.buckets_per_epoch,
+            r.final_loss,
+            r.test_accuracy
+        ));
+    }
+    out.push_str(&format!(
+        "hier+bucketed exposed comm fraction at k=8: {:.3}  (bit-identical f32 arms: {})\n",
+        a.hier_bucketed_exposed_fraction_at_8, a.identical_all_k
+    ));
+    out.push_str(&format!(
+        "speedup vs flat-monolithic: {:.2}x at k=8 -> {:.2}x at k=16\n",
+        a.speedup_vs_mono_at_8, a.speedup_vs_mono_at_16
+    ));
+    out.push_str(&format!(
+        "fp16 wire: {:.2}x fewer peer-link bytes at k=8, max final-loss drift {:.2e}\n",
+        a.fp16_wire_reduction_at_8, a.fp16_max_final_loss_drift
+    ));
+    out.push_str("expected: the flat Ethernet exchange keeps collapsing past k=8 while the\n");
+    out.push_str("          hierarchy folds most ring steps onto NVLink and hides the rest,\n");
+    out.push_str("          keeping the exposed fraction under 0.25 at k=8 and widening its\n");
+    out.push_str("          lead through k=16 with bit-identical uncompressed training\n");
+    out
+}
+
 /// S01 — RL agents.
 pub fn render_rl() -> String {
     let mut out = header("Supplementary — Labs 8/10 + Assignment 3: RL agents");

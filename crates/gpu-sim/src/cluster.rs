@@ -3,7 +3,9 @@
 //! Models the multi-GPU AWS instances the course used for its DDP and
 //! distributed-GCN labs (up to 3 GPUs per instance, per Appendix A). Devices
 //! in a cluster share one [`EventRecorder`] so profilers see a unified
-//! timeline, and are connected pairwise by PCIe or NVLink-class links.
+//! timeline, and are connected by a [`Topology`]: either one homogeneous
+//! link class, or NVLink islands bridged by slower Ethernet — the shape of
+//! a fleet of multi-GPU instances inside one VPC.
 
 use crate::arch::DeviceSpec;
 use crate::command::{CollectiveCommand, Command};
@@ -12,6 +14,7 @@ use crate::error::GpuError;
 use crate::event::{EventKind, EventRecorder, TraceEvent};
 use crate::memory::DeviceBuffer;
 use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 /// Interconnect class between a pair of devices.
@@ -45,7 +48,218 @@ impl LinkKind {
             LinkKind::Ethernet => 60_000.0, // TCP round-trip in a VPC
         }
     }
+
+    /// One lockstep ring-step duration for a `chunk`-byte neighbour
+    /// exchange on this link.
+    pub fn step_ns(&self, chunk: u64) -> u64 {
+        (self.latency_ns() + chunk as f64 / self.bandwidth_bytes_per_sec() * 1e9).ceil() as u64
+    }
 }
+
+/// Interconnect shape of a cluster.
+///
+/// [`Topology::Flat`] is the pre-existing model: every device pair shares
+/// one link class. [`Topology::TwoTier`] models what multi-GPU cloud fleets
+/// actually look like — islands of `island` GPUs joined by a fast
+/// `intra` link (NVLink inside a p3/p4 instance), with the islands bridged
+/// by a slower `inter` link (VPC Ethernet between instances). Collectives
+/// on a two-tier cluster run hierarchically (see
+/// [`GpuCluster::all_reduce_chunked`]), cutting per-device bridge traffic
+/// by roughly the island size.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Topology {
+    /// Homogeneous: every pair of devices is connected by the same link.
+    Flat(LinkKind),
+    /// Islands of `island` devices on `intra` links, bridged by `inter`.
+    TwoTier {
+        /// Devices per island (consecutive ordinals share an island). The
+        /// cost model assumes equal islands; when `island` does not divide
+        /// the device count, the ragged last island is charged as full.
+        island: usize,
+        /// Link class inside an island.
+        intra: LinkKind,
+        /// Link class bridging islands.
+        inter: LinkKind,
+    },
+}
+
+impl Topology {
+    /// Homogeneous topology on `link`.
+    pub fn flat(link: LinkKind) -> Self {
+        Topology::Flat(link)
+    }
+
+    /// The common cloud shape: NVLink islands of `island` GPUs, bridged by
+    /// VPC Ethernet.
+    pub fn nvlink_islands(island: usize) -> Self {
+        Topology::TwoTier {
+            island,
+            intra: LinkKind::NvLink,
+            inter: LinkKind::Ethernet,
+        }
+    }
+
+    /// The slowest link any transfer may cross — the bridge on a two-tier
+    /// cluster, the single link class on a flat one.
+    pub fn bridge(&self) -> LinkKind {
+        match self {
+            Topology::Flat(l) => *l,
+            Topology::TwoTier { inter, .. } => *inter,
+        }
+    }
+
+    /// Human-readable name for tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Topology::Flat(_) => "flat",
+            Topology::TwoTier { .. } => "hierarchical",
+        }
+    }
+
+    /// `(island_size, island_count)` for an `n`-device cluster. A flat
+    /// cluster is one island of `n`.
+    fn shape(&self, n: usize) -> (usize, usize) {
+        match self {
+            Topology::Flat(_) => (n.max(1), 1),
+            Topology::TwoTier { island, .. } => {
+                let m = (*island).clamp(1, n.max(1));
+                (m, n.max(1).div_ceil(m))
+            }
+        }
+    }
+
+    /// The link between devices `a` and `b`.
+    fn link_between(&self, a: usize, b: usize) -> LinkKind {
+        match self {
+            Topology::Flat(l) => *l,
+            Topology::TwoTier {
+                island,
+                intra,
+                inter,
+            } => {
+                let m = (*island).max(1);
+                if a / m == b / m {
+                    *intra
+                } else {
+                    *inter
+                }
+            }
+        }
+    }
+
+    /// The lockstep ring schedule reducing `bytes` over `n` devices, as a
+    /// sequence of uniform phases. Flat: one ring of `2 (n-1)` steps moving
+    /// `bytes / n` chunks. Two-tier (m-device islands, g islands):
+    /// intra-island reduce-scatter (`m-1` steps of `bytes / m`), one inter-
+    /// island ring exchange per shard over the bridge (`2 (g-1)` steps of
+    /// `bytes / (m g)`), intra-island all-gather (`m-1` steps of
+    /// `bytes / m`).
+    fn ring_phases(&self, n: usize, bytes: u64) -> Vec<RingPhase> {
+        if n <= 1 {
+            return Vec::new();
+        }
+        let flat = |link: LinkKind, n: u64, rs: PhaseTag, ag: PhaseTag| {
+            let chunk = bytes.div_ceil(n);
+            let step_dur = link.step_ns(chunk);
+            vec![
+                RingPhase {
+                    tag: rs,
+                    steps: n - 1,
+                    chunk,
+                    step_dur,
+                },
+                RingPhase {
+                    tag: ag,
+                    steps: n - 1,
+                    chunk,
+                    step_dur,
+                },
+            ]
+        };
+        let (m, g) = self.shape(n);
+        match self {
+            Topology::Flat(link) => flat(*link, n as u64, PhaseTag::Rs, PhaseTag::Ag),
+            Topology::TwoTier { intra, inter, .. } => {
+                if g == 1 {
+                    // One island: the hierarchy degenerates to a flat ring
+                    // on the fast tier.
+                    return flat(*intra, n as u64, PhaseTag::Rs, PhaseTag::Ag);
+                }
+                if m == 1 {
+                    // Single-device islands: everything crosses the bridge.
+                    return flat(*inter, n as u64, PhaseTag::Inter, PhaseTag::Inter);
+                }
+                let (m, g) = (m as u64, g as u64);
+                let intra_chunk = bytes.div_ceil(m);
+                let inter_chunk = bytes.div_ceil(m * g);
+                vec![
+                    RingPhase {
+                        tag: PhaseTag::IntraRs,
+                        steps: m - 1,
+                        chunk: intra_chunk,
+                        step_dur: intra.step_ns(intra_chunk),
+                    },
+                    RingPhase {
+                        tag: PhaseTag::Inter,
+                        steps: 2 * (g - 1),
+                        chunk: inter_chunk,
+                        step_dur: inter.step_ns(inter_chunk),
+                    },
+                    RingPhase {
+                        tag: PhaseTag::IntraAg,
+                        steps: m - 1,
+                        chunk: intra_chunk,
+                        step_dur: intra.step_ns(intra_chunk),
+                    },
+                ]
+            }
+        }
+    }
+}
+
+/// Step naming within a collective; `inter*` names are what the profiler
+/// keys tier attribution on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum PhaseTag {
+    Rs,
+    Ag,
+    IntraRs,
+    Inter,
+    IntraAg,
+}
+
+impl PhaseTag {
+    fn step_name(&self, collective: &str, s: u64) -> String {
+        match self {
+            PhaseTag::Rs => format!("{collective}/rs{s}"),
+            PhaseTag::Ag => format!("{collective}/ag{s}"),
+            PhaseTag::IntraRs => format!("{collective}/intra-rs{s}"),
+            PhaseTag::Inter => format!("{collective}/inter{s}"),
+            PhaseTag::IntraAg => format!("{collective}/intra-ag{s}"),
+        }
+    }
+
+    fn crosses_bridge(&self) -> bool {
+        matches!(self, PhaseTag::Inter)
+    }
+}
+
+/// One uniform run of lockstep ring steps (same chunk, same link).
+#[derive(Debug, Clone, Copy)]
+struct RingPhase {
+    tag: PhaseTag,
+    steps: u64,
+    chunk: u64,
+    step_dur: u64,
+}
+
+/// Number of dedicated communication streams ("channels") per device.
+///
+/// Like NCCL channels: independent collectives round-robin across them, so
+/// a second gradient bucket's ring can be in flight while the first is
+/// still paying its per-step link latency. Collectives assigned to the
+/// *same* channel serialize (a channel models one set of link contexts).
+pub const COMM_CHANNELS: usize = 2;
 
 /// Timeline footprint of one chunked ring collective launched with
 /// [`GpuCluster::all_reduce_chunked`]. The caller decides what to order
@@ -53,16 +267,24 @@ impl LinkKind {
 /// independent compute can keep running while the collective is in flight.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ReduceHandle {
-    /// When the collective started (every participant ready, comm stream free).
+    /// When the collective started (every participant ready, its comm
+    /// channel free).
     pub start_ns: u64,
     /// When the last ring step completed on every device.
     pub end_ns: u64,
-    /// Number of lockstep ring steps charged (`2 (n-1)`).
+    /// Number of lockstep ring steps charged.
     pub steps: u64,
     /// Payload size reduced across the ring.
     pub bytes: u64,
-    /// Bytes each device moved over its links (`steps × chunk`).
+    /// Bytes each device moved over its links (`Σ steps × chunk`).
     pub per_dev_bytes: u64,
+    /// Ring steps that crossed the inter-island bridge (zero on flat
+    /// topologies, where there is no bridge tier).
+    pub inter_steps: u64,
+    /// Bytes each device moved over the bridge (zero on flat topologies).
+    pub inter_bytes: u64,
+    /// Comm channel (round-robin ordinal) the collective ran on.
+    pub channel: u32,
 }
 
 impl ReduceHandle {
@@ -76,27 +298,40 @@ impl ReduceHandle {
 #[derive(Debug)]
 pub struct GpuCluster {
     devices: Vec<Arc<Gpu>>,
-    link: LinkKind,
+    topology: Topology,
     recorder: EventRecorder,
-    /// One dedicated communication stream per device (NCCL-style), created
-    /// at construction so collectives never contend with compute streams.
-    comm_streams: Vec<StreamId>,
+    /// [`COMM_CHANNELS`] dedicated communication streams per device
+    /// (NCCL-style), created at construction so collectives never contend
+    /// with compute streams.
+    comm_streams: Vec<Vec<StreamId>>,
+    /// Round-robin cursor assigning collectives to channels.
+    next_channel: AtomicUsize,
 }
 
 impl GpuCluster {
     /// Builds a homogeneous cluster of `n` devices of the given spec,
-    /// connected with `link`, recording into one shared timeline.
+    /// connected flat with `link`, recording into one shared timeline.
     pub fn homogeneous(n: usize, spec: DeviceSpec, link: LinkKind) -> Self {
+        Self::with_topology(n, spec, Topology::Flat(link))
+    }
+
+    /// Builds a cluster of `n` devices of the given spec wired as
+    /// `topology`, recording into one shared timeline.
+    pub fn with_topology(n: usize, spec: DeviceSpec, topology: Topology) -> Self {
         let recorder = EventRecorder::new();
         let devices: Vec<Arc<Gpu>> = (0..n)
             .map(|i| Arc::new(Gpu::with_recorder(i as u32, spec.clone(), recorder.clone())))
             .collect();
-        let comm_streams = devices.iter().map(|d| d.create_stream()).collect();
+        let comm_streams = devices
+            .iter()
+            .map(|d| (0..COMM_CHANNELS).map(|_| d.create_stream()).collect())
+            .collect();
         Self {
             devices,
-            link,
+            topology,
             recorder,
             comm_streams,
+            next_channel: AtomicUsize::new(0),
         }
     }
 
@@ -115,9 +350,9 @@ impl GpuCluster {
         &self.recorder
     }
 
-    /// The interconnect class.
-    pub fn link(&self) -> LinkKind {
-        self.link
+    /// The interconnect shape.
+    pub fn topology(&self) -> Topology {
+        self.topology
     }
 
     /// Borrow device `i`.
@@ -132,14 +367,15 @@ impl GpuCluster {
         self.devices.iter()
     }
 
-    fn p2p_ns(&self, bytes: u64) -> u64 {
-        (self.link.latency_ns() + bytes as f64 / self.link.bandwidth_bytes_per_sec() * 1e9).ceil()
-            as u64
+    fn p2p_ns(&self, src: usize, dst: usize, bytes: u64) -> u64 {
+        self.topology.link_between(src, dst).step_ns(bytes)
     }
 
     /// Copies a buffer from its owning device to device `dst`, consuming the
     /// source buffer and charging peer-link time on both devices (both must
-    /// wait for the copy to complete, like `cudaMemcpyPeer`).
+    /// wait for the copy to complete, like `cudaMemcpyPeer`). On a two-tier
+    /// topology the charged link is the intra link when source and
+    /// destination share an island, the bridge otherwise.
     pub fn p2p<T: Copy + Send + Sync + 'static>(
         &self,
         buf: DeviceBuffer<T>,
@@ -149,7 +385,7 @@ impl GpuCluster {
         let dst_dev = self.device(dst)?;
         let src_dev = self.device(src)?;
         let bytes = buf.size_bytes();
-        let dur = self.p2p_ns(bytes);
+        let dur = self.p2p_ns(src, dst, bytes);
         let start = src_dev.now_ns().max(dst_dev.now_ns());
         let end = start + dur;
         src_dev.advance_to(end);
@@ -183,21 +419,20 @@ impl GpuCluster {
         t
     }
 
-    /// Models a ring all-reduce of `bytes` per device: each device sends and
-    /// receives `2 (n-1)/n × bytes` over the peer links. Advances all device
-    /// clocks past the collective and records one event per device.
+    /// Models a blocking all-reduce of `bytes` per device under the
+    /// cluster's topology (flat ring, or hierarchical on two tiers).
+    /// Advances all device clocks past the collective and records one event
+    /// per device.
     ///
     /// Returns the modeled duration in nanoseconds.
     pub fn all_reduce_cost(&self, bytes: u64) -> u64 {
-        let n = self.devices.len().max(1) as u64;
-        if n == 1 {
+        let n = self.devices.len();
+        if n <= 1 {
             return 0;
         }
-        let per_dev_bytes = (2 * (n - 1) * bytes) / n;
-        let steps = 2 * (n - 1);
-        let dur = (steps as f64 * self.link.latency_ns()
-            + per_dev_bytes as f64 / self.link.bandwidth_bytes_per_sec() * 1e9)
-            .ceil() as u64;
+        let phases = self.topology.ring_phases(n, bytes);
+        let dur: u64 = phases.iter().map(|p| p.steps * p.step_dur).sum();
+        let per_dev_bytes: u64 = phases.iter().map(|p| p.steps * p.chunk).sum();
         let start = self.barrier();
         for d in &self.devices {
             d.advance_to(start + dur);
@@ -217,30 +452,46 @@ impl GpuCluster {
         dur
     }
 
-    /// The dedicated comm stream of device `i`.
+    /// The first dedicated comm stream (channel 0) of device `i`.
     pub fn comm_stream(&self, i: usize) -> Result<StreamId, GpuError> {
+        self.comm_channel(i, 0)
+    }
+
+    /// Comm stream of device `i` on channel `ch` (`ch < COMM_CHANNELS`).
+    pub fn comm_channel(&self, i: usize, ch: usize) -> Result<StreamId, GpuError> {
         self.comm_streams
             .get(i)
+            .and_then(|chs| chs.get(ch))
             .copied()
             .ok_or(GpuError::NoSuchDevice { device: i as u32 })
     }
 
-    /// Chunked ring all-reduce of `bytes`, charged as `2 (n-1)` discrete
-    /// lockstep steps on each device's dedicated comm stream — the NCCL
-    /// schedule, where each step moves one `bytes / n` chunk per device
-    /// (reduce-scatter phase then all-gather phase).
+    /// Chunked ring all-reduce of `bytes`, charged as discrete lockstep
+    /// steps on one of each device's dedicated comm streams. On a flat
+    /// topology this is the NCCL schedule — `2 (n-1)` steps moving one
+    /// `bytes / n` chunk per device (reduce-scatter then all-gather). On a
+    /// two-tier topology the schedule is hierarchical: reduce-scatter
+    /// inside each island on the fast links (`m-1` steps of `bytes / m`),
+    /// one ring exchange per shard across the `g` islands over the bridge
+    /// (`2 (g-1)` steps of `bytes / (m g)` — the only steps that touch the
+    /// slow tier), then an intra-island all-gather. Step events are named
+    /// `{name}/intra-rs{s}`, `{name}/inter{s}`, `{name}/intra-ag{s}` so
+    /// profilers can attribute exposed time per tier.
     ///
     /// `ready_ns[i]` is when device `i`'s payload becomes available (e.g.
     /// the event timestamp of the backward op producing the last gradient
     /// in a bucket); the collective starts once every participant is ready
-    /// *and* every comm stream has drained its previous collective. Unlike
+    /// *and* its assigned channel has drained its previous collective.
+    /// Collectives round-robin over [`COMM_CHANNELS`] channels, so
+    /// back-to-back buckets overlap like independent NCCL channels instead
+    /// of serializing on one stream. Unlike
     /// [`GpuCluster::all_reduce_cost`], this neither barriers the devices
     /// nor advances their default streams, so compute issued afterwards
     /// overlaps the collective; callers order dependents explicitly via
     /// the returned [`ReduceHandle`] (typically `advance_to(end_ns)`).
     pub fn all_reduce_chunked(&self, bytes: u64, name: &str, ready_ns: &[u64]) -> ReduceHandle {
-        let n = self.devices.len().max(1) as u64;
-        if n == 1 {
+        let n = self.devices.len();
+        if n <= 1 {
             let t = ready_ns.first().copied().unwrap_or(0);
             return ReduceHandle {
                 start_ns: t,
@@ -248,6 +499,9 @@ impl GpuCluster {
                 steps: 0,
                 bytes,
                 per_dev_bytes: 0,
+                inter_steps: 0,
+                inter_bytes: 0,
+                channel: 0,
             };
         }
         assert_eq!(
@@ -255,44 +509,59 @@ impl GpuCluster {
             self.devices.len(),
             "one ready timestamp per device"
         );
-        let chunk = bytes.div_ceil(n);
-        let steps = 2 * (n - 1);
-        let step_dur = (self.link.latency_ns()
-            + chunk as f64 / self.link.bandwidth_bytes_per_sec() * 1e9)
-            .ceil() as u64;
+        let phases = self.topology.ring_phases(n, bytes);
+        let ch = self.next_channel.fetch_add(1, Ordering::Relaxed) % COMM_CHANNELS;
         // Lockstep rings: every step is a synchronous neighbour exchange,
         // so the collective starts only when the *slowest* participant is
-        // ready and its comm stream is free.
+        // ready and its channel is free.
         let start = self
             .devices
             .iter()
             .zip(self.comm_streams.iter())
             .zip(ready_ns.iter())
-            .map(|((d, &cs), &r)| d.record_event(cs).timestamp_ns().max(r))
+            .map(|((d, chs), &r)| d.record_event(chs[ch]).timestamp_ns().max(r))
             .max()
             .unwrap_or(0);
-        for (d, &cs) in self.devices.iter().zip(self.comm_streams.iter()) {
-            for s in 0..steps {
-                let phase = if s < n - 1 { "rs" } else { "ag" };
-                d.submit(
-                    cs,
-                    Command::Collective(CollectiveCommand {
-                        name: format!("{name}/{phase}{s}"),
-                        dur_ns: step_dur,
-                        bytes: chunk,
-                        not_before_ns: start,
-                    }),
-                );
+        for (d, chs) in self.devices.iter().zip(self.comm_streams.iter()) {
+            let mut s = 0u64;
+            for p in &phases {
+                for _ in 0..p.steps {
+                    d.submit(
+                        chs[ch],
+                        Command::Collective(CollectiveCommand {
+                            name: p.tag.step_name(name, s),
+                            dur_ns: p.step_dur,
+                            bytes: p.chunk,
+                            not_before_ns: start,
+                        }),
+                    );
+                    s += 1;
+                }
             }
             d.doorbell()
                 .expect("collective steps carry no event dependencies");
         }
+        let steps: u64 = phases.iter().map(|p| p.steps).sum();
+        let dur: u64 = phases.iter().map(|p| p.steps * p.step_dur).sum();
+        let inter_steps: u64 = phases
+            .iter()
+            .filter(|p| p.tag.crosses_bridge())
+            .map(|p| p.steps)
+            .sum();
+        let inter_bytes: u64 = phases
+            .iter()
+            .filter(|p| p.tag.crosses_bridge())
+            .map(|p| p.steps * p.chunk)
+            .sum();
         ReduceHandle {
             start_ns: start,
-            end_ns: start + steps * step_dur,
+            end_ns: start + dur,
             steps,
             bytes,
-            per_dev_bytes: steps * chunk,
+            per_dev_bytes: phases.iter().map(|p| p.steps * p.chunk).sum(),
+            inter_steps,
+            inter_bytes,
+            channel: ch as u32,
         }
     }
 
@@ -315,6 +584,10 @@ mod tests {
 
     fn cluster(n: usize, link: LinkKind) -> GpuCluster {
         GpuCluster::homogeneous(n, DeviceSpec::t4(), link)
+    }
+
+    fn two_tier(n: usize, island: usize) -> GpuCluster {
+        GpuCluster::with_topology(n, DeviceSpec::t4(), Topology::nvlink_islands(island))
     }
 
     #[test]
@@ -366,6 +639,38 @@ mod tests {
     }
 
     #[test]
+    fn two_tier_p2p_charges_intra_link_inside_an_island() {
+        // Devices 0 and 1 share the first NVLink island of a 4-device,
+        // 2-per-island cluster; devices 1 and 2 straddle the bridge.
+        let bytes = 16u64 << 20;
+        let intra = {
+            let c = two_tier(4, 2);
+            let buf = c
+                .device(0)
+                .unwrap()
+                .htod(&vec![0u8; bytes as usize])
+                .unwrap();
+            let before = c.makespan_ns();
+            let _ = c.p2p(buf, 1).unwrap();
+            c.makespan_ns() - before
+        };
+        let inter = {
+            let c = two_tier(4, 2);
+            let buf = c
+                .device(1)
+                .unwrap()
+                .htod(&vec![0u8; bytes as usize])
+                .unwrap();
+            let before = c.makespan_ns();
+            let _ = c.p2p(buf, 2).unwrap();
+            c.makespan_ns() - before
+        };
+        assert_eq!(intra, LinkKind::NvLink.step_ns(bytes));
+        assert_eq!(inter, LinkKind::Ethernet.step_ns(bytes));
+        assert!(inter > 10 * intra);
+    }
+
+    #[test]
     fn barrier_aligns_clocks() {
         let c = cluster(3, LinkKind::Pcie);
         c.device(0).unwrap().advance_to(5_000);
@@ -396,18 +701,72 @@ mod tests {
     }
 
     #[test]
-    fn chunked_all_reduce_matches_monolithic_cost_model() {
-        // Same bytes, same link: the chunked schedule's total duration must
-        // track the monolithic formula (identical latency terms; bandwidth
-        // term differs only by per-step chunk rounding).
+    fn hierarchical_all_reduce_cost_beats_flat_bridge_ring() {
+        // 8 devices as 2 NVLink islands of 4 bridged by Ethernet must beat
+        // 8 devices flat on Ethernet: only 2 (g-1) small shard-exchanges
+        // cross the slow tier instead of the whole 2 (n-1)-step ring.
         let bytes = 1u64 << 20;
-        let mono = cluster(4, LinkKind::Pcie).all_reduce_cost(bytes);
+        let flat = cluster(8, LinkKind::Ethernet).all_reduce_cost(bytes);
+        let hier = two_tier(8, 4).all_reduce_cost(bytes);
+        assert!(
+            hier * 3 < flat,
+            "hierarchical {hier} ns not well below flat {flat} ns"
+        );
+        // And it cannot beat the all-NVLink flat ring it embeds.
+        let nvlink = cluster(8, LinkKind::NvLink).all_reduce_cost(bytes);
+        assert!(hier > nvlink);
+    }
+
+    #[test]
+    fn degenerate_two_tier_topologies_match_flat_rings() {
+        let bytes = 3u64 << 20;
+        // island >= n: one island, pure intra.
+        let one_island = GpuCluster::with_topology(
+            4,
+            DeviceSpec::t4(),
+            Topology::TwoTier {
+                island: 4,
+                intra: LinkKind::NvLink,
+                inter: LinkKind::Ethernet,
+            },
+        );
+        assert_eq!(
+            one_island.all_reduce_cost(bytes),
+            cluster(4, LinkKind::NvLink).all_reduce_cost(bytes)
+        );
+        // island == 1: every hop crosses the bridge.
+        let all_bridge = GpuCluster::with_topology(
+            4,
+            DeviceSpec::t4(),
+            Topology::TwoTier {
+                island: 1,
+                intra: LinkKind::NvLink,
+                inter: LinkKind::Ethernet,
+            },
+        );
+        assert_eq!(
+            all_bridge.all_reduce_cost(bytes),
+            cluster(4, LinkKind::Ethernet).all_reduce_cost(bytes)
+        );
+    }
+
+    #[test]
+    fn chunked_all_reduce_matches_monolithic_cost_model() {
+        // Same bytes, same topology: the chunked schedule and the blocking
+        // cost model now share one phase table, so durations are equal.
+        let bytes = 1u64 << 20;
+        for mk in [|| cluster(4, LinkKind::Pcie), || two_tier(8, 4)] {
+            let mono = mk().all_reduce_cost(bytes);
+            let c = mk();
+            let h = c.all_reduce_chunked(bytes, "grads", &vec![0; c.len()]);
+            assert_eq!(h.dur_ns(), mono);
+        }
         let c = cluster(4, LinkKind::Pcie);
         let h = c.all_reduce_chunked(bytes, "grads", &[0, 0, 0, 0]);
         assert_eq!(h.steps, 6);
-        let slack = h.steps; // ±1 ns of ceil rounding per step
-        assert!(h.dur_ns() <= mono + slack && h.dur_ns() + slack >= mono);
         assert!(h.per_dev_bytes >= (2 * 3 * bytes) / 4);
+        assert_eq!(h.inter_steps, 0, "flat ring has no bridge tier");
+        assert_eq!(h.inter_bytes, 0);
     }
 
     #[test]
@@ -416,11 +775,11 @@ mod tests {
         let h = c.all_reduce_chunked(3 << 10, "b0", &[0, 0, 0]);
         let evs = c.recorder().snapshot();
         let steps: Vec<_> = evs.iter().filter(|e| e.name.starts_with("b0/")).collect();
-        // 2 (n-1) steps on each of the 3 devices, all on the comm stream.
+        // 2 (n-1) steps on each of the 3 devices, all on one comm channel.
         assert_eq!(steps.len(), 12);
         assert!(steps.iter().all(|e| e.kind == EventKind::MemcpyP2P));
         for i in 0..3 {
-            let stream = c.comm_stream(i).unwrap().ordinal();
+            let stream = c.comm_channel(i, h.channel as usize).unwrap().ordinal();
             let mut dev_steps: Vec<_> = steps
                 .iter()
                 .filter(|e| e.device == i as u32 && e.stream == stream)
@@ -437,6 +796,55 @@ mod tests {
             h.end_ns,
             steps.iter().map(|e| e.start_ns + e.dur_ns).max().unwrap()
         );
+    }
+
+    #[test]
+    fn hierarchical_steps_charge_their_own_tier_only() {
+        // Property from the issue: intra-island chunks must never charge
+        // time on the bridge link. Every intra step's duration is computed
+        // from NVLink latency/bandwidth (well under the Ethernet RTT), and
+        // every bridge step pays at least the Ethernet RTT.
+        let bytes = 1u64 << 20;
+        let c = two_tier(8, 4);
+        let h = c.all_reduce_chunked(bytes, "g", &[0; 8]);
+        let evs = c.recorder().snapshot();
+        let intra: Vec<_> = evs.iter().filter(|e| e.name.contains("/intra-")).collect();
+        let inter: Vec<_> = evs.iter().filter(|e| e.name.contains("/inter")).collect();
+        assert!(!intra.is_empty() && !inter.is_empty());
+        let intra_chunk = bytes.div_ceil(4);
+        let inter_chunk = bytes.div_ceil(8);
+        for e in &intra {
+            assert_eq!(e.dur_ns, LinkKind::NvLink.step_ns(intra_chunk));
+            assert!(
+                (e.dur_ns as f64) < LinkKind::Ethernet.latency_ns(),
+                "intra step {} charged bridge-scale time",
+                e.name
+            );
+        }
+        for e in &inter {
+            assert_eq!(e.dur_ns, LinkKind::Ethernet.step_ns(inter_chunk));
+            assert!(e.dur_ns as f64 >= LinkKind::Ethernet.latency_ns());
+        }
+        // Per device: m-1 = 3 intra-rs, 2 (g-1) = 2 inter, 3 intra-ag.
+        assert_eq!(intra.len(), 8 * 6);
+        assert_eq!(inter.len(), 8 * 2);
+        assert_eq!(h.steps, 8);
+        assert_eq!(h.inter_steps, 2);
+        assert_eq!(h.inter_bytes, 2 * inter_chunk);
+    }
+
+    #[test]
+    fn two_tier_bridge_traffic_is_cut_by_island_size() {
+        // Flat over the bridge: every device pushes 2 (n-1)/n · bytes over
+        // Ethernet. Hierarchical: only 2 (g-1)/(m g) · bytes ≈ 1/m as much.
+        let bytes = 4u64 << 20;
+        let flat = cluster(8, LinkKind::Ethernet);
+        let hf = flat.all_reduce_chunked(bytes, "g", &[0; 8]);
+        let hier = two_tier(8, 4);
+        let hh = hier.all_reduce_chunked(bytes, "g", &[0; 8]);
+        // Flat: all per-device bytes cross the one (bridge-class) link.
+        let flat_bridge_bytes = hf.per_dev_bytes;
+        assert!(hh.inter_bytes * 5 < flat_bridge_bytes);
     }
 
     #[test]
@@ -462,11 +870,21 @@ mod tests {
     }
 
     #[test]
-    fn chunked_all_reduce_serializes_on_comm_stream() {
+    fn collectives_round_robin_channels_and_serialize_per_channel() {
+        // Two back-to-back collectives land on different channels and
+        // overlap like independent NCCL channels; the third reuses the
+        // first channel and queues behind its collective.
         let c = cluster(2, LinkKind::Pcie);
         let a = c.all_reduce_chunked(1 << 16, "a", &[0, 0]);
         let b = c.all_reduce_chunked(1 << 16, "b", &[0, 0]);
-        assert_eq!(b.start_ns, a.end_ns, "second bucket queues behind first");
+        let third = c.all_reduce_chunked(1 << 16, "c", &[0, 0]);
+        assert_ne!(a.channel, b.channel);
+        assert_eq!(b.start_ns, 0, "second bucket overlaps the first");
+        assert_eq!(third.channel, a.channel);
+        assert_eq!(
+            third.start_ns, a.end_ns,
+            "third bucket queues behind the first on its channel"
+        );
     }
 
     #[test]

@@ -510,33 +510,6 @@ impl Gpu {
         Ok((dur.ceil() as u64, occ))
     }
 
-    /// Deprecated wrapper over [`LaunchSpec::run`].
-    #[deprecated(note = "use `LaunchSpec::new(name, cfg, profile).run(gpu, body)`")]
-    pub fn launch<R>(
-        &self,
-        name: &str,
-        cfg: LaunchConfig,
-        profile: KernelProfile,
-        body: impl FnOnce() -> R,
-    ) -> Result<R, GpuError> {
-        LaunchSpec::new(name, cfg, profile).run(self, body)
-    }
-
-    /// Deprecated wrapper over [`LaunchSpec::on`] + [`LaunchSpec::run`].
-    #[deprecated(note = "use `LaunchSpec::new(name, cfg, profile).on(stream).run(gpu, body)`")]
-    pub fn launch_on<R>(
-        &self,
-        stream: StreamId,
-        name: &str,
-        cfg: LaunchConfig,
-        profile: KernelProfile,
-        body: impl FnOnce() -> R,
-    ) -> Result<R, GpuError> {
-        LaunchSpec::new(name, cfg, profile)
-            .on(stream)
-            .run(self, body)
-    }
-
     /// Asynchronous host-to-device copy on a stream (`cudaMemcpyAsync`).
     pub fn htod_on<T: Copy + Send + Sync + 'static>(
         &self,
@@ -562,38 +535,6 @@ impl Gpu {
         let dur = self.transfer_ns(bytes);
         self.charge_copy(stream, EventKind::MemcpyD2H, "dtoh", dur, bytes)?;
         Ok(buf.host_view().to_vec())
-    }
-
-    /// Deprecated wrapper over [`LaunchSpec::map`].
-    #[deprecated(note = "use `LaunchSpec::new(name, cfg, profile).map(gpu, out, f)`")]
-    pub fn launch_map<T, F>(
-        &self,
-        name: &str,
-        cfg: LaunchConfig,
-        profile: KernelProfile,
-        out: &mut DeviceBuffer<T>,
-        f: F,
-    ) -> Result<(), GpuError>
-    where
-        T: Copy + Send + Sync + 'static,
-        F: Fn(usize, usize) -> T + Sync,
-    {
-        LaunchSpec::new(name, cfg, profile).map(self, out, f)
-    }
-
-    /// Deprecated wrapper over [`LaunchSpec::for_each_thread`].
-    #[deprecated(note = "use `LaunchSpec::new(name, cfg, profile).for_each_thread(gpu, f)`")]
-    pub fn launch_threads<F>(
-        &self,
-        name: &str,
-        cfg: LaunchConfig,
-        profile: KernelProfile,
-        f: F,
-    ) -> Result<(), GpuError>
-    where
-        F: Fn(Dim3, Dim3) + Sync,
-    {
-        LaunchSpec::new(name, cfg, profile).for_each_thread(self, f)
     }
 
     /// Records a blocking synchronization point (`cudaDeviceSynchronize`).
@@ -888,13 +829,14 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_launch_wrappers_match_launch_spec() {
+    fn launch_spec_entry_points_share_one_submission_path() {
+        // The four LaunchSpec entry points (run / on+run / map /
+        // for_each_thread) must price and charge identically: one kernel
+        // command each through the same submission path, deterministic
+        // across repeated runs, with map results visible on the host.
         let cfg = LaunchConfig::for_elements(1024, 256);
         let profile = KernelProfile::elementwise(1024, 2, 8);
-        // Each legacy entry point must behave exactly like its LaunchSpec
-        // equivalent: same timeline, same results.
-        let spec_run = {
+        let run = || {
             let g = gpu();
             let s = g.create_stream();
             let mut out = g.alloc_zeroed::<f32>(1024).unwrap();
@@ -912,19 +854,16 @@ mod tests {
             g.synchronize();
             (g.now_ns(), g.kernels_launched(), g.dtoh(&out).unwrap())
         };
-        let legacy_run = {
-            let g = gpu();
-            let s = g.create_stream();
-            let mut out = g.alloc_zeroed::<f32>(1024).unwrap();
-            g.launch("a", cfg, profile, || ()).unwrap();
-            g.launch_on(s, "b", cfg, profile, || ()).unwrap();
-            g.launch_map("c", cfg, profile, &mut out, |i, _| i as f32)
-                .unwrap();
-            g.launch_threads("d", cfg, profile, |_, _| ()).unwrap();
-            g.synchronize();
-            (g.now_ns(), g.kernels_launched(), g.dtoh(&out).unwrap())
-        };
-        assert_eq!(spec_run, legacy_run);
+        let (now, launches, out) = run();
+        assert_eq!(launches, 4, "one launch per entry point");
+        assert_eq!(out[17], 17.0, "map wrote through to host");
+        // Every entry point priced via kernel_duration_ns: the default
+        // stream carries a/c/d, the side stream only b, and the device
+        // clock covers both.
+        let g = gpu();
+        let (dur, _) = g.kernel_duration_ns(&cfg, &profile).unwrap();
+        assert_eq!(now, 3 * dur, "default stream serializes a, c, d");
+        assert_eq!(run(), (now, launches, out), "deterministic timeline");
     }
 
     #[test]

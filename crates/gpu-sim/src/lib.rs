@@ -31,7 +31,9 @@
 //! - [`memory::DeviceBuffer`] — typed device allocation holding real data.
 //! - [`kernel`] — launch configuration, cost profiles, access patterns.
 //! - [`occupancy`] — CUDA-style occupancy calculator.
-//! - [`cluster::GpuCluster`] — multi-GPU node with PCIe/NVLink peer links.
+//! - [`cluster::GpuCluster`] — multi-GPU node with PCIe/NVLink peer links,
+//!   optionally wired as a two-tier [`cluster::Topology`] (NVLink islands
+//!   bridged by Ethernet) with hierarchical collectives.
 //! - [`event`] — the trace-event stream consumed by `sagegpu-profiler`.
 //!
 //! ## Quick example
@@ -70,7 +72,7 @@ pub mod pool;
 /// Convenient glob-import of the crate's primary types.
 pub mod prelude {
     pub use crate::arch::{DeviceSpec, MemorySpec};
-    pub use crate::cluster::{GpuCluster, LinkKind, ReduceHandle};
+    pub use crate::cluster::{GpuCluster, LinkKind, ReduceHandle, Topology, COMM_CHANNELS};
     pub use crate::command::{
         CmdEvent, CollectiveCommand, Command, Completion, CopyCommand, Graph, KernelCommand, Replay,
     };
@@ -87,7 +89,7 @@ pub mod prelude {
 }
 
 pub use arch::DeviceSpec;
-pub use cluster::{GpuCluster, LinkKind, ReduceHandle};
+pub use cluster::{GpuCluster, LinkKind, ReduceHandle, Topology, COMM_CHANNELS};
 pub use command::{
     CmdEvent, CollectiveCommand, Command, Completion, CopyCommand, Graph, KernelCommand, Replay,
 };

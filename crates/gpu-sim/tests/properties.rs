@@ -175,6 +175,53 @@ proptest! {
         prop_assert_eq!(pool.resident_count(), 0);
     }
 
+    /// Hierarchical collectives keep every step on its own tier: for ANY
+    /// payload and island size, intra-island steps are priced from the fast
+    /// link (strictly cheaper than even the smallest per-device share moved
+    /// over the bridge), bridge steps always pay at least the bridge RTT,
+    /// the chunked schedule costs exactly what the blocking cost model
+    /// says, and the hierarchical schedule never loses to running the
+    /// whole ring over the bridge.
+    #[test]
+    fn hierarchical_steps_stay_on_their_tier(
+        bytes in 1u64..(8 << 20),
+        island in 1usize..9,
+        n_idx in 0usize..3,
+    ) {
+        let n = [2usize, 4, 8][n_idx];
+        let topo = Topology::TwoTier {
+            island,
+            intra: LinkKind::NvLink,
+            inter: LinkKind::Ethernet,
+        };
+        let c = GpuCluster::with_topology(n, DeviceSpec::t4(), topo);
+        let h = c.all_reduce_chunked(bytes, "g", &vec![0; n]);
+        let mono = GpuCluster::with_topology(n, DeviceSpec::t4(), topo).all_reduce_cost(bytes);
+        prop_assert_eq!(h.dur_ns(), mono, "chunked and blocking schedules agree");
+        let flat_bridge =
+            GpuCluster::homogeneous(n, DeviceSpec::t4(), LinkKind::Ethernet).all_reduce_cost(bytes);
+        prop_assert!(h.dur_ns() <= flat_bridge, "hierarchy never loses to the flat bridge ring");
+        // Pricing the smallest possible per-device share (bytes / n) on the
+        // bridge already beats any intra-island step, whose chunk is at
+        // least as large: if an intra step somehow got bridge pricing, it
+        // would cost at least this much.
+        let bridge_floor = LinkKind::Ethernet.step_ns(bytes.div_ceil(n as u64));
+        let bridge_rtt = LinkKind::Ethernet.latency_ns();
+        for e in c.recorder().snapshot() {
+            if e.kind != EventKind::MemcpyP2P {
+                continue;
+            }
+            if e.name.contains("/intra-") {
+                prop_assert!(
+                    e.dur_ns < bridge_floor,
+                    "intra step {} ({} ns) charged bridge-scale time", e.name, e.dur_ns
+                );
+            } else if e.name.contains("/inter") {
+                prop_assert!(e.dur_ns as f64 >= bridge_rtt);
+            }
+        }
+    }
+
     /// The roofline duration equals max(compute, memory) + overhead.
     #[test]
     fn roofline_is_max_of_roofs(flops in 1u64..1_000_000_000_000, bytes in 1u64..1_000_000_000) {

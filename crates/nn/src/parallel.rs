@@ -83,8 +83,19 @@ pub struct GradBucket {
 /// (and its all-reduce can launch) while earlier layers are still
 /// back-propagating. Every bucket holds at least one parameter; a gradient
 /// larger than `bucket_bytes` gets a bucket of its own.
+///
+/// # Panics
+///
+/// Panics when `bucket_bytes == 0`: a zero cap is always a configuration
+/// error (it would degenerate to one bucket — one collective — per
+/// parameter, the pathological schedule DDP bucketing exists to avoid), so
+/// sweeps fail loudly instead of silently running it.
 pub fn bucket_gradients(grads: &[Tensor], bucket_bytes: u64) -> Vec<GradBucket> {
-    let cap = bucket_bytes.max(1);
+    assert!(
+        bucket_bytes > 0,
+        "bucket_bytes must be positive: a zero cap degenerates to one collective per parameter"
+    );
+    let cap = bucket_bytes;
     let mut buckets: Vec<GradBucket> = Vec::new();
     let mut params: Vec<usize> = Vec::new();
     let mut bytes = 0u64;
@@ -124,11 +135,15 @@ pub struct BucketedReduceStats {
 /// streams. `ready_ns[w][p]` is the simulated timestamp at which worker
 /// `w`'s gradient for parameter `p` retired; a bucket launches once every
 /// worker has produced *all* of its parameters (and the previous bucket has
-/// drained the comm stream). Charging only — gradient values are untouched.
+/// drained its comm channel). The bucket's wire payload is shrunk by
+/// `compression` (half the bytes for fp16). Charging only — gradient
+/// values are untouched; the caller quantizes them separately when
+/// compression is on.
 pub fn charge_bucketed_all_reduce(
     cluster: &GpuCluster,
     buckets: &[GradBucket],
     ready_ns: &[Vec<u64>],
+    compression: Compression,
 ) -> (Vec<ReduceHandle>, BucketedReduceStats) {
     let mut handles = Vec::with_capacity(buckets.len());
     for (i, b) in buckets.iter().enumerate() {
@@ -136,7 +151,8 @@ pub fn charge_bucketed_all_reduce(
             .iter()
             .map(|w| b.params.iter().map(|&p| w[p]).max().unwrap_or(0))
             .collect();
-        handles.push(cluster.all_reduce_chunked(b.bytes, &format!("grad-bucket{i}"), &per_dev));
+        let wire_bytes = compression.payload_bytes(b.bytes);
+        handles.push(cluster.all_reduce_chunked(wire_bytes, &format!("grad-bucket{i}"), &per_dev));
     }
     let stats = BucketedReduceStats {
         buckets: handles.len() as u64,
@@ -145,6 +161,178 @@ pub fn charge_bucketed_all_reduce(
         comm_end_ns: handles.iter().map(|h| h.end_ns).max().unwrap_or(0),
     };
     (handles, stats)
+}
+
+/// Wire format of the gradient payload on the interconnect.
+///
+/// [`Compression::Fp16ErrorFeedback`] halves the collective's bytes by
+/// quantizing each gradient to IEEE half precision before the exchange,
+/// with *error feedback*: the quantization error of every step is carried
+/// in a per-worker residual and added back before the next quantization,
+/// so the error stays bounded instead of accumulating — the standard trick
+/// that keeps compressed SGD converging.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Compression {
+    /// Full-precision f32 payload (bit-identical training).
+    #[default]
+    None,
+    /// fp16 payload with error-feedback accumulation (bounded error).
+    Fp16ErrorFeedback,
+}
+
+impl Compression {
+    /// Bytes that actually cross the links for an `bytes`-byte f32 payload.
+    pub fn payload_bytes(&self, bytes: u64) -> u64 {
+        match self {
+            Compression::None => bytes,
+            Compression::Fp16ErrorFeedback => bytes.div_ceil(2),
+        }
+    }
+
+    /// Human-readable name for tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Compression::None => "f32",
+            Compression::Fp16ErrorFeedback => "fp16",
+        }
+    }
+}
+
+/// Converts an `f32` to IEEE 754 binary16 bits, rounding to nearest even
+/// (overflow saturates to ±∞, NaN stays NaN, tiny values flush through the
+/// subnormal range to ±0).
+pub fn f32_to_f16_bits(x: f32) -> u16 {
+    let bits = x.to_bits();
+    let sign = ((bits >> 16) & 0x8000) as u16;
+    let exp = ((bits >> 23) & 0xff) as i32;
+    let mant = bits & 0x007f_ffff;
+    if exp == 0xff {
+        // Inf / NaN (keep NaN-ness in the top mantissa bit).
+        return sign | 0x7c00 | if mant != 0 { 0x200 } else { 0 };
+    }
+    let unbiased = exp - 127;
+    if unbiased > 15 {
+        return sign | 0x7c00; // overflow → ±inf
+    }
+    if unbiased >= -14 {
+        // Normal half: keep 10 mantissa bits, RNE on the 13 dropped.
+        let mut m = mant >> 13;
+        let rem = mant & 0x1fff;
+        if rem > 0x1000 || (rem == 0x1000 && (m & 1) == 1) {
+            m += 1;
+        }
+        let mut e = (unbiased + 15) as u32;
+        if m == 0x400 {
+            m = 0;
+            e += 1;
+            if e >= 31 {
+                return sign | 0x7c00;
+            }
+        }
+        return sign | ((e as u16) << 10) | (m as u16);
+    }
+    if unbiased < -25 {
+        return sign; // underflows even the subnormal range
+    }
+    // Subnormal half: value = round(M × 2^(unbiased+1)) units of 2^-24,
+    // where M carries the implicit leading bit.
+    let m_full = mant | 0x0080_0000;
+    let s = (-unbiased - 1) as u32; // 14..=25
+    let m = m_full >> s;
+    let rem = m_full & ((1u32 << s) - 1);
+    let half = 1u32 << (s - 1);
+    let m = if rem > half || (rem == half && (m & 1) == 1) {
+        m + 1
+    } else {
+        m
+    };
+    // A round-up to 0x400 lands exactly on the smallest normal encoding.
+    sign | m as u16
+}
+
+/// Converts IEEE 754 binary16 bits back to `f32` (exact).
+pub fn f16_bits_to_f32(h: u16) -> f32 {
+    let sign = ((h & 0x8000) as u32) << 16;
+    let exp = ((h >> 10) & 0x1f) as u32;
+    let mant = (h & 0x3ff) as u32;
+    if exp == 0x1f {
+        return f32::from_bits(sign | 0x7f80_0000 | (mant << 13));
+    }
+    if exp == 0 {
+        // ±0 and subnormals: mant × 2^-24, exact in f32.
+        let v = mant as f32 * 2f32.powi(-24);
+        return if sign != 0 { -v } else { v };
+    }
+    f32::from_bits(sign | ((exp + 127 - 15) << 23) | (mant << 13))
+}
+
+/// Round-trips a value through fp16 (what the wire carries under
+/// [`Compression::Fp16ErrorFeedback`]).
+pub fn f16_quantize(x: f32) -> f32 {
+    f16_bits_to_f32(f32_to_f16_bits(x))
+}
+
+/// Per-worker error-feedback state for compressed gradient exchange.
+///
+/// Each `compress` call quantizes `gradient + residual` to fp16 and keeps
+/// the quantization error as the next step's residual, so no signal is
+/// permanently lost — it is merely delayed.
+#[derive(Debug, Default)]
+pub struct GradCompressor {
+    residual: Vec<Tensor>,
+}
+
+impl GradCompressor {
+    /// Fresh compressor with zero residual.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Quantizes `grads` to fp16 with error feedback, returning the values
+    /// the wire carries (every element exactly representable in fp16).
+    pub fn compress(&mut self, grads: &[Tensor]) -> Vec<Tensor> {
+        if self.residual.len() != grads.len() {
+            self.residual = grads
+                .iter()
+                .map(|g| Tensor::zeros(g.rows(), g.cols()))
+                .collect();
+        }
+        grads
+            .iter()
+            .zip(self.residual.iter_mut())
+            .map(|(g, r)| {
+                let corrected = g.add(r).expect("residual tracks gradient shape");
+                let q = corrected.map(f16_quantize);
+                *r = corrected.sub(&q).expect("same shape");
+                q
+            })
+            .collect()
+    }
+}
+
+/// Two-stage hierarchical weighted average: workers are grouped into
+/// islands of `island` consecutive workers, each island averages locally
+/// (weighted by worker weights), then island means are combined weighted by
+/// island weight sums — algebraically the same convex combination as
+/// [`weighted_average_gradients`], re-associated the way a two-tier
+/// hierarchical all-reduce combines partial sums. Used by property tests to
+/// pin that re-association keeps the result within float tolerance of the
+/// flat reduction.
+pub fn hierarchical_weighted_average_gradients(
+    per_worker: &[Vec<Tensor>],
+    weights: &[f64],
+    island: usize,
+) -> Vec<Tensor> {
+    assert!(!per_worker.is_empty(), "no worker gradients");
+    assert_eq!(per_worker.len(), weights.len(), "one weight per worker");
+    let m = island.clamp(1, per_worker.len());
+    let mut island_means: Vec<Vec<Tensor>> = Vec::new();
+    let mut island_weights: Vec<f64> = Vec::new();
+    for (chunk_g, chunk_w) in per_worker.chunks(m).zip(weights.chunks(m)) {
+        island_means.push(weighted_average_gradients(chunk_g, chunk_w));
+        island_weights.push(chunk_w.iter().sum());
+    }
+    weighted_average_gradients(&island_means, &island_weights)
 }
 
 /// Bucketed, overlap-capable gradient all-reduce: groups gradients with
@@ -162,7 +350,8 @@ pub fn all_reduce_gradients_bucketed(
 ) -> (Vec<Tensor>, Vec<ReduceHandle>, BucketedReduceStats) {
     assert!(!per_worker.is_empty(), "no worker gradients");
     let buckets = bucket_gradients(&per_worker[0], bucket_bytes);
-    let (handles, stats) = charge_bucketed_all_reduce(cluster, &buckets, ready_ns);
+    let (handles, stats) =
+        charge_bucketed_all_reduce(cluster, &buckets, ready_ns, Compression::None);
     (
         weighted_average_gradients(per_worker, weights),
         handles,
@@ -290,7 +479,8 @@ mod tests {
         assert_eq!(buckets.len(), 2);
         // Param 1 (last layer) retires at 10 µs, param 0 at 100 µs.
         let ready = vec![vec![100_000u64, 10_000], vec![100_000, 10_000]];
-        let (handles, stats) = charge_bucketed_all_reduce(&cluster, &buckets, &ready);
+        let (handles, stats) =
+            charge_bucketed_all_reduce(&cluster, &buckets, &ready, Compression::None);
         assert_eq!(handles[0].start_ns, 10_000, "bucket 0 launches early");
         assert!(
             handles[0].end_ns < 100_000,
@@ -316,5 +506,155 @@ mod tests {
     #[should_panic(expected = "no worker gradients")]
     fn empty_input_panics() {
         average_gradients(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "bucket_bytes must be positive")]
+    fn zero_bucket_cap_panics_instead_of_degenerating() {
+        // A zero cap used to clamp to 1 byte and silently run one
+        // collective per parameter; it is now a loud configuration error.
+        bucket_gradients(&[Tensor::zeros(2, 2)], 0);
+    }
+
+    #[test]
+    fn f16_conversion_hits_known_encodings() {
+        assert_eq!(f32_to_f16_bits(0.0), 0x0000);
+        assert_eq!(f32_to_f16_bits(-0.0), 0x8000);
+        assert_eq!(f32_to_f16_bits(1.0), 0x3c00);
+        assert_eq!(f32_to_f16_bits(-2.0), 0xc000);
+        assert_eq!(f32_to_f16_bits(65504.0), 0x7bff, "largest finite half");
+        assert_eq!(f32_to_f16_bits(1e9), 0x7c00, "overflow saturates to inf");
+        assert_eq!(
+            f32_to_f16_bits(2f32.powi(-24)),
+            0x0001,
+            "smallest subnormal"
+        );
+        assert_eq!(f32_to_f16_bits(1e-10), 0x0000, "underflow flushes to zero");
+        assert!(f16_bits_to_f32(f32_to_f16_bits(f32::NAN)).is_nan());
+        for x in [0.0f32, 1.0, -2.0, 65504.0, 0.099976, 2f32.powi(-24)] {
+            let q = f16_quantize(x);
+            assert_eq!(f16_quantize(q), q, "quantization is idempotent at {x}");
+        }
+    }
+
+    #[test]
+    fn f16_quantize_error_is_half_ulp_bounded() {
+        use rand::rngs::SmallRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(11);
+        for _ in 0..10_000 {
+            let x: f32 = rng.gen_range(-1_000.0f32..1_000.0);
+            let q = f16_quantize(x);
+            if x.abs() >= 2f32.powi(-14) {
+                // Normal range: RNE gives a half-ulp bound, 2^-11 relative.
+                assert!(
+                    (q - x).abs() <= x.abs() * 2f32.powi(-11),
+                    "|{q} - {x}| exceeds half-ulp bound"
+                );
+            } else {
+                // Subnormal range: absolute error under the subnormal step.
+                assert!((q - x).abs() <= 2f32.powi(-24));
+            }
+        }
+    }
+
+    #[test]
+    fn error_feedback_residual_does_not_accumulate() {
+        // Quantizing a constant, non-representable gradient T times: with
+        // error feedback the summed wire values track the summed true
+        // gradient to within ONE quantization error, independent of T —
+        // without it the bias would grow linearly.
+        let g = 1e-3f32; // not exactly representable in fp16
+        let grads = vec![Tensor::full(3, 3, g)];
+        let mut comp = GradCompressor::new();
+        let t = 64;
+        let mut acc = 0f64;
+        for _ in 0..t {
+            let q = comp.compress(&grads);
+            acc += q[0].get(0, 0) as f64;
+        }
+        let truth = g as f64 * t as f64;
+        let one_q_err = (g as f64) * 2f64.powi(-11);
+        assert!(
+            (acc - truth).abs() <= one_q_err * 1.0001,
+            "drift {} exceeds one quantization error {}",
+            (acc - truth).abs(),
+            one_q_err
+        );
+        // Plain re-quantization (no feedback) really does drift more.
+        let naive = f16_quantize(g) as f64 * t as f64;
+        assert!((naive - truth).abs() > (acc - truth).abs());
+    }
+
+    #[test]
+    fn compression_halves_collective_payload() {
+        assert_eq!(Compression::None.payload_bytes(1000), 1000);
+        assert_eq!(Compression::Fp16ErrorFeedback.payload_bytes(1000), 500);
+        assert_eq!(Compression::Fp16ErrorFeedback.payload_bytes(1001), 501);
+        assert_eq!(Compression::default(), Compression::None);
+        // The charging path uses the compressed wire size: the same bucket
+        // schedule finishes strictly earlier with half the payload.
+        use gpu_sim::{DeviceSpec, GpuCluster, LinkKind};
+        let grads = vec![Tensor::zeros(64, 64)];
+        let buckets = bucket_gradients(&grads, 1 << 20);
+        let ready = vec![vec![0u64; 1]; 2];
+        let full = GpuCluster::homogeneous(2, DeviceSpec::t4(), LinkKind::Ethernet);
+        let (_, fs) = charge_bucketed_all_reduce(&full, &buckets, &ready, Compression::None);
+        let half = GpuCluster::homogeneous(2, DeviceSpec::t4(), LinkKind::Ethernet);
+        let (_, hs) =
+            charge_bucketed_all_reduce(&half, &buckets, &ready, Compression::Fp16ErrorFeedback);
+        assert!(
+            hs.total_comm_ns < fs.total_comm_ns,
+            "fp16 wire {} ns must beat f32 {} ns",
+            hs.total_comm_ns,
+            fs.total_comm_ns
+        );
+    }
+
+    #[test]
+    fn hierarchical_average_matches_flat_within_float_tolerance() {
+        use rand::rngs::SmallRng;
+        use rand::SeedableRng;
+        let mut rng = SmallRng::seed_from_u64(7);
+        for (workers, island) in [(8usize, 4usize), (8, 2), (6, 4), (5, 2), (7, 3), (4, 1)] {
+            let per_worker: Vec<Vec<Tensor>> = (0..workers)
+                .map(|_| vec![Tensor::randn(6, 5, &mut rng), Tensor::randn(1, 5, &mut rng)])
+                .collect();
+            let weights: Vec<f64> = (0..workers).map(|w| 1.0 + (w % 3) as f64).collect();
+            let flat = weighted_average_gradients(&per_worker, &weights);
+            let hier = hierarchical_weighted_average_gradients(&per_worker, &weights, island);
+            for (f, h) in flat.iter().zip(&hier) {
+                for (a, b) in f.data().iter().zip(h.data()) {
+                    assert!(
+                        (a - b).abs() <= 1e-5 * a.abs().max(1.0),
+                        "island={island}: {a} vs {b}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn compressed_average_error_is_bounded_by_quantization() {
+        use rand::rngs::SmallRng;
+        use rand::SeedableRng;
+        let mut rng = SmallRng::seed_from_u64(3);
+        let per_worker: Vec<Vec<Tensor>> = (0..4)
+            .map(|_| vec![Tensor::randn(8, 8, &mut rng)])
+            .collect();
+        let weights = vec![1.0; 4];
+        let exact = weighted_average_gradients(&per_worker, &weights);
+        let compressed: Vec<Vec<Tensor>> = per_worker
+            .iter()
+            .map(|g| GradCompressor::new().compress(g))
+            .collect();
+        let approx = weighted_average_gradients(&compressed, &weights);
+        for (e, a) in exact.iter().zip(&approx) {
+            for (x, y) in e.data().iter().zip(a.data()) {
+                // Each worker's wire value is within half an fp16 ulp of
+                // its gradient; the convex combination preserves the bound.
+                assert!((x - y).abs() <= x.abs().max(4.0) * 2f32.powi(-11));
+            }
+        }
     }
 }

@@ -70,6 +70,14 @@ pub struct BottleneckReport {
     /// kernel on this device. 0.0 when the lane has no P2P traffic; 1.0
     /// means every communication nanosecond added to the makespan.
     pub comm_exposed_fraction: f64,
+    /// [`Self::comm_exposed_fraction`], restricted to intra-island (or
+    /// flat-ring) collective steps — every P2P event whose name does not
+    /// carry the hierarchical `/inter` marker. 0.0 when the tier is silent.
+    pub comm_exposed_fraction_intra: f64,
+    /// [`Self::comm_exposed_fraction`], restricted to bridge-tier steps of
+    /// a hierarchical collective (P2P events named `…/inter…`). 0.0 when
+    /// the lane never crosses the bridge.
+    pub comm_exposed_fraction_inter: f64,
     /// Residency hit ratio of the executor's operand lookups, when the
     /// caller supplied residency stats (`None` for plain [`analyze`]).
     pub residency_hit_ratio: Option<f64>,
@@ -219,12 +227,35 @@ pub fn analyze_with_residency(
             .map(|e| (e.start_ns, e.start_ns + e.dur_ns))
             .collect(),
     );
-    let comm_total_ns: u64 = comm_iv.iter().map(|&(s, e)| e - s).sum();
-    let comm_exposed_fraction = if comm_total_ns == 0 {
-        0.0
-    } else {
-        uncovered_ns(&comm_iv, &kernel_iv) as f64 / comm_total_ns as f64
+    let exposed_over = |iv: &[(u64, u64)]| -> f64 {
+        let total: u64 = iv.iter().map(|&(s, e)| e - s).sum();
+        if total == 0 {
+            0.0
+        } else {
+            uncovered_ns(iv, &kernel_iv) as f64 / total as f64
+        }
     };
+    let comm_total_ns: u64 = comm_iv.iter().map(|&(s, e)| e - s).sum();
+    let comm_exposed_fraction = exposed_over(&comm_iv);
+    // Per-tier attribution: hierarchical collectives name their bridge
+    // steps `…/inter…`; everything else (flat rings, `…/intra-…` steps,
+    // raw P2P copies) is fast-tier traffic. Each tier's exposure is
+    // measured against the same kernel cover, so a run can hide one tier
+    // completely while the other sits on the critical path.
+    let (inter_spans, intra_spans): (Vec<_>, Vec<_>) = lane
+        .iter()
+        .filter(|e| e.kind == EventKind::MemcpyP2P && e.dur_ns > 0)
+        .map(|e| {
+            (
+                e.name.contains("/inter"),
+                (e.start_ns, e.start_ns + e.dur_ns),
+            )
+        })
+        .partition(|&(is_inter, _)| is_inter);
+    let strip =
+        |v: Vec<(bool, (u64, u64))>| interval_union(v.into_iter().map(|(_, s)| s).collect());
+    let comm_exposed_fraction_intra = exposed_over(&strip(intra_spans));
+    let comm_exposed_fraction_inter = exposed_over(&strip(inter_spans));
 
     let residency_hit_ratio = residency.map(|r| r.hit_ratio());
     let resident_compute = residency_hit_ratio.is_some_and(|h| h >= 0.9);
@@ -306,6 +337,14 @@ pub fn analyze_with_residency(
                 .to_owned(),
         );
     }
+    if comm_exposed_fraction_inter > 0.25 {
+        recommendations.push(
+            "Bridge-tier collective steps dominate the exposed communication: grow the NVLink \
+             islands so more of each reduction stays on fast links, or compress gradients \
+             (fp16 with error feedback) to shrink the bridge payload."
+                .to_owned(),
+        );
+    }
     if kernels.iter().any(|k| k.mean_occupancy < 0.25) {
         recommendations.push(
             "Some kernels run below 25% occupancy: reduce per-thread registers or shrink shared \
@@ -328,6 +367,8 @@ pub fn analyze_with_residency(
         d2h_bytes,
         p2p_bytes,
         comm_exposed_fraction,
+        comm_exposed_fraction_intra,
+        comm_exposed_fraction_inter,
         residency_hit_ratio,
         recommendations,
     }
@@ -709,6 +750,71 @@ mod tests {
             hidden,
         ]);
         assert!(analyze(&t2, 0, &spec()).comm_exposed_fraction < 1e-9);
+    }
+
+    #[test]
+    fn exposed_comm_is_attributed_per_tier() {
+        // A hierarchical all-reduce: the intra-island phases (named
+        // `…/intra-rs…`/`…/intra-ag…`) run while the backward kernel is
+        // still busy, but the bridge exchange (`…/inter…`) starts after the
+        // kernel retires and is fully exposed.
+        let mk = |name: &str, start: u64, dur: u64| {
+            let mut e = ev(EventKind::MemcpyP2P, name, start, dur, 1 << 16, 0, 0.0);
+            e.stream = 1;
+            e
+        };
+        let t = Timeline::from_events(vec![
+            ev(
+                EventKind::Kernel,
+                "spmm_bwd",
+                0,
+                1000,
+                1 << 20,
+                1 << 20,
+                0.9,
+            ),
+            mk("grads/intra-rs0", 100, 200),
+            mk("grads/intra-rs1", 300, 200),
+            mk("grads/inter0", 1000, 400),
+            mk("grads/inter1", 1400, 400),
+            mk("grads/intra-ag0", 1800, 100),
+            mk("grads/intra-ag1", 1900, 100),
+        ]);
+        let report = analyze(&t, 0, &spec());
+        // Intra tier: 400 ns hidden under the kernel + 200 ns exposed
+        // after it → 1/3 exposed. Bridge tier: all 800 ns exposed.
+        assert!((report.comm_exposed_fraction_intra - 200.0 / 600.0).abs() < 1e-9);
+        assert!((report.comm_exposed_fraction_inter - 1.0).abs() < 1e-9);
+        // The blended fraction covers both tiers: 1000 ns of 1400 exposed.
+        assert!((report.comm_exposed_fraction - 1000.0 / 1400.0).abs() < 1e-9);
+        assert!(report
+            .recommendations
+            .iter()
+            .any(|r| r.contains("Bridge-tier")));
+        // A flat ring has no bridge events: the inter fraction stays 0 and
+        // the intra fraction equals the blended one.
+        let flat = Timeline::from_events(vec![
+            ev(
+                EventKind::Kernel,
+                "spmm_bwd",
+                0,
+                1000,
+                1 << 20,
+                1 << 20,
+                0.9,
+            ),
+            mk("grads/rs0", 500, 1000),
+        ]);
+        let flat_report = analyze(&flat, 0, &spec());
+        assert_eq!(flat_report.comm_exposed_fraction_inter, 0.0);
+        assert!(
+            (flat_report.comm_exposed_fraction_intra - flat_report.comm_exposed_fraction).abs()
+                < 1e-9
+        );
+        assert!(!flat_report
+            .recommendations
+            .iter()
+            .any(|r| r.contains("Bridge-tier")));
     }
 
     #[test]

@@ -17,6 +17,12 @@
 # 7. BENCH_A09.json: regenerate via `repro --exp graph`, then validate graph
 #    replay collapses submissions and amortizes launch overhead with
 #    bit-identical outputs (crates/bench/tests/bench_a09.rs)
+# 8. BENCH_A10.json: regenerate via `repro --exp topology`, then validate
+#    the hierarchical two-tier schedule keeps the exposed comm fraction
+#    under 0.25 at k=8, widens its lead over flat-monolithic through k=16,
+#    stays bit-identical uncompressed, and halves the wire under fp16
+#    (crates/bench/tests/bench_a10.rs). Steps 6-7 double as the A08/A09
+#    non-regression gate: their artifact tests re-assert the headline wins.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -44,5 +50,9 @@ cargo test -q -p sagegpu-bench --test bench_a08
 echo "==> BENCH_A09.json: regenerate + validate"
 cargo run --release -q -p sagegpu-bench --bin repro -- --exp graph > /dev/null
 cargo test -q -p sagegpu-bench --test bench_a09
+
+echo "==> BENCH_A10.json: regenerate + validate"
+cargo run --release -q -p sagegpu-bench --bin repro -- --exp topology > /dev/null
+cargo test -q -p sagegpu-bench --test bench_a10
 
 echo "OK: all checks passed"
