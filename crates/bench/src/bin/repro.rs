@@ -92,6 +92,11 @@ fn experiments() -> Vec<Experiment> {
             "Ablation: two-tier topology x hierarchical collectives (A10)",
             render::render_topology,
         ),
+        (
+            "whatif",
+            "Ablation: trace what-if replay (A11)",
+            render::render_whatif,
+        ),
     ]
 }
 

@@ -1,0 +1,57 @@
+//! `trace_gate` — the deterministic perf-regression gate over recorded
+//! command traces.
+//!
+//! Usage:
+//! ```text
+//! trace_gate            # record the gated workloads, diff vs tests/golden/
+//! trace_gate --bless    # re-record the goldens (and gate.json) instead
+//! ```
+//!
+//! Exits non-zero when any workload violates the pinned tolerances
+//! (sim-time ±1%, submission count exact, exposed-comm fraction +0.02).
+
+use sagegpu_bench::gate;
+
+fn main() {
+    let bless = std::env::args().skip(1).any(|a| a == "--bless");
+    let outcomes = match gate::run_gate(bless) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("trace_gate: {e}");
+            std::process::exit(2);
+        }
+    };
+    let mut failed = false;
+    for o in &outcomes {
+        if bless {
+            println!(
+                "blessed {:<10} sim-time {} ns, {} submissions, exposed-comm {:.4}",
+                o.workload,
+                o.current.sim_time_ns,
+                o.current.submissions,
+                o.current.exposed_comm_fraction
+            );
+            continue;
+        }
+        if o.violations.is_empty() {
+            println!(
+                "PASS {:<10} sim-time {} ns (golden {}), {} submissions, exposed-comm {:.4}",
+                o.workload,
+                o.current.sim_time_ns,
+                o.golden.sim_time_ns,
+                o.current.submissions,
+                o.current.exposed_comm_fraction
+            );
+        } else {
+            failed = true;
+            println!("FAIL {}", o.workload);
+            for v in &o.violations {
+                println!("     {v}");
+            }
+        }
+    }
+    if failed {
+        eprintln!("trace_gate: regression detected; if intentional, re-record with --bless");
+        std::process::exit(1);
+    }
+}

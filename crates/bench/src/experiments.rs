@@ -1890,6 +1890,198 @@ pub fn topology_scaling_json(a: &TopologyScalingAblation) -> String {
 }
 
 // ---------------------------------------------------------------------
+// A11 — trace what-if replay
+// ---------------------------------------------------------------------
+
+/// One replay arm of the A11 what-if study.
+pub struct WhatIfArm {
+    /// "identity", "flat-ethernet", "nvlink-everywhere", "comm-streams-1".
+    pub arm: &'static str,
+    /// Replay-predicted makespan under the override.
+    pub predicted_ms: f64,
+    /// Ground truth from a fresh run with the same configuration — `None`
+    /// for predicted-only arms (no fresh run exists to compare against).
+    pub fresh_ms: Option<f64>,
+    /// |predicted − fresh| / fresh × 100, when ground truth exists.
+    pub err_pct: Option<f64>,
+    /// (predicted − recorded) / recorded × 100 — what the override buys
+    /// or costs relative to the recorded schedule.
+    pub delta_vs_recorded_pct: f64,
+}
+
+/// The A11 study: the k=8 hierarchical+bucketed A10 arm recorded through
+/// the `gpu_sim::trace` interposer, then re-priced under interconnect and
+/// comm-stream overrides *without re-running the workload*.
+pub struct WhatIfAblation {
+    pub workers: usize,
+    /// Recorded (hierarchical, bucketed) makespan.
+    pub recorded_ms: f64,
+    pub recorded_submissions: u64,
+    pub recorded_kernel_launches: u64,
+    /// True when the no-override replay reproduced sim-time, submission
+    /// count, and kernel-launch count exactly.
+    pub identity_exact: bool,
+    pub arms: Vec<WhatIfArm>,
+    /// Headline: NVLink-everywhere prediction error vs its fresh run (%).
+    pub nvlink_err_pct: f64,
+}
+
+/// A11 — record the k=8 hierarchical trace once, then answer "what if the
+/// interconnect were flat Ethernet / NVLink everywhere / collectives had
+/// one comm stream instead of two" from the artifact alone, checking the
+/// interconnect predictions against fresh ground-truth runs.
+pub fn whatif_ablation() -> WhatIfAblation {
+    use sagegpu_core::gcn::distributed::{
+        train_distributed_with_opts, CommMode, DistOptions, PartitionStrategy, ResidencyMode,
+    };
+    use sagegpu_core::gcn::exec::ExecMode;
+    use sagegpu_core::gpu::cluster::{LinkKind, Topology};
+    use sagegpu_core::gpu::trace::{replay, WhatIf};
+
+    let ds = topology_scaling_dataset();
+    let cfg = TrainConfig {
+        epochs: 25,
+        hidden: 128,
+        ..Default::default()
+    };
+    let k = 8;
+    let run = |topology: Topology, record: bool| {
+        train_distributed_with_opts(
+            &ds,
+            k,
+            &cfg,
+            PartitionStrategy::Metis,
+            DistOptions {
+                topology,
+                residency: ResidencyMode::Resident,
+                exec: ExecMode::FusedOverlapped,
+                comm: CommMode::BucketedOverlap {
+                    bucket_bytes: COMM_SCALING_BUCKET_BYTES,
+                },
+                record_trace: record,
+                ..DistOptions::default()
+            },
+        )
+        .expect("trains")
+    };
+
+    let recorded = run(Topology::nvlink_islands(TOPOLOGY_ISLAND), true);
+    let trace = recorded.trace.expect("record_trace captures the run");
+    let recorded_ms = trace.sim_time_ns as f64 / 1e6;
+    let ms = |ns: u64| ns as f64 / 1e6;
+    let delta = |pred: f64| (pred - recorded_ms) / recorded_ms * 100.0;
+    let err = |pred: f64, fresh: f64| (pred - fresh).abs() / fresh * 100.0;
+
+    let identity = replay(&trace, &WhatIf::default()).expect("identity replay");
+    let identity_exact = identity.sim_time_ns == trace.sim_time_ns
+        && identity.submissions == trace.submissions()
+        && identity.kernel_launches == trace.kernel_launches;
+
+    let mut arms = Vec::new();
+    let identity_ms = ms(identity.sim_time_ns);
+    arms.push(WhatIfArm {
+        arm: "identity",
+        predicted_ms: identity_ms,
+        fresh_ms: Some(recorded_ms),
+        err_pct: Some(err(identity_ms, recorded_ms)),
+        delta_vs_recorded_pct: delta(identity_ms),
+    });
+
+    let whatif_topo = |t: Topology| WhatIf {
+        topology: Some(t),
+        ..WhatIf::default()
+    };
+    let eth_pred = ms(
+        replay(&trace, &whatif_topo(Topology::Flat(LinkKind::Ethernet)))
+            .expect("ethernet replay")
+            .sim_time_ns,
+    );
+    let eth_fresh = ms(run(Topology::Flat(LinkKind::Ethernet), false).sim_time_ns);
+    arms.push(WhatIfArm {
+        arm: "flat-ethernet",
+        predicted_ms: eth_pred,
+        fresh_ms: Some(eth_fresh),
+        err_pct: Some(err(eth_pred, eth_fresh)),
+        delta_vs_recorded_pct: delta(eth_pred),
+    });
+
+    let nv_pred = ms(
+        replay(&trace, &whatif_topo(Topology::Flat(LinkKind::NvLink)))
+            .expect("nvlink replay")
+            .sim_time_ns,
+    );
+    let nv_fresh = ms(run(Topology::Flat(LinkKind::NvLink), false).sim_time_ns);
+    let nvlink_err_pct = err(nv_pred, nv_fresh);
+    arms.push(WhatIfArm {
+        arm: "nvlink-everywhere",
+        predicted_ms: nv_pred,
+        fresh_ms: Some(nv_fresh),
+        err_pct: Some(nvlink_err_pct),
+        delta_vs_recorded_pct: delta(nv_pred),
+    });
+
+    let s1_pred = ms(replay(
+        &trace,
+        &WhatIf {
+            streams: Some(1),
+            ..WhatIf::default()
+        },
+    )
+    .expect("single-stream replay")
+    .sim_time_ns);
+    arms.push(WhatIfArm {
+        arm: "comm-streams-1",
+        predicted_ms: s1_pred,
+        fresh_ms: None,
+        err_pct: None,
+        delta_vs_recorded_pct: delta(s1_pred),
+    });
+
+    WhatIfAblation {
+        workers: k,
+        recorded_ms,
+        recorded_submissions: trace.submissions(),
+        recorded_kernel_launches: trace.kernel_launches,
+        identity_exact,
+        arms,
+        nvlink_err_pct,
+    }
+}
+
+/// Machine-readable A11 summary — the content of `BENCH_A11.json`.
+pub fn whatif_json(a: &WhatIfAblation) -> String {
+    let arms: Vec<String> = a
+        .arms
+        .iter()
+        .map(|r| {
+            let opt = |v: Option<f64>| v.map_or("null".to_owned(), |x| format!("{x}"));
+            format!(
+                "{{\"arm\":\"{}\",\"predicted_ms\":{},\"fresh_ms\":{},\
+                 \"err_pct\":{},\"delta_vs_recorded_pct\":{}}}",
+                r.arm,
+                r.predicted_ms,
+                opt(r.fresh_ms),
+                opt(r.err_pct),
+                r.delta_vs_recorded_pct
+            )
+        })
+        .collect();
+    format!(
+        "{{\n  \"experiment\": \"A11\",\n  \"title\": \"trace record + what-if replay\",\n  \
+         \"workers\": {},\n  \"recorded_ms\": {},\n  \"recorded_submissions\": {},\n  \
+         \"recorded_kernel_launches\": {},\n  \"identity_exact\": {},\n  \
+         \"nvlink_err_pct\": {},\n  \"arms\": [{}]\n}}\n",
+        a.workers,
+        a.recorded_ms,
+        a.recorded_submissions,
+        a.recorded_kernel_launches,
+        a.identity_exact,
+        a.nvlink_err_pct,
+        arms.join(", ")
+    )
+}
+
+// ---------------------------------------------------------------------
 // E21 — Appendix A pricing reconciliation
 // ---------------------------------------------------------------------
 

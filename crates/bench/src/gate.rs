@@ -1,0 +1,275 @@
+//! Deterministic perf-regression gate over recorded command traces.
+//!
+//! `scripts/check.sh` records two fixed workloads — a fused-GCN training
+//! run and a RAG batch-scoring pass — through the `gpu_sim::trace`
+//! interposer and diffs the scheduling metrics against golden trace
+//! artifacts committed under `tests/golden/`. Because the simulator is
+//! deterministic, any drift is a real behavior change: a slower schedule,
+//! an extra submission, or communication newly exposed on the critical
+//! path. Tolerances live next to the goldens in `tests/golden/gate.json`
+//! so tightening or loosening the gate is a reviewed data change, not a
+//! code change. `trace_gate --bless` re-records the goldens.
+
+use sagegpu_core::gcn::distributed::{
+    train_distributed_with_opts, CommMode, DistOptions, PartitionStrategy, ResidencyMode,
+};
+use sagegpu_core::gcn::exec::ExecMode;
+use sagegpu_core::gcn::TrainConfig;
+use sagegpu_core::gpu::cluster::Topology;
+use sagegpu_core::gpu::trace::TraceV1;
+use sagegpu_core::gpu::{DeviceSpec, Gpu};
+use sagegpu_core::graph::generators::{sbm, SbmParams};
+use sagegpu_core::profiler::ingest::ingest_trace;
+use sagegpu_core::rag::corpus::Corpus;
+use sagegpu_core::rag::embed::Embedder;
+use sagegpu_core::tensor::dense::Tensor;
+use sagegpu_core::tensor::gpu_exec::GpuExecutor;
+use std::sync::Arc;
+
+/// Directory holding the golden traces and the gate tolerances.
+pub const GOLDEN_DIR: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../tests/golden");
+
+/// The gated workloads: `(short name, golden file stem)`.
+pub const GATED_WORKLOADS: [(&str, &str); 2] =
+    [("gcn-epoch", "gcn_epoch"), ("rag-batch", "rag_batch")];
+
+/// Path of a golden trace artifact by file stem.
+pub fn golden_path(stem: &str) -> std::path::PathBuf {
+    std::path::Path::new(GOLDEN_DIR).join(format!("{stem}.trace.json"))
+}
+
+/// Path of the tolerance file next to the goldens.
+pub fn gate_config_path() -> std::path::PathBuf {
+    std::path::Path::new(GOLDEN_DIR).join("gate.json")
+}
+
+/// The scalars the gate diffs between a golden and a current trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GateMetrics {
+    /// Recorded makespan across devices.
+    pub sim_time_ns: u64,
+    /// Commands that crossed the submit interposer.
+    pub submissions: u64,
+    /// Mean exposed-communication fraction across comm-carrying devices
+    /// (0.0 for single-device traces), from the profiler's offline
+    /// ingestion of the trace.
+    pub exposed_comm_fraction: f64,
+}
+
+/// Extracts the gated metrics from a trace artifact. Submission count and
+/// sim-time come from the trace itself; the exposed-comm fraction comes
+/// from identity-replaying it through `sagegpu_profiler::ingest`.
+pub fn metrics_for(trace: &TraceV1) -> GateMetrics {
+    let exposed = ingest_trace(trace)
+        .map(|a| a.exposed_comm_fraction())
+        .unwrap_or(0.0);
+    GateMetrics {
+        sim_time_ns: trace.sim_time_ns,
+        submissions: trace.submissions(),
+        exposed_comm_fraction: exposed,
+    }
+}
+
+/// Pinned tolerances, loaded from `tests/golden/gate.json`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GateTolerances {
+    /// Relative sim-time drift allowed in either direction.
+    pub sim_time_rel: f64,
+    /// Absolute exposed-comm-fraction growth allowed (one-sided: getting
+    /// better never fails the gate).
+    pub exposed_comm_abs: f64,
+}
+
+impl Default for GateTolerances {
+    /// The pinned defaults: sim-time ±1%, submissions exact, exposed-comm
+    /// fraction +0.02 absolute.
+    fn default() -> Self {
+        GateTolerances {
+            sim_time_rel: 0.01,
+            exposed_comm_abs: 0.02,
+        }
+    }
+}
+
+impl GateTolerances {
+    /// Parses the `gate.json` format. Unknown fields are ignored; missing
+    /// fields fall back to the pinned defaults.
+    pub fn from_json(text: &str) -> Result<Self, String> {
+        let v = serde_json::from_str(text).map_err(|e| format!("gate.json: {e}"))?;
+        let d = GateTolerances::default();
+        let num = |key: &str, fallback: f64| -> f64 {
+            v.get(key).and_then(|x| x.as_f64()).unwrap_or(fallback)
+        };
+        Ok(GateTolerances {
+            sim_time_rel: num("sim_time_rel_tol", d.sim_time_rel),
+            exposed_comm_abs: num("exposed_comm_abs_tol", d.exposed_comm_abs),
+        })
+    }
+
+    /// Loads tolerances from [`gate_config_path`], falling back to the
+    /// pinned defaults when the file is absent.
+    pub fn load() -> Self {
+        std::fs::read_to_string(gate_config_path())
+            .ok()
+            .and_then(|t| Self::from_json(&t).ok())
+            .unwrap_or_default()
+    }
+
+    /// The `gate.json` serialization of these tolerances.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\n  \"sim_time_rel_tol\": {},\n  \"submissions_exact\": true,\n  \
+             \"exposed_comm_abs_tol\": {}\n}}\n",
+            self.sim_time_rel, self.exposed_comm_abs
+        )
+    }
+}
+
+/// Diffs `current` against `golden` under the pinned tolerances. Returns
+/// the (possibly empty) list of human-readable violations — empty means
+/// the gate passes. Sim-time drift fails in *both* directions (a genuine
+/// improvement should be blessed into the golden, not slip past review);
+/// submission count is exact; exposed-comm only fails when it grows.
+pub fn check_gate(
+    golden: &GateMetrics,
+    current: &GateMetrics,
+    tol: &GateTolerances,
+) -> Vec<String> {
+    let mut violations = Vec::new();
+    let drift = (current.sim_time_ns as f64 - golden.sim_time_ns as f64)
+        / (golden.sim_time_ns.max(1) as f64);
+    if drift.abs() > tol.sim_time_rel {
+        violations.push(format!(
+            "sim-time {} by {:+.2}% (golden {} ns, current {} ns, tolerance \u{b1}{}%)",
+            if drift > 0.0 { "regressed" } else { "improved" },
+            drift * 100.0,
+            golden.sim_time_ns,
+            current.sim_time_ns,
+            tol.sim_time_rel * 100.0
+        ));
+    }
+    if current.submissions != golden.submissions {
+        violations.push(format!(
+            "submission count changed: golden {}, current {} (must match exactly)",
+            golden.submissions, current.submissions
+        ));
+    }
+    if current.exposed_comm_fraction > golden.exposed_comm_fraction + tol.exposed_comm_abs {
+        violations.push(format!(
+            "exposed-comm fraction grew: golden {:.4}, current {:.4} (tolerance +{})",
+            golden.exposed_comm_fraction, current.exposed_comm_fraction, tol.exposed_comm_abs
+        ));
+    }
+    violations
+}
+
+/// Records the gated fused-GCN workload: 4 workers on NVLink islands of 2,
+/// resident parameters, fused kernels, bucketed-overlap gradient exchange,
+/// 4 epochs on a small seeded SBM. Everything is seeded, so re-recording
+/// yields a byte-identical schedule.
+pub fn record_gcn_epoch_trace() -> TraceV1 {
+    let ds = sbm(
+        &SbmParams {
+            block_sizes: vec![50, 50, 50, 50],
+            p_in: 0.18,
+            p_out: 0.015,
+            feature_dim: 16,
+            feature_separation: 1.2,
+            train_fraction: 0.5,
+        },
+        21,
+    )
+    .expect("valid SBM parameters");
+    let cfg = TrainConfig {
+        epochs: 4,
+        ..Default::default()
+    };
+    train_distributed_with_opts(
+        &ds,
+        4,
+        &cfg,
+        PartitionStrategy::Metis,
+        DistOptions {
+            topology: Topology::nvlink_islands(2),
+            residency: ResidencyMode::Resident,
+            exec: ExecMode::FusedOverlapped,
+            comm: CommMode::BucketedOverlap { bucket_bytes: 2560 },
+            record_trace: true,
+            ..DistOptions::default()
+        },
+    )
+    .expect("gate workload trains")
+    .trace
+    .expect("record_trace captures the run")
+}
+
+/// Records the gated RAG batch-scoring workload: 32 embedded queries
+/// against a 60-doc resident index, chunked over the executor's two-stream
+/// pipeline — the A07 RAG arm, traced.
+pub fn record_rag_batch_trace() -> TraceV1 {
+    let embedder = Embedder::new(96, 2025);
+    let corpus = Corpus::synthetic(60, 80, 2025);
+    let rows: Vec<Vec<f32>> = corpus
+        .docs()
+        .iter()
+        .map(|d| embedder.embed(&d.text))
+        .collect();
+    let flat: Vec<f32> = rows.iter().flatten().copied().collect();
+    let mat = Tensor::from_vec(60, 96, flat).expect("dims");
+    let queries: Vec<Vec<f32>> = (0..32)
+        .map(|i| embedder.embed(&Corpus::topic_query(i % 5, 6, i as u64)))
+        .collect();
+    let exec = GpuExecutor::new(Arc::new(Gpu::new(0, DeviceSpec::t4())));
+    let _sink = exec.record_trace();
+    let device_mat = exec.upload(&mat).expect("index fits");
+    exec.score_rows_batch(&device_mat, &queries)
+        .expect("scores");
+    exec.finish_trace("rag-batch-scoring")
+        .expect("recording was on")
+}
+
+/// Outcome of gating one workload.
+#[derive(Debug)]
+pub struct GateOutcome {
+    pub workload: &'static str,
+    pub golden: GateMetrics,
+    pub current: GateMetrics,
+    pub violations: Vec<String>,
+}
+
+/// Records both gated workloads and diffs them against the committed
+/// goldens. With `bless`, (re-)writes the goldens and the tolerance file
+/// instead and returns outcomes that trivially pass.
+pub fn run_gate(bless: bool) -> Result<Vec<GateOutcome>, String> {
+    let tol = GateTolerances::load();
+    let mut outcomes = Vec::new();
+    for (name, stem) in GATED_WORKLOADS {
+        let current_trace = match name {
+            "gcn-epoch" => record_gcn_epoch_trace(),
+            _ => record_rag_batch_trace(),
+        };
+        let path = golden_path(stem);
+        if bless {
+            std::fs::create_dir_all(GOLDEN_DIR).map_err(|e| format!("{GOLDEN_DIR}: {e}"))?;
+            current_trace
+                .write_file(&path)
+                .map_err(|e| format!("blessing {stem}: {e}"))?;
+        }
+        let golden_trace = TraceV1::read_file(&path)
+            .map_err(|e| format!("golden {stem}: {e} (run `trace_gate --bless`)"))?;
+        let golden = metrics_for(&golden_trace);
+        let current = metrics_for(&current_trace);
+        let violations = check_gate(&golden, &current, &tol);
+        outcomes.push(GateOutcome {
+            workload: name,
+            golden,
+            current,
+            violations,
+        });
+    }
+    if bless {
+        std::fs::write(gate_config_path(), tol.to_json())
+            .map_err(|e| format!("writing gate.json: {e}"))?;
+    }
+    Ok(outcomes)
+}

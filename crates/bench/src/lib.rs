@@ -4,6 +4,7 @@
 //! rows; the binary formats them next to the paper's reported values.
 
 pub mod experiments;
+pub mod gate;
 pub mod render;
 
 pub use experiments::*;

@@ -7,6 +7,7 @@ use crate::sequential::{dataset_adjacency, dataset_features, infer};
 use crate::{EpochStats, TrainConfig};
 use gpu_sim::{
     DeviceSpec, EventKind, GpuCluster, GpuEvent, LinkKind, ResidencySnapshot, StreamId, Topology,
+    TraceV1,
 };
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
@@ -178,6 +179,9 @@ pub struct DistResult {
     pub residency_lookups: ResidencySnapshot,
     /// Device 0's residency-aware bottleneck verdict for the run.
     pub bottleneck: BottleneckReport,
+    /// The recorded command trace, when [`DistOptions::record_trace`] was
+    /// set — replayable via `gpu_sim::trace::replay` without this trainer.
+    pub trace: Option<TraceV1>,
 }
 
 impl DistResult {
@@ -213,6 +217,9 @@ pub struct DistOptions {
     /// How epoch commands are submitted: eagerly kernel-by-kernel, or as a
     /// captured graph replayed per epoch (the A09 ablation knob).
     pub submit: SubmitMode,
+    /// Record every submitted command into a portable [`TraceV1`] returned
+    /// in [`DistResult::trace`] (the A11 what-if / regression-gate input).
+    pub record_trace: bool,
 }
 
 impl Default for DistOptions {
@@ -226,6 +233,7 @@ impl Default for DistOptions {
             exec: ExecMode::FusedOverlapped,
             comm: CommMode::Monolithic,
             submit: SubmitMode::Eager,
+            record_trace: false,
         }
     }
 }
@@ -321,6 +329,9 @@ pub fn train_distributed_with_opts(
         DeviceSpec::t4(),
         opts.topology,
     ));
+    if opts.record_trace {
+        let _ = gpus.record_trace();
+    }
     let cluster = ClusterBuilder::new()
         .gpus(Arc::clone(&gpus))
         .fault_plan(opts.fault_plan)
@@ -543,9 +554,7 @@ pub fn train_distributed_with_opts(
                 overlapped_comm_ns += stats.total_comm_ns.saturating_sub(exposed);
                 // Synchronous DDP: the optimizer step waits for the last
                 // bucket on every replica.
-                for d in gpus.devices() {
-                    d.advance_to(stats.comm_end_ns);
-                }
+                gpus.advance_all_to(stats.comm_end_ns);
             }
         }
         let weights: Vec<f64> = results.iter().map(|(_, _, c, _)| *c as f64).collect();
@@ -661,6 +670,11 @@ pub fn train_distributed_with_opts(
     };
     let bottleneck =
         analyze_with_residency(&timeline, 0, &DeviceSpec::t4(), Some(&residency_lookups));
+    let trace = if opts.record_trace {
+        gpus.finish_trace(&format!("gcn-dist-k{k}-{}", opts.comm.name()))
+    } else {
+        None
+    };
 
     Ok(DistResult {
         k,
@@ -691,6 +705,7 @@ pub fn train_distributed_with_opts(
         comm_buckets_per_epoch,
         residency_lookups,
         bottleneck,
+        trace,
     })
 }
 
@@ -780,6 +795,47 @@ mod tests {
         for &u in &r.device_utilization {
             assert!((0.0..=1.0).contains(&u));
         }
+    }
+
+    #[test]
+    fn recorded_trace_identity_replays_exactly() {
+        // The tentpole invariant at the trainer level: a hierarchical,
+        // bucketed-overlap run recorded through the submit interposer must
+        // replay — with no overrides, on fresh devices, without this
+        // trainer — to exactly the recorded makespan, submission count,
+        // and kernel-launch count.
+        let r = train_distributed_with_opts(
+            &ds(),
+            4,
+            &cfg(),
+            PartitionStrategy::Metis,
+            DistOptions {
+                topology: Topology::nvlink_islands(2),
+                residency: ResidencyMode::Resident,
+                comm: CommMode::BucketedOverlap { bucket_bytes: 2560 },
+                record_trace: true,
+                ..DistOptions::default()
+            },
+        )
+        .unwrap();
+        let trace = r.trace.expect("record_trace captures a trace");
+        assert_eq!(
+            trace.sim_time_ns, r.sim_time_ns,
+            "trace snapshots the run's makespan"
+        );
+        assert_eq!(trace.kernel_launches, r.kernel_launches);
+        let rep = gpu_sim::trace::replay(&trace, &gpu_sim::WhatIf::default())
+            .expect("identity replay succeeds");
+        assert_eq!(
+            rep.sim_time_ns, trace.sim_time_ns,
+            "identity replay is exact"
+        );
+        assert_eq!(rep.submissions, trace.submissions());
+        assert_eq!(rep.kernel_launches, trace.kernel_launches);
+        // And the artifact survives serialization unchanged.
+        let round = TraceV1::from_json(&trace.to_json()).unwrap();
+        let rep2 = gpu_sim::trace::replay(&round, &gpu_sim::WhatIf::default()).unwrap();
+        assert_eq!(rep2.sim_time_ns, rep.sim_time_ns);
     }
 
     #[test]

@@ -21,7 +21,8 @@
 //! changes — so losses and accuracies are bit-for-bit equal.
 
 use gpu_sim::{
-    CmdEvent, Command, Gpu, GpuError, Graph, KernelCommand, KernelProfile, LaunchConfig, StreamId,
+    CmdEvent, Command, Gpu, GpuError, Graph, KernelCommand, KernelPricing, KernelProfile,
+    LaunchConfig, StreamId,
 };
 
 /// Number of trainable parameters of the two-layer GCN, in the order
@@ -231,6 +232,7 @@ fn emit_epoch<T>(
                 flops: profile.flops,
                 occupancy: occ.occupancy,
                 graph: false,
+                pricing: Some(KernelPricing { cfg, profile }),
             }),
         );
         if let Some((_, params)) = marks.iter().find(|(idx, _)| *idx == i) {

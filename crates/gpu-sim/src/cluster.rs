@@ -129,7 +129,7 @@ impl Topology {
     }
 
     /// The link between devices `a` and `b`.
-    fn link_between(&self, a: usize, b: usize) -> LinkKind {
+    pub(crate) fn link_between(&self, a: usize, b: usize) -> LinkKind {
         match self {
             Topology::Flat(l) => *l,
             Topology::TwoTier {
@@ -154,7 +154,7 @@ impl Topology {
     /// island ring exchange per shard over the bridge (`2 (g-1)` steps of
     /// `bytes / (m g)`), intra-island all-gather (`m-1` steps of
     /// `bytes / m`).
-    fn ring_phases(&self, n: usize, bytes: u64) -> Vec<RingPhase> {
+    pub(crate) fn ring_phases(&self, n: usize, bytes: u64) -> Vec<RingPhase> {
         if n <= 1 {
             return Vec::new();
         }
@@ -220,7 +220,7 @@ impl Topology {
 /// Step naming within a collective; `inter*` names are what the profiler
 /// keys tier attribution on.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum PhaseTag {
+pub(crate) enum PhaseTag {
     Rs,
     Ag,
     IntraRs,
@@ -229,7 +229,7 @@ enum PhaseTag {
 }
 
 impl PhaseTag {
-    fn step_name(&self, collective: &str, s: u64) -> String {
+    pub(crate) fn step_name(&self, collective: &str, s: u64) -> String {
         match self {
             PhaseTag::Rs => format!("{collective}/rs{s}"),
             PhaseTag::Ag => format!("{collective}/ag{s}"),
@@ -246,11 +246,11 @@ impl PhaseTag {
 
 /// One uniform run of lockstep ring steps (same chunk, same link).
 #[derive(Debug, Clone, Copy)]
-struct RingPhase {
-    tag: PhaseTag,
-    steps: u64,
-    chunk: u64,
-    step_dur: u64,
+pub(crate) struct RingPhase {
+    pub(crate) tag: PhaseTag,
+    pub(crate) steps: u64,
+    pub(crate) chunk: u64,
+    pub(crate) step_dur: u64,
 }
 
 /// Number of dedicated communication streams ("channels") per device.
@@ -306,6 +306,11 @@ pub struct GpuCluster {
     comm_streams: Vec<Vec<StreamId>>,
     /// Round-robin cursor assigning collectives to channels.
     next_channel: AtomicUsize,
+    /// Active trace sink, mirroring cluster-level operations (barriers,
+    /// collectives, peer copies) as logical records. Per-device command
+    /// recording is handled by the devices themselves (the same sink is
+    /// attached to each).
+    trace_sink: parking_lot::Mutex<Option<crate::trace::TraceSink>>,
 }
 
 impl GpuCluster {
@@ -332,7 +337,41 @@ impl GpuCluster {
             recorder,
             comm_streams,
             next_channel: AtomicUsize::new(0),
+            trace_sink: parking_lot::Mutex::new(None),
         }
+    }
+
+    /// Starts recording every device submission and cluster-level
+    /// operation into a fresh [`crate::trace::TraceSink`]; finish with
+    /// [`GpuCluster::finish_trace`].
+    pub fn record_trace(&self) -> crate::trace::TraceSink {
+        let sink = crate::trace::TraceSink::new();
+        for d in &self.devices {
+            d.attach_trace_sink(sink.clone());
+        }
+        *self.trace_sink.lock() = Some(sink.clone());
+        sink
+    }
+
+    /// Stops recording and assembles the portable trace (topology and
+    /// comm-channel count travel with it). Returns `None` when
+    /// [`GpuCluster::record_trace`] was never called.
+    pub fn finish_trace(&self, workload: &str) -> Option<crate::trace::TraceV1> {
+        let sink = self.trace_sink.lock().take()?;
+        for d in &self.devices {
+            d.detach_trace_sink();
+        }
+        let devices: Vec<&Gpu> = self.devices.iter().map(|d| d.as_ref()).collect();
+        Some(sink.finish(
+            &devices,
+            Some(self.topology),
+            COMM_CHANNELS as u32,
+            workload,
+        ))
+    }
+
+    fn sink(&self) -> Option<crate::trace::TraceSink> {
+        self.trace_sink.lock().clone()
     }
 
     /// Number of devices.
@@ -385,6 +424,13 @@ impl GpuCluster {
         let dst_dev = self.device(dst)?;
         let src_dev = self.device(src)?;
         let bytes = buf.size_bytes();
+        if let Some(sink) = self.sink() {
+            sink.record_global(crate::trace::RecordBody::P2p {
+                src: src as u32,
+                dst: dst as u32,
+                bytes,
+            });
+        }
         let dur = self.p2p_ns(src, dst, bytes);
         let start = src_dev.now_ns().max(dst_dev.now_ns());
         let end = start + dur;
@@ -412,11 +458,29 @@ impl GpuCluster {
     /// like the implicit sync in synchronous data-parallel training).
     /// Returns the barrier timestamp.
     pub fn barrier(&self) -> u64 {
+        if let Some(sink) = self.sink() {
+            sink.record_global(crate::trace::RecordBody::Barrier);
+        }
         let t = self.devices.iter().map(|d| d.now_ns()).max().unwrap_or(0);
         for d in &self.devices {
             d.advance_to(t);
         }
         t
+    }
+
+    /// Advances every device clock to at least `t_ns` — the ordering
+    /// point data-parallel trainers place after their gradient
+    /// collectives (typically `handle.end_ns`) before the optimizer
+    /// step. Centralized here so the trace records it as one logical
+    /// operation that replay can re-target when a what-if changes the
+    /// collectives' timing.
+    pub fn advance_all_to(&self, t_ns: u64) {
+        if let Some(sink) = self.sink() {
+            sink.record_global(crate::trace::RecordBody::CollectiveSync { t_ns });
+        }
+        for d in &self.devices {
+            d.advance_to(t_ns);
+        }
     }
 
     /// Models a blocking all-reduce of `bytes` per device under the
@@ -429,6 +493,12 @@ impl GpuCluster {
         let n = self.devices.len();
         if n <= 1 {
             return 0;
+        }
+        let sink = self.sink();
+        if let Some(s) = &sink {
+            // One logical record; the inner barrier must not record itself.
+            s.record_global(crate::trace::RecordBody::BlockingAllReduce { bytes });
+            s.push_suppress();
         }
         let phases = self.topology.ring_phases(n, bytes);
         let dur: u64 = phases.iter().map(|p| p.steps * p.step_dur).sum();
@@ -448,6 +518,9 @@ impl GpuCluster {
                 occupancy: 0.0,
                 graph: false,
             });
+        }
+        if let Some(s) = &sink {
+            s.pop_suppress();
         }
         dur
     }
@@ -509,6 +582,14 @@ impl GpuCluster {
             self.devices.len(),
             "one ready timestamp per device"
         );
+        // Trace as ONE logical collective: the per-device step commands and
+        // channel-probe event records below are regenerated by replay from
+        // the (possibly what-if) topology, so they must not record
+        // themselves.
+        let sink = self.sink();
+        if let Some(s) = &sink {
+            s.push_suppress();
+        }
         let phases = self.topology.ring_phases(n, bytes);
         let ch = self.next_channel.fetch_add(1, Ordering::Relaxed) % COMM_CHANNELS;
         // Lockstep rings: every step is a synchronous neighbour exchange,
@@ -553,6 +634,16 @@ impl GpuCluster {
             .filter(|p| p.tag.crosses_bridge())
             .map(|p| p.steps * p.chunk)
             .sum();
+        if let Some(s) = &sink {
+            s.pop_suppress();
+            s.record_global(crate::trace::RecordBody::Collective {
+                name: name.to_owned(),
+                bytes,
+                channel: ch as u32,
+                ready_ns: ready_ns.to_vec(),
+                gates: vec![None; n],
+            });
+        }
         ReduceHandle {
             start_ns: start,
             end_ns: start + dur,

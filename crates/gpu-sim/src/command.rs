@@ -66,6 +66,11 @@ pub struct KernelCommand {
     /// True when re-issued by [`Graph::replay`]: the node carries no
     /// per-launch overhead and does not count as a launch.
     pub graph: bool,
+    /// Pricing inputs of the launch, carried so a recorded trace can
+    /// re-derive `dur_ns` on a what-if device
+    /// ([`crate::trace::replay`]). `None` for synthetic kernels (graph
+    /// launches) and hand-built commands, which replay at `dur_ns`.
+    pub pricing: Option<crate::kernel::KernelPricing>,
 }
 
 /// A host↔device or device-local copy with its cost already resolved.
@@ -153,6 +158,9 @@ pub(crate) struct CommandProcessor {
     events: Vec<Option<u64>>,
     next_seq: u64,
     capture: Option<CaptureState>,
+    /// Attached trace sink: every non-capture submission is mirrored into
+    /// it (see [`crate::trace`]).
+    sink: Option<crate::trace::TraceSink>,
 }
 
 impl CommandProcessor {
@@ -180,10 +188,48 @@ impl Gpu {
         if let Some(cap) = cp.capture.as_mut() {
             cap.nodes.push((stream.ordinal(), cmd));
         } else {
+            if let Some(sink) = &cp.sink {
+                sink.record_submission(self.ordinal(), stream.ordinal(), seq, &cmd);
+            }
             cp.ensure_stream(stream.ordinal());
             cp.queues[stream.ordinal() as usize].push_back((seq, cmd));
         }
         seq
+    }
+
+    /// Rings the doorbell until the device is quiescent and drains every
+    /// stream's completion queue, concatenated in stream-ordinal order —
+    /// the doorbell + poll loop callers used to open-code.
+    pub fn sync(&self) -> Result<Vec<Completion>, GpuError> {
+        self.doorbell()?;
+        let mut cp = self.cmd.lock();
+        let mut out = Vec::new();
+        for q in cp.completions.iter_mut() {
+            out.extend(q.drain(..));
+        }
+        Ok(out)
+    }
+
+    /// Attaches a trace sink: every subsequent (non-capture) submission on
+    /// this device is mirrored into it. Replaces any previous sink.
+    pub fn attach_trace_sink(&self, sink: crate::trace::TraceSink) {
+        self.cmd.lock().sink = Some(sink);
+    }
+
+    /// Detaches and returns the active trace sink, if any.
+    pub fn detach_trace_sink(&self) -> Option<crate::trace::TraceSink> {
+        self.cmd.lock().sink.take()
+    }
+
+    /// A clone of the active trace sink, if any.
+    pub(crate) fn trace_sink(&self) -> Option<crate::trace::TraceSink> {
+        self.cmd.lock().sink.clone()
+    }
+
+    /// The sequence number the next submission will receive (the device's
+    /// current submission frontier).
+    pub(crate) fn next_submission_seq(&self) -> u64 {
+        self.cmd.lock().next_seq
     }
 
     /// Rings the doorbell: the command processor retires every queued
@@ -517,6 +563,7 @@ impl Graph {
                 flops: 0,
                 occupancy: 0.0,
                 graph: false,
+                pricing: None,
             }),
         );
         for (stream, cmd) in &self.nodes {
@@ -603,6 +650,7 @@ mod tests {
             flops: 0,
             occupancy: 0.5,
             graph: false,
+            pricing: None,
         })
     }
 
@@ -624,8 +672,7 @@ mod tests {
         let g = gpu();
         let s0 = g.submit(StreamId::DEFAULT, k("a", 10));
         let s1 = g.submit(StreamId::DEFAULT, k("b", 20));
-        g.doorbell().unwrap();
-        let comps = g.drain_completions(StreamId::DEFAULT);
+        let comps = g.sync().unwrap();
         assert_eq!(comps.len(), 2);
         assert_eq!(comps[0].seq, s0);
         assert_eq!(comps[0].end_ns, 10);
@@ -647,9 +694,12 @@ mod tests {
         g.submit(s1, k("consumer", 500));
         g.submit(StreamId::DEFAULT, k("producer", 5_000));
         g.submit(StreamId::DEFAULT, Command::EventRecord { event: ev });
-        g.doorbell().unwrap();
+        let all = g.sync().unwrap();
         assert_eq!(g.cmd_event_ns(ev), Some(5_000));
-        let comps = g.drain_completions(s1);
+        let comps: Vec<Completion> = all
+            .into_iter()
+            .filter(|c| c.stream == s1.ordinal())
+            .collect();
         assert_eq!(comps.len(), 2);
         assert_eq!(comps[1].start_ns, 5_000, "consumer starts after the event");
     }

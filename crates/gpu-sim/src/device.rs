@@ -124,6 +124,15 @@ impl Gpu {
     /// Drains any pending commands first. Not capturable: call it outside
     /// [`Gpu::begin_capture`]/[`Gpu::end_capture`] windows.
     pub fn sync_streams(&self) -> u64 {
+        if let Some(sink) = self.trace_sink() {
+            // Keyed at the submission frontier so the sync sorts after
+            // everything submitted so far on this device.
+            sink.record_device(
+                self.ordinal,
+                self.next_submission_seq(),
+                crate::trace::RecordBody::StreamSync,
+            );
+        }
         self.doorbell()
             .expect("cannot sync streams: command queue stalled");
         let t = {
@@ -633,6 +642,10 @@ impl<'a> LaunchSpec<'a> {
                 flops: self.profile.flops,
                 occupancy: occ.occupancy,
                 graph: false,
+                pricing: Some(crate::kernel::KernelPricing {
+                    cfg: self.cfg,
+                    profile: self.profile,
+                }),
             }),
         );
         gpu.doorbell()?;

@@ -197,6 +197,19 @@ impl KernelProfile {
     }
 }
 
+/// The pricing inputs of one kernel launch — everything
+/// [`crate::device::Gpu::kernel_duration_ns`] needs to re-derive the
+/// modeled duration on a *different* device. Commands carrying a pricing
+/// block can be re-priced by [`crate::trace::replay`] under a what-if GPU
+/// profile; commands without one replay at their recorded duration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct KernelPricing {
+    /// Grid/block geometry of the launch.
+    pub cfg: LaunchConfig,
+    /// Roofline cost profile.
+    pub profile: KernelProfile,
+}
+
 /// Grid/block geometry of a launch, mirroring CUDA's `<<<grid, block>>>`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct LaunchConfig {

@@ -68,6 +68,7 @@ pub mod kernel;
 pub mod memory;
 pub mod occupancy;
 pub mod pool;
+pub mod trace;
 
 /// Convenient glob-import of the crate's primary types.
 pub mod prelude {
@@ -80,11 +81,15 @@ pub mod prelude {
     pub use crate::dim::Dim3;
     pub use crate::error::GpuError;
     pub use crate::event::{EventKind, EventRecorder, TraceEvent};
-    pub use crate::kernel::{AccessPattern, KernelProfile, LaunchConfig};
+    pub use crate::kernel::{AccessPattern, KernelPricing, KernelProfile, LaunchConfig};
     pub use crate::memory::DeviceBuffer;
     pub use crate::occupancy::OccupancyResult;
     pub use crate::pool::{
         BufferId, MemoryPool, PoolLease, PoolStats, ResidencySnapshot, ResidencyStats,
+    };
+    pub use crate::trace::{
+        CopyKind, RecordBody, ReplayReport, TraceDevice, TraceError, TraceRecord, TraceSink,
+        TraceV1, WhatIf,
     };
 }
 
@@ -97,6 +102,10 @@ pub use device::{Gpu, GpuEvent, LaunchSpec, StreamId};
 pub use dim::Dim3;
 pub use error::GpuError;
 pub use event::{EventKind, EventRecorder, TraceEvent};
-pub use kernel::{AccessPattern, KernelProfile, LaunchConfig};
+pub use kernel::{AccessPattern, KernelPricing, KernelProfile, LaunchConfig};
 pub use memory::DeviceBuffer;
 pub use pool::{BufferId, MemoryPool, PoolLease, PoolStats, ResidencySnapshot, ResidencyStats};
+pub use trace::{
+    replay, CopyKind, RecordBody, ReplayReport, TraceDevice, TraceError, TraceRecord, TraceSink,
+    TraceV1, WhatIf,
+};

@@ -1,0 +1,145 @@
+//! Offline trace ingestion: bottleneck analysis from a trace artifact
+//! alone.
+//!
+//! Everything else in this crate consumes the live [`gpu_sim::EventRecorder`]
+//! of a run that just happened. This module closes the loop for the
+//! *recorded* path: a portable [`TraceV1`] artifact — written by one
+//! machine, read on another, with no access to the originating workload —
+//! is identity-replayed onto fresh simulated devices and the replayed
+//! timeline is fed through the same [`crate::bottleneck`] analysis. Because
+//! identity replay is exact, the verdicts match what a live profiler
+//! attached to the original run would have reported.
+
+use crate::bottleneck::{analyze, BottleneckReport};
+use crate::timeline::Timeline;
+use gpu_sim::trace::{replay, ReplayReport, TraceError, TraceV1, WhatIf};
+
+/// A trace artifact after ingestion: the replayed schedule plus the
+/// profiler verdicts derived from it.
+#[derive(Debug, Clone)]
+pub struct TraceAnalysis {
+    /// Workload label carried by the trace.
+    pub workload: String,
+    /// The identity replay that produced the timeline.
+    pub replay: ReplayReport,
+    /// The replayed timeline (same shape a live recorder would have).
+    pub timeline: Timeline,
+    /// One bottleneck verdict per recorded device, ordinal order.
+    pub bottlenecks: Vec<BottleneckReport>,
+}
+
+impl TraceAnalysis {
+    /// Mean exposed-communication fraction across devices whose lanes
+    /// carry collective traffic — the scalar the perf-regression gate
+    /// tracks. 0.0 for a single-device trace with no collectives.
+    pub fn exposed_comm_fraction(&self) -> f64 {
+        let with_comm: Vec<&BottleneckReport> = self
+            .bottlenecks
+            .iter()
+            .filter(|b| b.p2p_bytes > 0)
+            .collect();
+        if with_comm.is_empty() {
+            return 0.0;
+        }
+        with_comm
+            .iter()
+            .map(|b| b.comm_exposed_fraction)
+            .sum::<f64>()
+            / with_comm.len() as f64
+    }
+}
+
+/// Ingests an in-memory trace: identity-replays it and analyzes every
+/// device lane against the device spec the trace itself carries.
+pub fn ingest_trace(trace: &TraceV1) -> Result<TraceAnalysis, TraceError> {
+    let rep = replay(trace, &WhatIf::default())?;
+    let timeline = Timeline::from_events(rep.events.clone());
+    let bottlenecks = trace
+        .devices
+        .iter()
+        .map(|d| analyze(&timeline, d.ordinal, &d.spec))
+        .collect();
+    Ok(TraceAnalysis {
+        workload: trace.workload.clone(),
+        replay: rep,
+        timeline,
+        bottlenecks,
+    })
+}
+
+/// Ingests a trace artifact from disk: a [`BottleneckReport`] (per device)
+/// from the file alone — no originating workload, recorder, or cluster
+/// required.
+pub fn ingest_trace_file(path: impl AsRef<std::path::Path>) -> Result<TraceAnalysis, TraceError> {
+    ingest_trace(&TraceV1::read_file(path)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::prelude::*;
+
+    fn recorded_trace() -> TraceV1 {
+        let gpu = Gpu::new(0, DeviceSpec::t4());
+        let _sink = gpu.record_trace();
+        let a = gpu.htod(&vec![1.0f32; 4096]).unwrap();
+        let mut out = gpu.alloc_zeroed::<f32>(4096).unwrap();
+        let cfg = LaunchConfig::for_elements(4096, 256);
+        LaunchSpec::new("scale", cfg, KernelProfile::elementwise(4096, 1, 8))
+            .map(&gpu, &mut out, |i, _| a.host_view()[i] * 2.0)
+            .unwrap();
+        let _ = gpu.dtoh(&out).unwrap();
+        gpu.finish_trace("ingest-test").unwrap()
+    }
+
+    #[test]
+    fn ingested_trace_matches_live_analysis() {
+        // Record the same workload twice: once keeping the live recorder,
+        // once through the trace artifact. The offline verdict must equal
+        // the live one.
+        let gpu = Gpu::new(0, DeviceSpec::t4());
+        let a = gpu.htod(&vec![1.0f32; 4096]).unwrap();
+        let mut out = gpu.alloc_zeroed::<f32>(4096).unwrap();
+        let cfg = LaunchConfig::for_elements(4096, 256);
+        LaunchSpec::new("scale", cfg, KernelProfile::elementwise(4096, 1, 8))
+            .map(&gpu, &mut out, |i, _| a.host_view()[i] * 2.0)
+            .unwrap();
+        let _ = gpu.dtoh(&out).unwrap();
+        let live = analyze(
+            &Timeline::from_recorder(gpu.recorder()),
+            0,
+            &DeviceSpec::t4(),
+        );
+
+        let trace = recorded_trace();
+        let analysis = ingest_trace(&trace).unwrap();
+        assert_eq!(analysis.workload, "ingest-test");
+        assert_eq!(analysis.bottlenecks.len(), 1);
+        let offline = &analysis.bottlenecks[0];
+        assert_eq!(offline.class, live.class);
+        assert_eq!(offline.kernel_launches, live.kernel_launches);
+        assert_eq!(offline.h2d_bytes, live.h2d_bytes);
+        assert_eq!(offline.d2h_bytes, live.d2h_bytes);
+        assert!((offline.kernel_fraction - live.kernel_fraction).abs() < 1e-12);
+        assert!((offline.idle_fraction - live.idle_fraction).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ingestion_works_from_a_file_alone() {
+        let dir = std::env::temp_dir().join("sagegpu-ingest-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("scale.trace.json");
+        recorded_trace().write_file(&path).unwrap();
+        let analysis = ingest_trace_file(&path).unwrap();
+        assert_eq!(analysis.workload, "ingest-test");
+        assert!(analysis.replay.kernel_launches >= 1);
+        assert_eq!(analysis.exposed_comm_fraction(), 0.0);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn bad_file_surfaces_typed_errors() {
+        let err = ingest_trace_file("/nonexistent/not-a-trace.json").unwrap_err();
+        assert!(matches!(err, TraceError::Io { .. }));
+    }
+}

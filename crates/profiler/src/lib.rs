@@ -17,6 +17,9 @@
 //!   the textual recommendations the labs ask students to derive.
 //! - [`chrome_trace`] — Chrome `about:tracing` JSON export, the
 //!   interchange format both real profilers speak.
+//! - [`ingest`] — offline ingestion of recorded `gpu_sim::trace` artifacts:
+//!   identity-replay a `TraceV1` file and run the same bottleneck analysis
+//!   with no access to the originating workload.
 //! - [`sched_trace`] — the taskflow scheduler's per-attempt task spans as
 //!   chrome-trace worker lanes (retries, injected faults, and steals all
 //!   visible), standalone or merged with the GPU kernel timeline.
@@ -32,6 +35,7 @@
 pub mod bottleneck;
 pub mod chrome_trace;
 pub mod histogram;
+pub mod ingest;
 mod json;
 pub mod opstats;
 pub mod roofline;
@@ -46,6 +50,7 @@ pub mod prelude {
     };
     pub use crate::chrome_trace::to_chrome_trace;
     pub use crate::histogram::Histogram;
+    pub use crate::ingest::{ingest_trace, ingest_trace_file, TraceAnalysis};
     pub use crate::opstats::{OpStats, OpStatsTable};
     pub use crate::roofline::{roofline, Roofline, RooflinePoint};
     pub use crate::sched_trace::{merged_chrome_trace, scheduler_to_chrome_trace};

@@ -563,6 +563,21 @@ impl<I: VectorIndex + Send + Sync + 'static> RagServer<I> {
         Ok(ResponseHandle { inner: slot })
     }
 
+    /// Starts recording every command the pipeline's device submits into a
+    /// portable `gpu_sim::TraceV1` — the batch-scoring kernels, staging
+    /// copies, and stream syncs of every batch served from here on.
+    pub fn record_trace(&self) -> gpu_sim::TraceSink {
+        self.shared.pipeline.gpu().record_trace()
+    }
+
+    /// Stops recording and returns the finished trace artifact, or `None`
+    /// when [`Self::record_trace`] was never called. Call after the
+    /// traffic of interest has been served (typically right before
+    /// [`Self::shutdown`]).
+    pub fn finish_trace(&self, workload: &str) -> Option<gpu_sim::TraceV1> {
+        self.shared.pipeline.gpu().finish_trace(workload)
+    }
+
     /// Requests shed at admission since startup.
     pub fn shed_count(&self) -> u64 {
         self.shared.shed.load(Ordering::Relaxed)
@@ -886,6 +901,34 @@ mod tests {
         }
         assert_eq!(c.stats().entries, 1);
         assert_eq!(c.get("same"), Some((vec![], "ctx-9".into())));
+    }
+
+    #[test]
+    fn served_traffic_records_a_replayable_trace() {
+        // The serving path's command stream — batch-scoring kernels,
+        // staging copies, stream syncs — captured through the submit
+        // interposer must identity-replay exactly, with no server around.
+        let pipeline = Arc::new(build_flat_pipeline(40, 64, gpu(), 5));
+        let cluster = ClusterBuilder::new().workers(2).build();
+        let server = RagServer::start(pipeline, cluster, ServerConfig::new());
+        let _sink = server.record_trace();
+        let handles: Vec<_> = (0..6)
+            .map(|i| {
+                server
+                    .submit(Corpus::topic_query(i % 3, 5, i as u64))
+                    .unwrap()
+            })
+            .collect();
+        for h in handles {
+            h.wait().unwrap();
+        }
+        let trace = server.finish_trace("rag-serve").expect("recording was on");
+        server.shutdown();
+        assert!(trace.kernel_launches >= 1, "batches charged kernels");
+        let rep = gpu_sim::trace::replay(&trace, &gpu_sim::WhatIf::default()).unwrap();
+        assert_eq!(rep.sim_time_ns, trace.sim_time_ns);
+        assert_eq!(rep.submissions, trace.submissions());
+        assert_eq!(rep.kernel_launches, trace.kernel_launches);
     }
 
     #[test]

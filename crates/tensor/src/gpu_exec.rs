@@ -122,6 +122,19 @@ impl GpuExecutor {
         self.residency.snapshot()
     }
 
+    /// Starts recording every command this executor's device submits into
+    /// a portable [`gpu_sim::TraceV1`] (see `gpu_sim::trace`). Returns the
+    /// live sink; call [`Self::finish_trace`] to detach and snapshot it.
+    pub fn record_trace(&self) -> gpu_sim::TraceSink {
+        self.gpu.record_trace()
+    }
+
+    /// Stops recording and returns the finished trace artifact, or `None`
+    /// when [`Self::record_trace`] was never called.
+    pub fn finish_trace(&self, workload: &str) -> Option<gpu_sim::TraceV1> {
+        self.gpu.finish_trace(workload)
+    }
+
     /// Moves a host tensor onto the device, charging one H2D transfer.
     pub fn upload(&self, t: &Tensor) -> Result<DeviceTensor, TensorError> {
         let bytes = t.size_bytes();

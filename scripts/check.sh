@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
 # Pre-PR gate: run everything CI would. Fails fast on the first problem.
 #
-#   scripts/check.sh
+#   scripts/check.sh            # full gate
+#   scripts/check.sh --bless    # same, but re-record the golden traces
+#                               # (tests/golden/) before the trace-diff step
 #
 # 1. cargo fmt --check       — formatting
 # 2. cargo clippy -D warnings — lints, workspace-wide incl. tests/benches
@@ -23,8 +25,22 @@
 #    stays bit-identical uncompressed, and halves the wire under fp16
 #    (crates/bench/tests/bench_a10.rs). Steps 6-7 double as the A08/A09
 #    non-regression gate: their artifact tests re-assert the headline wins.
+# 9. BENCH_A11.json: regenerate via `repro --exp whatif`, then validate the
+#    identity replay is exact and the NVLink-everywhere what-if predicts
+#    the fresh ground-truth run within 5% (crates/bench/tests/bench_a11.rs)
+# 10. trace-diff: record the gated fused-GCN and RAG batch-scoring
+#    workloads through the gpu_sim::trace interposer and diff sim-time
+#    (±1%), submission count (exact), and exposed-comm fraction (+0.02)
+#    against tests/golden/*.trace.json. `--bless` re-records the goldens.
+# 11. repro_output.txt mentions every committed BENCH_A*.json artifact —
+#    catches the transcript drifting behind newly shipped experiments.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+BLESS=""
+if [[ "${1:-}" == "--bless" ]]; then
+  BLESS="--bless"
+fi
 
 echo "==> cargo fmt --check"
 cargo fmt --all -- --check
@@ -54,5 +70,23 @@ cargo test -q -p sagegpu-bench --test bench_a09
 echo "==> BENCH_A10.json: regenerate + validate"
 cargo run --release -q -p sagegpu-bench --bin repro -- --exp topology > /dev/null
 cargo test -q -p sagegpu-bench --test bench_a10
+
+echo "==> BENCH_A11.json: regenerate + validate"
+cargo run --release -q -p sagegpu-bench --bin repro -- --exp whatif > /dev/null
+cargo test -q -p sagegpu-bench --test bench_a11
+
+echo "==> trace-diff: golden trace regression gate${BLESS:+ (blessing)}"
+if [[ -n "$BLESS" ]]; then
+  cargo run --release -q -p sagegpu-bench --bin trace_gate -- --bless
+fi
+cargo run --release -q -p sagegpu-bench --bin trace_gate
+
+echo "==> repro_output.txt mentions every shipped BENCH_A*.json"
+for artifact in BENCH_A*.json; do
+  if ! grep -q "$artifact" repro_output.txt; then
+    echo "repro_output.txt is stale: no mention of $artifact (re-run \`repro > repro_output.txt\`)" >&2
+    exit 1
+  fi
+done
 
 echo "OK: all checks passed"
