@@ -97,6 +97,11 @@ fn experiments() -> Vec<Experiment> {
             "Ablation: trace what-if replay (A11)",
             render::render_whatif,
         ),
+        (
+            "retrieval",
+            "Ablation: sharded IVF-PQ retrieval at scale (A12)",
+            render::render_retrieval,
+        ),
     ]
 }
 

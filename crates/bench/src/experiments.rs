@@ -17,7 +17,7 @@ use sagegpu_core::graph::partition::{
 };
 use sagegpu_core::rag::corpus::Corpus;
 use sagegpu_core::rag::embed::Embedder;
-use sagegpu_core::rag::index::{recall_at_k, FlatIndex, IvfIndex, VectorIndex};
+use sagegpu_core::rag::index::{recall_at_k, FlatIndex, IvfIndex, RetrievalIndex, VectorIndex};
 use sagegpu_core::rag::pipeline::build_flat_pipeline;
 use sagegpu_core::stats::boxplot::{boxplot, BoxplotData};
 use sagegpu_core::stats::describe::{describe, DescriptiveStats};
@@ -388,7 +388,7 @@ pub fn rag_retrieval_sweep(corpus_size: usize, nprobes: &[usize]) -> Vec<Retriev
     }];
     let nlist = (corpus_size / 20).max(4);
     for &nprobe in nprobes {
-        let mut ivf = IvfIndex::train(96, nlist, nlist, &data, SEED);
+        let mut ivf = IvfIndex::train(96, nlist, nlist, &data, SEED).expect("ivf trains");
         ivf.set_nprobe(nprobe);
         let mut recall = 0.0;
         for q in &queries {
@@ -2100,6 +2100,252 @@ pub fn pricing_reconciliation() -> Vec<(&'static str, f64, f64)> {
             2.314,
         ),
     ]
+}
+
+// ---------------------------------------------------------------------
+// A12 — retrieval at scale: sharded IVF-PQ
+// ---------------------------------------------------------------------
+
+/// One arm of the A12 retrieval-scale study.
+pub struct RetrievalArm {
+    /// "flat", "ivf", "ivfpq", or "sharded".
+    pub arm: &'static str,
+    /// Lists probed (0 for the exhaustive flat scan).
+    pub nprobe: usize,
+    /// Shard count (1 for single-device arms).
+    pub shards: usize,
+    /// Mean recall@10 against the exact flat baseline.
+    pub recall_at_10: f64,
+    /// Index bytes resident on device (summed across shards).
+    pub device_bytes: u64,
+    /// Simulated time to search the whole query batch (per-device max).
+    pub search_ms: f64,
+}
+
+/// The A12 study: Flat vs IVF vs IVF-PQ accuracy/latency/memory on one
+/// device, then the same IVF-PQ index scattered across 1/2/4 shards.
+pub struct RetrievalScaleAblation {
+    pub corpus: usize,
+    pub dim: usize,
+    pub queries: usize,
+    pub nlist: usize,
+    pub pq_m: usize,
+    pub pq_nbits: u32,
+    pub arms: Vec<RetrievalArm>,
+    /// Flat index bytes — the uncompressed baseline.
+    pub flat_bytes: u64,
+    /// Single-shard IVF-PQ bytes (centroids + codebook + codes).
+    pub pq_bytes: u64,
+    /// Exact re-rank depth applied to the PQ/sharded arms.
+    pub refine: usize,
+    /// `flat_bytes / pq_bytes` — the compression headline.
+    pub memory_reduction: f64,
+    /// Best IVF-PQ recall@10 over the swept nprobe values.
+    pub best_pq_recall: f64,
+    /// Sharded search speedup from 1 to 4 shards at fixed nprobe.
+    pub sharded_speedup_4x: f64,
+    /// True when 4-shard scatter-gather hits equal 1-shard hits bitwise.
+    pub sharded_identical: bool,
+}
+
+/// Batch-search an index on its own device and return (per-query hits,
+/// simulated milliseconds the search took on that device).
+fn timed_search<I: RetrievalIndex>(
+    idx: &I,
+    gpu: &Arc<Gpu>,
+    queries: &[Vec<f32>],
+    k: usize,
+) -> (Vec<Vec<sagegpu_core::rag::index::SearchHit>>, f64) {
+    let t0 = gpu.now_ns();
+    let hits = idx.search_batch(queries, k);
+    (hits, (gpu.now_ns() - t0) as f64 / 1e6)
+}
+
+/// A12 — the retrieval-at-scale ablation behind `BENCH_A12.json`.
+pub fn retrieval_scale_ablation() -> RetrievalScaleAblation {
+    use sagegpu_core::gpu::cluster::{GpuCluster, LinkKind};
+    use sagegpu_core::rag::pq::{IvfPqIndex, PqConfig};
+    use sagegpu_core::rag::shard::{ShardPlan, ShardedIndex};
+
+    const CORPUS: usize = 20_000;
+    const DIM: usize = 96;
+    const NLIST: usize = 64;
+    const PQ: PqConfig = PqConfig { m: 32, nbits: 8 };
+    const NPROBES: [usize; 5] = [1, 4, 8, 16, 32];
+    const SHARD_NPROBE: usize = 16;
+    const QUERIES: usize = 32;
+    const K: usize = 10;
+    const SAMPLE: usize = 2_048;
+    const REFINE: usize = 40;
+
+    let corpus = Corpus::synthetic(CORPUS, 80, SEED);
+    let embedder = Embedder::new(DIM, SEED.wrapping_add(1));
+    let data: Vec<(usize, Vec<f32>)> = corpus
+        .docs()
+        .iter()
+        .map(|d| (d.id, embedder.embed(&d.text)))
+        .collect();
+    let queries: Vec<Vec<f32>> = (0..QUERIES)
+        .map(|i| embedder.embed(&Corpus::topic_query(i % 5, 6, i as u64)))
+        .collect();
+
+    let device = || Arc::new(Gpu::new(0, DeviceSpec::t4()));
+    let cluster = |n: usize| Arc::new(GpuCluster::homogeneous(n, DeviceSpec::t4(), LinkKind::Pcie));
+
+    // Exact baseline: flat GPU scan — ground truth for every recall figure.
+    let gpu = device();
+    let mut flat = FlatIndex::with_gpu(DIM, GpuExecutor::new(gpu.clone()));
+    for (id, v) in &data {
+        flat.add(*id, v.clone());
+    }
+    let (exact, flat_ms) = timed_search(&flat, &gpu, &queries, K);
+    let flat_bytes = flat.device_bytes();
+    let mean_recall = |hits: &[Vec<sagegpu_core::rag::index::SearchHit>]| -> f64 {
+        exact
+            .iter()
+            .zip(hits)
+            .map(|(e, h)| recall_at_k(e, h))
+            .sum::<f64>()
+            / exact.len() as f64
+    };
+
+    let mut arms = vec![RetrievalArm {
+        arm: "flat",
+        nprobe: 0,
+        shards: 1,
+        recall_at_10: 1.0,
+        device_bytes: flat_bytes,
+        search_ms: flat_ms,
+    }];
+
+    // IVF: same coarse quantizer, full-precision lists.
+    let gpu = device();
+    let mut ivf = IvfIndex::train(DIM, NLIST, 1, &data, SEED)
+        .expect("ivf trains")
+        .with_gpu(GpuExecutor::new(gpu.clone()));
+    for &nprobe in &NPROBES {
+        ivf.set_nprobe(nprobe);
+        let (hits, ms) = timed_search(&ivf, &gpu, &queries, K);
+        arms.push(RetrievalArm {
+            arm: "ivf",
+            nprobe,
+            shards: 1,
+            recall_at_10: mean_recall(&hits),
+            device_bytes: ivf.device_bytes(),
+            search_ms: ms,
+        });
+    }
+
+    // IVF-PQ: coded lists, ADC scans.
+    let gpu = device();
+    let mut ivfpq = IvfPqIndex::train(DIM, NLIST, 1, PQ, &data, SEED)
+        .expect("ivfpq trains")
+        .with_gpu(GpuExecutor::new(gpu.clone()))
+        .expect("uploads")
+        .with_refine(REFINE);
+    let pq_bytes = ivfpq.device_bytes();
+    let mut best_pq_recall = 0.0f64;
+    for &nprobe in &NPROBES {
+        ivfpq.set_nprobe(nprobe);
+        let (hits, ms) = timed_search(&ivfpq, &gpu, &queries, K);
+        let recall = mean_recall(&hits);
+        best_pq_recall = best_pq_recall.max(recall);
+        arms.push(RetrievalArm {
+            arm: "ivfpq",
+            nprobe,
+            shards: 1,
+            recall_at_10: recall,
+            device_bytes: pq_bytes,
+            search_ms: ms,
+        });
+    }
+
+    // Sharded IVF-PQ at fixed nprobe: the same search scattered over
+    // 1/2/4 devices, timed as cluster makespan.
+    let plan = |shards: usize| ShardPlan {
+        nlist: NLIST,
+        nprobe: SHARD_NPROBE,
+        pq: PQ,
+        sample: SAMPLE,
+        shards,
+        refine: REFINE,
+    };
+    let mut sharded_ms = Vec::new();
+    let mut sharded_hits = Vec::new();
+    for shards in [1usize, 2, 4] {
+        let gpus = cluster(shards);
+        let idx = ShardedIndex::build(DIM, plan(shards), &data, gpus.clone(), SEED)
+            .expect("sharded index builds");
+        let t0 = idx.makespan_ns();
+        let hits = idx.search_batch(&queries, K);
+        let ms = (idx.makespan_ns() - t0) as f64 / 1e6;
+        sharded_ms.push(ms);
+        arms.push(RetrievalArm {
+            arm: "sharded",
+            nprobe: SHARD_NPROBE,
+            shards,
+            recall_at_10: mean_recall(&hits),
+            device_bytes: idx.device_bytes(),
+            search_ms: ms,
+        });
+        sharded_hits.push(hits);
+    }
+    let sharded_speedup_4x = sharded_ms[0] / sharded_ms[2];
+    let sharded_identical =
+        sharded_hits[0] == sharded_hits[1] && sharded_hits[0] == sharded_hits[2];
+
+    RetrievalScaleAblation {
+        corpus: CORPUS,
+        dim: DIM,
+        queries: QUERIES,
+        nlist: NLIST,
+        pq_m: PQ.m,
+        pq_nbits: PQ.nbits,
+        arms,
+        flat_bytes,
+        pq_bytes,
+        refine: REFINE,
+        memory_reduction: flat_bytes as f64 / pq_bytes as f64,
+        best_pq_recall,
+        sharded_speedup_4x,
+        sharded_identical,
+    }
+}
+
+/// Machine-readable A12 summary — the content of `BENCH_A12.json`.
+pub fn retrieval_json(a: &RetrievalScaleAblation) -> String {
+    let arms: Vec<String> = a
+        .arms
+        .iter()
+        .map(|r| {
+            format!(
+                "{{\"arm\":\"{}\",\"nprobe\":{},\"shards\":{},\"recall_at_10\":{},\
+                 \"device_bytes\":{},\"search_ms\":{}}}",
+                r.arm, r.nprobe, r.shards, r.recall_at_10, r.device_bytes, r.search_ms
+            )
+        })
+        .collect();
+    format!(
+        "{{\n  \"experiment\": \"A12\",\n  \"title\": \"sharded IVF-PQ retrieval at scale\",\n  \
+         \"corpus\": {},\n  \"dim\": {},\n  \"queries\": {},\n  \"nlist\": {},\n  \
+         \"pq_m\": {},\n  \"pq_nbits\": {},\n  \"flat_bytes\": {},\n  \"pq_bytes\": {},\n  \
+         \"refine\": {},\n  \"memory_reduction\": {},\n  \"best_pq_recall\": {},\n  \
+         \"sharded_speedup_4x\": {},\n  \"sharded_identical\": {},\n  \"arms\": [{}]\n}}\n",
+        a.corpus,
+        a.dim,
+        a.queries,
+        a.nlist,
+        a.pq_m,
+        a.pq_nbits,
+        a.flat_bytes,
+        a.pq_bytes,
+        a.refine,
+        a.memory_reduction,
+        a.best_pq_recall,
+        a.sharded_speedup_4x,
+        a.sharded_identical,
+        arms.join(", ")
+    )
 }
 
 #[cfg(test)]

@@ -1,7 +1,8 @@
 //! Deterministic perf-regression gate over recorded command traces.
 //!
-//! `scripts/check.sh` records two fixed workloads — a fused-GCN training
-//! run and a RAG batch-scoring pass — through the `gpu_sim::trace`
+//! `scripts/check.sh` records three fixed workloads — a fused-GCN
+//! training run, a RAG batch-scoring pass, and a sharded IVF-PQ
+//! scatter-gather search — through the `gpu_sim::trace`
 //! interposer and diffs the scheduling metrics against golden trace
 //! artifacts committed under `tests/golden/`. Because the simulator is
 //! deterministic, any drift is a real behavior change: a slower schedule,
@@ -30,8 +31,11 @@ use std::sync::Arc;
 pub const GOLDEN_DIR: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../tests/golden");
 
 /// The gated workloads: `(short name, golden file stem)`.
-pub const GATED_WORKLOADS: [(&str, &str); 2] =
-    [("gcn-epoch", "gcn_epoch"), ("rag-batch", "rag_batch")];
+pub const GATED_WORKLOADS: [(&str, &str); 3] = [
+    ("gcn-epoch", "gcn_epoch"),
+    ("rag-batch", "rag_batch"),
+    ("rag-sharded", "rag_sharded"),
+];
 
 /// Path of a golden trace artifact by file stem.
 pub fn golden_path(stem: &str) -> std::path::PathBuf {
@@ -228,6 +232,47 @@ pub fn record_rag_batch_trace() -> TraceV1 {
         .expect("recording was on")
 }
 
+/// Records the gated sharded-retrieval workload: a seeded 2,000-doc
+/// IVF-PQ index scattered over 4 simulated T4s on PCIe, searched with a
+/// 16-query batch (nprobe 8, gather-side refine 16). The sink attaches
+/// to the fresh cluster before the build, so the trace covers the
+/// parallel encode/upload phase plus the scatter-gather search from
+/// zeroed device clocks (identity replay is exact), and the gated
+/// metrics (per-device-max sim-time, submission count, exposed comm)
+/// are independent of worker interleaving, so the recording is
+/// reproducible.
+pub fn record_rag_sharded_trace() -> TraceV1 {
+    use sagegpu_core::gpu::cluster::{GpuCluster, LinkKind};
+    use sagegpu_core::rag::pq::PqConfig;
+    use sagegpu_core::rag::shard::{ShardPlan, ShardedIndex};
+
+    let embedder = Embedder::new(96, 2025);
+    let corpus = Corpus::synthetic(2_000, 80, 2025);
+    let data: Vec<(usize, Vec<f32>)> = corpus
+        .docs()
+        .iter()
+        .map(|d| (d.id, embedder.embed(&d.text)))
+        .collect();
+    let gpus = Arc::new(GpuCluster::homogeneous(4, DeviceSpec::t4(), LinkKind::Pcie));
+    let _sink = gpus.record_trace();
+    let plan = ShardPlan {
+        nlist: 32,
+        nprobe: 8,
+        pq: PqConfig::new(16, 6),
+        sample: 512,
+        shards: 4,
+        refine: 16,
+    };
+    let idx = ShardedIndex::build(96, plan, &data, gpus.clone(), 2025).expect("sharded build");
+    let queries: Vec<Vec<f32>> = (0..16)
+        .map(|i| embedder.embed(&Corpus::topic_query(i % 5, 6, i as u64)))
+        .collect();
+    use sagegpu_core::rag::index::RetrievalIndex;
+    idx.search_batch(&queries, 10);
+    gpus.finish_trace("rag-sharded-search")
+        .expect("recording was on")
+}
+
 /// Outcome of gating one workload.
 #[derive(Debug)]
 pub struct GateOutcome {
@@ -246,6 +291,7 @@ pub fn run_gate(bless: bool) -> Result<Vec<GateOutcome>, String> {
     for (name, stem) in GATED_WORKLOADS {
         let current_trace = match name {
             "gcn-epoch" => record_gcn_epoch_trace(),
+            "rag-sharded" => record_rag_sharded_trace(),
             _ => record_rag_batch_trace(),
         };
         let path = golden_path(stem);

@@ -637,6 +637,47 @@ pub fn render_whatif() -> String {
     out
 }
 
+/// A12 — sharded IVF-PQ retrieval at scale. Also refreshes the committed
+/// `BENCH_A12.json` artifact at the repository root.
+pub fn render_retrieval() -> String {
+    let a = retrieval_scale_ablation();
+    let json = retrieval_json(&a);
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_A12.json");
+    let mut out = header("Ablation — retrieval at scale: sharded IVF-PQ (A12)");
+    match std::fs::write(path, &json) {
+        Ok(()) => out.push_str("wrote BENCH_A12.json\n"),
+        Err(e) => out.push_str(&format!("warning: could not write BENCH_A12.json: {e}\n")),
+    }
+    out.push_str(&format!(
+        "corpus {} docs x dim {}, {} queries, nlist {}, PQ m={} nbits={}\n",
+        a.corpus, a.dim, a.queries, a.nlist, a.pq_m, a.pq_nbits
+    ));
+    out.push_str(&format!(
+        "{:<9} {:>7} {:>7} {:>10} {:>12} {:>10}\n",
+        "arm", "nprobe", "shards", "recall@10", "dev-bytes", "search(ms)"
+    ));
+    for r in &a.arms {
+        out.push_str(&format!(
+            "{:<9} {:>7} {:>7} {:>10.3} {:>12} {:>10.3}\n",
+            r.arm, r.nprobe, r.shards, r.recall_at_10, r.device_bytes, r.search_ms
+        ));
+    }
+    out.push_str(&format!(
+        "memory: flat {} B -> IVF-PQ {} B ({:.1}x smaller); best PQ recall@10 {:.3}\n",
+        a.flat_bytes, a.pq_bytes, a.memory_reduction, a.best_pq_recall
+    ));
+    out.push_str(&format!(
+        "sharded speedup 1->4 shards at nprobe 16: {:.2}x (hits bit-identical: {})\n",
+        a.sharded_speedup_4x, a.sharded_identical
+    ));
+    out.push_str("expected: PQ codes shrink the resident index ~10x while exact re-ranking\n");
+    out.push_str("          of the merged top candidates keeps recall@10 above 0.9 at some\n");
+    out.push_str("          swept nprobe; scattering the coded lists over 4 devices cuts\n");
+    out.push_str("          batch-search makespan at least 2x with exactly the same hits,\n");
+    out.push_str("          because refine runs after the total-order merge tree\n");
+    out
+}
+
 /// S01 — RL agents.
 pub fn render_rl() -> String {
     let mut out = header("Supplementary — Labs 8/10 + Assignment 3: RL agents");

@@ -5,7 +5,7 @@
 
 use sagegpu_bench::gate::{
     check_gate, golden_path, metrics_for, record_gcn_epoch_trace, record_rag_batch_trace,
-    GateMetrics, GateTolerances, GATED_WORKLOADS,
+    record_rag_sharded_trace, GateMetrics, GateTolerances, GATED_WORKLOADS,
 };
 use sagegpu_core::gpu::trace::{replay, TraceV1, WhatIf};
 
@@ -27,6 +27,7 @@ fn committed_goldens_pass_against_fresh_recordings() {
         let golden = golden_metrics(stem);
         let current = match name {
             "gcn-epoch" => metrics_for(&record_gcn_epoch_trace()),
+            "rag-sharded" => metrics_for(&record_rag_sharded_trace()),
             _ => metrics_for(&record_rag_batch_trace()),
         };
         let violations = check_gate(&golden, &current, &tol);
@@ -44,7 +45,7 @@ fn committed_goldens_pass_against_fresh_recordings() {
 fn golden_traces_identity_replay_exactly() {
     for (name, stem) in GATED_WORKLOADS {
         let trace =
-            TraceV1::read_file(&golden_path(stem)).unwrap_or_else(|e| panic!("golden {stem}: {e}"));
+            TraceV1::read_file(golden_path(stem)).unwrap_or_else(|e| panic!("golden {stem}: {e}"));
         let rep = replay(&trace, &WhatIf::default()).expect("identity replay");
         assert_eq!(
             rep.sim_time_ns, trace.sim_time_ns,

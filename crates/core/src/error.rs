@@ -12,6 +12,7 @@ use cloud_sim::provider::CloudError;
 use gpu_sim::GpuError;
 use sagegpu_df::DfError;
 use sagegpu_graph::GraphError;
+use sagegpu_rag::error::IndexError;
 use sagegpu_stats::StatsError;
 use sagegpu_tensor::TensorError;
 use taskflow::TaskError;
@@ -31,6 +32,8 @@ pub enum SageError {
     Task(TaskError),
     /// Dataframe ops: missing columns, type mismatches.
     Df(DfError),
+    /// Retrieval indexes: degenerate training sets, bad PQ/shard layouts.
+    Index(IndexError),
     /// Statistical routines: degenerate samples, invalid parameters.
     Stats(StatsError),
 }
@@ -54,6 +57,7 @@ from_layer!(Tensor, TensorError);
 from_layer!(Graph, GraphError);
 from_layer!(Task, TaskError);
 from_layer!(Df, DfError);
+from_layer!(Index, IndexError);
 from_layer!(Stats, StatsError);
 
 impl std::fmt::Display for SageError {
@@ -65,6 +69,7 @@ impl std::fmt::Display for SageError {
             SageError::Graph(e) => write!(f, "graph: {e}"),
             SageError::Task(e) => write!(f, "task: {e}"),
             SageError::Df(e) => write!(f, "dataframe: {e}"),
+            SageError::Index(e) => write!(f, "index: {e}"),
             SageError::Stats(e) => write!(f, "stats: {e}"),
         }
     }
@@ -79,6 +84,7 @@ impl std::error::Error for SageError {
             SageError::Graph(e) => Some(e),
             SageError::Task(e) => Some(e),
             SageError::Df(e) => Some(e),
+            SageError::Index(e) => Some(e),
             SageError::Stats(e) => Some(e),
         }
     }
@@ -115,6 +121,17 @@ mod tests {
         let msg = e.to_string();
         assert!(msg.starts_with("task: "), "{msg}");
         assert!(msg.contains("worker 2"), "{msg}");
+    }
+
+    #[test]
+    fn index_errors_lift_with_the_layer_prefix() {
+        let e = SageError::from(IndexError::NlistExceedsCorpus {
+            nlist: 64,
+            corpus: 10,
+        });
+        let msg = e.to_string();
+        assert!(msg.starts_with("index: "), "{msg}");
+        assert!(msg.contains("64"), "{msg}");
     }
 
     #[test]

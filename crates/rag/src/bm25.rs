@@ -134,7 +134,7 @@ mod tests {
     use super::*;
     use crate::corpus::Corpus;
     use crate::embed::Embedder;
-    use crate::index::{FlatIndex, VectorIndex};
+    use crate::index::{FlatIndex, RetrievalIndex, VectorIndex};
 
     fn tiny_index() -> Bm25Index {
         let mut idx = Bm25Index::new();

@@ -6,7 +6,14 @@
 //! vectors into `nlist` inverted lists; queries probe only the `nprobe`
 //! nearest lists, trading recall for latency — the knob the course's
 //! latency-optimization lab turns.
+//!
+//! The read path and the build path are separate contracts:
+//! [`RetrievalIndex`] is everything a serving layer needs (search, batched
+//! search, footprint) and is object-shaped enough to cover immutable
+//! compound indexes like [`crate::shard::ShardedIndex`]; [`VectorIndex`]
+//! extends it with `add` for indexes that grow in place.
 
+use crate::error::IndexError;
 use rand::prelude::*;
 use rand::rngs::SmallRng;
 use rayon::prelude::*;
@@ -22,25 +29,40 @@ pub struct SearchHit {
     pub score: f32,
 }
 
-/// The index contract.
-pub trait VectorIndex {
-    /// Adds a vector under a document id.
-    fn add(&mut self, doc_id: usize, vector: Vec<f32>);
+/// The read-side index contract: everything retrieval and serving need,
+/// implemented by every index shape (flat, IVF, IVF-PQ, sharded).
+pub trait RetrievalIndex: Send + Sync {
     /// Returns the top-`k` hits for `query`, best first.
     fn search(&self, query: &[f32], k: usize) -> Vec<SearchHit>;
+    /// Searches many queries in one pass. The default walks queries one by
+    /// one; GPU-backed indexes override it with batched device scoring.
+    fn search_batch(&self, queries: &[Vec<f32>], k: usize) -> Vec<Vec<SearchHit>> {
+        queries.iter().map(|q| self.search(q, k)).collect()
+    }
     /// Number of indexed vectors.
     fn len(&self) -> usize;
     /// Whether the index is empty.
     fn is_empty(&self) -> bool {
         self.len() == 0
     }
+    /// Device-resident footprint of serving this index from a GPU, in
+    /// bytes — what must stay pinned for scans to run without re-staging.
+    /// This is a property of the index layout (corpus size, codes,
+    /// codebooks), not of whether a device is currently attached.
+    fn device_bytes(&self) -> u64;
+}
+
+/// The build-side extension: indexes that can grow in place.
+pub trait VectorIndex: RetrievalIndex {
+    /// Adds a vector under a document id.
+    fn add(&mut self, doc_id: usize, vector: Vec<f32>);
 }
 
 /// The ranking order hits are returned in: score descending, `doc_id`
 /// ascending on ties. [`f32::total_cmp`] keeps the order total even for NaN
 /// scores (which rank as greater than every finite score) instead of
 /// panicking mid-search.
-fn hit_order(a: &SearchHit, b: &SearchHit) -> std::cmp::Ordering {
+pub(crate) fn hit_order(a: &SearchHit, b: &SearchHit) -> std::cmp::Ordering {
     b.score.total_cmp(&a.score).then(a.doc_id.cmp(&b.doc_id))
 }
 
@@ -73,7 +95,7 @@ impl Ord for WorstFirst {
 /// Selects the best `k` hits in `O(n log k)` with a bounded heap instead of
 /// sorting the full candidate list — the candidate set is the whole corpus
 /// (flat) or every probed list (IVF), while `k` is a handful.
-fn top_k(scores: Vec<SearchHit>, k: usize) -> Vec<SearchHit> {
+pub(crate) fn top_k(scores: Vec<SearchHit>, k: usize) -> Vec<SearchHit> {
     if k == 0 {
         return Vec::new();
     }
@@ -92,6 +114,83 @@ fn top_k(scores: Vec<SearchHit>, k: usize) -> Vec<SearchHit> {
     let mut out: Vec<SearchHit> = heap.into_iter().map(|w| w.0).collect();
     out.sort_by(hit_order);
     out
+}
+
+/// Merges two lists already sorted by [`hit_order`], keeping at most `k`.
+fn merge_two(a: Vec<SearchHit>, b: Vec<SearchHit>, k: usize) -> Vec<SearchHit> {
+    let mut out = Vec::with_capacity(k.min(a.len() + b.len()));
+    let (mut ai, mut bi) = (0usize, 0usize);
+    while out.len() < k && (ai < a.len() || bi < b.len()) {
+        let take_a = match (a.get(ai), b.get(bi)) {
+            (Some(x), Some(y)) => hit_order(x, y) != std::cmp::Ordering::Greater,
+            (Some(_), None) => true,
+            _ => false,
+        };
+        if take_a {
+            out.push(a[ai]);
+            ai += 1;
+        } else {
+            out.push(b[bi]);
+            bi += 1;
+        }
+    }
+    out
+}
+
+/// The gather-side top-k merge tree: pairwise-merges per-shard hit lists
+/// (each already sorted by the ranking order, as `top_k` returns them)
+/// round by round until one list of at most `k` survivors remains —
+/// `log₂(shards)` merge rounds instead of re-sorting the concatenation.
+///
+/// Because the ranking order is total (ties broken by `doc_id` via
+/// `total_cmp`) and document ids are unique across shards, the result is
+/// exactly `top_k` of the concatenated candidates regardless of shard
+/// order — the property that makes sharded search bit-identical to a
+/// single-shard scan.
+pub fn merge_top_k(lists: Vec<Vec<SearchHit>>, k: usize) -> Vec<SearchHit> {
+    if k == 0 {
+        return Vec::new();
+    }
+    let mut round = lists;
+    while round.len() > 1 {
+        let mut next = Vec::with_capacity(round.len().div_ceil(2));
+        let mut it = round.into_iter();
+        while let Some(a) = it.next() {
+            match it.next() {
+                Some(b) => next.push(merge_two(a, b, k)),
+                None => next.push(a),
+            }
+        }
+        round = next;
+    }
+    let mut out = round.pop().unwrap_or_default();
+    out.truncate(k);
+    out
+}
+
+/// Inner-product of one row against a query, in index order — the single
+/// scoring expression shared by the flat scan, the coarse quantizer, and
+/// the GPU executor's `dot_scores`, which is what keeps CPU, GPU, and
+/// batched paths bit-identical.
+#[inline]
+pub(crate) fn dot(row: &[f32], query: &[f32]) -> f32 {
+    row.iter().zip(query).map(|(a, b)| a * b).sum()
+}
+
+/// Index of the centroid with the highest inner product (first wins on
+/// ties) — the coarse-assignment rule shared by training, [`IvfIndex::add`],
+/// and shard construction, so every path buckets a vector identically.
+pub(crate) fn nearest_centroid(centroids: &[f32], dim: usize, v: &[f32]) -> usize {
+    let mut best = 0usize;
+    let mut best_score = f32::NEG_INFINITY;
+    for c in 0..centroids.len() / dim {
+        let score = dot(&centroids[c * dim..(c + 1) * dim], v);
+        if score > best_score {
+            best_score = score;
+            best = c;
+        }
+    }
+    best
 }
 
 /// Exact dot-product index.
@@ -130,16 +229,57 @@ impl FlatIndex {
     fn cpu_scores(&self, query: &[f32]) -> Vec<f32> {
         self.vectors
             .par_chunks(self.dim)
-            .map(|row| row.iter().zip(query).map(|(a, b)| a * b).sum())
+            .map(|row| dot(row, query))
             .collect()
+    }
+
+    /// The resident device matrix, re-uploaded only when `add` invalidated
+    /// it (the upload charges the H2D transfer; hits after that are free).
+    pub(crate) fn device_matrix(&self) -> Arc<DeviceTensor> {
+        let gpu = self
+            .gpu
+            .as_ref()
+            .expect("device matrix requires a GPU index");
+        let mut cached = self.device_mat.lock().unwrap_or_else(|e| e.into_inner());
+        cached
+            .get_or_insert_with(|| {
+                let host = Tensor::from_vec(self.ids.len(), self.dim, self.vectors.clone())
+                    .expect("index shape");
+                Arc::new(gpu.upload(&host).expect("index fits on device"))
+            })
+            .clone()
+    }
+}
+
+impl RetrievalIndex for FlatIndex {
+    fn search(&self, query: &[f32], k: usize) -> Vec<SearchHit> {
+        assert_eq!(query.len(), self.dim, "query dim mismatch");
+        if self.ids.is_empty() {
+            return Vec::new();
+        }
+        let scores = match &self.gpu {
+            Some(gpu) => {
+                let mat = self.device_matrix();
+                gpu.score_rows(&*mat, query).expect("gpu scoring")
+            }
+            None => self.cpu_scores(query),
+        };
+        top_k(
+            self.ids
+                .iter()
+                .zip(scores)
+                .map(|(&doc_id, score)| SearchHit { doc_id, score })
+                .collect(),
+            k,
+        )
     }
 
     /// Searches many queries in one pass. On the GPU path the queries go
     /// through [`GpuExecutor::score_rows_batch`], which chunks them across
     /// two streams so the upload of chunk k+1 overlaps the scoring kernel
     /// of chunk k — fewer launches and a shorter simulated makespan than
-    /// per-query [`VectorIndex::search`], with bit-identical hits.
-    pub fn search_batch(&self, queries: &[Vec<f32>], k: usize) -> Vec<Vec<SearchHit>> {
+    /// per-query [`RetrievalIndex::search`], with bit-identical hits.
+    fn search_batch(&self, queries: &[Vec<f32>], k: usize) -> Vec<Vec<SearchHit>> {
         for q in queries {
             assert_eq!(q.len(), self.dim, "query dim mismatch");
         }
@@ -168,21 +308,13 @@ impl FlatIndex {
             .collect()
     }
 
-    /// The resident device matrix, re-uploaded only when `add` invalidated
-    /// it (the upload charges the H2D transfer; hits after that are free).
-    fn device_matrix(&self) -> Arc<DeviceTensor> {
-        let gpu = self
-            .gpu
-            .as_ref()
-            .expect("device matrix requires a GPU index");
-        let mut cached = self.device_mat.lock().unwrap_or_else(|e| e.into_inner());
-        cached
-            .get_or_insert_with(|| {
-                let host = Tensor::from_vec(self.ids.len(), self.dim, self.vectors.clone())
-                    .expect("index shape");
-                Arc::new(gpu.upload(&host).expect("index fits on device"))
-            })
-            .clone()
+    fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    fn device_bytes(&self) -> u64 {
+        // The full-precision matrix: len × dim × f32.
+        4 * (self.ids.len() * self.dim) as u64
     }
 }
 
@@ -193,32 +325,126 @@ impl VectorIndex for FlatIndex {
         self.vectors.extend(vector);
         *self.device_mat.lock().unwrap_or_else(|e| e.into_inner()) = None;
     }
+}
 
-    fn search(&self, query: &[f32], k: usize) -> Vec<SearchHit> {
-        assert_eq!(query.len(), self.dim, "query dim mismatch");
-        if self.ids.is_empty() {
-            return Vec::new();
-        }
-        let scores = match &self.gpu {
-            Some(gpu) => {
-                let mat = self.device_matrix();
-                gpu.score_rows(&*mat, query).expect("gpu scoring")
+/// Seeded Lloyd k-means over unit vectors under inner-product assignment:
+/// the coarse-quantizer trainer shared by [`IvfIndex`] and
+/// [`crate::pq::IvfPqIndex`]. Returns `(centroids, assignments)` or a
+/// typed error: an empty corpus, `nlist` larger than the corpus, and
+/// clusters that stay empty even after deterministic re-seeding (fewer
+/// distinct vectors than lists) are all [`IndexError`]s, never panics or
+/// silently degenerate centroids.
+pub(crate) fn train_coarse(
+    dim: usize,
+    nlist: usize,
+    data: &[(usize, Vec<f32>)],
+    seed: u64,
+) -> Result<(Vec<f32>, Vec<usize>), IndexError> {
+    if data.is_empty() {
+        return Err(IndexError::EmptyTrainingSet);
+    }
+    if nlist == 0 {
+        return Err(IndexError::ZeroClusters);
+    }
+    if nlist > data.len() {
+        return Err(IndexError::NlistExceedsCorpus {
+            nlist,
+            corpus: data.len(),
+        });
+    }
+
+    // Seeded init from distinct data points.
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut pick: Vec<usize> = (0..data.len()).collect();
+    pick.shuffle(&mut rng);
+    let mut centroids: Vec<f32> = pick[..nlist]
+        .iter()
+        .flat_map(|&i| data[i].1.iter().copied())
+        .collect();
+
+    let mut assignments = vec![0usize; data.len()];
+    for _ in 0..10 {
+        // Assignment step.
+        let new_assignments: Vec<usize> = data
+            .par_iter()
+            .map(|(_, v)| nearest_centroid(&centroids, dim, v))
+            .collect();
+        let changed = new_assignments != assignments;
+        assignments = new_assignments;
+        // Update step (mean, renormalized — vectors are unit length).
+        let mut sums = vec![0.0f32; nlist * dim];
+        let mut counts = vec![0usize; nlist];
+        for ((_, v), &a) in data.iter().zip(&assignments) {
+            counts[a] += 1;
+            for (s, x) in sums[a * dim..(a + 1) * dim].iter_mut().zip(v) {
+                *s += x;
             }
-            None => self.cpu_scores(query),
-        };
-        top_k(
-            self.ids
-                .iter()
-                .zip(scores)
-                .map(|(&doc_id, score)| SearchHit { doc_id, score })
-                .collect(),
-            k,
-        )
+        }
+        for c in 0..nlist {
+            if counts[c] == 0 {
+                continue; // re-seeded after the loop if still empty
+            }
+            let slice = &mut sums[c * dim..(c + 1) * dim];
+            let norm = slice.iter().map(|x| x * x).sum::<f32>().sqrt();
+            if norm > 0.0 {
+                slice.iter_mut().for_each(|x| *x /= norm);
+            }
+            centroids[c * dim..(c + 1) * dim].copy_from_slice(slice);
+        }
+        if !changed {
+            break;
+        }
     }
 
-    fn len(&self) -> usize {
-        self.ids.len()
+    // Deterministic empty-cluster repair: re-seed each empty centroid from
+    // the worst-fitting member of the largest cluster, then re-assign. A
+    // cluster that stays empty through `nlist` repair passes means the
+    // corpus has fewer distinct vectors than lists — a typed error, not a
+    // degenerate centroid that searches would silently probe.
+    for pass in 0..=nlist {
+        let mut counts = vec![0usize; nlist];
+        for &a in &assignments {
+            counts[a] += 1;
+        }
+        let empty: Vec<usize> = (0..nlist).filter(|&c| counts[c] == 0).collect();
+        if empty.is_empty() {
+            break;
+        }
+        if pass == nlist {
+            return Err(IndexError::EmptyCluster { list: empty[0] });
+        }
+        for c in empty {
+            let donor = (0..nlist).max_by_key(|&d| counts[d]).expect("nlist >= 1");
+            if counts[donor] <= 1 {
+                return Err(IndexError::EmptyCluster { list: c });
+            }
+            // Worst-fitting member: lowest similarity to the donor centroid,
+            // lowest row on ties.
+            let row = assignments
+                .iter()
+                .enumerate()
+                .filter(|(_, &a)| a == donor)
+                .map(|(row, _)| {
+                    (
+                        row,
+                        dot(&centroids[donor * dim..(donor + 1) * dim], &data[row].1),
+                    )
+                })
+                .min_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)))
+                .map(|(row, _)| row)
+                .expect("donor is non-empty");
+            centroids[c * dim..(c + 1) * dim].copy_from_slice(&data[row].1);
+            counts[donor] -= 1;
+            counts[c] += 1;
+            assignments[row] = c;
+        }
+        assignments = data
+            .par_iter()
+            .map(|(_, v)| nearest_centroid(&centroids, dim, v))
+            .collect();
     }
+
+    Ok((centroids, assignments))
 }
 
 /// IVF approximate index: k-means centroids + inverted lists.
@@ -231,82 +457,40 @@ pub struct IvfIndex {
     lists: Vec<Vec<usize>>,
     ids: Vec<usize>,
     vectors: Vec<f32>,
+    gpu: Option<GpuExecutor>,
+    /// Cached device-resident centroid matrix (uploaded lazily, one charged
+    /// H2D). Centroids are immutable after training, so `add` never
+    /// invalidates it.
+    device_centroids: Mutex<Option<Arc<DeviceTensor>>>,
+}
+
+impl std::fmt::Debug for IvfIndex {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("IvfIndex")
+            .field("dim", &self.dim)
+            .field("nlist", &self.lists.len())
+            .field("nprobe", &self.nprobe)
+            .field("len", &self.ids.len())
+            .field("gpu", &self.gpu.is_some())
+            .finish()
+    }
 }
 
 impl IvfIndex {
     /// Trains the coarse quantizer on `data` and assigns every vector.
     ///
-    /// `nlist` is clamped to the data size; `nprobe` to `nlist`.
+    /// `nprobe` is clamped to `nlist`. Degenerate configurations are typed
+    /// errors: an empty corpus, `nlist > data.len()`, `nlist == 0`, or
+    /// clusters left empty by k-means (see [`IndexError`]).
     pub fn train(
         dim: usize,
         nlist: usize,
         nprobe: usize,
         data: &[(usize, Vec<f32>)],
         seed: u64,
-    ) -> Self {
-        assert!(!data.is_empty(), "cannot train IVF on an empty dataset");
-        let nlist = nlist.clamp(1, data.len());
+    ) -> Result<Self, IndexError> {
+        let (centroids, assignments) = train_coarse(dim, nlist, data, seed)?;
         let nprobe = nprobe.clamp(1, nlist);
-
-        // k-means (Lloyd), seeded init from distinct data points.
-        let mut rng = SmallRng::seed_from_u64(seed);
-        let mut pick: Vec<usize> = (0..data.len()).collect();
-        pick.shuffle(&mut rng);
-        let mut centroids: Vec<f32> = pick[..nlist]
-            .iter()
-            .flat_map(|&i| data[i].1.iter().copied())
-            .collect();
-
-        let assign = |centroids: &[f32], v: &[f32]| -> usize {
-            let mut best = 0usize;
-            let mut best_score = f32::NEG_INFINITY;
-            for c in 0..centroids.len() / dim {
-                let score: f32 = centroids[c * dim..(c + 1) * dim]
-                    .iter()
-                    .zip(v)
-                    .map(|(a, b)| a * b)
-                    .sum();
-                if score > best_score {
-                    best_score = score;
-                    best = c;
-                }
-            }
-            best
-        };
-
-        let mut assignments = vec![0usize; data.len()];
-        for _ in 0..10 {
-            // Assignment step.
-            let new_assignments: Vec<usize> = data
-                .par_iter()
-                .map(|(_, v)| assign(&centroids, v))
-                .collect();
-            let changed = new_assignments != assignments;
-            assignments = new_assignments;
-            // Update step (mean, renormalized — vectors are unit length).
-            let mut sums = vec![0.0f32; nlist * dim];
-            let mut counts = vec![0usize; nlist];
-            for ((_, v), &a) in data.iter().zip(&assignments) {
-                counts[a] += 1;
-                for (s, x) in sums[a * dim..(a + 1) * dim].iter_mut().zip(v) {
-                    *s += x;
-                }
-            }
-            for c in 0..nlist {
-                if counts[c] == 0 {
-                    continue; // keep the old centroid for empty clusters
-                }
-                let slice = &mut sums[c * dim..(c + 1) * dim];
-                let norm = slice.iter().map(|x| x * x).sum::<f32>().sqrt();
-                if norm > 0.0 {
-                    slice.iter_mut().for_each(|x| *x /= norm);
-                }
-                centroids[c * dim..(c + 1) * dim].copy_from_slice(slice);
-            }
-            if !changed {
-                break;
-            }
-        }
 
         // Build inverted lists.
         let mut lists = vec![Vec::new(); nlist];
@@ -318,14 +502,25 @@ impl IvfIndex {
             lists[a].push(row);
         }
 
-        Self {
+        Ok(Self {
             dim,
             nprobe,
             centroids,
             lists,
             ids,
             vectors,
-        }
+            gpu: None,
+            device_centroids: Mutex::new(None),
+        })
+    }
+
+    /// Routes centroid scoring through a simulated GPU: the centroid matrix
+    /// is cached device-resident and queries are scored with the same
+    /// batched kernels as [`FlatIndex`], so the server's micro-batcher no
+    /// longer rebuilds per-query centroid work.
+    pub fn with_gpu(mut self, gpu: GpuExecutor) -> Self {
+        self.gpu = Some(gpu);
+        self
     }
 
     /// Number of inverted lists.
@@ -355,65 +550,119 @@ impl IvfIndex {
         };
         probed as f64 / self.ids.len().max(1) as f64
     }
-}
 
-impl VectorIndex for IvfIndex {
-    fn add(&mut self, doc_id: usize, vector: Vec<f32>) {
-        assert_eq!(vector.len(), self.dim, "vector dim mismatch");
-        // Assign to the nearest centroid.
-        let mut best = 0usize;
-        let mut best_score = f32::NEG_INFINITY;
-        for c in 0..self.nlist() {
-            let score: f32 = self.centroids[c * self.dim..(c + 1) * self.dim]
-                .iter()
-                .zip(&vector)
-                .map(|(a, b)| a * b)
-                .sum();
-            if score > best_score {
-                best_score = score;
-                best = c;
-            }
-        }
-        let row = self.ids.len();
-        self.ids.push(doc_id);
-        self.vectors.extend(vector);
-        self.lists[best].push(row);
+    /// The cached device-resident centroid matrix.
+    fn centroid_matrix(&self) -> Arc<DeviceTensor> {
+        let gpu = self
+            .gpu
+            .as_ref()
+            .expect("centroid matrix requires a GPU index");
+        let mut cached = self
+            .device_centroids
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        cached
+            .get_or_insert_with(|| {
+                let host = Tensor::from_vec(self.nlist(), self.dim, self.centroids.clone())
+                    .expect("centroid shape");
+                Arc::new(gpu.upload(&host).expect("centroids fit on device"))
+            })
+            .clone()
     }
 
-    fn search(&self, query: &[f32], k: usize) -> Vec<SearchHit> {
-        assert_eq!(query.len(), self.dim, "query dim mismatch");
-        if self.ids.is_empty() {
-            return Vec::new();
-        }
-        // Rank centroids by similarity, probe the top nprobe lists.
-        let mut centroid_scores: Vec<(usize, f32)> = (0..self.nlist())
-            .map(|c| {
-                let score: f32 = self.centroids[c * self.dim..(c + 1) * self.dim]
-                    .iter()
-                    .zip(query)
-                    .map(|(a, b)| a * b)
-                    .sum();
-                (c, score)
-            })
-            .collect();
-        centroid_scores.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+    fn host_centroid_scores(&self, query: &[f32]) -> Vec<f32> {
+        (0..self.nlist())
+            .map(|c| dot(&self.centroids[c * self.dim..(c + 1) * self.dim], query))
+            .collect()
+    }
 
+    /// Probes the `nprobe` best lists given precomputed centroid scores —
+    /// the shared back half of `search` and `search_batch`.
+    fn search_with_centroid_scores(
+        &self,
+        query: &[f32],
+        centroid_scores: &[f32],
+        k: usize,
+    ) -> Vec<SearchHit> {
+        let mut ranked: Vec<(usize, f32)> = centroid_scores.iter().copied().enumerate().collect();
+        ranked.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
         let mut hits = Vec::new();
-        for &(c, _) in centroid_scores.iter().take(self.nprobe) {
+        for &(c, _) in ranked.iter().take(self.nprobe) {
             for &row in &self.lists[c] {
                 let v = &self.vectors[row * self.dim..(row + 1) * self.dim];
-                let score: f32 = v.iter().zip(query).map(|(a, b)| a * b).sum();
                 hits.push(SearchHit {
                     doc_id: self.ids[row],
-                    score,
+                    score: dot(v, query),
                 });
             }
         }
         top_k(hits, k)
     }
+}
+
+impl RetrievalIndex for IvfIndex {
+    fn search(&self, query: &[f32], k: usize) -> Vec<SearchHit> {
+        assert_eq!(query.len(), self.dim, "query dim mismatch");
+        if self.ids.is_empty() {
+            return Vec::new();
+        }
+        let centroid_scores = match &self.gpu {
+            Some(gpu) => {
+                let mat = self.centroid_matrix();
+                gpu.score_rows(&*mat, query).expect("gpu centroid scoring")
+            }
+            None => self.host_centroid_scores(query),
+        };
+        self.search_with_centroid_scores(query, &centroid_scores, k)
+    }
+
+    /// Batched centroid scoring through the cached device matrix, mirroring
+    /// [`FlatIndex`]'s batch path: all queries score against the resident
+    /// centroids in chunked double-buffered launches, then each probes its
+    /// lists. Hits are bit-identical to per-query [`RetrievalIndex::search`].
+    fn search_batch(&self, queries: &[Vec<f32>], k: usize) -> Vec<Vec<SearchHit>> {
+        for q in queries {
+            assert_eq!(q.len(), self.dim, "query dim mismatch");
+        }
+        if self.ids.is_empty() || queries.is_empty() {
+            return queries.iter().map(|_| Vec::new()).collect();
+        }
+        let per_query: Vec<Vec<f32>> = match &self.gpu {
+            Some(gpu) => {
+                let mat = self.centroid_matrix();
+                gpu.score_rows_batch(&*mat, queries)
+                    .expect("gpu centroid scoring")
+            }
+            None => queries
+                .iter()
+                .map(|q| self.host_centroid_scores(q))
+                .collect(),
+        };
+        queries
+            .iter()
+            .zip(per_query)
+            .map(|(q, scores)| self.search_with_centroid_scores(q, &scores, k))
+            .collect()
+    }
 
     fn len(&self) -> usize {
         self.ids.len()
+    }
+
+    fn device_bytes(&self) -> u64 {
+        // Centroids plus the full-precision vectors the probed lists scan.
+        4 * (self.centroids.len() + self.vectors.len()) as u64
+    }
+}
+
+impl VectorIndex for IvfIndex {
+    fn add(&mut self, doc_id: usize, vector: Vec<f32>) {
+        assert_eq!(vector.len(), self.dim, "vector dim mismatch");
+        let best = nearest_centroid(&self.centroids, self.dim, &vector);
+        let row = self.ids.len();
+        self.ids.push(doc_id);
+        self.vectors.extend(vector);
+        self.lists[best].push(row);
     }
 }
 
@@ -562,7 +811,8 @@ mod tests {
         for (id, v) in &data {
             flat.add(*id, v.clone());
         }
-        let ivf = IvfIndex::train(96, 8, 8, &data, 1); // probe every list
+        // Probe every list.
+        let ivf = IvfIndex::train(96, 8, 8, &data, 1).expect("trains");
         let q = &data[11].1;
         let exact = flat.search(q, 10);
         let approx = ivf.search(q, 10);
@@ -576,7 +826,7 @@ mod tests {
         for (id, v) in &data {
             flat.add(*id, v.clone());
         }
-        let mut ivf = IvfIndex::train(96, 16, 16, &data, 2);
+        let mut ivf = IvfIndex::train(96, 16, 16, &data, 2).expect("trains");
         ivf.set_nprobe(2);
         assert!(
             ivf.scan_fraction() < 0.3,
@@ -598,14 +848,105 @@ mod tests {
     }
 
     #[test]
+    fn ivf_train_rejects_degenerate_configs_with_typed_errors() {
+        let (_, _, data) = indexed_corpus(10);
+        // Empty corpus.
+        assert_eq!(
+            IvfIndex::train(96, 4, 4, &[], 1).unwrap_err(),
+            IndexError::EmptyTrainingSet
+        );
+        // More lists than vectors (used to be silently clamped).
+        assert_eq!(
+            IvfIndex::train(96, 11, 4, &data, 1).unwrap_err(),
+            IndexError::NlistExceedsCorpus {
+                nlist: 11,
+                corpus: 10
+            }
+        );
+        // Zero lists.
+        assert_eq!(
+            IvfIndex::train(96, 0, 1, &data, 1).unwrap_err(),
+            IndexError::ZeroClusters
+        );
+    }
+
+    #[test]
+    fn ivf_train_rejects_unrepairable_empty_clusters() {
+        // Eight copies of the same vector with four lists: every repair
+        // re-seeds an identical centroid and assignment collapses back to
+        // list 0, so training must surface the empty cluster instead of
+        // returning degenerate centroids.
+        let (_, embedder, _) = indexed_corpus(1);
+        let v = embedder.embed("identical document text");
+        let data: Vec<(usize, Vec<f32>)> = (0..8).map(|i| (i, v.clone())).collect();
+        let err = IvfIndex::train(96, 4, 4, &data, 1).unwrap_err();
+        assert!(
+            matches!(err, IndexError::EmptyCluster { .. }),
+            "expected EmptyCluster, got {err:?}"
+        );
+    }
+
+    #[test]
+    fn ivf_train_repairs_recoverable_empty_clusters() {
+        // Two tight groups of distinct vectors with four lists: k-means
+        // wants two clusters, so two lists start empty; the deterministic
+        // re-seeding must fill them from the crowded lists.
+        let (_, embedder, _) = indexed_corpus(1);
+        let data: Vec<(usize, Vec<f32>)> = (0..12)
+            .map(|i| {
+                let topic = i % 2;
+                (i, embedder.embed(&format!("topic {topic} variant {i}")))
+            })
+            .collect();
+        let ivf = IvfIndex::train(96, 4, 4, &data, 1).expect("repair succeeds");
+        assert!(
+            ivf.lists.iter().all(|l| !l.is_empty()),
+            "every list must own at least one vector: {:?}",
+            ivf.lists.iter().map(|l| l.len()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
     fn ivf_add_after_train_is_searchable() {
         let (_, embedder, data) = indexed_corpus(20);
-        let mut ivf = IvfIndex::train(96, 4, 4, &data, 3);
+        let mut ivf = IvfIndex::train(96, 4, 4, &data, 3).expect("trains");
         let new_vec = embedder.embed("kernel kernel kernel occupancy warp");
         ivf.add(999, new_vec.clone());
         assert_eq!(ivf.len(), 21);
         let hits = ivf.search(&new_vec, 1);
         assert_eq!(hits[0].doc_id, 999);
+    }
+
+    #[test]
+    fn ivf_batch_search_matches_per_query_on_cpu_and_gpu() {
+        use gpu_sim::{DeviceSpec, Gpu};
+        use std::sync::Arc;
+        let (_, embedder, data) = indexed_corpus(60);
+        let cpu = IvfIndex::train(96, 8, 3, &data, 5).expect("trains");
+        let gpu_exec = GpuExecutor::new(Arc::new(Gpu::new(0, DeviceSpec::t4())));
+        let gpu = IvfIndex::train(96, 8, 3, &data, 5)
+            .expect("trains")
+            .with_gpu(gpu_exec.clone());
+        let queries: Vec<Vec<f32>> = (0..12)
+            .map(|i| embedder.embed(&Corpus::topic_query(i % 5, 6, i as u64)))
+            .collect();
+        let cpu_batch = cpu.search_batch(&queries, 5);
+        let gpu_batch = gpu.search_batch(&queries, 5);
+        for (i, q) in queries.iter().enumerate() {
+            assert_eq!(cpu_batch[i], cpu.search(q, 5), "cpu query {i}");
+            assert_eq!(gpu_batch[i], gpu.search(q, 5), "gpu query {i}");
+        }
+        assert_eq!(cpu_batch, gpu_batch, "device centroid scoring drifted");
+        assert!(
+            gpu_exec.gpu().now_ns() > 0,
+            "batched centroid scoring must charge the device"
+        );
+        // The centroid matrix upload happens once: batch + per-query reuse it.
+        let h2d = gpu_exec.residency_snapshot().h2d_bytes;
+        gpu.search_batch(&queries, 5);
+        let h2d_after = gpu_exec.residency_snapshot().h2d_bytes;
+        // Only query payloads cross again, not the centroid matrix.
+        assert!(h2d_after - h2d < 4 * (8 * 96) as u64 + 12 * 4 * 96 + 1);
     }
 
     #[test]
@@ -663,6 +1004,43 @@ mod tests {
     }
 
     #[test]
+    fn merge_tree_matches_top_k_of_concatenation() {
+        use rand::rngs::SmallRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(17);
+        for trial in 0..40 {
+            let shards = rng.gen_range(1..6usize);
+            let k = rng.gen_range(0..12usize);
+            let mut next_doc = 0usize;
+            let lists: Vec<Vec<SearchHit>> = (0..shards)
+                .map(|_| {
+                    let n = rng.gen_range(0..20usize);
+                    let hits: Vec<SearchHit> = (0..n)
+                        .map(|_| {
+                            let doc_id = next_doc;
+                            next_doc += 1;
+                            SearchHit {
+                                doc_id,
+                                // Coarse grid to force score ties across shards.
+                                score: (rng.gen_range(-4..4i32) as f32) / 2.0,
+                            }
+                        })
+                        .collect();
+                    top_k(hits, k)
+                })
+                .collect();
+            let concatenated: Vec<SearchHit> = lists.iter().flatten().copied().collect();
+            assert_eq!(
+                merge_top_k(lists.clone(), k),
+                top_k(concatenated, k),
+                "trial {trial}, shards {shards}, k {k}"
+            );
+        }
+        assert!(merge_top_k(vec![], 3).is_empty());
+        assert!(merge_top_k(vec![vec![], vec![]], 0).is_empty());
+    }
+
+    #[test]
     fn nan_scores_do_not_panic_and_keep_finite_order() {
         // Regression: `partial_cmp(...).expect("finite")` panicked here.
         let hits = vec![
@@ -700,7 +1078,7 @@ mod tests {
         for (id, v) in &data {
             flat.add(*id, v.clone());
         }
-        let mut ivf = IvfIndex::train(96, 16, 1, &data, 2);
+        let mut ivf = IvfIndex::train(96, 16, 1, &data, 2).expect("trains");
         let queries: Vec<&Vec<f32>> = (0..10).map(|i| &data[i * 17].1).collect();
         let exact: Vec<Vec<SearchHit>> = queries.iter().map(|q| flat.search(q, 5)).collect();
         let mut prev = -1.0;
@@ -731,12 +1109,24 @@ mod tests {
         for (id, v) in &data {
             flat.add(*id, v.clone());
         }
-        let ivf = IvfIndex::train(96, 8, 8, &data, 5);
+        let ivf = IvfIndex::train(96, 8, 8, &data, 5).expect("trains");
         assert_eq!(ivf.nprobe(), ivf.nlist());
         for i in 0..12 {
             let q = &data[i * 5].1;
             assert_eq!(flat.search(q, 10), ivf.search(q, 10), "query {i}");
         }
+    }
+
+    #[test]
+    fn device_bytes_reflect_index_layouts() {
+        let (_, _, data) = indexed_corpus(40);
+        let mut flat = FlatIndex::new(96);
+        for (id, v) in &data {
+            flat.add(*id, v.clone());
+        }
+        assert_eq!(flat.device_bytes(), 4 * 40 * 96);
+        let ivf = IvfIndex::train(96, 8, 4, &data, 1).expect("trains");
+        assert_eq!(ivf.device_bytes(), 4 * (8 * 96 + 40 * 96));
     }
 
     #[test]

@@ -22,6 +22,13 @@
 //! - [`generate`] — a bigram Markov "small LLM" whose decode cost is
 //!   charged to the GPU per token (the latency shape of autoregressive
 //!   generation).
+//! - [`pq`] — product quantization: trained per-subspace codebooks,
+//!   asymmetric-distance (ADC) tables, and [`pq::IvfPqIndex`] whose coded
+//!   lists live in pooled device memory — corpora far larger than device
+//!   memory stay resident (the FAISS `IndexIVFPQ` design).
+//! - [`shard`] — [`shard::ShardedIndex`]: inverted lists partitioned
+//!   across a simulated multi-GPU cluster with taskflow scatter-gather
+//!   search and an order-stable top-k merge tree.
 //! - [`bm25`] — Okapi BM25 lexical retrieval and reciprocal-rank fusion,
 //!   the hybrid-retrieval extension the optimization assignment invites.
 //! - [`pipeline`] — the end-to-end RAG service: retrieve → assemble
@@ -36,10 +43,13 @@
 pub mod bm25;
 pub mod corpus;
 pub mod embed;
+pub mod error;
 pub mod generate;
 pub mod index;
 pub mod pipeline;
+pub mod pq;
 pub mod serve;
+pub mod shard;
 pub mod tokenize;
 
 /// Convenient glob-import of the crate's primary types.
@@ -47,12 +57,17 @@ pub mod prelude {
     pub use crate::bm25::{reciprocal_rank_fusion, Bm25Index};
     pub use crate::corpus::{Corpus, Document};
     pub use crate::embed::Embedder;
+    pub use crate::error::IndexError;
     pub use crate::generate::MarkovGenerator;
-    pub use crate::index::{FlatIndex, IvfIndex, SearchHit, VectorIndex};
+    pub use crate::index::{
+        recall_at_k, FlatIndex, IvfIndex, RetrievalIndex, SearchHit, VectorIndex,
+    };
     pub use crate::pipeline::{LatencyReport, RagPipeline, RagResponse};
+    pub use crate::pq::{IvfPqIndex, PqCodebook, PqConfig};
     pub use crate::serve::{
         CacheStats, RagServer, ResponseHandle, RetrievalCache, ServeError, ServedResponse,
         ServerConfig, ServerReport,
     };
+    pub use crate::shard::{ShardPlan, ShardedIndex};
     pub use crate::tokenize::tokenize;
 }

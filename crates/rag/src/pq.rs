@@ -1,0 +1,918 @@
+//! Product quantization: compressed vector codes + asymmetric distance.
+//!
+//! A [`PqCodebook`] splits the embedding into `m` subspaces and trains a
+//! `ksub = 2^nbits` centroid codebook per subspace (k-means), so a
+//! full-precision `dim × f32` vector compresses to `m` one-byte codes —
+//! the FAISS `IndexIVFPQ` layout that lets a corpus ~100× larger than
+//! device memory stay resident. Queries are *not* quantized: search
+//! builds an asymmetric-distance-computation (ADC) table of
+//! `m × ksub` partial inner products once per query, then scores each
+//! coded vector with `m` table lookups instead of `dim` multiplies.
+//!
+//! [`IvfPqIndex`] combines the coarse quantizer from
+//! `crate::index::train_coarse` with PQ-coded inverted lists. Codes
+//! quantize the coarse *residual* `v − centroid[list]` (the FAISS
+//! `IndexIVFPQ` design): residuals are small and tightly clustered, so
+//! the shared codebook resolves fine within-list structure, and a row
+//! scores as `query·centroid + adc(residual codes)` with the first term
+//! reused from the probe stage for free. When a
+//! [`GpuExecutor`] is attached, the coarse centroids and the codebook
+//! live on device as [`DeviceTensor`]s, per-list codes are pinned in
+//! pooled device memory (charged through the residency layer), and the
+//! table build + list scans are priced as kernels on the simulated
+//! command stream — while the host arithmetic stays the byte-for-byte
+//! same expression as the CPU path, so hits are bit-identical.
+
+use crate::error::IndexError;
+use crate::index::{top_k, RetrievalIndex, SearchHit};
+use gpu_sim::pool::PoolLease;
+use gpu_sim::{AccessPattern, KernelProfile, LaunchConfig, LaunchSpec};
+use rand::prelude::*;
+use rand::rngs::SmallRng;
+use sagegpu_tensor::dense::Tensor;
+use sagegpu_tensor::gpu_exec::GpuExecutor;
+use sagegpu_tensor::residency::DeviceTensor;
+use sagegpu_tensor::TensorError;
+use std::sync::Arc;
+
+/// Product-quantization layout: `m` subquantizers of `nbits` each.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PqConfig {
+    /// Number of subquantizers; must divide the embedding dimension.
+    pub m: usize,
+    /// Bits per code; `1..=8` so a code fits one byte.
+    pub nbits: u32,
+}
+
+impl PqConfig {
+    pub fn new(m: usize, nbits: u32) -> Self {
+        Self { m, nbits }
+    }
+
+    /// Codebook entries per subspace.
+    pub fn ksub(&self) -> usize {
+        1usize << self.nbits
+    }
+
+    /// Checks the layout against an embedding dimension.
+    pub fn validate(&self, dim: usize) -> Result<(), IndexError> {
+        let fail = |reason: &'static str| IndexError::BadPqConfig {
+            dim,
+            m: self.m,
+            nbits: self.nbits,
+            reason,
+        };
+        if self.m == 0 {
+            return Err(fail("m must be at least 1"));
+        }
+        if dim == 0 || !dim.is_multiple_of(self.m) {
+            return Err(fail("m must divide dim"));
+        }
+        if self.nbits == 0 || self.nbits > 8 {
+            return Err(fail("nbits must be in 1..=8"));
+        }
+        Ok(())
+    }
+}
+
+/// Trained per-subspace centroids.
+#[derive(Debug, Clone)]
+pub struct PqCodebook {
+    dim: usize,
+    m: usize,
+    ksub: usize,
+    dsub: usize,
+    /// Subspace-major: `centroids[s * ksub * dsub ..]` is subspace `s`'s
+    /// `ksub × dsub` codebook.
+    centroids: Vec<f32>,
+}
+
+/// Squared L2 distance between a subvector and a codebook entry — the
+/// quantizer's assignment metric (codes minimize reconstruction error;
+/// the *search* metric stays inner product via the ADC table).
+#[inline]
+fn l2(a: &[f32], b: &[f32]) -> f32 {
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| {
+            let d = x - y;
+            d * d
+        })
+        .sum()
+}
+
+impl PqCodebook {
+    /// Trains one k-means codebook per subspace on the corpus vectors.
+    ///
+    /// When a subspace has no more distinct subvectors than `ksub`, the
+    /// distinct values *are* the codebook (padded with duplicates) — the
+    /// lossless configuration a tiny corpus hits, where
+    /// `decode(encode(v)) == v` exactly. Otherwise seeded Lloyd k-means
+    /// runs per subspace; empty PQ clusters are harmless unused codes.
+    pub fn train(
+        dim: usize,
+        cfg: PqConfig,
+        data: &[(usize, Vec<f32>)],
+        seed: u64,
+    ) -> Result<Self, IndexError> {
+        cfg.validate(dim)?;
+        if data.is_empty() {
+            return Err(IndexError::EmptyTrainingSet);
+        }
+        for (_, v) in data {
+            if v.len() != dim {
+                return Err(IndexError::DimMismatch {
+                    expected: dim,
+                    got: v.len(),
+                });
+            }
+        }
+        let (m, ksub) = (cfg.m, cfg.ksub());
+        let dsub = dim / m;
+        let mut centroids = vec![0.0f32; m * ksub * dsub];
+        for s in 0..m {
+            let subs: Vec<&[f32]> = data
+                .iter()
+                .map(|(_, v)| &v[s * dsub..(s + 1) * dsub])
+                .collect();
+            let book = &mut centroids[s * ksub * dsub..(s + 1) * ksub * dsub];
+            train_subspace(&subs, ksub, dsub, seed.wrapping_add(s as u64), book);
+        }
+        Ok(Self {
+            dim,
+            m,
+            ksub,
+            dsub,
+            centroids,
+        })
+    }
+
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    pub fn m(&self) -> usize {
+        self.m
+    }
+
+    pub fn ksub(&self) -> usize {
+        self.ksub
+    }
+
+    pub fn dsub(&self) -> usize {
+        self.dsub
+    }
+
+    /// Raw centroid storage (`m × ksub × dsub`, subspace-major).
+    pub fn centroids(&self) -> &[f32] {
+        &self.centroids
+    }
+
+    fn entry(&self, s: usize, code: usize) -> &[f32] {
+        let base = (s * self.ksub + code) * self.dsub;
+        &self.centroids[base..base + self.dsub]
+    }
+
+    /// Quantizes a vector to `m` one-byte codes (nearest centroid per
+    /// subspace under L2; ties break to the lowest code).
+    pub fn encode(&self, v: &[f32]) -> Vec<u8> {
+        assert_eq!(v.len(), self.dim, "vector dim mismatch");
+        (0..self.m)
+            .map(|s| {
+                let sub = &v[s * self.dsub..(s + 1) * self.dsub];
+                let mut best = 0usize;
+                let mut best_d = f32::INFINITY;
+                for c in 0..self.ksub {
+                    let d = l2(sub, self.entry(s, c));
+                    if d < best_d {
+                        best_d = d;
+                        best = c;
+                    }
+                }
+                best as u8
+            })
+            .collect()
+    }
+
+    /// Reconstructs the full-precision vector a code represents.
+    pub fn decode(&self, codes: &[u8]) -> Vec<f32> {
+        assert_eq!(codes.len(), self.m, "code length mismatch");
+        let mut out = Vec::with_capacity(self.dim);
+        for (s, &c) in codes.iter().enumerate() {
+            out.extend_from_slice(self.entry(s, c as usize));
+        }
+        out
+    }
+
+    /// Builds the per-query ADC table: `table[s * ksub + c]` is the inner
+    /// product of the query's subspace-`s` slice with centroid `c`, so a
+    /// coded vector scores in `m` lookups.
+    pub fn adc_table(&self, query: &[f32]) -> Vec<f32> {
+        assert_eq!(query.len(), self.dim, "query dim mismatch");
+        let mut table = Vec::with_capacity(self.m * self.ksub);
+        for s in 0..self.m {
+            let qsub = &query[s * self.dsub..(s + 1) * self.dsub];
+            for c in 0..self.ksub {
+                table.push(qsub.iter().zip(self.entry(s, c)).map(|(a, b)| a * b).sum());
+            }
+        }
+        table
+    }
+
+    /// Scores one coded vector against an ADC table (left-to-right sum of
+    /// the `m` partial products — the single expression shared by CPU and
+    /// GPU scan paths).
+    #[inline]
+    pub fn adc_score(table: &[f32], ksub: usize, codes: &[u8]) -> f32 {
+        codes
+            .iter()
+            .enumerate()
+            .map(|(s, &c)| table[s * ksub + c as usize])
+            .sum()
+    }
+}
+
+/// Per-subspace trainer: direct codebook when distinct subvectors fit in
+/// `ksub`, seeded Lloyd k-means otherwise. Writes into `book`
+/// (`ksub × dsub`).
+fn train_subspace(subs: &[&[f32]], ksub: usize, dsub: usize, seed: u64, book: &mut [f32]) {
+    // Distinct subvectors by bit pattern, first-occurrence order.
+    let mut seen = std::collections::HashSet::new();
+    let mut distinct: Vec<&[f32]> = Vec::new();
+    for &sub in subs {
+        let key: Vec<u32> = sub.iter().map(|x| x.to_bits()).collect();
+        if seen.insert(key) {
+            distinct.push(sub);
+        }
+    }
+    if distinct.len() <= ksub {
+        // Lossless configuration: the distinct values are the codebook.
+        // Pad unused codes with the last value; ties encode to the lowest
+        // code, so duplicates are never emitted.
+        for c in 0..ksub {
+            let src = distinct[c.min(distinct.len() - 1)];
+            book[c * dsub..(c + 1) * dsub].copy_from_slice(src);
+        }
+        return;
+    }
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut pick: Vec<usize> = (0..distinct.len()).collect();
+    pick.shuffle(&mut rng);
+    for (c, &i) in pick[..ksub].iter().enumerate() {
+        book[c * dsub..(c + 1) * dsub].copy_from_slice(distinct[i]);
+    }
+    let mut assignments = vec![0usize; subs.len()];
+    for _ in 0..10 {
+        let mut changed = false;
+        for (i, sub) in subs.iter().enumerate() {
+            let mut best = 0usize;
+            let mut best_d = f32::INFINITY;
+            for c in 0..ksub {
+                let d = l2(sub, &book[c * dsub..(c + 1) * dsub]);
+                if d < best_d {
+                    best_d = d;
+                    best = c;
+                }
+            }
+            if assignments[i] != best {
+                assignments[i] = best;
+                changed = true;
+            }
+        }
+        let mut sums = vec![0.0f32; ksub * dsub];
+        let mut counts = vec![0usize; ksub];
+        for (sub, &a) in subs.iter().zip(&assignments) {
+            counts[a] += 1;
+            for (acc, x) in sums[a * dsub..(a + 1) * dsub].iter_mut().zip(*sub) {
+                *acc += x;
+            }
+        }
+        for c in 0..ksub {
+            // Empty PQ clusters keep their old centroid: they are unused
+            // codes, not a correctness hazard like empty inverted lists.
+            if counts[c] == 0 {
+                continue;
+            }
+            for (slot, s) in book[c * dsub..(c + 1) * dsub]
+                .iter_mut()
+                .zip(&sums[c * dsub..(c + 1) * dsub])
+            {
+                *slot = s / counts[c] as f32;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+}
+
+/// Device-resident state for a GPU-attached [`IvfPqIndex`]: coarse
+/// centroids and the codebook as [`DeviceTensor`]s, per-list codes pinned
+/// in pooled device memory. The leases are held for the index lifetime —
+/// scans read resident codes, never re-staging them.
+struct GpuState {
+    exec: GpuExecutor,
+    #[allow(dead_code)] // held resident; the fused coarse kernel reads it
+    centroid_mat: Arc<DeviceTensor>,
+    #[allow(dead_code)] // held for residency; scans read via the codebook
+    codebook_mat: Arc<DeviceTensor>,
+    #[allow(dead_code)] // held so per-list codes stay pinned on device
+    code_leases: Vec<PoolLease>,
+}
+
+/// IVF index over PQ-coded vectors: coarse k-means routing + per-list
+/// `m`-byte codes scored via a per-query ADC table.
+pub struct IvfPqIndex {
+    dim: usize,
+    nprobe: usize,
+    /// Exact re-rank depth: when > 0, the PQ top-`max(refine, k)`
+    /// candidates are re-scored against the full-precision host vectors
+    /// before the final top-k (the FAISS `IndexRefineFlat` recipe).
+    refine: usize,
+    /// Row-major `nlist × dim` coarse centroids.
+    centroids: Vec<f32>,
+    codebook: PqCodebook,
+    /// Inverted lists of row indices.
+    lists: Vec<Vec<usize>>,
+    ids: Vec<usize>,
+    /// Packed codes, `len × m`.
+    codes: Vec<u8>,
+    /// Row-major full-precision copy, host-resident only — the refine
+    /// source. Never uploaded; `device_bytes` counts codes, not this.
+    host_vectors: Vec<f32>,
+    /// doc id → row, for refine lookups on merged candidate lists.
+    row_of: std::collections::HashMap<usize, usize>,
+    gpu: Option<GpuState>,
+}
+
+/// The residual a list member quantizes to: `v − centroid[list]`. PQ
+/// codes residuals, not raw vectors (the FAISS `IndexIVFPQ` design):
+/// within a list the residuals are small and tightly clustered, so the
+/// shared codebook spends its codes on fine structure instead of
+/// re-describing the coarse centroid every vector already routed through.
+pub(crate) fn residual(v: &[f32], centroid: &[f32]) -> Vec<f32> {
+    v.iter().zip(centroid).map(|(a, b)| a - b).collect()
+}
+
+impl IvfPqIndex {
+    /// Trains the coarse quantizer on `data` and the PQ codebook on the
+    /// coarse *residuals*, then encodes every vector into its inverted
+    /// list.
+    pub fn train(
+        dim: usize,
+        nlist: usize,
+        nprobe: usize,
+        cfg: PqConfig,
+        data: &[(usize, Vec<f32>)],
+        seed: u64,
+    ) -> Result<Self, IndexError> {
+        let (centroids, assignments) = crate::index::train_coarse(dim, nlist, data, seed)?;
+        let residuals: Vec<(usize, Vec<f32>)> = data
+            .iter()
+            .zip(&assignments)
+            .map(|((doc, v), &a)| (*doc, residual(v, &centroids[a * dim..(a + 1) * dim])))
+            .collect();
+        let codebook = PqCodebook::train(dim, cfg, &residuals, seed)?;
+        let entries: Vec<(usize, &[f32], usize)> = data
+            .iter()
+            .zip(&assignments)
+            .map(|((doc, v), &a)| (*doc, v.as_slice(), a))
+            .collect();
+        Ok(Self::from_trained(
+            dim, nlist, nprobe, centroids, codebook, &entries,
+        ))
+    }
+
+    /// Assembles an index from already-trained quantizers — the shard
+    /// construction path, where every shard shares one set of centroids
+    /// and one codebook but encodes only its own `(doc, vector, list)`
+    /// entries.
+    pub(crate) fn from_trained(
+        dim: usize,
+        nlist: usize,
+        nprobe: usize,
+        centroids: Vec<f32>,
+        codebook: PqCodebook,
+        entries: &[(usize, &[f32], usize)],
+    ) -> Self {
+        let m = codebook.m();
+        let mut lists = vec![Vec::new(); nlist];
+        let mut ids = Vec::with_capacity(entries.len());
+        let mut codes = Vec::with_capacity(entries.len() * m);
+        let mut host_vectors = Vec::with_capacity(entries.len() * dim);
+        let mut row_of = std::collections::HashMap::with_capacity(entries.len());
+        for (row, (doc, v, list)) in entries.iter().enumerate() {
+            ids.push(*doc);
+            row_of.insert(*doc, row);
+            host_vectors.extend_from_slice(v);
+            let r = residual(v, &centroids[list * dim..(list + 1) * dim]);
+            codes.extend(codebook.encode(&r));
+            lists[*list].push(row);
+        }
+        Self {
+            dim,
+            nprobe: nprobe.clamp(1, nlist),
+            refine: 0,
+            centroids,
+            codebook,
+            lists,
+            ids,
+            codes,
+            host_vectors,
+            row_of,
+            gpu: None,
+        }
+    }
+
+    /// Enables exact refine: search re-scores the PQ top-`r` candidates
+    /// against the full-precision host vectors before the final top-k.
+    /// `r = 0` keeps pure ADC ranking.
+    pub fn with_refine(mut self, r: usize) -> Self {
+        self.refine = r;
+        self
+    }
+
+    /// The exact re-rank depth (0 when refine is off).
+    pub fn refine(&self) -> usize {
+        self.refine
+    }
+
+    /// Re-scores candidate hits against the full-precision host vectors
+    /// (flat's exact `dot`, so refined scores are bit-identical to an
+    /// exhaustive scan's) and keeps the top-k.
+    pub(crate) fn refine_exact(
+        &self,
+        query: &[f32],
+        candidates: Vec<SearchHit>,
+        k: usize,
+    ) -> Vec<SearchHit> {
+        let rescored = candidates
+            .into_iter()
+            .map(|h| {
+                let row = self.row_of[&h.doc_id];
+                SearchHit {
+                    doc_id: h.doc_id,
+                    score: crate::index::dot(
+                        &self.host_vectors[row * self.dim..(row + 1) * self.dim],
+                        query,
+                    ),
+                }
+            })
+            .collect();
+        top_k(rescored, k)
+    }
+
+    /// Moves the index device-resident: uploads coarse centroids and the
+    /// codebook as [`DeviceTensor`]s (charged H2D) and pins every list's
+    /// packed codes in pooled device memory through the residency layer.
+    pub fn with_gpu(mut self, exec: GpuExecutor) -> Result<Self, IndexError> {
+        let nlist = self.lists.len();
+        let centroid_host = Tensor::from_vec(nlist, self.dim, self.centroids.clone())?;
+        let centroid_mat = Arc::new(exec.upload(&centroid_host)?);
+        let cb = &self.codebook;
+        let codebook_host =
+            Tensor::from_vec(cb.m() * cb.ksub(), cb.dsub(), cb.centroids().to_vec())?;
+        let codebook_mat = Arc::new(exec.upload(&codebook_host)?);
+        // Per-list code uploads: one pooled H2D each, lease held for the
+        // index lifetime so scans hit resident codes.
+        let mut code_leases = Vec::new();
+        for list in &self.lists {
+            let bytes = (list.len() * cb.m()) as u64;
+            if bytes == 0 {
+                continue;
+            }
+            let lease = exec
+                .gpu()
+                .htod_pooled(exec.pool(), bytes)
+                .map_err(TensorError::from)?;
+            exec.residency().add_h2d(bytes);
+            code_leases.push(lease);
+        }
+        self.gpu = Some(GpuState {
+            exec,
+            centroid_mat,
+            codebook_mat,
+            code_leases,
+        });
+        Ok(self)
+    }
+
+    pub fn nlist(&self) -> usize {
+        self.lists.len()
+    }
+
+    pub fn nprobe(&self) -> usize {
+        self.nprobe
+    }
+
+    /// Changes the probe count (clamped to `nlist`).
+    pub fn set_nprobe(&mut self, nprobe: usize) {
+        self.nprobe = nprobe.clamp(1, self.nlist());
+    }
+
+    pub fn codebook(&self) -> &PqCodebook {
+        &self.codebook
+    }
+
+    fn host_centroid_scores(&self, query: &[f32]) -> Vec<f32> {
+        (0..self.nlist())
+            .map(|c| {
+                self.centroids[c * self.dim..(c + 1) * self.dim]
+                    .iter()
+                    .zip(query)
+                    .map(|(a, b)| a * b)
+                    .sum()
+            })
+            .collect()
+    }
+
+    /// The global probe order for `query`: every list id ranked by
+    /// centroid score (ties to the lowest id). Shards rank the *same*
+    /// full centroid set, which is what makes the scattered scan cover
+    /// exactly the lists a single-shard scan probes.
+    fn probe_order(centroid_scores: &[f32]) -> Vec<usize> {
+        let mut ranked: Vec<(usize, f32)> = centroid_scores.iter().copied().enumerate().collect();
+        ranked.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+        ranked.into_iter().map(|(c, _)| c).collect()
+    }
+
+    /// Ranks the coarse centroids for a whole query batch. The GPU path
+    /// is one fused `ivf_coarse_batch` launch (query block H2D, one
+    /// kernel over `b × nlist` dot products, score D2H) — per-*batch*
+    /// fixed cost, not per-query, so the launch overhead does not
+    /// replicate with the batch size. Host arithmetic is the same
+    /// left-to-right sum as the CPU path.
+    fn coarse_scores_batch(&self, queries: &[Vec<f32>]) -> Vec<Vec<f32>> {
+        let host = || -> Vec<Vec<f32>> {
+            queries
+                .iter()
+                .map(|q| self.host_centroid_scores(q))
+                .collect()
+        };
+        match &self.gpu {
+            Some(state) => {
+                let (b, nlist) = (queries.len() as u64, self.nlist() as u64);
+                let dim = self.dim as u64;
+                let query_bytes = 4 * b * dim;
+                let _q = state
+                    .exec
+                    .gpu()
+                    .htod_pooled(state.exec.pool(), query_bytes)
+                    .expect("query upload");
+                state.exec.residency().add_h2d(query_bytes);
+                let cfg = LaunchConfig::for_elements(b * nlist, 256);
+                let profile = KernelProfile {
+                    flops: 2 * b * nlist * dim,
+                    bytes: 4 * (nlist * dim + b * dim + b * nlist),
+                    access: AccessPattern::Coalesced,
+                    registers_per_thread: 32,
+                };
+                let scores: Vec<Vec<f32>> = LaunchSpec::new("ivf_coarse_batch", cfg, profile)
+                    .run(state.exec.gpu(), host)
+                    .expect("coarse scoring kernel");
+                let score_bytes = 4 * b * nlist;
+                let lease = state.exec.pool().lease(score_bytes).expect("score buffer");
+                state
+                    .exec
+                    .gpu()
+                    .dtoh_pooled(&lease)
+                    .expect("score readback");
+                state.exec.residency().add_d2h(score_bytes);
+                scores
+            }
+            None => host(),
+        }
+    }
+
+    /// Builds the ADC tables for a whole query batch. On the GPU path all
+    /// `b` tables come from one `pq_adc_table` launch and stay
+    /// device-resident for the scan; the arithmetic is the same host
+    /// expression either way.
+    fn build_tables(&self, queries: &[Vec<f32>]) -> (Vec<Vec<f32>>, Option<DeviceTensor>) {
+        let cb = &self.codebook;
+        let host = || -> Vec<Vec<f32>> { queries.iter().map(|q| cb.adc_table(q)).collect() };
+        match &self.gpu {
+            Some(state) => {
+                let b = queries.len() as u64;
+                let table_elems = (cb.m() * cb.ksub()) as u64;
+                let cfg = LaunchConfig::for_elements(b * table_elems, 256);
+                let profile = KernelProfile {
+                    flops: 2 * b * table_elems * cb.dsub() as u64,
+                    // Codebook (read once from cache), the query block, and
+                    // the emitted tables.
+                    bytes: 4
+                        * (table_elems * cb.dsub() as u64 + b * self.dim as u64 + b * table_elems),
+                    access: AccessPattern::Coalesced,
+                    registers_per_thread: 32,
+                };
+                let tables: Vec<Vec<f32>> = LaunchSpec::new("pq_adc_table", cfg, profile)
+                    .run(state.exec.gpu(), host)
+                    .expect("adc table kernel");
+                let flat: Vec<f32> = tables.iter().flatten().copied().collect();
+                let host_mat =
+                    Tensor::from_vec(queries.len(), cb.m() * cb.ksub(), flat).expect("table shape");
+                let resident = state
+                    .exec
+                    .alloc_on_device(host_mat)
+                    .expect("adc tables fit on device");
+                (tables, Some(resident))
+            }
+            None => (host(), None),
+        }
+    }
+
+    /// Scans every query's probed lists and selects its top-k. The GPU
+    /// path prices the whole batch as one gather-heavy `pq_adc_scan`
+    /// launch (codes are read at random through the per-query tables),
+    /// one `topk_select` reduction launch, and a read-back of only the
+    /// `b × k` selected hits — so the data-dependent scan volume is the
+    /// term that scales, and it is exactly the work sharding divides.
+    /// Hit scores come from the identical host arithmetic on both paths.
+    fn scan_and_select(
+        &self,
+        per_query_probes: &[Vec<usize>],
+        coarse: &[Vec<f32>],
+        tables: &[Vec<f32>],
+        k: usize,
+    ) -> Vec<Vec<SearchHit>> {
+        let (m, ksub) = (self.codebook.m(), self.codebook.ksub());
+        let scan = || -> Vec<Vec<SearchHit>> {
+            per_query_probes
+                .iter()
+                .zip(coarse)
+                .zip(tables)
+                .map(|((probes, centroid_scores), table)| {
+                    let mut hits = Vec::new();
+                    for &list in probes {
+                        // Codes are residuals off the list centroid, so a
+                        // row's score is the query·centroid part (already
+                        // computed by the coarse stage) plus the ADC part.
+                        let bias = centroid_scores[list];
+                        for &row in &self.lists[list] {
+                            let codes = &self.codes[row * m..(row + 1) * m];
+                            hits.push(SearchHit {
+                                doc_id: self.ids[row],
+                                score: bias + PqCodebook::adc_score(table, ksub, codes),
+                            });
+                        }
+                    }
+                    hits
+                })
+                .collect()
+        };
+        match &self.gpu {
+            Some(state) => {
+                let b = per_query_probes.len() as u64;
+                let scanned: u64 = per_query_probes
+                    .iter()
+                    .flat_map(|probes| probes.iter().map(|&l| self.lists[l].len() as u64))
+                    .sum();
+                if scanned == 0 {
+                    return vec![Vec::new(); per_query_probes.len()];
+                }
+                let cfg = LaunchConfig::for_elements(scanned, 256);
+                let profile = KernelProfile {
+                    flops: scanned * m as u64,
+                    // Codes (1 byte each), the resident tables, and the
+                    // raw scores left on device for selection.
+                    bytes: scanned * m as u64 + 4 * b * (m * ksub) as u64 + 4 * scanned,
+                    access: AccessPattern::Random,
+                    registers_per_thread: 32,
+                };
+                let all_hits: Vec<Vec<SearchHit>> = LaunchSpec::new("pq_adc_scan", cfg, profile)
+                    .run(state.exec.gpu(), scan)
+                    .expect("adc scan kernel");
+                // Device-side top-k selection: one coalesced sweep of the
+                // raw scores emitting b×k (doc, score) pairs, so only the
+                // selected hits cross the host link.
+                let sel_cfg = LaunchConfig::for_elements(scanned, 256);
+                let sel_profile = KernelProfile {
+                    flops: scanned,
+                    bytes: 4 * scanned + 8 * b * k as u64,
+                    access: AccessPattern::Coalesced,
+                    registers_per_thread: 32,
+                };
+                let selected: Vec<Vec<SearchHit>> =
+                    LaunchSpec::new("topk_select", sel_cfg, sel_profile)
+                        .run(state.exec.gpu(), move || {
+                            all_hits.into_iter().map(|h| top_k(h, k)).collect()
+                        })
+                        .expect("top-k select kernel");
+                let hit_bytes: u64 = selected.iter().map(|h| 8 * h.len() as u64).sum();
+                if hit_bytes > 0 {
+                    let lease = state.exec.pool().lease(hit_bytes).expect("hit buffer");
+                    state.exec.gpu().dtoh_pooled(&lease).expect("hit readback");
+                    state.exec.residency().add_d2h(hit_bytes);
+                }
+                selected
+            }
+            None => scan().into_iter().map(|h| top_k(h, k)).collect(),
+        }
+    }
+}
+
+impl RetrievalIndex for IvfPqIndex {
+    fn search(&self, query: &[f32], k: usize) -> Vec<SearchHit> {
+        assert_eq!(query.len(), self.dim, "query dim mismatch");
+        self.search_batch(std::slice::from_ref(&query.to_vec()), k)
+            .pop()
+            .unwrap_or_default()
+    }
+
+    /// Batched search: coarse ranking, table build, list scan, and top-k
+    /// selection each run as one launch for the whole batch, so fixed
+    /// launch/transfer costs amortize across queries and the scanned-row
+    /// volume dominates. Hits are bit-identical to per-query
+    /// [`RetrievalIndex::search`] — per-query arithmetic never depends on
+    /// the batch it rode in on.
+    fn search_batch(&self, queries: &[Vec<f32>], k: usize) -> Vec<Vec<SearchHit>> {
+        for q in queries {
+            assert_eq!(q.len(), self.dim, "query dim mismatch");
+        }
+        if self.ids.is_empty() || queries.is_empty() {
+            return queries.iter().map(|_| Vec::new()).collect();
+        }
+        let coarse = self.coarse_scores_batch(queries);
+        let per_query_probes: Vec<Vec<usize>> = coarse
+            .iter()
+            .map(|scores| {
+                Self::probe_order(scores)
+                    .into_iter()
+                    .take(self.nprobe)
+                    .collect()
+            })
+            .collect();
+        let (tables, _resident) = self.build_tables(queries);
+        if self.refine == 0 {
+            return self.scan_and_select(&per_query_probes, &coarse, &tables, k);
+        }
+        // Refine: pull a deeper PQ candidate list, then re-rank it with
+        // exact host-side scores.
+        let deep = self.refine.max(k);
+        let candidates = self.scan_and_select(&per_query_probes, &coarse, &tables, deep);
+        queries
+            .iter()
+            .zip(candidates)
+            .map(|(q, cands)| self.refine_exact(q, cands, k))
+            .collect()
+    }
+
+    fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    fn device_bytes(&self) -> u64 {
+        // Coarse centroids + codebook (f32) + packed codes (1 byte each):
+        // the compression headline against a flat `4 · len · dim` matrix.
+        4 * self.centroids.len() as u64
+            + 4 * self.codebook.centroids().len() as u64
+            + self.codes.len() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::Corpus;
+    use crate::embed::Embedder;
+    use crate::index::{recall_at_k, FlatIndex, VectorIndex};
+
+    fn corpus_data(n: usize) -> (Embedder, Vec<(usize, Vec<f32>)>) {
+        let corpus = Corpus::synthetic(n, 80, 3);
+        let embedder = Embedder::new(96, 11);
+        let data = corpus
+            .docs()
+            .iter()
+            .map(|d| (d.id, embedder.embed(&d.text)))
+            .collect();
+        (embedder, data)
+    }
+
+    #[test]
+    fn config_validation_rejects_bad_layouts() {
+        assert!(matches!(
+            PqConfig::new(7, 8).validate(96).unwrap_err(),
+            IndexError::BadPqConfig { .. }
+        ));
+        assert!(matches!(
+            PqConfig::new(0, 8).validate(96).unwrap_err(),
+            IndexError::BadPqConfig { .. }
+        ));
+        assert!(matches!(
+            PqConfig::new(16, 0).validate(96).unwrap_err(),
+            IndexError::BadPqConfig { .. }
+        ));
+        assert!(matches!(
+            PqConfig::new(16, 9).validate(96).unwrap_err(),
+            IndexError::BadPqConfig { .. }
+        ));
+        assert!(PqConfig::new(16, 6).validate(96).is_ok());
+        assert_eq!(
+            PqCodebook::train(96, PqConfig::new(16, 6), &[], 1).unwrap_err(),
+            IndexError::EmptyTrainingSet
+        );
+    }
+
+    #[test]
+    fn tiny_corpus_roundtrip_is_lossless() {
+        // 12 docs < ksub = 2^8: every distinct subvector becomes its own
+        // centroid, so encode → decode reconstructs exactly.
+        let (_, data) = corpus_data(12);
+        let cb = PqCodebook::train(96, PqConfig::new(16, 8), &data, 1).expect("trains");
+        for (_, v) in &data {
+            assert_eq!(&cb.decode(&cb.encode(v)), v, "lossless roundtrip");
+        }
+    }
+
+    #[test]
+    fn adc_score_matches_decoded_dot_product() {
+        let (embedder, data) = corpus_data(80);
+        let cb = PqCodebook::train(96, PqConfig::new(16, 4), &data, 1).expect("trains");
+        let q = embedder.embed(&Corpus::topic_query(1, 6, 9));
+        let table = cb.adc_table(&q);
+        for (_, v) in data.iter().take(20) {
+            let codes = cb.encode(v);
+            let adc = PqCodebook::adc_score(&table, cb.ksub(), &codes);
+            let decoded = cb.decode(&codes);
+            let direct: f32 = decoded.iter().zip(&q).map(|(a, b)| a * b).sum();
+            assert!(
+                (adc - direct).abs() <= 1e-4 * direct.abs().max(1.0),
+                "adc {adc} vs direct {direct}"
+            );
+        }
+    }
+
+    #[test]
+    fn ivfpq_recall_improves_with_nprobe_and_beats_floor() {
+        let (embedder, data) = corpus_data(300);
+        let mut flat = FlatIndex::new(96);
+        for (id, v) in &data {
+            flat.add(*id, v.clone());
+        }
+        let mut idx = IvfPqIndex::train(96, 16, 1, PqConfig::new(16, 8), &data, 2).expect("trains");
+        let queries: Vec<Vec<f32>> = (0..10)
+            .map(|i| embedder.embed(&Corpus::topic_query(i % 5, 6, i as u64)))
+            .collect();
+        let exact: Vec<Vec<SearchHit>> = queries.iter().map(|q| flat.search(q, 10)).collect();
+        let mean_recall = |idx: &IvfPqIndex| -> f64 {
+            queries
+                .iter()
+                .zip(&exact)
+                .map(|(q, e)| recall_at_k(e, &idx.search(q, 10)))
+                .sum::<f64>()
+                / queries.len() as f64
+        };
+        idx.set_nprobe(1);
+        let low = mean_recall(&idx);
+        idx.set_nprobe(16);
+        let high = mean_recall(&idx);
+        assert!(high >= low, "recall must not drop with more probes");
+        assert!(high >= 0.8, "full-probe PQ recall too low: {high}");
+    }
+
+    #[test]
+    fn gpu_ivfpq_matches_cpu_bitwise_and_pins_codes() {
+        use gpu_sim::{DeviceSpec, Gpu};
+        let (embedder, data) = corpus_data(120);
+        let cfg = PqConfig::new(16, 6);
+        let cpu = IvfPqIndex::train(96, 8, 4, cfg, &data, 3).expect("trains");
+        let exec = GpuExecutor::new(Arc::new(Gpu::new(0, DeviceSpec::t4())));
+        let gpu = IvfPqIndex::train(96, 8, 4, cfg, &data, 3)
+            .expect("trains")
+            .with_gpu(exec.clone())
+            .expect("uploads");
+        let queries: Vec<Vec<f32>> = (0..6)
+            .map(|i| embedder.embed(&Corpus::topic_query(i % 5, 6, i as u64)))
+            .collect();
+        assert_eq!(
+            cpu.search_batch(&queries, 5),
+            gpu.search_batch(&queries, 5),
+            "device path drifted from host arithmetic"
+        );
+        for q in &queries {
+            assert_eq!(cpu.search(q, 5), gpu.search(q, 5));
+        }
+        assert!(exec.gpu().now_ns() > 0, "scans must charge device time");
+        // Codes crossed the host link exactly once (120 docs × 16 bytes),
+        // on upload — searches hit the resident leases.
+        let snap = exec.residency_snapshot();
+        assert!(
+            snap.h2d_bytes >= (120 * 16) as u64,
+            "code upload must be charged: {}",
+            snap.h2d_bytes
+        );
+    }
+
+    #[test]
+    fn device_bytes_shrink_versus_flat() {
+        let (_, data) = corpus_data(500);
+        let mut flat = FlatIndex::new(96);
+        for (id, v) in &data {
+            flat.add(*id, v.clone());
+        }
+        let idx = IvfPqIndex::train(96, 16, 4, PqConfig::new(16, 6), &data, 1).expect("trains");
+        assert_eq!(idx.len(), 500);
+        let ratio = flat.device_bytes() as f64 / idx.device_bytes() as f64;
+        assert!(ratio > 4.0, "compression ratio only {ratio:.2}");
+    }
+}

@@ -32,7 +32,7 @@
 //! coalesced with — a fault-injected run returns the same answers as a
 //! fault-free one.
 
-use crate::index::{SearchHit, VectorIndex};
+use crate::index::{RetrievalIndex, SearchHit};
 use crate::pipeline::{split_exact, RagPipeline, RagResponse};
 use sagegpu_profiler::histogram::Histogram;
 use sagegpu_profiler::serve_trace::{serving_to_chrome_trace, RequestSpan};
@@ -373,7 +373,7 @@ struct ServeStats {
     last_done_ns: u64,
 }
 
-struct Shared<I: VectorIndex + Send + Sync + 'static> {
+struct Shared<I: RetrievalIndex + 'static> {
     pipeline: Arc<RagPipeline<I>>,
     cluster: LocalCluster,
     cfg: ServerConfig,
@@ -398,7 +398,7 @@ struct InFlightBatch {
 /// shared batched decode with per-request seeds. Retrieval time is
 /// attributed only to cache misses (hits never touched the device);
 /// generation time is split exactly across the batch.
-fn answer_batch_cached<I: VectorIndex + Send + Sync + 'static>(
+fn answer_batch_cached<I: RetrievalIndex + 'static>(
     pipeline: &RagPipeline<I>,
     cache: &Mutex<RetrievalCache>,
     queries: &[String],
@@ -406,24 +406,36 @@ fn answer_batch_cached<I: VectorIndex + Send + Sync + 'static>(
 ) -> BatchResult {
     let device = pipeline.gpu().gpu();
     let t0 = device.now_ns();
-    let per_query: Vec<(Vec<SearchHit>, String, bool)> = queries
+    // Cache pass first, then ONE batched index search over all misses —
+    // GPU-backed indexes score every miss through their batched device
+    // kernels instead of rebuilding per-query work inside the batcher.
+    let mut per_query: Vec<Option<(Vec<SearchHit>, String, bool)>> = queries
         .iter()
         .map(|q| {
-            let cached = cache.lock().unwrap_or_else(|e| e.into_inner()).get(q);
-            match cached {
-                Some((hits, ctx)) => (hits, ctx, true),
-                None => {
-                    let (hits, ctx) = pipeline.retrieve(q);
-                    cache.lock().unwrap_or_else(|e| e.into_inner()).insert(
-                        q,
-                        hits.clone(),
-                        ctx.clone(),
-                    );
-                    (hits, ctx, false)
-                }
-            }
+            cache
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .get(q)
+                .map(|(hits, ctx)| (hits, ctx, true))
         })
         .collect();
+    let miss_idx: Vec<usize> = (0..queries.len())
+        .filter(|&i| per_query[i].is_none())
+        .collect();
+    if !miss_idx.is_empty() {
+        let miss_queries: Vec<&str> = miss_idx.iter().map(|&i| queries[i].as_str()).collect();
+        let retrieved = pipeline.retrieve_batch(&miss_queries);
+        for (&i, (hits, ctx)) in miss_idx.iter().zip(retrieved) {
+            cache.lock().unwrap_or_else(|e| e.into_inner()).insert(
+                &queries[i],
+                hits.clone(),
+                ctx.clone(),
+            );
+            per_query[i] = Some((hits, ctx, false));
+        }
+    }
+    let per_query: Vec<(Vec<SearchHit>, String, bool)> =
+        per_query.into_iter().map(|e| e.expect("filled")).collect();
     let t1 = device.now_ns();
     let contexts: Vec<&str> = per_query.iter().map(|(_, c, _)| c.as_str()).collect();
     let answers = pipeline.generator.generate_batch_seeded(
@@ -489,13 +501,13 @@ fn answer_batch_cached<I: VectorIndex + Send + Sync + 'static>(
 /// let report = server.shutdown();
 /// assert_eq!(report.served, 1);
 /// ```
-pub struct RagServer<I: VectorIndex + Send + Sync + 'static> {
+pub struct RagServer<I: RetrievalIndex + 'static> {
     shared: Arc<Shared<I>>,
     batcher: Option<JoinHandle<()>>,
     collector: Option<JoinHandle<()>>,
 }
 
-impl<I: VectorIndex + Send + Sync + 'static> RagServer<I> {
+impl<I: RetrievalIndex + 'static> RagServer<I> {
     /// Spawns the batcher and collector threads over `cluster` and starts
     /// accepting requests.
     pub fn start(pipeline: Arc<RagPipeline<I>>, cluster: LocalCluster, cfg: ServerConfig) -> Self {
@@ -648,16 +660,13 @@ impl<I: VectorIndex + Send + Sync + 'static> RagServer<I> {
     }
 }
 
-impl<I: VectorIndex + Send + Sync + 'static> Drop for RagServer<I> {
+impl<I: RetrievalIndex + 'static> Drop for RagServer<I> {
     fn drop(&mut self) {
         let _ = self.finish();
     }
 }
 
-fn batcher_loop<I: VectorIndex + Send + Sync + 'static>(
-    shared: &Shared<I>,
-    tx: &mpsc::Sender<InFlightBatch>,
-) {
+fn batcher_loop<I: RetrievalIndex + 'static>(shared: &Shared<I>, tx: &mpsc::Sender<InFlightBatch>) {
     let mut next_batch_id = 0u64;
     while let Some(batch) = collect_batch(shared) {
         if batch.is_empty() {
@@ -700,9 +709,7 @@ fn batcher_loop<I: VectorIndex + Send + Sync + 'static>(
 /// Blocks for the next micro-batch: waits for a first request, then holds
 /// the batch open until it fills or the batch-window deadline ticks over.
 /// Returns `None` once the queue is closed and drained.
-fn collect_batch<I: VectorIndex + Send + Sync + 'static>(
-    shared: &Shared<I>,
-) -> Option<Vec<PendingRequest>> {
+fn collect_batch<I: RetrievalIndex + 'static>(shared: &Shared<I>) -> Option<Vec<PendingRequest>> {
     let max_batch = shared.cfg.max_batch.max(1);
     let mut q = shared.queue.lock().unwrap_or_else(|e| e.into_inner());
     while q.pending.is_empty() {
@@ -739,7 +746,7 @@ fn collect_batch<I: VectorIndex + Send + Sync + 'static>(
     Some(batch)
 }
 
-fn collector_loop<I: VectorIndex + Send + Sync + 'static>(
+fn collector_loop<I: RetrievalIndex + 'static>(
     shared: &Shared<I>,
     rx: &mpsc::Receiver<InFlightBatch>,
 ) {

@@ -1,0 +1,424 @@
+//! Sharded IVF-PQ: one corpus partitioned across N simulated GPUs.
+//!
+//! [`ShardedIndex`] places inverted lists round-robin across the devices
+//! of a [`GpuCluster`] (list `c` → shard `c % n`). Every shard holds the
+//! *same* coarse centroids and PQ codebook but encodes only its own
+//! lists, so per-device memory shrinks ~linearly with the shard count
+//! while the probe decision stays global.
+//!
+//! Search is scatter-gather through `taskflow`: the query batch is
+//! broadcast to one pinned task per shard (`submit_to`, never stolen —
+//! GPU affinity), each shard ranks the full centroid set, scans the
+//! intersection of the global top-`nprobe` lists with its own, and
+//! returns its local top-k; the gather side folds the per-shard lists
+//! through the [`merge_top_k`] merge tree. Because every shard prices
+//! its scan on its own device's command stream, wall-clock is the
+//! cluster makespan — the per-device *max*, which is what shrinks as
+//! shards are added.
+//!
+//! The merge is bit-identical to a single-shard scan: shards partition
+//! exactly the rows one shard would visit, score them with the identical
+//! ADC arithmetic, and the ranking order is total (ties broken by
+//! `doc_id` via `total_cmp`), so the global top-k is independent of how
+//! candidates were grouped.
+//!
+//! Construction is itself parallel: the quantizers train once on a
+//! sample, then every shard encodes and uploads its partition
+//! concurrently on its own device.
+
+use crate::error::IndexError;
+use crate::index::{merge_top_k, nearest_centroid, train_coarse, RetrievalIndex, SearchHit};
+use crate::pq::{IvfPqIndex, PqCodebook, PqConfig};
+use gpu_sim::GpuCluster;
+use sagegpu_tensor::gpu_exec::GpuExecutor;
+use std::sync::Arc;
+use taskflow::{ClusterBuilder, LocalCluster};
+
+/// Build-time parameters for a [`ShardedIndex`].
+#[derive(Debug, Clone, Copy)]
+pub struct ShardPlan {
+    /// Inverted lists in the coarse quantizer.
+    pub nlist: usize,
+    /// Lists probed per query (global, not per shard).
+    pub nprobe: usize,
+    /// Product-quantization layout.
+    pub pq: PqConfig,
+    /// Training-sample size for both quantizers (capped at the corpus).
+    pub sample: usize,
+    /// Number of shards; must not exceed the cluster's device count.
+    pub shards: usize,
+    /// Exact re-rank depth at the gather node: when > 0, the merged PQ
+    /// top-`max(refine, k)` is re-scored against full-precision host
+    /// vectors before the final top-k. Refining *after* the merge keeps
+    /// the result independent of the shard count.
+    pub refine: usize,
+}
+
+/// An IVF-PQ index partitioned across the devices of a simulated cluster.
+pub struct ShardedIndex {
+    dim: usize,
+    len: usize,
+    refine: usize,
+    shards: Vec<Arc<IvfPqIndex>>,
+    /// Full-precision host copy (doc id → vector) — the gather-side
+    /// refine source. Host RAM only; never counted in device bytes.
+    host_vectors: std::collections::HashMap<usize, Vec<f32>>,
+    cluster: LocalCluster,
+    gpus: Arc<GpuCluster>,
+}
+
+impl std::fmt::Debug for ShardedIndex {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedIndex")
+            .field("dim", &self.dim)
+            .field("len", &self.len)
+            .field("shards", &self.shards.len())
+            .field("devices", &self.gpus.len())
+            .finish()
+    }
+}
+
+impl ShardedIndex {
+    /// Trains the quantizers on a sample, partitions the corpus, and
+    /// encodes every shard concurrently on its own device.
+    pub fn build(
+        dim: usize,
+        plan: ShardPlan,
+        data: &[(usize, Vec<f32>)],
+        gpus: Arc<GpuCluster>,
+        seed: u64,
+    ) -> Result<Self, IndexError> {
+        if plan.shards == 0 || plan.shards > gpus.len() {
+            return Err(IndexError::BadShardCount {
+                shards: plan.shards,
+                devices: gpus.len(),
+            });
+        }
+        if data.is_empty() {
+            return Err(IndexError::EmptyTrainingSet);
+        }
+
+        // Train once on a sample (deterministic: seeded pick, original
+        // order preserved so `sample >= len` degenerates to full-corpus
+        // training, byte-for-byte the single-index path).
+        let sample_n = plan.sample.min(data.len());
+        if sample_n < plan.nlist {
+            return Err(IndexError::InsufficientTraining {
+                needed: plan.nlist,
+                got: sample_n,
+            });
+        }
+        let sample_data: Vec<(usize, Vec<f32>)> = if sample_n == data.len() {
+            data.to_vec()
+        } else {
+            use rand::prelude::*;
+            let mut picks: Vec<usize> = (0..data.len()).collect();
+            picks.shuffle(&mut rand::rngs::SmallRng::seed_from_u64(seed));
+            picks.truncate(sample_n);
+            picks.sort_unstable();
+            picks.into_iter().map(|i| data[i].clone()).collect()
+        };
+        let (centroids, sample_assignments) = train_coarse(dim, plan.nlist, &sample_data, seed)?;
+        // PQ trains on coarse residuals — the same distribution the
+        // per-shard encoders will quantize.
+        let sample_residuals: Vec<(usize, Vec<f32>)> = sample_data
+            .iter()
+            .zip(&sample_assignments)
+            .map(|((doc, v), &a)| {
+                (
+                    *doc,
+                    crate::pq::residual(v, &centroids[a * dim..(a + 1) * dim]),
+                )
+            })
+            .collect();
+        let codebook = PqCodebook::train(dim, plan.pq, &sample_residuals, seed)?;
+
+        // Partition: assign every vector to its list, lists round-robin
+        // to shards.
+        let mut per_shard: Vec<Vec<(usize, Vec<f32>, usize)>> =
+            (0..plan.shards).map(|_| Vec::new()).collect();
+        for (doc, v) in data {
+            if v.len() != dim {
+                return Err(IndexError::DimMismatch {
+                    expected: dim,
+                    got: v.len(),
+                });
+            }
+            let list = nearest_centroid(&centroids, dim, v);
+            per_shard[list % plan.shards].push((*doc, v.clone(), list));
+        }
+
+        // Encode + upload every shard concurrently, pinned to its device.
+        let cluster = ClusterBuilder::new().gpus(gpus.clone()).build();
+        let centroids = Arc::new(centroids);
+        let codebook = Arc::new(codebook);
+        let mut futures = Vec::with_capacity(plan.shards);
+        for (s, entries) in per_shard.into_iter().enumerate() {
+            let entries = Arc::new(entries);
+            let centroids = Arc::clone(&centroids);
+            let codebook = Arc::clone(&codebook);
+            let (nlist, nprobe) = (plan.nlist, plan.nprobe);
+            let fut = cluster.submit_to(s, move |ctx| {
+                let refs: Vec<(usize, &[f32], usize)> = entries
+                    .iter()
+                    .map(|(doc, v, list)| (*doc, v.as_slice(), *list))
+                    .collect();
+                IvfPqIndex::from_trained(
+                    dim,
+                    nlist,
+                    nprobe,
+                    centroids.as_ref().clone(),
+                    codebook.as_ref().clone(),
+                    &refs,
+                )
+                .with_gpu(GpuExecutor::new(ctx.gpu().clone()))
+            })?;
+            futures.push(fut);
+        }
+        let mut shards = Vec::with_capacity(plan.shards);
+        for fut in futures {
+            shards.push(Arc::new(fut.wait().map_err(IndexError::Task)??));
+        }
+
+        let host_vectors = if plan.refine > 0 {
+            data.iter().map(|(doc, v)| (*doc, v.clone())).collect()
+        } else {
+            std::collections::HashMap::new()
+        };
+        Ok(Self {
+            dim,
+            len: data.len(),
+            refine: plan.refine,
+            shards,
+            host_vectors,
+            cluster,
+            gpus,
+        })
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The per-shard indexes (shard `s` is pinned to device `s`).
+    pub fn shards(&self) -> &[Arc<IvfPqIndex>] {
+        &self.shards
+    }
+
+    /// The simulated cluster the shards live on.
+    pub fn gpus(&self) -> &Arc<GpuCluster> {
+        &self.gpus
+    }
+
+    /// Simulated wall-clock of the slowest device — the scatter-gather
+    /// latency metric (per-device work shrinks as shards are added).
+    pub fn makespan_ns(&self) -> u64 {
+        self.gpus.makespan_ns()
+    }
+}
+
+impl RetrievalIndex for ShardedIndex {
+    fn search(&self, query: &[f32], k: usize) -> Vec<SearchHit> {
+        self.search_batch(&[query.to_vec()], k)
+            .pop()
+            .unwrap_or_default()
+    }
+
+    /// Scatter-gather batch search: the query batch is broadcast to one
+    /// pinned scan task per shard, each shard returns its local top-k per
+    /// query (priced on its own device), and the gather side merges the
+    /// per-shard lists through the order-stable merge tree. When
+    /// `refine > 0` the merged PQ top-`max(refine, k)` is re-scored
+    /// exactly on the gather node — after the merge, so the candidate set
+    /// (and therefore the refined top-k) is shard-count independent.
+    fn search_batch(&self, queries: &[Vec<f32>], k: usize) -> Vec<Vec<SearchHit>> {
+        for q in queries {
+            assert_eq!(q.len(), self.dim, "query dim mismatch");
+        }
+        if queries.is_empty() {
+            return Vec::new();
+        }
+        // With refine, shards return a deeper candidate list; the exact
+        // re-rank then cuts it back to k.
+        let kprime = if self.refine > 0 {
+            self.refine.max(k)
+        } else {
+            k
+        };
+        // Broadcast: one shared copy of the batch, one pinned task per
+        // shard.
+        let batch: Arc<Vec<Vec<f32>>> = Arc::new(queries.to_vec());
+        let futures: Vec<_> = self
+            .shards
+            .iter()
+            .enumerate()
+            .map(|(s, shard)| {
+                let shard = Arc::clone(shard);
+                let batch = Arc::clone(&batch);
+                self.cluster
+                    .submit_to(s, move |_ctx| shard.search_batch(&batch, kprime))
+                    .expect("shard worker exists")
+            })
+            .collect();
+        // Gather: per-shard results, then a merge tree per query.
+        let per_shard: Vec<Vec<Vec<SearchHit>>> = futures
+            .into_iter()
+            .map(|f| f.wait().expect("shard scan"))
+            .collect();
+        let merged: Vec<Vec<SearchHit>> = (0..queries.len())
+            .map(|q| merge_top_k(per_shard.iter().map(|s| s[q].clone()).collect(), kprime))
+            .collect();
+        if self.refine == 0 {
+            return merged;
+        }
+        queries
+            .iter()
+            .zip(merged)
+            .map(|(q, cands)| {
+                let rescored = cands
+                    .into_iter()
+                    .map(|h| SearchHit {
+                        doc_id: h.doc_id,
+                        score: crate::index::dot(&self.host_vectors[&h.doc_id], q),
+                    })
+                    .collect();
+                crate::index::top_k(rescored, k)
+            })
+            .collect()
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn device_bytes(&self) -> u64 {
+        // Sum across devices — honest about the replicated centroids and
+        // codebook every shard carries.
+        self.shards.iter().map(|s| s.device_bytes()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::Corpus;
+    use crate::embed::Embedder;
+    use gpu_sim::{DeviceSpec, LinkKind};
+
+    fn corpus_data(n: usize) -> (Embedder, Vec<(usize, Vec<f32>)>) {
+        let corpus = Corpus::synthetic(n, 80, 3);
+        let embedder = Embedder::new(96, 11);
+        let data = corpus
+            .docs()
+            .iter()
+            .map(|d| (d.id, embedder.embed(&d.text)))
+            .collect();
+        (embedder, data)
+    }
+
+    fn plan(shards: usize) -> ShardPlan {
+        ShardPlan {
+            nlist: 16,
+            nprobe: 4,
+            pq: PqConfig::new(16, 6),
+            sample: usize::MAX,
+            shards,
+            refine: 0,
+        }
+    }
+
+    fn cluster(n: usize) -> Arc<GpuCluster> {
+        Arc::new(GpuCluster::homogeneous(n, DeviceSpec::t4(), LinkKind::Pcie))
+    }
+
+    #[test]
+    fn build_rejects_bad_shard_counts_and_tiny_samples() {
+        let (_, data) = corpus_data(60);
+        let gpus = cluster(2);
+        let err = ShardedIndex::build(96, plan(3), &data, gpus.clone(), 1).unwrap_err();
+        assert_eq!(
+            err,
+            IndexError::BadShardCount {
+                shards: 3,
+                devices: 2
+            }
+        );
+        let mut small = plan(2);
+        small.sample = 8; // < nlist = 16
+        let err = ShardedIndex::build(96, small, &data, gpus, 1).unwrap_err();
+        assert_eq!(err, IndexError::InsufficientTraining { needed: 16, got: 8 });
+    }
+
+    #[test]
+    fn shards_partition_the_corpus_without_loss() {
+        let (_, data) = corpus_data(120);
+        let idx = ShardedIndex::build(96, plan(4), &data, cluster(4), 1).expect("builds");
+        assert_eq!(idx.shard_count(), 4);
+        assert_eq!(idx.len(), 120);
+        let total: usize = idx.shards().iter().map(|s| s.len()).sum();
+        assert_eq!(total, 120, "every vector lands in exactly one shard");
+        // Work actually spread out: no shard owns everything.
+        assert!(idx.shards().iter().all(|s| s.len() < 120));
+    }
+
+    #[test]
+    fn sharded_search_matches_single_shard_bitwise() {
+        let (embedder, data) = corpus_data(150);
+        let one = ShardedIndex::build(96, plan(1), &data, cluster(1), 7).expect("builds");
+        let four = ShardedIndex::build(96, plan(4), &data, cluster(4), 7).expect("builds");
+        let queries: Vec<Vec<f32>> = (0..8)
+            .map(|i| embedder.embed(&Corpus::topic_query(i % 5, 6, i as u64)))
+            .collect();
+        assert_eq!(
+            one.search_batch(&queries, 10),
+            four.search_batch(&queries, 10),
+            "scatter-gather must be bit-identical to one shard"
+        );
+        assert_eq!(one.search(&queries[0], 5), four.search(&queries[0], 5));
+    }
+
+    /// The workload must be big enough that the data-dependent scan term
+    /// (which sharding divides) dominates the per-shard fixed costs: each
+    /// shard pays ~4 launches + 3 host-link round-trips per batch
+    /// (~40 µs on the simulated T4) no matter how little it scans, so a
+    /// toy corpus shows no speedup — exactly the small-problem scaling
+    /// wall the real hardware has.
+    #[test]
+    fn sharding_shrinks_makespan_and_per_device_memory() {
+        let (embedder, data) = corpus_data(9_600);
+        let queries: Vec<Vec<f32>> = (0..32)
+            .map(|i| embedder.embed(&Corpus::topic_query(i % 5, 6, i as u64)))
+            .collect();
+        let mut p = plan(1);
+        p.nlist = 32;
+        p.nprobe = 16;
+        p.sample = 1_024;
+        let one = ShardedIndex::build(96, p, &data, cluster(1), 3).expect("builds");
+        let t0 = one.makespan_ns();
+        one.search_batch(&queries, 10);
+        let t_one = one.makespan_ns() - t0;
+        p.shards = 4;
+        let four = ShardedIndex::build(96, p, &data, cluster(4), 3).expect("builds");
+        let t0 = four.makespan_ns();
+        four.search_batch(&queries, 10);
+        let t_four = four.makespan_ns() - t0;
+        assert!(
+            (t_one as f64) / (t_four as f64) > 1.5,
+            "expected sharded speedup, got {t_one} vs {t_four}"
+        );
+        // Per-device memory shrinks even though centroids+codebook are
+        // replicated: the largest shard holds well under the full corpus.
+        let max_shard = four
+            .shards()
+            .iter()
+            .map(|s| s.device_bytes())
+            .max()
+            .unwrap();
+        let single = one.device_bytes();
+        assert!(
+            (max_shard as f64) < 0.6 * single as f64,
+            "per-device bytes {max_shard} vs single {single}"
+        );
+    }
+}

@@ -2,8 +2,21 @@
 
 use proptest::prelude::*;
 use sagegpu_rag::embed::{cosine, Embedder};
-use sagegpu_rag::index::{recall_at_k, FlatIndex, IvfIndex, SearchHit, VectorIndex};
+use sagegpu_rag::index::{
+    recall_at_k, FlatIndex, IvfIndex, RetrievalIndex, SearchHit, VectorIndex,
+};
+use sagegpu_rag::pq::{IvfPqIndex, PqConfig};
+use sagegpu_rag::shard::{ShardPlan, ShardedIndex};
 use sagegpu_rag::tokenize::tokenize;
+use std::sync::Arc;
+
+fn embedded_docs(n: usize, dim: usize, seed: u64) -> (Embedder, Vec<(usize, Vec<f32>)>) {
+    let e = Embedder::new(dim, seed);
+    let data = (0..n)
+        .map(|i| (i, e.embed(&format!("document {i} topic {}", i % 3))))
+        .collect();
+    (e, data)
+}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
@@ -75,10 +88,102 @@ proptest! {
         for (id, v) in &data {
             flat.add(*id, v.clone());
         }
-        let ivf = IvfIndex::train(48, nlist, nlist, &data, seed);
+        let ivf = IvfIndex::train(48, nlist, nlist, &data, seed).expect("ivf trains");
         let q = e.embed("topic 1 document");
         let exact = flat.search(&q, 5);
         let approx = ivf.search(&q, 5);
         prop_assert_eq!(recall_at_k(&exact, &approx), 1.0);
+    }
+
+    /// Sharded scatter-gather search is bit-identical to a single shard,
+    /// for any shard count the cluster can hold: shards partition exactly
+    /// the rows one shard would scan, score them with the same ADC
+    /// arithmetic, and the merge tree's ranking is a total order — so the
+    /// global top-k cannot depend on how candidates were grouped.
+    #[test]
+    fn sharded_search_is_shard_count_invariant(
+        n in 40usize..120,
+        shards in 2usize..5,
+        nprobe in 1usize..9,
+        k in 1usize..12,
+        refine in 0usize..20,
+        seed in 0u64..10,
+    ) {
+        use gpu_sim::{DeviceSpec, GpuCluster, LinkKind};
+        let (e, data) = embedded_docs(n, 48, seed);
+        let plan = |s: usize| ShardPlan {
+            nlist: 8,
+            nprobe,
+            pq: PqConfig::new(8, 6),
+            sample: usize::MAX,
+            shards: s,
+            refine,
+        };
+        let cluster = |s: usize| {
+            Arc::new(GpuCluster::homogeneous(s, DeviceSpec::t4(), LinkKind::Pcie))
+        };
+        let one = ShardedIndex::build(48, plan(1), &data, cluster(1), seed).expect("builds");
+        let many = ShardedIndex::build(48, plan(shards), &data, cluster(shards), seed)
+            .expect("builds");
+        let queries: Vec<Vec<f32>> = (0..4)
+            .map(|i| e.embed(&format!("topic {} document", i % 3)))
+            .collect();
+        prop_assert_eq!(one.search_batch(&queries, k), many.search_batch(&queries, k));
+    }
+
+    /// IVF-PQ recall against the exact flat baseline never drops as
+    /// nprobe grows: each probe set is a superset of the last, so the
+    /// candidate pool only gains rows.
+    #[test]
+    fn ivfpq_recall_monotone_in_nprobe(n in 60usize..150, seed in 0u64..10) {
+        let (e, data) = embedded_docs(n, 48, seed);
+        let mut flat = FlatIndex::new(48);
+        for (id, v) in &data {
+            flat.add(*id, v.clone());
+        }
+        let mut idx = IvfPqIndex::train(48, 8, 1, PqConfig::new(8, 8), &data, seed)
+            .expect("trains");
+        let queries: Vec<Vec<f32>> = (0..4)
+            .map(|i| e.embed(&format!("topic {} document", i % 3)))
+            .collect();
+        let exact: Vec<Vec<SearchHit>> = queries.iter().map(|q| flat.search(q, 5)).collect();
+        let mut prev = -1.0f64;
+        for nprobe in [1usize, 2, 4, 8] {
+            idx.set_nprobe(nprobe);
+            let mean: f64 = queries
+                .iter()
+                .zip(&exact)
+                .map(|(q, ex)| recall_at_k(ex, &idx.search(q, 5)))
+                .sum::<f64>() / queries.len() as f64;
+            prop_assert!(
+                mean >= prev - 1e-12,
+                "recall dropped from {} to {} at nprobe {}", prev, mean, nprobe
+            );
+            prev = mean;
+        }
+    }
+
+    /// On a corpus small enough that PQ is lossless (every distinct
+    /// residual fits the codebook), full-probe IVF-PQ reproduces the
+    /// exact flat top-k: quantization introduces zero error and probing
+    /// covers every list, so recall is exactly 1. The PQ score regroups
+    /// flat's sum as `query·centroid + query·residual`, which can move
+    /// the last ulp — inputs whose flat ranking has a near-tie exactly at
+    /// the k boundary are discarded rather than letting fp regrouping
+    /// legitimately swap them.
+    #[test]
+    fn lossless_pq_full_probe_matches_flat(n in 6usize..40, seed in 0u64..10) {
+        let (e, data) = embedded_docs(n, 48, seed);
+        let mut flat = FlatIndex::new(48);
+        for (id, v) in &data {
+            flat.add(*id, v.clone());
+        }
+        let nlist = 4.min(n);
+        let idx = IvfPqIndex::train(48, nlist, nlist, PqConfig::new(1, 8), &data, seed)
+            .expect("trains");
+        let q = e.embed("topic 1 document");
+        let exact = flat.search(&q, n);
+        prop_assume!((exact[4].score - exact[5].score).abs() > 1e-4);
+        prop_assert_eq!(recall_at_k(&exact[..5], &idx.search(&q, 5)), 1.0);
     }
 }

@@ -28,11 +28,17 @@
 # 9. BENCH_A11.json: regenerate via `repro --exp whatif`, then validate the
 #    identity replay is exact and the NVLink-everywhere what-if predicts
 #    the fresh ground-truth run within 5% (crates/bench/tests/bench_a11.rs)
-# 10. trace-diff: record the gated fused-GCN and RAG batch-scoring
-#    workloads through the gpu_sim::trace interposer and diff sim-time
-#    (±1%), submission count (exact), and exposed-comm fraction (+0.02)
-#    against tests/golden/*.trace.json. `--bless` re-records the goldens.
-# 11. repro_output.txt mentions every committed BENCH_A*.json artifact —
+# 10. BENCH_A12.json: regenerate via `repro --exp retrieval`, then validate
+#    IVF-PQ shrinks device bytes >= 8x with recall@10 >= 0.9 at some swept
+#    nprobe (exact refine after the merge), and 4-shard scatter-gather is
+#    >= 2x faster than one shard with bit-identical hits
+#    (crates/bench/tests/bench_a12.rs)
+# 11. trace-diff: record the gated fused-GCN, RAG batch-scoring, and
+#    sharded IVF-PQ search workloads through the gpu_sim::trace interposer
+#    and diff sim-time (±1%), submission count (exact), and exposed-comm
+#    fraction (+0.02) against tests/golden/*.trace.json. `--bless`
+#    re-records the goldens.
+# 12. repro_output.txt mentions every committed BENCH_A*.json artifact —
 #    catches the transcript drifting behind newly shipped experiments.
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -74,6 +80,10 @@ cargo test -q -p sagegpu-bench --test bench_a10
 echo "==> BENCH_A11.json: regenerate + validate"
 cargo run --release -q -p sagegpu-bench --bin repro -- --exp whatif > /dev/null
 cargo test -q -p sagegpu-bench --test bench_a11
+
+echo "==> BENCH_A12.json: regenerate + validate"
+cargo run --release -q -p sagegpu-bench --bin repro -- --exp retrieval > /dev/null
+cargo test -q -p sagegpu-bench --test bench_a12
 
 echo "==> trace-diff: golden trace regression gate${BLESS:+ (blessing)}"
 if [[ -n "$BLESS" ]]; then
