@@ -102,6 +102,11 @@ fn experiments() -> Vec<Experiment> {
             "Ablation: sharded IVF-PQ retrieval at scale (A12)",
             render::render_retrieval,
         ),
+        (
+            "residency_serving",
+            "Ablation: tiered-residency serving under device budgets (A13)",
+            render::render_residency_serving,
+        ),
     ]
 }
 

@@ -2165,7 +2165,7 @@ fn timed_search<I: RetrievalIndex>(
 pub fn retrieval_scale_ablation() -> RetrievalScaleAblation {
     use sagegpu_core::gpu::cluster::{GpuCluster, LinkKind};
     use sagegpu_core::rag::pq::{IvfPqIndex, PqConfig};
-    use sagegpu_core::rag::shard::{ShardPlan, ShardedIndex};
+    use sagegpu_core::rag::shard::{Placement, ShardPlan, ShardedIndex};
 
     const CORPUS: usize = 20_000;
     const DIM: usize = 96;
@@ -2269,6 +2269,8 @@ pub fn retrieval_scale_ablation() -> RetrievalScaleAblation {
         sample: SAMPLE,
         shards,
         refine: REFINE,
+        placement: Placement::SizeBalanced,
+        budget_bytes: None,
     };
     let mut sharded_ms = Vec::new();
     let mut sharded_hits = Vec::new();
@@ -2344,6 +2346,344 @@ pub fn retrieval_json(a: &RetrievalScaleAblation) -> String {
         a.best_pq_recall,
         a.sharded_speedup_4x,
         a.sharded_identical,
+        arms.join(", ")
+    )
+}
+
+// ---------------------------------------------------------------------
+// A13 — tiered residency: sharded serving under a device budget
+// ---------------------------------------------------------------------
+
+/// One arm of the A13 residency-serving study: a live
+/// [`RagServer`](sagegpu_core::rag::serve::RagServer) over
+/// a 4-shard IVF-PQ index whose inverted lists live under a device byte
+/// budget, driven by one query-skew pattern.
+pub struct ResidencyServingArm {
+    /// "uniform" or "zipf".
+    pub skew: &'static str,
+    /// Device budget as a percent of the packed list-code bytes.
+    pub budget_pct: u64,
+    /// Absolute budget handed to the server (bytes, summed over shards).
+    pub budget_bytes: u64,
+    /// Requests served to completion.
+    pub served: u64,
+    /// Served queries per second of simulated cluster time (makespan
+    /// delta over the serving window).
+    pub sim_qps: f64,
+    /// p99 simulated retrieval latency (ms, ceil nearest-rank).
+    pub p99_retrieve_ms: f64,
+    /// Tier hit ratio over the serving window (build prewarm excluded).
+    pub hit_ratio: f64,
+    /// Host-link bytes moved by charge-on-miss promotions while serving.
+    pub host_link_bytes: u64,
+    /// Peak resident bytes under the budget in force (summed over shards).
+    pub high_water_bytes: u64,
+    /// True when the high-water never exceeded the budget.
+    pub budget_ok: bool,
+    /// True when every served hit equals the fully-resident ground truth.
+    pub hits_identical: bool,
+    /// Allocator reuse ratio across the shard pools at shutdown.
+    pub pool_reuse_ratio: f64,
+    /// `trim()` calls that released spilled reservations to the device.
+    pub pool_trims: u64,
+}
+
+/// The A13 study: budget {100, 50, 25, 10}% of index code bytes × query
+/// skew {uniform, Zipfian} on a live server, plus the profiler's offline
+/// promotion-copy attribution of the tightest interesting arm (25% +
+/// zipf).
+pub struct ResidencyServingAblation {
+    pub corpus: usize,
+    pub dim: usize,
+    pub shards: usize,
+    pub nlist: usize,
+    pub nprobe: usize,
+    /// Requests served per arm.
+    pub requests: usize,
+    /// Distinct queries in the pool the streams draw from.
+    pub distinct_queries: usize,
+    /// Total packed list-code bytes — the spillable set budgets scale.
+    pub code_bytes: u64,
+    pub arms: Vec<ResidencyServingArm>,
+    /// sim-QPS(25% budget, zipf) / sim-QPS(100% budget, zipf) — the
+    /// serving-throughput price of a 4x smaller device footprint.
+    pub qps_ratio_25_zipf: f64,
+    /// Max promotion-copy exposed fraction across devices, from the
+    /// profiler's offline ingestion of the 25%-zipf arm's trace.
+    pub promotion_exposed_fraction: f64,
+    /// Promotion H2D bytes the profiler attributed in that trace.
+    pub promotion_h2d_bytes: u64,
+    /// True when the grow-budget/shrink-nprobe advice fired on any device.
+    pub advice_fired: bool,
+}
+
+/// Deterministic 64-bit mix (splitmix64) — the experiment's only source
+/// of "randomness", fully seeded.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Zipf(s=1) rank over `n` items: inverse-CDF over the harmonic weights,
+/// driven by one splitmix64 draw. Rank 0 is the hottest item.
+fn zipf_rank(n: usize, state: &mut u64) -> usize {
+    let total: f64 = (1..=n).map(|r| 1.0 / r as f64).sum();
+    let u = splitmix64(state) as f64 / u64::MAX as f64 * total;
+    let mut cum = 0.0;
+    for r in 0..n {
+        cum += 1.0 / (r + 1) as f64;
+        if u <= cum {
+            return r;
+        }
+    }
+    n - 1
+}
+
+/// A13 — the residency-serving ablation behind `BENCH_A13.json`.
+pub fn residency_serving_ablation() -> ResidencyServingAblation {
+    use sagegpu_core::gpu::cluster::{GpuCluster, LinkKind};
+    use sagegpu_core::gpu::trace::TraceV1;
+    use sagegpu_core::profiler::bottleneck::analyze_serving;
+    use sagegpu_core::profiler::ingest::ingest_trace;
+    use sagegpu_core::rag::pipeline::build_sharded_pipeline;
+    use sagegpu_core::rag::pq::PqConfig;
+    use sagegpu_core::rag::serve::{RagServer, ServerConfig};
+    use sagegpu_core::rag::shard::{Placement, ShardPlan};
+    use sagegpu_core::taskflow::cluster::ClusterBuilder;
+
+    const CORPUS: usize = 4_000;
+    const DIM: usize = 96;
+    const NLIST: usize = 32;
+    const NPROBE: usize = 8;
+    const SHARDS: usize = 4;
+    const REQUESTS: usize = 160;
+    const POOL: usize = 40;
+    const BUDGETS: [u64; 4] = [100, 50, 25, 10];
+
+    let plan = || ShardPlan {
+        nlist: NLIST,
+        nprobe: NPROBE,
+        pq: PqConfig::new(16, 6),
+        sample: 512,
+        shards: SHARDS,
+        refine: 16,
+        placement: Placement::SizeBalanced,
+        budget_bytes: None,
+    };
+    let cluster = || {
+        Arc::new(GpuCluster::homogeneous(
+            SHARDS,
+            DeviceSpec::t4(),
+            LinkKind::Pcie,
+        ))
+    };
+
+    // Fully-resident ground truth: every arm's served hits must equal
+    // these bitwise, whatever its budget did to the resident set.
+    let reference_pipeline =
+        build_sharded_pipeline(CORPUS, DIM, plan(), cluster(), SEED).expect("reference builds");
+    let code_bytes = reference_pipeline
+        .index
+        .residency_stats()
+        .expect("GPU-attached index has a tier")
+        .list_bytes;
+    let pool_queries: Vec<String> = (0..POOL)
+        .map(|j| Corpus::topic_query(j % 5, 6, j as u64))
+        .collect();
+    let reference: Vec<_> = pool_queries
+        .iter()
+        .map(|q| reference_pipeline.retrieve(q).0)
+        .collect();
+
+    // Request streams: index into the pool per request, fixed up front so
+    // every arm of one skew serves the identical sequence.
+    let uniform: Vec<usize> = (0..REQUESTS).map(|i| i % POOL).collect();
+    let mut rng = SEED;
+    let zipf: Vec<usize> = (0..REQUESTS).map(|_| zipf_rank(POOL, &mut rng)).collect();
+
+    let run_arm = |skew: &'static str,
+                   stream: &[usize],
+                   budget_pct: u64,
+                   record: bool|
+     -> (ResidencyServingArm, Option<TraceV1>) {
+        let gpus = cluster();
+        let pipeline = Arc::new(
+            build_sharded_pipeline(CORPUS, DIM, plan(), gpus.clone(), SEED).expect("builds"),
+        );
+        // Attach the recorder after the build so the trace covers only
+        // the serving window — the promotions the budget forces.
+        let sink = record.then(|| gpus.record_trace());
+        let budget = code_bytes * budget_pct / 100;
+        let workers = ClusterBuilder::new().workers(1).build();
+        let server = RagServer::start(
+            Arc::clone(&pipeline),
+            workers,
+            ServerConfig::new()
+                .cache_capacity(0)
+                .residency_budget(budget),
+        );
+        // `start` applied the budget synchronously: snapshot the tier so
+        // the arm's counters cover the serving window alone (the build's
+        // prewarm misses are excluded).
+        let tier0 = pipeline
+            .index
+            .residency_stats()
+            .expect("tiered index reports stats");
+        let t0 = gpus.makespan_ns();
+        let mut identical = true;
+        let mut retrieve_ns: Vec<u64> = Vec::with_capacity(stream.len());
+        for &qi in stream {
+            let served = server
+                .submit(pool_queries[qi].clone())
+                .expect("ample capacity")
+                .wait()
+                .expect("fault-free cluster serves");
+            identical &= served.response.hits == reference[qi];
+            retrieve_ns.push(served.response.retrieve_ns);
+        }
+        let span_ns = gpus.makespan_ns() - t0;
+        let report = server.shutdown();
+        let trace = sink.map(|_| gpus.finish_trace("a13-tiered-serving").expect("recording"));
+
+        let tier = report
+            .residency
+            .as_ref()
+            .expect("tiered index reports stats")
+            .since(&tier0);
+        retrieve_ns.sort_unstable();
+        let p99 = retrieve_ns[((retrieve_ns.len() as f64 * 0.99).ceil() as usize).max(1) - 1];
+        let (allocs, reuse) = report
+            .pools
+            .iter()
+            .fold((0u64, 0u64), |(a, r), p| (a + p.allocs, r + p.reuse_hits));
+        let arm = ResidencyServingArm {
+            skew,
+            budget_pct,
+            budget_bytes: tier.budget_bytes,
+            served: report.served,
+            sim_qps: report.served as f64 / (span_ns.max(1) as f64 * 1e-9),
+            p99_retrieve_ms: p99 as f64 / 1e6,
+            hit_ratio: tier.hit_ratio(),
+            host_link_bytes: tier.promoted_bytes,
+            high_water_bytes: tier.high_water_bytes,
+            budget_ok: tier.high_water_bytes <= tier.budget_bytes,
+            hits_identical: identical,
+            pool_reuse_ratio: if allocs == 0 {
+                0.0
+            } else {
+                reuse as f64 / allocs as f64
+            },
+            pool_trims: report.pools.iter().map(|p| p.trims).sum(),
+        };
+        (arm, trace)
+    };
+
+    let mut arms = Vec::new();
+    let mut attribution_trace = None;
+    for (skew, stream) in [("uniform", &uniform), ("zipf", &zipf)] {
+        for &pct in &BUDGETS {
+            let record = skew == "zipf" && pct == 25;
+            let (arm, trace) = run_arm(skew, stream, pct, record);
+            arms.push(arm);
+            if let Some(t) = trace {
+                attribution_trace = Some(t);
+            }
+        }
+    }
+
+    let qps_of = |skew: &str, pct: u64| -> f64 {
+        arms.iter()
+            .find(|a| a.skew == skew && a.budget_pct == pct)
+            .map(|a| a.sim_qps)
+            .unwrap_or(0.0)
+    };
+    let qps_ratio_25_zipf = qps_of("zipf", 25) / qps_of("zipf", 100).max(f64::MIN_POSITIVE);
+
+    // Offline promotion attribution: identity-replay the 25%-zipf trace
+    // and re-analyze each lane with the serving-aware entrypoint.
+    let trace = attribution_trace.expect("the 25%-zipf arm records");
+    let analysis = ingest_trace(&trace).expect("trace ingests");
+    let mut promotion_exposed_fraction = 0.0f64;
+    let mut promotion_h2d_bytes = 0u64;
+    let mut advice_fired = false;
+    for d in &trace.devices {
+        let report = analyze_serving(&analysis.timeline, d.ordinal, &d.spec, None, None);
+        promotion_exposed_fraction =
+            promotion_exposed_fraction.max(report.promotion_exposed_fraction);
+        promotion_h2d_bytes += report.promotion_h2d_bytes;
+        advice_fired |= report
+            .recommendations
+            .iter()
+            .any(|r| r.contains("grow the residency budget"));
+    }
+
+    ResidencyServingAblation {
+        corpus: CORPUS,
+        dim: DIM,
+        shards: SHARDS,
+        nlist: NLIST,
+        nprobe: NPROBE,
+        requests: REQUESTS,
+        distinct_queries: POOL,
+        code_bytes,
+        arms,
+        qps_ratio_25_zipf,
+        promotion_exposed_fraction,
+        promotion_h2d_bytes,
+        advice_fired,
+    }
+}
+
+/// Machine-readable A13 summary — the content of `BENCH_A13.json`.
+pub fn residency_serving_json(a: &ResidencyServingAblation) -> String {
+    let arms: Vec<String> = a
+        .arms
+        .iter()
+        .map(|r| {
+            format!(
+                "{{\"skew\":\"{}\",\"budget_pct\":{},\"budget_bytes\":{},\"served\":{},\
+                 \"sim_qps\":{},\"p99_retrieve_ms\":{},\"hit_ratio\":{},\
+                 \"host_link_bytes\":{},\"high_water_bytes\":{},\"budget_ok\":{},\
+                 \"hits_identical\":{},\"pool_reuse_ratio\":{},\"pool_trims\":{}}}",
+                r.skew,
+                r.budget_pct,
+                r.budget_bytes,
+                r.served,
+                r.sim_qps,
+                r.p99_retrieve_ms,
+                r.hit_ratio,
+                r.host_link_bytes,
+                r.high_water_bytes,
+                r.budget_ok,
+                r.hits_identical,
+                r.pool_reuse_ratio,
+                r.pool_trims
+            )
+        })
+        .collect();
+    format!(
+        "{{\n  \"experiment\": \"A13\",\n  \
+         \"title\": \"tiered-residency serving under device budgets\",\n  \
+         \"corpus\": {},\n  \"dim\": {},\n  \"shards\": {},\n  \"nlist\": {},\n  \
+         \"nprobe\": {},\n  \"requests\": {},\n  \"distinct_queries\": {},\n  \
+         \"code_bytes\": {},\n  \"qps_ratio_25_zipf\": {},\n  \
+         \"promotion_exposed_fraction\": {},\n  \"promotion_h2d_bytes\": {},\n  \
+         \"advice_fired\": {},\n  \"arms\": [{}]\n}}\n",
+        a.corpus,
+        a.dim,
+        a.shards,
+        a.nlist,
+        a.nprobe,
+        a.requests,
+        a.distinct_queries,
+        a.code_bytes,
+        a.qps_ratio_25_zipf,
+        a.promotion_exposed_fraction,
+        a.promotion_h2d_bytes,
+        a.advice_fired,
         arms.join(", ")
     )
 }

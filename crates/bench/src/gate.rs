@@ -1,8 +1,9 @@
 //! Deterministic perf-regression gate over recorded command traces.
 //!
-//! `scripts/check.sh` records three fixed workloads — a fused-GCN
-//! training run, a RAG batch-scoring pass, and a sharded IVF-PQ
-//! scatter-gather search — through the `gpu_sim::trace`
+//! `scripts/check.sh` records four fixed workloads — a fused-GCN
+//! training run, a RAG batch-scoring pass, a sharded IVF-PQ
+//! scatter-gather search, and the same sharded search under a 25%
+//! tiered-residency budget — through the `gpu_sim::trace`
 //! interposer and diffs the scheduling metrics against golden trace
 //! artifacts committed under `tests/golden/`. Because the simulator is
 //! deterministic, any drift is a real behavior change: a slower schedule,
@@ -31,10 +32,11 @@ use std::sync::Arc;
 pub const GOLDEN_DIR: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../tests/golden");
 
 /// The gated workloads: `(short name, golden file stem)`.
-pub const GATED_WORKLOADS: [(&str, &str); 3] = [
+pub const GATED_WORKLOADS: [(&str, &str); 4] = [
     ("gcn-epoch", "gcn_epoch"),
     ("rag-batch", "rag_batch"),
     ("rag-sharded", "rag_sharded"),
+    ("rag-tiered", "rag_tiered"),
 ];
 
 /// Path of a golden trace artifact by file stem.
@@ -244,7 +246,7 @@ pub fn record_rag_batch_trace() -> TraceV1 {
 pub fn record_rag_sharded_trace() -> TraceV1 {
     use sagegpu_core::gpu::cluster::{GpuCluster, LinkKind};
     use sagegpu_core::rag::pq::PqConfig;
-    use sagegpu_core::rag::shard::{ShardPlan, ShardedIndex};
+    use sagegpu_core::rag::shard::{Placement, ShardPlan, ShardedIndex};
 
     let embedder = Embedder::new(96, 2025);
     let corpus = Corpus::synthetic(2_000, 80, 2025);
@@ -262,6 +264,8 @@ pub fn record_rag_sharded_trace() -> TraceV1 {
         sample: 512,
         shards: 4,
         refine: 16,
+        placement: Placement::SizeBalanced,
+        budget_bytes: None,
     };
     let idx = ShardedIndex::build(96, plan, &data, gpus.clone(), 2025).expect("sharded build");
     let queries: Vec<Vec<f32>> = (0..16)
@@ -270,6 +274,50 @@ pub fn record_rag_sharded_trace() -> TraceV1 {
     use sagegpu_core::rag::index::RetrievalIndex;
     idx.search_batch(&queries, 10);
     gpus.finish_trace("rag-sharded-search")
+        .expect("recording was on")
+}
+
+/// Records the gated tiered-residency workload: the same seeded 2,000-doc
+/// sharded index as [`record_rag_sharded_trace`], but built cold under a
+/// 25% device budget for the packed list codes (2,000 codes × 16 bytes =
+/// 32,000 total, budget 8,000 split proportionally across the 4 shards).
+/// Two sequential 16-query batches run so the trace pins both the
+/// charge-on-miss promotion schedule of the cold pass and the hit/evict
+/// churn of the warm one — any change to victim selection, promotion
+/// charging, or list placement shifts the submission count or sim-time
+/// and trips the gate.
+pub fn record_rag_tiered_trace() -> TraceV1 {
+    use sagegpu_core::gpu::cluster::{GpuCluster, LinkKind};
+    use sagegpu_core::rag::pq::PqConfig;
+    use sagegpu_core::rag::shard::{Placement, ShardPlan, ShardedIndex};
+
+    let embedder = Embedder::new(96, 2025);
+    let corpus = Corpus::synthetic(2_000, 80, 2025);
+    let data: Vec<(usize, Vec<f32>)> = corpus
+        .docs()
+        .iter()
+        .map(|d| (d.id, embedder.embed(&d.text)))
+        .collect();
+    let gpus = Arc::new(GpuCluster::homogeneous(4, DeviceSpec::t4(), LinkKind::Pcie));
+    let _sink = gpus.record_trace();
+    let plan = ShardPlan {
+        nlist: 32,
+        nprobe: 8,
+        pq: PqConfig::new(16, 6),
+        sample: 512,
+        shards: 4,
+        refine: 16,
+        placement: Placement::SizeBalanced,
+        budget_bytes: Some(8_000),
+    };
+    let idx = ShardedIndex::build(96, plan, &data, gpus.clone(), 2025).expect("tiered build");
+    let queries: Vec<Vec<f32>> = (0..16)
+        .map(|i| embedder.embed(&Corpus::topic_query(i % 5, 6, i as u64)))
+        .collect();
+    use sagegpu_core::rag::index::RetrievalIndex;
+    idx.search_batch(&queries, 10);
+    idx.search_batch(&queries, 10);
+    gpus.finish_trace("rag-tiered-search")
         .expect("recording was on")
 }
 
@@ -282,7 +330,7 @@ pub struct GateOutcome {
     pub violations: Vec<String>,
 }
 
-/// Records both gated workloads and diffs them against the committed
+/// Records each gated workload and diffs it against the committed
 /// goldens. With `bless`, (re-)writes the goldens and the tolerance file
 /// instead and returns outcomes that trivially pass.
 pub fn run_gate(bless: bool) -> Result<Vec<GateOutcome>, String> {
@@ -292,6 +340,7 @@ pub fn run_gate(bless: bool) -> Result<Vec<GateOutcome>, String> {
         let current_trace = match name {
             "gcn-epoch" => record_gcn_epoch_trace(),
             "rag-sharded" => record_rag_sharded_trace(),
+            "rag-tiered" => record_rag_tiered_trace(),
             _ => record_rag_batch_trace(),
         };
         let path = golden_path(stem);

@@ -5,7 +5,8 @@
 
 use sagegpu_bench::gate::{
     check_gate, golden_path, metrics_for, record_gcn_epoch_trace, record_rag_batch_trace,
-    record_rag_sharded_trace, GateMetrics, GateTolerances, GATED_WORKLOADS,
+    record_rag_sharded_trace, record_rag_tiered_trace, GateMetrics, GateTolerances,
+    GATED_WORKLOADS,
 };
 use sagegpu_core::gpu::trace::{replay, TraceV1, WhatIf};
 
@@ -28,6 +29,7 @@ fn committed_goldens_pass_against_fresh_recordings() {
         let current = match name {
             "gcn-epoch" => metrics_for(&record_gcn_epoch_trace()),
             "rag-sharded" => metrics_for(&record_rag_sharded_trace()),
+            "rag-tiered" => metrics_for(&record_rag_tiered_trace()),
             _ => metrics_for(&record_rag_batch_trace()),
         };
         let violations = check_gate(&golden, &current, &tol);

@@ -435,6 +435,30 @@ impl Gpu {
         pool: &MemoryPool,
         bytes: u64,
     ) -> Result<PoolLease, GpuError> {
+        self.htod_pooled_named_on(stream, pool, bytes, "htod")
+    }
+
+    /// [`Self::htod_pooled`] with a caller-supplied event name on the
+    /// default stream. Tiered-residency layers use this to label
+    /// promotion copies (e.g. `"promote-list"`) so the profiler can
+    /// attribute cold-miss traffic separately from first-time uploads.
+    pub fn htod_pooled_named(
+        &self,
+        pool: &MemoryPool,
+        bytes: u64,
+        name: &str,
+    ) -> Result<PoolLease, GpuError> {
+        self.htod_pooled_named_on(StreamId::DEFAULT, pool, bytes, name)
+    }
+
+    /// [`Self::htod_pooled_named`] on an explicit stream.
+    pub fn htod_pooled_named_on(
+        &self,
+        stream: StreamId,
+        pool: &MemoryPool,
+        bytes: u64,
+        name: &str,
+    ) -> Result<PoolLease, GpuError> {
         if pool.device() != self.ordinal {
             return Err(GpuError::WrongDevice {
                 expected: pool.device(),
@@ -443,7 +467,7 @@ impl Gpu {
         }
         let lease = pool.lease(bytes)?;
         let dur = self.transfer_ns(bytes);
-        self.charge_copy(stream, EventKind::MemcpyH2D, "htod", dur, bytes)?;
+        self.charge_copy(stream, EventKind::MemcpyH2D, name, dur, bytes)?;
         Ok(lease)
     }
 

@@ -7,8 +7,15 @@
 //! (batch transfers, improve coalescing, raise occupancy, overlap work).
 
 use crate::timeline::Timeline;
+use gpu_sim::pool::PoolStats;
 use gpu_sim::{DeviceSpec, EventKind, ResidencySnapshot};
 use serde::Serialize;
+
+/// Copy events whose name carries this marker are tier promotions: a cold
+/// inverted list (or other spilled operand) being staged back onto the
+/// device on a miss. The retrieval tier names its charge-on-miss uploads
+/// `promote-list`; anything else matching `promote` counts too.
+pub const PROMOTION_MARKER: &str = "promote";
 
 /// What dominates a run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
@@ -35,6 +42,44 @@ pub struct KernelVerdict {
     /// True when intensity ≥ machine balance (compute side of the roof).
     pub compute_side: bool,
     pub mean_occupancy: f64,
+}
+
+/// Serializable snapshot of a caching allocator's counters, embedded in
+/// the report when the caller hands [`analyze_serving`] its pool stats.
+/// Mirrors [`gpu_sim::pool::PoolStats`], which stays serde-free so the
+/// simulator core carries no serialization dependency.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct PoolSummary {
+    pub device: u32,
+    pub allocs: u64,
+    pub frees: u64,
+    /// Allocations served from the size-class cache instead of a fresh
+    /// reservation.
+    pub reuse_hits: u64,
+    /// `trim()` calls that actually released cached reservations.
+    pub trims: u64,
+    pub in_use_bytes: u64,
+    pub cached_bytes: u64,
+    /// Peak reserved bytes over the pool's lifetime.
+    pub high_water_bytes: u64,
+    /// Fraction of allocations served from the cache.
+    pub reuse_ratio: f64,
+}
+
+impl From<PoolStats> for PoolSummary {
+    fn from(s: PoolStats) -> Self {
+        PoolSummary {
+            device: s.device,
+            allocs: s.allocs,
+            frees: s.frees,
+            reuse_hits: s.reuse_hits,
+            trims: s.trims,
+            in_use_bytes: s.in_use_bytes,
+            cached_bytes: s.cached_bytes,
+            high_water_bytes: s.high_water_bytes,
+            reuse_ratio: s.reuse_ratio(),
+        }
+    }
 }
 
 /// The full bottleneck report for one device.
@@ -78,6 +123,17 @@ pub struct BottleneckReport {
     /// a hierarchical collective (P2P events named `…/inter…`). 0.0 when
     /// the lane never crosses the bridge.
     pub comm_exposed_fraction_inter: f64,
+    /// H2D bytes moved by tier promotions — copy events carrying the
+    /// [`PROMOTION_MARKER`] in their name (charge-on-miss uploads of
+    /// host-spilled inverted lists). 0 when nothing was ever spilled.
+    pub promotion_h2d_bytes: u64,
+    /// Share of promotion-copy time left exposed against the kernel cover
+    /// — the part of charge-on-miss staging the serving path actually
+    /// waited on. 0.0 when the lane saw no promotions.
+    pub promotion_exposed_fraction: f64,
+    /// Allocator counters for this device's memory pool, when the caller
+    /// supplied them ([`analyze_serving`]); `None` otherwise.
+    pub pool: Option<PoolSummary>,
     /// Residency hit ratio of the executor's operand lookups, when the
     /// caller supplied residency stats (`None` for plain [`analyze`]).
     pub residency_hit_ratio: Option<f64>,
@@ -143,6 +199,22 @@ pub fn analyze_with_residency(
     device: u32,
     spec: &DeviceSpec,
     residency: Option<&ResidencySnapshot>,
+) -> BottleneckReport {
+    analyze_serving(timeline, device, spec, residency, None)
+}
+
+/// The widest entrypoint: [`analyze_with_residency`], plus the device's
+/// pool counters folded into the report. Serving paths that spill cold
+/// inverted lists to the host use this to see all three tiers of the
+/// data-movement story at once — operand residency (hit ratio), promotion
+/// copies (how much charge-on-miss staging stayed exposed), and allocator
+/// behaviour (reuse ratio, trims, high-water).
+pub fn analyze_serving(
+    timeline: &Timeline,
+    device: u32,
+    spec: &DeviceSpec,
+    residency: Option<&ResidencySnapshot>,
+    pool: Option<PoolStats>,
 ) -> BottleneckReport {
     let span = timeline.makespan_ns().max(1);
     let lane = timeline.lane(device);
@@ -257,6 +329,26 @@ pub fn analyze_with_residency(
     let comm_exposed_fraction_intra = exposed_over(&strip(intra_spans));
     let comm_exposed_fraction_inter = exposed_over(&strip(inter_spans));
 
+    // Promotion-copy attribution: the H2D events a tiered-residency index
+    // issues on a cold-list miss carry the `promote` marker in their name.
+    // Measured against the same kernel cover as the collective tiers — a
+    // promotion hidden behind a concurrently scanning kernel costs the
+    // serving path nothing; an exposed one stretches the makespan.
+    let promotion_h2d_bytes: u64 = lane
+        .iter()
+        .filter(|e| e.kind == EventKind::MemcpyH2D && e.name.contains(PROMOTION_MARKER))
+        .map(|e| e.bytes)
+        .sum();
+    let promo_iv = interval_union(
+        lane.iter()
+            .filter(|e| {
+                e.kind == EventKind::MemcpyH2D && e.dur_ns > 0 && e.name.contains(PROMOTION_MARKER)
+            })
+            .map(|e| (e.start_ns, e.start_ns + e.dur_ns))
+            .collect(),
+    );
+    let promotion_exposed_fraction = exposed_over(&promo_iv);
+
     let residency_hit_ratio = residency.map(|r| r.hit_ratio());
     let resident_compute = residency_hit_ratio.is_some_and(|h| h >= 0.9);
     let class = if idle_fraction > 0.5 {
@@ -345,6 +437,14 @@ pub fn analyze_with_residency(
                 .to_owned(),
         );
     }
+    if promotion_h2d_bytes > 0 && promotion_exposed_fraction > 0.25 {
+        recommendations.push(
+            "Cold-list promotions are exposed on the serving path: grow the residency budget \
+             so hot lists stay device-resident, or shrink nprobe so each query touches fewer \
+             cold lists."
+                .to_owned(),
+        );
+    }
     if kernels.iter().any(|k| k.mean_occupancy < 0.25) {
         recommendations.push(
             "Some kernels run below 25% occupancy: reduce per-thread registers or shrink shared \
@@ -369,6 +469,9 @@ pub fn analyze_with_residency(
         comm_exposed_fraction,
         comm_exposed_fraction_intra,
         comm_exposed_fraction_inter,
+        promotion_h2d_bytes,
+        promotion_exposed_fraction,
+        pool: pool.map(PoolSummary::from),
         residency_hit_ratio,
         recommendations,
     }
@@ -826,6 +929,106 @@ mod tests {
             .recommendations
             .iter()
             .any(|r| r.contains("shrink gradient buckets")));
+    }
+
+    #[test]
+    fn exposed_promotions_are_attributed_and_advised() {
+        // A cold-list promotion that serializes before the scan kernel is
+        // fully exposed; a plain staging copy with the same timing is not
+        // counted as promotion traffic.
+        let t = Timeline::from_events(vec![
+            ev(EventKind::MemcpyH2D, "htod", 0, 100, 1 << 10, 0, 0.0),
+            ev(
+                EventKind::MemcpyH2D,
+                "promote-list",
+                100,
+                400,
+                1 << 16,
+                0,
+                0.0,
+            ),
+            ev(
+                EventKind::Kernel,
+                "ivfpq_scan",
+                500,
+                600,
+                1 << 20,
+                1 << 22,
+                0.9,
+            ),
+        ]);
+        let report = analyze(&t, 0, &spec());
+        assert_eq!(report.promotion_h2d_bytes, 1 << 16);
+        assert!((report.promotion_exposed_fraction - 1.0).abs() < 1e-9);
+        assert!(report
+            .recommendations
+            .iter()
+            .any(|r| r.contains("grow the residency budget")));
+
+        // The same promotion hidden behind a concurrently scanning kernel
+        // on another stream exposes nothing and triggers no advice.
+        let mut hidden = ev(
+            EventKind::MemcpyH2D,
+            "promote-list",
+            100,
+            400,
+            1 << 16,
+            0,
+            0.0,
+        );
+        hidden.stream = 1;
+        let t2 = Timeline::from_events(vec![
+            ev(
+                EventKind::Kernel,
+                "ivfpq_scan",
+                0,
+                1000,
+                1 << 20,
+                1 << 22,
+                0.9,
+            ),
+            hidden,
+        ]);
+        let overlapped = analyze(&t2, 0, &spec());
+        assert_eq!(overlapped.promotion_h2d_bytes, 1 << 16);
+        assert!(overlapped.promotion_exposed_fraction < 1e-9);
+        assert!(!overlapped
+            .recommendations
+            .iter()
+            .any(|r| r.contains("grow the residency budget")));
+    }
+
+    #[test]
+    fn no_promotions_means_zero_promotion_metrics() {
+        let t = Timeline::from_events(vec![
+            ev(EventKind::MemcpyH2D, "htod", 0, 100, 1 << 10, 0, 0.0),
+            ev(EventKind::Kernel, "k", 100, 900, 1 << 20, 1 << 30, 0.9),
+        ]);
+        let report = analyze(&t, 0, &spec());
+        assert_eq!(report.promotion_h2d_bytes, 0);
+        assert_eq!(report.promotion_exposed_fraction, 0.0);
+        assert_eq!(report.pool, None);
+    }
+
+    #[test]
+    fn pool_counters_are_folded_into_the_report() {
+        let stats = PoolStats {
+            device: 0,
+            allocs: 10,
+            frees: 8,
+            reuse_hits: 6,
+            trims: 2,
+            in_use_bytes: 4096,
+            cached_bytes: 1024,
+            high_water_bytes: 8192,
+        };
+        let t = Timeline::from_events(vec![ev(EventKind::Kernel, "k", 0, 100, 1, 1, 0.9)]);
+        let report = analyze_serving(&t, 0, &spec(), None, Some(stats));
+        let pool = report.pool.expect("pool stats supplied");
+        assert_eq!(pool.allocs, 10);
+        assert_eq!(pool.trims, 2);
+        assert_eq!(pool.high_water_bytes, 8192);
+        assert!((pool.reuse_ratio - 0.6).abs() < 1e-9);
     }
 
     #[test]

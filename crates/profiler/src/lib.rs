@@ -46,7 +46,8 @@ pub mod timeline;
 /// Convenient glob-import of the crate's primary types.
 pub mod prelude {
     pub use crate::bottleneck::{
-        analyze, analyze_with_residency, BottleneckClass, BottleneckReport,
+        analyze, analyze_serving, analyze_with_residency, BottleneckClass, BottleneckReport,
+        PoolSummary,
     };
     pub use crate::chrome_trace::to_chrome_trace;
     pub use crate::histogram::Histogram;

@@ -50,6 +50,23 @@ pub trait RetrievalIndex: Send + Sync {
     /// This is a property of the index layout (corpus size, codes,
     /// codebooks), not of whether a device is currently attached.
     fn device_bytes(&self) -> u64;
+    /// Tiered-residency counters, when the index serves its inverted
+    /// lists under a device byte budget ([`crate::residency`]). `None`
+    /// for indexes without a residency tier (flat, CPU-only).
+    fn residency_stats(&self) -> Option<crate::residency::TierStats> {
+        None
+    }
+    /// Applies a device byte budget for list codes, evicting down in
+    /// place when the resident set no longer fits. Returns `false` when
+    /// the index has no residency tier to budget (the default).
+    fn set_residency_budget(&self, _budget_bytes: u64) -> bool {
+        false
+    }
+    /// Memory-pool counters for every device pool the index allocates
+    /// from, shard order. Empty for indexes without pooled device state.
+    fn pool_stats(&self) -> Vec<gpu_sim::pool::PoolStats> {
+        Vec::new()
+    }
 }
 
 /// The build-side extension: indexes that can grow in place.

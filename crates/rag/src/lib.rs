@@ -27,8 +27,13 @@
 //!   lists live in pooled device memory — corpora far larger than device
 //!   memory stay resident (the FAISS `IndexIVFPQ` design).
 //! - [`shard`] — [`shard::ShardedIndex`]: inverted lists partitioned
-//!   across a simulated multi-GPU cluster with taskflow scatter-gather
-//!   search and an order-stable top-k merge tree.
+//!   across a simulated multi-GPU cluster (size-balanced greedy placement
+//!   by default) with taskflow scatter-gather search and an order-stable
+//!   top-k merge tree.
+//! - [`residency`] — [`residency::ListResidency`]: tiered list residency
+//!   under a device byte budget — hot lists hold pooled leases, cold
+//!   lists spill to host and promote charge-on-miss, with clock/LRU
+//!   victim selection; results stay bit-identical at every budget.
 //! - [`bm25`] — Okapi BM25 lexical retrieval and reciprocal-rank fusion,
 //!   the hybrid-retrieval extension the optimization assignment invites.
 //! - [`pipeline`] — the end-to-end RAG service: retrieve → assemble
@@ -48,6 +53,7 @@ pub mod generate;
 pub mod index;
 pub mod pipeline;
 pub mod pq;
+pub mod residency;
 pub mod serve;
 pub mod shard;
 pub mod tokenize;
@@ -64,10 +70,11 @@ pub mod prelude {
     };
     pub use crate::pipeline::{LatencyReport, RagPipeline, RagResponse};
     pub use crate::pq::{IvfPqIndex, PqCodebook, PqConfig};
+    pub use crate::residency::{EvictionPolicy, ListResidency, TierStats};
     pub use crate::serve::{
         CacheStats, RagServer, ResponseHandle, RetrievalCache, ServeError, ServedResponse,
         ServerConfig, ServerReport,
     };
-    pub use crate::shard::{ShardPlan, ShardedIndex};
+    pub use crate::shard::{Placement, ShardPlan, ShardedIndex};
     pub use crate::tokenize::tokenize;
 }

@@ -17,15 +17,18 @@
 //! scores as `query·centroid + adc(residual codes)` with the first term
 //! reused from the probe stage for free. When a
 //! [`GpuExecutor`] is attached, the coarse centroids and the codebook
-//! live on device as [`DeviceTensor`]s, per-list codes are pinned in
-//! pooled device memory (charged through the residency layer), and the
-//! table build + list scans are priced as kernels on the simulated
-//! command stream — while the host arithmetic stays the byte-for-byte
-//! same expression as the CPU path, so hits are bit-identical.
+//! live on device as [`DeviceTensor`]s, per-list codes live under a
+//! [`crate::residency::ListResidency`] tier (fully prewarmed by
+//! [`IvfPqIndex::with_gpu`], or budgeted with host spill + charge-on-miss
+//! promotion by [`IvfPqIndex::with_gpu_tiered`]), and the table build +
+//! list scans are priced as kernels on the simulated command stream —
+//! while the host arithmetic stays the byte-for-byte same expression as
+//! the CPU path, so hits are bit-identical at every residency budget.
 
 use crate::error::IndexError;
 use crate::index::{top_k, RetrievalIndex, SearchHit};
-use gpu_sim::pool::PoolLease;
+use crate::residency::{EvictionPolicy, ListResidency, TierStats};
+use gpu_sim::pool::PoolStats;
 use gpu_sim::{AccessPattern, KernelProfile, LaunchConfig, LaunchSpec};
 use rand::prelude::*;
 use rand::rngs::SmallRng;
@@ -33,7 +36,7 @@ use sagegpu_tensor::dense::Tensor;
 use sagegpu_tensor::gpu_exec::GpuExecutor;
 use sagegpu_tensor::residency::DeviceTensor;
 use sagegpu_tensor::TensorError;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 /// Product-quantization layout: `m` subquantizers of `nbits` each.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -115,6 +118,17 @@ impl PqCodebook {
         data: &[(usize, Vec<f32>)],
         seed: u64,
     ) -> Result<Self, IndexError> {
+        Self::train_with_stats(dim, cfg, data, seed).map(|(cb, _)| cb)
+    }
+
+    /// [`Self::train`], additionally reporting the per-subspace Lloyd
+    /// iteration counts — the shape a priced replay of the training needs.
+    pub fn train_with_stats(
+        dim: usize,
+        cfg: PqConfig,
+        data: &[(usize, Vec<f32>)],
+        seed: u64,
+    ) -> Result<(Self, PqTrainStats), IndexError> {
         cfg.validate(dim)?;
         if data.is_empty() {
             return Err(IndexError::EmptyTrainingSet);
@@ -130,21 +144,99 @@ impl PqCodebook {
         let (m, ksub) = (cfg.m, cfg.ksub());
         let dsub = dim / m;
         let mut centroids = vec![0.0f32; m * ksub * dsub];
+        let mut iterations = Vec::with_capacity(m);
         for s in 0..m {
             let subs: Vec<&[f32]> = data
                 .iter()
                 .map(|(_, v)| &v[s * dsub..(s + 1) * dsub])
                 .collect();
             let book = &mut centroids[s * ksub * dsub..(s + 1) * ksub * dsub];
-            train_subspace(&subs, ksub, dsub, seed.wrapping_add(s as u64), book);
+            iterations.push(train_subspace(
+                &subs,
+                ksub,
+                dsub,
+                seed.wrapping_add(s as u64),
+                book,
+            ));
         }
-        Ok(Self {
-            dim,
-            m,
-            ksub,
-            dsub,
-            centroids,
-        })
+        Ok((
+            Self {
+                dim,
+                m,
+                ksub,
+                dsub,
+                centroids,
+            },
+            PqTrainStats {
+                n: data.len(),
+                iterations,
+            },
+        ))
+    }
+
+    /// [`Self::train`] with the k-means work **priced on the GPU**: the
+    /// host arithmetic is byte-for-byte [`Self::train_with_stats`] (so the
+    /// codebook is bit-identical to an unpriced train), and the cost is
+    /// charged as the batch-shaped kernel sequence a CUDA implementation
+    /// would launch — one training-set upload, then per Lloyd iteration a
+    /// fused `pq_kmeans_assign` over every still-converging subspace and a
+    /// `pq_kmeans_update` centroid reduction. Subspaces that converged
+    /// early drop out of later launches, exactly as the host loop stopped
+    /// iterating them.
+    pub fn train_priced(
+        dim: usize,
+        cfg: PqConfig,
+        data: &[(usize, Vec<f32>)],
+        seed: u64,
+        exec: &GpuExecutor,
+    ) -> Result<Self, IndexError> {
+        let (cb, stats) = Self::train_with_stats(dim, cfg, data, seed)?;
+        let (n, ksub, dsub) = (stats.n as u64, cfg.ksub() as u64, cb.dsub() as u64);
+        // Training vectors cross the host link once, up front.
+        let train_bytes = 4 * n * dim as u64;
+        let lease = exec
+            .gpu()
+            .htod_pooled(exec.pool(), train_bytes)
+            .map_err(TensorError::from)?;
+        exec.residency().add_h2d(train_bytes);
+        let max_iters = stats.iterations.iter().copied().max().unwrap_or(0);
+        for it in 0..max_iters {
+            let active = stats.iterations.iter().filter(|&&i| i > it).count() as u64;
+            // Assignment: every point against every centroid in each
+            // active subspace (sub, mul, add per element + compare).
+            let assign = KernelProfile {
+                flops: 3 * active * n * ksub * dsub,
+                bytes: 4 * active * (n * dsub + ksub * dsub + n),
+                access: AccessPattern::Coalesced,
+                registers_per_thread: 32,
+            };
+            LaunchSpec::new(
+                "pq_kmeans_assign",
+                LaunchConfig::for_elements(active * n, 256),
+                assign,
+            )
+            .run(exec.gpu(), || ())
+            .map_err(TensorError::from)?;
+            // Update: scatter-add points into centroid sums + normalize.
+            let update = KernelProfile {
+                flops: active * (n * dsub + ksub * dsub),
+                bytes: 4 * active * (n * dsub + 2 * ksub * dsub),
+                access: AccessPattern::Random,
+                registers_per_thread: 32,
+            };
+            LaunchSpec::new(
+                "pq_kmeans_update",
+                LaunchConfig::for_elements(active * ksub, 256),
+                update,
+            )
+            .run(exec.gpu(), || ())
+            .map_err(TensorError::from)?;
+        }
+        // Training set does not stay resident: release the slab and the
+        // reservation (the pool would otherwise cache it indefinitely).
+        drop(lease);
+        exec.pool().trim();
+        Ok(cb)
     }
 
     pub fn dim(&self) -> usize {
@@ -232,10 +324,21 @@ impl PqCodebook {
     }
 }
 
+/// Shape of a completed codebook training run: the work a priced replay
+/// charges to the device.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PqTrainStats {
+    /// Training vectors.
+    pub n: usize,
+    /// Lloyd iterations each subspace actually ran (0 = lossless direct
+    /// codebook, no k-means).
+    pub iterations: Vec<usize>,
+}
+
 /// Per-subspace trainer: direct codebook when distinct subvectors fit in
 /// `ksub`, seeded Lloyd k-means otherwise. Writes into `book`
-/// (`ksub × dsub`).
-fn train_subspace(subs: &[&[f32]], ksub: usize, dsub: usize, seed: u64, book: &mut [f32]) {
+/// (`ksub × dsub`) and returns the number of Lloyd iterations executed.
+fn train_subspace(subs: &[&[f32]], ksub: usize, dsub: usize, seed: u64, book: &mut [f32]) -> usize {
     // Distinct subvectors by bit pattern, first-occurrence order.
     let mut seen = std::collections::HashSet::new();
     let mut distinct: Vec<&[f32]> = Vec::new();
@@ -253,7 +356,7 @@ fn train_subspace(subs: &[&[f32]], ksub: usize, dsub: usize, seed: u64, book: &m
             let src = distinct[c.min(distinct.len() - 1)];
             book[c * dsub..(c + 1) * dsub].copy_from_slice(src);
         }
-        return;
+        return 0;
     }
     let mut rng = SmallRng::seed_from_u64(seed);
     let mut pick: Vec<usize> = (0..distinct.len()).collect();
@@ -262,7 +365,9 @@ fn train_subspace(subs: &[&[f32]], ksub: usize, dsub: usize, seed: u64, book: &m
         book[c * dsub..(c + 1) * dsub].copy_from_slice(distinct[i]);
     }
     let mut assignments = vec![0usize; subs.len()];
+    let mut iterations = 0usize;
     for _ in 0..10 {
+        iterations += 1;
         let mut changed = false;
         for (i, sub) in subs.iter().enumerate() {
             let mut best = 0usize;
@@ -304,20 +409,25 @@ fn train_subspace(subs: &[&[f32]], ksub: usize, dsub: usize, seed: u64, book: &m
             break;
         }
     }
+    iterations
 }
 
 /// Device-resident state for a GPU-attached [`IvfPqIndex`]: coarse
-/// centroids and the codebook as [`DeviceTensor`]s, per-list codes pinned
-/// in pooled device memory. The leases are held for the index lifetime —
-/// scans read resident codes, never re-staging them.
+/// centroids and the codebook as [`DeviceTensor`]s (always pinned), and a
+/// [`ListResidency`] tier managing the per-list code leases. The default
+/// attach gives the tier a budget equal to the whole code payload, so
+/// every list stays resident after its first touch — the PR-9 pinned
+/// behavior. A budgeted attach spills cold lists to host and promotes
+/// charge-on-miss.
 struct GpuState {
     exec: GpuExecutor,
     #[allow(dead_code)] // held resident; the fused coarse kernel reads it
     centroid_mat: Arc<DeviceTensor>,
     #[allow(dead_code)] // held for residency; scans read via the codebook
     codebook_mat: Arc<DeviceTensor>,
-    #[allow(dead_code)] // held so per-list codes stay pinned on device
-    code_leases: Vec<PoolLease>,
+    /// Tiered residency over the per-list packed codes. Interior
+    /// mutability: scans take `&self` but promotion moves leases.
+    residency: Mutex<ListResidency>,
 }
 
 /// IVF index over PQ-coded vectors: coarse k-means routing + per-list
@@ -464,8 +574,43 @@ impl IvfPqIndex {
 
     /// Moves the index device-resident: uploads coarse centroids and the
     /// codebook as [`DeviceTensor`]s (charged H2D) and pins every list's
-    /// packed codes in pooled device memory through the residency layer.
-    pub fn with_gpu(mut self, exec: GpuExecutor) -> Result<Self, IndexError> {
+    /// packed codes in pooled device memory through the residency layer —
+    /// a tier whose budget equals the whole code payload, prewarmed so
+    /// scans never miss (the PR-9 fully-pinned behavior).
+    pub fn with_gpu(self, exec: GpuExecutor) -> Result<Self, IndexError> {
+        let budget = self.list_code_bytes();
+        let mut this = self.attach_gpu(exec, budget, EvictionPolicy::Lru)?;
+        // Prewarm: every list pays its one H2D now, list-id order, so the
+        // upload cost lands at attach time exactly as pinning did.
+        if let Some(state) = &mut this.gpu {
+            let res = state.residency.get_mut().expect("residency lock");
+            for list in 0..this.lists.len() {
+                res.touch(list).map_err(TensorError::from)?;
+            }
+        }
+        Ok(this)
+    }
+
+    /// Moves the index device-resident under a **byte budget** for the
+    /// list codes: hot lists hold pooled leases, cold lists stay on host
+    /// and promote charge-on-miss with `policy` victim selection. Search
+    /// results are bit-identical to [`Self::with_gpu`] at every budget —
+    /// residency moves bytes, never values.
+    pub fn with_gpu_tiered(
+        self,
+        exec: GpuExecutor,
+        budget_bytes: u64,
+        policy: EvictionPolicy,
+    ) -> Result<Self, IndexError> {
+        self.attach_gpu(exec, budget_bytes, policy)
+    }
+
+    fn attach_gpu(
+        mut self,
+        exec: GpuExecutor,
+        budget_bytes: u64,
+        policy: EvictionPolicy,
+    ) -> Result<Self, IndexError> {
         let nlist = self.lists.len();
         let centroid_host = Tensor::from_vec(nlist, self.dim, self.centroids.clone())?;
         let centroid_mat = Arc::new(exec.upload(&centroid_host)?);
@@ -473,28 +618,30 @@ impl IvfPqIndex {
         let codebook_host =
             Tensor::from_vec(cb.m() * cb.ksub(), cb.dsub(), cb.centroids().to_vec())?;
         let codebook_mat = Arc::new(exec.upload(&codebook_host)?);
-        // Per-list code uploads: one pooled H2D each, lease held for the
-        // index lifetime so scans hit resident codes.
-        let mut code_leases = Vec::new();
-        for list in &self.lists {
-            let bytes = (list.len() * cb.m()) as u64;
-            if bytes == 0 {
-                continue;
-            }
-            let lease = exec
-                .gpu()
-                .htod_pooled(exec.pool(), bytes)
-                .map_err(TensorError::from)?;
-            exec.residency().add_h2d(bytes);
-            code_leases.push(lease);
-        }
+        let list_bytes: Vec<u64> = self
+            .lists
+            .iter()
+            .map(|list| (list.len() * cb.m()) as u64)
+            .collect();
+        let residency = Mutex::new(ListResidency::new(
+            exec.clone(),
+            &list_bytes,
+            budget_bytes,
+            policy,
+        ));
         self.gpu = Some(GpuState {
             exec,
             centroid_mat,
             codebook_mat,
-            code_leases,
+            residency,
         });
         Ok(self)
+    }
+
+    /// Total packed-code bytes across all inverted lists — the spillable
+    /// payload a residency budget governs.
+    pub fn list_code_bytes(&self) -> u64 {
+        self.codes.len() as u64
     }
 
     pub fn nlist(&self) -> usize {
@@ -512,6 +659,37 @@ impl IvfPqIndex {
 
     pub fn codebook(&self) -> &PqCodebook {
         &self.codebook
+    }
+
+    /// Tiered-residency snapshot, `None` until a GPU is attached.
+    pub fn tier_stats(&self) -> Option<TierStats> {
+        self.gpu
+            .as_ref()
+            .map(|s| s.residency.lock().expect("residency lock").stats())
+    }
+
+    /// Per-list hit/miss/evict counters, `None` until a GPU is attached.
+    pub fn tier_list_counters(&self) -> Option<Vec<crate::residency::ListCounters>> {
+        self.gpu
+            .as_ref()
+            .map(|s| s.residency.lock().expect("residency lock").list_counters())
+    }
+
+    /// Re-budgets the residency tier in place, evicting down immediately
+    /// when the resident set no longer fits. Returns `false` (no-op) when
+    /// no GPU is attached.
+    pub fn apply_residency_budget(&self, budget_bytes: u64) -> bool {
+        match &self.gpu {
+            Some(state) => {
+                state
+                    .residency
+                    .lock()
+                    .expect("residency lock")
+                    .set_budget(budget_bytes);
+                true
+            }
+            None => false,
+        }
     }
 
     fn host_centroid_scores(&self, query: &[f32]) -> Vec<f32> {
@@ -670,6 +848,24 @@ impl IvfPqIndex {
                 if scanned == 0 {
                     return vec![Vec::new(); per_query_probes.len()];
                 }
+                // Residency gate: every list this batch scans must be
+                // device-resident before the scan launches. Hits are free;
+                // misses charge a promotion copy (and evictions) in front
+                // of the kernel — the exposed time the profiler
+                // attributes. Each distinct list is touched once per
+                // batch, first-touch order.
+                {
+                    let mut res = state.residency.lock().expect("residency lock");
+                    let mut seen = vec![false; self.lists.len()];
+                    for probes in per_query_probes {
+                        for &list in probes {
+                            if !seen[list] {
+                                seen[list] = true;
+                                res.touch(list).expect("list promotion");
+                            }
+                        }
+                    }
+                }
                 let cfg = LaunchConfig::for_elements(scanned, 256);
                 let profile = KernelProfile {
                     flops: scanned * m as u64,
@@ -767,6 +963,21 @@ impl RetrievalIndex for IvfPqIndex {
         4 * self.centroids.len() as u64
             + 4 * self.codebook.centroids().len() as u64
             + self.codes.len() as u64
+    }
+
+    fn residency_stats(&self) -> Option<TierStats> {
+        self.tier_stats()
+    }
+
+    fn set_residency_budget(&self, budget_bytes: u64) -> bool {
+        self.apply_residency_budget(budget_bytes)
+    }
+
+    fn pool_stats(&self) -> Vec<PoolStats> {
+        self.gpu
+            .as_ref()
+            .map(|s| vec![s.exec.pool().stats()])
+            .unwrap_or_default()
     }
 }
 

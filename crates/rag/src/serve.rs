@@ -67,6 +67,11 @@ pub struct ServerConfig {
     pub retry: RetryPolicy,
     /// Base generation seed; request `i` generates with `seed + i`.
     pub seed: u64,
+    /// Device byte budget for the index's inverted-list codes, applied to
+    /// the pipeline's index at startup ([`crate::residency`] tiering —
+    /// cold lists spill to host and promote on access). `None` leaves the
+    /// index's own residency configuration untouched.
+    pub residency_budget: Option<u64>,
 }
 
 impl Default for ServerConfig {
@@ -78,6 +83,7 @@ impl Default for ServerConfig {
             cache_capacity: 512,
             retry: RetryPolicy::fixed(2, Duration::ZERO),
             seed: 0,
+            residency_budget: None,
         }
     }
 }
@@ -114,6 +120,11 @@ impl ServerConfig {
 
     pub fn seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    pub fn residency_budget(mut self, bytes: u64) -> Self {
+        self.residency_budget = Some(bytes);
         self
     }
 }
@@ -511,6 +522,11 @@ impl<I: RetrievalIndex + 'static> RagServer<I> {
     /// Spawns the batcher and collector threads over `cluster` and starts
     /// accepting requests.
     pub fn start(pipeline: Arc<RagPipeline<I>>, cluster: LocalCluster, cfg: ServerConfig) -> Self {
+        if let Some(budget) = cfg.residency_budget {
+            // Serving under a memory budget: re-budget the index's
+            // residency tier in place (a no-op for indexes without one).
+            pipeline.index.set_residency_budget(budget);
+        }
         let cache = Arc::new(Mutex::new(RetrievalCache::new(cfg.cache_capacity)));
         let shared = Arc::new(Shared {
             pipeline,
@@ -656,6 +672,8 @@ impl<I: RetrievalIndex + 'static> RagServer<I> {
             cache,
             retries,
             spans: stats.spans,
+            residency: self.shared.pipeline.index.residency_stats(),
+            pools: self.shared.pipeline.index.pool_stats(),
         })
     }
 }
@@ -846,6 +864,11 @@ pub struct ServerReport {
     pub retries: u64,
     /// Per-request lifecycles for the profiler's serving lanes.
     pub spans: Vec<RequestSpan>,
+    /// Tiered-residency counters from the index at shutdown (merged
+    /// across shards); `None` when the index has no residency tier.
+    pub residency: Option<crate::residency::TierStats>,
+    /// Per-device memory-pool counters from the index at shutdown.
+    pub pools: Vec<gpu_sim::pool::PoolStats>,
 }
 
 impl ServerReport {

@@ -1,10 +1,13 @@
 //! Sharded IVF-PQ: one corpus partitioned across N simulated GPUs.
 //!
-//! [`ShardedIndex`] places inverted lists round-robin across the devices
-//! of a [`GpuCluster`] (list `c` → shard `c % n`). Every shard holds the
-//! *same* coarse centroids and PQ codebook but encodes only its own
-//! lists, so per-device memory shrinks ~linearly with the shard count
-//! while the probe decision stays global.
+//! [`ShardedIndex`] places inverted lists across the devices of a
+//! [`GpuCluster`] under a [`Placement`] policy — size-balanced greedy by
+//! default (largest list onto the lightest shard, so a skewed corpus
+//! cannot pile its biggest lists onto one device the way the old blind
+//! `c % n` round-robin could). Every shard holds the *same* coarse
+//! centroids and PQ codebook but encodes only its own lists, so
+//! per-device memory shrinks ~linearly with the shard count while the
+//! probe decision stays global.
 //!
 //! Search is scatter-gather through `taskflow`: the query batch is
 //! broadcast to one pinned task per shard (`submit_to`, never stolen —
@@ -29,10 +32,27 @@
 use crate::error::IndexError;
 use crate::index::{merge_top_k, nearest_centroid, train_coarse, RetrievalIndex, SearchHit};
 use crate::pq::{IvfPqIndex, PqCodebook, PqConfig};
+use crate::residency::{EvictionPolicy, TierStats};
+use gpu_sim::pool::PoolStats;
 use gpu_sim::GpuCluster;
 use sagegpu_tensor::gpu_exec::GpuExecutor;
+use sagegpu_tensor::TensorError;
 use std::sync::Arc;
 use taskflow::{ClusterBuilder, LocalCluster};
+
+/// How inverted lists map to shards.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Placement {
+    /// Size-balanced greedy: lists sorted largest-first, each assigned to
+    /// the shard currently holding the fewest code bytes — the classic
+    /// longest-processing-time heuristic, so one hot topic cannot pile
+    /// the corpus onto a single device.
+    #[default]
+    SizeBalanced,
+    /// Blind `list % shards` striping (the pre-placement behavior, kept
+    /// for comparison): balanced only when list sizes are uniform.
+    RoundRobin,
+}
 
 /// Build-time parameters for a [`ShardedIndex`].
 #[derive(Debug, Clone, Copy)]
@@ -52,6 +72,36 @@ pub struct ShardPlan {
     /// vectors before the final top-k. Refining *after* the merge keeps
     /// the result independent of the shard count.
     pub refine: usize,
+    /// List → shard mapping policy.
+    pub placement: Placement,
+    /// Total device byte budget for packed list codes across all shards,
+    /// split proportionally to each shard's code payload. `None` keeps
+    /// every list pinned (fully resident); `Some(b)` serves under tiered
+    /// residency — cold lists spill to host and promote on access.
+    pub budget_bytes: Option<u64>,
+}
+
+/// Maps each list to a shard. `sizes[c]` is list `c`'s member count (any
+/// monotone proxy for its code bytes works — bytes are `count × m`).
+fn place_lists(sizes: &[usize], shards: usize, placement: Placement) -> Vec<usize> {
+    match placement {
+        Placement::RoundRobin => (0..sizes.len()).map(|c| c % shards).collect(),
+        Placement::SizeBalanced => {
+            let mut order: Vec<usize> = (0..sizes.len()).collect();
+            // Largest first; ties to the lowest list id (deterministic).
+            order.sort_by_key(|&c| (std::cmp::Reverse(sizes[c]), c));
+            let mut load = vec![0usize; shards];
+            let mut assignment = vec![0usize; sizes.len()];
+            for c in order {
+                let lightest = (0..shards)
+                    .min_by_key(|&s| (load[s], s))
+                    .expect("shards > 0");
+                assignment[c] = lightest;
+                load[lightest] += sizes[c];
+            }
+            assignment
+        }
+    }
 }
 
 /// An IVF-PQ index partitioned across the devices of a simulated cluster.
@@ -120,7 +170,9 @@ impl ShardedIndex {
         };
         let (centroids, sample_assignments) = train_coarse(dim, plan.nlist, &sample_data, seed)?;
         // PQ trains on coarse residuals — the same distribution the
-        // per-shard encoders will quantize.
+        // per-shard encoders will quantize. The k-means work is priced on
+        // device 0 (batch-shaped assign/update launches); the codebook
+        // values are bit-identical to the unpriced host train.
         let sample_residuals: Vec<(usize, Vec<f32>)> = sample_data
             .iter()
             .zip(&sample_assignments)
@@ -131,12 +183,14 @@ impl ShardedIndex {
                 )
             })
             .collect();
-        let codebook = PqCodebook::train(dim, plan.pq, &sample_residuals, seed)?;
+        let train_exec = GpuExecutor::new(gpus.device(0).map_err(TensorError::from)?.clone());
+        let codebook =
+            PqCodebook::train_priced(dim, plan.pq, &sample_residuals, seed, &train_exec)?;
 
-        // Partition: assign every vector to its list, lists round-robin
-        // to shards.
-        let mut per_shard: Vec<Vec<(usize, Vec<f32>, usize)>> =
-            (0..plan.shards).map(|_| Vec::new()).collect();
+        // Partition: assign every vector to its list, then place the
+        // lists on shards (size-balanced greedy by default).
+        let mut assigned: Vec<(usize, &Vec<f32>, usize)> = Vec::with_capacity(data.len());
+        let mut list_sizes = vec![0usize; plan.nlist];
         for (doc, v) in data {
             if v.len() != dim {
                 return Err(IndexError::DimMismatch {
@@ -145,8 +199,31 @@ impl ShardedIndex {
                 });
             }
             let list = nearest_centroid(&centroids, dim, v);
-            per_shard[list % plan.shards].push((*doc, v.clone(), list));
+            list_sizes[list] += 1;
+            assigned.push((*doc, v, list));
         }
+        let shard_of = place_lists(&list_sizes, plan.shards, plan.placement);
+        let mut per_shard: Vec<Vec<(usize, Vec<f32>, usize)>> =
+            (0..plan.shards).map(|_| Vec::new()).collect();
+        for (doc, v, list) in assigned {
+            per_shard[shard_of[list]].push((doc, v.clone(), list));
+        }
+
+        // Budget split: each shard's slice of the device budget is
+        // proportional to its code payload, so a balanced placement gets
+        // a balanced budget.
+        let m = plan.pq.m as u64;
+        let shard_code_bytes: Vec<u64> = per_shard.iter().map(|e| e.len() as u64 * m).collect();
+        let total_code_bytes: u64 = shard_code_bytes.iter().sum();
+        let shard_budget = |s: usize| -> Option<u64> {
+            plan.budget_bytes.map(|b| {
+                if total_code_bytes == 0 {
+                    0
+                } else {
+                    ((b as u128 * shard_code_bytes[s] as u128) / total_code_bytes as u128) as u64
+                }
+            })
+        };
 
         // Encode + upload every shard concurrently, pinned to its device.
         let cluster = ClusterBuilder::new().gpus(gpus.clone()).build();
@@ -158,20 +235,25 @@ impl ShardedIndex {
             let centroids = Arc::clone(&centroids);
             let codebook = Arc::clone(&codebook);
             let (nlist, nprobe) = (plan.nlist, plan.nprobe);
+            let budget = shard_budget(s);
             let fut = cluster.submit_to(s, move |ctx| {
                 let refs: Vec<(usize, &[f32], usize)> = entries
                     .iter()
                     .map(|(doc, v, list)| (*doc, v.as_slice(), *list))
                     .collect();
-                IvfPqIndex::from_trained(
+                let idx = IvfPqIndex::from_trained(
                     dim,
                     nlist,
                     nprobe,
                     centroids.as_ref().clone(),
                     codebook.as_ref().clone(),
                     &refs,
-                )
-                .with_gpu(GpuExecutor::new(ctx.gpu().clone()))
+                );
+                let exec = GpuExecutor::new(ctx.gpu().clone());
+                match budget {
+                    Some(b) => idx.with_gpu_tiered(exec, b, EvictionPolicy::Lru),
+                    None => idx.with_gpu(exec),
+                }
             })?;
             futures.push(fut);
         }
@@ -297,6 +379,40 @@ impl RetrievalIndex for ShardedIndex {
         // codebook every shard carries.
         self.shards.iter().map(|s| s.device_bytes()).sum()
     }
+
+    fn residency_stats(&self) -> Option<TierStats> {
+        let mut merged: Option<TierStats> = None;
+        for shard in &self.shards {
+            if let Some(stats) = shard.residency_stats() {
+                match &mut merged {
+                    Some(acc) => acc.merge(&stats),
+                    None => merged = Some(stats),
+                }
+            }
+        }
+        merged
+    }
+
+    fn set_residency_budget(&self, budget_bytes: u64) -> bool {
+        // Split proportionally to each shard's code payload, mirroring
+        // the build-time split.
+        let bytes: Vec<u64> = self.shards.iter().map(|s| s.list_code_bytes()).collect();
+        let total: u64 = bytes.iter().sum();
+        let mut any = false;
+        for (shard, &b) in self.shards.iter().zip(&bytes) {
+            let slice = if total == 0 {
+                0
+            } else {
+                ((budget_bytes as u128 * b as u128) / total as u128) as u64
+            };
+            any |= shard.set_residency_budget(slice);
+        }
+        any
+    }
+
+    fn pool_stats(&self) -> Vec<PoolStats> {
+        self.shards.iter().flat_map(|s| s.pool_stats()).collect()
+    }
 }
 
 #[cfg(test)]
@@ -325,6 +441,8 @@ mod tests {
             sample: usize::MAX,
             shards,
             refine: 0,
+            placement: Placement::SizeBalanced,
+            budget_bytes: None,
         }
     }
 
@@ -360,6 +478,50 @@ mod tests {
         assert_eq!(total, 120, "every vector lands in exactly one shard");
         // Work actually spread out: no shard owns everything.
         assert!(idx.shards().iter().all(|s| s.len() < 120));
+    }
+
+    /// Satellite regression: on a corpus whose lists are heavily skewed
+    /// (one hot topic dominates), size-balanced greedy placement must
+    /// spread code bytes across shards strictly better than blind
+    /// round-robin — and both placements must return identical hits,
+    /// since placement only decides *where* a list lives, never what it
+    /// scores.
+    #[test]
+    fn size_balanced_placement_beats_round_robin_on_skew() {
+        let embedder = Embedder::new(96, 11);
+        // 70% of documents share one topic → a few giant lists.
+        let data: Vec<(usize, Vec<f32>)> = (0..600)
+            .map(|i| {
+                let topic = if i % 10 < 7 { 0 } else { i % 10 };
+                (
+                    i,
+                    embedder.embed(&format!("document {i} about topic {topic} gpu kernels")),
+                )
+            })
+            .collect();
+        let spread = |placement: Placement| -> (u64, ShardedIndex) {
+            let mut p = plan(4);
+            p.placement = placement;
+            let idx = ShardedIndex::build(96, p, &data, cluster(4), 5).expect("builds");
+            let bytes: Vec<u64> = idx.shards().iter().map(|s| s.device_bytes()).collect();
+            let max = *bytes.iter().max().unwrap();
+            let min = *bytes.iter().min().unwrap();
+            (max - min, idx)
+        };
+        let (skew_rr, rr) = spread(Placement::RoundRobin);
+        let (skew_sb, sb) = spread(Placement::SizeBalanced);
+        assert!(
+            skew_sb < skew_rr,
+            "greedy placement must reduce byte skew: balanced {skew_sb} vs round-robin {skew_rr}"
+        );
+        let queries: Vec<Vec<f32>> = (0..6)
+            .map(|i| embedder.embed(&format!("topic {} gpu kernels", i % 10)))
+            .collect();
+        assert_eq!(
+            rr.search_batch(&queries, 10),
+            sb.search_batch(&queries, 10),
+            "placement must not change results"
+        );
     }
 
     #[test]

@@ -6,7 +6,7 @@ use sagegpu_rag::index::{
     recall_at_k, FlatIndex, IvfIndex, RetrievalIndex, SearchHit, VectorIndex,
 };
 use sagegpu_rag::pq::{IvfPqIndex, PqConfig};
-use sagegpu_rag::shard::{ShardPlan, ShardedIndex};
+use sagegpu_rag::shard::{Placement, ShardPlan, ShardedIndex};
 use sagegpu_rag::tokenize::tokenize;
 use std::sync::Arc;
 
@@ -118,6 +118,8 @@ proptest! {
             sample: usize::MAX,
             shards: s,
             refine,
+            placement: Placement::SizeBalanced,
+            budget_bytes: None,
         };
         let cluster = |s: usize| {
             Arc::new(GpuCluster::homogeneous(s, DeviceSpec::t4(), LinkKind::Pcie))
@@ -129,6 +131,50 @@ proptest! {
             .map(|i| e.embed(&format!("topic {} document", i % 3)))
             .collect();
         prop_assert_eq!(one.search_batch(&queries, k), many.search_batch(&queries, k));
+    }
+
+    /// Tiered residency moves bytes, never values: for random corpora,
+    /// budgets, eviction policies, and query streams, a budgeted index
+    /// returns hits bit-identical to the fully-resident one — and the
+    /// tier's resident-byte high-water never exceeds the budget.
+    #[test]
+    fn tiered_search_is_bit_identical_and_respects_budget(
+        n in 40usize..120,
+        budget_pct in 2u64..120,
+        clock in 0u8..2,
+        stream in prop::collection::vec(0usize..6, 1..10),
+        seed in 0u64..10,
+    ) {
+        use gpu_sim::{DeviceSpec, Gpu};
+        use sagegpu_rag::residency::EvictionPolicy;
+        use sagegpu_tensor::gpu_exec::GpuExecutor;
+        let (e, data) = embedded_docs(n, 48, seed);
+        let exec = || GpuExecutor::new(Arc::new(Gpu::new(0, DeviceSpec::t4())));
+        let train = || {
+            IvfPqIndex::train(48, 8, 3, PqConfig::new(8, 6), &data, seed).expect("trains")
+        };
+        let full = train().with_gpu(exec()).expect("attaches");
+        let budget = full.list_code_bytes() * budget_pct / 100;
+        let policy = if clock == 1 { EvictionPolicy::Clock } else { EvictionPolicy::Lru };
+        let tiered = train().with_gpu_tiered(exec(), budget, policy).expect("attaches");
+        for &t in &stream {
+            let q = e.embed(&format!("topic {t} document"));
+            prop_assert_eq!(full.search(&q, 5), tiered.search(&q, 5));
+        }
+        let batch: Vec<Vec<f32>> = stream
+            .iter()
+            .map(|&t| e.embed(&format!("document about topic {t}")))
+            .collect();
+        prop_assert_eq!(full.search_batch(&batch, 5), tiered.search_batch(&batch, 5));
+        let stats = tiered.tier_stats().expect("tier attached");
+        prop_assert!(
+            stats.high_water_bytes <= stats.budget_bytes,
+            "resident high-water {} exceeded budget {}",
+            stats.high_water_bytes,
+            stats.budget_bytes
+        );
+        prop_assert!(stats.resident_bytes <= stats.budget_bytes);
+        prop_assert!(stats.hits + stats.misses > 0, "stream must touch the tier");
     }
 
     /// IVF-PQ recall against the exact flat baseline never drops as

@@ -182,6 +182,8 @@ fn sharded_index_serves_end_to_end() {
         sample: usize::MAX,
         shards: 4,
         refine: 16,
+        placement: sagegpu_rag::shard::Placement::SizeBalanced,
+        budget_bytes: None,
     };
     let pipeline =
         Arc::new(build_sharded_pipeline(200, 96, plan, gpus.clone(), 7).expect("builds"));

@@ -33,12 +33,17 @@
 #    nprobe (exact refine after the merge), and 4-shard scatter-gather is
 #    >= 2x faster than one shard with bit-identical hits
 #    (crates/bench/tests/bench_a12.rs)
-# 11. trace-diff: record the gated fused-GCN, RAG batch-scoring, and
-#    sharded IVF-PQ search workloads through the gpu_sim::trace interposer
-#    and diff sim-time (±1%), submission count (exact), and exposed-comm
-#    fraction (+0.02) against tests/golden/*.trace.json. `--bless`
-#    re-records the goldens.
-# 12. repro_output.txt mentions every committed BENCH_A*.json artifact —
+# 11. BENCH_A13.json: regenerate via `repro --exp residency_serving`, then
+#    validate tiered-residency serving — hits bit-identical to the
+#    fully-resident index at every budget, resident high-water <= budget,
+#    and >= 0.5x the unbudgeted QPS at 25% budget under Zipfian skew
+#    (crates/bench/tests/bench_a13.rs)
+# 12. trace-diff: record the gated fused-GCN, RAG batch-scoring, sharded
+#    IVF-PQ search, and tiered-residency serving workloads through the
+#    gpu_sim::trace interposer and diff sim-time (±1%), submission count
+#    (exact), and exposed-comm fraction (+0.02) against
+#    tests/golden/*.trace.json. `--bless` re-records the goldens.
+# 13. repro_output.txt mentions every committed BENCH_A*.json artifact —
 #    catches the transcript drifting behind newly shipped experiments.
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -84,6 +89,10 @@ cargo test -q -p sagegpu-bench --test bench_a11
 echo "==> BENCH_A12.json: regenerate + validate"
 cargo run --release -q -p sagegpu-bench --bin repro -- --exp retrieval > /dev/null
 cargo test -q -p sagegpu-bench --test bench_a12
+
+echo "==> BENCH_A13.json: regenerate + validate"
+cargo run --release -q -p sagegpu-bench --bin repro -- --exp residency_serving > /dev/null
+cargo test -q -p sagegpu-bench --test bench_a13
 
 echo "==> trace-diff: golden trace regression gate${BLESS:+ (blessing)}"
 if [[ -n "$BLESS" ]]; then
